@@ -1,0 +1,251 @@
+package structura
+
+// Ablation benchmarks for the design choices DESIGN.md §5 calls out: each
+// b.Run variant isolates one policy/mechanism choice so the alternatives
+// can be compared directly with `go test -bench=Ablation`.
+
+import (
+	"testing"
+
+	"structura/internal/centrality"
+	"structura/internal/forwarding"
+	"structura/internal/fspace"
+	"structura/internal/gen"
+	"structura/internal/labeling"
+	"structura/internal/mobility"
+	"structura/internal/reversal"
+	"structura/internal/stats"
+	"structura/internal/temporal"
+	"structura/internal/trimming"
+)
+
+// BenchmarkAblationTrimPriority compares the trimming priority schemes of
+// §III-A (node ID vs degree vs betweenness).
+func BenchmarkAblationTrimPriority(b *testing.B) {
+	r := stats.NewRand(1)
+	eg, err := temporal.New(10, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < 70; k++ {
+		u, v := r.Intn(10), r.Intn(10)
+		if u != v {
+			_ = eg.AddContact(u, v, r.Intn(10))
+		}
+	}
+	schemes := map[string]trimming.Priorities{
+		"id": trimming.PriorityByID(10),
+		"degree": trimming.PriorityByScore(func() []float64 {
+			deg := make([]float64, 10)
+			for v := 0; v < 10; v++ {
+				deg[v] = float64(len(eg.Neighbors(v)))
+			}
+			return deg
+		}()),
+		"betweenness": trimming.PriorityByScore(centrality.Betweenness(eg.Footprint())),
+	}
+	for name, prio := range schemes {
+		prio := prio
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := trimming.TrimNodes(eg, prio, trimming.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReversalVariant compares full, partial, and both binary
+// label initializations on the quadratic ring scenario.
+func BenchmarkAblationReversalVariant(b *testing.B) {
+	const n = 32
+	alphas := make([]int, n)
+	for i := 1; i < n; i++ {
+		alphas[i] = i
+	}
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net, _ := reversal.NewNetwork(gen.Ring(n), alphas, 0, reversal.Full)
+			net.RemoveLink(0, 1)
+			if st := net.Stabilize(1000000); !st.Converged {
+				b.Fatal("diverged")
+			}
+		}
+	})
+	b.Run("partial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net, _ := reversal.NewNetwork(gen.Ring(n), alphas, 0, reversal.Partial)
+			net.RemoveLink(0, 1)
+			if st := net.Stabilize(1000000); !st.Converged {
+				b.Fatal("diverged")
+			}
+		}
+	})
+	for _, label := range []int{0, 1} {
+		label := label
+		name := "binary-all0"
+		if label == 1 {
+			name = "binary-all1"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lr, _ := reversal.NewBinaryLR(gen.Ring(n), alphas, 0, label)
+				lr.RemoveLink(0, 1)
+				if st := lr.Stabilize(1000000); !st.Converged {
+					b.Fatal("diverged")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationForwardingPolicy compares first-contact, static optimal
+// sets, TOUR time-varying sets, and copy-varying multi-copy sets.
+func BenchmarkAblationForwardingPolicy(b *testing.B) {
+	r := stats.NewRand(2)
+	eg, err := temporal.New(30, 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < 4000; k++ {
+		u, v := r.Intn(30), r.Intn(30)
+		if u != v {
+			_ = eg.AddContact(u, v, r.Intn(300))
+		}
+	}
+	rates := forwarding.ContactRates(eg)
+	sets, _, err := forwarding.OptimalForwardingSets(rates, 29)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lambda := make([]float64, 30)
+	for i := range lambda {
+		lambda[i] = rates[i][29]
+	}
+	tour, err := forwarding.NewTOUR(lambda, 1, 250, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cv, err := forwarding.NewCopyVarying(rates, 29)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		policy forwarding.Policy
+		tokens int
+	}{
+		{"first-contact", forwarding.FirstContact{}, 0},
+		{"static-set", forwarding.SetPolicy{Sets: sets}, 0},
+		{"tour", tour, 0},
+		{"copy-varying", cv, 4},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := forwarding.Simulate(eg, forwarding.Message{Src: 0, Dst: 29}, c.policy, c.tokens); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFSpacePaths compares single-path vs multipath F-space
+// routing over the same feature trace.
+func BenchmarkAblationFSpacePaths(b *testing.B) {
+	space := fspace.Fig6Space()
+	var profiles []mobility.FeatureProfile
+	for g := 0; g < 2; g++ {
+		for o := 0; o < 2; o++ {
+			for c := 0; c < 3; c++ {
+				for k := 0; k < 3; k++ {
+					profiles = append(profiles, mobility.FeatureProfile{g, o, c})
+				}
+			}
+		}
+	}
+	r := stats.NewRand(3)
+	eg, err := mobility.FeatureContacts(r, mobility.FeatureContactConfig{
+		Profiles: profiles, BaseProb: 0.2, Decay: 0.35, Steps: 200,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := len(profiles) - 1
+	grad, err := fspace.NewGradientPolicy(space, profiles, profiles[dst])
+	if err != nil {
+		b.Fatal(err)
+	}
+	multi, err := fspace.NewMultipathPolicy(space, profiles, profiles[dst])
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct {
+		name   string
+		policy forwarding.Policy
+	}{{"single", grad}, {"multipath", multi}} {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := forwarding.Simulate(eg, forwarding.Message{Src: 0, Dst: dst}, c.policy, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMISMaintenance compares incremental dynamic-MIS repair
+// against a full distributed re-election per update.
+func BenchmarkAblationMISMaintenance(b *testing.B) {
+	r := stats.NewRand(4)
+	g := gen.ErdosRenyi(r, 400, 0.01)
+	b.Run("incremental", func(b *testing.B) {
+		d, err := labeling.NewDynamicMIS(g, stats.NewRand(5))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rr := stats.NewRand(6)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			u, v := rr.Intn(400), rr.Intn(400)
+			if u == v {
+				continue
+			}
+			if d.Graph().HasEdge(u, v) {
+				_, err = d.RemoveEdge(u, v)
+			} else {
+				_, err = d.AddEdge(u, v)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		prio := make(labeling.Priority, 400)
+		for i, p := range stats.NewRand(7).Perm(400) {
+			prio[i] = float64(p)
+		}
+		work := g.Clone()
+		rr := stats.NewRand(8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			u, v := rr.Intn(400), rr.Intn(400)
+			if u == v {
+				continue
+			}
+			if work.HasEdge(u, v) {
+				work.RemoveEdge(u, v)
+			} else {
+				_ = work.AddEdge(u, v)
+			}
+			if _, err := labeling.DistributedMIS(work, prio); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,326 @@
+package structura
+
+// One benchmark per paper figure and per quantitative text claim — the
+// bench targets of DESIGN.md's per-experiment index. Each benchmark runs
+// the full regeneration of its artifact; granular per-operation benchmarks
+// live in the substrate packages' own files.
+
+import (
+	"testing"
+
+	"structura/internal/distvec"
+	"structura/internal/embedding"
+	"structura/internal/forwarding"
+	"structura/internal/gen"
+	"structura/internal/geo"
+	"structura/internal/hypercube"
+	"structura/internal/labeling"
+	"structura/internal/layering"
+	"structura/internal/maxflow"
+	"structura/internal/mobility"
+	"structura/internal/reversal"
+	"structura/internal/smallworld"
+	"structura/internal/stats"
+	"structura/internal/temporal"
+	"structura/internal/trimming"
+	"structura/internal/udg"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := LookupExperiment(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1IntervalGraph regenerates Fig. 1 (interval graphs and
+// hypergraphs of online social networks).
+func BenchmarkFig1IntervalGraph(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFig2TemporalPaths regenerates Fig. 2 (time-evolving graph paths
+// and connectivity).
+func BenchmarkFig2TemporalPaths(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3NSF regenerates Fig. 3 (nested scale-free Gnutella overlay).
+func BenchmarkFig3NSF(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4LinkReversal regenerates Fig. 4 (link reversal cascades).
+func BenchmarkFig4LinkReversal(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5GreedyRemap regenerates Fig. 5 (greedy routing with holes vs
+// remapped coordinates).
+func BenchmarkFig5GreedyRemap(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6FSpaceRouting regenerates Fig. 6 (F-space hypercube routing).
+func BenchmarkFig6FSpaceRouting(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7NestedLabeling regenerates Fig. 7 (degree vs nested-degree
+// levels).
+func BenchmarkFig7NestedLabeling(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8StaticLabels regenerates Fig. 8 (DS/CDS/MIS labelings).
+func BenchmarkFig8StaticLabels(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9SafetyLevels regenerates Fig. 9 (hypercube safety levels).
+func BenchmarkFig9SafetyLevels(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkSmallWorldGreedy regenerates the §I small-world claim.
+func BenchmarkSmallWorldGreedy(b *testing.B) { benchExperiment(b, "smallworld") }
+
+// BenchmarkEdgeMarkovianFlooding regenerates the §II-B dynamic-diameter
+// claim.
+func BenchmarkEdgeMarkovianFlooding(b *testing.B) { benchExperiment(b, "markov") }
+
+// BenchmarkTemporalTrimming regenerates the §III-A preservation claim.
+func BenchmarkTemporalTrimming(b *testing.B) { benchExperiment(b, "trim") }
+
+// BenchmarkTOURForwardingSet regenerates the §III-A [13] shrinkage claim.
+func BenchmarkTOURForwardingSet(b *testing.B) { benchExperiment(b, "tour") }
+
+// BenchmarkDynamicMIS regenerates the §IV-C [30] O(1)-adjustment claim.
+func BenchmarkDynamicMIS(b *testing.B) { benchExperiment(b, "dynmis") }
+
+// BenchmarkMaxFlowHeights regenerates the §III-B height-based max-flow.
+func BenchmarkMaxFlowHeights(b *testing.B) { benchExperiment(b, "maxflow") }
+
+// BenchmarkDistanceVector regenerates the §IV-B slow-convergence claim.
+func BenchmarkDistanceVector(b *testing.B) { benchExperiment(b, "distvec") }
+
+// BenchmarkUDGTSP regenerates the §II-A constant-approximation claim.
+func BenchmarkUDGTSP(b *testing.B) { benchExperiment(b, "udgtsp") }
+
+// BenchmarkCentrality regenerates the §III centrality baselines.
+func BenchmarkCentrality(b *testing.B) { benchExperiment(b, "centrality") }
+
+// BenchmarkHybridSteering regenerates the §IV-C [31] hybrid
+// centralized-and-distributed routing demonstration.
+func BenchmarkHybridSteering(b *testing.B) { benchExperiment(b, "hybrid") }
+
+// --- micro-benchmarks of the hot substrate operations -------------------
+
+func BenchmarkEarliestArrival(b *testing.B) {
+	r := stats.NewRand(1)
+	eg, err := temporal.New(200, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < 4000; k++ {
+		u, v := r.Intn(200), r.Intn(200)
+		if u != v {
+			_ = eg.AddContact(u, v, r.Intn(100))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eg.EarliestArrival(i%200, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSafetyLevels10Cube(b *testing.B) {
+	r := stats.NewRand(2)
+	var faults []int
+	for len(faults) < 64 {
+		faults = append(faults, r.Intn(1024))
+	}
+	c, err := hypercube.New(10, faults)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := c.SafetyLevels()
+		if len(res.Levels) != 1024 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkDistributedMIS(b *testing.B) {
+	r := stats.NewRand(3)
+	g := gen.ErdosRenyi(r, 1000, 0.004)
+	prio := make(labeling.Priority, 1000)
+	for i, p := range r.Perm(1000) {
+		prio[i] = float64(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := labeling.DistributedMIS(g, prio); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynamicMISUpdate(b *testing.B) {
+	r := stats.NewRand(4)
+	g := gen.ErdosRenyi(r, 1000, 0.004)
+	d, err := labeling.NewDynamicMIS(g, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := r.Intn(1000), r.Intn(1000)
+		if u == v {
+			continue
+		}
+		if d.Graph().HasEdge(u, v) {
+			_, err = d.RemoveEdge(u, v)
+		} else {
+			_, err = d.AddEdge(u, v)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinkReversalRing64(b *testing.B) {
+	alphas := make([]int, 64)
+	for i := 1; i < 64; i++ {
+		alphas[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := reversal.NewNetwork(gen.Ring(64), alphas, 0, reversal.Full)
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.RemoveLink(0, 1)
+		if st := net.Stabilize(1000000); !st.Converged {
+			b.Fatal("diverged")
+		}
+	}
+}
+
+func BenchmarkNSFPeel(b *testing.B) {
+	r := stats.NewRand(5)
+	g, err := gen.BarabasiAlbert(r, 2000, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := layering.PeelToFraction(g, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeEmbeddingRoute(b *testing.B) {
+	r := stats.NewRand(6)
+	pts := geo.RandomPoints(r, 500, 20, 20)
+	g := geo.UnitDiskGraph(pts, 2)
+	comps := g.Components()
+	keep := map[int]bool{}
+	for _, v := range comps[0] {
+		keep[v] = true
+	}
+	sub, _ := g.Subgraph(keep)
+	emb, err := embedding.NewTreeEmbedding(sub, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, dst := r.Intn(sub.N()), r.Intn(sub.N())
+		if _, err := emb.GreedyRoute(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEpidemicSimulation(b *testing.B) {
+	r := stats.NewRand(7)
+	tr, err := mobility.RandomWaypoint(r, mobility.WaypointConfig{
+		N: 40, Width: 100, Height: 100, MinSpeed: 1, MaxSpeed: 5,
+		Pause: 2, Steps: 200, Range: 12,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eg, err := tr.EG()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := forwarding.Simulate(eg, forwarding.Message{Src: 0, Dst: 39}, forwarding.Epidemic{}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPushRelabel(b *testing.B) {
+	r := stats.NewRand(8)
+	nw, err := maxflow.NewNetwork(200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < 1200; k++ {
+		u, v := r.Intn(200), r.Intn(200)
+		if u != v {
+			_ = nw.AddArc(u, v, int64(r.Intn(100)))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nw.PushRelabel(0, 199); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistanceVectorPath256(b *testing.B) {
+	g := gen.Path(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := distvec.Compute(g, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKleinbergGrid(b *testing.B) {
+	rng := stats.NewRand(9)
+	g, err := smallworld.New(rng, 32, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.AverageGreedySteps(rng, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrimFig2(b *testing.B) {
+	eg := temporal.Fig2EG()
+	prio := trimming.PriorityByID(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trimming.CanIgnoreNeighbor(eg, 0, 3, prio, trimming.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApproxTSP(b *testing.B) {
+	r := stats.NewRand(10)
+	pts := geo.RandomPoints(r, 400, 100, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := udg.ApproxTSP(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

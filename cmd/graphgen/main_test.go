@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunFamilies(t *testing.T) {
+	for _, fam := range []string{"er", "ba", "ws", "ring", "star", "udg"} {
+		args := []string{"-family", fam, "-n", "20", "-m", "2", "-stats"}
+		if fam == "ws" {
+			args = append(args, "-p", "0.1")
+		}
+		if err := run(args); err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+	}
+	// DOT output path.
+	if err := run([]string{"-family", "ring", "-n", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	// Grid uses n as side length.
+	if err := run([]string{"-family", "grid", "-n", "4", "-stats"}); err != nil {
+		t.Fatal(err)
+	}
+	// Gnutella with explicit small n.
+	if err := run([]string{"-family", "gnutella", "-n", "300", "-stats"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-family", "nope"}); err == nil {
+		t.Error("unknown family should error")
+	}
+	if err := run([]string{"-family", "ba", "-n", "1"}); err == nil {
+		t.Error("invalid BA config should error")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}

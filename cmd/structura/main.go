@@ -1,0 +1,96 @@
+// Command structura regenerates the paper's figures and quantitative
+// claims as text tables.
+//
+// Usage:
+//
+//	structura list                 # list available experiments
+//	structura all                  # run everything
+//	structura fig3 fig4 tour       # run selected experiments
+//	structura -seed 7 fig5         # override the deterministic seed
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"structura"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "structura:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("structura", flag.ContinueOnError)
+	seed := fs.Int64("seed", 42, "deterministic experiment seed")
+	format := fs.String("format", "text", "output format: text | json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		fs.Usage()
+		fmt.Fprintln(os.Stderr, "\nrun 'structura list' to see experiments")
+		return fmt.Errorf("no experiments requested")
+	}
+	if len(ids) == 1 && ids[0] == "list" {
+		for _, e := range structura.Experiments() {
+			fmt.Printf("%-11s %-9s %-22s %s\n", e.ID, e.Strategy, e.PaperRef, e.Title)
+		}
+		return nil
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		if *format == "json" {
+			ids = nil
+			for _, e := range structura.Experiments() {
+				ids = append(ids, e.ID)
+			}
+		} else {
+			return structura.RunAll(os.Stdout, *seed)
+		}
+	}
+	type jsonExperiment struct {
+		ID       string            `json:"id"`
+		Title    string            `json:"title"`
+		PaperRef string            `json:"paper_ref"`
+		Tables   []structura.Table `json:"tables"`
+	}
+	var jsonOut []jsonExperiment
+	for _, id := range ids {
+		e, err := structura.LookupExperiment(id)
+		if err != nil {
+			return err
+		}
+		tables, err := e.Run(*seed)
+		if err != nil {
+			return err
+		}
+		if *format == "json" {
+			jsonOut = append(jsonOut, jsonExperiment{
+				ID: e.ID, Title: e.Title, PaperRef: e.PaperRef, Tables: tables,
+			})
+			continue
+		}
+		fmt.Printf("=== %s — %s (%s)\n", e.ID, e.Title, e.PaperRef)
+		for _, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		return enc.Encode(jsonOut)
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSelected(t *testing.T) {
+	if err := run([]string{"-seed", "7", "fig2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no experiments should error")
+	}
+	if err := run([]string{"nope"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	if err := run([]string{"-format", "json", "fig2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-format", "nope", "fig2"}); err == nil {
+		t.Error("unknown format should error")
+	}
+}

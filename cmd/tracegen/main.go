@@ -1,0 +1,119 @@
+// Command tracegen generates synthetic contact traces — the documented
+// substitutions for the paper's offline-unavailable datasets — as JSON on
+// stdout.
+//
+// Usage:
+//
+//	tracegen -model waypoint -n 30 -steps 200 -range 12
+//	tracegen -model markov -n 50 -steps 100 -p 0.5 -q 0.1
+//	tracegen -model feature -per-community 3 -steps 300 -base 0.25 -decay 0.4
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"structura/internal/mobility"
+	"structura/internal/stats"
+	"structura/internal/temporal"
+)
+
+// Contact is one serialized contact event.
+type Contact struct {
+	U, V, T int
+}
+
+// Trace is the JSON output document.
+type Trace struct {
+	Model    string    `json:"model"`
+	Nodes    int       `json:"nodes"`
+	Horizon  int       `json:"horizon"`
+	Seed     int64     `json:"seed"`
+	Profiles [][]int   `json:"profiles,omitempty"`
+	Contacts []Contact `json:"contacts"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		model   = fs.String("model", "waypoint", "waypoint | markov | feature")
+		n       = fs.Int("n", 30, "nodes (waypoint/markov)")
+		steps   = fs.Int("steps", 200, "time units")
+		seed    = fs.Int64("seed", 42, "PRNG seed")
+		rng     = fs.Float64("range", 12, "waypoint: communication range")
+		width   = fs.Float64("width", 100, "waypoint: field width")
+		height  = fs.Float64("height", 100, "waypoint: field height")
+		p       = fs.Float64("p", 0.5, "markov: edge death probability")
+		q       = fs.Float64("q", 0.05, "markov: edge birth probability")
+		perComm = fs.Int("per-community", 3, "feature: individuals per community")
+		base    = fs.Float64("base", 0.25, "feature: contact probability at distance 0")
+		decay   = fs.Float64("decay", 0.4, "feature: decay per feature distance")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := stats.NewRand(*seed)
+	var (
+		eg       *temporal.EG
+		err      error
+		profiles [][]int
+	)
+	switch *model {
+	case "waypoint":
+		tr, werr := mobility.RandomWaypoint(r, mobility.WaypointConfig{
+			N: *n, Width: *width, Height: *height,
+			MinSpeed: 1, MaxSpeed: 5, Pause: 2, Steps: *steps, Range: *rng,
+		})
+		if werr != nil {
+			return werr
+		}
+		eg, err = tr.EG()
+	case "markov":
+		eg, err = mobility.EdgeMarkovian(r, mobility.EdgeMarkovianConfig{
+			N: *n, P: *p, Q: *q, Steps: *steps, StartDensity: -1,
+		})
+	case "feature":
+		var profs []mobility.FeatureProfile
+		for g := 0; g < 2; g++ {
+			for o := 0; o < 2; o++ {
+				for c := 0; c < 3; c++ {
+					for k := 0; k < *perComm; k++ {
+						profs = append(profs, mobility.FeatureProfile{g, o, c})
+						profiles = append(profiles, []int{g, o, c})
+					}
+				}
+			}
+		}
+		eg, err = mobility.FeatureContacts(r, mobility.FeatureContactConfig{
+			Profiles: profs, BaseProb: *base, Decay: *decay, Steps: *steps,
+		})
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	if err != nil {
+		return err
+	}
+	out := Trace{Model: *model, Nodes: eg.N(), Horizon: eg.Horizon(), Seed: *seed, Profiles: profiles}
+	for u := 0; u < eg.N(); u++ {
+		for _, v := range eg.Neighbors(u) {
+			if v < u {
+				continue
+			}
+			for _, t := range eg.Labels(u, v) {
+				out.Contacts = append(out.Contacts, Contact{U: u, V: v, T: t})
+			}
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunModels(t *testing.T) {
+	for _, model := range []string{"waypoint", "markov", "feature"} {
+		if err := run([]string{"-model", model, "-steps", "20", "-n", "8"}); err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-model", "nope"}); err == nil {
+		t.Error("unknown model should error")
+	}
+	if err := run([]string{"-model", "waypoint", "-steps", "0"}); err == nil {
+		t.Error("invalid config should error")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}

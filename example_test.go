@@ -1,0 +1,37 @@
+package structura_test
+
+import (
+	"fmt"
+	"os"
+
+	"structura"
+)
+
+// Regenerate one figure of the paper programmatically: Fig. 2's
+// time-evolving-graph walkthrough (fully deterministic).
+func ExampleLookupExperiment() {
+	e, err := structura.LookupExperiment("fig2")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(e.PaperRef)
+	tables, err := e.Run(42)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	_ = tables[0].Render(os.Stdout)
+	// Output:
+	// Fig. 2, §II-B
+	// ## A -> C connectivity and optimal journeys by start time
+	//   start  connected  earliest completion  min hops  fastest span
+	//   -----  ---------  -------------------  --------  ------------
+	//   0      yes        2                    2         1
+	//   1      yes        2                    2         1
+	//   2      yes        5                    2         1
+	//   3      yes        5                    2         1
+	//   4      yes        5                    2         1
+	//   5      no         -                    -         -
+	//   6      no         -                    -         -
+}

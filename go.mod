@@ -1,0 +1,3 @@
+module structura
+
+go 1.22

@@ -1,0 +1,217 @@
+package structura
+
+// Integration tests: each test chains several subsystems end to end, the
+// way the example applications do, and checks a cross-cutting invariant.
+
+import (
+	"testing"
+
+	"structura/internal/embedding"
+	"structura/internal/forwarding"
+	"structura/internal/fspace"
+	"structura/internal/gen"
+	"structura/internal/geo"
+	"structura/internal/layering"
+	"structura/internal/mobility"
+	"structura/internal/stats"
+	"structura/internal/trimming"
+)
+
+// Mobility trace -> time-evolving graph -> structural trimming -> DTN
+// forwarding: epidemic delivery times on the trimmed EG must equal those on
+// the original for all surviving nodes (trimming's §III-A guarantee carried
+// through the full pipeline).
+func TestIntegrationTraceTrimForward(t *testing.T) {
+	r := stats.NewRand(1)
+	tr, err := mobility.RandomWaypoint(r, mobility.WaypointConfig{
+		N: 12, Width: 60, Height: 60,
+		MinSpeed: 1, MaxSpeed: 4, Pause: 1,
+		Steps: 60, Range: 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg, err := tr.EG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prio := trimming.PriorityByID(eg.N())
+	res, err := trimming.TrimNodes(eg, prio, trimming.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone := map[int]bool{}
+	for _, v := range res.RemovedNodes {
+		gone[v] = true
+	}
+	pairs := 0
+	for src := 0; src < eg.N() && pairs < 30; src++ {
+		if gone[src] {
+			continue
+		}
+		for dst := 0; dst < eg.N() && pairs < 30; dst++ {
+			if dst == src || gone[dst] {
+				continue
+			}
+			pairs++
+			m1, err := forwarding.Simulate(eg, forwarding.Message{Src: src, Dst: dst}, forwarding.Epidemic{}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2, err := forwarding.Simulate(res.Trimmed, forwarding.Message{Src: src, Dst: dst}, forwarding.Epidemic{}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m1.Delivered != m2.Delivered {
+				t.Fatalf("%d->%d: delivery changed by trimming", src, dst)
+			}
+			if m1.Delivered && m1.DeliveryTime != m2.DeliveryTime {
+				t.Fatalf("%d->%d: delivery time %d -> %d after trimming",
+					src, dst, m1.DeliveryTime, m2.DeliveryTime)
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no surviving pairs to compare")
+	}
+}
+
+// Overlay generator -> layering -> pub/sub: the nested hierarchy of a
+// scale-free overlay must put its highest-degree peer in the top level and
+// hand pub/sub a shallower tree than plain degree labeling.
+func TestIntegrationOverlayLayering(t *testing.T) {
+	r := stats.NewRand(2)
+	cfg := gen.DefaultGnutella()
+	cfg.N = 1200
+	overlay, err := gen.Gnutella(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scc, _ := overlay.LargestSCC()
+	g := scc.Undirected()
+	rep, err := layering.CheckNSF(g, 0.5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IsNSF(0.6) {
+		t.Errorf("overlay should be (approximately) NSF; spread %v", rep.AlphaStdDev)
+	}
+	nested := layering.NestedLevels(g)
+	top := layering.TopLevelNodes(nested)
+	if len(top) == 0 {
+		t.Fatal("no top-level node")
+	}
+	// The top of the hierarchy must be a high-degree peer: within the top
+	// decile of degrees.
+	degs := g.Degrees()
+	var hi int
+	for _, d := range degs {
+		if d > hi {
+			hi = d
+		}
+	}
+	for _, v := range top {
+		if degs[v] < hi/4 {
+			t.Errorf("top-level node %d has degree %d (max %d); hierarchy inverted?", v, degs[v], hi)
+		}
+	}
+}
+
+// Geometry -> topology control -> embedding: Gabriel-trimming a UDG keeps
+// it connected, and tree-metric greedy routing still delivers 100% on the
+// sparser graph.
+func TestIntegrationTopologyControlRouting(t *testing.T) {
+	r := stats.NewRand(3)
+	pts := geo.RandomPoints(r, 250, 15, 15)
+	udgG := geo.UnitDiskGraph(pts, 2.2)
+	comps := udgG.Components()
+	keep := map[int]bool{}
+	for _, v := range comps[0] {
+		keep[v] = true
+	}
+	sub, oldIDs := udgG.Subgraph(keep)
+	subPts := make([]geo.Point, sub.N())
+	for i, old := range oldIDs {
+		subPts[i] = pts[old]
+	}
+	gabriel := trimming.GabrielGraph(sub, subPts)
+	if !gabriel.Connected() {
+		t.Fatal("Gabriel trimming must preserve connectivity")
+	}
+	if gabriel.M() >= sub.M() {
+		t.Fatalf("Gabriel did not sparsify: %d >= %d", gabriel.M(), sub.M())
+	}
+	emb, err := embedding.NewTreeEmbedding(gabriel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := geo.Evaluate(stats.NewRand(4), gabriel.N(), 300, emb.GreedyRoute)
+	if st.Ratio() != 1 {
+		t.Errorf("tree-metric greedy on the trimmed topology delivered %v, want 1.0", st.Ratio())
+	}
+}
+
+// Feature model -> F-space -> forwarding + TOUR: estimate contact rates
+// from the trace itself and verify the two structure-guided policies beat
+// direct delivery in delay while staying far below epidemic's copy count.
+func TestIntegrationSocialPipeline(t *testing.T) {
+	space := fspace.Fig6Space()
+	var profiles []mobility.FeatureProfile
+	for g := 0; g < 2; g++ {
+		for o := 0; o < 2; o++ {
+			for c := 0; c < 3; c++ {
+				for k := 0; k < 3; k++ {
+					profiles = append(profiles, mobility.FeatureProfile{g, o, c})
+				}
+			}
+		}
+	}
+	r := stats.NewRand(5)
+	eg, err := mobility.FeatureContacts(r, mobility.FeatureContactConfig{
+		Profiles: profiles, BaseProb: 0.25, Decay: 0.35, Steps: 250,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := 0, len(profiles)-1
+	rates := forwarding.ContactRates(eg)
+	lambda := make([]float64, eg.N())
+	for i := range lambda {
+		lambda[i] = rates[i][dst]
+	}
+	tour, err := forwarding.NewTOUR(lambda, 1, 200, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad, err := fspace.NewGradientPolicy(space, profiles, profiles[dst])
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := forwarding.Message{Src: src, Dst: dst}
+	direct, err := forwarding.Simulate(eg, msg, forwarding.DirectDelivery{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epidemic, err := forwarding.Simulate(eg, msg, forwarding.Epidemic{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []forwarding.Policy{tour, grad} {
+		m, err := forwarding.Simulate(eg, msg, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Delivered {
+			t.Fatalf("%s failed to deliver", p.Name())
+		}
+		if direct.Delivered && m.DeliveryTime > direct.DeliveryTime {
+			t.Errorf("%s delay %d worse than direct %d", p.Name(), m.DeliveryTime, direct.DeliveryTime)
+		}
+		if m.Copies != 1 {
+			t.Errorf("%s is single-copy but peaked at %d copies", p.Name(), m.Copies)
+		}
+		if epidemic.Delivered && m.DeliveryTime < epidemic.DeliveryTime {
+			t.Errorf("%s (%d) cannot beat epidemic (%d)", p.Name(), m.DeliveryTime, epidemic.DeliveryTime)
+		}
+	}
+}

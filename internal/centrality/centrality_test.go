@@ -1,0 +1,247 @@
+package centrality
+
+import (
+	"math"
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/stats"
+)
+
+// star5 is a star with center 0 and 4 leaves; the canonical centrality case.
+func star5() *graph.Graph { return gen.Star(5) }
+
+func TestDegree(t *testing.T) {
+	d := Degree(star5())
+	if d[0] != 4 {
+		t.Errorf("center degree = %v, want 4", d[0])
+	}
+	for v := 1; v < 5; v++ {
+		if d[v] != 1 {
+			t.Errorf("leaf %d degree = %v, want 1", v, d[v])
+		}
+	}
+}
+
+func TestCloseness(t *testing.T) {
+	c := Closeness(star5())
+	// Center: sum of distances = 4, closeness = 4/4 = 1.
+	if math.Abs(c[0]-1) > 1e-12 {
+		t.Errorf("center closeness = %v, want 1", c[0])
+	}
+	// Leaf: distances = 1+2+2+2 = 7, closeness = 4/7.
+	if math.Abs(c[1]-4.0/7) > 1e-12 {
+		t.Errorf("leaf closeness = %v, want %v", c[1], 4.0/7)
+	}
+	if c[0] <= c[1] {
+		t.Error("center must beat leaves")
+	}
+}
+
+func TestClosenessDisconnected(t *testing.T) {
+	g := graph.New(4)
+	_ = g.AddEdge(0, 1) // pair; nodes 2,3 isolated
+	c := Closeness(g)
+	if c[2] != 0 || c[3] != 0 {
+		t.Errorf("isolated closeness = %v, want 0", c[2:])
+	}
+	// Reachable fraction 1/3 scales the pair's scores down.
+	want := (1.0 / 3) * (1.0 / 1)
+	if math.Abs(c[0]-want) > 1e-12 {
+		t.Errorf("pair closeness = %v, want %v", c[0], want)
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	b := Betweenness(star5())
+	// Center lies on all C(4,2)=6 leaf pairs' shortest paths.
+	if math.Abs(b[0]-6) > 1e-9 {
+		t.Errorf("center betweenness = %v, want 6", b[0])
+	}
+	for v := 1; v < 5; v++ {
+		if b[v] != 0 {
+			t.Errorf("leaf betweenness = %v, want 0", b[v])
+		}
+	}
+}
+
+func TestBetweennessPath(t *testing.T) {
+	b := Betweenness(gen.Path(5))
+	// Middle of a path 0-1-2-3-4: node 2 covers pairs {0,1}x{3,4} -> 4,
+	// plus... full values: b = [0, 3, 4, 3, 0].
+	want := []float64{0, 3, 4, 3, 0}
+	for v := range want {
+		if math.Abs(b[v]-want[v]) > 1e-9 {
+			t.Errorf("betweenness[%d] = %v, want %v", v, b[v], want[v])
+		}
+	}
+}
+
+func TestBetweennessSplitPaths(t *testing.T) {
+	// Diamond 0-1-3, 0-2-3: two equal shortest paths split credit.
+	g := graph.New(4)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(0, 2)
+	_ = g.AddEdge(1, 3)
+	_ = g.AddEdge(2, 3)
+	b := Betweenness(g)
+	if math.Abs(b[1]-0.5) > 1e-9 || math.Abs(b[2]-0.5) > 1e-9 {
+		t.Errorf("split betweenness = %v, want 0.5 each for 1,2", b)
+	}
+}
+
+func TestEigenvector(t *testing.T) {
+	ev, err := Eigenvector(star5(), 200, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev[0] <= ev[1] {
+		t.Errorf("center eigenvector %v must beat leaf %v", ev[0], ev[1])
+	}
+	// Star principal eigenvector: center = 1/sqrt(2), leaves = 1/(2*sqrt(2)).
+	if math.Abs(ev[0]-1/math.Sqrt2) > 1e-6 {
+		t.Errorf("center = %v, want %v", ev[0], 1/math.Sqrt2)
+	}
+	if _, err := Eigenvector(graph.New(0), 10, 0); err == nil {
+		t.Error("empty graph should error")
+	}
+	if _, err := Eigenvector(graph.New(3), 10, 0); err == nil {
+		t.Error("edgeless graph should error (iteration collapses)")
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	r := stats.NewRand(1)
+	g, err := gen.BarabasiAlbert(r, 500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := PageRank(g, 0.85, 100, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range pr {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PageRank sum = %v, want 1", sum)
+	}
+}
+
+func TestPageRankDangling(t *testing.T) {
+	// Directed 0->1, 1 dangles.
+	g := graph.NewDirected(2)
+	_ = g.AddEdge(0, 1)
+	pr, err := PageRank(g, 0.85, 200, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range pr {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("dangling PageRank sum = %v, want 1", sum)
+	}
+	if pr[1] <= pr[0] {
+		t.Errorf("sink should outrank source: %v", pr)
+	}
+}
+
+func TestPageRankErrors(t *testing.T) {
+	if _, err := PageRank(graph.New(0), 0.85, 10, 0); err == nil {
+		t.Error("empty graph should error")
+	}
+	if _, err := PageRank(graph.New(2), 1.5, 10, 0); err == nil {
+		t.Error("bad damping should error")
+	}
+}
+
+func TestPageRankStarRanking(t *testing.T) {
+	pr, err := PageRank(star5(), 0.85, 100, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := Ranking(pr)
+	if rank[0] != 0 {
+		t.Errorf("star center should rank first, got %v", rank)
+	}
+}
+
+func TestHITS(t *testing.T) {
+	// Bipartite-ish: hubs 0,1 point to authorities 2,3.
+	g := graph.NewDirected(4)
+	_ = g.AddEdge(0, 2)
+	_ = g.AddEdge(0, 3)
+	_ = g.AddEdge(1, 2)
+	hubs, auths, err := HITS(g, 100, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hubs[0] <= hubs[1] {
+		t.Errorf("node 0 (2 outlinks) should be the better hub: %v", hubs)
+	}
+	if auths[2] <= auths[3] {
+		t.Errorf("node 2 (2 inlinks) should be the better authority: %v", auths)
+	}
+	if auths[0] != 0 || hubs[2] != 0 {
+		t.Errorf("pure hubs/auths should have zero opposite scores: hubs=%v auths=%v", hubs, auths)
+	}
+	if _, _, err := HITS(graph.New(0), 10, 0); err == nil {
+		t.Error("empty graph should error")
+	}
+}
+
+func TestRankingStability(t *testing.T) {
+	rank := Ranking([]float64{1, 3, 3, 0})
+	want := []int{1, 2, 0, 3}
+	for i := range want {
+		if rank[i] != want[i] {
+			t.Fatalf("Ranking = %v, want %v", rank, want)
+		}
+	}
+	if len(Ranking(nil)) != 0 {
+		t.Error("empty ranking should be empty")
+	}
+}
+
+// Property-style check: on vertex-transitive graphs every node has equal
+// centrality for all measures.
+func TestVertexTransitiveEquality(t *testing.T) {
+	g := gen.Ring(8)
+	checkAllEqual := func(name string, xs []float64) {
+		t.Helper()
+		for i := 1; i < len(xs); i++ {
+			if math.Abs(xs[i]-xs[0]) > 1e-6 {
+				t.Errorf("%s not uniform on ring: %v", name, xs)
+				return
+			}
+		}
+	}
+	checkAllEqual("degree", Degree(g))
+	checkAllEqual("closeness", Closeness(g))
+	checkAllEqual("betweenness", Betweenness(g))
+	ev, err := Eigenvector(g, 500, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllEqual("eigenvector", ev)
+	pr, err := PageRank(g, 0.85, 200, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllEqual("pagerank", pr)
+}
+
+func TestBetweennessDirected(t *testing.T) {
+	// Directed path 0->1->2: node 1 bridges exactly one ordered pair.
+	g := graph.NewDirected(3)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	b := Betweenness(g)
+	if math.Abs(b[1]-1) > 1e-9 {
+		t.Errorf("directed betweenness[1] = %v, want 1", b[1])
+	}
+}

@@ -1,0 +1,104 @@
+package centrality
+
+import (
+	"math"
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/stats"
+)
+
+func TestDistributedPageRankMatchesCentralized(t *testing.T) {
+	r := stats.NewRand(1)
+	for trial := 0; trial < 10; trial++ {
+		g := gen.ErdosRenyi(r, 60, 0.1)
+		want, err := PageRank(g, 0.85, 500, 1e-14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DistributedPageRank(g, 0.85, 500, 1e-14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want {
+			if math.Abs(want[v]-got.Scores[v]) > 1e-9 {
+				t.Fatalf("trial %d node %d: centralized %v vs distributed %v",
+					trial, v, want[v], got.Scores[v])
+			}
+		}
+		if !got.Stats.Stable {
+			t.Fatal("distributed PageRank did not stabilize")
+		}
+	}
+}
+
+func TestDistributedPageRankIsADynamicLabel(t *testing.T) {
+	// §IV-B: dynamic labels re-label nodes "a large number of times" —
+	// many rounds, unlike static labelings that finish in O(1) or O(log n).
+	// A star starts far from its fixed point, so convergence to 1e-12
+	// takes on the order of log(tol)/log(damping) rounds.
+	g := gen.Star(40)
+	res, err := DistributedPageRank(g, 0.85, 1000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds < 10 {
+		t.Errorf("rounds = %d; a dynamic label should take many rounds", res.Stats.Rounds)
+	}
+	if res.Stats.Messages != res.Stats.Rounds*2*g.M() {
+		t.Errorf("message accounting off: %d", res.Stats.Messages)
+	}
+	if res.Scores[0] <= res.Scores[1] {
+		t.Error("star center must outrank leaves")
+	}
+	// The ring, by contrast, starts exactly at its uniform fixed point and
+	// the labels never change.
+	ringRes, err := DistributedPageRank(gen.Ring(40), 0.85, 1000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, s := range ringRes.Scores {
+		if math.Abs(s-1.0/40) > 1e-9 {
+			t.Fatalf("ring score[%d] = %v, want 1/40", v, s)
+		}
+	}
+}
+
+func TestDistributedPageRankDangling(t *testing.T) {
+	// An undirected graph with an isolated node: its mass redistributes.
+	g := graph.New(3)
+	_ = g.AddEdge(0, 1)
+	res, err := DistributedPageRank(g, 0.85, 500, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range res.Scores {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("scores sum to %v, want 1", sum)
+	}
+	want, err := PageRank(g, 0.85, 500, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if math.Abs(want[v]-res.Scores[v]) > 1e-9 {
+			t.Fatalf("node %d: %v vs %v", v, want[v], res.Scores[v])
+		}
+	}
+}
+
+func TestDistributedPageRankValidation(t *testing.T) {
+	if _, err := DistributedPageRank(graph.New(0), 0.85, 10, 0); err == nil {
+		t.Error("empty graph should error")
+	}
+	if _, err := DistributedPageRank(graph.NewDirected(3), 0.85, 10, 0); err == nil {
+		t.Error("directed graph should error")
+	}
+	if _, err := DistributedPageRank(graph.New(3), 2, 10, 0); err == nil {
+		t.Error("bad damping should error")
+	}
+}

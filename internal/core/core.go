@@ -1,0 +1,160 @@
+// Package core ties the structura library together: it names the paper's
+// three structure-uncovering strategies (trimming, layering, remapping)
+// plus the distributed/localized labeling machinery, and hosts the
+// experiment registry that regenerates every figure and quantitative claim
+// of the paper (the per-experiment index of DESIGN.md).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Strategy is one of the paper's three approaches to uncovering useful
+// structures (§III), plus the labeling machinery of §IV that represents
+// them.
+type Strategy int
+
+// The strategies of §III and the labeling machinery of §IV.
+const (
+	Trimming Strategy = iota + 1
+	Layering
+	Remapping
+	Labeling
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Trimming:
+		return "trimming"
+	case Layering:
+		return "layering"
+	case Remapping:
+		return "remapping"
+	case Labeling:
+		return "labeling"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Table is a rendered experiment result: the rows a paper table or figure
+// would show.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render writes the table as aligned text.
+func (t Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "## %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		_, err := fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Experiment regenerates one figure or quantitative claim of the paper.
+type Experiment struct {
+	ID       string
+	Title    string
+	PaperRef string   // which figure/section it reproduces
+	Strategy Strategy // which strategy it exercises
+	Run      func(seed int64) ([]Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("core: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Registry lists all experiments sorted by ID.
+func Registry() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, errors.New("core: unknown experiment " + id)
+	}
+	return e, nil
+}
+
+// RunAll runs every experiment with the seed and writes its tables to w.
+func RunAll(w io.Writer, seed int64) error {
+	for _, e := range Registry() {
+		if _, err := fmt.Fprintf(w, "=== %s — %s (%s)\n", e.ID, e.Title, e.PaperRef); err != nil {
+			return err
+		}
+		tables, err := e.Run(seed)
+		if err != nil {
+			return fmt.Errorf("core: experiment %s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			if err := t.Render(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func f(format string, args ...interface{}) string { return fmt.Sprintf(format, args...) }

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"centrality", "distvec", "dynmis",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"hybrid", "markov", "maxflow", "smallworld", "tour", "trim", "udgtsp", "views",
+	}
+	got := Registry()
+	if len(got) != len(want) {
+		ids := make([]string, len(got))
+		for i, e := range got {
+			ids[i] = e.ID
+		}
+		t.Fatalf("registry has %d experiments %v, want %d", len(got), ids, len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.PaperRef == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+		if e.Strategy < Trimming || e.Strategy > Labeling {
+			t.Errorf("experiment %s has no strategy", e.ID)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, err := Lookup("fig2")
+	if err != nil || e.ID != "fig2" {
+		t.Errorf("Lookup(fig2) = %v, %v", e.ID, err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown ID should error")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	tests := map[Strategy]string{
+		Trimming:    "trimming",
+		Layering:    "layering",
+		Remapping:   "remapping",
+		Labeling:    "labeling",
+		Strategy(9): "Strategy(9)",
+	}
+	for s, want := range tests {
+		if s.String() != want {
+			t.Errorf("%d.String() = %s, want %s", s, s.String(), want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"x", "1"}, {"yyyy", "2"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"## demo", "a     long-column", "yyyy  2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Every experiment must run cleanly and yield at least one non-empty table.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables, err := e.Run(42)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tab := range tables {
+				if len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+					t.Errorf("%s: empty table %q", e.ID, tab.Title)
+				}
+				for _, row := range tab.Rows {
+					if len(row) > len(tab.Columns) {
+						t.Errorf("%s: row wider than header in %q", e.ID, tab.Title)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// Same seed, same tables, for EVERY experiment (the determinism
+	// contract of DESIGN.md).
+	for _, exp := range Registry() {
+		e, err := Lookup(exp.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := e.Run(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.Run(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ba, bb bytes.Buffer
+		for _, tab := range a {
+			_ = tab.Render(&ba)
+		}
+		for _, tab := range b {
+			_ = tab.Render(&bb)
+		}
+		if ba.String() != bb.String() {
+			t.Errorf("%s not deterministic", e.ID)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, e := range Registry() {
+		if !strings.Contains(out, "=== "+e.ID) {
+			t.Errorf("RunAll output missing %s", e.ID)
+		}
+	}
+}

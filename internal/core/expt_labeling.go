@@ -1,0 +1,445 @@
+package core
+
+import (
+	"structura/internal/distvec"
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/hypercube"
+	"structura/internal/labeling"
+	"structura/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "fig8",
+		Title:    "Static labeling: CDS marking+pruning, MIS, neighbor-designated DS",
+		PaperRef: "Fig. 8, §IV-A",
+		Strategy: Labeling,
+		Run:      runFig8,
+	})
+	register(Experiment{
+		ID:       "fig9",
+		Title:    "Safety levels in faulty hypercubes",
+		PaperRef: "Fig. 9, §IV-C [32]",
+		Strategy: Labeling,
+		Run:      runFig9,
+	})
+	register(Experiment{
+		ID:       "dynmis",
+		Title:    "Dynamic MIS maintenance: O(1) expected adjustments",
+		PaperRef: "§IV-C [30]",
+		Strategy: Labeling,
+		Run:      runDynMIS,
+	})
+	register(Experiment{
+		ID:       "distvec",
+		Title:    "Distance-vector labels: slow convergence and failure churn",
+		PaperRef: "§IV-B",
+		Strategy: Labeling,
+		Run:      runDistVec,
+	})
+	register(Experiment{
+		ID:       "views",
+		Title:    "View inconsistency under mobility: stale Hello views in the MIS election",
+		PaperRef: "§IV-C challenge",
+		Strategy: Labeling,
+		Run:      runViews,
+	})
+	register(Experiment{
+		ID:       "hybrid",
+		Title:    "Central control over distributed routing (augmented topology)",
+		PaperRef: "§IV-C [31]",
+		Strategy: Labeling,
+		Run:      runHybrid,
+	})
+}
+
+func runViews(seed int64) ([]Table, error) {
+	r := stats.NewRand(seed)
+	t := Table{
+		Title:   "MIS election over 30 churning topologies (n=40, 4 densification rounds)",
+		Columns: []string{"hello delay", "stale-view violations", "pure-churn violations", "avg repair changes"},
+	}
+	for _, maxLag := range []int{0, 1, 2, 4} {
+		var stale, churn, repairs int
+		const trials = 30
+		for trial := 0; trial < trials; trial++ {
+			n := 40
+			g0 := gen.ErdosRenyi(r, n, 0.04)
+			snapshots := []*graph.Graph{g0}
+			cur := g0
+			for k := 0; k < 4; k++ {
+				next := cur.Clone()
+				for j := 0; j < 8; j++ {
+					u, v := r.Intn(n), r.Intn(n)
+					if u != v && !next.HasEdge(u, v) {
+						_ = next.AddEdge(u, v)
+					}
+				}
+				snapshots = append(snapshots, next)
+				cur = next
+			}
+			prio := make(labeling.Priority, n)
+			for i, p := range r.Perm(n) {
+				prio[i] = float64(p)
+			}
+			lag := make([]int, n)
+			for i := range lag {
+				if maxLag > 0 {
+					lag[i] = r.Intn(maxLag + 1)
+				}
+			}
+			res, err := labeling.ChurnMIS(snapshots, prio, lag, 0)
+			if err != nil {
+				return nil, err
+			}
+			// Attribute each violation: if the edge already existed in the
+			// true topology when the later endpoint turned Black, a fresh
+			// view would have prevented it (staleness); otherwise the edge
+			// arrived after both were Black (pure churn, the dynamic-MIS
+			// problem).
+			edgeBorn := func(u, v int) int {
+				for rd, snap := range snapshots {
+					if snap.HasEdge(u, v) {
+						return rd
+					}
+				}
+				return len(snapshots)
+			}
+			for _, viol := range res.Violations {
+				later := res.BlackRound[viol[0]]
+				if res.BlackRound[viol[1]] > later {
+					later = res.BlackRound[viol[1]]
+				}
+				// Decision in round `later` used snapshot index later-1
+				// under lag 0.
+				if edgeBorn(viol[0], viol[1]) <= later-1 {
+					stale++
+				} else {
+					churn++
+				}
+			}
+			_, changes, err := labeling.RepairMIS(cur, prio, res.Colors)
+			if err != nil {
+				return nil, err
+			}
+			repairs += changes
+		}
+		t.Rows = append(t.Rows, []string{
+			f("0..%d rounds", maxLag),
+			f("%d", stale),
+			f("%d", churn),
+			f("%.1f", float64(repairs)/float64(trials)),
+		})
+	}
+	return []Table{t}, nil
+}
+
+func runHybrid(seed int64) ([]Table, error) {
+	r := stats.NewRand(seed)
+	t := Table{
+		Title:   "Steering distributed distance-vector to central route choices",
+		Columns: []string{"mechanism", "topology", "forced hops realized", "rounds"},
+	}
+	// Weight reassignment on a ring: force the long way around.
+	ringN := 12
+	ring := gen.Ring(ringN)
+	parent := make([]int, ringN)
+	parent[0] = -1
+	for v := 1; v < ringN; v++ {
+		parent[v] = v - 1
+	}
+	steered, err := distvec.SteerByWeights(ring, 0, parent)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := distvec.Compute(steered, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	realized := 0
+	for v := 1; v < ringN; v++ {
+		if tab.NextHop[v] == parent[v] {
+			realized++
+		}
+	}
+	t.Rows = append(t.Rows, []string{
+		"weight reassignment", f("ring n=%d", ringN),
+		f("%d/%d", realized, ringN-1), f("%d", tab.Rounds),
+	})
+	// Fake-node insertion on random graphs: force a handful of detours.
+	for _, n := range []int{20, 60} {
+		g := gen.ErdosRenyi(r, n, 0.2)
+		if !g.Connected() {
+			continue
+		}
+		base, err := distvec.Compute(g, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		// Force three nodes onto a non-default neighbor.
+		forced := map[int]int{}
+		for v := 1; v < n && len(forced) < 3; v++ {
+			for _, u := range g.Neighbors(v) {
+				if u != base.NextHop[v] && u != 0 {
+					forced[v] = u
+					break
+				}
+			}
+		}
+		aug, err := distvec.SteerByFakeNodes(g, 0, forced)
+		if err != nil {
+			return nil, err
+		}
+		tab, err := distvec.Compute(aug.Graph, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		ok := 0
+		if aug.NextHopsRealized(tab, forced) == nil {
+			ok = len(forced)
+		}
+		t.Rows = append(t.Rows, []string{
+			"fake-node insertion", f("ER n=%d", n),
+			f("%d/%d", ok, len(forced)), f("%d", tab.Rounds),
+		})
+	}
+	return []Table{t}, nil
+}
+
+func runFig8(seed int64) ([]Table, error) {
+	g := labeling.Fig8Graph()
+	prio := labeling.PriorityByID(6)
+	marked := labeling.MarkCDS(g)
+	pruned, err := labeling.PruneCDS(g, marked, prio)
+	if err != nil {
+		return nil, err
+	}
+	mis, err := labeling.DistributedMIS(g, prio)
+	if err != nil {
+		return nil, err
+	}
+	nds, err := labeling.NeighborDesignatedDS(g, prio)
+	if err != nil {
+		return nil, err
+	}
+	name := func(ids []int) string {
+		letters := "ABCDEF"
+		out := ""
+		for _, v := range ids {
+			out += string(letters[v])
+		}
+		return out
+	}
+	paper := Table{
+		Title:   "Fig. 8 walkthrough (nodes A-F, priorities by ID)",
+		Columns: []string{"labeling", "result", "paper"},
+		Rows: [][]string{
+			{"marking (black)", name(labeling.Members(marked, labeling.Black)), "all nodes except A"},
+			{"after pruning", name(labeling.Members(pruned, labeling.Black)), "B, C, D"},
+			{"MIS", name(labeling.Members(mis.Colors, labeling.Black)), "A, B, E"},
+			{"neighbor-designated DS", name(labeling.Members(nds, labeling.Black)), "A, B, C (not CDS, not IS)"},
+		},
+	}
+	// Random sweep: sizes and MIS rounds.
+	r := stats.NewRand(seed)
+	sweep := Table{
+		Title:   "Random connected graphs: set sizes and MIS rounds",
+		Columns: []string{"n", "marked CDS", "pruned CDS", "MIS size", "MIS rounds"},
+	}
+	for _, n := range []int{32, 128, 512} {
+		var g2 = gen.ErdosRenyi(r, n, 4/float64(n)+0.02)
+		prioN := make(labeling.Priority, n)
+		for i, p := range r.Perm(n) {
+			prioN[i] = float64(p)
+		}
+		marked := labeling.MarkCDS(g2)
+		pruned, err := labeling.PruneCDS(g2, marked, prioN)
+		if err != nil {
+			return nil, err
+		}
+		mis, err := labeling.DistributedMIS(g2, prioN)
+		if err != nil {
+			return nil, err
+		}
+		sweep.Rows = append(sweep.Rows, []string{
+			f("%d", n),
+			f("%d", len(labeling.Members(marked, labeling.Black))),
+			f("%d", len(labeling.Members(pruned, labeling.Black))),
+			f("%d", len(labeling.Members(mis.Colors, labeling.Black))),
+			f("%d", mis.Rounds),
+		})
+	}
+	return []Table{paper, sweep}, nil
+}
+
+func runFig9(seed int64) ([]Table, error) {
+	cube, res := hypercube.Fig9Cube()
+	path, err := cube.Route(res, 0b1101, 0b0001)
+	if err != nil {
+		return nil, err
+	}
+	paper := Table{
+		Title:   "Fig. 9 walkthrough (4-D cube, 3 faults; see Fig9Cube docs)",
+		Columns: []string{"quantity", "value", "paper"},
+		Rows: [][]string{
+			{"route 1101 -> 0001", f("%04b", path), "selects 0101 over 1001"},
+			{"level(0101)", f("%d", res.Levels[0b0101]), "annotated 2 (see discrepancy note)"},
+			{"level(1001)", f("%d", res.Levels[0b1001]), "below 0101's"},
+			{"rounds", f("%d", res.Rounds), "at most n-1 = 3"},
+		},
+	}
+	// Sweep: guaranteed-routing success vs fault count and dimension.
+	r := stats.NewRand(seed)
+	sweep := Table{
+		Title:   "Random faults: safety-level routing (guaranteed cases always optimal)",
+		Columns: []string{"dim", "faults", "safe nodes", "rounds", "guaranteed routes optimal", "vector-guided optimal"},
+	}
+	for _, dim := range []int{4, 6, 8} {
+		for _, faultFrac := range []float64{0.05, 0.15} {
+			nf := int(faultFrac * float64(int(1)<<dim))
+			if nf < 1 {
+				nf = 1
+			}
+			faults := map[int]bool{}
+			for len(faults) < nf {
+				faults[r.Intn(1<<dim)] = true
+			}
+			var fl []int
+			for x := range faults {
+				fl = append(fl, x)
+			}
+			c, err := hypercube.New(dim, fl)
+			if err != nil {
+				return nil, err
+			}
+			sl := c.SafetyLevels()
+			vec := c.SafetyVectors()
+			safe := 0
+			for v := 0; v < c.N(); v++ {
+				if c.Safe(sl, v) {
+					safe++
+				}
+			}
+			var gOK, gAll, vOK, vAll int
+			for trial := 0; trial < 400; trial++ {
+				u, d := r.Intn(c.N()), r.Intn(c.N())
+				if u == d || c.Faulty(u) || c.Faulty(d) {
+					continue
+				}
+				h := hypercube.Distance(u, d)
+				if sl.Levels[u] >= h {
+					gAll++
+					if p, err := c.Route(sl, u, d); err == nil && len(p)-1 == h {
+						gOK++
+					}
+				}
+				vAll++
+				if p, err := c.RouteByVector(vec, u, d); err == nil && len(p)-1 == h {
+					vOK++
+				}
+			}
+			sweep.Rows = append(sweep.Rows, []string{
+				f("%d", dim), f("%d", nf), f("%d/%d", safe, c.N()), f("%d", sl.Rounds),
+				f("%d/%d", gOK, gAll), f("%d/%d", vOK, vAll),
+			})
+		}
+	}
+	return []Table{paper, sweep}, nil
+}
+
+func runDynMIS(seed int64) ([]Table, error) {
+	r := stats.NewRand(seed)
+	t := Table{
+		Title:   "Adjustments per topology change vs full rebuild rounds",
+		Columns: []string{"n", "updates", "avg adjustments/update", "max", "full-rebuild MIS rounds"},
+	}
+	for _, n := range []int{100, 400, 1600} {
+		g := gen.ErdosRenyi(r, n, 4/float64(n))
+		d, err := labeling.NewDynamicMIS(g, r)
+		if err != nil {
+			return nil, err
+		}
+		var total, maxF, updates int
+		for step := 0; step < 400; step++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			var flips int
+			if d.Graph().HasEdge(u, v) {
+				flips, err = d.RemoveEdge(u, v)
+			} else {
+				flips, err = d.AddEdge(u, v)
+			}
+			if err != nil {
+				return nil, err
+			}
+			total += flips
+			if flips > maxF {
+				maxF = flips
+			}
+			updates++
+		}
+		// Cost of the alternative: rebuild from scratch.
+		prio := make(labeling.Priority, n)
+		for i, p := range r.Perm(n) {
+			prio[i] = float64(p)
+		}
+		mis, err := labeling.DistributedMIS(g, prio)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			f("%d", n), f("%d", updates),
+			f("%.2f", float64(total)/float64(updates)), f("%d", maxF),
+			f("%d", mis.Rounds),
+		})
+	}
+	return []Table{t}, nil
+}
+
+func runDistVec(seed int64) ([]Table, error) {
+	r := stats.NewRand(seed)
+	conv := Table{
+		Title:   "Convergence rounds grow with diameter (the slow dynamic label)",
+		Columns: []string{"topology", "n", "diameter", "rounds"},
+	}
+	for _, n := range []int{16, 64, 256} {
+		g := gen.Path(n)
+		tab, err := distvec.Compute(g, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		conv.Rows = append(conv.Rows, []string{"path", f("%d", n), f("%d", n-1), f("%d", tab.Rounds)})
+	}
+	for _, n := range []int{64, 256} {
+		g, err := gen.BarabasiAlbert(r, n, 2)
+		if err != nil {
+			return nil, err
+		}
+		diam, _ := g.Diameter()
+		tab, err := distvec.Compute(g, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		conv.Rows = append(conv.Rows, []string{"scale-free", f("%d", n), f("%d", diam), f("%d", tab.Rounds)})
+	}
+	churn := Table{
+		Title:   "Label churn after a link failure on an n-ring (dest 0, fail (0,1))",
+		Columns: []string{"n", "labels changed", "new dist(1)"},
+	}
+	for _, n := range []int{8, 32, 128} {
+		g := gen.Ring(n)
+		tab, err := distvec.Compute(g, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		nt, changed, err := distvec.ReconvergeAfterFailure(g, tab, 0, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		churn.Rows = append(churn.Rows, []string{f("%d", n), f("%d", changed), f("%.0f", nt.Dist[1])})
+	}
+	return []Table{conv, churn}, nil
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"structura/internal/gen"
+	"structura/internal/layering"
+	"structura/internal/maxflow"
+	"structura/internal/reversal"
+	"structura/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "fig3",
+		Title:    "Nested scale-free structure of a Gnutella-like overlay",
+		PaperRef: "Fig. 3, §III-B [11]",
+		Strategy: Layering,
+		Run:      runFig3,
+	})
+	register(Experiment{
+		ID:       "fig4",
+		Title:    "Link reversal after a broken link (full/partial/binary)",
+		PaperRef: "Fig. 4, §III-B / §IV-B",
+		Strategy: Layering,
+		Run:      runFig4,
+	})
+	register(Experiment{
+		ID:       "fig7",
+		Title:    "Degree vs nested-degree level labeling",
+		PaperRef: "Fig. 7, §IV-A",
+		Strategy: Layering,
+		Run:      runFig7,
+	})
+	register(Experiment{
+		ID:       "maxflow",
+		Title:    "Height-based max-flow vs Dinic baseline",
+		PaperRef: "§III-B [17]",
+		Strategy: Layering,
+		Run:      runMaxflow,
+	})
+}
+
+func runFig3(seed int64) ([]Table, error) {
+	r := stats.NewRand(seed)
+	cfg := gen.DefaultGnutella()
+	g, err := gen.Gnutella(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	scc, _ := g.LargestSCC()
+	und := scc.Undirected()
+	shape := Table{
+		Title:   "Overlay shape (substitute for the SNAP p2p-Gnutella08 snapshot)",
+		Columns: []string{"quantity", "value"},
+		Rows: [][]string{
+			{"peers", f("%d", g.N())},
+			{"links", f("%d", g.M())},
+			{"largest SCC", f("%d", scc.N())},
+		},
+	}
+	rep, err := layering.CheckNSF(und, 0.5, 6)
+	if err != nil {
+		return nil, err
+	}
+	nsf := Table{
+		Title:   "Power-law fits while iteratively removing local lowest-degree peers (to 50%)",
+		Columns: []string{"peel round", "nodes", "edges", "alpha", "KS"},
+	}
+	for i, lvl := range rep.Levels {
+		nsf.Rows = append(nsf.Rows, []string{
+			f("%d", i), f("%d", lvl.N), f("%d", lvl.M),
+			f("%.2f", lvl.Fit.Alpha), f("%.3f", lvl.Fit.KS),
+		})
+	}
+	nsf.Rows = append(nsf.Rows, []string{"", "", "", f("stddev %.3f", rep.AlphaStdDev), f("NSF(0.5): %v", rep.IsNSF(0.5))})
+	return []Table{shape, nsf}, nil
+}
+
+func runFig4(int64) ([]Table, error) {
+	// Part 1: the exact Fig. 4 cascade.
+	net, err := reversal.Fig4Network(reversal.Full)
+	if err != nil {
+		return nil, err
+	}
+	net.RemoveLink(0, 3)
+	st := net.Stabilize(100)
+	paper := Table{
+		Title:   "Fig. 4: full reversal after breaking (A, D)",
+		Columns: []string{"quantity", "value", "paper"},
+		Rows: [][]string{
+			{"reversal events", f("%d", st.NodeReversals), "states (b)-(e): A, B, A"},
+			{"A reversed", f("%dx", st.PerNode[0]), "multiple rounds, like node A"},
+			{"destination-oriented", f("%v", net.IsDestinationOriented()), "yes (Fig. 4e)"},
+		},
+	}
+	// Part 2: O(n^2) scaling on rings for all three variants.
+	sweep := Table{
+		Title:   "Total node reversals on an n-ring after breaking the short link",
+		Columns: []string{"n", "full", "partial", "binary (all-1)", "binary (all-0)"},
+	}
+	for _, n := range []int{8, 16, 32, 64} {
+		alphas := make([]int, n)
+		for i := 1; i < n; i++ {
+			alphas[i] = i
+		}
+		row := []string{f("%d", n)}
+		for _, mode := range []reversal.Mode{reversal.Full, reversal.Partial} {
+			net, err := reversal.NewNetwork(gen.Ring(n), alphas, 0, mode)
+			if err != nil {
+				return nil, err
+			}
+			net.RemoveLink(0, 1)
+			s := net.Stabilize(1000000)
+			if !s.Converged {
+				row = append(row, "diverged")
+				continue
+			}
+			row = append(row, f("%d", s.NodeReversals))
+		}
+		for _, label := range []int{1, 0} {
+			b, err := reversal.NewBinaryLR(gen.Ring(n), alphas, 0, label)
+			if err != nil {
+				return nil, err
+			}
+			b.RemoveLink(0, 1)
+			s := b.Stabilize(1000000)
+			if !s.Converged {
+				row = append(row, "diverged")
+				continue
+			}
+			row = append(row, f("%d", s.NodeReversals))
+		}
+		sweep.Rows = append(sweep.Rows, row)
+	}
+	return []Table{paper, sweep}, nil
+}
+
+func runFig7(seed int64) ([]Table, error) {
+	r := stats.NewRand(seed)
+	g, err := gen.BarabasiAlbert(r, 400, 2)
+	if err != nil {
+		return nil, err
+	}
+	degL := layering.DegreeLevels(g)
+	nstL := layering.NestedLevels(g)
+	t := Table{
+		Title:   "Level labelings of a 400-node Barabasi-Albert graph",
+		Columns: []string{"labeling", "depth", "top-level nodes", "level steps (avg)", "delivery hops (avg)"},
+	}
+	for _, m := range []struct {
+		name   string
+		levels []int
+	}{{"plain degree (Fig. 7a)", degL}, {"nested adjusted degree (Fig. 7b)", nstL}} {
+		var costSum float64
+		var count int
+		for p := 0; p < 40; p++ {
+			for s := 0; s < 40; s++ {
+				c, err := layering.PushPullCost(m.levels, p, s)
+				if err != nil {
+					return nil, err
+				}
+				costSum += float64(c)
+				count++
+			}
+		}
+		ps, err := layering.NewPubSub(g, m.levels)
+		if err != nil {
+			return nil, err
+		}
+		var hopSum, pairs int
+		for p := 0; p < 40; p++ {
+			for s := 0; s < 40; s++ {
+				_, hops, err := ps.Deliver(p, s)
+				if err != nil {
+					return nil, err
+				}
+				hopSum += hops
+				pairs++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			m.name,
+			f("%d", layering.Depth(m.levels)),
+			f("%d", len(layering.TopLevelNodes(m.levels))),
+			f("%.1f", costSum/float64(count)),
+			f("%.1f", float64(hopSum)/float64(pairs)),
+		})
+	}
+	return []Table{t}, nil
+}
+
+func runMaxflow(seed int64) ([]Table, error) {
+	r := stats.NewRand(seed)
+	t := Table{
+		Title:   "Push-relabel (heights) vs Dinic on random capacitated digraphs",
+		Columns: []string{"n", "arcs", "push-relabel flow", "dinic flow", "equal", "height invariant"},
+	}
+	for _, n := range []int{16, 64, 128} {
+		nw, err := maxflow.NewNetwork(n)
+		if err != nil {
+			return nil, err
+		}
+		arcs := n * 4
+		for k := 0; k < arcs; k++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			_ = nw.AddArc(u, v, int64(r.Intn(50)))
+		}
+		pr, err := nw.PushRelabel(0, n-1)
+		if err != nil {
+			return nil, err
+		}
+		dn, err := nw.Dinic(0, n-1)
+		if err != nil {
+			return nil, err
+		}
+		inv := "ok"
+		if err := nw.VerifyHeightOrientation(pr); err != nil {
+			inv = err.Error()
+		}
+		t.Rows = append(t.Rows, []string{
+			f("%d", n), f("%d", arcs), f("%d", pr.Value), f("%d", dn.Value),
+			f("%v", pr.Value == dn.Value), inv,
+		})
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"sort"
+
+	"structura/internal/centrality"
+	"structura/internal/gen"
+	"structura/internal/intervals"
+	"structura/internal/mobility"
+	"structura/internal/smallworld"
+	"structura/internal/stats"
+	"structura/internal/temporal"
+	"structura/internal/udg"
+
+	"structura/internal/geo"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "fig1",
+		Title:    "Interval graph / hypergraph of an online social network",
+		PaperRef: "Fig. 1, §II-A",
+		Strategy: Remapping,
+		Run:      runFig1,
+	})
+	register(Experiment{
+		ID:       "fig2",
+		Title:    "Time-evolving graph of the VANET example",
+		PaperRef: "Fig. 2, §II-B",
+		Strategy: Trimming,
+		Run:      runFig2,
+	})
+	register(Experiment{
+		ID:       "markov",
+		Title:    "Edge-Markovian dynamic graphs: flooding time",
+		PaperRef: "§II-B",
+		Strategy: Layering,
+		Run:      runMarkov,
+	})
+	register(Experiment{
+		ID:       "udgtsp",
+		Title:    "Constant-approximation TSP on unit disk graphs",
+		PaperRef: "§II-A",
+		Strategy: Trimming,
+		Run:      runUDGTSP,
+	})
+	register(Experiment{
+		ID:       "centrality",
+		Title:    "Centrality measures (single-node importance baselines)",
+		PaperRef: "§III intro",
+		Strategy: Labeling,
+		Run:      runCentrality,
+	})
+	register(Experiment{
+		ID:       "smallworld",
+		Title:    "Kleinberg small-world greedy routing vs link exponent",
+		PaperRef: "§I",
+		Strategy: Remapping,
+		Run:      runSmallWorld,
+	})
+}
+
+func runFig1(seed int64) ([]Table, error) {
+	fam := intervals.Fig1Family()
+	g, err := fam.Graph()
+	if err != nil {
+		return nil, err
+	}
+	hes, err := fam.Hypergraph()
+	if err != nil {
+		return nil, err
+	}
+	paper := Table{
+		Title:   "Fig. 1 example (users A-D)",
+		Columns: []string{"quantity", "value"},
+		Rows: [][]string{
+			{"interval-graph edges", f("%d", g.M())},
+			{"chordal", f("%v", intervals.IsChordal(g))},
+			{"interval graph (chordal + AT-free)", f("%v", intervals.IsIntervalGraph(g))},
+			{"hyperedges", f("%v", hes)},
+		},
+	}
+	// Multiple-interval graphs (§II-A: "each user can be online multiple
+	// times"): with several sessions per user the contact graph stops
+	// being an interval graph in general.
+	multi := Table{
+		Title:   "Multiple-interval families (3 sessions per user)",
+		Columns: []string{"n", "edges", "chordal", "interval graph"},
+	}
+	{
+		r := stats.NewRand(seed + 1)
+		for _, n := range []int{16, 48} {
+			famM := intervals.Family{NumVertices: n}
+			for v := 0; v < n; v++ {
+				for sess := 0; sess < 3; sess++ {
+					s := r.Float64() * 100
+					famM.Intervals = append(famM.Intervals, intervals.Interval{Start: s, End: s + r.Float64()*6, Owner: v})
+				}
+			}
+			gm, err := famM.Graph()
+			if err != nil {
+				return nil, err
+			}
+			multi.Rows = append(multi.Rows, []string{
+				f("%d", n), f("%d", gm.M()),
+				f("%v", intervals.IsChordal(gm)),
+				f("%v", intervals.IsIntervalGraph(gm)),
+			})
+		}
+	}
+	r := stats.NewRand(seed)
+	sweep := Table{
+		Title:   "Random interval families: hyperedge cardinality",
+		Columns: []string{"n", "edges", "chordal", "max |hyperedge|", "mean |hyperedge|"},
+	}
+	for _, n := range []int{64, 256, 1024} {
+		famN := intervals.Family{NumVertices: n}
+		for v := 0; v < n; v++ {
+			s := r.Float64() * 100
+			famN.Intervals = append(famN.Intervals, intervals.Interval{Start: s, End: s + r.Float64()*10, Owner: v})
+		}
+		gn, err := famN.Graph()
+		if err != nil {
+			return nil, err
+		}
+		hn, err := famN.Hypergraph()
+		if err != nil {
+			return nil, err
+		}
+		var maxCard int
+		var sum float64
+		for _, he := range hn {
+			if len(he) > maxCard {
+				maxCard = len(he)
+			}
+			sum += float64(len(he))
+		}
+		mean := 0.0
+		if len(hn) > 0 {
+			mean = sum / float64(len(hn))
+		}
+		sweep.Rows = append(sweep.Rows, []string{
+			f("%d", n), f("%d", gn.M()), f("%v", intervals.IsChordal(gn)),
+			f("%d", maxCard), f("%.2f", mean),
+		})
+	}
+	return []Table{paper, multi, sweep}, nil
+}
+
+func runFig2(int64) ([]Table, error) {
+	eg := temporal.Fig2EG()
+	const a, c = 0, 2
+	t1 := Table{
+		Title:   "A -> C connectivity and optimal journeys by start time",
+		Columns: []string{"start", "connected", "earliest completion", "min hops", "fastest span"},
+	}
+	for start := 0; start < eg.Horizon(); start++ {
+		row := []string{f("%d", start)}
+		if !eg.ConnectedAt(a, c, start) {
+			row = append(row, "no", "-", "-", "-")
+		} else {
+			ec, err := eg.EarliestCompletionJourney(a, c, start)
+			if err != nil {
+				return nil, err
+			}
+			mh, err := eg.MinHopJourney(a, c, start)
+			if err != nil {
+				return nil, err
+			}
+			fs, err := eg.FastestJourney(a, c, start)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, "yes", f("%d", ec.Completion()), f("%d", mh.Hops()), f("%d", fs.Span()))
+		}
+		t1.Rows = append(t1.Rows, row)
+	}
+	t2 := Table{
+		Title:   "Per-snapshot connectivity (the network is never connected)",
+		Columns: []string{"time unit", "edges", "connected"},
+	}
+	for tu := 0; tu < eg.Horizon(); tu++ {
+		snap := eg.Snapshot(tu)
+		t2.Rows = append(t2.Rows, []string{f("%d", tu), f("%d", snap.M()), f("%v", snap.Connected())})
+	}
+	return []Table{t1, t2}, nil
+}
+
+func runMarkov(seed int64) ([]Table, error) {
+	r := stats.NewRand(seed)
+	t := Table{
+		Title:   "Flooding completion time from node 0 (start of horizon)",
+		Columns: []string{"n", "p (death)", "q (birth)", "stationary density", "flooding time"},
+	}
+	// Sparser birth rates slow flooding (higher dynamic diameter); larger
+	// n speeds it up (more node pairs try edges each step) — the shape of
+	// the [6] analysis.
+	for _, n := range []int{32, 64, 128} {
+		for _, pq := range [][2]float64{{0.9, 0.001}, {0.9, 0.005}, {0.9, 0.02}} {
+			cfg := mobility.EdgeMarkovianConfig{
+				N: n, P: pq[0], Q: pq[1], Steps: 2000, StartDensity: -1,
+			}
+			eg, err := mobility.EdgeMarkovian(r, cfg)
+			if err != nil {
+				return nil, err
+			}
+			ft, err := eg.FloodingTime(0, 0)
+			ftStr := "unreached"
+			if err == nil {
+				ftStr = f("%d", ft)
+			}
+			t.Rows = append(t.Rows, []string{
+				f("%d", n), f("%.2f", pq[0]), f("%.2f", pq[1]),
+				f("%.3f", pq[1]/(pq[0]+pq[1])), ftStr,
+			})
+		}
+	}
+	return []Table{t}, nil
+}
+
+func runUDGTSP(seed int64) ([]Table, error) {
+	r := stats.NewRand(seed)
+	t := Table{
+		Title:   "MST-doubling TSP tour vs MST lower bound (ratio <= 2 guaranteed)",
+		Columns: []string{"points", "tour length", "MST lower bound", "ratio"},
+	}
+	for _, n := range []int{50, 200, 800} {
+		pts := geo.RandomPoints(r, n, 100, 100)
+		tour, err := udg.ApproxTSP(pts)
+		if err != nil {
+			return nil, err
+		}
+		lb := udg.MSTLowerBound(pts)
+		t.Rows = append(t.Rows, []string{
+			f("%d", n), f("%.1f", tour.Length), f("%.1f", lb), f("%.3f", tour.Length/lb),
+		})
+	}
+	return []Table{t}, nil
+}
+
+func runCentrality(seed int64) ([]Table, error) {
+	r := stats.NewRand(seed)
+	g, err := gen.BarabasiAlbert(r, 500, 2)
+	if err != nil {
+		return nil, err
+	}
+	deg := centrality.Degree(g)
+	clo := centrality.Closeness(g)
+	bet := centrality.Betweenness(g)
+	eig, err := centrality.Eigenvector(g, 200, 1e-10)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := centrality.PageRank(g, 0.85, 200, 1e-12)
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		Title:   "Top-5 nodes of a 500-node Barabasi-Albert graph per measure",
+		Columns: []string{"measure", "top-5 node IDs"},
+	}
+	for _, m := range []struct {
+		name   string
+		scores []float64
+	}{
+		{"degree", deg}, {"closeness", clo}, {"betweenness", bet},
+		{"eigenvector", eig}, {"pagerank", pr},
+	} {
+		rank := centrality.Ranking(m.scores)[:5]
+		t.Rows = append(t.Rows, []string{m.name, f("%v", rank)})
+	}
+	return []Table{t}, nil
+}
+
+func runSmallWorld(seed int64) ([]Table, error) {
+	rng := stats.NewRand(seed)
+	t := Table{
+		Title:   "Mean greedy steps on a 32x32 grid vs long-range exponent r",
+		Columns: []string{"r", "mean steps"},
+	}
+	type res struct {
+		r, steps float64
+	}
+	var rows []res
+	for _, r := range []float64{0, 0.5, 1, 1.5, 2, 2.5, 3, 4} {
+		g, err := smallworld.New(rng, 32, r)
+		if err != nil {
+			return nil, err
+		}
+		avg, err := g.AverageGreedySteps(rng, 400)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, res{r, avg})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].r < rows[j].r })
+	for _, row := range rows {
+		t.Rows = append(t.Rows, []string{f("%.1f", row.r), f("%.1f", row.steps)})
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"structura/internal/embedding"
+	"structura/internal/forwarding"
+	"structura/internal/fspace"
+	"structura/internal/geo"
+	"structura/internal/mobility"
+	"structura/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "fig5",
+		Title:    "Greedy routing with holes: Euclidean vs remapped coordinates",
+		PaperRef: "Fig. 5, §III-C [19][20]",
+		Strategy: Remapping,
+		Run:      runFig5,
+	})
+	register(Experiment{
+		ID:       "fig6",
+		Title:    "F-space generalized-hypercube routing over contact traces",
+		PaperRef: "Fig. 6, §III-C [21]",
+		Strategy: Remapping,
+		Run:      runFig6,
+	})
+}
+
+func runFig5(seed int64) ([]Table, error) {
+	r := stats.NewRand(seed)
+	pts := geo.RandomPoints(r, 400, 20, 20)
+	holes := []geo.Hole{
+		{Center: geo.Point{X: 6, Y: 6}, Radius: 3},
+		{Center: geo.Point{X: 14, Y: 12}, Radius: 3.5},
+		{Center: geo.Point{X: 6, Y: 15}, Radius: 2.5},
+	}
+	kept, _ := geo.CarveHoles(pts, holes)
+	g := geo.UnitDiskGraph(kept, 2.0)
+	comps := g.Components()
+	keep := map[int]bool{}
+	for _, v := range comps[0] {
+		keep[v] = true
+	}
+	sub, oldIDs := g.Subgraph(keep)
+	subPts := make([]geo.Point, sub.N())
+	for i, old := range oldIDs {
+		subPts[i] = kept[old]
+	}
+	emb, err := embedding.NewTreeEmbedding(sub, 0)
+	if err != nil {
+		return nil, err
+	}
+	polar := emb.PolarCoordinates(1)
+	const trials = 600
+	routers := []struct {
+		name  string
+		route geo.Route
+	}{
+		{"Euclidean greedy (gets stuck at holes)", func(s, d int) ([]int, error) {
+			return geo.GreedyRoute(sub, subPts, s, d)
+		}},
+		{"tree-metric greedy (guaranteed)", emb.GreedyRoute},
+		{"hyperbolic-polar greedy", func(s, d int) ([]int, error) {
+			return embedding.GreedyRouteMetric(sub, func(u, v int) float64 {
+				return embedding.HyperbolicDistPolar(polar[u], polar[v])
+			}, s, d)
+		}},
+	}
+	t := Table{
+		Title:   f("Delivery over %d random pairs (n=%d, 3 carved holes)", trials, sub.N()),
+		Columns: []string{"router", "delivery ratio", "avg hops"},
+	}
+	for _, rt := range routers {
+		st := geo.Evaluate(stats.NewRand(seed+1), sub.N(), trials, rt.route)
+		t.Rows = append(t.Rows, []string{rt.name, f("%.3f", st.Ratio()), f("%.1f", st.AvgHops)})
+	}
+	return []Table{t}, nil
+}
+
+func runFig6(seed int64) ([]Table, error) {
+	// Population: 3 individuals per community of the (2,2,3) feature space.
+	space := fspace.Fig6Space()
+	var profiles []mobility.FeatureProfile
+	for g := 0; g < 2; g++ {
+		for o := 0; o < 2; o++ {
+			for c := 0; c < 3; c++ {
+				for k := 0; k < 3; k++ {
+					profiles = append(profiles, mobility.FeatureProfile{g, o, c})
+				}
+			}
+		}
+	}
+	shape := Table{
+		Title:   "F-space shape (gender x occupation x nationality = 2x2x3)",
+		Columns: []string{"quantity", "value"},
+	}
+	hyper := space.Graph()
+	a, _ := space.ID([]int{0, 0, 0})
+	b, _ := space.ID([]int{1, 1, 2})
+	routes, err := space.DisjointRoutes(a, b)
+	if err != nil {
+		return nil, err
+	}
+	shape.Rows = [][]string{
+		{"communities", f("%d", space.N())},
+		{"strong links", f("%d", hyper.M())},
+		{"diameter (features)", f("%d", len(space.Dims()))},
+		{"node-disjoint shortest paths (000 -> 112)", f("%d", len(routes))},
+	}
+	r := stats.NewRand(seed)
+	const trials = 30
+	type agg struct {
+		delivered, delaySum, copies, forwards int
+	}
+	results := map[string]*agg{}
+	names := []string{}
+	for trial := 0; trial < trials; trial++ {
+		eg, err := mobility.FeatureContacts(r, mobility.FeatureContactConfig{
+			Profiles: profiles, BaseProb: 0.2, Decay: 0.35, Steps: 200,
+		})
+		if err != nil {
+			return nil, err
+		}
+		src := r.Intn(len(profiles))
+		dst := r.Intn(len(profiles))
+		if src == dst {
+			continue
+		}
+		grad, err := fspace.NewGradientPolicy(space, profiles, profiles[dst])
+		if err != nil {
+			return nil, err
+		}
+		multi, err := fspace.NewMultipathPolicy(space, profiles, profiles[dst])
+		if err != nil {
+			return nil, err
+		}
+		policies := []forwarding.Policy{
+			forwarding.DirectDelivery{}, forwarding.Epidemic{}, grad, multi,
+		}
+		for _, p := range policies {
+			m, err := forwarding.Simulate(eg, forwarding.Message{Src: src, Dst: dst}, p, 0)
+			if err != nil {
+				return nil, err
+			}
+			ag := results[p.Name()]
+			if ag == nil {
+				ag = &agg{}
+				results[p.Name()] = ag
+				names = append(names, p.Name())
+			}
+			ag.copies += m.Copies
+			ag.forwards += m.Forwards
+			if m.Delivered {
+				ag.delivered++
+				ag.delaySum += m.DeliveryTime
+			}
+		}
+	}
+	comp := Table{
+		Title:   f("Delivery over %d random messages on feature-driven contact traces", trials),
+		Columns: []string{"policy", "delivered", "avg delay", "avg copies", "avg forwards"},
+	}
+	for _, name := range names {
+		ag := results[name]
+		delay := "-"
+		if ag.delivered > 0 {
+			delay = f("%.1f", float64(ag.delaySum)/float64(ag.delivered))
+		}
+		comp.Rows = append(comp.Rows, []string{
+			name, f("%d/%d", ag.delivered, trials), delay,
+			f("%.1f", float64(ag.copies)/float64(trials)),
+			f("%.1f", float64(ag.forwards)/float64(trials)),
+		})
+	}
+	return []Table{shape, comp}, nil
+}

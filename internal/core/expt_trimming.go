@@ -1,0 +1,254 @@
+package core
+
+import (
+	"structura/internal/centrality"
+	"structura/internal/forwarding"
+	"structura/internal/stats"
+	"structura/internal/temporal"
+	"structura/internal/trimming"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "trim",
+		Title:    "Static temporal trimming preserves earliest completion",
+		PaperRef: "§III-A, Fig. 2(c)",
+		Strategy: Trimming,
+		Run:      runTrim,
+	})
+	register(Experiment{
+		ID:       "tour",
+		Title:    "TOUR time-varying forwarding sets (shrink over time)",
+		PaperRef: "§III-A [13]",
+		Strategy: Trimming,
+		Run:      runTour,
+	})
+}
+
+func runTrim(seed int64) ([]Table, error) {
+	// Part 1: the paper's Fig. 2 walkthrough.
+	eg := temporal.Fig2EG()
+	prio := trimming.PriorityByID(4)
+	okAD, err := trimming.CanIgnoreNeighbor(eg, 0, 3, prio, trimming.Options{})
+	if err != nil {
+		return nil, err
+	}
+	okD, err := trimming.CanTrimNode(eg, 3, prio, trimming.Options{})
+	if err != nil {
+		return nil, err
+	}
+	// Extension: the probabilistic rule on a 50%-reliable replacement path.
+	probEG := eg.Clone()
+	for _, e := range [][2]int{{0, 1}, {1, 2}} {
+		for _, tm := range probEG.Labels(e[0], e[1]) {
+			if err := probEG.AddWeightedContact(e[0], e[1], tm, 0.5); err != nil {
+				return nil, err
+			}
+		}
+	}
+	probStrict, err := trimming.CanIgnoreNeighborProb(probEG, 0, 3, prio, trimming.ProbOptions{Confidence: 1})
+	if err != nil {
+		return nil, err
+	}
+	probLoose, err := trimming.CanIgnoreNeighborProb(probEG, 0, 3, prio, trimming.ProbOptions{Confidence: 0.2})
+	if err != nil {
+		return nil, err
+	}
+	paper := Table{
+		Title:   "Fig. 2 walkthrough (A=0 ... D=3, priorities by ID)",
+		Columns: []string{"decision", "result", "paper"},
+		Rows: [][]string{
+			{"A can ignore neighbor D", f("%v", okAD), "yes (§III-A)"},
+			{"D fully trimmable", f("%v", okD), "not claimed (C-0->D-1->A has no replacement)"},
+			{"probabilistic rule, 50%-reliable A-B-C, confidence 1.0", f("%v", probStrict), "open question of §III-A"},
+			{"probabilistic rule, 50%-reliable A-B-C, confidence 0.2", f("%v", probLoose), "open question of §III-A"},
+		},
+	}
+	// Part 2: random EGs, three priority schemes (the DESIGN.md ablation).
+	r := stats.NewRand(seed)
+	sweep := Table{
+		Title:   "Random EGs (n=8, horizon=8, 40 contacts): nodes trimmed, preservation verified",
+		Columns: []string{"priority scheme", "trials", "total trimmed", "preservation violations"},
+	}
+	schemes := []struct {
+		name string
+		make func(eg *temporal.EG) trimming.Priorities
+	}{
+		{"node ID", func(*temporal.EG) trimming.Priorities { return trimming.PriorityByID(8) }},
+		{"degree", func(eg *temporal.EG) trimming.Priorities {
+			deg := make([]float64, 8)
+			for v := 0; v < 8; v++ {
+				deg[v] = float64(len(eg.Neighbors(v)))
+			}
+			return trimming.PriorityByScore(deg)
+		}},
+		{"contact count", func(eg *temporal.EG) trimming.Priorities {
+			cc := make([]float64, 8)
+			for v := 0; v < 8; v++ {
+				for _, u := range eg.Neighbors(v) {
+					cc[v] += float64(len(eg.Labels(v, u)))
+				}
+			}
+			return trimming.PriorityByScore(cc)
+		}},
+		{"betweenness", func(eg *temporal.EG) trimming.Priorities {
+			// The paper's other suggested strategic priority.
+			return trimming.PriorityByScore(centrality.Betweenness(eg.Footprint()))
+		}},
+	}
+	const trials = 15
+	egs := make([]*temporal.EG, trials)
+	for i := range egs {
+		e, err := temporal.New(8, 8)
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < 40; k++ {
+			u, v := r.Intn(8), r.Intn(8)
+			if u != v {
+				_ = e.AddContact(u, v, r.Intn(8))
+			}
+		}
+		egs[i] = e
+	}
+	for _, sc := range schemes {
+		var trimmed, violations int
+		for _, e := range egs {
+			res, err := trimming.TrimNodes(e, sc.make(e), trimming.Options{})
+			if err != nil {
+				return nil, err
+			}
+			trimmed += len(res.RemovedNodes)
+			if err := trimming.VerifyPreservation(e, res.Trimmed, res.RemovedNodes); err != nil {
+				violations++
+			}
+		}
+		sweep.Rows = append(sweep.Rows, []string{
+			sc.name, f("%d", trials), f("%d", trimmed), f("%d", violations),
+		})
+	}
+	return []Table{paper, sweep}, nil
+}
+
+func runTour(seed int64) ([]Table, error) {
+	// Forwarding-set shrinkage for a slow carrier.
+	lambda := []float64{0.05, 0.2, 0.5, 1.0, 0.08, 0.3, 0}
+	pol, err := forwarding.NewTOUR(lambda, 1, 40, 0.8)
+	if err != nil {
+		return nil, err
+	}
+	shrink := Table{
+		Title:   "Forwarding set of carrier 0 (lambda=0.05) over time",
+		Columns: []string{"t", "set size", "members"},
+	}
+	for _, tm := range []int{0, 10, 20, 30, 38, 40} {
+		set := pol.ForwardingSet(0, tm)
+		shrink.Rows = append(shrink.Rows, []string{f("%d", tm), f("%d", len(set)), f("%v", set)})
+	}
+	// Delivered utility comparison across policies on exponential traces.
+	r := stats.NewRand(seed)
+	const (
+		n        = 12
+		horizon  = 300
+		deadline = 200
+		trials   = 40
+	)
+	dst := n - 1
+	rates := make([]float64, n)
+	rates[0] = 0.01
+	for i := 1; i < dst; i++ {
+		rates[i] = 0.02 + 0.04*float64(i)
+	}
+	type agg struct {
+		utility   float64
+		delivered int
+		forwards  int
+	}
+	results := map[string]*agg{}
+	policies := []forwarding.Policy{forwarding.DirectDelivery{}, forwarding.Epidemic{}, forwarding.FirstContact{}}
+	tourPol, err := forwarding.NewTOUR(rates, 1, deadline, 1)
+	if err != nil {
+		return nil, err
+	}
+	policies = append(policies, tourPol)
+	// Extension (the paper's multi-copy question): copy-varying sets.
+	rateMatrix := make([][]float64, n)
+	for i := range rateMatrix {
+		rateMatrix[i] = make([]float64, n)
+	}
+	for i := 0; i < dst; i++ {
+		rateMatrix[i][dst], rateMatrix[dst][i] = rates[i], rates[i]
+		for j := 0; j < dst; j++ {
+			if i != j {
+				rateMatrix[i][j] = 0.05
+			}
+		}
+	}
+	cvPol, err := forwarding.NewCopyVarying(rateMatrix, dst)
+	if err != nil {
+		return nil, err
+	}
+	policies = append(policies, cvPol)
+	for trial := 0; trial < trials; trial++ {
+		eg, err := temporal.New(n, horizon)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < dst; i++ {
+			if rates[i] <= 0 {
+				continue
+			}
+			tm := 0.0
+			for {
+				tm += stats.Exponential(r, rates[i])
+				if int(tm) >= horizon {
+					break
+				}
+				_ = eg.AddContact(i, dst, int(tm))
+			}
+		}
+		for i := 0; i < dst; i++ {
+			for j := i + 1; j < dst; j++ {
+				tm := 0.0
+				for {
+					tm += stats.Exponential(r, 0.05)
+					if int(tm) >= horizon {
+						break
+					}
+					_ = eg.AddContact(i, j, int(tm))
+				}
+			}
+		}
+		for _, p := range policies {
+			tokens := 0
+			if p.Name() == "copy-varying" {
+				tokens = 4
+			}
+			m, err := forwarding.Simulate(eg, forwarding.Message{Src: 0, Dst: dst}, p, tokens)
+			if err != nil {
+				return nil, err
+			}
+			a := results[p.Name()]
+			if a == nil {
+				a = &agg{}
+				results[p.Name()] = a
+			}
+			a.forwards += m.Forwards
+			if m.Delivered {
+				a.delivered++
+				a.utility += tourPol.DeliveredUtility(m.DeliveryTime) - float64(m.Forwards-1)*tourPol.Cost
+			}
+		}
+	}
+	comp := Table{
+		Title:   "Net delivered utility over 40 messages (utility decays linearly; each relay costs 1)",
+		Columns: []string{"policy", "delivered", "net utility", "total forwards"},
+	}
+	for _, p := range policies {
+		a := results[p.Name()]
+		comp.Rows = append(comp.Rows, []string{
+			p.Name(), f("%d/%d", a.delivered, trials), f("%.0f", a.utility), f("%d", a.forwards),
+		})
+	}
+	return []Table{shrink, comp}, nil
+}

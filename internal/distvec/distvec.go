@@ -1,0 +1,125 @@
+// Package distvec implements the distance-vector (distributed Bellman-Ford)
+// dynamic labeling of §IV-B: every node repeatedly re-labels itself with
+// its estimated distance to a destination, converging over many rounds —
+// the paper's canonical example of a dynamic label with slow convergence,
+// including the re-convergence churn after a link failure.
+package distvec
+
+import (
+	"errors"
+	"math"
+
+	"structura/internal/graph"
+	"structura/internal/runtime"
+)
+
+// Table holds the converged labels toward one destination.
+type Table struct {
+	Dest    int
+	Dist    []float64 // +Inf when unreachable
+	NextHop []int     // -1 at the destination and for unreachable nodes
+	Rounds  int       // synchronous rounds until stable
+}
+
+type dvState struct {
+	dist float64
+	next int
+}
+
+// Compute runs synchronous distance-vector rounds on g toward dest until
+// the labels stabilize. Edge weights are the link costs.
+func Compute(g *graph.Graph, dest, maxRounds int) (*Table, error) {
+	if dest < 0 || dest >= g.N() {
+		return nil, errors.New("distvec: destination out of range")
+	}
+	if maxRounds <= 0 {
+		maxRounds = 4 * g.N()
+	}
+	// Pre-collect each node's incident weights in adjacency order, matching
+	// the neighbor-state slice the kernel passes to step.
+	weights := make([][]float64, g.N())
+	for v := 0; v < g.N(); v++ {
+		g.EachNeighbor(v, func(w int, wt float64) {
+			weights[v] = append(weights[v], wt)
+		})
+	}
+	nbrIDs := make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		nbrIDs[v] = g.Neighbors(v)
+	}
+	states, stats, err := runtime.Run(g,
+		func(v int) dvState {
+			if v == dest {
+				return dvState{dist: 0, next: -1}
+			}
+			return dvState{dist: math.Inf(1), next: -1}
+		},
+		func(v int, self dvState, nbrs []dvState) (dvState, bool) {
+			if v == dest {
+				return self, false
+			}
+			best := dvState{dist: math.Inf(1), next: -1}
+			for i, nb := range nbrs {
+				if d := nb.dist + weights[v][i]; d < best.dist {
+					best = dvState{dist: d, next: nbrIDs[v][i]}
+				}
+			}
+			if best.dist != self.dist || best.next != self.next {
+				return best, true
+			}
+			return self, false
+		}, maxRounds)
+	if err != nil {
+		return nil, err
+	}
+	if !stats.Stable {
+		return nil, errors.New("distvec: did not converge (negative cycle or maxRounds too small)")
+	}
+	t := &Table{Dest: dest, Dist: make([]float64, g.N()), NextHop: make([]int, g.N()), Rounds: stats.Rounds - 1}
+	for v, s := range states {
+		t.Dist[v] = s.dist
+		t.NextHop[v] = s.next
+	}
+	return t, nil
+}
+
+// Route follows the next-hop labels from src to the table's destination.
+func (t *Table) Route(src int) ([]int, error) {
+	if src < 0 || src >= len(t.Dist) {
+		return nil, errors.New("distvec: src out of range")
+	}
+	if math.IsInf(t.Dist[src], 1) {
+		return nil, errors.New("distvec: unreachable")
+	}
+	path := []int{src}
+	for cur := src; cur != t.Dest; {
+		cur = t.NextHop[cur]
+		if cur < 0 || len(path) > len(t.Dist) {
+			return path, errors.New("distvec: broken next-hop chain")
+		}
+		path = append(path, cur)
+	}
+	return path, nil
+}
+
+// ReconvergeAfterFailure removes link (u,v) from g and recomputes the
+// table, reporting the new table and how many nodes changed their distance
+// label — the churn the paper attributes to dynamic labels. The input
+// graph is not modified.
+func ReconvergeAfterFailure(g *graph.Graph, old *Table, u, v, maxRounds int) (*Table, int, error) {
+	work := g.Clone()
+	if !work.RemoveEdge(u, v) {
+		return nil, 0, errors.New("distvec: link does not exist")
+	}
+	nt, err := Compute(work, old.Dest, maxRounds)
+	if err != nil {
+		return nil, 0, err
+	}
+	changed := 0
+	for i := range nt.Dist {
+		if nt.Dist[i] != old.Dist[i] {
+			changed++
+		}
+	}
+	return nt, changed, nil
+}

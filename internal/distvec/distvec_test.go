@@ -1,0 +1,150 @@
+package distvec
+
+import (
+	"math"
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/stats"
+)
+
+func TestComputeOnPath(t *testing.T) {
+	g := gen.Path(5)
+	tab, err := Compute(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		if tab.Dist[v] != float64(v) {
+			t.Errorf("dist[%d] = %v, want %d", v, tab.Dist[v], v)
+		}
+	}
+	// Convergence takes about diameter rounds.
+	if tab.Rounds < 4 || tab.Rounds > 6 {
+		t.Errorf("rounds = %d, want ~4 (diameter)", tab.Rounds)
+	}
+	path, err := tab.Route(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 3, 2, 1, 0}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("route = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestComputeWeighted(t *testing.T) {
+	g := graph.New(3)
+	_ = g.AddWeightedEdge(0, 1, 1)
+	_ = g.AddWeightedEdge(1, 2, 1)
+	_ = g.AddWeightedEdge(0, 2, 5)
+	tab, err := Compute(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Dist[2] != 2 {
+		t.Errorf("dist[2] = %v, want 2 via node 1", tab.Dist[2])
+	}
+	if tab.NextHop[2] != 1 {
+		t.Errorf("nexthop[2] = %d, want 1", tab.NextHop[2])
+	}
+}
+
+func TestComputeMatchesDijkstra(t *testing.T) {
+	r := stats.NewRand(1)
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + r.Intn(30)
+		g := graph.New(n)
+		for k := 0; k < n*3; k++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				_ = g.AddWeightedEdge(u, v, float64(1+r.Intn(9)))
+			}
+		}
+		tab, err := Compute(g, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := g.Dijkstra(0)
+		for v := 0; v < n; v++ {
+			if tab.Dist[v] != want[v] && !(math.IsInf(tab.Dist[v], 1) && math.IsInf(want[v], 1)) {
+				t.Fatalf("trial %d node %d: DV %v vs Dijkstra %v", trial, v, tab.Dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	g := gen.Path(3)
+	if _, err := Compute(g, 9, 0); err == nil {
+		t.Error("bad destination should error")
+	}
+	tab, _ := Compute(g, 0, 0)
+	if _, err := tab.Route(-1); err == nil {
+		t.Error("bad src should error")
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	g := graph.New(4)
+	_ = g.AddEdge(0, 1)
+	tab, err := Compute(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(tab.Dist[2], 1) {
+		t.Errorf("isolated node dist = %v, want +Inf", tab.Dist[2])
+	}
+	if _, err := tab.Route(2); err == nil {
+		t.Error("routing from unreachable node should error")
+	}
+}
+
+func TestReconvergeAfterFailure(t *testing.T) {
+	// Ring: failing one link forces the far side to re-route the long way.
+	g := gen.Ring(8)
+	tab, err := Compute(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt, changed, err := ReconvergeAfterFailure(g, tab, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == 0 {
+		t.Fatal("failure on a used link must change some labels")
+	}
+	// Node 1 now routes the long way: distance 7.
+	if nt.Dist[1] != 7 {
+		t.Errorf("dist[1] after failure = %v, want 7", nt.Dist[1])
+	}
+	if _, _, err := ReconvergeAfterFailure(g, tab, 0, 5, 0); err == nil {
+		t.Error("removing a non-existent link should error")
+	}
+	// Original graph untouched.
+	if !g.HasEdge(0, 1) {
+		t.Error("input graph must not be modified")
+	}
+}
+
+func TestConvergenceRoundsScaleWithDiameter(t *testing.T) {
+	// The paper's point: distance-vector convergence is slow — rounds grow
+	// with the network diameter.
+	short, err := Compute(gen.Path(8), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Compute(gen.Path(64), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Rounds <= short.Rounds {
+		t.Errorf("rounds: path64 %d <= path8 %d; must grow with diameter", long.Rounds, short.Rounds)
+	}
+	if long.Rounds < 60 {
+		t.Errorf("path64 rounds = %d, want ~diameter", long.Rounds)
+	}
+}

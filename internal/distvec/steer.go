@@ -1,0 +1,141 @@
+package distvec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"structura/internal/graph"
+)
+
+// This file implements the paper's first §IV-C "front": a hybrid
+// centralized-and-distributed method in which a central controller offers
+// "guidance" to a distributed protocol. Following [31] (central control
+// over distributed routing), the controller does not replace the
+// distributed computation — it reshapes what the distributed computation
+// sees, either by reassigning link weights or by inserting fake nodes and
+// links into an augmented topology, so that plain distance-vector
+// convergence lands on the centrally chosen routes.
+
+// SteerByWeights returns a reweighted copy of g on which distance-vector
+// routing toward dest converges to exactly the given parent pointers
+// (parent[dest] must be -1; every other reachable node's parent edge must
+// exist and the parents must form an arborescence toward dest). Desired
+// edges get weight 1; every other edge gets a weight larger than any
+// possible tree path, so the distributed protocol has a unique optimum.
+func SteerByWeights(g *graph.Graph, dest int, parent []int) (*graph.Graph, error) {
+	n := g.N()
+	if dest < 0 || dest >= n {
+		return nil, errors.New("distvec: dest out of range")
+	}
+	if len(parent) != n {
+		return nil, fmt.Errorf("distvec: %d parents for %d nodes", len(parent), n)
+	}
+	if parent[dest] != -1 {
+		return nil, errors.New("distvec: destination must have parent -1")
+	}
+	// Validate arborescence: following parents from any node must reach
+	// dest without cycles.
+	for v := 0; v < n; v++ {
+		if parent[v] == -1 {
+			continue
+		}
+		seen := 0
+		for cur := v; cur != dest; cur = parent[cur] {
+			if parent[cur] < 0 || parent[cur] >= n {
+				return nil, fmt.Errorf("distvec: node %d has no path to dest via parents", v)
+			}
+			if !g.HasEdge(cur, parent[cur]) {
+				return nil, fmt.Errorf("distvec: desired edge (%d,%d) not in graph", cur, parent[cur])
+			}
+			if seen++; seen > n {
+				return nil, errors.New("distvec: parent pointers contain a cycle")
+			}
+		}
+	}
+	heavy := float64(n + 1)
+	out := graph.New(n)
+	for _, e := range g.Edges() {
+		w := heavy
+		if parent[e.From] == e.To || parent[e.To] == e.From {
+			w = 1
+		}
+		if err := out.AddWeightedEdge(e.From, e.To, w); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// FakeAugmentation describes the result of SteerByFakeNodes: the augmented
+// graph contains the original nodes 0..n-1 plus one fake node per forced
+// entry. FakeOf maps each forced node v to its fake neighbor, and RealHop
+// maps each fake back to the physical next hop it stands for.
+type FakeAugmentation struct {
+	Graph   *graph.Graph
+	FakeOf  map[int]int
+	RealHop map[int]int
+}
+
+// SteerByFakeNodes realizes the [31]-style augmentation the paper quotes
+// ("it inserts fake nodes and links to create an augmented topology for a
+// distributed solution"): for every forced pair (v -> u), a fake node f is
+// attached to v with an arbitrarily cheap virtual link and an equally
+// cheap virtual link toward the destination. The distributed computation
+// then prefers v -> f; physically, the virtual link (v, f) is installed on
+// v's real interface toward u, so the converged forwarding realizes
+// (v -> u). Weights of the original links are untouched — only fake
+// elements are added, exactly the augmented-topology trick of [31].
+func SteerByFakeNodes(g *graph.Graph, dest int, forced map[int]int) (*FakeAugmentation, error) {
+	n := g.N()
+	if dest < 0 || dest >= n {
+		return nil, errors.New("distvec: dest out of range")
+	}
+	aug := g.Clone()
+	const eps = 1e-3
+	fakes := make(map[int]int, len(forced))
+	real := make(map[int]int, len(forced))
+	for v, u := range forced {
+		if v < 0 || v >= n || u < 0 || u >= n {
+			return nil, errors.New("distvec: forced pair out of range")
+		}
+		if v == dest {
+			return nil, errors.New("distvec: cannot force the destination")
+		}
+		if !g.HasEdge(v, u) {
+			return nil, fmt.Errorf("distvec: forced next hop (%d,%d) is not a link", v, u)
+		}
+		f := aug.AddNode()
+		fakes[v] = f
+		real[f] = u
+		if err := aug.AddWeightedEdge(v, f, eps); err != nil {
+			return nil, err
+		}
+		if err := aug.AddWeightedEdge(f, dest, eps); err != nil {
+			return nil, err
+		}
+	}
+	return &FakeAugmentation{Graph: aug, FakeOf: fakes, RealHop: real}, nil
+}
+
+// NextHopsRealized checks which forced pairs the converged table honors:
+// for each forced (v -> u), v must next-hop onto its fake (which is
+// physically installed on the (v, u) interface).
+func (a *FakeAugmentation) NextHopsRealized(t *Table, forced map[int]int) error {
+	for v, u := range forced {
+		if v >= len(t.NextHop) {
+			return fmt.Errorf("distvec: forced node %d outside table", v)
+		}
+		if math.IsInf(t.Dist[v], 1) {
+			return fmt.Errorf("distvec: forced node %d unreachable", v)
+		}
+		hop := t.NextHop[v]
+		if hop == u {
+			continue // converged onto the physical link directly
+		}
+		if a.RealHop[hop] != u || a.FakeOf[v] != hop {
+			return fmt.Errorf("distvec: node %d converged to next hop %d, want %d (or its fake)", v, hop, u)
+		}
+	}
+	return nil
+}

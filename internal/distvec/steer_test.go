@@ -1,0 +1,149 @@
+package distvec
+
+import (
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/stats"
+)
+
+func TestSteerByWeightsOnRing(t *testing.T) {
+	// Force every ring node to route clockwise toward 0 even though the
+	// counterclockwise path is just as short in hops.
+	n := 8
+	g := gen.Ring(n)
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = v - 1
+	}
+	steered, err := SteerByWeights(g, 0, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Compute(steered, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < n; v++ {
+		if tab.NextHop[v] != parent[v] {
+			t.Fatalf("node %d converged to %d, want %d", v, tab.NextHop[v], parent[v])
+		}
+	}
+	// Node n-1 pays the full clockwise path rather than one hop.
+	if tab.Dist[n-1] != float64(n-1) {
+		t.Errorf("dist[%d] = %v, want %d", n-1, tab.Dist[n-1], n-1)
+	}
+}
+
+func TestSteerByWeightsRandomArborescence(t *testing.T) {
+	r := stats.NewRand(1)
+	for trial := 0; trial < 10; trial++ {
+		g := gen.ErdosRenyi(r, 30, 0.15)
+		if !g.Connected() {
+			continue
+		}
+		// Random BFS-ish arborescence: take the BFS tree of a random root
+		// relabeled to dest 0... simplest: use BFS parents from 0.
+		_, parent := g.BFS(0)
+		steered, err := SteerByWeights(g, 0, parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := Compute(steered, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 1; v < g.N(); v++ {
+			if tab.NextHop[v] != parent[v] {
+				t.Fatalf("trial %d: node %d hop %d, want %d", trial, v, tab.NextHop[v], parent[v])
+			}
+		}
+	}
+}
+
+func TestSteerByWeightsValidation(t *testing.T) {
+	g := gen.Ring(4)
+	if _, err := SteerByWeights(g, 9, []int{-1, 0, 1, 2}); err == nil {
+		t.Error("bad dest should error")
+	}
+	if _, err := SteerByWeights(g, 0, []int{-1, 0}); err == nil {
+		t.Error("short parents should error")
+	}
+	if _, err := SteerByWeights(g, 0, []int{0, 0, 1, 2}); err == nil {
+		t.Error("dest with a parent should error")
+	}
+	if _, err := SteerByWeights(g, 0, []int{-1, 2, 1, 2}); err == nil {
+		t.Error("parent cycle should error")
+	}
+	if _, err := SteerByWeights(g, 0, []int{-1, 3, 1, 0}); err == nil {
+		t.Error("non-edge parent should error")
+	}
+}
+
+func TestSteerByFakeNodes(t *testing.T) {
+	// Diamond: 1 can reach 0 directly (weight 1) or via 2 (2 hops). Force
+	// 1 -> 2 with a fake node behind 2.
+	g := graph.New(3)
+	_ = g.AddWeightedEdge(1, 0, 1)
+	_ = g.AddWeightedEdge(1, 2, 1)
+	_ = g.AddWeightedEdge(2, 0, 1)
+	forced := map[int]int{1: 2}
+	aug, err := SteerByFakeNodes(g, 0, forced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aug.Graph.N() != 4 {
+		t.Fatalf("augmented n = %d, want 4 (one fake)", aug.Graph.N())
+	}
+	tab, err := Compute(aug.Graph, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aug.NextHopsRealized(tab, forced); err != nil {
+		t.Fatal(err)
+	}
+	if tab.NextHop[1] != aug.FakeOf[1] {
+		t.Fatalf("node 1 should route onto its fake %d, got %d", aug.FakeOf[1], tab.NextHop[1])
+	}
+	// Unforced baseline: 1 would go straight to 0.
+	base, err := Compute(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.NextHop[1] != 0 {
+		t.Fatalf("baseline next hop = %d, want 0", base.NextHop[1])
+	}
+}
+
+func TestSteerByFakeNodesValidation(t *testing.T) {
+	g := gen.Ring(4)
+	if _, err := SteerByFakeNodes(g, 9, nil); err == nil {
+		t.Error("bad dest should error")
+	}
+	if _, err := SteerByFakeNodes(g, 0, map[int]int{0: 1}); err == nil {
+		t.Error("forcing the destination should error")
+	}
+	if _, err := SteerByFakeNodes(g, 0, map[int]int{1: 3}); err == nil {
+		t.Error("forcing a non-link should error")
+	}
+	if _, err := SteerByFakeNodes(g, 0, map[int]int{9: 1}); err == nil {
+		t.Error("out-of-range forced node should error")
+	}
+}
+
+func TestNextHopsRealizedErrors(t *testing.T) {
+	g := gen.Path(3)
+	tab, _ := Compute(g, 0, 0)
+	aug := &FakeAugmentation{FakeOf: map[int]int{}, RealHop: map[int]int{}}
+	if err := aug.NextHopsRealized(tab, map[int]int{2: 0}); err == nil {
+		t.Error("wrong next hop should be reported")
+	}
+	if err := aug.NextHopsRealized(tab, map[int]int{9: 0}); err == nil {
+		t.Error("out-of-table node should be reported")
+	}
+	if err := aug.NextHopsRealized(tab, map[int]int{2: 1}); err != nil {
+		t.Errorf("correct hop reported as violation: %v", err)
+	}
+}

@@ -1,0 +1,344 @@
+// Package embedding implements the representation remapping of §III-C:
+// assigning virtual coordinates so greedy routing cannot get stuck at a
+// local minimum (Fig. 5).
+//
+// The construction follows R. Kleinberg's INFOCOM'07 result [19], whose
+// core is that any connected graph contains a spanning tree, and tree
+// metrics embed isometrically in the hyperbolic plane; greedy routing on
+// the tree metric is therefore loop-free and always delivers. The package
+// provides (1) the exact tree-metric greedy router with a delivery
+// guarantee, and (2) Poincaré-disk coordinates realizing the tree in
+// hyperbolic space, with greedy routing under the hyperbolic distance.
+// (The paper's alternative remapping, Ricci-flow conformal mapping [20],
+// achieves the same guarantee by rounding holes into circles; see
+// DESIGN.md for the substitution rationale.)
+package embedding
+
+import (
+	"errors"
+	"math"
+
+	"structura/internal/geo"
+	"structura/internal/graph"
+)
+
+// TreeEmbedding equips a connected graph with a BFS spanning tree rooted at
+// Root; greedy routing measures progress in the tree metric but may travel
+// over every graph edge (shortcuts only ever help).
+type TreeEmbedding struct {
+	g      *graph.Graph
+	root   int
+	parent []int
+	depth  []int
+	// Euler intervals for O(1) ancestor tests.
+	tin, tout []int
+}
+
+// NewTreeEmbedding builds the embedding; the graph must be undirected and
+// connected.
+func NewTreeEmbedding(g *graph.Graph, root int) (*TreeEmbedding, error) {
+	if g.Directed() {
+		return nil, errors.New("embedding: undirected graph required")
+	}
+	parent, err := g.SpanningTree(root)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	e := &TreeEmbedding{
+		g:      g,
+		root:   root,
+		parent: parent,
+		depth:  make([]int, n),
+		tin:    make([]int, n),
+		tout:   make([]int, n),
+	}
+	children := make([][]int, n)
+	for v, p := range parent {
+		if p >= 0 {
+			children[p] = append(children[p], v)
+		}
+	}
+	// Iterative DFS for depth + Euler intervals.
+	timer := 0
+	type frame struct{ v, idx int }
+	stack := []frame{{v: root}}
+	e.tin[root] = timer
+	timer++
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.idx < len(children[f.v]) {
+			c := children[f.v][f.idx]
+			f.idx++
+			e.depth[c] = e.depth[f.v] + 1
+			e.tin[c] = timer
+			timer++
+			stack = append(stack, frame{v: c})
+			continue
+		}
+		e.tout[f.v] = timer
+		timer++
+		stack = stack[:len(stack)-1]
+	}
+	return e, nil
+}
+
+// Root returns the tree root.
+func (e *TreeEmbedding) Root() int { return e.root }
+
+// Depth returns v's tree depth.
+func (e *TreeEmbedding) Depth(v int) int { return e.depth[v] }
+
+func (e *TreeEmbedding) isAncestor(a, b int) bool {
+	return e.tin[a] <= e.tin[b] && e.tout[b] <= e.tout[a]
+}
+
+// LCA returns the lowest common ancestor of u and v in the spanning tree.
+func (e *TreeEmbedding) LCA(u, v int) int {
+	for !e.isAncestor(u, v) {
+		u = e.parent[u]
+	}
+	return u
+}
+
+// TreeDistance returns the hop distance between u and v in the spanning
+// tree — the 0-hyperbolic metric greedy routing descends.
+func (e *TreeEmbedding) TreeDistance(u, v int) int {
+	l := e.LCA(u, v)
+	return e.depth[u] + e.depth[v] - 2*e.depth[l]
+}
+
+// GreedyRoute routes from src to dst, at each step moving to any graph
+// neighbor strictly closer to dst in the tree metric. Delivery is
+// guaranteed: the tree neighbor toward dst always decreases the distance.
+func (e *TreeEmbedding) GreedyRoute(src, dst int) ([]int, error) {
+	n := e.g.N()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, errors.New("embedding: src/dst out of range")
+	}
+	path := []int{src}
+	cur := src
+	for cur != dst {
+		best, bestD := -1, e.TreeDistance(cur, dst)
+		e.g.EachNeighbor(cur, func(w int, _ float64) {
+			if d := e.TreeDistance(w, dst); d < bestD {
+				best, bestD = w, d
+			}
+		})
+		if best == -1 {
+			// Provably unreachable: the parent or the child toward dst is
+			// always strictly closer; report as an internal invariant
+			// violation rather than a routing failure.
+			return path, errors.New("embedding: greedy invariant violated")
+		}
+		cur = best
+		path = append(path, cur)
+		if len(path) > n*n {
+			return path, errors.New("embedding: routing loop")
+		}
+	}
+	return path, nil
+}
+
+// PoincareCoordinates realizes the spanning tree in the Poincaré disk:
+// the root sits at the origin and each child occupies a sub-sector of its
+// parent's angular sector at the next hyperbolic radius shell. The scale
+// parameter controls shell spacing (hyperbolic radius per depth); larger
+// scales exaggerate the tree's exponential volume and make greedy routing
+// under HyperbolicDist behave like the tree metric.
+func (e *TreeEmbedding) PoincareCoordinates(scale float64) []geo.Point {
+	if scale <= 0 {
+		scale = 4
+	}
+	n := e.g.N()
+	pts := make([]geo.Point, n)
+	children := make([][]int, n)
+	for v, p := range e.parent {
+		if p >= 0 {
+			children[p] = append(children[p], v)
+		}
+	}
+	type sector struct {
+		v      int
+		lo, hi float64
+	}
+	stack := []sector{{v: e.root, lo: 0, hi: 2 * math.Pi}}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		theta := (s.lo + s.hi) / 2
+		rH := scale * float64(e.depth[s.v]) // hyperbolic radius
+		rE := math.Tanh(rH / 2)             // Euclidean radius in the disk
+		pts[s.v] = geo.Point{X: rE * math.Cos(theta), Y: rE * math.Sin(theta)}
+		if len(children[s.v]) == 0 {
+			continue
+		}
+		span := (s.hi - s.lo) / float64(len(children[s.v]))
+		for i, c := range children[s.v] {
+			stack = append(stack, sector{
+				v:  c,
+				lo: s.lo + float64(i)*span,
+				hi: s.lo + float64(i+1)*span,
+			})
+		}
+	}
+	return pts
+}
+
+// Polar is a point of the hyperbolic plane in native polar coordinates
+// (hyperbolic radius R, angle Theta + ThetaLo). The angle is carried in
+// double-double precision (ThetaLo holds the rounding error of Theta), so
+// angular separations far below one float64 ulp of the absolute angle —
+// routine between deep sibling cones — survive the subtraction inside
+// HyperbolicDistPolar. Unlike Poincaré-disk coordinates, polar form also
+// keeps the radius stable at any depth.
+type Polar struct {
+	R       float64
+	Theta   float64
+	ThetaLo float64
+}
+
+// twoSum returns hi+lo = a+b exactly (Knuth's error-free transformation).
+func twoSum(a, b float64) (hi, lo float64) {
+	hi = a + b
+	v := hi - a
+	lo = (a - (hi - v)) + (b - v)
+	return hi, lo
+}
+
+// ddAdd adds a float64 to a double-double value.
+func ddAdd(hi, lo, x float64) (float64, float64) {
+	s, e := twoSum(hi, x)
+	e += lo
+	s, e = twoSum(s, e)
+	return s, e
+}
+
+// PolarCoordinates realizes the spanning tree in native hyperbolic polar
+// coordinates with the cone-separation discipline of greedy hyperbolic
+// embeddings. Each node owns an angular cone of width W and sits at radius
+// ln(2/W) (times scale), so its whole subtree stays inside its unit
+// angular horizon; a node with k >= 2 children splits its cone into k
+// slots and gives each child a cone of width slot/(8k), which keeps
+// sibling cones separated by much more than sqrt(W_parent * W_child) — the
+// exact threshold below which a sibling would look closer than the parent
+// hop. An only child inherits half the parent cone, so unary chains lose
+// only one bit of width per level. Sector geometry is tracked as
+// (center, width) pairs; widths shrink multiplicatively and stay exact,
+// but sibling angular separations below ~1e-16 radians (cones deeper than
+// roughly 25 high-degree levels) fall under float64 resolution, which
+// bounds the usable depth.
+func (e *TreeEmbedding) PolarCoordinates(scale float64) []Polar {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := e.g.N()
+	pts := make([]Polar, n)
+	children := make([][]int, n)
+	for v, p := range e.parent {
+		if p >= 0 {
+			children[p] = append(children[p], v)
+		}
+	}
+	type cone struct {
+		v                  int
+		centerHi, centerLo float64
+		width              float64
+	}
+	// The root cone is clamped to width 1/2 so every descendant width W
+	// stays below 2 and radii ln(2/W) stay positive.
+	stack := []cone{{v: e.root, centerHi: math.Pi, width: 0.5}}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		r := 0.0
+		if c.v != e.root {
+			r = scale * math.Log(2/c.width)
+		}
+		pts[c.v] = Polar{R: r, Theta: c.centerHi, ThetaLo: c.centerLo}
+		k := len(children[c.v])
+		switch {
+		case k == 0:
+		case k == 1:
+			stack = append(stack, cone{
+				v: children[c.v][0], centerHi: c.centerHi, centerLo: c.centerLo,
+				width: c.width / 2,
+			})
+		default:
+			slot := c.width / float64(k)
+			childWidth := slot / (8 * float64(k))
+			for i, ch := range children[c.v] {
+				// offset of this child's slot center from the cone center;
+				// accumulate in double-double to keep deep separations.
+				offset := (float64(i)+0.5)*slot - c.width/2
+				hi, lo := ddAdd(c.centerHi, c.centerLo, offset)
+				stack = append(stack, cone{v: ch, centerHi: hi, centerLo: lo, width: childWidth})
+			}
+		}
+	}
+	return pts
+}
+
+// HyperbolicDistPolar returns the hyperbolic distance between two points in
+// native polar coordinates via the stable form of the law of cosines:
+//
+//	cosh d = cosh(r1-r2) + sinh(r1)*sinh(r2)*(1 - cos(dTheta))
+//
+// with 1-cos computed as 2*sin^2(dTheta/2), which keeps the angular term
+// accurate for angle differences far below the machine epsilon of 1 —
+// essential because sibling subtrees deep in the embedding are separated
+// by exponentially small angles.
+func HyperbolicDistPolar(a, b Polar) float64 {
+	// Double-double subtraction recovers angle differences that are far
+	// smaller than one ulp of the absolute angles.
+	dHi, dLo := twoSum(a.Theta, -b.Theta)
+	dTheta := dHi + (dLo + (a.ThetaLo - b.ThetaLo))
+	s := math.Sin(dTheta / 2)
+	arg := math.Cosh(a.R-b.R) + math.Sinh(a.R)*math.Sinh(b.R)*2*s*s
+	if arg < 1 {
+		arg = 1
+	}
+	return math.Acosh(arg)
+}
+
+// HyperbolicDist returns the Poincaré-disk distance between two points
+// strictly inside the unit disk.
+func HyperbolicDist(a, b geo.Point) float64 {
+	d2 := (a.X-b.X)*(a.X-b.X) + (a.Y-b.Y)*(a.Y-b.Y)
+	na := 1 - (a.X*a.X + a.Y*a.Y)
+	nb := 1 - (b.X*b.X + b.Y*b.Y)
+	arg := 1 + 2*d2/(na*nb)
+	if arg < 1 {
+		arg = 1
+	}
+	return math.Acosh(arg)
+}
+
+// GreedyRouteMetric routes greedily under an arbitrary distance function,
+// moving to any neighbor strictly closer to dst. It reports geo.ErrStuck on
+// local minima, matching geo.GreedyRoute's contract.
+func GreedyRouteMetric(g *graph.Graph, dist func(u, v int) float64, src, dst int) ([]int, error) {
+	n := g.N()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, errors.New("embedding: src/dst out of range")
+	}
+	path := []int{src}
+	cur := src
+	for cur != dst {
+		best, bestD := -1, dist(cur, dst)
+		g.EachNeighbor(cur, func(w int, _ float64) {
+			if d := dist(w, dst); d < bestD {
+				best, bestD = w, d
+			}
+		})
+		if best == -1 {
+			return path, geo.ErrStuck
+		}
+		cur = best
+		path = append(path, cur)
+		if len(path) > n*n {
+			return path, errors.New("embedding: routing loop")
+		}
+	}
+	return path, nil
+}

@@ -1,0 +1,362 @@
+package embedding
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/geo"
+	"structura/internal/graph"
+	"structura/internal/stats"
+)
+
+func TestNewTreeEmbeddingValidation(t *testing.T) {
+	if _, err := NewTreeEmbedding(graph.NewDirected(3), 0); err == nil {
+		t.Error("directed graph should error")
+	}
+	if _, err := NewTreeEmbedding(graph.New(3), 0); err == nil {
+		t.Error("disconnected graph should error")
+	}
+	if _, err := NewTreeEmbedding(gen.Path(3), 9); err == nil {
+		t.Error("bad root should error")
+	}
+}
+
+func TestTreeDistanceOnPath(t *testing.T) {
+	e, err := NewTreeEmbedding(gen.Path(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 5; v++ {
+			want := u - v
+			if want < 0 {
+				want = -want
+			}
+			if got := e.TreeDistance(u, v); got != want {
+				t.Errorf("TreeDistance(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+	if e.Root() != 0 || e.Depth(4) != 4 {
+		t.Error("root/depth wrong")
+	}
+}
+
+func TestLCA(t *testing.T) {
+	// Star rooted at center: LCA of two leaves is the center.
+	e, err := NewTreeEmbedding(gen.Star(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.LCA(1, 2) != 0 {
+		t.Errorf("LCA(1,2) = %d, want 0", e.LCA(1, 2))
+	}
+	if e.LCA(1, 1) != 1 {
+		t.Errorf("LCA(1,1) = %d, want 1", e.LCA(1, 1))
+	}
+	if e.LCA(0, 3) != 0 {
+		t.Errorf("LCA(0,3) = %d, want 0", e.LCA(0, 3))
+	}
+}
+
+func TestGreedyRouteGuaranteedOnHoleyGraph(t *testing.T) {
+	// The Fig. 5 scenario: Euclidean greedy gets stuck at non-convex
+	// holes; tree-metric greedy must deliver 100%.
+	r := stats.NewRand(1)
+	pts := geo.RandomPoints(r, 300, 20, 20)
+	holes := []geo.Hole{
+		{Center: geo.Point{X: 6, Y: 6}, Radius: 3},
+		{Center: geo.Point{X: 14, Y: 12}, Radius: 3.5},
+		{Center: geo.Point{X: 6, Y: 15}, Radius: 2.5},
+	}
+	kept, _ := geo.CarveHoles(pts, holes)
+	g := geo.UnitDiskGraph(kept, 2.2)
+	comps := g.Components()
+	// Use the giant component.
+	keep := map[int]bool{}
+	for _, v := range comps[0] {
+		keep[v] = true
+	}
+	sub, subPts0 := g.Subgraph(keep)
+	subPts := make([]geo.Point, sub.N())
+	for i, old := range subPts0 {
+		subPts[i] = kept[old]
+	}
+	e, err := NewTreeEmbedding(sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	euclid := geo.Evaluate(stats.NewRand(2), sub.N(), 400, func(s, d int) ([]int, error) {
+		return geo.GreedyRoute(sub, subPts, s, d)
+	})
+	tree := geo.Evaluate(stats.NewRand(2), sub.N(), 400, func(s, d int) ([]int, error) {
+		return e.GreedyRoute(s, d)
+	})
+	if tree.Ratio() != 1 {
+		t.Fatalf("tree-metric greedy delivery = %v, want 1.0", tree.Ratio())
+	}
+	if euclid.Ratio() >= 1 {
+		t.Logf("note: Euclidean greedy delivered everything on this draw (ratio %v)", euclid.Ratio())
+	}
+	if tree.Ratio() < euclid.Ratio() {
+		t.Errorf("remapped greedy (%v) must not lose to Euclidean greedy (%v)", tree.Ratio(), euclid.Ratio())
+	}
+}
+
+func TestGreedyRouteUsesShortcuts(t *testing.T) {
+	// Ring + BFS tree from 0: the non-tree edge can shorten routes but
+	// must never break delivery.
+	g := gen.Ring(8)
+	e, err := NewTreeEmbedding(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < 8; src++ {
+		for dst := 0; dst < 8; dst++ {
+			path, err := e.GreedyRoute(src, dst)
+			if err != nil {
+				t.Fatalf("route %d->%d: %v", src, dst, err)
+			}
+			if path[len(path)-1] != dst {
+				t.Fatalf("route %d->%d ends at %v", src, dst, path)
+			}
+		}
+	}
+}
+
+func TestGreedyRouteValidation(t *testing.T) {
+	e, _ := NewTreeEmbedding(gen.Path(3), 0)
+	if _, err := e.GreedyRoute(-1, 2); err == nil {
+		t.Error("bad src should error")
+	}
+	if p, err := e.GreedyRoute(1, 1); err != nil || len(p) != 1 {
+		t.Error("self route should be trivial")
+	}
+}
+
+func TestPoincareCoordinatesInsideDisk(t *testing.T) {
+	r := stats.NewRand(3)
+	g, err := gen.BarabasiAlbert(r, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewTreeEmbedding(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := e.PoincareCoordinates(0) // default scale
+	for v, p := range pts {
+		if n2 := p.X*p.X + p.Y*p.Y; n2 >= 1 {
+			t.Fatalf("node %d outside the unit disk: %v", v, p)
+		}
+	}
+	// Root at origin.
+	if pts[0].X != 0 || pts[0].Y != 0 {
+		t.Errorf("root = %v, want origin", pts[0])
+	}
+}
+
+func TestHyperbolicDist(t *testing.T) {
+	o := geo.Point{}
+	if d := HyperbolicDist(o, o); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	a := geo.Point{X: 0.5, Y: 0}
+	if d := HyperbolicDist(o, a); math.Abs(d-2*math.Atanh(0.5)) > 1e-9 {
+		t.Errorf("radial distance = %v, want %v", d, 2*math.Atanh(0.5))
+	}
+	b := geo.Point{X: -0.5, Y: 0}
+	if HyperbolicDist(a, b) <= HyperbolicDist(o, a) {
+		t.Error("opposite points must be farther than radius")
+	}
+	// Symmetry.
+	if HyperbolicDist(a, b) != HyperbolicDist(b, a) {
+		t.Error("distance must be symmetric")
+	}
+}
+
+func TestHyperbolicGreedyOnTrees(t *testing.T) {
+	// On the spanning tree itself (no shortcuts), hyperbolic greedy over
+	// native polar coordinates with a generous scale should deliver
+	// everything on moderate trees.
+	r := stats.NewRand(4)
+	g, err := gen.BarabasiAlbert(r, 60, 1) // m=1 gives a tree
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewTreeEmbedding(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := e.PolarCoordinates(1)
+	dist := func(u, v int) float64 { return HyperbolicDistPolar(pts[u], pts[v]) }
+	var fails int
+	for trial := 0; trial < 200; trial++ {
+		s, d := r.Intn(60), r.Intn(60)
+		path, err := GreedyRouteMetric(g, dist, s, d)
+		if err != nil || path[len(path)-1] != d {
+			fails++
+		}
+	}
+	if fails > 0 {
+		t.Errorf("hyperbolic greedy failed %d/200 routes on a tree", fails)
+	}
+}
+
+func TestHyperbolicDistPolar(t *testing.T) {
+	o := Polar{}
+	if d := HyperbolicDistPolar(o, o); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	// Radial pair: distance = |r1 - r2| regardless of one angle when the
+	// other point is the origin.
+	a := Polar{R: 3, Theta: 1}
+	if d := HyperbolicDistPolar(o, a); math.Abs(d-3) > 1e-9 {
+		t.Errorf("radial distance = %v, want 3", d)
+	}
+	// Same radius, opposite angles: farther than 0 and symmetric.
+	b := Polar{R: 3, Theta: 1 + math.Pi}
+	if HyperbolicDistPolar(a, b) <= 0 {
+		t.Error("distinct points must be separated")
+	}
+	if HyperbolicDistPolar(a, b) != HyperbolicDistPolar(b, a) {
+		t.Error("distance must be symmetric")
+	}
+	// Consistency with the Poincaré-disk formula at small radius.
+	pa := geo.Point{X: math.Tanh(1.5/2) * math.Cos(0.3), Y: math.Tanh(1.5/2) * math.Sin(0.3)}
+	pb := geo.Point{X: math.Tanh(0.7/2) * math.Cos(2.1), Y: math.Tanh(0.7/2) * math.Sin(2.1)}
+	da := HyperbolicDist(pa, pb)
+	dp := HyperbolicDistPolar(Polar{R: 1.5, Theta: 0.3}, Polar{R: 0.7, Theta: 2.1})
+	if math.Abs(da-dp) > 1e-6 {
+		t.Errorf("disk %v vs polar %v", da, dp)
+	}
+}
+
+func TestGreedyRouteMetricStuck(t *testing.T) {
+	// Bad metric (constant): no neighbor is ever closer -> ErrStuck.
+	g := gen.Path(3)
+	_, err := GreedyRouteMetric(g, func(u, v int) float64 { return 1 }, 0, 2)
+	if !errors.Is(err, geo.ErrStuck) {
+		t.Errorf("want ErrStuck, got %v", err)
+	}
+	if _, err := GreedyRouteMetric(g, nil, -1, 0); err == nil {
+		t.Error("bad src should error")
+	}
+}
+
+func TestTreeGreedyPathLengthReasonable(t *testing.T) {
+	// Greedy tree routing never exceeds the tree distance.
+	r := stats.NewRand(5)
+	g := gen.ErdosRenyi(r, 80, 0.08)
+	comps := g.Components()
+	keep := map[int]bool{}
+	for _, v := range comps[0] {
+		keep[v] = true
+	}
+	sub, _ := g.Subgraph(keep)
+	e, err := NewTreeEmbedding(sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		s, d := r.Intn(sub.N()), r.Intn(sub.N())
+		path, err := e.GreedyRoute(s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path)-1 > e.TreeDistance(s, d) {
+			t.Fatalf("greedy path %d hops > tree distance %d", len(path)-1, e.TreeDistance(s, d))
+		}
+	}
+}
+
+func TestHyperbolicGreedyManySeeds(t *testing.T) {
+	// Stress the polar embedding across tree shapes: BA trees (hubs),
+	// paths (deep chains), and stars (max branching).
+	for seed := int64(10); seed < 20; seed++ {
+		r := stats.NewRand(seed)
+		n := 40 + int(seed)
+		g, err := gen.BarabasiAlbert(r, n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, tree := range map[string]*graph.Graph{
+			"ba":   g,
+			"path": gen.Path(n),
+			"star": gen.Star(n),
+		} {
+			e, err := NewTreeEmbedding(tree, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pts := e.PolarCoordinates(1)
+			dist := func(u, v int) float64 { return HyperbolicDistPolar(pts[u], pts[v]) }
+			for trial := 0; trial < 60; trial++ {
+				s, d := r.Intn(n), r.Intn(n)
+				path, err := GreedyRouteMetric(tree, dist, s, d)
+				if err != nil || path[len(path)-1] != d {
+					t.Fatalf("seed %d %s: route %d->%d failed: %v (path %v)", seed, name, s, d, err, path)
+				}
+			}
+		}
+	}
+}
+
+func TestPolarGreedyInvariantExhaustive(t *testing.T) {
+	// The property that makes greedy-with-shortcuts safe on any graph
+	// containing the tree (R. Kleinberg's argument): for every (node,
+	// destination) pair, the tree neighbor toward the destination is
+	// strictly closer under the polar metric. Verified exhaustively on a
+	// 300-node UDG spanning tree (depth ~16) at scale 1.
+	r := stats.NewRand(42)
+	pts := geo.RandomPoints(r, 400, 20, 20)
+	kept, _ := geo.CarveHoles(pts, []geo.Hole{{Center: geo.Point{X: 6, Y: 6}, Radius: 3}})
+	g := geo.UnitDiskGraph(kept, 2.0)
+	comps := g.Components()
+	keep := map[int]bool{}
+	for _, v := range comps[0] {
+		keep[v] = true
+	}
+	sub, _ := g.Subgraph(keep)
+	emb, err := NewTreeEmbedding(sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polar := emb.PolarCoordinates(1)
+	n := sub.N()
+	children := make([][]int, n)
+	for v := 0; v < n; v++ {
+		if p := emb.parent[v]; p >= 0 {
+			children[p] = append(children[p], v)
+		}
+	}
+	viol := 0
+	for u := 0; u < n; u++ {
+		for dst := 0; dst < n; dst++ {
+			if u == dst {
+				continue
+			}
+			next := emb.parent[u]
+			if emb.isAncestor(u, dst) {
+				next = -1
+				for _, c := range children[u] {
+					if emb.isAncestor(c, dst) {
+						next = c
+						break
+					}
+				}
+			}
+			if next == -1 {
+				t.Fatalf("no tree step from %d toward %d", u, dst)
+			}
+			if HyperbolicDistPolar(polar[next], polar[dst]) >= HyperbolicDistPolar(polar[u], polar[dst]) {
+				viol++
+			}
+		}
+	}
+	if viol != 0 {
+		t.Errorf("greedy invariant violated for %d of %d pairs", viol, n*(n-1))
+	}
+}

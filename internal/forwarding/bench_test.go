@@ -1,0 +1,55 @@
+package forwarding
+
+import (
+	"testing"
+
+	"structura/internal/stats"
+	"structura/internal/temporal"
+)
+
+func benchTrace(b *testing.B) *temporal.EG {
+	b.Helper()
+	r := stats.NewRand(1)
+	eg, err := temporal.New(60, 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < 6000; k++ {
+		u, v := r.Intn(60), r.Intn(60)
+		if u != v {
+			_ = eg.AddContact(u, v, r.Intn(300))
+		}
+	}
+	return eg
+}
+
+func BenchmarkSimulateEpidemic(b *testing.B) {
+	eg := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(eg, Message{Src: 0, Dst: 59}, Epidemic{}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateSprayAndWait(b *testing.B) {
+	eg := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(eg, Message{Src: 0, Dst: 59}, SprayAndWait{}, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimalForwardingSets(b *testing.B) {
+	eg := benchTrace(b)
+	rates := ContactRates(eg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := OptimalForwardingSets(rates, 59); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

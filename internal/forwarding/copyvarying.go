@@ -1,0 +1,72 @@
+package forwarding
+
+import (
+	"errors"
+	"math"
+)
+
+// CopyVarying realizes the §III-A observation that "in a multi-copy message
+// delivery application, the forwarding set becomes copy-varying if the
+// objective is to minimize the delivery time of the first copy": a carrier
+// holding many copies can afford to hand some to merely-helpful relays,
+// while a carrier down to its last copy only releases it to a member of
+// the strictly-optimal forwarding set.
+//
+// Concretely: the objective E[min over copies of delivery time] can only
+// improve by placing a spare copy anywhere that can eventually deliver, so
+// with more than one token the effective set is every peer with a finite
+// expected delay to the destination; with one token it collapses to the
+// expected-delay-optimal set of [12] (which minimizes a single copy's
+// expected delay) and the copy moves rather than replicates.
+type CopyVarying struct {
+	Sets  map[int]map[int]bool // optimal forwarding sets (last-copy discipline)
+	Delay []float64            // expected delays toward the destination
+}
+
+// NewCopyVarying builds the policy from contact rates toward dst.
+func NewCopyVarying(rates [][]float64, dst int) (*CopyVarying, error) {
+	sets, delay, err := OptimalForwardingSets(rates, dst)
+	if err != nil {
+		return nil, err
+	}
+	return &CopyVarying{Sets: sets, Delay: delay}, nil
+}
+
+// Name implements Policy.
+func (*CopyVarying) Name() string { return "copy-varying" }
+
+// InSet reports whether peer belongs to carrier's forwarding set given the
+// carrier's remaining token count — the copy-varying set itself.
+func (p *CopyVarying) InSet(carrier, peer, tokens int) bool {
+	if carrier < 0 || carrier >= len(p.Delay) || peer < 0 || peer >= len(p.Delay) {
+		return false
+	}
+	if tokens > 1 {
+		return !math.IsInf(p.Delay[peer], 1)
+	}
+	return p.Sets[carrier][peer]
+}
+
+// Decide implements Policy.
+func (p *CopyVarying) Decide(env *Env, carrier, peer int) Decision {
+	tokens := env.Tokens[carrier]
+	if !p.InSet(carrier, peer, tokens) {
+		return Decision{}
+	}
+	if tokens > 1 {
+		return Decision{Replicate: true, TokensToPeer: tokens / 2}
+	}
+	// Last copy: strict set, and the copy moves.
+	return Decision{Replicate: true, TokensToPeer: tokens, Drop: true}
+}
+
+// Validate checks the policy is usable for the given network size.
+func (p *CopyVarying) Validate(n int) error {
+	if len(p.Delay) != n {
+		return errors.New("forwarding: delay vector size mismatch")
+	}
+	if p.Sets == nil {
+		return errors.New("forwarding: nil forwarding sets")
+	}
+	return nil
+}

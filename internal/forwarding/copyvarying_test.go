@@ -1,0 +1,127 @@
+package forwarding
+
+import (
+	"testing"
+
+	"structura/internal/stats"
+	"structura/internal/temporal"
+)
+
+func copyVaryingRates() [][]float64 {
+	// Node 3 is the destination; 1 is a strictly better relay than 0; 2 is
+	// a mild relay (better than 0's direct rate, worse than 1).
+	return [][]float64{
+		{0, 0.5, 0.5, 0.02},
+		{0.5, 0, 0.1, 0.5},
+		{0.5, 0.1, 0, 0.1},
+		{0.02, 0.5, 0.1, 0},
+	}
+}
+
+func TestCopyVaryingSetsWidenWithTokens(t *testing.T) {
+	p, err := NewCopyVarying(copyVaryingRates(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's property: the multi-token set contains the last-copy set
+	// (it may only widen with spare copies).
+	for carrier := 0; carrier < 3; carrier++ {
+		for peer := 0; peer < 4; peer++ {
+			if peer == carrier {
+				continue
+			}
+			if p.InSet(carrier, peer, 1) && !p.InSet(carrier, peer, 4) {
+				t.Errorf("carrier %d: peer %d in last-copy set but not multi-copy set", carrier, peer)
+			}
+		}
+	}
+	// Node 1 with spare copies hands one even to the mild relay 2 (which
+	// its single-copy optimal set excludes: delay[2] > delay[1]).
+	if !p.InSet(1, 2, 4) {
+		t.Error("multi-copy set should include any finite-delay peer")
+	}
+	if p.InSet(1, 2, 1) {
+		t.Error("last-copy set must exclude the worse relay")
+	}
+	if p.InSet(-1, 0, 2) || p.InSet(0, 9, 2) {
+		t.Error("out-of-range membership must be false")
+	}
+}
+
+func TestCopyVaryingDelivery(t *testing.T) {
+	// On exponential traces, copy-varying with L tokens should match or
+	// beat the single-copy set policy in first-copy delivery time.
+	r := stats.NewRand(1)
+	rates := copyVaryingRates()
+	p, err := NewCopyVarying(rates, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, _, err := OptimalForwardingSets(rates, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cvWins, spWins, cvCopies int
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		eg, err := temporal.New(4, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < 4; u++ {
+			for v := u + 1; v < 4; v++ {
+				if rates[u][v] <= 0 {
+					continue
+				}
+				tm := 0.0
+				for {
+					tm += stats.Exponential(r, rates[u][v])
+					if int(tm) >= 400 {
+						break
+					}
+					_ = eg.AddContact(u, v, int(tm))
+				}
+			}
+		}
+		msg := Message{Src: 0, Dst: 3}
+		cv, err := Simulate(eg, msg, p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := Simulate(eg, msg, SetPolicy{Sets: sets}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cv.Copies > 4 {
+			t.Fatalf("copies %d exceeded the 4-token budget", cv.Copies)
+		}
+		if cv.Copies > cvCopies {
+			cvCopies = cv.Copies
+		}
+		if cv.Delivered && (!sp.Delivered || cv.DeliveryTime < sp.DeliveryTime) {
+			cvWins++
+		}
+		if sp.Delivered && (!cv.Delivered || sp.DeliveryTime < cv.DeliveryTime) {
+			spWins++
+		}
+	}
+	if cvWins <= spWins {
+		t.Errorf("copy-varying should win first-copy delivery more often: cv %d vs single %d", cvWins, spWins)
+	}
+	if cvCopies < 2 {
+		t.Error("copy-varying never replicated; the test is vacuous")
+	}
+}
+
+func TestNewCopyVaryingErrors(t *testing.T) {
+	if _, err := NewCopyVarying(copyVaryingRates(), 9); err == nil {
+		t.Error("bad dst should error")
+	}
+	p := &CopyVarying{}
+	if err := p.Validate(3); err == nil {
+		t.Error("empty policy should fail validation")
+	}
+}

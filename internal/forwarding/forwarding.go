@@ -1,0 +1,299 @@
+// Package forwarding implements dynamic trimming (§III-A): online
+// forwarding decisions over a time-evolving contact graph. It provides a
+// DTN routing simulator with the classic policies (epidemic, direct
+// delivery, first-contact, binary spray-and-wait), the fixed-point
+// opportunistic forwarding sets of [12], and the TOUR time-varying optimal
+// forwarding set of [13] for exponential inter-contact times and linearly
+// decaying message utility — whose defining property, reproduced here, is
+// that the forwarding set at an intermediate node shrinks over time.
+package forwarding
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"structura/internal/temporal"
+)
+
+// Message is a single datum to deliver.
+type Message struct {
+	Src, Dst int
+	Created  int // time unit at which the message enters the network
+}
+
+// Decision is a policy's reaction to a contact while carrying a copy.
+type Decision struct {
+	Replicate    bool // hand the peer a copy
+	TokensToPeer int  // tokens transferred with the copy (spray-style)
+	Drop         bool // carrier forgets its own copy afterwards (handoff)
+}
+
+// Env exposes read-only simulator state to policies.
+type Env struct {
+	Dst     int
+	Now     int
+	Tokens  []int  // spray tokens per node (0 when unused)
+	HasCopy []bool // current carriers
+}
+
+// Policy decides, for a carrier meeting peer at a contact, what to do.
+// Delivery to the destination itself is handled by the simulator and needs
+// no policy cooperation.
+type Policy interface {
+	Name() string
+	Decide(env *Env, carrier, peer int) Decision
+}
+
+// Metrics aggregates the outcome of one simulated message.
+type Metrics struct {
+	Delivered    bool
+	DeliveryTime int // time unit of first delivery (valid when Delivered)
+	Forwards     int // copy transfers, including the delivering one
+	Copies       int // peak number of simultaneous carriers
+}
+
+// Delay returns DeliveryTime - Created, or -1 when undelivered.
+func (m Metrics) Delay(msg Message) int {
+	if !m.Delivered {
+		return -1
+	}
+	return m.DeliveryTime - msg.Created
+}
+
+// Simulate runs one message through the EG under the policy. Within a time
+// unit transmission is instantaneous (as in §II-B), so decisions cascade
+// until a fixpoint before time advances.
+func Simulate(eg *temporal.EG, msg Message, p Policy, initialTokens int) (Metrics, error) {
+	if msg.Src < 0 || msg.Src >= eg.N() || msg.Dst < 0 || msg.Dst >= eg.N() {
+		return Metrics{}, errors.New("forwarding: src/dst out of range")
+	}
+	if msg.Created < 0 || (msg.Created >= eg.Horizon() && msg.Src != msg.Dst) {
+		return Metrics{}, errors.New("forwarding: created time outside horizon")
+	}
+	env := &Env{
+		Dst:     msg.Dst,
+		Tokens:  make([]int, eg.N()),
+		HasCopy: make([]bool, eg.N()),
+	}
+	env.HasCopy[msg.Src] = true
+	env.Tokens[msg.Src] = initialTokens
+	var m Metrics
+	m.Copies = 1
+	if msg.Src == msg.Dst {
+		m.Delivered = true
+		m.DeliveryTime = msg.Created
+		return m, nil
+	}
+	// touched[v] marks nodes that carried the message at any point within
+	// the current time unit: a copy may not return to them until the next
+	// unit, which both matches store-carry-forward semantics and guarantees
+	// the within-unit cascade below terminates (handoff policies would
+	// otherwise ping-pong a copy across one contact forever).
+	touched := make([]bool, eg.N())
+	for t := msg.Created; t < eg.Horizon(); t++ {
+		env.Now = t
+		snap := eg.Snapshot(t)
+		for v := range touched {
+			touched[v] = env.HasCopy[v]
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, e := range snap.Edges() {
+				for _, dir := range [2][2]int{{e.From, e.To}, {e.To, e.From}} {
+					carrier, peer := dir[0], dir[1]
+					if !env.HasCopy[carrier] || env.HasCopy[peer] || touched[peer] {
+						continue
+					}
+					if peer == msg.Dst {
+						m.Forwards++
+						m.Delivered = true
+						m.DeliveryTime = t
+						return m, nil
+					}
+					d := p.Decide(env, carrier, peer)
+					if !d.Replicate {
+						continue
+					}
+					env.HasCopy[peer] = true
+					touched[peer] = true
+					m.Forwards++
+					if d.TokensToPeer > 0 {
+						moved := d.TokensToPeer
+						if moved > env.Tokens[carrier] {
+							moved = env.Tokens[carrier]
+						}
+						env.Tokens[carrier] -= moved
+						env.Tokens[peer] += moved
+					}
+					if d.Drop {
+						env.HasCopy[carrier] = false
+					}
+					changed = true
+				}
+			}
+			carriers := 0
+			for _, h := range env.HasCopy {
+				if h {
+					carriers++
+				}
+			}
+			if carriers > m.Copies {
+				m.Copies = carriers
+			}
+		}
+	}
+	return m, nil
+}
+
+// Epidemic floods: every contact gets a copy.
+type Epidemic struct{}
+
+// Name implements Policy.
+func (Epidemic) Name() string { return "epidemic" }
+
+// Decide implements Policy.
+func (Epidemic) Decide(*Env, int, int) Decision { return Decision{Replicate: true} }
+
+// DirectDelivery never relays; only source-to-destination contacts deliver.
+type DirectDelivery struct{}
+
+// Name implements Policy.
+func (DirectDelivery) Name() string { return "direct" }
+
+// Decide implements Policy.
+func (DirectDelivery) Decide(*Env, int, int) Decision { return Decision{} }
+
+// FirstContact is single-copy: the copy moves to every first new contact.
+type FirstContact struct{}
+
+// Name implements Policy.
+func (FirstContact) Name() string { return "first-contact" }
+
+// Decide implements Policy.
+func (FirstContact) Decide(*Env, int, int) Decision {
+	return Decision{Replicate: true, Drop: true}
+}
+
+// SprayAndWait is binary spray-and-wait: a carrier with more than one token
+// gives half to each new contact; with one token it waits for the
+// destination.
+type SprayAndWait struct{}
+
+// Name implements Policy.
+func (SprayAndWait) Name() string { return "spray-and-wait" }
+
+// Decide implements Policy.
+func (SprayAndWait) Decide(env *Env, carrier, _ int) Decision {
+	if env.Tokens[carrier] <= 1 {
+		return Decision{}
+	}
+	return Decision{Replicate: true, TokensToPeer: env.Tokens[carrier] / 2}
+}
+
+// SetPolicy forwards a single copy only to members of the carrier's
+// forwarding set (the [12]-style dynamic trimming: the "neighbor subset"
+// notion of §III-A).
+type SetPolicy struct {
+	Sets map[int]map[int]bool
+}
+
+// Name implements Policy.
+func (SetPolicy) Name() string { return "forwarding-set" }
+
+// Decide implements Policy.
+func (sp SetPolicy) Decide(_ *Env, carrier, peer int) Decision {
+	if sp.Sets[carrier][peer] {
+		return Decision{Replicate: true, Drop: true}
+	}
+	return Decision{}
+}
+
+// ContactRates estimates per-pair contact rates (contacts per time unit)
+// from an EG — the macro-level model of §II-B.
+func ContactRates(eg *temporal.EG) [][]float64 {
+	n := eg.N()
+	rates := make([][]float64, n)
+	for i := range rates {
+		rates[i] = make([]float64, n)
+	}
+	if eg.Horizon() == 0 {
+		return rates
+	}
+	h := float64(eg.Horizon())
+	for u := 0; u < n; u++ {
+		for _, v := range eg.Neighbors(u) {
+			rates[u][v] = float64(len(eg.Labels(u, v))) / h
+		}
+	}
+	return rates
+}
+
+// OptimalForwardingSets computes, for every node, the expected-delay-optimal
+// forwarding set toward dst under exponential inter-contact times with the
+// given rates — the fixed-point construction of opportunistic routing [12].
+// It returns the sets and the expected delays. Unreachable nodes get +Inf
+// delay and an empty set.
+func OptimalForwardingSets(rates [][]float64, dst int) (map[int]map[int]bool, []float64, error) {
+	n := len(rates)
+	if dst < 0 || dst >= n {
+		return nil, nil, errors.New("forwarding: dst out of range")
+	}
+	delay := make([]float64, n)
+	for i := range delay {
+		delay[i] = math.Inf(1)
+	}
+	delay[dst] = 0
+	// Dijkstra-like: settle nodes in increasing expected delay. For node i,
+	// given the settled set S sorted by delay, the optimal stopping rule
+	// includes settled relays j (in increasing delay) while they reduce
+	//   ED_i = (1 + sum_j rate_ij * ED_j) / sum_j rate_ij.
+	settled := make([]bool, n)
+	settled[dst] = true
+	order := []int{dst}
+	sets := make(map[int]map[int]bool, n)
+	sets[dst] = map[int]bool{}
+	for len(order) < n {
+		bestNode, bestDelay := -1, math.Inf(1)
+		var bestSet map[int]bool
+		for i := 0; i < n; i++ {
+			if settled[i] {
+				continue
+			}
+			var sumRate, sumRD float64
+			cur := math.Inf(1)
+			set := map[int]bool{}
+			for _, j := range order { // increasing delay
+				if rates[i][j] <= 0 {
+					continue
+				}
+				// Adding j helps iff delay[j] < current ED_i.
+				if delay[j] >= cur {
+					break
+				}
+				sumRate += rates[i][j]
+				sumRD += rates[i][j] * delay[j]
+				cur = (1 + sumRD) / sumRate
+				set[j] = true
+			}
+			if cur < bestDelay {
+				bestNode, bestDelay, bestSet = i, cur, set
+			}
+		}
+		if bestNode == -1 {
+			break // remaining nodes are unreachable
+		}
+		settled[bestNode] = true
+		delay[bestNode] = bestDelay
+		sets[bestNode] = bestSet
+		// Keep order sorted by delay.
+		order = append(order, bestNode)
+		sort.Slice(order, func(a, b int) bool { return delay[order[a]] < delay[order[b]] })
+	}
+	for i := 0; i < n; i++ {
+		if sets[i] == nil {
+			sets[i] = map[int]bool{}
+		}
+	}
+	return sets, delay, nil
+}

@@ -1,0 +1,433 @@
+package forwarding
+
+import (
+	"math"
+	"testing"
+
+	"structura/internal/mobility"
+	"structura/internal/stats"
+	"structura/internal/temporal"
+)
+
+func lineEG(t *testing.T) *temporal.EG {
+	t.Helper()
+	// 0 -1-> 1 -2-> 2 -3-> 3; plus a late direct 0-3 contact at 8.
+	eg, err := temporal.New(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = eg.AddContact(0, 1, 1)
+	_ = eg.AddContact(1, 2, 2)
+	_ = eg.AddContact(2, 3, 3)
+	_ = eg.AddContact(0, 3, 8)
+	return eg
+}
+
+func TestSimulateValidation(t *testing.T) {
+	eg := lineEG(t)
+	if _, err := Simulate(eg, Message{Src: -1, Dst: 3}, Epidemic{}, 0); err == nil {
+		t.Error("bad src should error")
+	}
+	if _, err := Simulate(eg, Message{Src: 0, Dst: 3, Created: 99}, Epidemic{}, 0); err == nil {
+		t.Error("created outside horizon should error")
+	}
+}
+
+func TestSimulateSelfDelivery(t *testing.T) {
+	eg := lineEG(t)
+	m, err := Simulate(eg, Message{Src: 2, Dst: 2, Created: 4}, Epidemic{}, 0)
+	if err != nil || !m.Delivered || m.DeliveryTime != 4 {
+		t.Errorf("self delivery = %+v, %v", m, err)
+	}
+}
+
+func TestEpidemicMatchesEarliestArrival(t *testing.T) {
+	eg := lineEG(t)
+	m, err := Simulate(eg, Message{Src: 0, Dst: 3}, Epidemic{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Delivered || m.DeliveryTime != 3 {
+		t.Errorf("epidemic delivery = %+v, want at t=3", m)
+	}
+	if m.Copies < 3 {
+		t.Errorf("epidemic copies = %d, want >= 3", m.Copies)
+	}
+	arr, _, _ := eg.EarliestArrival(0, 0)
+	if m.DeliveryTime != arr[3] {
+		t.Errorf("epidemic (%d) must match earliest arrival (%d)", m.DeliveryTime, arr[3])
+	}
+}
+
+func TestEpidemicFloodsWithinTimeUnit(t *testing.T) {
+	// All contacts at the same time unit: instantaneous cascade.
+	eg, _ := temporal.New(4, 3)
+	_ = eg.AddContact(0, 1, 1)
+	_ = eg.AddContact(1, 2, 1)
+	_ = eg.AddContact(2, 3, 1)
+	m, err := Simulate(eg, Message{Src: 0, Dst: 3}, Epidemic{}, 0)
+	if err != nil || !m.Delivered || m.DeliveryTime != 1 {
+		t.Errorf("cascade delivery = %+v, %v; want t=1", m, err)
+	}
+}
+
+func TestDirectDelivery(t *testing.T) {
+	eg := lineEG(t)
+	m, err := Simulate(eg, Message{Src: 0, Dst: 3}, DirectDelivery{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Delivered || m.DeliveryTime != 8 {
+		t.Errorf("direct delivery = %+v, want t=8 (the only 0-3 contact)", m)
+	}
+	if m.Copies != 1 || m.Forwards != 1 {
+		t.Errorf("direct should never replicate: %+v", m)
+	}
+}
+
+func TestDirectDeliveryFails(t *testing.T) {
+	eg, _ := temporal.New(3, 5)
+	_ = eg.AddContact(0, 1, 1)
+	_ = eg.AddContact(1, 2, 2)
+	m, err := Simulate(eg, Message{Src: 0, Dst: 2}, DirectDelivery{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Delivered {
+		t.Error("no direct contact exists; delivery must fail")
+	}
+	if m.Delay(Message{Src: 0, Dst: 2}) != -1 {
+		t.Error("Delay of undelivered must be -1")
+	}
+}
+
+func TestFirstContactSingleCopy(t *testing.T) {
+	eg := lineEG(t)
+	m, err := Simulate(eg, Message{Src: 0, Dst: 3}, FirstContact{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Delivered {
+		t.Fatal("first-contact should deliver along the line")
+	}
+	if m.Copies != 1 {
+		t.Errorf("single-copy policy peaked at %d copies", m.Copies)
+	}
+}
+
+func TestSprayAndWait(t *testing.T) {
+	// Star contacts then direct: source meets 2 relays, one relay meets dst.
+	eg, _ := temporal.New(5, 10)
+	_ = eg.AddContact(0, 1, 1)
+	_ = eg.AddContact(0, 2, 2)
+	_ = eg.AddContact(2, 4, 5)
+	_ = eg.AddContact(3, 4, 6)
+	msg := Message{Src: 0, Dst: 4}
+	m, err := Simulate(eg, msg, SprayAndWait{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Delivered || m.DeliveryTime != 5 {
+		t.Errorf("spray delivery = %+v, want t=5 via relay 2", m)
+	}
+	if m.Copies > 3 {
+		t.Errorf("4 tokens allow at most 3 simultaneous carriers here, got %d", m.Copies)
+	}
+	// With 1 token spray degenerates to direct delivery: never delivered here.
+	m1, err := Simulate(eg, msg, SprayAndWait{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Delivered {
+		t.Error("1-token spray = direct delivery; no 0-4 contact exists")
+	}
+}
+
+func TestContactRates(t *testing.T) {
+	eg, _ := temporal.New(3, 10)
+	for _, tu := range []int{1, 3, 5, 7} {
+		_ = eg.AddContact(0, 1, tu)
+	}
+	_ = eg.AddContact(1, 2, 4)
+	rates := ContactRates(eg)
+	if rates[0][1] != 0.4 || rates[1][0] != 0.4 {
+		t.Errorf("rate(0,1) = %v, want 0.4", rates[0][1])
+	}
+	if rates[1][2] != 0.1 {
+		t.Errorf("rate(1,2) = %v, want 0.1", rates[1][2])
+	}
+	if rates[0][2] != 0 {
+		t.Errorf("rate(0,2) = %v, want 0", rates[0][2])
+	}
+}
+
+func TestOptimalForwardingSets(t *testing.T) {
+	// Triangle: node 0 contacts dst=2 slowly (0.1) and relay 1 quickly
+	// (1.0); relay 1 contacts dst at 1.0.
+	rates := [][]float64{
+		{0, 1.0, 0.1},
+		{1.0, 0, 1.0},
+		{0.1, 1.0, 0},
+	}
+	sets, delay, err := OptimalForwardingSets(rates, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delay[2] != 0 {
+		t.Errorf("dst delay = %v", delay[2])
+	}
+	if math.Abs(delay[1]-1) > 1e-9 {
+		t.Errorf("relay delay = %v, want 1", delay[1])
+	}
+	// Node 0: using only dst: ED = 1/0.1 = 10. Adding relay 1 (ED 1):
+	// ED = (1 + 1.0*1) / (1.1) ~ 1.818 — strictly better, so 1 must be in
+	// the set.
+	if !sets[0][1] || !sets[0][2] {
+		t.Errorf("node 0 set = %v, want {1, 2}", sets[0])
+	}
+	if delay[0] >= 10 {
+		t.Errorf("node 0 delay = %v, want < direct-only 10", delay[0])
+	}
+}
+
+func TestOptimalForwardingSetsExcludesWorseRelays(t *testing.T) {
+	// Relay 1 is slower to dst than node 0 itself: keep it out.
+	rates := [][]float64{
+		{0, 5.0, 1.0},
+		{5.0, 0, 0.01},
+		{1.0, 0.01, 0},
+	}
+	sets, delay, err := OptimalForwardingSets(rates, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sets[0][1] {
+		t.Errorf("node 0 must not forward to the much slower relay: %v (delays %v)", sets[0], delay)
+	}
+}
+
+func TestOptimalForwardingSetsUnreachable(t *testing.T) {
+	rates := [][]float64{
+		{0, 0, 0},
+		{0, 0, 1},
+		{0, 1, 0},
+	}
+	sets, delay, err := OptimalForwardingSets(rates, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(delay[0], 1) || len(sets[0]) != 0 {
+		t.Errorf("isolated node should be unreachable: delay %v set %v", delay[0], sets[0])
+	}
+	if _, _, err := OptimalForwardingSets(rates, 9); err == nil {
+		t.Error("bad dst should error")
+	}
+}
+
+func TestSetPolicySimulation(t *testing.T) {
+	eg := lineEG(t)
+	sets := map[int]map[int]bool{
+		0: {1: true},
+		1: {2: true},
+		2: {3: true},
+	}
+	m, err := Simulate(eg, Message{Src: 0, Dst: 3}, SetPolicy{Sets: sets}, 0)
+	if err != nil || !m.Delivered || m.DeliveryTime != 3 {
+		t.Errorf("set policy = %+v, %v; want delivery at 3", m, err)
+	}
+	// Empty sets: copy never leaves the source except directly.
+	m2, err := Simulate(eg, Message{Src: 0, Dst: 3}, SetPolicy{Sets: map[int]map[int]bool{}}, 0)
+	if err != nil || !m2.Delivered || m2.DeliveryTime != 8 {
+		t.Errorf("empty-set policy = %+v, %v; want direct at 8", m2, err)
+	}
+}
+
+// --- TOUR ---------------------------------------------------------------
+
+func TestNewTOURValidation(t *testing.T) {
+	if _, err := NewTOUR(nil, 1, 10, 0); err == nil {
+		t.Error("empty lambda should error")
+	}
+	if _, err := NewTOUR([]float64{-1}, 1, 10, 0); err == nil {
+		t.Error("negative rate should error")
+	}
+	if _, err := NewTOUR([]float64{1}, 0, 10, 0); err == nil {
+		t.Error("zero beta should error")
+	}
+	if _, err := NewTOUR([]float64{1}, 1, 0, 0); err == nil {
+		t.Error("zero deadline should error")
+	}
+	if _, err := NewTOUR([]float64{1}, 1, 10, -1); err == nil {
+		t.Error("negative cost should error")
+	}
+}
+
+func TestTOURExpectedUtility(t *testing.T) {
+	p, _ := NewTOUR([]float64{0.5, 1}, 2, 10, 0)
+	if u := p.ExpectedUtility(0, 5); u != 0 {
+		t.Errorf("zero-rate utility = %v", u)
+	}
+	if u := p.ExpectedUtility(1, 0); u != 0 {
+		t.Errorf("zero-lifetime utility = %v", u)
+	}
+	// Monotone in lambda and tau.
+	if p.ExpectedUtility(0.5, 5) >= p.ExpectedUtility(1, 5) {
+		t.Error("utility must increase with contact rate")
+	}
+	if p.ExpectedUtility(1, 2) >= p.ExpectedUtility(1, 5) {
+		t.Error("utility must increase with remaining lifetime")
+	}
+	// Closed form sanity: lambda=1, tau=1, beta=2: 2*(1-(1-e^-1)) = 2/e.
+	want := 2 * math.Exp(-1)
+	if got := p.ExpectedUtility(1, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ExpectedUtility = %v, want %v", got, want)
+	}
+}
+
+func TestTOURForwardingSetShrinksOverTime(t *testing.T) {
+	// The paper's headline claim for [13]: "the forwarding set at the same
+	// intermediate node shrinks over time."
+	lambda := []float64{0.05, 0.2, 0.5, 1.0, 0.08, 0}
+	p, err := NewTOUR(lambda, 1, 40, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carrier := 0
+	prev := p.ForwardingSet(carrier, 0)
+	if len(prev) == 0 {
+		t.Fatal("initial forwarding set should not be empty for a slow carrier")
+	}
+	for tm := 1; tm <= 40; tm++ {
+		cur := p.ForwardingSet(carrier, tm)
+		curSet := map[int]bool{}
+		for _, v := range cur {
+			curSet[v] = true
+		}
+		for _, v := range cur {
+			found := false
+			for _, u := range prev {
+				if u == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("forwarding set grew at t=%d: %v not in previous %v", tm, v, prev)
+			}
+		}
+		if len(cur) > len(prev) {
+			t.Fatalf("set size grew at t=%d: %d > %d", tm, len(cur), len(prev))
+		}
+		prev = cur
+	}
+	if len(prev) != 0 {
+		t.Errorf("at the deadline the forwarding set must be empty, got %v", prev)
+	}
+}
+
+func TestTOURNeverForwardsToSlower(t *testing.T) {
+	p, _ := NewTOUR([]float64{0.5, 0.1}, 1, 20, 0)
+	if p.InSet(0, 1, 0) {
+		t.Error("slower peer must not be in the forwarding set")
+	}
+	if p.InSet(0, 0, 0) {
+		t.Error("self must not be in the set")
+	}
+}
+
+func TestTOURSimulatedUtilityBeatsDirect(t *testing.T) {
+	// Feature-style synthetic scenario: relays with exponential contacts.
+	r := stats.NewRand(7)
+	n := 12
+	dst := n - 1
+	// Per-node contact rates with dst; node 0 is the slow source.
+	lambda := make([]float64, n)
+	lambda[0] = 0.01
+	for i := 1; i < dst; i++ {
+		lambda[i] = 0.02 + 0.04*float64(i)
+	}
+	lambda[dst] = 0
+	horizon := 300
+	deadline := 200
+	var tourU, directU float64
+	trials := 60
+	for trial := 0; trial < trials; trial++ {
+		eg, err := temporal.New(n, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pairwise contacts: with dst ~ Exp(lambda[i]); relay-relay uniform
+		// sparse meetings so the copy can move around.
+		for i := 0; i < dst; i++ {
+			if lambda[i] <= 0 {
+				continue
+			}
+			tm := 0.0
+			for {
+				tm += stats.Exponential(r, lambda[i])
+				if int(tm) >= horizon {
+					break
+				}
+				_ = eg.AddContact(i, dst, int(tm))
+			}
+		}
+		for i := 0; i < dst; i++ {
+			for j := i + 1; j < dst; j++ {
+				tm := 0.0
+				for {
+					tm += stats.Exponential(r, 0.05)
+					if int(tm) >= horizon {
+						break
+					}
+					_ = eg.AddContact(i, j, int(tm))
+				}
+			}
+		}
+		p, err := NewTOUR(lambda, 1, deadline, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := Message{Src: 0, Dst: dst}
+		mt, err := Simulate(eg, msg, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mt.Delivered {
+			tourU += p.DeliveredUtility(mt.DeliveryTime) - float64(mt.Forwards-1)*p.Cost
+		}
+		md, err := Simulate(eg, msg, DirectDelivery{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if md.Delivered {
+			directU += p.DeliveredUtility(md.DeliveryTime)
+		}
+	}
+	if tourU <= directU {
+		t.Errorf("TOUR net utility %v should beat direct delivery %v", tourU, directU)
+	}
+}
+
+func TestTOURWithMobilityTrace(t *testing.T) {
+	// Smoke: the policy composes with the feature-contact model.
+	r := stats.NewRand(8)
+	profiles := []mobility.FeatureProfile{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	eg, err := mobility.FeatureContacts(r, mobility.FeatureContactConfig{
+		Profiles: profiles, BaseProb: 0.3, Decay: 0.5, Steps: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := ContactRates(eg)
+	lambda := make([]float64, eg.N())
+	for i := range lambda {
+		lambda[i] = rates[i][3]
+	}
+	p, err := NewTOUR(lambda, 1, 50, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(eg, Message{Src: 0, Dst: 3}, p, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package forwarding
+
+import (
+	"errors"
+	"math"
+)
+
+// TOUR implements the time-sensitive utility-based single-copy policy of
+// [13]: message utility decays linearly, U(t) = Beta * (Deadline - t) for
+// t <= Deadline, and node i's inter-contact time with the destination is
+// exponential with rate Lambda[i]. Handing the copy to a peer costs Cost
+// units of utility, so a handoff pays off only while the expected-utility
+// gain exceeds the cost — which makes the optimal forwarding set at a node
+// shrink as the deadline approaches, the paper's headline property.
+type TOUR struct {
+	Lambda   []float64 // direct contact rate of each node with the destination
+	Beta     float64   // utility decay per time unit
+	Deadline int       // time at which utility reaches zero
+	Cost     float64   // utility cost per handoff
+}
+
+// NewTOUR validates and builds a TOUR policy.
+func NewTOUR(lambda []float64, beta float64, deadline int, cost float64) (*TOUR, error) {
+	if len(lambda) == 0 {
+		return nil, errors.New("forwarding: TOUR needs contact rates")
+	}
+	for _, l := range lambda {
+		if l < 0 {
+			return nil, errors.New("forwarding: negative contact rate")
+		}
+	}
+	if beta <= 0 {
+		return nil, errors.New("forwarding: Beta must be positive")
+	}
+	if deadline <= 0 {
+		return nil, errors.New("forwarding: Deadline must be positive")
+	}
+	if cost < 0 {
+		return nil, errors.New("forwarding: negative Cost")
+	}
+	return &TOUR{Lambda: lambda, Beta: beta, Deadline: deadline, Cost: cost}, nil
+}
+
+// Name implements Policy.
+func (*TOUR) Name() string { return "tour" }
+
+// ExpectedUtility returns E[max(0, U(arrival))] when a node with direct
+// contact rate lambda carries the message with remaining lifetime tau:
+//
+//	E = Beta * (tau - (1 - exp(-lambda*tau)) / lambda)
+//
+// (0 when lambda == 0 or tau <= 0).
+func (p *TOUR) ExpectedUtility(lambda, tau float64) float64 {
+	if tau <= 0 || lambda <= 0 {
+		return 0
+	}
+	return p.Beta * (tau - (1-math.Exp(-lambda*tau))/lambda)
+}
+
+// InSet reports whether peer belongs to carrier's optimal forwarding set at
+// time t: the expected-utility gain from handing off exceeds the handoff
+// cost.
+func (p *TOUR) InSet(carrier, peer, t int) bool {
+	tau := float64(p.Deadline - t)
+	gain := p.ExpectedUtility(p.Lambda[peer], tau) - p.ExpectedUtility(p.Lambda[carrier], tau)
+	return gain > p.Cost
+}
+
+// ForwardingSet returns carrier's forwarding set at time t (sorted node IDs).
+func (p *TOUR) ForwardingSet(carrier, t int) []int {
+	var out []int
+	for peer := range p.Lambda {
+		if peer != carrier && p.InSet(carrier, peer, t) {
+			out = append(out, peer)
+		}
+	}
+	return out
+}
+
+// Decide implements Policy: single-copy handoff to forwarding-set members.
+func (p *TOUR) Decide(env *Env, carrier, peer int) Decision {
+	if p.InSet(carrier, peer, env.Now) {
+		return Decision{Replicate: true, Drop: true}
+	}
+	return Decision{}
+}
+
+// DeliveredUtility converts a delivery delay into realized utility.
+func (p *TOUR) DeliveredUtility(deliveryTime int) float64 {
+	u := p.Beta * float64(p.Deadline-deliveryTime)
+	if u < 0 {
+		return 0
+	}
+	return u
+}

@@ -1,0 +1,29 @@
+package fspace_test
+
+import (
+	"fmt"
+
+	"structura/internal/fspace"
+)
+
+// The paper's Fig. 6: the 2x2x3 feature space supports node-disjoint
+// multipath routing between communities.
+func ExampleSpace_DisjointRoutes() {
+	space := fspace.Fig6Space()
+	a, _ := space.ID([]int{0, 0, 0})
+	b, _ := space.ID([]int{1, 1, 2})
+	routes, err := space.DisjointRoutes(a, b)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("disjoint shortest paths:", len(routes))
+	for _, r := range routes {
+		fmt.Println(r)
+	}
+	// Output:
+	// disjoint shortest paths: 3
+	// [0 6 9 11]
+	// [0 3 5 11]
+	// [0 2 8 11]
+}

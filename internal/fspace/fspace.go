@@ -1,0 +1,259 @@
+// Package fspace implements the domain remapping of §III-C (Fig. 6): a
+// routing process in a highly mobile, unstructured contact space (M-space)
+// is converted into one in a static, structured feature space (F-space)
+// represented as a generalized hypercube. Every combination of social
+// features is one F-space node (a community of people with common features
+// and the most frequent contacts); two nodes are linked iff they differ in
+// exactly one feature — the strong links. The hypercube supports
+// shortest-path routing and node-disjoint multipath routing.
+package fspace
+
+import (
+	"errors"
+	"fmt"
+
+	"structura/internal/forwarding"
+	"structura/internal/graph"
+	"structura/internal/mobility"
+)
+
+// Space is a generalized hypercube over feature dimensions Dims; node IDs
+// are mixed-radix encodings of feature vectors.
+type Space struct {
+	dims  []int
+	n     int
+	strid []int // mixed-radix strides
+}
+
+// NewSpace builds a feature space with the given per-feature cardinalities
+// (each >= 2).
+func NewSpace(dims []int) (*Space, error) {
+	if len(dims) == 0 {
+		return nil, errors.New("fspace: need at least one feature")
+	}
+	n := 1
+	strid := make([]int, len(dims))
+	for i := len(dims) - 1; i >= 0; i-- {
+		if dims[i] < 2 {
+			return nil, fmt.Errorf("fspace: feature %d cardinality %d < 2", i, dims[i])
+		}
+		strid[i] = n
+		n *= dims[i]
+	}
+	return &Space{dims: append([]int(nil), dims...), n: n, strid: strid}, nil
+}
+
+// Fig6Space returns the paper's Fig. 6 example: gender (2) x occupation (2)
+// x nationality (3), a 12-node 3-D generalized hypercube.
+func Fig6Space() *Space {
+	s, err := NewSpace([]int{2, 2, 3})
+	if err != nil {
+		panic(err) // unreachable: constants are valid
+	}
+	return s
+}
+
+// N returns the number of F-space nodes.
+func (s *Space) N() int { return s.n }
+
+// Dims returns the feature cardinalities.
+func (s *Space) Dims() []int { return append([]int(nil), s.dims...) }
+
+// ID encodes a feature vector as a node ID.
+func (s *Space) ID(coords []int) (int, error) {
+	if len(coords) != len(s.dims) {
+		return 0, fmt.Errorf("fspace: %d coordinates for %d features", len(coords), len(s.dims))
+	}
+	id := 0
+	for i, c := range coords {
+		if c < 0 || c >= s.dims[i] {
+			return 0, fmt.Errorf("fspace: feature %d value %d out of range [0,%d)", i, c, s.dims[i])
+		}
+		id += c * s.strid[i]
+	}
+	return id, nil
+}
+
+// Coords decodes a node ID into its feature vector.
+func (s *Space) Coords(id int) ([]int, error) {
+	if id < 0 || id >= s.n {
+		return nil, fmt.Errorf("fspace: id %d out of range [0,%d)", id, s.n)
+	}
+	out := make([]int, len(s.dims))
+	for i := range s.dims {
+		out[i] = (id / s.strid[i]) % s.dims[i]
+	}
+	return out, nil
+}
+
+// ProfileID maps a mobility.FeatureProfile to its F-space node.
+func (s *Space) ProfileID(p mobility.FeatureProfile) (int, error) {
+	return s.ID([]int(p))
+}
+
+// FeatureDistance returns the number of differing features between two
+// F-space nodes (the hypercube hop distance).
+func (s *Space) FeatureDistance(a, b int) (int, error) {
+	ca, err := s.Coords(a)
+	if err != nil {
+		return 0, err
+	}
+	cb, err := s.Coords(b)
+	if err != nil {
+		return 0, err
+	}
+	d := 0
+	for i := range ca {
+		if ca[i] != cb[i] {
+			d++
+		}
+	}
+	return d, nil
+}
+
+// Graph materializes the generalized hypercube: an edge wherever two nodes
+// differ in exactly one feature.
+func (s *Space) Graph() *graph.Graph {
+	g := graph.New(s.n)
+	for id := 0; id < s.n; id++ {
+		coords, _ := s.Coords(id)
+		for i, di := range s.dims {
+			for v := coords[i] + 1; v < di; v++ {
+				other := id + (v-coords[i])*s.strid[i]
+				_ = g.AddEdge(id, other)
+			}
+		}
+	}
+	return g
+}
+
+// ShortestRoute returns a shortest F-space path from a to b, correcting
+// differing features in ascending index order. Its length equals
+// FeatureDistance(a, b).
+func (s *Space) ShortestRoute(a, b int) ([]int, error) {
+	ca, err := s.Coords(a)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := s.Coords(b)
+	if err != nil {
+		return nil, err
+	}
+	path := []int{a}
+	cur := append([]int(nil), ca...)
+	for i := range cur {
+		if cur[i] != cb[i] {
+			cur[i] = cb[i]
+			id, _ := s.ID(cur)
+			path = append(path, id)
+		}
+	}
+	return path, nil
+}
+
+// DisjointRoutes returns d node-disjoint shortest paths from a to b, where
+// d = FeatureDistance(a, b): the classic rotation construction — path k
+// corrects the differing features in cyclic order starting with the k-th.
+// All intermediate nodes across the returned paths are distinct.
+func (s *Space) DisjointRoutes(a, b int) ([][]int, error) {
+	ca, err := s.Coords(a)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := s.Coords(b)
+	if err != nil {
+		return nil, err
+	}
+	var diff []int
+	for i := range ca {
+		if ca[i] != cb[i] {
+			diff = append(diff, i)
+		}
+	}
+	if len(diff) == 0 {
+		return [][]int{{a}}, nil
+	}
+	routes := make([][]int, 0, len(diff))
+	for k := range diff {
+		cur := append([]int(nil), ca...)
+		path := []int{a}
+		for j := 0; j < len(diff); j++ {
+			i := diff[(k+j)%len(diff)]
+			cur[i] = cb[i]
+			id, _ := s.ID(cur)
+			path = append(path, id)
+		}
+		routes = append(routes, path)
+	}
+	return routes, nil
+}
+
+// GradientPolicy is the F-space single-copy routing policy over an M-space
+// contact trace: the copy is handed to a contacted peer whose community is
+// strictly closer to the destination community in feature distance. This
+// is the "routing in F-space" of Fig. 6 executed over physical contacts.
+type GradientPolicy struct {
+	Space    *Space
+	Profiles []mobility.FeatureProfile // per-individual profiles
+	DstNode  int                       // destination community
+}
+
+// NewGradientPolicy validates and builds the policy; dstProfile is the
+// destination individual's profile.
+func NewGradientPolicy(s *Space, profiles []mobility.FeatureProfile, dstProfile mobility.FeatureProfile) (*GradientPolicy, error) {
+	dst, err := s.ProfileID(dstProfile)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range profiles {
+		if _, err := s.ProfileID(p); err != nil {
+			return nil, fmt.Errorf("fspace: profile %d: %w", i, err)
+		}
+	}
+	return &GradientPolicy{Space: s, Profiles: profiles, DstNode: dst}, nil
+}
+
+// Name implements forwarding.Policy.
+func (*GradientPolicy) Name() string { return "fspace-gradient" }
+
+// Decide implements forwarding.Policy.
+func (p *GradientPolicy) Decide(_ *forwarding.Env, carrier, peer int) forwarding.Decision {
+	cNode, err1 := p.Space.ProfileID(p.Profiles[carrier])
+	pNode, err2 := p.Space.ProfileID(p.Profiles[peer])
+	if err1 != nil || err2 != nil {
+		return forwarding.Decision{}
+	}
+	dc, _ := p.Space.FeatureDistance(cNode, p.DstNode)
+	dp, _ := p.Space.FeatureDistance(pNode, p.DstNode)
+	if dp < dc {
+		return forwarding.Decision{Replicate: true, Drop: true}
+	}
+	return forwarding.Decision{}
+}
+
+// MultipathPolicy replicates along every node-disjoint F-space path: a
+// carrier hands a copy to any peer whose community is strictly closer to
+// the destination, keeping its own copy — bounded flooding guided by the
+// hypercube, the multi-path variant Fig. 6 motivates.
+type MultipathPolicy struct {
+	GradientPolicy
+}
+
+// NewMultipathPolicy builds the multipath variant.
+func NewMultipathPolicy(s *Space, profiles []mobility.FeatureProfile, dstProfile mobility.FeatureProfile) (*MultipathPolicy, error) {
+	g, err := NewGradientPolicy(s, profiles, dstProfile)
+	if err != nil {
+		return nil, err
+	}
+	return &MultipathPolicy{GradientPolicy: *g}, nil
+}
+
+// Name implements forwarding.Policy.
+func (*MultipathPolicy) Name() string { return "fspace-multipath" }
+
+// Decide implements forwarding.Policy.
+func (p *MultipathPolicy) Decide(env *forwarding.Env, carrier, peer int) forwarding.Decision {
+	d := p.GradientPolicy.Decide(env, carrier, peer)
+	d.Drop = false // keep the copy: replicate along all descending paths
+	return d
+}

@@ -1,0 +1,266 @@
+package fspace
+
+import (
+	"testing"
+
+	"structura/internal/forwarding"
+	"structura/internal/mobility"
+	"structura/internal/stats"
+)
+
+func TestNewSpaceValidation(t *testing.T) {
+	if _, err := NewSpace(nil); err == nil {
+		t.Error("no features should error")
+	}
+	if _, err := NewSpace([]int{2, 1}); err == nil {
+		t.Error("cardinality < 2 should error")
+	}
+}
+
+func TestFig6SpaceShape(t *testing.T) {
+	s := Fig6Space()
+	if s.N() != 12 {
+		t.Fatalf("N = %d, want 12 (2x2x3)", s.N())
+	}
+	g := s.Graph()
+	// Each node has sum(d_i - 1) = 1+1+2 = 4 neighbors: M = 12*4/2 = 24.
+	if g.M() != 24 {
+		t.Errorf("M = %d, want 24", g.M())
+	}
+	for v := 0; v < 12; v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	dims := s.Dims()
+	if len(dims) != 3 || dims[2] != 3 {
+		t.Errorf("Dims = %v", dims)
+	}
+}
+
+func TestIDCoordsRoundTrip(t *testing.T) {
+	s := Fig6Space()
+	for id := 0; id < s.N(); id++ {
+		coords, err := s.Coords(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := s.ID(coords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != id {
+			t.Fatalf("round trip %d -> %v -> %d", id, coords, back)
+		}
+	}
+	if _, err := s.Coords(-1); err == nil {
+		t.Error("bad id should error")
+	}
+	if _, err := s.ID([]int{0, 0}); err == nil {
+		t.Error("wrong arity should error")
+	}
+	if _, err := s.ID([]int{0, 0, 9}); err == nil {
+		t.Error("out-of-range coordinate should error")
+	}
+}
+
+func TestHypercubeEdgesDifferInOneFeature(t *testing.T) {
+	s := Fig6Space()
+	g := s.Graph()
+	for _, e := range g.Edges() {
+		d, err := s.FeatureDistance(e.From, e.To)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != 1 {
+			t.Fatalf("edge %v has feature distance %d, want 1", e, d)
+		}
+	}
+}
+
+func TestShortestRoute(t *testing.T) {
+	s := Fig6Space()
+	a, _ := s.ID([]int{0, 0, 0})
+	b, _ := s.ID([]int{1, 1, 2})
+	path, err := s.ShortestRoute(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 4 { // distance 3 => 4 nodes
+		t.Fatalf("path = %v, want 4 nodes", path)
+	}
+	g := s.Graph()
+	for i := 1; i < len(path); i++ {
+		if !g.HasEdge(path[i-1], path[i]) {
+			t.Fatalf("path step %d-%d is not a hypercube edge", path[i-1], path[i])
+		}
+	}
+	if path[0] != a || path[len(path)-1] != b {
+		t.Error("endpoints wrong")
+	}
+	// Self route.
+	self, err := s.ShortestRoute(a, a)
+	if err != nil || len(self) != 1 {
+		t.Errorf("self route = %v, %v", self, err)
+	}
+}
+
+func TestDisjointRoutes(t *testing.T) {
+	s := Fig6Space()
+	a, _ := s.ID([]int{0, 0, 0})
+	b, _ := s.ID([]int{1, 1, 2})
+	routes, err := s.DisjointRoutes(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 3 {
+		t.Fatalf("want 3 disjoint routes for distance 3, got %d", len(routes))
+	}
+	g := s.Graph()
+	seen := map[int]int{}
+	for ri, route := range routes {
+		if route[0] != a || route[len(route)-1] != b {
+			t.Fatalf("route %d endpoints wrong: %v", ri, route)
+		}
+		if len(route) != 4 {
+			t.Fatalf("route %d not shortest: %v", ri, route)
+		}
+		for i := 1; i < len(route); i++ {
+			if !g.HasEdge(route[i-1], route[i]) {
+				t.Fatalf("route %d step %d invalid", ri, i)
+			}
+		}
+		for _, v := range route[1 : len(route)-1] {
+			seen[v]++
+		}
+	}
+	for v, c := range seen {
+		if c > 1 {
+			t.Fatalf("intermediate node %d shared by %d routes", v, c)
+		}
+	}
+	// Distance-0 case.
+	selfRoutes, err := s.DisjointRoutes(a, a)
+	if err != nil || len(selfRoutes) != 1 || len(selfRoutes[0]) != 1 {
+		t.Errorf("self disjoint routes = %v, %v", selfRoutes, err)
+	}
+}
+
+// fig6Population builds several individuals per community and a
+// feature-driven contact trace.
+func fig6Population(t *testing.T, seed int64, perCommunity, steps int) ([]mobility.FeatureProfile, *Space, int, int) {
+	t.Helper()
+	s := Fig6Space()
+	var profiles []mobility.FeatureProfile
+	for g := 0; g < 2; g++ {
+		for o := 0; o < 2; o++ {
+			for c := 0; c < 3; c++ {
+				for k := 0; k < perCommunity; k++ {
+					profiles = append(profiles, mobility.FeatureProfile{g, o, c})
+				}
+			}
+		}
+	}
+	// src: first individual of community (0,0,0); dst: last of (1,1,2).
+	return profiles, s, 0, len(profiles) - 1
+}
+
+func TestGradientPolicyDelivery(t *testing.T) {
+	profiles, s, src, dst := fig6Population(t, 1, 3, 0)
+	r := stats.NewRand(2)
+	eg, err := mobility.FeatureContacts(r, mobility.FeatureContactConfig{
+		Profiles: profiles, BaseProb: 0.25, Decay: 0.35, Steps: 250,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := NewGradientPolicy(s, profiles, profiles[dst])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := forwarding.Simulate(eg, forwarding.Message{Src: src, Dst: dst}, pol, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Delivered {
+		t.Fatal("gradient routing should deliver on a dense feature trace")
+	}
+	if m.Copies != 1 {
+		t.Errorf("single-copy policy peaked at %d copies", m.Copies)
+	}
+	// Epidemic is the lower bound on delay; gradient must not beat it.
+	me, err := forwarding.Simulate(eg, forwarding.Message{Src: src, Dst: dst}, forwarding.Epidemic{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DeliveryTime < me.DeliveryTime {
+		t.Errorf("gradient (%d) cannot beat epidemic (%d)", m.DeliveryTime, me.DeliveryTime)
+	}
+}
+
+func TestMultipathPolicyDelivery(t *testing.T) {
+	profiles, s, src, dst := fig6Population(t, 3, 3, 0)
+	r := stats.NewRand(4)
+	eg, err := mobility.FeatureContacts(r, mobility.FeatureContactConfig{
+		Profiles: profiles, BaseProb: 0.25, Decay: 0.35, Steps: 250,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NewGradientPolicy(s, profiles, profiles[dst])
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := NewMultipathPolicy(s, profiles, profiles[dst])
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := forwarding.Message{Src: src, Dst: dst}
+	ms, err := forwarding.Simulate(eg, msg, single, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := forwarding.Simulate(eg, msg, multi, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mm.Delivered {
+		t.Fatal("multipath should deliver")
+	}
+	if ms.Delivered && mm.DeliveryTime > ms.DeliveryTime {
+		t.Errorf("multipath (%d) should not be slower than single-path (%d)", mm.DeliveryTime, ms.DeliveryTime)
+	}
+	if mm.Copies < ms.Copies {
+		t.Errorf("multipath copies %d < single %d", mm.Copies, ms.Copies)
+	}
+}
+
+func TestGradientPolicyValidation(t *testing.T) {
+	s := Fig6Space()
+	if _, err := NewGradientPolicy(s, nil, mobility.FeatureProfile{9, 9, 9}); err == nil {
+		t.Error("bad dst profile should error")
+	}
+	if _, err := NewGradientPolicy(s, []mobility.FeatureProfile{{0}}, mobility.FeatureProfile{0, 0, 0}); err == nil {
+		t.Error("bad member profile should error")
+	}
+	if _, err := NewMultipathPolicy(s, nil, mobility.FeatureProfile{0}); err == nil {
+		t.Error("multipath with bad dst should error")
+	}
+}
+
+func TestFeatureDistanceMatchesBFS(t *testing.T) {
+	s := Fig6Space()
+	g := s.Graph()
+	for src := 0; src < s.N(); src++ {
+		dist, _ := g.BFS(src)
+		for v := 0; v < s.N(); v++ {
+			fd, err := s.FeatureDistance(src, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dist[v] != fd {
+				t.Fatalf("BFS dist %d != feature distance %d for %d->%d", dist[v], fd, src, v)
+			}
+		}
+	}
+}

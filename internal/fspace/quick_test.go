@@ -1,0 +1,124 @@
+package fspace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// spaceSpec generates arbitrary feature spaces with 1-4 dimensions of
+// cardinality 2-4 (keeping N manageable).
+type spaceSpec struct {
+	Dims []int
+}
+
+// Generate implements quick.Generator.
+func (spaceSpec) Generate(r *rand.Rand, _ int) reflect.Value {
+	k := 1 + r.Intn(4)
+	dims := make([]int, k)
+	for i := range dims {
+		dims[i] = 2 + r.Intn(3)
+	}
+	return reflect.ValueOf(spaceSpec{Dims: dims})
+}
+
+// Property: ID/Coords round-trip on every node of every space.
+func TestQuickIDCoordsRoundTrip(t *testing.T) {
+	f := func(spec spaceSpec) bool {
+		s, err := NewSpace(spec.Dims)
+		if err != nil {
+			return false
+		}
+		for id := 0; id < s.N(); id++ {
+			coords, err := s.Coords(id)
+			if err != nil {
+				return false
+			}
+			back, err := s.ID(coords)
+			if err != nil || back != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the generalized hypercube has exactly N*sum(d_i-1)/2 edges and
+// feature distance equals BFS distance for random pairs.
+func TestQuickHypercubeShape(t *testing.T) {
+	f := func(spec spaceSpec, aRaw, bRaw uint16) bool {
+		s, err := NewSpace(spec.Dims)
+		if err != nil {
+			return false
+		}
+		g := s.Graph()
+		degSum := 0
+		for _, d := range spec.Dims {
+			degSum += d - 1
+		}
+		if g.M() != s.N()*degSum/2 {
+			return false
+		}
+		a := int(aRaw) % s.N()
+		b := int(bRaw) % s.N()
+		fd, err := s.FeatureDistance(a, b)
+		if err != nil {
+			return false
+		}
+		dist, _ := g.BFS(a)
+		return dist[b] == fd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DisjointRoutes returns FeatureDistance(a,b) shortest paths with
+// pairwise-disjoint intermediates on every space and pair.
+func TestQuickDisjointRoutes(t *testing.T) {
+	f := func(spec spaceSpec, aRaw, bRaw uint16) bool {
+		s, err := NewSpace(spec.Dims)
+		if err != nil {
+			return false
+		}
+		a := int(aRaw) % s.N()
+		b := int(bRaw) % s.N()
+		fd, _ := s.FeatureDistance(a, b)
+		routes, err := s.DisjointRoutes(a, b)
+		if err != nil {
+			return false
+		}
+		if a == b {
+			return len(routes) == 1 && len(routes[0]) == 1
+		}
+		if len(routes) != fd {
+			return false
+		}
+		g := s.Graph()
+		seen := map[int]bool{}
+		for _, route := range routes {
+			if len(route) != fd+1 || route[0] != a || route[len(route)-1] != b {
+				return false
+			}
+			for i := 1; i < len(route); i++ {
+				if !g.HasEdge(route[i-1], route[i]) {
+					return false
+				}
+			}
+			for _, v := range route[1 : len(route)-1] {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package gen provides deterministic random-graph generators for the
+// families the paper draws on: Erdős–Rényi, scale-free (Barabási–Albert),
+// small-world (Watts–Strogatz), regular topologies, and a Gnutella-like
+// directed power-law overlay calibrated to the SNAP p2p-Gnutella08 shape
+// used in Fig. 3 of the paper.
+package gen
+
+import (
+	"errors"
+	"math/rand"
+
+	"structura/internal/graph"
+	"structura/internal/stats"
+)
+
+// ErdosRenyi returns G(n, p): each unordered pair is an edge independently
+// with probability p.
+func ErdosRenyi(r *rand.Rand, n int, p float64) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				_ = g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert grows a scale-free graph by preferential attachment: each
+// new node attaches to m existing nodes chosen proportionally to degree.
+// The resulting degree distribution follows a power law with exponent ~3.
+func BarabasiAlbert(r *rand.Rand, n, m int) (*graph.Graph, error) {
+	if m < 1 {
+		return nil, errors.New("gen: BarabasiAlbert needs m >= 1")
+	}
+	if n < m+1 {
+		return nil, errors.New("gen: BarabasiAlbert needs n >= m+1")
+	}
+	g := graph.New(n)
+	// Seed: a star on the first m+1 nodes so every node has degree >= 1.
+	targets := make([]int, 0, 2*n*m) // repeated-node list for preferential choice
+	for v := 1; v <= m; v++ {
+		_ = g.AddEdge(0, v)
+		targets = append(targets, 0, v)
+	}
+	for v := m + 1; v < n; v++ {
+		seen := make(map[int]bool, m)
+		chosen := make([]int, 0, m) // keep draw order for determinism
+		for len(chosen) < m {
+			u := targets[r.Intn(len(targets))]
+			if u != v && !seen[u] {
+				seen[u] = true
+				chosen = append(chosen, u)
+			}
+		}
+		for _, u := range chosen {
+			_ = g.AddEdge(v, u)
+			targets = append(targets, v, u)
+		}
+	}
+	return g, nil
+}
+
+// WattsStrogatz builds a small-world ring lattice: n nodes each connected to
+// k nearest neighbors (k even), with each edge rewired with probability beta.
+func WattsStrogatz(r *rand.Rand, n, k int, beta float64) (*graph.Graph, error) {
+	if k%2 != 0 || k < 2 {
+		return nil, errors.New("gen: WattsStrogatz needs even k >= 2")
+	}
+	if n <= k {
+		return nil, errors.New("gen: WattsStrogatz needs n > k")
+	}
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			u := (v + j) % n
+			if r.Float64() < beta {
+				// Rewire to a uniform non-self, non-duplicate target.
+				for tries := 0; tries < 4*n; tries++ {
+					w := r.Intn(n)
+					if w != v && !g.HasEdge(v, w) {
+						u = w
+						break
+					}
+				}
+			}
+			if !g.HasEdge(v, u) && v != u {
+				_ = g.AddEdge(v, u)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Grid returns a rows x cols 4-neighbor lattice. Node (i,j) has ID i*cols+j.
+func Grid(rows, cols int) *graph.Graph {
+	g := graph.New(rows * cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := i*cols + j
+			if j+1 < cols {
+				_ = g.AddEdge(v, v+1)
+			}
+			if i+1 < rows {
+				_ = g.AddEdge(v, v+cols)
+			}
+		}
+	}
+	return g
+}
+
+// Ring returns the n-cycle.
+func Ring(n int) *graph.Graph {
+	g := graph.New(n)
+	if n < 3 {
+		if n == 2 {
+			_ = g.AddEdge(0, 1)
+		}
+		return g
+	}
+	for v := 0; v < n; v++ {
+		_ = g.AddEdge(v, (v+1)%n)
+	}
+	return g
+}
+
+// Star returns a star with center 0 and n-1 leaves.
+func Star(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		_ = g.AddEdge(0, v)
+	}
+	return g
+}
+
+// Complete returns K_n.
+func Complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Path returns the n-node path 0-1-...-(n-1).
+func Path(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		_ = g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+// GnutellaConfig parameterizes the Gnutella-like overlay generator.
+type GnutellaConfig struct {
+	N        int     // number of peers (SNAP p2p-Gnutella08 has 6301)
+	Alpha    float64 // out-degree power-law exponent (~2.4 for Gnutella)
+	MaxDeg   int     // out-degree cap
+	BackProb float64 // probability a link is reciprocated (densifies the SCC)
+}
+
+// DefaultGnutella returns a configuration calibrated to the shape of the
+// SNAP p2p-Gnutella08 snapshot the paper's Fig. 3 uses: ~6.3k peers, ~20.8k
+// links, power-law out-degree, one large strongly connected component.
+func DefaultGnutella() GnutellaConfig {
+	return GnutellaConfig{N: 6301, Alpha: 2.4, MaxDeg: 100, BackProb: 0.35}
+}
+
+// Gnutella generates a directed power-law overlay: each peer draws an
+// out-degree from a truncated power law and wires to targets chosen
+// preferentially by current in-degree (plus one smoothing count), with a
+// BackProb chance of reciprocation. This is the documented substitution for
+// the offline-unavailable SNAP dataset (see DESIGN.md §2).
+func Gnutella(r *rand.Rand, cfg GnutellaConfig) (*graph.Graph, error) {
+	if cfg.N < 2 {
+		return nil, errors.New("gen: Gnutella needs N >= 2")
+	}
+	if cfg.Alpha <= 1 {
+		return nil, errors.New("gen: Gnutella needs Alpha > 1")
+	}
+	maxDeg := cfg.MaxDeg
+	if maxDeg < 1 {
+		maxDeg = cfg.N - 1
+	}
+	g := graph.NewDirected(cfg.N)
+	degs := stats.PowerLawInts(r, cfg.N, 1, maxDeg, cfg.Alpha)
+	// Preferential target pool: node v appears once per in-link + once flat.
+	pool := make([]int, 0, 4*cfg.N)
+	for v := 0; v < cfg.N; v++ {
+		pool = append(pool, v)
+	}
+	for v := 0; v < cfg.N; v++ {
+		want := degs[v]
+		if want > cfg.N-1 {
+			want = cfg.N - 1
+		}
+		seen := make(map[int]bool, want)
+		chosen := make([]int, 0, want) // keep draw order for determinism
+		for tries := 0; len(chosen) < want && tries < 20*want+100; tries++ {
+			u := pool[r.Intn(len(pool))]
+			if u == v || seen[u] || g.HasEdge(v, u) {
+				continue
+			}
+			seen[u] = true
+			chosen = append(chosen, u)
+		}
+		for _, u := range chosen {
+			_ = g.AddEdge(v, u)
+			pool = append(pool, u)
+			if r.Float64() < cfg.BackProb && !g.HasEdge(u, v) {
+				_ = g.AddEdge(u, v)
+				pool = append(pool, v)
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,196 @@
+package gen
+
+import (
+	"testing"
+
+	"structura/internal/stats"
+)
+
+func TestErdosRenyiDensity(t *testing.T) {
+	r := stats.NewRand(1)
+	g := ErdosRenyi(r, 200, 0.1)
+	if g.N() != 200 {
+		t.Fatalf("n = %d", g.N())
+	}
+	maxM := 200 * 199 / 2
+	want := 0.1 * float64(maxM)
+	if m := float64(g.M()); m < 0.8*want || m > 1.2*want {
+		t.Errorf("M = %v, want ~%v", m, want)
+	}
+	if g.Directed() {
+		t.Error("ER should be undirected")
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	r := stats.NewRand(2)
+	if g := ErdosRenyi(r, 10, 0); g.M() != 0 {
+		t.Error("p=0 should give no edges")
+	}
+	if g := ErdosRenyi(r, 10, 1); g.M() != 45 {
+		t.Errorf("p=1 should give complete graph, got M=%d", g.M())
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	r := stats.NewRand(3)
+	g, err := BarabasiAlbert(r, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2000 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// m edges per new node after the seed star of m edges.
+	wantM := 2 + (2000-3)*2
+	if g.M() != wantM {
+		t.Errorf("M = %d, want %d", g.M(), wantM)
+	}
+	if !g.Connected() {
+		t.Error("BA graph must be connected")
+	}
+	// Degree distribution should be heavy-tailed: fit alpha in [2, 4].
+	fit, err := stats.FitPowerLawAuto(g.Degrees(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Alpha < 2 || fit.Alpha > 4 {
+		t.Errorf("BA power-law alpha = %v, want in [2,4]", fit.Alpha)
+	}
+}
+
+func TestBarabasiAlbertErrors(t *testing.T) {
+	r := stats.NewRand(4)
+	if _, err := BarabasiAlbert(r, 10, 0); err == nil {
+		t.Error("m=0 should error")
+	}
+	if _, err := BarabasiAlbert(r, 2, 2); err == nil {
+		t.Error("n <= m should error")
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	r := stats.NewRand(5)
+	g, err := WattsStrogatz(r, 100, 4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// Ring lattice has n*k/2 edges; rewiring preserves the count up to the
+	// rare failure to find a target, and beta=0 keeps it exact.
+	g0, err := WattsStrogatz(stats.NewRand(6), 100, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g0.M() != 200 {
+		t.Errorf("beta=0 M = %d, want 200", g0.M())
+	}
+	if !g.Connected() {
+		t.Error("WS with low beta should stay connected")
+	}
+}
+
+func TestWattsStrogatzErrors(t *testing.T) {
+	r := stats.NewRand(7)
+	if _, err := WattsStrogatz(r, 10, 3, 0); err == nil {
+		t.Error("odd k should error")
+	}
+	if _, err := WattsStrogatz(r, 4, 4, 0); err == nil {
+		t.Error("n <= k should error")
+	}
+}
+
+func TestRegularTopologies(t *testing.T) {
+	if g := Grid(3, 4); g.N() != 12 || g.M() != 3*3+2*4 {
+		t.Errorf("Grid(3,4): %v", g)
+	}
+	if g := Ring(5); g.M() != 5 || !g.Connected() {
+		t.Errorf("Ring(5): %v", g)
+	}
+	if g := Ring(2); g.M() != 1 {
+		t.Errorf("Ring(2): %v", g)
+	}
+	if g := Ring(1); g.M() != 0 {
+		t.Errorf("Ring(1): %v", g)
+	}
+	if g := Star(7); g.M() != 6 || g.Degree(0) != 6 {
+		t.Errorf("Star(7): %v", g)
+	}
+	if g := Complete(5); g.M() != 10 {
+		t.Errorf("Complete(5): %v", g)
+	}
+	if g := Path(4); g.M() != 3 || !g.Connected() {
+		t.Errorf("Path(4): %v", g)
+	}
+}
+
+func TestGridDistances(t *testing.T) {
+	g := Grid(5, 5)
+	dist, _ := g.BFS(0)
+	if dist[24] != 8 {
+		t.Errorf("corner-to-corner distance = %d, want 8", dist[24])
+	}
+}
+
+func TestGnutella(t *testing.T) {
+	r := stats.NewRand(8)
+	cfg := DefaultGnutella()
+	g, err := Gnutella(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != cfg.N || !g.Directed() {
+		t.Fatalf("unexpected graph %v", g)
+	}
+	// Edge count should be in the ballpark of the SNAP snapshot (20.8k);
+	// allow a broad band since the generator is stochastic.
+	if g.M() < 8000 || g.M() > 40000 {
+		t.Errorf("M = %d, want within [8k, 40k]", g.M())
+	}
+	// The overlay should have one big SCC (the paper's Fig. 3 uses the
+	// largest SCC of the snapshot).
+	scc, _ := g.LargestSCC()
+	if scc.N() < cfg.N/4 {
+		t.Errorf("largest SCC = %d nodes, want a giant component (>= n/4)", scc.N())
+	}
+	// Out-degree should be heavy-tailed.
+	fit, err := stats.FitPowerLawAuto(g.Degrees(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Alpha < 1.5 || fit.Alpha > 4 {
+		t.Errorf("Gnutella alpha = %v, want heavy tail in [1.5,4]", fit.Alpha)
+	}
+}
+
+func TestGnutellaErrors(t *testing.T) {
+	r := stats.NewRand(9)
+	if _, err := Gnutella(r, GnutellaConfig{N: 1, Alpha: 2}); err == nil {
+		t.Error("N < 2 should error")
+	}
+	if _, err := Gnutella(r, GnutellaConfig{N: 10, Alpha: 1}); err == nil {
+		t.Error("Alpha <= 1 should error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1, err := BarabasiAlbert(stats.NewRand(42), 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := BarabasiAlbert(stats.NewRand(42), 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	if len(e1) != len(e2) {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("same seed diverged at edge %d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"structura/internal/stats"
+)
+
+// Property: Barabási–Albert graphs always have exactly m + (n-m-1)*m edges
+// (seed star + m per arrival), stay connected, and are simple.
+func TestQuickBarabasiAlbertShape(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		m := int(mRaw%3) + 1
+		n := int(nRaw%60) + m + 2
+		g, err := BarabasiAlbert(stats.NewRand(seed), n, m)
+		if err != nil {
+			return false
+		}
+		if g.M() != m+(n-m-1)*m {
+			return false
+		}
+		if !g.Connected() {
+			return false
+		}
+		// Simplicity: neighbor lists contain no duplicates.
+		for v := 0; v < n; v++ {
+			seen := map[int]bool{}
+			for _, w := range g.Neighbors(v) {
+				if w == v || seen[w] {
+					return false
+				}
+				seen[w] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every generated family is simple and undirected with the
+// expected node count.
+func TestQuickRegularFamilies(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%20) + 3
+		for _, g := range []interface {
+			N() int
+			M() int
+			Directed() bool
+		}{
+			Grid(n, n), Ring(n), Star(n), Complete(n), Path(n),
+		} {
+			if g.Directed() {
+				return false
+			}
+		}
+		if Grid(n, n).N() != n*n || Ring(n).M() != n || Star(n).M() != n-1 {
+			return false
+		}
+		if Complete(n).M() != n*(n-1)/2 || Path(n).M() != n-1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Gnutella generator is deterministic per seed and always
+// yields a simple directed graph.
+func TestQuickGnutellaDeterminism(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		cfg := DefaultGnutella()
+		cfg.N = int(nRaw%100) + 50
+		a, err := Gnutella(stats.NewRand(seed), cfg)
+		if err != nil {
+			return false
+		}
+		b, err := Gnutella(stats.NewRand(seed), cfg)
+		if err != nil {
+			return false
+		}
+		ea, eb := a.Edges(), b.Edges()
+		if len(ea) != len(eb) {
+			return false
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				return false
+			}
+		}
+		return a.Directed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package geo provides the 2-D Euclidean substrate of §II-A and §III-C:
+// point sets, unit-disk neighborhoods, hole carving, and greedy geographic
+// routing including its failure mode (getting stuck at a local minimum at a
+// non-convex hole, Fig. 5a).
+package geo
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"structura/internal/graph"
+)
+
+// Point is a 2-D location.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// RandomPoints places n points uniformly in the w x h rectangle.
+func RandomPoints(r *rand.Rand, n int, w, h float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: r.Float64() * w, Y: r.Float64() * h}
+	}
+	return pts
+}
+
+// Hole is a circular forbidden region used to carve non-convex voids out of
+// a deployment (the paper's Fig. 5a shows three such holes).
+type Hole struct {
+	Center Point
+	Radius float64
+}
+
+// Inside reports whether p falls in the hole.
+func (h Hole) Inside(p Point) bool {
+	return h.Center.Dist(p) < h.Radius
+}
+
+// CarveHoles removes the points inside any hole, returning the survivors
+// and their original indices.
+func CarveHoles(pts []Point, holes []Hole) (kept []Point, idx []int) {
+	for i, p := range pts {
+		inHole := false
+		for _, h := range holes {
+			if h.Inside(p) {
+				inHole = true
+				break
+			}
+		}
+		if !inHole {
+			kept = append(kept, p)
+			idx = append(idx, i)
+		}
+	}
+	return kept, idx
+}
+
+// UnitDiskGraph connects every pair of points within radius of each other —
+// the intersection graph of unit disks of §II-A.
+func UnitDiskGraph(pts []Point, radius float64) *graph.Graph {
+	g := graph.New(len(pts))
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist(pts[j]) <= radius {
+				_ = g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// ErrStuck is returned by GreedyRoute when greedy forwarding reaches a local
+// minimum: no neighbor is closer to the destination than the current node.
+var ErrStuck = errors.New("geo: greedy routing stuck at a local minimum")
+
+// GreedyRoute forwards greedily from src to dst in g, always moving to the
+// neighbor geographically closest to dst and strictly closer than the
+// current node. It returns the node path, or ErrStuck (with the partial
+// path) when it hits a local minimum — the failure the remapping of §III-C
+// repairs.
+func GreedyRoute(g *graph.Graph, pts []Point, src, dst int) ([]int, error) {
+	if src < 0 || src >= len(pts) || dst < 0 || dst >= len(pts) {
+		return nil, errors.New("geo: src/dst out of range")
+	}
+	path := []int{src}
+	cur := src
+	for cur != dst {
+		best := -1
+		bestD := pts[cur].Dist(pts[dst])
+		g.EachNeighbor(cur, func(w int, _ float64) {
+			if d := pts[w].Dist(pts[dst]); d < bestD {
+				best, bestD = w, d
+			}
+		})
+		if best == -1 {
+			return path, ErrStuck
+		}
+		cur = best
+		path = append(path, cur)
+	}
+	return path, nil
+}
+
+// DeliveryStats aggregates the outcome of routing many pairs.
+type DeliveryStats struct {
+	Attempts  int
+	Delivered int
+	Stuck     int
+	AvgHops   float64 // over delivered routes
+}
+
+// Ratio returns Delivered/Attempts (0 when no attempts).
+func (s DeliveryStats) Ratio() float64 {
+	if s.Attempts == 0 {
+		return 0
+	}
+	return float64(s.Delivered) / float64(s.Attempts)
+}
+
+// Route is the signature shared by greedy routers (Euclidean or remapped).
+type Route func(src, dst int) ([]int, error)
+
+// Evaluate routes trials random connected (src, dst) pairs with route and
+// tallies delivery statistics. Pairs are drawn uniformly with src != dst.
+func Evaluate(r *rand.Rand, n, trials int, route Route) DeliveryStats {
+	var s DeliveryStats
+	var hops int
+	for t := 0; t < trials; t++ {
+		src, dst := r.Intn(n), r.Intn(n)
+		if src == dst {
+			continue
+		}
+		s.Attempts++
+		path, err := route(src, dst)
+		if err != nil {
+			s.Stuck++
+			continue
+		}
+		s.Delivered++
+		hops += len(path) - 1
+	}
+	if s.Delivered > 0 {
+		s.AvgHops = float64(hops) / float64(s.Delivered)
+	}
+	return s
+}

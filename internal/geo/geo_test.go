@@ -1,0 +1,183 @@
+package geo
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"structura/internal/stats"
+)
+
+func TestDist(t *testing.T) {
+	if d := (Point{0, 0}).Dist(Point{3, 4}); d != 5 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if d := (Point{1, 1}).Dist(Point{1, 1}); d != 0 {
+		t.Errorf("Dist = %v, want 0", d)
+	}
+}
+
+func TestRandomPointsInBounds(t *testing.T) {
+	r := stats.NewRand(1)
+	pts := RandomPoints(r, 500, 10, 20)
+	if len(pts) != 500 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X > 10 || p.Y < 0 || p.Y > 20 {
+			t.Fatalf("point %v out of bounds", p)
+		}
+	}
+}
+
+func TestHoleAndCarve(t *testing.T) {
+	h := Hole{Center: Point{5, 5}, Radius: 2}
+	if !h.Inside(Point{5, 6}) || h.Inside(Point{5, 8}) {
+		t.Error("Inside wrong")
+	}
+	pts := []Point{{5, 5}, {0, 0}, {5, 6.5}, {9, 9}}
+	kept, idx := CarveHoles(pts, []Hole{h})
+	if len(kept) != 2 || idx[0] != 1 || idx[1] != 3 {
+		t.Errorf("kept %v idx %v", kept, idx)
+	}
+	if kept2, _ := CarveHoles(pts, nil); len(kept2) != 4 {
+		t.Error("no holes should keep everything")
+	}
+}
+
+func TestUnitDiskGraph(t *testing.T) {
+	pts := []Point{{0, 0}, {0.5, 0}, {2, 0}}
+	g := UnitDiskGraph(pts, 1)
+	if !g.HasEdge(0, 1) {
+		t.Error("points within radius must connect")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("far points must not connect")
+	}
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1", g.M())
+	}
+}
+
+func TestGreedyRouteStraightLine(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {2, 0}, {3, 0}}
+	g := UnitDiskGraph(pts, 1.1)
+	path, err := GreedyRoute(g, pts, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestGreedyRouteSelf(t *testing.T) {
+	pts := []Point{{0, 0}}
+	g := UnitDiskGraph(pts, 1)
+	path, err := GreedyRoute(g, pts, 0, 0)
+	if err != nil || len(path) != 1 {
+		t.Errorf("self route = %v, %v", path, err)
+	}
+	if _, err := GreedyRoute(g, pts, 0, 5); err == nil {
+		t.Error("out-of-range dst should error")
+	}
+}
+
+func TestGreedyRouteStuckAtConcaveHole(t *testing.T) {
+	// A "C"-shaped wall: source on the right of the opening, destination
+	// left; greedy walks into the dead end.
+	//
+	//   d . . w
+	//       . w   <- wall of nodes with a gap that dead-ends
+	//   s . . w
+	pts := []Point{
+		{3, 1},         // 0: source side entry
+		{2, 1}, {1, 1}, // 1,2: corridor into the pocket
+		{0, 2},  // 3: pocket end (local minimum)
+		{-3, 2}, // 4: destination, unreachable except around, but
+		// the only link out of the pocket goes backwards.
+		{4, 4}, {4, 0}, // 5,6: detour nodes connected around the wall
+	}
+	g := UnitDiskGraph(pts, 1.5)
+	// Ensure the detour exists: connect 0-6-5-4 manually with long links.
+	_ = g.AddEdge(0, 6)
+	_ = g.AddEdge(6, 5)
+	_ = g.AddEdge(5, 4)
+	path, err := GreedyRoute(g, pts, 0, 4)
+	if !errors.Is(err, ErrStuck) {
+		t.Fatalf("want ErrStuck, got path=%v err=%v", path, err)
+	}
+	if len(path) == 0 || path[0] != 0 {
+		t.Errorf("partial path should start at src: %v", path)
+	}
+	// The stuck node must be a true local minimum.
+	last := path[len(path)-1]
+	dLast := pts[last].Dist(pts[4])
+	g.EachNeighbor(last, func(w int, _ float64) {
+		if pts[w].Dist(pts[4]) < dLast {
+			t.Errorf("node %d has a closer neighbor %d; not a local minimum", last, w)
+		}
+	})
+}
+
+func TestDeliveryStatsRatio(t *testing.T) {
+	s := DeliveryStats{Attempts: 4, Delivered: 3}
+	if s.Ratio() != 0.75 {
+		t.Errorf("Ratio = %v", s.Ratio())
+	}
+	if (DeliveryStats{}).Ratio() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	r := stats.NewRand(2)
+	pts := RandomPoints(r, 60, 10, 10)
+	g := UnitDiskGraph(pts, 3)
+	s := Evaluate(r, len(pts), 200, func(src, dst int) ([]int, error) {
+		return GreedyRoute(g, pts, src, dst)
+	})
+	if s.Attempts == 0 {
+		t.Fatal("no attempts")
+	}
+	if s.Delivered+s.Stuck != s.Attempts {
+		t.Errorf("delivered %d + stuck %d != attempts %d", s.Delivered, s.Stuck, s.Attempts)
+	}
+	if s.Delivered > 0 && s.AvgHops <= 0 {
+		t.Error("AvgHops should be positive when something was delivered")
+	}
+	// Dense graph on a small field: most routes should succeed.
+	if s.Ratio() < 0.5 {
+		t.Errorf("delivery ratio %v suspiciously low for dense UDG", s.Ratio())
+	}
+}
+
+func TestGreedyDistanceMonotoneProperty(t *testing.T) {
+	// Along any successful greedy path the distance to dst strictly falls.
+	r := stats.NewRand(3)
+	pts := RandomPoints(r, 80, 10, 10)
+	g := UnitDiskGraph(pts, 2.5)
+	for trial := 0; trial < 100; trial++ {
+		src, dst := r.Intn(len(pts)), r.Intn(len(pts))
+		if src == dst {
+			continue
+		}
+		path, err := GreedyRoute(g, pts, src, dst)
+		if err != nil {
+			continue
+		}
+		for i := 1; i < len(path); i++ {
+			d0 := pts[path[i-1]].Dist(pts[dst])
+			d1 := pts[path[i]].Dist(pts[dst])
+			if d1 >= d0 {
+				t.Fatalf("distance did not decrease at hop %d of %v", i, path)
+			}
+		}
+		if math.IsNaN(float64(len(path))) {
+			t.Fatal("unreachable")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(b *testing.B, n int, avgDeg float64, directed bool) *Graph {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	g := New(n)
+	if directed {
+		g = NewDirected(n)
+	}
+	m := int(avgDeg * float64(n) / 2)
+	for k := 0; k < m; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			_ = g.AddWeightedEdge(u, v, float64(1+r.Intn(9)))
+		}
+	}
+	return g
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := benchGraph(b, 10000, 8, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFS(i % g.N())
+	}
+}
+
+func BenchmarkDijkstra(b *testing.B) {
+	g := benchGraph(b, 10000, 8, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Dijkstra(i % g.N())
+	}
+}
+
+func BenchmarkSCC(b *testing.B) {
+	g := benchGraph(b, 10000, 8, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.StronglyConnectedComponents()
+	}
+}
+
+func BenchmarkMST(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	g := New(5000)
+	for v := 1; v < 5000; v++ {
+		_ = g.AddWeightedEdge(r.Intn(v), v, float64(1+r.Intn(99)))
+	}
+	for k := 0; k < 15000; k++ {
+		u, v := r.Intn(5000), r.Intn(5000)
+		if u != v {
+			_ = g.AddWeightedEdge(u, v, float64(1+r.Intn(99)))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.MinimumSpanningTree(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubgraph(b *testing.B) {
+	g := benchGraph(b, 10000, 8, false)
+	keep := map[int]bool{}
+	for v := 0; v < 5000; v++ {
+		keep[v] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Subgraph(keep)
+	}
+}

@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz DOT format. Node labels are their IDs;
+// optional per-node attributes can be supplied (nil entries are skipped).
+func (g *Graph) DOT(name string, nodeAttrs map[int]string) string {
+	var b strings.Builder
+	kind, sep := "graph", "--"
+	if g.directed {
+		kind, sep = "digraph", "->"
+	}
+	if name == "" {
+		name = "G"
+	}
+	fmt.Fprintf(&b, "%s %s {\n", kind, name)
+	for v := 0; v < len(g.adj); v++ {
+		if attr, ok := nodeAttrs[v]; ok && attr != "" {
+			fmt.Fprintf(&b, "  %d [%s];\n", v, attr)
+		} else {
+			fmt.Fprintf(&b, "  %d;\n", v)
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.Weight != 1 {
+			fmt.Fprintf(&b, "  %d %s %d [label=\"%g\"];\n", e.From, sep, e.To, e.Weight)
+		} else {
+			fmt.Fprintf(&b, "  %d %s %d;\n", e.From, sep, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String returns a compact one-line description, e.g. "undirected n=5 m=4".
+func (g *Graph) String() string {
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	return fmt.Sprintf("%s n=%d m=%d", kind, len(g.adj), g.edges)
+}

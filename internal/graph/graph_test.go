@@ -1,0 +1,580 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustEdge(t *testing.T, g *Graph, u, v int) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+}
+
+func path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		_ = g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(3)
+	if g.N() != 3 || g.M() != 0 || g.Directed() {
+		t.Fatalf("unexpected fresh graph %v", g)
+	}
+	mustEdge(t, g, 0, 1)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("undirected edge must be visible from both sides")
+	}
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Errorf("degrees = %v, want [1 1 0]", g.Degrees())
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(2)
+	if err := g.AddEdge(0, 5); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("out-of-range edge: got %v, want ErrNodeRange", err)
+	}
+	if err := g.AddEdge(-1, 0); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("negative node: got %v, want ErrNodeRange", err)
+	}
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Error("self-loop should error")
+	}
+}
+
+func TestDirectedEdges(t *testing.T) {
+	g := NewDirected(3)
+	mustEdge(t, g, 0, 1)
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("directed edge must be one-way")
+	}
+	if g.InDegree(1) != 1 || g.InDegree(0) != 0 {
+		t.Errorf("InDegree: got %d,%d", g.InDegree(1), g.InDegree(0))
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(3)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge should report true")
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("edge should be gone from both sides")
+	}
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1", g.M())
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Error("second removal should report false")
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(1)
+	id := g.AddNode()
+	if id != 1 || g.N() != 2 {
+		t.Errorf("AddNode = %d (n=%d), want 1 (n=2)", id, g.N())
+	}
+	mustEdge(t, g, 0, 1)
+	if !g.HasEdge(0, 1) {
+		t.Error("edge to added node missing")
+	}
+}
+
+func TestWeight(t *testing.T) {
+	g := New(2)
+	if err := g.AddWeightedEdge(0, 1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	w, err := g.Weight(0, 1)
+	if err != nil || w != 2.5 {
+		t.Errorf("Weight = %v, %v; want 2.5", w, err)
+	}
+	if _, err := g.Weight(1, 0); err != nil {
+		t.Error("undirected weight should be symmetric")
+	}
+	g2 := New(2)
+	if _, err := g2.Weight(0, 1); err == nil {
+		t.Error("missing edge should error")
+	}
+}
+
+func TestNeighborsAndEach(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
+	nbrs := g.Neighbors(0)
+	if len(nbrs) != 2 || nbrs[0] != 1 || nbrs[1] != 2 {
+		t.Errorf("Neighbors = %v, want [1 2]", nbrs)
+	}
+	var count int
+	g.EachNeighbor(0, func(to int, w float64) {
+		count++
+		if w != 1 {
+			t.Errorf("weight = %v, want 1", w)
+		}
+	})
+	if count != 2 {
+		t.Errorf("EachNeighbor visited %d, want 2", count)
+	}
+	if g.Neighbors(-1) != nil || g.Neighbors(99) != nil {
+		t.Error("out-of-range Neighbors should be nil")
+	}
+}
+
+func TestEdgesOnceUndirected(t *testing.T) {
+	g := New(3)
+	mustEdge(t, g, 2, 0)
+	mustEdge(t, g, 1, 2)
+	es := g.Edges()
+	if len(es) != 2 {
+		t.Fatalf("Edges = %v, want 2 entries", es)
+	}
+	for _, e := range es {
+		if e.From >= e.To {
+			t.Errorf("undirected edge %v should have From < To", e)
+		}
+	}
+}
+
+func TestBFS(t *testing.T) {
+	g := path(5)
+	dist, parent := g.BFS(0)
+	for i := 0; i < 5; i++ {
+		if dist[i] != i {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], i)
+		}
+	}
+	p := PathTo(parent, 0, 4)
+	want := []int{0, 1, 2, 3, 4}
+	if len(p) != len(want) {
+		t.Fatalf("path = %v, want %v", p, want)
+	}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := New(3)
+	mustEdge(t, g, 0, 1)
+	dist, parent := g.BFS(0)
+	if dist[2] != -1 || parent[2] != -1 {
+		t.Error("unreachable node should have dist/parent -1")
+	}
+	if PathTo(parent, 0, 2) != nil {
+		t.Error("PathTo unreachable should be nil")
+	}
+}
+
+func TestDFSOrder(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
+	mustEdge(t, g, 1, 3)
+	order := g.DFS(0)
+	want := []int{0, 1, 3, 2}
+	if len(order) != len(want) {
+		t.Fatalf("DFS = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("DFS = %v, want %v", order, want)
+		}
+	}
+	if g.DFS(-1) != nil {
+		t.Error("DFS out of range should be nil")
+	}
+}
+
+func TestConnectedAndComponents(t *testing.T) {
+	g := New(5)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 2, 3)
+	if g.Connected() {
+		t.Error("graph with isolated pieces is not connected")
+	}
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v, want 3", comps)
+	}
+	if len(comps[0]) != 2 {
+		t.Errorf("largest component size = %d, want 2", len(comps[0]))
+	}
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 3, 4)
+	if !g.Connected() {
+		t.Error("now connected")
+	}
+	if New(0).Connected() != true || New(1).Connected() != true {
+		t.Error("trivial graphs are connected")
+	}
+}
+
+func TestDijkstra(t *testing.T) {
+	g := New(4)
+	_ = g.AddWeightedEdge(0, 1, 1)
+	_ = g.AddWeightedEdge(1, 2, 1)
+	_ = g.AddWeightedEdge(0, 2, 5)
+	_ = g.AddWeightedEdge(2, 3, 1)
+	dist, parent := g.Dijkstra(0)
+	if dist[2] != 2 {
+		t.Errorf("dist[2] = %v, want 2 (via node 1)", dist[2])
+	}
+	if dist[3] != 3 {
+		t.Errorf("dist[3] = %v, want 3", dist[3])
+	}
+	p := PathTo(parent, 0, 3)
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(2)
+	dist, _ := g.Dijkstra(0)
+	if !math.IsInf(dist[1], 1) {
+		t.Errorf("unreachable dist = %v, want +Inf", dist[1])
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	d, ok := path(5).Diameter()
+	if !ok || d != 4 {
+		t.Errorf("Diameter = %d,%v; want 4,true", d, ok)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New(5)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 3, 4)
+	sub, olds := g.Subgraph(map[int]bool{1: true, 2: true, 3: true})
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("subgraph %v, want n=3 m=2", sub)
+	}
+	if len(olds) != 3 || olds[0] != 1 || olds[2] != 3 {
+		t.Errorf("olds = %v, want [1 2 3]", olds)
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) || sub.HasEdge(0, 2) {
+		t.Error("subgraph edges wrong")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := path(3)
+	c := g.Clone()
+	c.RemoveEdge(0, 1)
+	if !g.HasEdge(0, 1) {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestUndirectedView(t *testing.T) {
+	g := NewDirected(3)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 0)
+	mustEdge(t, g, 1, 2)
+	u := g.Undirected()
+	if u.Directed() {
+		t.Fatal("Undirected() returned a directed graph")
+	}
+	if u.M() != 2 {
+		t.Errorf("undirected M = %d, want 2 (0-1 collapsed)", u.M())
+	}
+}
+
+func TestSCC(t *testing.T) {
+	g := NewDirected(6)
+	// Two cycles {0,1,2} and {3,4}, plus isolated 5; bridge 2->3.
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 0)
+	mustEdge(t, g, 3, 4)
+	mustEdge(t, g, 4, 3)
+	mustEdge(t, g, 2, 3)
+	comps := g.StronglyConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("SCCs = %v, want 3", comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Errorf("largest SCC = %v, want [0 1 2]", comps[0])
+	}
+	sub, olds := g.LargestSCC()
+	if sub.N() != 3 || len(olds) != 3 {
+		t.Errorf("LargestSCC n = %d, want 3", sub.N())
+	}
+}
+
+func TestSCCLargeCycleIterative(t *testing.T) {
+	// A 100k-node cycle would blow the stack with recursive Tarjan.
+	n := 100000
+	g := NewDirected(n)
+	for i := 0; i < n; i++ {
+		_ = g.AddEdge(i, (i+1)%n)
+	}
+	comps := g.StronglyConnectedComponents()
+	if len(comps) != 1 || len(comps[0]) != n {
+		t.Fatalf("giant cycle should be one SCC, got %d comps", len(comps))
+	}
+}
+
+func TestMST(t *testing.T) {
+	g := New(4)
+	_ = g.AddWeightedEdge(0, 1, 1)
+	_ = g.AddWeightedEdge(1, 2, 2)
+	_ = g.AddWeightedEdge(2, 3, 1)
+	_ = g.AddWeightedEdge(0, 3, 10)
+	_ = g.AddWeightedEdge(0, 2, 10)
+	tree, err := g.MinimumSpanningTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree) != 3 {
+		t.Fatalf("MST edges = %d, want 3", len(tree))
+	}
+	if w := TotalWeight(tree); w != 4 {
+		t.Errorf("MST weight = %v, want 4", w)
+	}
+}
+
+func TestMSTErrors(t *testing.T) {
+	if _, err := New(3).MinimumSpanningTree(); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("disconnected MST: got %v, want ErrDisconnected", err)
+	}
+	if _, err := NewDirected(2).MinimumSpanningTree(); err == nil {
+		t.Error("directed MST should error")
+	}
+	if tree, err := New(0).MinimumSpanningTree(); err != nil || tree != nil {
+		t.Error("empty MST should be nil, nil")
+	}
+}
+
+func TestSpanningTrees(t *testing.T) {
+	g := path(4)
+	parent, err := g.SpanningTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent[3] != 2 || parent[0] != -1 {
+		t.Errorf("parents = %v", parent)
+	}
+	if _, err := New(3).SpanningTree(0); err == nil {
+		t.Error("disconnected SpanningTree should error")
+	}
+	spt, err := g.ShortestPathTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spt[3] != 2 {
+		t.Errorf("SPT parents = %v", spt)
+	}
+	if _, err := New(3).ShortestPathTree(0); err == nil {
+		t.Error("disconnected ShortestPathTree should error")
+	}
+}
+
+func TestSortEdgesByWeight(t *testing.T) {
+	es := []Edge{{0, 1, 3}, {1, 2, 1}, {0, 2, 1}}
+	SortEdgesByWeight(es)
+	if es[0].Weight != 1 || es[0].From != 0 || es[0].To != 2 {
+		t.Errorf("sorted = %v", es)
+	}
+	if es[2].Weight != 3 {
+		t.Errorf("sorted = %v", es)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := New(2)
+	mustEdge(t, g, 0, 1)
+	dot := g.DOT("test", map[int]string{0: `color="black"`})
+	for _, want := range []string{"graph test", "0 -- 1", `0 [color="black"]`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	d := NewDirected(2)
+	mustEdge(t, d, 0, 1)
+	if !strings.Contains(d.DOT("", nil), "0 -> 1") {
+		t.Error("directed DOT should use ->")
+	}
+	wg := New(2)
+	_ = wg.AddWeightedEdge(0, 1, 2.5)
+	if !strings.Contains(wg.DOT("", nil), `label="2.5"`) {
+		t.Error("weighted DOT should carry labels")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := New(3).String(); s != "undirected n=3 m=0" {
+		t.Errorf("String = %q", s)
+	}
+	if s := NewDirected(1).String(); s != "directed n=1 m=0" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func randomGraph(r *rand.Rand, n int, p float64, directed bool) *Graph {
+	var g *Graph
+	if directed {
+		g = NewDirected(n)
+	} else {
+		g = New(n)
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v || (!directed && u > v) {
+				continue
+			}
+			if r.Float64() < p {
+				_ = g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Property: BFS distances obey the triangle inequality along any edge.
+func TestBFSDistanceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		g := randomGraph(r, 2+r.Intn(30), 0.2, false)
+		dist, _ := g.BFS(0)
+		for _, e := range g.Edges() {
+			du, dv := dist[e.From], dist[e.To]
+			if du == -1 && dv == -1 {
+				continue
+			}
+			if du == -1 || dv == -1 {
+				t.Fatalf("edge %v crosses reachable/unreachable", e)
+			}
+			if du-dv > 1 || dv-du > 1 {
+				t.Fatalf("BFS dist differs by >1 across edge %v (%d vs %d)", e, du, dv)
+			}
+		}
+	}
+}
+
+// Property: Dijkstra with unit weights equals BFS.
+func TestDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		g := randomGraph(r, 2+r.Intn(30), 0.15, trial%2 == 0)
+		bd, _ := g.BFS(0)
+		dd, _ := g.Dijkstra(0)
+		for v := range bd {
+			if bd[v] == -1 {
+				if !math.IsInf(dd[v], 1) {
+					t.Fatalf("node %d: BFS unreachable but Dijkstra %v", v, dd[v])
+				}
+				continue
+			}
+			if float64(bd[v]) != dd[v] {
+				t.Fatalf("node %d: BFS %d vs Dijkstra %v", v, bd[v], dd[v])
+			}
+		}
+	}
+}
+
+// Property: components partition the node set.
+func TestComponentsPartitionProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, n, 0.1, false)
+		comps := g.Components()
+		seen := make(map[int]int)
+		for _, c := range comps {
+			for _, v := range c {
+				seen[v]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, cnt := range seen {
+			if cnt != 1 {
+				return false
+			}
+		}
+		// Sizes must be non-increasing.
+		for i := 1; i < len(comps); i++ {
+			if len(comps[i]) > len(comps[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MST weight is invariant across edge insertion order.
+func TestMSTOrderInvarianceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(20)
+		type we struct {
+			u, v int
+			w    float64
+		}
+		var edges []we
+		// Random connected graph: random tree + extra edges.
+		for v := 1; v < n; v++ {
+			edges = append(edges, we{r.Intn(v), v, float64(1 + r.Intn(100))})
+		}
+		for k := 0; k < n; k++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				edges = append(edges, we{u, v, float64(1 + r.Intn(100))})
+			}
+		}
+		g1 := New(n)
+		for _, e := range edges {
+			_ = g1.AddWeightedEdge(e.u, e.v, e.w)
+		}
+		g2 := New(n)
+		for i := len(edges) - 1; i >= 0; i-- {
+			_ = g2.AddWeightedEdge(edges[i].u, edges[i].v, edges[i].w)
+		}
+		t1, err1 := g1.MinimumSpanningTree()
+		t2, err2 := g2.MinimumSpanningTree()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("MST errors: %v, %v", err1, err2)
+		}
+		if TotalWeight(t1) != TotalWeight(t2) {
+			t.Fatalf("MST weight differs across insertion order: %v vs %v", TotalWeight(t1), TotalWeight(t2))
+		}
+	}
+}
+
+func TestPathToCorruptedParents(t *testing.T) {
+	// A parent array with a cycle must not hang PathTo.
+	parent := []int{1, 0, 1}
+	if p := PathTo(parent, 9, 2); p != nil {
+		t.Errorf("cyclic parents should yield nil, got %v", p)
+	}
+}

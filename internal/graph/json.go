@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// graphJSON is the stable serialization schema.
+type graphJSON struct {
+	Directed bool       `json:"directed"`
+	N        int        `json:"n"`
+	Edges    []edgeJSON `json:"edges"`
+}
+
+type edgeJSON struct {
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler: a graph serializes to its node
+// count, direction flag, and edge list (weight omitted when 1).
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	doc := graphJSON{Directed: g.directed, N: g.N()}
+	for _, e := range g.Edges() {
+		je := edgeJSON{From: e.From, To: e.To}
+		if e.Weight != 1 {
+			je.Weight = e.Weight
+		}
+		doc.Edges = append(doc.Edges, je)
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, replacing the receiver's
+// contents with the decoded graph.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var doc graphJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if doc.N < 0 {
+		return fmt.Errorf("graph: negative node count %d", doc.N)
+	}
+	fresh := Graph{directed: doc.Directed, adj: make([][]halfEdge, doc.N)}
+	*g = fresh
+	for _, e := range doc.Edges {
+		w := e.Weight
+		if w == 0 {
+			w = 1
+		}
+		if err := g.AddWeightedEdge(e.From, e.To, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

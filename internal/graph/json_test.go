@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	g := New(4)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddWeightedEdge(1, 2, 2.5)
+	_ = g.AddEdge(2, 3)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 4 || back.M() != 3 || back.Directed() {
+		t.Fatalf("round trip: %v", &back)
+	}
+	if w, err := back.Weight(1, 2); err != nil || w != 2.5 {
+		t.Errorf("weight lost: %v, %v", w, err)
+	}
+	if !back.HasEdge(0, 1) || !back.HasEdge(3, 2) {
+		t.Error("edges lost")
+	}
+}
+
+func TestGraphJSONDirected(t *testing.T) {
+	g := NewDirected(3)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 0)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Directed() || back.M() != 2 {
+		t.Fatalf("directed round trip failed: %v", &back)
+	}
+	if !back.HasEdge(0, 1) || !back.HasEdge(1, 0) {
+		t.Error("directed edges lost")
+	}
+}
+
+func TestGraphJSONRejectsGarbage(t *testing.T) {
+	var g Graph
+	if err := json.Unmarshal([]byte(`{"n": -1}`), &g); err == nil {
+		t.Error("negative n should error")
+	}
+	if err := json.Unmarshal([]byte(`{"n": 2, "edges": [{"from": 0, "to": 9}]}`), &g); err == nil {
+		t.Error("out-of-range edge should error")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &g); err == nil {
+		t.Error("syntax error should surface")
+	}
+}
+
+func TestGraphJSONEmpty(t *testing.T) {
+	data, err := json.Marshal(New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 0 || back.M() != 0 {
+		t.Error("empty graph round trip failed")
+	}
+}

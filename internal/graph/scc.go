@@ -1,0 +1,96 @@
+package graph
+
+// StronglyConnectedComponents returns the strongly connected components of a
+// directed graph (Tarjan's algorithm, iterative to avoid deep recursion on
+// large inputs), each as a sorted slice of node IDs, largest first. For an
+// undirected graph it coincides with Components.
+func (g *Graph) StronglyConnectedComponents() [][]int {
+	if !g.directed {
+		return g.Components()
+	}
+	n := len(g.adj)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		counter int
+		stack   []int
+		comps   [][]int
+	)
+
+	type frame struct {
+		v, edge int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames := []frame{{v: root}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.edge < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.edge].to
+				f.edge++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Post-order: pop frame, maybe emit a component.
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+			}
+			if low[f.v] == index[f.v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.v {
+						break
+					}
+				}
+				sortInts(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+	sortBySizeDesc(comps)
+	return comps
+}
+
+// LargestSCC returns the induced subgraph on the largest strongly connected
+// component and the newID -> oldID mapping.
+func (g *Graph) LargestSCC() (*Graph, []int) {
+	comps := g.StronglyConnectedComponents()
+	if len(comps) == 0 {
+		return New(0), nil
+	}
+	keep := make(map[int]bool, len(comps[0]))
+	for _, v := range comps[0] {
+		keep[v] = true
+	}
+	return g.Subgraph(keep)
+}

@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrDisconnected is returned by spanning-structure constructions that need
+// a connected input.
+var ErrDisconnected = errors.New("graph: graph is not connected")
+
+// MinimumSpanningTree returns the edges of an MST of an undirected connected
+// graph (Prim's algorithm with a heap). It errors for directed or
+// disconnected inputs.
+func (g *Graph) MinimumSpanningTree() ([]Edge, error) {
+	if g.directed {
+		return nil, errors.New("graph: MST requires an undirected graph")
+	}
+	n := len(g.adj)
+	if n == 0 {
+		return nil, nil
+	}
+	inTree := make([]bool, n)
+	var tree []Edge
+	pq := &mstHeap{}
+	inTree[0] = true
+	for _, e := range g.adj[0] {
+		heap.Push(pq, Edge{From: 0, To: e.to, Weight: e.w})
+	}
+	for pq.Len() > 0 && len(tree) < n-1 {
+		e := heap.Pop(pq).(Edge)
+		if inTree[e.To] {
+			continue
+		}
+		inTree[e.To] = true
+		tree = append(tree, e)
+		for _, next := range g.adj[e.To] {
+			if !inTree[next.to] {
+				heap.Push(pq, Edge{From: e.To, To: next.to, Weight: next.w})
+			}
+		}
+	}
+	if len(tree) != n-1 {
+		return nil, ErrDisconnected
+	}
+	return tree, nil
+}
+
+// SpanningTree returns a BFS spanning tree rooted at root as a child
+// adjacency structure (parent array). It errors if the graph is
+// disconnected from root.
+func (g *Graph) SpanningTree(root int) (parent []int, err error) {
+	if err := g.check(root); err != nil {
+		return nil, err
+	}
+	dist, parent := g.BFS(root)
+	for v, d := range dist {
+		if d == -1 {
+			return nil, fmt.Errorf("graph: node %d unreachable from root %d", v, root)
+		}
+	}
+	return parent, nil
+}
+
+// ShortestPathTree returns the Dijkstra parent array rooted at root, erroring
+// if any node is unreachable.
+func (g *Graph) ShortestPathTree(root int) (parent []int, err error) {
+	if err := g.check(root); err != nil {
+		return nil, err
+	}
+	dist, parent := g.Dijkstra(root)
+	for v, d := range dist {
+		if d != d || d > maxFinite { // NaN or +Inf
+			return nil, fmt.Errorf("graph: node %d unreachable from root %d", v, root)
+		}
+	}
+	return parent, nil
+}
+
+const maxFinite = 1e308
+
+// TotalWeight sums the weights of edges.
+func TotalWeight(edges []Edge) float64 {
+	var s float64
+	for _, e := range edges {
+		s += e.Weight
+	}
+	return s
+}
+
+// SortEdgesByWeight sorts edges ascending by weight (stable, ties by
+// endpoints) — used by Kruskal-style constructions and tests.
+func SortEdgesByWeight(edges []Edge) {
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].Weight != edges[j].Weight {
+			return edges[i].Weight < edges[j].Weight
+		}
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+}
+
+type mstHeap []Edge
+
+func (h mstHeap) Len() int            { return len(h) }
+func (h mstHeap) Less(i, j int) bool  { return h[i].Weight < h[j].Weight }
+func (h mstHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mstHeap) Push(x interface{}) { *h = append(*h, x.(Edge)) }
+func (h *mstHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

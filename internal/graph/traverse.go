@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// BFS runs a breadth-first search from src and returns the hop distance to
+// every node (-1 if unreachable) and the BFS parent of every node (-1 for
+// src and unreachable nodes).
+func (g *Graph) BFS(src int) (dist, parent []int) {
+	n := len(g.adj)
+	dist = make([]int, n)
+	parent = make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	if src < 0 || src >= n {
+		return dist, parent
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[u] {
+			if dist[e.to] == -1 {
+				dist[e.to] = dist[u] + 1
+				parent[e.to] = u
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// DFS returns the nodes reachable from src in depth-first preorder.
+func (g *Graph) DFS(src int) []int {
+	n := len(g.adj)
+	if src < 0 || src >= n {
+		return nil
+	}
+	visited := make([]bool, n)
+	var order []int
+	stack := []int{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[u] {
+			continue
+		}
+		visited[u] = true
+		order = append(order, u)
+		// Push in reverse so neighbors are visited in adjacency order.
+		for i := len(g.adj[u]) - 1; i >= 0; i-- {
+			if !visited[g.adj[u][i].to] {
+				stack = append(stack, g.adj[u][i].to)
+			}
+		}
+	}
+	return order
+}
+
+// Connected reports whether an undirected graph is connected (vacuously true
+// for n <= 1). For directed graphs it tests weak connectivity.
+func (g *Graph) Connected() bool {
+	n := len(g.adj)
+	if n <= 1 {
+		return true
+	}
+	u := g
+	if g.directed {
+		u = g.Undirected()
+	}
+	dist, _ := u.BFS(0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components of the (undirected view of
+// the) graph, each as a sorted slice of node IDs, largest first.
+func (g *Graph) Components() [][]int {
+	u := g
+	if g.directed {
+		u = g.Undirected()
+	}
+	n := len(u.adj)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		id := len(comps)
+		var members []int
+		queue := []int{s}
+		comp[s] = id
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			members = append(members, v)
+			for _, e := range u.adj[v] {
+				if comp[e.to] == -1 {
+					comp[e.to] = id
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		comps = append(comps, members)
+	}
+	// Largest first; members are already ascending by BFS from the smallest
+	// unvisited node, but sort defensively.
+	for _, c := range comps {
+		sortInts(c)
+	}
+	sortBySizeDesc(comps)
+	return comps
+}
+
+// Dijkstra computes single-source shortest paths by weight from src.
+// Unreachable nodes get +Inf distance and parent -1. Negative weights are
+// not supported (results are undefined, as with the classical algorithm the
+// paper references).
+func (g *Graph) Dijkstra(src int) (dist []float64, parent []int) {
+	n := len(g.adj)
+	dist = make([]float64, n)
+	parent = make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	if src < 0 || src >= n {
+		return dist, parent
+	}
+	dist[src] = 0
+	pq := &distHeap{{node: src, d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.node] {
+			continue
+		}
+		for _, e := range g.adj[it.node] {
+			if nd := it.d + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				parent[e.to] = it.node
+				heap.Push(pq, distItem{node: e.to, d: nd})
+			}
+		}
+	}
+	return dist, parent
+}
+
+// PathTo reconstructs the path ending at dst from a parent array as produced
+// by BFS or Dijkstra. It returns nil if dst is unreachable (parent -1 and
+// not a source with dist 0 — callers pass the source explicitly).
+func PathTo(parent []int, src, dst int) []int {
+	if dst < 0 || dst >= len(parent) {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != -1; v = parent[v] {
+		rev = append(rev, v)
+		if v == src {
+			// reverse and return
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return rev
+		}
+		if len(rev) > len(parent) {
+			return nil // cycle guard for corrupted parent arrays
+		}
+	}
+	return nil
+}
+
+// Diameter returns the largest finite hop-count eccentricity over all nodes
+// (ignoring unreachable pairs) and whether the graph had at least one
+// reachable pair.
+func (g *Graph) Diameter() (int, bool) {
+	best := -1
+	for s := 0; s < len(g.adj); s++ {
+		dist, _ := g.BFS(s)
+		for _, d := range dist {
+			if d > best {
+				best = d
+			}
+		}
+	}
+	return best, best >= 0
+}
+
+type distItem struct {
+	node int
+	d    float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+func sortBySizeDesc(cs [][]int) {
+	sort.SliceStable(cs, func(i, j int) bool { return len(cs[i]) > len(cs[j]) })
+}

@@ -1,0 +1,113 @@
+package hypercube
+
+import (
+	"testing"
+
+	"structura/internal/stats"
+)
+
+func TestSafeBroadcastMessageOptimal(t *testing.T) {
+	r := stats.NewRand(1)
+	for trial := 0; trial < 20; trial++ {
+		dim := 5 + r.Intn(3)
+		nFaults := 1 + r.Intn(dim)
+		faults := map[int]bool{}
+		for len(faults) < nFaults {
+			faults[r.Intn(1<<dim)] = true
+		}
+		var fl []int
+		for f := range faults {
+			fl = append(fl, f)
+		}
+		c, err := New(dim, fl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := c.SafetyLevels()
+		src := -1
+		for v := 0; v < c.N(); v++ {
+			if c.Safe(res, v) {
+				src = v
+				break
+			}
+		}
+		if src == -1 {
+			continue
+		}
+		st, err := c.SafeBroadcast(res, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// From a safe source: everyone reached, message-optimal, and time
+		// bounded by the dimension.
+		if st.Reached != c.NonFaultyCount() {
+			t.Fatalf("reached %d of %d", st.Reached, c.NonFaultyCount())
+		}
+		if st.Messages != st.Reached-1 {
+			t.Fatalf("messages = %d, want %d (one per non-source node)", st.Messages, st.Reached-1)
+		}
+		if st.Rounds > dim {
+			t.Fatalf("rounds = %d > dim %d from a safe source", st.Rounds, dim)
+		}
+		flood, err := c.FloodBroadcastMessages(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flood <= st.Messages {
+			t.Fatalf("flooding (%d msgs) should cost more than the tree (%d)", flood, st.Messages)
+		}
+	}
+}
+
+func TestSafeBroadcastFaultFree(t *testing.T) {
+	c, _ := New(4, nil)
+	res := c.SafetyLevels()
+	st, err := c.SafeBroadcast(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reached != 16 || st.Messages != 15 || st.Rounds != 4 {
+		t.Errorf("fault-free broadcast = %+v, want 16 reached, 15 msgs, 4 rounds", st)
+	}
+}
+
+func TestSafeBroadcastValidation(t *testing.T) {
+	c, _ := New(3, []int{0})
+	res := c.SafetyLevels()
+	if _, err := c.SafeBroadcast(res, 0); err == nil {
+		t.Error("faulty source should error")
+	}
+	if _, err := c.SafeBroadcast(res, -1); err == nil {
+		t.Error("bad source should error")
+	}
+	if _, err := c.SafeBroadcast(SafetyResult{}, 1); err == nil {
+		t.Error("missing levels should error")
+	}
+	if _, err := c.FloodBroadcastMessages(0); err == nil {
+		t.Error("flooding from faulty source should error")
+	}
+	if _, err := c.FloodBroadcastMessages(-1); err == nil {
+		t.Error("flooding from bad source should error")
+	}
+}
+
+func TestSafeBroadcastMatchesFloodCoverage(t *testing.T) {
+	// Even from a non-safe source, the tree reaches exactly the connected
+	// non-faulty component (the same nodes flooding reaches).
+	c, _ := New(5, []int{1, 2, 4, 8, 16}) // all of node 0's neighbors faulty
+	res := c.SafetyLevels()
+	st, err := c.SafeBroadcast(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reached != 1 || st.Messages != 0 {
+		t.Errorf("isolated source: %+v, want reached=1", st)
+	}
+	_, flReached, err := c.Broadcast(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flReached != st.Reached {
+		t.Errorf("coverage mismatch: tree %d vs flood %d", st.Reached, flReached)
+	}
+}

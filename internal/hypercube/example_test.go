@@ -1,0 +1,39 @@
+package hypercube_test
+
+import (
+	"fmt"
+
+	"structura/internal/hypercube"
+)
+
+// The paper's Fig. 9 routing decision: node 1101 routes to 0001 through
+// the preferred neighbor with the higher safety level.
+func ExampleCube_Route() {
+	cube, levels := hypercube.Fig9Cube()
+	path, err := cube.Route(levels, 0b1101, 0b0001)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, v := range path {
+		fmt.Printf("%04b\n", v)
+	}
+	// Output:
+	// 1101
+	// 0101
+	// 0001
+}
+
+func ExampleCube_SafeBroadcast() {
+	cube, _ := hypercube.New(4, nil) // fault-free 4-cube
+	levels := cube.SafetyLevels()
+	st, err := cube.SafeBroadcast(levels, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("reached %d nodes with %d messages in %d rounds\n",
+		st.Reached, st.Messages, st.Rounds)
+	// Output:
+	// reached 16 nodes with 15 messages in 4 rounds
+}

@@ -1,0 +1,312 @@
+package hypercube
+
+import (
+	"testing"
+
+	"structura/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, nil); err == nil {
+		t.Error("dim 0 should error")
+	}
+	if _, err := New(25, nil); err == nil {
+		t.Error("dim 25 should error")
+	}
+	if _, err := New(3, []int{9}); err == nil {
+		t.Error("fault out of range should error")
+	}
+	c, err := New(4, []int{1, 2})
+	if err != nil || c.N() != 16 || c.Dim() != 4 || c.FaultCount() != 2 {
+		t.Fatalf("cube = %+v, %v", c, err)
+	}
+	if !c.Faulty(1) || c.Faulty(0) || c.Faulty(-1) {
+		t.Error("Faulty wrong")
+	}
+	if c.NonFaultyCount() != 14 {
+		t.Error("NonFaultyCount wrong")
+	}
+}
+
+func TestDistanceAndNeighbors(t *testing.T) {
+	if Distance(0b1101, 0b0001) != 2 {
+		t.Error("Distance(1101,0001) must be 2")
+	}
+	if Distance(5, 5) != 0 {
+		t.Error("self distance 0")
+	}
+	c, _ := New(3, nil)
+	nbrs := c.Neighbors(0b000)
+	want := []int{1, 2, 4}
+	for i := range want {
+		if nbrs[i] != want[i] {
+			t.Fatalf("Neighbors(0) = %v, want %v", nbrs, want)
+		}
+	}
+}
+
+func TestPreferredNeighbors(t *testing.T) {
+	c, _ := New(4, nil)
+	// Paper: at node 1101 routing to 0001, the preferred neighbors are
+	// 1001 and 0101.
+	pref := c.PreferredNeighbors(0b1101, 0b0001)
+	if len(pref) != 2 {
+		t.Fatalf("preferred = %b", pref)
+	}
+	has := map[int]bool{pref[0]: true, pref[1]: true}
+	if !has[0b1001] || !has[0b0101] {
+		t.Errorf("preferred = %04b, want {1001, 0101}", pref)
+	}
+	if len(c.PreferredNeighbors(5, 5)) != 0 {
+		t.Error("no preferred neighbors at the destination")
+	}
+}
+
+func TestSafetyLevelsNoFaults(t *testing.T) {
+	c, _ := New(4, nil)
+	res := c.SafetyLevels()
+	for v, l := range res.Levels {
+		if l != 4 {
+			t.Fatalf("fault-free cube: level(%04b) = %d, want 4", v, l)
+		}
+	}
+	if res.Rounds != 0 {
+		t.Errorf("fault-free rounds = %d, want 0", res.Rounds)
+	}
+}
+
+func TestSafetyLevelsRoundsBound(t *testing.T) {
+	// "As the diameter of an n-D cube is n, at most, n-1 rounds are needed."
+	r := stats.NewRand(1)
+	for trial := 0; trial < 30; trial++ {
+		dim := 4 + r.Intn(4)
+		nFaults := 1 + r.Intn(1<<(dim-1))
+		faults := map[int]bool{}
+		for len(faults) < nFaults {
+			faults[r.Intn(1<<dim)] = true
+		}
+		var fl []int
+		for f := range faults {
+			fl = append(fl, f)
+		}
+		c, err := New(dim, fl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := c.SafetyLevels()
+		if res.Rounds > dim-1 {
+			t.Fatalf("dim %d: rounds = %d > n-1", dim, res.Rounds)
+		}
+		for v, l := range res.Levels {
+			if c.Faulty(v) && l != 0 {
+				t.Fatalf("faulty node level %d", l)
+			}
+			if !c.Faulty(v) && (l < 1 || l > dim) {
+				t.Fatalf("level(%d) = %d out of range", v, l)
+			}
+		}
+	}
+}
+
+func TestSafetyLevelGuarantee(t *testing.T) {
+	// Semantic check: if l(u) >= Distance(u,d), Route finds a shortest
+	// path to every non-faulty destination d.
+	r := stats.NewRand(2)
+	for trial := 0; trial < 20; trial++ {
+		dim := 4 + r.Intn(3)
+		nFaults := 1 + r.Intn(dim)
+		faults := map[int]bool{}
+		for len(faults) < nFaults {
+			faults[r.Intn(1<<dim)] = true
+		}
+		var fl []int
+		for f := range faults {
+			fl = append(fl, f)
+		}
+		c, _ := New(dim, fl)
+		res := c.SafetyLevels()
+		for u := 0; u < c.N(); u++ {
+			if c.Faulty(u) {
+				continue
+			}
+			for d := 0; d < c.N(); d++ {
+				if c.Faulty(d) || u == d {
+					continue
+				}
+				h := Distance(u, d)
+				if res.Levels[u] < h {
+					continue // no guarantee
+				}
+				path, err := c.Route(res, u, d)
+				if err != nil {
+					t.Fatalf("guaranteed route %0*b->%0*b failed: %v (level %d >= dist %d)",
+						dim, u, dim, d, err, res.Levels[u], h)
+				}
+				if len(path)-1 != h {
+					t.Fatalf("guaranteed route not shortest: %d hops for distance %d", len(path)-1, h)
+				}
+			}
+		}
+	}
+}
+
+func TestSafeNodeReachesEverything(t *testing.T) {
+	// "When the safety level of a node is n..., this node can reach any
+	// node through a shortest path."
+	c, _ := New(5, []int{3, 17, 20})
+	res := c.SafetyLevels()
+	for u := 0; u < c.N(); u++ {
+		if !c.Safe(res, u) {
+			continue
+		}
+		for d := 0; d < c.N(); d++ {
+			if c.Faulty(d) || d == u {
+				continue
+			}
+			path, err := c.Route(res, u, d)
+			if err != nil || len(path)-1 != Distance(u, d) {
+				t.Fatalf("safe node %05b failed to optimally reach %05b: %v", u, d, err)
+			}
+		}
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	c, _ := New(3, []int{1})
+	res := c.SafetyLevels()
+	if _, err := c.Route(res, -1, 0); err == nil {
+		t.Error("bad src should error")
+	}
+	if _, err := c.Route(res, 0, 1); err == nil {
+		t.Error("faulty dst should error")
+	}
+	if p, err := c.Route(res, 2, 2); err != nil || len(p) != 1 {
+		t.Error("self route should be trivial")
+	}
+}
+
+func TestBroadcastFromSafeNode(t *testing.T) {
+	c, _ := New(5, []int{7, 12, 25})
+	res := c.SafetyLevels()
+	src := -1
+	for v := 0; v < c.N(); v++ {
+		if c.Safe(res, v) {
+			src = v
+			break
+		}
+	}
+	if src == -1 {
+		t.Skip("no safe node with this fault set")
+	}
+	rounds, reached, err := c.Broadcast(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reached != c.NonFaultyCount() {
+		t.Errorf("broadcast reached %d of %d non-faulty nodes", reached, c.NonFaultyCount())
+	}
+	if rounds > c.Dim()+2 {
+		t.Errorf("broadcast rounds = %d, want close to the diameter %d", rounds, c.Dim())
+	}
+}
+
+func TestBroadcastErrors(t *testing.T) {
+	c, _ := New(3, []int{0})
+	if _, _, err := c.Broadcast(0); err == nil {
+		t.Error("faulty source should error")
+	}
+	if _, _, err := c.Broadcast(-1); err == nil {
+		t.Error("bad source should error")
+	}
+}
+
+func TestSafetyVectorsDominateLevels(t *testing.T) {
+	// The extension is strictly more informative: level l implies vector
+	// bits 1..l are set.
+	r := stats.NewRand(3)
+	for trial := 0; trial < 20; trial++ {
+		dim := 4 + r.Intn(3)
+		nFaults := 1 + r.Intn(2*dim)
+		faults := map[int]bool{}
+		for len(faults) < nFaults {
+			faults[r.Intn(1<<dim)] = true
+		}
+		var fl []int
+		for f := range faults {
+			fl = append(fl, f)
+		}
+		c, _ := New(dim, fl)
+		res := c.SafetyLevels()
+		vec := c.SafetyVectors()
+		for v := 0; v < c.N(); v++ {
+			if c.Faulty(v) {
+				for k := 0; k <= dim; k++ {
+					if vec[v][k] {
+						t.Fatalf("faulty node has vector bit set")
+					}
+				}
+				continue
+			}
+			for k := 1; k <= res.Levels[v]; k++ {
+				if !vec[v][k] {
+					t.Fatalf("dim %d node %d: level %d but vector bit %d unset",
+						dim, v, res.Levels[v], k)
+				}
+			}
+		}
+	}
+}
+
+func TestSafetyVectorGuidedRouting(t *testing.T) {
+	r := stats.NewRand(4)
+	c, _ := New(5, []int{2, 9, 22})
+	vec := c.SafetyVectors()
+	ok, attempts := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		u, d := r.Intn(32), r.Intn(32)
+		if u == d || c.Faulty(u) || c.Faulty(d) {
+			continue
+		}
+		attempts++
+		h := Distance(u, d)
+		path, err := c.RouteByVector(vec, u, d)
+		if err == nil && len(path)-1 == h {
+			ok++
+		}
+	}
+	if attempts == 0 {
+		t.Fatal("no attempts")
+	}
+	if float64(ok)/float64(attempts) < 0.9 {
+		t.Errorf("vector routing optimal rate = %d/%d, want > 90%%", ok, attempts)
+	}
+}
+
+func TestFig9Scenario(t *testing.T) {
+	// Fig. 9: a 4-D cube with three faulty nodes in which node 1101,
+	// routing to 0001, picks preferred neighbor 0101 over 1001 because
+	// 0101 carries the higher safety level (see Fig9Cube for why the
+	// figure's literal level annotation is unrealizable).
+	c, res := Fig9Cube()
+	if c.FaultCount() != 3 {
+		t.Fatalf("Fig. 9 has three faulty nodes, got %d", c.FaultCount())
+	}
+	if res.Levels[0b0101] != 4 || res.Levels[0b1001] != 2 {
+		t.Errorf("levels(0101, 1001) = (%d, %d), want (4, 2)",
+			res.Levels[0b0101], res.Levels[0b1001])
+	}
+	if res.Levels[0b1001] >= res.Levels[0b0101] {
+		t.Errorf("level(1001) = %d must be below level(0101) = %d",
+			res.Levels[0b1001], res.Levels[0b0101])
+	}
+	path, err := c.Route(res, 0b1101, 0b0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1] != 0b0101 {
+		t.Errorf("route = %04b, want 1101 -> 0101 -> 0001", path)
+	}
+	if res.Rounds > 3 {
+		t.Errorf("rounds = %d, want <= n-1 = 3", res.Rounds)
+	}
+}

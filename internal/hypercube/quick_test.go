@@ -1,0 +1,131 @@
+package hypercube
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func cubeFrom(dimRaw uint8, faultRaw []uint8) *Cube {
+	dim := int(dimRaw%5) + 3 // 3..7
+	seen := map[int]bool{}
+	var faults []int
+	for _, f := range faultRaw {
+		x := int(f) % (1 << dim)
+		if !seen[x] {
+			seen[x] = true
+			faults = append(faults, x)
+		}
+	}
+	c, _ := New(dim, faults)
+	return c
+}
+
+// Property: the fixed point of the safety-level computation satisfies the
+// footnote-3 consistency condition at every non-faulty node — the level is
+// exactly the longest prefix of sorted neighbor levels with seq[i] >= i.
+func TestQuickSafetyLevelFixedPoint(t *testing.T) {
+	f := func(dimRaw uint8, faultRaw []uint8) bool {
+		c := cubeFrom(dimRaw, faultRaw)
+		res := c.SafetyLevels()
+		for v := 0; v < c.N(); v++ {
+			if c.Faulty(v) {
+				if res.Levels[v] != 0 {
+					return false
+				}
+				continue
+			}
+			seq := make([]int, 0, c.Dim())
+			for _, w := range c.Neighbors(v) {
+				seq = append(seq, res.Levels[w])
+			}
+			sort.Ints(seq)
+			want := c.Dim()
+			for i, l := range seq {
+				if l < i {
+					want = i
+					break
+				}
+			}
+			if res.Levels[v] != want {
+				return false
+			}
+		}
+		return res.Rounds <= c.Dim()-1 || res.Rounds == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the safety-level semantic guarantee — any node with level >=
+// its distance to a non-faulty destination routes optimally.
+func TestQuickSafetyLevelGuarantee(t *testing.T) {
+	f := func(dimRaw uint8, faultRaw []uint8, uRaw, dRaw uint16) bool {
+		c := cubeFrom(dimRaw, faultRaw)
+		res := c.SafetyLevels()
+		u := int(uRaw) % c.N()
+		d := int(dRaw) % c.N()
+		if u == d || c.Faulty(u) || c.Faulty(d) {
+			return true
+		}
+		h := Distance(u, d)
+		if res.Levels[u] < h {
+			return true
+		}
+		path, err := c.Route(res, u, d)
+		return err == nil && len(path)-1 == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: safety vectors dominate safety levels on every cube.
+func TestQuickVectorsDominateLevels(t *testing.T) {
+	f := func(dimRaw uint8, faultRaw []uint8) bool {
+		c := cubeFrom(dimRaw, faultRaw)
+		res := c.SafetyLevels()
+		vec := c.SafetyVectors()
+		for v := 0; v < c.N(); v++ {
+			if c.Faulty(v) {
+				continue
+			}
+			for k := 1; k <= res.Levels[v]; k++ {
+				if !vec[v][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: broadcast coverage equals the non-faulty component of the
+// source, however the faults fall, and the structured broadcast is always
+// message-optimal for what it covers.
+func TestQuickBroadcastCoverage(t *testing.T) {
+	f := func(dimRaw uint8, faultRaw []uint8, srcRaw uint16) bool {
+		c := cubeFrom(dimRaw, faultRaw)
+		src := int(srcRaw) % c.N()
+		if c.Faulty(src) {
+			return true
+		}
+		res := c.SafetyLevels()
+		st, err := c.SafeBroadcast(res, src)
+		if err != nil {
+			return false
+		}
+		_, flood, err := c.Broadcast(src)
+		if err != nil {
+			return false
+		}
+		return st.Reached == flood && st.Messages == st.Reached-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

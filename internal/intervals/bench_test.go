@@ -1,0 +1,50 @@
+package intervals
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchFamily(n int) Family {
+	r := rand.New(rand.NewSource(1))
+	f := Family{NumVertices: n}
+	for v := 0; v < n; v++ {
+		s := r.Float64() * 1000
+		f.Intervals = append(f.Intervals, Interval{Start: s, End: s + r.Float64()*30, Owner: v})
+	}
+	return f
+}
+
+func BenchmarkIntervalGraphBuild(b *testing.B) {
+	f := benchFamily(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Graph(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHypergraphSweep(b *testing.B) {
+	f := benchFamily(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Hypergraph(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChordalityCheck(b *testing.B) {
+	f := benchFamily(500)
+	g, err := f.Graph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !IsChordal(g) {
+			b.Fatal("interval graph must be chordal")
+		}
+	}
+}

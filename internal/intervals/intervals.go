@@ -1,0 +1,316 @@
+// Package intervals implements the time-dimension intersection graphs of
+// §II-A: interval graphs for online social networks, multiple-interval
+// graphs (a user online several times), and interval hypergraphs whose
+// hyperedges are the maximal sets of simultaneously-online users (Fig. 1).
+//
+// It also provides the chordality machinery the paper invokes: every
+// interval graph is chordal ("time is linear, not circular"), checked via
+// Lex-BFS and perfect-elimination-ordering verification.
+package intervals
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"structura/internal/graph"
+)
+
+// Interval is a closed interval [Start, End] on the real line, owned by a
+// vertex (e.g. one online session of a user).
+type Interval struct {
+	Start, End float64
+	Owner      int
+}
+
+// Overlaps reports whether two closed intervals intersect.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start <= other.End && other.Start <= iv.End
+}
+
+// Family is a set of intervals grouped by owner vertex; owner IDs must be
+// dense in [0, NumVertices).
+type Family struct {
+	NumVertices int
+	Intervals   []Interval
+}
+
+// Validate checks owner ranges and interval sanity.
+func (f Family) Validate() error {
+	for _, iv := range f.Intervals {
+		if iv.Owner < 0 || iv.Owner >= f.NumVertices {
+			return fmt.Errorf("intervals: owner %d out of range [0,%d)", iv.Owner, f.NumVertices)
+		}
+		if iv.End < iv.Start {
+			return fmt.Errorf("intervals: inverted interval [%g,%g]", iv.Start, iv.End)
+		}
+	}
+	return nil
+}
+
+// Graph builds the (multiple-)interval graph: vertices are owners, with an
+// edge whenever any interval of one owner intersects any interval of the
+// other. With one interval per owner this is the classic interval graph.
+func (f Family) Graph() (*graph.Graph, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	g := graph.New(f.NumVertices)
+	// Sweep: sort by start; for each interval, scan forward while starts
+	// are <= this end.
+	ivs := append([]Interval(nil), f.Intervals...)
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+	for i, a := range ivs {
+		for j := i + 1; j < len(ivs); j++ {
+			b := ivs[j]
+			if b.Start > a.End {
+				break
+			}
+			if a.Owner != b.Owner && !g.HasEdge(a.Owner, b.Owner) {
+				_ = g.AddEdge(a.Owner, b.Owner)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Hyperedge is a maximal set of owners whose intervals share a common time
+// point (one hyperedge of the interval hypergraph of Fig. 1).
+type Hyperedge []int
+
+// Hypergraph returns the maximal hyperedges of the interval hypergraph: the
+// maximal cliques of the interval graph, which by Helly's property for
+// intervals are exactly the maximal sets of pairwise- (hence commonly-)
+// intersecting intervals. Owners appearing through several intervals are
+// deduplicated per hyperedge.
+func (f Family) Hypergraph() ([]Hyperedge, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if len(f.Intervals) == 0 {
+		return nil, nil
+	}
+	type event struct {
+		t     float64
+		kind  int // 0 = start (processed first at equal t), 1 = end
+		owner int
+	}
+	events := make([]event, 0, 2*len(f.Intervals))
+	for _, iv := range f.Intervals {
+		events = append(events, event{iv.Start, 0, iv.Owner}, event{iv.End, 1, iv.Owner})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].kind < events[j].kind // closed intervals: starts before ends
+	})
+	active := make(map[int]int) // owner -> open interval count
+	var out []Hyperedge
+	grown := false
+	emit := func() {
+		if !grown || len(active) == 0 {
+			return
+		}
+		he := make(Hyperedge, 0, len(active))
+		for o := range active {
+			he = append(he, o)
+		}
+		sort.Ints(he)
+		out = append(out, he)
+		grown = false
+	}
+	for _, ev := range events {
+		if ev.kind == 0 {
+			if active[ev.owner] == 0 {
+				grown = true // the active *set* gained an owner
+			}
+			active[ev.owner]++
+			continue
+		}
+		if active[ev.owner] == 1 {
+			// The set is about to lose this owner: if it grew since the
+			// last emission it is a maximal-clique candidate.
+			emit()
+			delete(active, ev.owner)
+		} else {
+			active[ev.owner]--
+		}
+	}
+	emit()
+	return pruneHyperedges(out), nil
+}
+
+// pruneHyperedges deduplicates and removes strict subsets, keeping only
+// inclusion-maximal hyperedges (the maximal cliques).
+func pruneHyperedges(hes []Hyperedge) []Hyperedge {
+	seen := make(map[string]bool, len(hes))
+	uniq := hes[:0]
+	for _, he := range hes {
+		key := fmt.Sprint([]int(he))
+		if !seen[key] {
+			seen[key] = true
+			uniq = append(uniq, he)
+		}
+	}
+	var out []Hyperedge
+	for i, a := range uniq {
+		subset := false
+		for j, b := range uniq {
+			if i != j && len(a) <= len(b) && (len(a) < len(b) || i > j) && isSubset(a, b) {
+				subset = true
+				break
+			}
+		}
+		if !subset {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func isSubset(a, b Hyperedge) bool {
+	// Both sorted ascending.
+	i := 0
+	for _, x := range b {
+		if i < len(a) && a[i] == x {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+// CardinalityDistribution returns a histogram of hyperedge sizes:
+// dist[k] = number of hyperedges with exactly k owners (index 0 unused).
+// This is the "edge density distribution" question the paper raises for
+// online social networks.
+func CardinalityDistribution(hes []Hyperedge) []int {
+	maxK := 0
+	for _, he := range hes {
+		if len(he) > maxK {
+			maxK = len(he)
+		}
+	}
+	dist := make([]int, maxK+1)
+	for _, he := range hes {
+		dist[len(he)]++
+	}
+	return dist
+}
+
+// ErrNotChordal is returned by PerfectEliminationOrdering on a non-chordal
+// graph.
+var ErrNotChordal = errors.New("intervals: graph is not chordal")
+
+// LexBFS returns a lexicographic breadth-first-search ordering of an
+// undirected graph (ties broken by smallest ID). The reverse of this order
+// is a perfect elimination ordering iff the graph is chordal.
+func LexBFS(g *graph.Graph) []int {
+	n := g.N()
+	order := make([]int, 0, n)
+	visited := make([]bool, n)
+	labels := make([][]int, n) // descending sequence of visit positions
+	for len(order) < n {
+		// Pick unvisited vertex with lexicographically largest label.
+		best := -1
+		for v := 0; v < n; v++ {
+			if visited[v] {
+				continue
+			}
+			if best == -1 || lexGreater(labels[v], labels[best]) {
+				best = v
+			}
+		}
+		visited[best] = true
+		pos := n - len(order) // descending positions keep labels sorted
+		order = append(order, best)
+		g.EachNeighbor(best, func(w int, _ float64) {
+			if !visited[w] {
+				labels[w] = append(labels[w], pos)
+			}
+		})
+	}
+	return order
+}
+
+func lexGreater(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] > b[i]
+		}
+	}
+	return len(a) > len(b)
+}
+
+// IsChordal reports whether an undirected graph is chordal (every cycle of
+// length >= 4 has a chord), via Lex-BFS + PEO verification.
+func IsChordal(g *graph.Graph) bool {
+	_, err := PerfectEliminationOrdering(g)
+	return err == nil
+}
+
+// PerfectEliminationOrdering returns a PEO of g (vertices ordered so each
+// vertex plus its later neighbors form a clique), or ErrNotChordal.
+func PerfectEliminationOrdering(g *graph.Graph) ([]int, error) {
+	if g.Directed() {
+		return nil, errors.New("intervals: chordality is defined on undirected graphs")
+	}
+	n := g.N()
+	lex := LexBFS(g)
+	// PEO candidate = reverse Lex-BFS order.
+	peo := make([]int, n)
+	pos := make([]int, n)
+	for i, v := range lex {
+		peo[n-1-i] = v
+	}
+	for i, v := range peo {
+		pos[v] = i
+	}
+	// Verify: for each v, let RN(v) = later neighbors; the earliest w in
+	// RN(v) must be adjacent to all of RN(v) \ {w}.
+	adj := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[int]bool, g.Degree(v))
+		g.EachNeighbor(v, func(w int, _ float64) { adj[v][w] = true })
+	}
+	for _, v := range peo {
+		var rn []int
+		for w := range adj[v] {
+			if pos[w] > pos[v] {
+				rn = append(rn, w)
+			}
+		}
+		if len(rn) < 2 {
+			continue
+		}
+		w := rn[0]
+		for _, u := range rn[1:] {
+			if pos[u] < pos[w] {
+				w = u
+			}
+		}
+		for _, u := range rn {
+			if u != w && !adj[w][u] {
+				return nil, fmt.Errorf("%w: vertex %d's later neighbors %d,%d not adjacent", ErrNotChordal, v, w, u)
+			}
+		}
+	}
+	return peo, nil
+}
+
+// Fig1Family returns the canonical 4-user online-social-network example of
+// the paper's Fig. 1: users A(0), B(1), C(2), D(3), with A, C, and D all
+// online at a common moment (the hyperedge the paper adds) and B online only
+// early. Exact coordinates are not given in the paper; these preserve its
+// stated intersection pattern.
+func Fig1Family() Family {
+	return Family{
+		NumVertices: 4,
+		Intervals: []Interval{
+			{Start: 0, End: 4, Owner: 0},     // A
+			{Start: 0.5, End: 1.5, Owner: 1}, // B
+			{Start: 1, End: 5, Owner: 2},     // C
+			{Start: 3, End: 6, Owner: 3},     // D
+		},
+	}
+}

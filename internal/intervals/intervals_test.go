@@ -1,0 +1,343 @@
+package intervals
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+)
+
+func TestOverlaps(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Interval
+		want bool
+	}{
+		{"disjoint", Interval{0, 1, 0}, Interval{2, 3, 1}, false},
+		{"touching", Interval{0, 1, 0}, Interval{1, 2, 1}, true}, // closed intervals
+		{"nested", Interval{0, 10, 0}, Interval{2, 3, 1}, true},
+		{"partial", Interval{0, 5, 0}, Interval{3, 8, 1}, true},
+		{"reversed-args", Interval{3, 8, 0}, Interval{0, 5, 1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Overlaps(tt.b); got != tt.want {
+				t.Errorf("Overlaps = %v, want %v", got, tt.want)
+			}
+			if got := tt.b.Overlaps(tt.a); got != tt.want {
+				t.Errorf("Overlaps not symmetric")
+			}
+		})
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := Family{NumVertices: 2, Intervals: []Interval{{0, 1, 5}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("owner out of range should error")
+	}
+	inv := Family{NumVertices: 1, Intervals: []Interval{{3, 1, 0}}}
+	if err := inv.Validate(); err == nil {
+		t.Error("inverted interval should error")
+	}
+	if err := Fig1Family().Validate(); err != nil {
+		t.Errorf("Fig1Family invalid: %v", err)
+	}
+}
+
+func TestFig1Graph(t *testing.T) {
+	g, err := Fig1Family().Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A=0 B=1 C=2 D=3. Expected edges: A-B, A-C, A-D, B-C, C-D; not B-D.
+	wantEdges := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 3}}
+	for _, e := range wantEdges {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Errorf("missing edge %v", e)
+		}
+	}
+	if g.HasEdge(1, 3) {
+		t.Error("B-D should not be an edge (B offline before D online)")
+	}
+	if g.M() != 5 {
+		t.Errorf("M = %d, want 5", g.M())
+	}
+}
+
+func TestFig1Hypergraph(t *testing.T) {
+	hes, err := Fig1Family().Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: A, C, D intersect at one moment -> hyperedge {A,C,D};
+	// also A, B, C are simultaneously online early.
+	var gotACD, gotABC bool
+	for _, he := range hes {
+		if len(he) == 3 && he[0] == 0 && he[1] == 2 && he[2] == 3 {
+			gotACD = true
+		}
+		if len(he) == 3 && he[0] == 0 && he[1] == 1 && he[2] == 2 {
+			gotABC = true
+		}
+	}
+	if !gotACD {
+		t.Errorf("missing hyperedge {A,C,D}; got %v", hes)
+	}
+	if !gotABC {
+		t.Errorf("missing hyperedge {A,B,C}; got %v", hes)
+	}
+	dist := CardinalityDistribution(hes)
+	if len(dist) < 4 || dist[3] != 2 {
+		t.Errorf("cardinality distribution = %v, want two 3-hyperedges", dist)
+	}
+}
+
+func TestMultipleIntervalOwner(t *testing.T) {
+	// Owner 0 online twice; second session overlaps owner 1.
+	f := Family{
+		NumVertices: 2,
+		Intervals: []Interval{
+			{0, 1, 0}, {5, 7, 0}, {6, 8, 1},
+		},
+	}
+	g, err := f.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Error("multi-interval overlap should create an edge")
+	}
+	hes, err := f.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Maximal hyperedges: {0,1}; the lone early {0} session is a subset.
+	if len(hes) != 1 || len(hes[0]) != 2 {
+		t.Errorf("hyperedges = %v, want just {0,1}", hes)
+	}
+}
+
+func TestHypergraphDisjointOwners(t *testing.T) {
+	f := Family{
+		NumVertices: 2,
+		Intervals:   []Interval{{0, 1, 0}, {2, 3, 1}},
+	}
+	hes, err := f.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hes) != 2 {
+		t.Errorf("hyperedges = %v, want two singletons", hes)
+	}
+	f2 := Family{NumVertices: 0}
+	if hes, err := f2.Hypergraph(); err != nil || hes != nil {
+		t.Error("empty family should produce nil, nil")
+	}
+}
+
+func TestHypergraphNestedSameOwner(t *testing.T) {
+	// Regression: an inner interval of the same owner ending must not emit
+	// a spurious subset hyperedge.
+	f := Family{
+		NumVertices: 2,
+		Intervals:   []Interval{{0, 10, 0}, {1, 2, 0}, {3, 4, 1}},
+	}
+	hes, err := f.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hes) != 1 || len(hes[0]) != 2 {
+		t.Errorf("hyperedges = %v, want just {0,1}", hes)
+	}
+}
+
+func TestIntervalGraphsAreChordal(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + r.Intn(60)
+		f := Family{NumVertices: n}
+		for v := 0; v < n; v++ {
+			s := r.Float64() * 100
+			f.Intervals = append(f.Intervals, Interval{s, s + r.Float64()*20, v})
+		}
+		g, err := f.Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsChordal(g) {
+			t.Fatalf("interval graph (trial %d) must be chordal", trial)
+		}
+	}
+}
+
+func TestC4NotChordal(t *testing.T) {
+	// The paper: a chordless 4-cycle cannot be an interval graph because
+	// time is linear, not circular.
+	c4 := gen.Ring(4)
+	if IsChordal(c4) {
+		t.Fatal("C4 must not be chordal")
+	}
+	if _, err := PerfectEliminationOrdering(c4); !errors.Is(err, ErrNotChordal) {
+		t.Errorf("want ErrNotChordal, got %v", err)
+	}
+	c5 := gen.Ring(5)
+	if IsChordal(c5) {
+		t.Fatal("C5 must not be chordal")
+	}
+}
+
+func TestChordalPositives(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"complete", gen.Complete(6)},
+		{"tree/path", gen.Path(7)},
+		{"star", gen.Star(6)},
+		{"triangle", gen.Ring(3)},
+		{"empty", graph.New(4)},
+		{"single", graph.New(1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if !IsChordal(tc.g) {
+				t.Errorf("%s must be chordal", tc.name)
+			}
+		})
+	}
+}
+
+func TestChordalC4PlusChord(t *testing.T) {
+	g := gen.Ring(4)
+	_ = g.AddEdge(0, 2)
+	if !IsChordal(g) {
+		t.Error("C4 + chord must be chordal")
+	}
+}
+
+func TestPEOOnDirected(t *testing.T) {
+	if _, err := PerfectEliminationOrdering(graph.NewDirected(3)); err == nil {
+		t.Error("directed graph should be rejected")
+	}
+}
+
+func TestPEOProperty(t *testing.T) {
+	// For any returned PEO, each vertex's later neighborhood must be a
+	// clique — check directly on random interval graphs.
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + r.Intn(30)
+		f := Family{NumVertices: n}
+		for v := 0; v < n; v++ {
+			s := r.Float64() * 50
+			f.Intervals = append(f.Intervals, Interval{s, s + r.Float64()*15, v})
+		}
+		g, _ := f.Graph()
+		peo, err := PerfectEliminationOrdering(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := make([]int, n)
+		for i, v := range peo {
+			pos[v] = i
+		}
+		for _, v := range peo {
+			var later []int
+			for _, w := range g.Neighbors(v) {
+				if pos[w] > pos[v] {
+					later = append(later, w)
+				}
+			}
+			for i := 0; i < len(later); i++ {
+				for j := i + 1; j < len(later); j++ {
+					if !g.HasEdge(later[i], later[j]) {
+						t.Fatalf("PEO violated at %d: %d,%d not adjacent", v, later[i], later[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLexBFSCoversAll(t *testing.T) {
+	g := gen.Grid(3, 3)
+	order := LexBFS(g)
+	if len(order) != 9 {
+		t.Fatalf("LexBFS length = %d", len(order))
+	}
+	seen := make(map[int]bool)
+	for _, v := range order {
+		if seen[v] {
+			t.Fatalf("duplicate %d in LexBFS order", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestCardinalityDistributionEmpty(t *testing.T) {
+	if d := CardinalityDistribution(nil); len(d) != 1 {
+		t.Errorf("empty distribution = %v", d)
+	}
+}
+
+func TestGraphRejectsInvalidFamily(t *testing.T) {
+	bad := Family{NumVertices: 1, Intervals: []Interval{{0, 1, 9}}}
+	if _, err := bad.Graph(); err == nil {
+		t.Error("Graph should reject invalid family")
+	}
+	if _, err := bad.Hypergraph(); err == nil {
+		t.Error("Hypergraph should reject invalid family")
+	}
+}
+
+// Property: hyperedges of a single-interval family are exactly the maximal
+// cliques — every hyperedge is a clique in the interval graph, and every
+// edge is inside some hyperedge.
+func TestHyperedgesAreCliquesCoveringEdges(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(40)
+		f := Family{NumVertices: n}
+		for v := 0; v < n; v++ {
+			s := r.Float64() * 30
+			f.Intervals = append(f.Intervals, Interval{s, s + r.Float64()*10, v})
+		}
+		g, _ := f.Graph()
+		hes, err := f.Hypergraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, he := range hes {
+			for i := 0; i < len(he); i++ {
+				for j := i + 1; j < len(he); j++ {
+					if !g.HasEdge(he[i], he[j]) {
+						t.Fatalf("hyperedge %v is not a clique (%d-%d missing)", he, he[i], he[j])
+					}
+				}
+			}
+		}
+		for _, e := range g.Edges() {
+			covered := false
+			for _, he := range hes {
+				if contains(he, e.From) && contains(he, e.To) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("edge %v not covered by any hyperedge", e)
+			}
+		}
+	}
+}
+
+func contains(he Hyperedge, v int) bool {
+	for _, x := range he {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package intervals
+
+import (
+	"structura/internal/graph"
+)
+
+// The paper (§II-A): "Not all graphs are interval graphs ... if G is an
+// interval graph, it must be a chordal graph. The impossibility of a large
+// chordless cycle is that time is linear, not circular." Chordality is
+// necessary but not sufficient; the classical characterization
+// (Lekkerkerker–Boland 1962) adds that an interval graph contains no
+// asteroidal triple: three vertices such that every pair is joined by a
+// path avoiding the closed neighborhood of the third (three "directions"
+// that a linear time axis cannot host). This file implements the full
+// recognizer.
+
+// AsteroidalTriple is three vertices witnessing non-interval structure.
+type AsteroidalTriple struct {
+	X, Y, Z int
+}
+
+// FindAsteroidalTriple returns an asteroidal triple of an undirected graph
+// if one exists. It runs in O(n * (n + m)) preprocessing plus O(n^3)
+// triple checking.
+func FindAsteroidalTriple(g *graph.Graph) (AsteroidalTriple, bool) {
+	n := g.N()
+	// comp[v][u] = connected component id of u in G - N[v] (-1 for removed).
+	comp := make([][]int, n)
+	for v := 0; v < n; v++ {
+		comp[v] = componentsAvoiding(g, v)
+	}
+	for x := 0; x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			if comp[x][y] == -1 || comp[y][x] == -1 {
+				continue // adjacent (or in each other's closed hood)
+			}
+			for z := y + 1; z < n; z++ {
+				if comp[x][z] == -1 || comp[y][z] == -1 ||
+					comp[z][x] == -1 || comp[z][y] == -1 {
+					continue
+				}
+				// Pairwise connected while avoiding the third's hood.
+				if comp[z][x] == comp[z][y] && // x-y path avoiding N[z]
+					comp[y][x] == comp[y][z] && // x-z path avoiding N[y]
+					comp[x][y] == comp[x][z] { // y-z path avoiding N[x]
+					return AsteroidalTriple{X: x, Y: y, Z: z}, true
+				}
+			}
+		}
+	}
+	return AsteroidalTriple{}, false
+}
+
+// componentsAvoiding labels the connected components of G - N[v]; vertices
+// inside N[v] get -1.
+func componentsAvoiding(g *graph.Graph, v int) []int {
+	n := g.N()
+	out := make([]int, n)
+	removed := make([]bool, n)
+	removed[v] = true
+	g.EachNeighbor(v, func(w int, _ float64) { removed[w] = true })
+	for i := range out {
+		out[i] = -2
+	}
+	id := 0
+	for s := 0; s < n; s++ {
+		if removed[s] || out[s] != -2 {
+			continue
+		}
+		out[s] = id
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			g.EachNeighbor(u, func(w int, _ float64) {
+				if !removed[w] && out[w] == -2 {
+					out[w] = id
+					queue = append(queue, w)
+				}
+			})
+		}
+		id++
+	}
+	for i := range out {
+		if removed[i] {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// IsIntervalGraph reports whether an undirected graph is an interval graph:
+// chordal and asteroidal-triple-free (Lekkerkerker–Boland).
+func IsIntervalGraph(g *graph.Graph) bool {
+	if g.Directed() {
+		return false
+	}
+	if !IsChordal(g) {
+		return false
+	}
+	_, hasAT := FindAsteroidalTriple(g)
+	return !hasAT
+}

@@ -1,0 +1,140 @@
+package intervals
+
+import (
+	"math/rand"
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+)
+
+// spider builds the subdivided claw S(2,2,2): center 0, three legs of two
+// edges each — a tree (hence chordal) that is NOT an interval graph: its
+// three leaf tips form an asteroidal triple.
+func spider() *graph.Graph {
+	g := graph.New(7)
+	for leg := 0; leg < 3; leg++ {
+		mid, tip := 1+2*leg, 2+2*leg
+		_ = g.AddEdge(0, mid)
+		_ = g.AddEdge(mid, tip)
+	}
+	return g
+}
+
+func TestSpiderIsChordalButNotInterval(t *testing.T) {
+	g := spider()
+	if !IsChordal(g) {
+		t.Fatal("trees are chordal")
+	}
+	at, found := FindAsteroidalTriple(g)
+	if !found {
+		t.Fatal("the subdivided claw must contain an asteroidal triple")
+	}
+	tips := map[int]bool{2: true, 4: true, 6: true}
+	if !tips[at.X] || !tips[at.Y] || !tips[at.Z] {
+		t.Errorf("triple %v, want the three leg tips {2,4,6}", at)
+	}
+	if IsIntervalGraph(g) {
+		t.Fatal("the subdivided claw is not an interval graph")
+	}
+}
+
+func TestCaterpillarIsInterval(t *testing.T) {
+	// A caterpillar (spine + legs) is an interval graph.
+	g := graph.New(8)
+	for i := 0; i+1 < 4; i++ { // spine 0-1-2-3
+		_ = g.AddEdge(i, i+1)
+	}
+	for i := 0; i < 4; i++ { // one leg per spine node
+		_ = g.AddEdge(i, 4+i)
+	}
+	if !IsIntervalGraph(g) {
+		t.Fatal("caterpillars are interval graphs")
+	}
+}
+
+func TestCyclesAreNotInterval(t *testing.T) {
+	// C4 and larger fail at chordality (the paper's "time is linear, not
+	// circular").
+	for n := 4; n <= 7; n++ {
+		if IsIntervalGraph(gen.Ring(n)) {
+			t.Errorf("C%d must not be an interval graph", n)
+		}
+	}
+	if !IsIntervalGraph(gen.Ring(3)) {
+		t.Error("the triangle is an interval graph")
+	}
+}
+
+func TestBasicsAreInterval(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"path":     gen.Path(9),
+		"star":     gen.Star(7),
+		"complete": gen.Complete(6),
+		"empty":    graph.New(5),
+		"single":   graph.New(1),
+	} {
+		if !IsIntervalGraph(g) {
+			t.Errorf("%s must be an interval graph", name)
+		}
+	}
+	if IsIntervalGraph(graph.NewDirected(3)) {
+		t.Error("directed graphs are rejected")
+	}
+}
+
+func TestRecognizerAcceptsBuiltIntervalGraphs(t *testing.T) {
+	// Soundness: graphs built from actual interval families must pass.
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + r.Intn(40)
+		f := Family{NumVertices: n}
+		for v := 0; v < n; v++ {
+			s := r.Float64() * 60
+			f.Intervals = append(f.Intervals, Interval{Start: s, End: s + r.Float64()*15, Owner: v})
+		}
+		g, err := f.Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsIntervalGraph(g) {
+			t.Fatalf("trial %d: graph of an interval family rejected", trial)
+		}
+	}
+}
+
+func TestRecognizerRejectsSpikedCycles(t *testing.T) {
+	// Chordal-ized cycles with far-apart pendants: the classic AT families.
+	// Take C6 fully chorded into a fan (chordal), then hang three pendant
+	// vertices on alternating rim nodes: pendants form an asteroidal
+	// triple (this is the "3-sun with rays" shape).
+	g := graph.New(9)
+	// Fan: 0 is the hub of a path 1-2-3-4-5.
+	for i := 1; i < 5; i++ {
+		_ = g.AddEdge(i, i+1)
+	}
+	for i := 1; i <= 5; i++ {
+		_ = g.AddEdge(0, i)
+	}
+	// Pendants on 1, 3, 5.
+	_ = g.AddEdge(1, 6)
+	_ = g.AddEdge(3, 7)
+	_ = g.AddEdge(5, 8)
+	if !IsChordal(g) {
+		t.Fatal("the fan with pendants is chordal")
+	}
+	if IsIntervalGraph(g) {
+		t.Fatal("pendants around a fan hub form an asteroidal triple")
+	}
+}
+
+func TestFindAsteroidalTripleNoneOnInterval(t *testing.T) {
+	f := Fig1Family()
+	g, err := f.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := FindAsteroidalTriple(g); found {
+		t.Error("Fig. 1's interval graph cannot contain an asteroidal triple")
+	}
+}

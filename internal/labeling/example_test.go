@@ -1,0 +1,38 @@
+package labeling_test
+
+import (
+	"fmt"
+
+	"structura/internal/labeling"
+)
+
+// The paper's Fig. 8 walkthrough: marking, pruning, MIS, and the
+// neighbor-designated dominating set on the six-node example.
+func ExampleMarkCDS() {
+	g := labeling.Fig8Graph() // A=0 ... F=5
+	prio := labeling.PriorityByID(6)
+	letters := func(ids []int) string {
+		s := ""
+		for _, v := range ids {
+			s += string(rune('A' + v))
+		}
+		return s
+	}
+
+	marked := labeling.MarkCDS(g)
+	fmt.Println("marked:", letters(labeling.Members(marked, labeling.Black)))
+
+	pruned, _ := labeling.PruneCDS(g, marked, prio)
+	fmt.Println("pruned:", letters(labeling.Members(pruned, labeling.Black)))
+
+	mis, _ := labeling.DistributedMIS(g, prio)
+	fmt.Println("MIS:   ", letters(labeling.Members(mis.Colors, labeling.Black)))
+
+	ds, _ := labeling.NeighborDesignatedDS(g, prio)
+	fmt.Println("DS:    ", letters(labeling.Members(ds, labeling.Black)))
+	// Output:
+	// marked: BCDEF
+	// pruned: BCD
+	// MIS:    ABE
+	// DS:     ABC
+}

@@ -1,0 +1,391 @@
+package labeling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/stats"
+)
+
+const (
+	nodeA = iota
+	nodeB
+	nodeC
+	nodeD
+	nodeE
+	nodeF
+)
+
+func sameMembers(t *testing.T, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("members = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("members = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFig8Marking(t *testing.T) {
+	// "In Fig. 8, all nodes except A are labeled black."
+	g := Fig8Graph()
+	colors := MarkCDS(g)
+	sameMembers(t, Members(colors, Black), []int{nodeB, nodeC, nodeD, nodeE, nodeF})
+	if colors[nodeA] != White {
+		t.Error("A must stay white (its neighbors C and D are connected)")
+	}
+	// The marked set must be a CDS.
+	if !IsCDS(g, SetOf(Members(colors, Black))) {
+		t.Error("marked set must be a CDS")
+	}
+}
+
+func TestFig8Pruning(t *testing.T) {
+	// "B, C, and D are three black nodes remained after the trimming."
+	g := Fig8Graph()
+	colors := MarkCDS(g)
+	pruned, err := PruneCDS(g, colors, PriorityByID(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMembers(t, Members(pruned, Black), []int{nodeB, nodeC, nodeD})
+	if !IsCDS(g, SetOf(Members(pruned, Black))) {
+		t.Error("pruned set must still be a CDS")
+	}
+}
+
+func TestFig8MIS(t *testing.T) {
+	// "A and B are colored black [in round 1]... The final MIS is A, B,
+	// and E, all colored black."
+	g := Fig8Graph()
+	res, err := DistributedMIS(g, PriorityByID(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMembers(t, Members(res.Colors, Black), []int{nodeA, nodeB, nodeE})
+	if !IsMIS(g, SetOf(Members(res.Colors, Black))) {
+		t.Error("result must be an MIS")
+	}
+	// Everyone else ends Gray.
+	sameMembers(t, Members(res.Colors, Gray), []int{nodeC, nodeD, nodeF})
+	if res.Rounds < 2 {
+		t.Errorf("rounds = %d; E can only win after C,D,F retire", res.Rounds)
+	}
+}
+
+func TestFig8NeighborDesignated(t *testing.T) {
+	// "A, B, and C are selected as DS (but not a CDS or an IS)."
+	g := Fig8Graph()
+	colors, err := NeighborDesignatedDS(g, PriorityByID(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Members(colors, Black)
+	sameMembers(t, ds, []int{nodeA, nodeB, nodeC})
+	set := SetOf(ds)
+	if !IsDominatingSet(g, set) {
+		t.Error("selected set must dominate")
+	}
+	if IsCDS(g, set) {
+		t.Error("paper: the selected set is NOT a CDS")
+	}
+	if IsIndependent(g, set) {
+		t.Error("paper: the selected set is NOT an IS")
+	}
+}
+
+func TestPriorityValidation(t *testing.T) {
+	g := Fig8Graph()
+	if _, err := PruneCDS(g, MarkCDS(g), Priority{1, 2}); err == nil {
+		t.Error("short priorities should error")
+	}
+	if _, err := PruneCDS(g, []Color{Black}, PriorityByID(6)); err == nil {
+		t.Error("short colors should error")
+	}
+	if _, err := DistributedMIS(g, Priority{1, 1, 2, 3, 4, 5}); err == nil {
+		t.Error("duplicate priorities should error")
+	}
+	if _, err := NeighborDesignatedDS(g, Priority{1}); err == nil {
+		t.Error("short priorities should error")
+	}
+}
+
+func TestMarkCDSOnRandomUDGStyleGraphs(t *testing.T) {
+	r := stats.NewRand(1)
+	for trial := 0; trial < 20; trial++ {
+		g := gen.ErdosRenyi(r, 40, 0.15)
+		if !g.Connected() {
+			continue
+		}
+		colors := MarkCDS(g)
+		black := SetOf(Members(colors, Black))
+		if len(black) == 0 {
+			// Complete-ish graph: no node has unconnected neighbors; the
+			// graph itself is its own dominating clique. Skip.
+			continue
+		}
+		if !IsCDS(g, black) {
+			t.Fatalf("trial %d: marking did not produce a CDS", trial)
+		}
+		pruned, err := PruneCDS(g, colors, PriorityByID(40))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb := SetOf(Members(pruned, Black))
+		if len(pb) > len(black) {
+			t.Fatal("pruning cannot grow the set")
+		}
+		if !IsCDS(g, pb) {
+			t.Fatalf("trial %d: pruned set is not a CDS", trial)
+		}
+	}
+}
+
+func TestDistributedMISProperties(t *testing.T) {
+	r := stats.NewRand(2)
+	for trial := 0; trial < 20; trial++ {
+		g := gen.ErdosRenyi(r, 60, 0.08)
+		prio := make(Priority, 60)
+		perm := r.Perm(60)
+		for i, p := range perm {
+			prio[i] = float64(p)
+		}
+		res, err := DistributedMIS(g, prio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsMIS(g, SetOf(Members(res.Colors, Black))) {
+			t.Fatalf("trial %d: not an MIS", trial)
+		}
+		// No White left.
+		if len(Members(res.Colors, White)) != 0 {
+			t.Fatal("white nodes remain")
+		}
+	}
+}
+
+func TestMISRoundsLogarithmic(t *testing.T) {
+	// With random priorities, rounds should grow like O(log n): compare
+	// n=64 vs n=4096 — rounds should grow far slower than n.
+	r := stats.NewRand(3)
+	rounds := map[int]int{}
+	for _, n := range []int{64, 1024} {
+		g := gen.ErdosRenyi(r, n, 4/float64(n)) // constant average degree
+		prio := make(Priority, n)
+		perm := r.Perm(n)
+		for i, p := range perm {
+			prio[i] = float64(p)
+		}
+		res, err := DistributedMIS(g, prio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds[n] = res.Rounds
+	}
+	if rounds[1024] > 8*rounds[64] {
+		t.Errorf("rounds grew too fast: %v", rounds)
+	}
+	if rounds[1024] > 4*int(math.Log2(1024)) {
+		t.Errorf("rounds %d >> O(log n) expectation", rounds[1024])
+	}
+}
+
+func TestNeighborDesignatedIsAlwaysDS(t *testing.T) {
+	r := stats.NewRand(4)
+	for trial := 0; trial < 20; trial++ {
+		g := gen.ErdosRenyi(r, 50, 0.1)
+		colors, err := NeighborDesignatedDS(g, PriorityByID(50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsDominatingSet(g, SetOf(Members(colors, Black))) {
+			t.Fatalf("trial %d: neighbor-designated set must dominate", trial)
+		}
+	}
+}
+
+func TestValidityCheckersOnKnownSets(t *testing.T) {
+	g := gen.Star(5)
+	if !IsDominatingSet(g, map[int]bool{0: true}) {
+		t.Error("star center dominates")
+	}
+	if IsDominatingSet(g, map[int]bool{1: true}) {
+		t.Error("one leaf does not dominate")
+	}
+	if !IsMIS(g, map[int]bool{0: true}) {
+		t.Error("{center} is an MIS of the star")
+	}
+	leaves := map[int]bool{1: true, 2: true, 3: true, 4: true}
+	if !IsMIS(g, leaves) {
+		t.Error("all leaves form an MIS")
+	}
+	if !IsCDS(g, map[int]bool{0: true}) {
+		t.Error("{center} is a CDS")
+	}
+	if IsIndependent(g, map[int]bool{0: true, 1: true}) {
+		t.Error("center+leaf are adjacent")
+	}
+	if !IsConnectedSet(g, map[int]bool{}) {
+		t.Error("empty set is vacuously connected")
+	}
+}
+
+func TestMembersAndSetOf(t *testing.T) {
+	colors := []Color{Black, White, Black, Gray}
+	sameMembers(t, Members(colors, Black), []int{0, 2})
+	set := SetOf([]int{3, 1})
+	if !set[3] || !set[1] || set[0] {
+		t.Errorf("SetOf = %v", set)
+	}
+}
+
+// --- dynamic MIS ---------------------------------------------------------
+
+func TestDynamicMISInvariantUnderChurn(t *testing.T) {
+	r := stats.NewRand(5)
+	g := gen.ErdosRenyi(r, 50, 0.08)
+	d, err := NewDynamicMIS(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 300; step++ {
+		u, v := r.Intn(50), r.Intn(50)
+		if u == v {
+			continue
+		}
+		if d.Graph().HasEdge(u, v) {
+			if _, err := d.RemoveEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := d.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.Verify(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func TestDynamicMISConstantAdjustments(t *testing.T) {
+	// [30]: expected O(1) adjustments per update with random priorities.
+	r := stats.NewRand(6)
+	g := gen.ErdosRenyi(r, 300, 0.03)
+	d, err := NewDynamicMIS(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, updates int
+	for step := 0; step < 500; step++ {
+		u, v := r.Intn(300), r.Intn(300)
+		if u == v {
+			continue
+		}
+		var flips int
+		if d.Graph().HasEdge(u, v) {
+			flips, err = d.RemoveEdge(u, v)
+		} else {
+			flips, err = d.AddEdge(u, v)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += flips
+		updates++
+	}
+	avg := float64(total) / float64(updates)
+	if avg > 3 {
+		t.Errorf("average adjustments per update = %v, want O(1) (small constant)", avg)
+	}
+}
+
+func TestDynamicMISErrors(t *testing.T) {
+	r := stats.NewRand(7)
+	if _, err := NewDynamicMIS(graph.NewDirected(3), r); err == nil {
+		t.Error("directed graph should error")
+	}
+	d, err := NewDynamicMIS(graph.New(3), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RemoveEdge(0, 1); err == nil {
+		t.Error("removing a missing edge should error")
+	}
+	if _, err := d.AddEdge(0, 9); err == nil {
+		t.Error("out-of-range edge should error")
+	}
+	if d.InMIS(-1) {
+		t.Error("out-of-range InMIS should be false")
+	}
+	// All-isolated graph: everyone is in the MIS.
+	if got := d.Members(); len(got) != 3 {
+		t.Errorf("isolated nodes must all be members, got %v", got)
+	}
+}
+
+func TestDynamicMISEdgeSemantics(t *testing.T) {
+	r := stats.NewRand(8)
+	d, err := NewDynamicMIS(graph.New(2), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initially both isolated: both in MIS. Adding the edge must evict
+	// exactly the lower-priority one (1 flip).
+	flips, err := d.AddEdge(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips != 1 {
+		t.Errorf("flips = %d, want 1", flips)
+	}
+	if len(d.Members()) != 1 {
+		t.Errorf("members = %v, want exactly one", d.Members())
+	}
+	// Removing it must bring the evicted node back.
+	flips, err = d.RemoveEdge(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips != 1 || len(d.Members()) != 2 {
+		t.Errorf("after removal: flips=%d members=%v", flips, d.Members())
+	}
+}
+
+func TestQuickPruneCDSValidity(t *testing.T) {
+	// Property: on any connected graph where marking yields a CDS, pruning
+	// keeps it a CDS under arbitrary distinct priorities.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 5
+		r := stats.NewRand(seed)
+		g := gen.ErdosRenyi(r, n, 0.15)
+		if !g.Connected() {
+			return true
+		}
+		colors := MarkCDS(g)
+		black := SetOf(Members(colors, Black))
+		if len(black) == 0 || !IsCDS(g, black) {
+			return true // complete-ish graph: nothing marked
+		}
+		prio := make(Priority, n)
+		for i, p := range r.Perm(n) {
+			prio[i] = float64(p)
+		}
+		pruned, err := PruneCDS(g, colors, prio)
+		if err != nil {
+			return false
+		}
+		return IsCDS(g, SetOf(Members(pruned, Black)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+package labeling
+
+import (
+	"errors"
+	"sort"
+
+	"structura/internal/graph"
+)
+
+// CDSFromMIS implements the construction of the paper's footnote 2: "MIS
+// is frequently used to construct a minimal CDS using a small number of
+// gateways to connect nodes in MIS." Any two nearest MIS nodes of a
+// connected graph are at most three hops apart, so gateway nodes on those
+// short paths suffice to stitch the independent set into a connected
+// dominating set.
+//
+// The function computes the distributed MIS under prio, then greedily
+// merges MIS components by adding the (at most two) intermediate nodes of
+// a shortest connecting path, preferring 2-hop connections. It returns the
+// CDS members and the MIS it grew from.
+func CDSFromMIS(g *graph.Graph, prio Priority) (cds, mis []int, err error) {
+	if !g.Connected() {
+		return nil, nil, errors.New("labeling: CDS requires a connected graph")
+	}
+	res, err := DistributedMIS(g, prio)
+	if err != nil {
+		return nil, nil, err
+	}
+	mis = Members(res.Colors, Black)
+	if len(mis) <= 1 {
+		return append([]int(nil), mis...), mis, nil
+	}
+	inCDS := make(map[int]bool, len(mis))
+	for _, v := range mis {
+		inCDS[v] = true
+	}
+	// Union-find over current CDS-connectivity (members adjacent in g).
+	parent := map[int]int{}
+	var find func(x int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	rebuild := func() {
+		parent = map[int]int{}
+		for v := range inCDS {
+			parent[v] = v
+		}
+		for v := range inCDS {
+			g.EachNeighbor(v, func(w int, _ float64) {
+				if inCDS[w] {
+					union(v, w)
+				}
+			})
+		}
+	}
+	components := func() int {
+		roots := map[int]bool{}
+		for v := range inCDS {
+			roots[find(v)] = true
+		}
+		return len(roots)
+	}
+	rebuild()
+	for components() > 1 {
+		// Find the best merge: a pair of CDS nodes in different components
+		// connected by a 2-hop (one gateway) or 3-hop (two gateways) path.
+		type merge struct {
+			gateways []int
+			a, b     int
+		}
+		var best *merge
+		consider := func(m merge) {
+			if best == nil || len(m.gateways) < len(best.gateways) {
+				best = &m
+			}
+		}
+		members := make([]int, 0, len(inCDS))
+		for v := range inCDS {
+			members = append(members, v)
+		}
+		sort.Ints(members) // determinism
+		for _, a := range members {
+			if best != nil && len(best.gateways) == 1 {
+				break
+			}
+			for _, x := range g.Neighbors(a) {
+				if inCDS[x] {
+					continue
+				}
+				for _, y := range g.Neighbors(x) {
+					if inCDS[y] && find(y) != find(a) {
+						consider(merge{gateways: []int{x}, a: a, b: y})
+					}
+					if inCDS[y] || y == a {
+						continue
+					}
+					for _, z := range g.Neighbors(y) {
+						if inCDS[z] && find(z) != find(a) {
+							consider(merge{gateways: []int{x, y}, a: a, b: z})
+						}
+					}
+				}
+			}
+		}
+		if best == nil {
+			return nil, nil, errors.New("labeling: internal: could not connect MIS components")
+		}
+		for _, gw := range best.gateways {
+			inCDS[gw] = true
+		}
+		rebuild()
+	}
+	cds = make([]int, 0, len(inCDS))
+	for v := range inCDS {
+		cds = append(cds, v)
+	}
+	sort.Ints(cds)
+	return cds, mis, nil
+}
+
+// MinimumCDSBruteForce finds a minimum connected dominating set by
+// exhaustive search — exponential, for verification on small graphs only
+// (n <= 20 or so). It returns nil for graphs dominated by a single vertex
+// of a disconnected graph edge case; the empty set is returned when n <= 1.
+func MinimumCDSBruteForce(g *graph.Graph) ([]int, error) {
+	n := g.N()
+	if n > 20 {
+		return nil, errors.New("labeling: brute force limited to n <= 20")
+	}
+	if !g.Connected() {
+		return nil, errors.New("labeling: CDS requires a connected graph")
+	}
+	if n <= 1 {
+		return []int{}, nil
+	}
+	for size := 1; size <= n; size++ {
+		if set := searchCDS(g, size); set != nil {
+			return set, nil
+		}
+	}
+	return nil, errors.New("labeling: internal: no CDS found")
+}
+
+func searchCDS(g *graph.Graph, size int) []int {
+	n := g.N()
+	idx := make([]int, size)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		set := map[int]bool{}
+		for _, v := range idx {
+			set[v] = true
+		}
+		if IsCDS(g, set) {
+			out := append([]int(nil), idx...)
+			return out
+		}
+		// Next combination.
+		i := size - 1
+		for i >= 0 && idx[i] == n-size+i {
+			i--
+		}
+		if i < 0 {
+			return nil
+		}
+		idx[i]++
+		for j := i + 1; j < size; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package labeling
+
+import (
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/geo"
+	"structura/internal/graph"
+	"structura/internal/stats"
+)
+
+func TestCDSFromMISProducesCDS(t *testing.T) {
+	r := stats.NewRand(1)
+	for trial := 0; trial < 20; trial++ {
+		g := gen.ErdosRenyi(r, 50, 0.1)
+		if !g.Connected() {
+			continue
+		}
+		prio := make(Priority, 50)
+		for i, p := range r.Perm(50) {
+			prio[i] = float64(p)
+		}
+		cds, mis, err := CDSFromMIS(g, prio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsCDS(g, SetOf(cds)) {
+			t.Fatalf("trial %d: result is not a CDS", trial)
+		}
+		if !IsMIS(g, SetOf(mis)) {
+			t.Fatalf("trial %d: base set is not an MIS", trial)
+		}
+		// Every MIS node survives into the CDS.
+		set := SetOf(cds)
+		for _, v := range mis {
+			if !set[v] {
+				t.Fatalf("MIS node %d missing from CDS", v)
+			}
+		}
+		// Gateways are bounded: at most 2 per merge, fewer merges than MIS
+		// components.
+		if len(cds) > 3*len(mis) {
+			t.Fatalf("CDS size %d > 3x MIS size %d", len(cds), len(mis))
+		}
+	}
+}
+
+func TestCDSFromMISEdgeCases(t *testing.T) {
+	// Star: MIS could be the center alone (center has top priority).
+	star := gen.Star(5)
+	cds, mis, err := CDSFromMIS(star, PriorityByID(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mis) != 1 || mis[0] != 0 || len(cds) != 1 {
+		t.Errorf("star: cds %v mis %v, want both {center}", cds, mis)
+	}
+	if _, _, err := CDSFromMIS(graph.New(3), PriorityByID(3)); err == nil {
+		t.Error("disconnected graph should error")
+	}
+	single := graph.New(1)
+	cds1, _, err := CDSFromMIS(single, PriorityByID(1))
+	if err != nil || len(cds1) != 1 {
+		t.Errorf("singleton: %v, %v", cds1, err)
+	}
+}
+
+func TestMinimumCDSBruteForce(t *testing.T) {
+	// Path 0-1-2-3-4: minimum CDS is the interior {1,2,3}.
+	mcds, err := MinimumCDSBruteForce(gen.Path(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mcds) != 3 {
+		t.Errorf("path min CDS = %v, want size 3", mcds)
+	}
+	// Star: {center}.
+	mcds, err = MinimumCDSBruteForce(gen.Star(6))
+	if err != nil || len(mcds) != 1 {
+		t.Errorf("star min CDS = %v, %v", mcds, err)
+	}
+	if _, err := MinimumCDSBruteForce(gen.Path(25)); err == nil {
+		t.Error("large graph should be rejected")
+	}
+	if _, err := MinimumCDSBruteForce(graph.New(3)); err == nil {
+		t.Error("disconnected should error")
+	}
+	if s, err := MinimumCDSBruteForce(graph.New(1)); err != nil || len(s) != 0 {
+		t.Errorf("singleton min CDS = %v, %v", s, err)
+	}
+}
+
+func TestFootnote2BoundOnUDGs(t *testing.T) {
+	// Footnote 2: "In a unit disk graph... no MIS can be more than five
+	// times minimum CDS." Verify on small random UDGs with brute-forced
+	// minimum CDS.
+	r := stats.NewRand(2)
+	checked := 0
+	for trial := 0; trial < 40 && checked < 12; trial++ {
+		pts := geo.RandomPoints(r, 11, 4, 4)
+		g := geo.UnitDiskGraph(pts, 1.8)
+		if !g.Connected() || g.M() == 0 {
+			continue
+		}
+		checked++
+		prio := make(Priority, g.N())
+		for i, p := range r.Perm(g.N()) {
+			prio[i] = float64(p)
+		}
+		res, err := DistributedMIS(g, prio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mis := Members(res.Colors, Black)
+		mcds, err := MinimumCDSBruteForce(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 5 * len(mcds)
+		if len(mcds) == 0 {
+			bound = 1 // complete graph: any single node dominates
+		}
+		if len(mis) > bound {
+			t.Fatalf("trial %d: |MIS| = %d > 5 x |minCDS| = %d", trial, len(mis), bound)
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d connected instances; loosen the generator", checked)
+	}
+}
+
+func TestCDSFromMISOnUDG(t *testing.T) {
+	// The construction the footnote describes, end to end on a UDG.
+	r := stats.NewRand(3)
+	pts := geo.RandomPoints(r, 80, 10, 10)
+	g := geo.UnitDiskGraph(pts, 2.5)
+	if !g.Connected() {
+		t.Skip("disconnected draw")
+	}
+	prio := make(Priority, g.N())
+	for i, p := range r.Perm(g.N()) {
+		prio[i] = float64(p)
+	}
+	cds, mis, err := CDSFromMIS(g, prio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsCDS(g, SetOf(cds)) {
+		t.Fatal("not a CDS")
+	}
+	if len(cds) >= g.N()/2 {
+		t.Errorf("CDS size %d of %d nodes; should be a small backbone", len(cds), g.N())
+	}
+	_ = mis
+}

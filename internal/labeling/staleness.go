@@ -1,0 +1,213 @@
+package labeling
+
+import (
+	"errors"
+
+	"structura/internal/graph"
+)
+
+// The paper (§IV-C): "Mobility will create another serious problem: view
+// inconsistency. In a mobile application, both neighborhood information
+// exchanges ... and asynchronous Hello message exchanges cause delays,
+// which will generate inconsistent neighborhood and location information."
+//
+// This file makes the problem concrete. Note that stale *colors* alone
+// cannot break the MIS election on a static graph — the three-color
+// process is monotone (Gray and Black are absorbing), so an old view is
+// always a safe under-approximation. The damage comes from stale
+// *neighborhoods* while the topology changes: a node elects itself Black
+// using a neighbor list that does not yet include a newly arrived Black
+// neighbor. ChurnMIS simulates exactly that, and RepairMIS restores a
+// valid MIS with local label changes.
+
+// ChurnMISResult reports an election run under topology churn with lagging
+// neighborhood views.
+type ChurnMISResult struct {
+	Colors     []Color
+	Rounds     int
+	Violations [][2]int // adjacent black pairs in the final topology
+	Unfinished []int    // white nodes left over in the final topology
+	BlackRound []int    // round (1-based) each node turned Black; 0 = never
+}
+
+// ChurnMIS runs the three-color MIS election over an evolving topology:
+// snapshots[r] is the true graph during round r (the last snapshot repeats
+// once the schedule is exhausted), while node v makes its round-r decision
+// using the neighbor list of snapshots[r-lag[v]] (clamped to 0) — its
+// Hello-delayed view. Violations are judged against the final topology.
+// All snapshots must have the same node count.
+func ChurnMIS(snapshots []*graph.Graph, prio Priority, lag []int, maxRounds int) (ChurnMISResult, error) {
+	if len(snapshots) == 0 {
+		return ChurnMISResult{}, errors.New("labeling: no snapshots")
+	}
+	n := snapshots[0].N()
+	for _, s := range snapshots {
+		if s.N() != n {
+			return ChurnMISResult{}, errors.New("labeling: snapshot node counts differ")
+		}
+	}
+	if err := prio.validate(n); err != nil {
+		return ChurnMISResult{}, err
+	}
+	if len(lag) != n {
+		return ChurnMISResult{}, errors.New("labeling: lag length mismatch")
+	}
+	for _, l := range lag {
+		if l < 0 {
+			return ChurnMISResult{}, errors.New("labeling: negative lag")
+		}
+	}
+	if maxRounds <= 0 {
+		maxRounds = 4*n + 4
+	}
+	snapAt := func(r int) *graph.Graph {
+		if r < 0 {
+			r = 0
+		}
+		if r >= len(snapshots) {
+			r = len(snapshots) - 1
+		}
+		return snapshots[r]
+	}
+	cur := make([]Color, n)
+	res := ChurnMISResult{BlackRound: make([]int, n)}
+	for round := 0; round < maxRounds; round++ {
+		next := append([]Color(nil), cur...)
+		changed := false
+		for v := 0; v < n; v++ {
+			if cur[v] != White {
+				continue
+			}
+			view := snapAt(round - lag[v]) // stale neighbor list
+			blackNeighbor := false
+			localMax := true
+			view.EachNeighbor(v, func(w int, _ float64) {
+				switch cur[w] {
+				case Black:
+					blackNeighbor = true
+				case White:
+					if prio[w] > prio[v] {
+						localMax = false
+					}
+				}
+			})
+			if blackNeighbor {
+				next[v] = Gray
+				changed = true
+			} else if localMax {
+				next[v] = Black
+				res.BlackRound[v] = round + 1
+				changed = true
+			}
+		}
+		cur = next
+		res.Rounds = round + 1
+		if !changed {
+			break
+		}
+	}
+	res.Colors = cur
+	final := snapshots[len(snapshots)-1]
+	for _, e := range final.Edges() {
+		if cur[e.From] == Black && cur[e.To] == Black {
+			res.Violations = append(res.Violations, [2]int{e.From, e.To})
+		}
+	}
+	for v, c := range cur {
+		if c != White {
+			continue
+		}
+		// White is a maximality violation only if no final neighbor is
+		// Black.
+		dominated := false
+		final.EachNeighbor(v, func(w int, _ float64) {
+			if cur[w] == Black {
+				dominated = true
+			}
+		})
+		if !dominated {
+			res.Unfinished = append(res.Unfinished, v)
+		}
+	}
+	return res, nil
+}
+
+// RepairMIS restores a valid MIS on g from an inconsistent election
+// outcome using only local steps, returning the repaired colors and the
+// number of label changes — the price of view inconsistency. Independence
+// violations demote the lower-priority black; orphaned grays return to
+// white; consistent local rounds then finish the election.
+func RepairMIS(g *graph.Graph, prio Priority, colors []Color) ([]Color, int, error) {
+	n := g.N()
+	if err := prio.validate(n); err != nil {
+		return nil, 0, err
+	}
+	if len(colors) != n {
+		return nil, 0, errors.New("labeling: colors length mismatch")
+	}
+	out := append([]Color(nil), colors...)
+	changes := 0
+	for _, e := range g.Edges() {
+		if out[e.From] == Black && out[e.To] == Black {
+			loser := e.From
+			if prio[e.To] < prio[e.From] {
+				loser = e.To
+			}
+			out[loser] = White
+			changes++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if out[v] != Gray {
+			continue
+		}
+		sponsored := false
+		g.EachNeighbor(v, func(w int, _ float64) {
+			if out[w] == Black {
+				sponsored = true
+			}
+		})
+		if !sponsored {
+			out[v] = White
+			changes++
+		}
+	}
+	for round := 0; round < 4*n+4; round++ {
+		changed := false
+		next := append([]Color(nil), out...)
+		for v := 0; v < n; v++ {
+			if out[v] != White {
+				continue
+			}
+			blackNeighbor := false
+			localMax := true
+			g.EachNeighbor(v, func(w int, _ float64) {
+				switch out[w] {
+				case Black:
+					blackNeighbor = true
+				case White:
+					if prio[w] > prio[v] {
+						localMax = false
+					}
+				}
+			})
+			if blackNeighbor {
+				next[v] = Gray
+				changes++
+				changed = true
+			} else if localMax {
+				next[v] = Black
+				changes++
+				changed = true
+			}
+		}
+		out = next
+		if !changed {
+			break
+		}
+	}
+	if !IsMIS(g, SetOf(Members(out, Black))) {
+		return nil, 0, errors.New("labeling: repair failed to restore an MIS")
+	}
+	return out, changes, nil
+}

@@ -1,0 +1,179 @@
+package labeling
+
+import (
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/stats"
+)
+
+func TestChurnMISStaticZeroLagMatchesDistributed(t *testing.T) {
+	r := stats.NewRand(1)
+	for trial := 0; trial < 10; trial++ {
+		g := gen.ErdosRenyi(r, 40, 0.1)
+		prio := make(Priority, 40)
+		for i, p := range r.Perm(40) {
+			prio[i] = float64(p)
+		}
+		want, err := DistributedMIS(g, prio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ChurnMIS([]*graph.Graph{g}, prio, make([]int, 40), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Violations) != 0 || len(got.Unfinished) != 0 {
+			t.Fatalf("static zero-lag produced violations: %+v", got)
+		}
+		for v := range want.Colors {
+			if want.Colors[v] != got.Colors[v] {
+				t.Fatalf("trial %d node %d: %v vs %v", trial, v, want.Colors[v], got.Colors[v])
+			}
+		}
+	}
+}
+
+func TestStaleColorsAloneAreHarmless(t *testing.T) {
+	// The monotonicity insight: on a STATIC topology, even heavy Hello
+	// delays cannot create independence violations — an old view only
+	// under-approximates, it never invents a missing blocker.
+	r := stats.NewRand(2)
+	for trial := 0; trial < 20; trial++ {
+		g := gen.ErdosRenyi(r, 40, 0.15)
+		prio := make(Priority, 40)
+		for i, p := range r.Perm(40) {
+			prio[i] = float64(p)
+		}
+		lag := make([]int, 40)
+		for i := range lag {
+			lag[i] = r.Intn(5)
+		}
+		// Static topology: one snapshot, but lagging views of it are the
+		// same graph — only colors evolve, and those are read fresh.
+		res, err := ChurnMIS([]*graph.Graph{g}, prio, lag, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("trial %d: static topology produced violations %v", trial, res.Violations)
+		}
+	}
+}
+
+// churnScenario builds a sparse start graph and a schedule that densifies
+// it over the first few rounds — mobility bringing nodes into range.
+func churnScenario(r interface {
+	Intn(int) int
+}, n, extra int) []*graph.Graph {
+	g0 := graph.New(n)
+	for v := 1; v < n; v++ {
+		_ = g0.AddEdge(v, r.Intn(v))
+	}
+	snapshots := []*graph.Graph{g0}
+	cur := g0
+	for k := 0; k < extra; k++ {
+		next := cur.Clone()
+		for j := 0; j < 8; j++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !next.HasEdge(u, v) {
+				_ = next.AddEdge(u, v)
+			}
+		}
+		snapshots = append(snapshots, next)
+		cur = next
+	}
+	return snapshots
+}
+
+func TestChurnMISProducesViolations(t *testing.T) {
+	// Stale NEIGHBORHOODS under mobility are the real §IV-C problem: the
+	// election must go observably wrong in some trials.
+	r := stats.NewRand(3)
+	violated := 0
+	for trial := 0; trial < 30; trial++ {
+		snapshots := churnScenario(r, 40, 4)
+		prio := make(Priority, 40)
+		for i, p := range r.Perm(40) {
+			prio[i] = float64(p)
+		}
+		lag := make([]int, 40)
+		for i := range lag {
+			lag[i] = 1 + r.Intn(3)
+		}
+		res, err := ChurnMIS(snapshots, prio, lag, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations)+len(res.Unfinished) > 0 {
+			violated++
+		}
+	}
+	if violated == 0 {
+		t.Error("churn + lag never caused a violation across 30 trials; the simulation is vacuous")
+	}
+}
+
+func TestRepairMISRestoresValidity(t *testing.T) {
+	r := stats.NewRand(4)
+	repaired := 0
+	for trial := 0; trial < 20; trial++ {
+		snapshots := churnScenario(r, 50, 5)
+		final := snapshots[len(snapshots)-1]
+		prio := make(Priority, 50)
+		for i, p := range r.Perm(50) {
+			prio[i] = float64(p)
+		}
+		lag := make([]int, 50)
+		for i := range lag {
+			lag[i] = 1 + r.Intn(3)
+		}
+		res, err := ChurnMIS(snapshots, prio, lag, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixed, changes, err := RepairMIS(final, prio, res.Colors)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !IsMIS(final, SetOf(Members(fixed, Black))) {
+			t.Fatalf("trial %d: repair left an invalid MIS", trial)
+		}
+		if len(res.Violations) > 0 {
+			repaired++
+			if changes == 0 {
+				t.Fatalf("trial %d: violations existed but repair made no changes", trial)
+			}
+		}
+	}
+	if repaired == 0 {
+		t.Error("no trial exercised the repair path")
+	}
+}
+
+func TestChurnMISValidation(t *testing.T) {
+	g := gen.Path(3)
+	prio := PriorityByID(3)
+	if _, err := ChurnMIS(nil, prio, []int{0, 0, 0}, 0); err == nil {
+		t.Error("no snapshots should error")
+	}
+	if _, err := ChurnMIS([]*graph.Graph{g, gen.Path(4)}, prio, []int{0, 0, 0}, 0); err == nil {
+		t.Error("mismatched snapshots should error")
+	}
+	if _, err := ChurnMIS([]*graph.Graph{g}, prio, []int{0}, 0); err == nil {
+		t.Error("lag length mismatch should error")
+	}
+	if _, err := ChurnMIS([]*graph.Graph{g}, prio, []int{0, -1, 0}, 0); err == nil {
+		t.Error("negative lag should error")
+	}
+	if _, err := ChurnMIS([]*graph.Graph{g}, Priority{1, 1, 2}, []int{0, 0, 0}, 0); err == nil {
+		t.Error("bad priorities should error")
+	}
+	if _, _, err := RepairMIS(g, prio, []Color{Black}); err == nil {
+		t.Error("colors length mismatch should error")
+	}
+	if _, _, err := RepairMIS(g, Priority{1}, nil); err == nil {
+		t.Error("bad priorities should error")
+	}
+}

@@ -1,0 +1,94 @@
+package layering
+
+import (
+	"errors"
+
+	"structura/internal/graph"
+	"structura/internal/runtime"
+)
+
+// The paper (§III-B): "The hierarchical levels can be maintained by a
+// labeling scheme ... that assigns each node a level called height." This
+// file runs the nested (adjusted-degree) labeling of §IV-A as an actual
+// distributed labeling process on the synchronous kernel. Each level takes
+// two kernel rounds: in the first, every unassigned node recomputes its
+// adjusted degree from its neighbors' assignment flags; in the second, the
+// local (adjusted degree, ID) minima self-assign the current level — the
+// NSF process with its cost measured in kernel rounds and messages.
+
+// DistributedLevelsResult carries the converged levels and the kernel cost.
+type DistributedLevelsResult struct {
+	Levels []int
+	Stats  runtime.Stats
+}
+
+// DistributedNestedLevels computes NestedLevels on the round-synchronous
+// kernel. The result equals the centralized NestedLevels; Stats.Rounds is
+// roughly twice the hierarchy depth (two phases per level).
+func DistributedNestedLevels(g *graph.Graph) (DistributedLevelsResult, error) {
+	n := g.N()
+	type state struct {
+		level   int  // 0 = unassigned
+		adj     int  // adjusted degree, refreshed in phase A
+		current int  // level being competed for
+		assign  bool // true in phase B (assignment), false in phase A
+	}
+	ids := make([][]int, n)
+	for v := 0; v < n; v++ {
+		ids[v] = g.Neighbors(v)
+	}
+	states, stats, err := runtime.Run(g,
+		func(v int) state {
+			// Start in phase B with adj = plain degree: the first
+			// assignment round matches the centralized round 1.
+			return state{adj: g.Degree(v), current: 1, assign: true}
+		},
+		func(v int, self state, nbrs []state) (state, bool) {
+			if self.level != 0 {
+				return self, false
+			}
+			if self.assign {
+				// Phase B: compare snapshot (adj, ID) with unassigned
+				// neighbors; minima take the current level.
+				isMin := true
+				for i, nb := range nbrs {
+					if nb.level != 0 {
+						continue
+					}
+					if nb.adj < self.adj || (nb.adj == self.adj && ids[v][i] < v) {
+						isMin = false
+						break
+					}
+				}
+				if isMin {
+					self.level = self.current
+					return self, true
+				}
+				self.assign = false
+				self.current++
+				return self, true
+			}
+			// Phase A: refresh the adjusted degree from the snapshot taken
+			// right after the previous assignment phase.
+			adj := 0
+			for _, nb := range nbrs {
+				if nb.level == 0 {
+					adj++
+				}
+			}
+			self.adj = adj
+			self.assign = true
+			return self, true
+		}, 4*n+8)
+	if err != nil {
+		return DistributedLevelsResult{}, err
+	}
+	if !stats.Stable {
+		return DistributedLevelsResult{}, errors.New("layering: distributed labeling did not stabilize")
+	}
+	res := DistributedLevelsResult{Levels: make([]int, n), Stats: stats}
+	for v, s := range states {
+		res.Levels[v] = s.level
+	}
+	return res, nil
+}

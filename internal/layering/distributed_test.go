@@ -1,0 +1,64 @@
+package layering
+
+import (
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/stats"
+)
+
+func TestDistributedNestedLevelsMatchesCentralized(t *testing.T) {
+	r := stats.NewRand(1)
+	graphs := []*graph.Graph{
+		gen.Path(7),
+		gen.Star(6),
+		gen.Ring(8),
+		gen.Complete(5),
+		gen.ErdosRenyi(r, 40, 0.1),
+		gen.ErdosRenyi(r, 60, 0.05),
+	}
+	if g, err := gen.BarabasiAlbert(r, 80, 2); err == nil {
+		graphs = append(graphs, g)
+	}
+	for gi, g := range graphs {
+		want := NestedLevels(g)
+		got, err := DistributedNestedLevels(g)
+		if err != nil {
+			t.Fatalf("graph %d: %v", gi, err)
+		}
+		for v := range want {
+			if got.Levels[v] != want[v] {
+				t.Fatalf("graph %d node %d: distributed %d vs centralized %d",
+					gi, v, got.Levels[v], want[v])
+			}
+		}
+		if !got.Stats.Stable {
+			t.Fatalf("graph %d: did not stabilize", gi)
+		}
+		// Two kernel rounds per level plus the quiet round.
+		depth := Depth(want)
+		if got.Stats.Rounds > 2*depth+2 {
+			t.Errorf("graph %d: %d rounds for depth %d", gi, got.Stats.Rounds, depth)
+		}
+	}
+}
+
+func TestDistributedNestedLevelsEmpty(t *testing.T) {
+	res, err := DistributedNestedLevels(graph.New(0))
+	if err != nil || len(res.Levels) != 0 {
+		t.Errorf("empty graph: %v, %v", res, err)
+	}
+}
+
+func TestDistributedNestedLevelsIsolated(t *testing.T) {
+	res, err := DistributedNestedLevels(graph.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, l := range res.Levels {
+		if l != 1 {
+			t.Errorf("isolated node %d level %d, want 1", v, l)
+		}
+	}
+}

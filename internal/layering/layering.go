@@ -1,0 +1,271 @@
+// Package layering implements structural layering (§III-B): the embedded
+// nested scale-free (NSF) hierarchy of [11] used by Fig. 3 and Fig. 7.
+//
+// A graph G satisfies SF when its degree distribution follows a power law;
+// it satisfies NSF when G and every subgraph obtained by iteratively
+// removing the local lowest-degree nodes also satisfy SF, with the standard
+// deviation of the power-law exponents being o(1) ("similar in structure").
+// Hierarchical levels are assigned by the adjusted-node-degree labeling of
+// §IV-A: in each round, nodes that are local minima in terms of the number
+// of *unassigned* neighbors receive the current level.
+package layering
+
+import (
+	"errors"
+	"math"
+
+	"structura/internal/graph"
+	"structura/internal/stats"
+)
+
+// DegreeLevels labels nodes by plain node degree (Fig. 7a): level 1 holds
+// the globally smallest degree, and each distinct degree value above it
+// gets the next level.
+func DegreeLevels(g *graph.Graph) []int {
+	n := g.N()
+	levels := make([]int, n)
+	if n == 0 {
+		return levels
+	}
+	distinct := map[int]bool{}
+	for v := 0; v < n; v++ {
+		distinct[g.Degree(v)] = true
+	}
+	var vals []int
+	for d := range distinct {
+		vals = append(vals, d)
+	}
+	sortInts(vals)
+	rank := make(map[int]int, len(vals))
+	for i, d := range vals {
+		rank[d] = i + 1
+	}
+	for v := 0; v < n; v++ {
+		levels[v] = rank[g.Degree(v)]
+	}
+	return levels
+}
+
+// NestedLevels labels nodes by the NSF adjusted-degree process (Fig. 7b and
+// §IV-A): the adjusted degree is the number of still-unassigned neighbors;
+// per round, every node that is a local minimum of adjusted degree among
+// its unassigned neighbors is assigned the current level.
+func NestedLevels(g *graph.Graph) []int {
+	n := g.N()
+	levels := make([]int, n)
+	assigned := make([]bool, n)
+	remaining := n
+	for level := 1; remaining > 0; level++ {
+		adj := make([]int, n)
+		for v := 0; v < n; v++ {
+			if assigned[v] {
+				continue
+			}
+			g.EachNeighbor(v, func(w int, _ float64) {
+				if !assigned[w] {
+					adj[v]++
+				}
+			})
+		}
+		var roundPicks []int
+		for v := 0; v < n; v++ {
+			if assigned[v] {
+				continue
+			}
+			// Local minimum under lexicographic (adjusted degree, ID):
+			// distinct IDs break ties, the paper's §IV symmetry-breaking
+			// convention, and guarantee progress on regular graphs.
+			isMin := true
+			g.EachNeighbor(v, func(w int, _ float64) {
+				if assigned[w] {
+					return
+				}
+				if adj[w] < adj[v] || (adj[w] == adj[v] && w < v) {
+					isMin = false
+				}
+			})
+			if isMin {
+				roundPicks = append(roundPicks, v)
+			}
+		}
+		for _, v := range roundPicks {
+			assigned[v] = true
+			levels[v] = level
+			remaining--
+		}
+	}
+	return levels
+}
+
+// TopLevelNodes returns the nodes holding the maximum level.
+func TopLevelNodes(levels []int) []int {
+	maxL := 0
+	for _, l := range levels {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	var out []int
+	for v, l := range levels {
+		if l == maxL && maxL > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Depth returns the number of levels.
+func Depth(levels []int) int {
+	maxL := 0
+	for _, l := range levels {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	return maxL
+}
+
+// PeelOnce removes the local lowest-degree nodes (one NSF peeling round)
+// and returns the induced subgraph plus the mapping newID -> oldID.
+func PeelOnce(g *graph.Graph) (*graph.Graph, []int) {
+	n := g.N()
+	keep := make(map[int]bool, n)
+	for v := 0; v < n; v++ {
+		keep[v] = true
+	}
+	for v := 0; v < n; v++ {
+		isMin := true
+		g.EachNeighbor(v, func(w int, _ float64) {
+			if g.Degree(w) < g.Degree(v) || (g.Degree(w) == g.Degree(v) && w < v) {
+				isMin = false
+			}
+		})
+		if isMin {
+			delete(keep, v)
+		}
+	}
+	if len(keep) == 0 { // nothing but isolated local minima left
+		return g.Clone(), identity(n)
+	}
+	return g.Subgraph(keep)
+}
+
+func identity(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// PeelToFraction iteratively peels local lowest-degree nodes until at most
+// frac of the original nodes remain (Fig. 3b keeps the top 50% of peers),
+// returning the subgraph, the mapping to original IDs, and the number of
+// peeling rounds performed.
+func PeelToFraction(g *graph.Graph, frac float64) (*graph.Graph, []int, int, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, nil, 0, errors.New("layering: frac must be in (0,1]")
+	}
+	target := int(math.Ceil(frac * float64(g.N())))
+	cur := g.Clone()
+	ids := identity(g.N())
+	rounds := 0
+	for cur.N() > target {
+		next, sub := PeelOnce(cur)
+		if next.N() == cur.N() {
+			break // peeling stalled (regular graph)
+		}
+		remap := make([]int, next.N())
+		for i, old := range sub {
+			remap[i] = ids[old]
+		}
+		cur, ids = next, remap
+		rounds++
+	}
+	return cur, ids, rounds, nil
+}
+
+// SFReport is the scale-free assessment of one graph.
+type SFReport struct {
+	Fit stats.PowerLawFit
+	N   int
+	M   int
+}
+
+// CheckSF fits a power law to the graph's degree distribution.
+func CheckSF(g *graph.Graph, xminMax int) (SFReport, error) {
+	fit, err := stats.FitPowerLawAuto(g.Degrees(), xminMax)
+	if err != nil {
+		return SFReport{}, err
+	}
+	return SFReport{Fit: fit, N: g.N(), M: g.M()}, nil
+}
+
+// NSFReport aggregates the nested scale-free verification of a graph: the
+// power-law fits of the original graph and every peeled subgraph down to
+// minFraction, and the standard deviation of their exponents.
+type NSFReport struct {
+	Levels      []SFReport
+	AlphaStdDev float64
+	Rounds      int
+}
+
+// IsNSF applies the paper's two conditions with the given exponent-spread
+// tolerance standing in for "o(1)".
+func (r NSFReport) IsNSF(tol float64) bool {
+	return len(r.Levels) > 1 && r.AlphaStdDev <= tol
+}
+
+// CheckNSF peels the graph round by round down to minFraction of its nodes,
+// fitting a power law at each stage.
+func CheckNSF(g *graph.Graph, minFraction float64, xminMax int) (NSFReport, error) {
+	if minFraction <= 0 || minFraction > 1 {
+		return NSFReport{}, errors.New("layering: minFraction must be in (0,1]")
+	}
+	var rep NSFReport
+	target := int(math.Ceil(minFraction * float64(g.N())))
+	cur := g.Clone()
+	for {
+		sf, err := CheckSF(cur, xminMax)
+		if err != nil {
+			return NSFReport{}, err
+		}
+		rep.Levels = append(rep.Levels, sf)
+		if cur.N() <= target {
+			break
+		}
+		next, _ := PeelOnce(cur)
+		if next.N() == cur.N() {
+			break
+		}
+		cur = next
+		rep.Rounds++
+	}
+	alphas := make([]float64, len(rep.Levels))
+	for i, l := range rep.Levels {
+		alphas[i] = l.Fit.Alpha
+	}
+	rep.AlphaStdDev = stats.StdDev(alphas)
+	return rep, nil
+}
+
+// PushPullCost models pub-sub over the level hierarchy: a publication is
+// pushed from the publisher up through increasing levels to the top, and a
+// subscriber pulls it down. The returned cost is the number of level steps
+// travelled: (top-level - level(pub)) + (top-level - level(sub)); the paper
+// notes push moves up and pull comes down the layered structure.
+func PushPullCost(levels []int, publisher, subscriber int) (int, error) {
+	if publisher < 0 || publisher >= len(levels) || subscriber < 0 || subscriber >= len(levels) {
+		return 0, errors.New("layering: node out of range")
+	}
+	top := Depth(levels)
+	return (top - levels[publisher]) + (top - levels[subscriber]), nil
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

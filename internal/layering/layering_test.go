@@ -1,0 +1,275 @@
+package layering
+
+import (
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/stats"
+)
+
+func TestDegreeLevels(t *testing.T) {
+	// Star: leaves (degree 1) level 1, center (degree 4) level 2.
+	g := gen.Star(5)
+	levels := DegreeLevels(g)
+	if levels[0] != 2 {
+		t.Errorf("center level = %d, want 2", levels[0])
+	}
+	for v := 1; v < 5; v++ {
+		if levels[v] != 1 {
+			t.Errorf("leaf level = %d, want 1", levels[v])
+		}
+	}
+	if Depth(levels) != 2 {
+		t.Errorf("depth = %d", Depth(levels))
+	}
+	if len(DegreeLevels(graph.New(0))) != 0 {
+		t.Error("empty graph should have no levels")
+	}
+}
+
+func TestNestedLevelsStar(t *testing.T) {
+	g := gen.Star(5)
+	levels := NestedLevels(g)
+	// Round 1: leaves have adjusted degree 1, center 4 -> leaves assigned.
+	// Round 2: center has adjusted degree 0 -> assigned level 2.
+	if levels[0] != 2 {
+		t.Errorf("center = %d, want 2", levels[0])
+	}
+	top := TopLevelNodes(levels)
+	if len(top) != 1 || top[0] != 0 {
+		t.Errorf("top nodes = %v, want [0] — the aim is one node at the top", top)
+	}
+}
+
+func TestNestedLevelsPath(t *testing.T) {
+	// Path 0-1-2-3-4: endpoints are local minima (degree 1) in round 1;
+	// remaining path 1-2-3: endpoints 1,3 now have adjusted degree 1 ->
+	// round 2; node 2 -> round 3.
+	g := gen.Path(5)
+	levels := NestedLevels(g)
+	want := []int{1, 2, 3, 2, 1}
+	for v, w := range want {
+		if levels[v] != w {
+			t.Errorf("levels = %v, want %v", levels, want)
+			break
+		}
+	}
+}
+
+func TestNestedLevelsCompleteGraph(t *testing.T) {
+	// All adjusted degrees tie; distinct IDs break the symmetry (§IV), so
+	// the clique peels one node per round: an onion 1..n.
+	levels := NestedLevels(gen.Complete(4))
+	want := []int{1, 2, 3, 4}
+	for v, l := range levels {
+		if l != want[v] {
+			t.Errorf("levels = %v, want %v", levels, want)
+			break
+		}
+	}
+}
+
+func TestNestedVsDegreeDiffer(t *testing.T) {
+	// A "barbell" where nesting matters: two hubs joined by a path of
+	// low-degree nodes. Plain degree gives the path nodes one level;
+	// nesting peels them in waves from the ends.
+	g := graph.New(8)
+	// Hub 0 with leaves 1,2; hub 7 with leaves 5,6; path 0-3-4-7.
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {0, 3}, {3, 4}, {4, 7}, {7, 5}, {7, 6}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deg := DegreeLevels(g)
+	nested := NestedLevels(g)
+	same := true
+	for v := range deg {
+		if deg[v] != nested[v] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("expected degree and nested labelings to differ (Fig. 7a vs 7b)")
+	}
+}
+
+func TestPeelOnce(t *testing.T) {
+	g := gen.Star(6)
+	sub, ids := PeelOnce(g)
+	// Leaves are the local minima; only the center survives.
+	if sub.N() != 1 || ids[0] != 0 {
+		t.Errorf("peel star: n=%d ids=%v, want center only", sub.N(), ids)
+	}
+	// Regular graph: degree ties broken by ID, so exactly the ID-minimal
+	// local nodes peel — the ring loses node 0 only.
+	ring := gen.Ring(6)
+	sub2, ids2 := PeelOnce(ring)
+	if sub2.N() != 5 {
+		t.Errorf("ring peel should remove exactly node 0, got n=%d", sub2.N())
+	}
+	for _, old := range ids2 {
+		if old == 0 {
+			t.Error("node 0 should have been peeled")
+		}
+	}
+}
+
+func TestPeelToFraction(t *testing.T) {
+	r := stats.NewRand(1)
+	g, err := gen.BarabasiAlbert(r, 600, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, ids, rounds, err := PeelToFraction(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() > g.N() || float64(sub.N()) > 0.75*float64(g.N()) {
+		t.Errorf("peeled to %d of %d nodes; want <= ~50%% modulo one round of overshoot", sub.N(), g.N())
+	}
+	if rounds < 1 {
+		t.Error("at least one peeling round expected")
+	}
+	if len(ids) != sub.N() {
+		t.Fatalf("ids length %d != n %d", len(ids), sub.N())
+	}
+	// Mapping must reference original IDs.
+	for _, old := range ids {
+		if old < 0 || old >= g.N() {
+			t.Fatalf("id %d out of original range", old)
+		}
+	}
+	if _, _, _, err := PeelToFraction(g, 0); err == nil {
+		t.Error("frac 0 should error")
+	}
+	if _, _, _, err := PeelToFraction(g, 1.5); err == nil {
+		t.Error("frac > 1 should error")
+	}
+}
+
+func TestPeelKeepsHighDegreeNodes(t *testing.T) {
+	// The survivors of Fig. 3b are the high-degree core: verify the peak
+	// degree node survives peeling to 50%.
+	r := stats.NewRand(2)
+	g, err := gen.BarabasiAlbert(r, 400, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestDeg := -1, -1
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) > bestDeg {
+			best, bestDeg = v, g.Degree(v)
+		}
+	}
+	_, ids, _, err := PeelToFraction(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, old := range ids {
+		if old == best {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("highest-degree node %d (deg %d) was peeled away", best, bestDeg)
+	}
+}
+
+func TestCheckSF(t *testing.T) {
+	r := stats.NewRand(3)
+	g, err := gen.BarabasiAlbert(r, 3000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckSF(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fit.Alpha < 2 || rep.Fit.Alpha > 4 {
+		t.Errorf("BA alpha = %v, want in [2,4]", rep.Fit.Alpha)
+	}
+	if rep.N != 3000 {
+		t.Errorf("report N = %d", rep.N)
+	}
+	if _, err := CheckSF(graph.New(3), 5); err == nil {
+		t.Error("edgeless graph cannot be SF-fit")
+	}
+}
+
+func TestCheckNSFOnScaleFree(t *testing.T) {
+	// The NSF property of [11]: a Gnutella-like overlay stays power-law
+	// under peeling with small exponent spread.
+	r := stats.NewRand(4)
+	cfg := gen.DefaultGnutella()
+	cfg.N = 3000
+	g, err := gen.Gnutella(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	und := g.Undirected()
+	rep, err := CheckNSF(und, 0.5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Levels) < 2 {
+		t.Fatalf("want at least two levels in the family, got %d", len(rep.Levels))
+	}
+	if !rep.IsNSF(0.5) {
+		t.Errorf("alpha spread = %v; Gnutella-like overlay should be NSF within 0.5", rep.AlphaStdDev)
+	}
+}
+
+func TestCheckNSFValidation(t *testing.T) {
+	if _, err := CheckNSF(gen.Star(4), 0, 5); err == nil {
+		t.Error("bad fraction should error")
+	}
+}
+
+func TestIsNSFThreshold(t *testing.T) {
+	rep := NSFReport{Levels: make([]SFReport, 3), AlphaStdDev: 0.3}
+	if !rep.IsNSF(0.5) {
+		t.Error("0.3 <= 0.5 should pass")
+	}
+	if rep.IsNSF(0.1) {
+		t.Error("0.3 > 0.1 should fail")
+	}
+	single := NSFReport{Levels: make([]SFReport, 1)}
+	if single.IsNSF(1) {
+		t.Error("a single level is not a nested hierarchy")
+	}
+}
+
+func TestPushPullCost(t *testing.T) {
+	levels := []int{2, 1, 1, 1, 1} // star nested levels: center 0 at top
+	cost, err := PushPullCost(levels, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publisher level 1 -> top 2: 1 step up; subscriber: 1 step down.
+	if cost != 2 {
+		t.Errorf("cost = %d, want 2", cost)
+	}
+	cost2, _ := PushPullCost(levels, 0, 0)
+	if cost2 != 0 {
+		t.Errorf("top-to-top cost = %d, want 0", cost2)
+	}
+	if _, err := PushPullCost(levels, -1, 0); err == nil {
+		t.Error("bad node should error")
+	}
+}
+
+func TestLevelsCoverAllNodes(t *testing.T) {
+	r := stats.NewRand(5)
+	for trial := 0; trial < 10; trial++ {
+		g := gen.ErdosRenyi(r, 60, 0.1)
+		levels := NestedLevels(g)
+		for v, l := range levels {
+			if l < 1 {
+				t.Fatalf("node %d unassigned (level %d)", v, l)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package layering
+
+import (
+	"errors"
+
+	"structura/internal/graph"
+)
+
+// The paper (§III-B): "The hierarchical structure can facilitate efficient
+// implementations of the pub-sub systems through push (moving up through
+// the layered structure) and pull (coming down through the layered
+// structure)." PubSub realizes that over actual graph paths: a publication
+// climbs from the publisher to a top-level rendezvous node, and each
+// subscriber's pull descends from the rendezvous — both along edges of the
+// overlay, preferring level-increasing (resp. decreasing) hops.
+
+// PubSub routes publications over a level hierarchy of a connected overlay.
+type PubSub struct {
+	g      *graph.Graph
+	levels []int
+	top    int   // rendezvous: the top-level node (lowest ID among them)
+	up     []int // next hop toward the rendezvous, per node
+	dist   []int // hops to the rendezvous
+}
+
+// NewPubSub builds the pub-sub structure from an overlay and its level
+// labeling (e.g. NestedLevels). The overlay must be connected and levels
+// must cover every node.
+func NewPubSub(g *graph.Graph, levels []int) (*PubSub, error) {
+	if g.N() == 0 {
+		return nil, errors.New("layering: empty overlay")
+	}
+	if len(levels) != g.N() {
+		return nil, errors.New("layering: levels length mismatch")
+	}
+	if !g.Connected() {
+		return nil, errors.New("layering: overlay must be connected")
+	}
+	tops := TopLevelNodes(levels)
+	if len(tops) == 0 {
+		return nil, errors.New("layering: no top-level node")
+	}
+	// The paper: multiple top-level nodes are assumed to be connected by
+	// an external server; we pick the lowest-ID top node as the rendezvous
+	// (the "server" role).
+	top := tops[0]
+	dist, parent := g.BFS(top)
+	for v, d := range dist {
+		if d < 0 {
+			return nil, errors.New("layering: overlay must be connected")
+		}
+		_ = v
+	}
+	return &PubSub{g: g, levels: levels, top: top, up: parent, dist: dist}, nil
+}
+
+// Rendezvous returns the top-level meeting node.
+func (ps *PubSub) Rendezvous() int { return ps.top }
+
+// PushPath returns the path a publication takes from the publisher up to
+// the rendezvous: it greedily prefers neighbors with strictly higher
+// levels ("moving up through the layered structure") and falls back to the
+// BFS-parent toward the rendezvous when no higher neighbor makes progress.
+func (ps *PubSub) PushPath(publisher int) ([]int, error) {
+	if publisher < 0 || publisher >= ps.g.N() {
+		return nil, errors.New("layering: publisher out of range")
+	}
+	path := []int{publisher}
+	cur := publisher
+	for cur != ps.top {
+		// Prefer the highest-level neighbor that is also closer to the
+		// rendezvous; fall back to the BFS parent.
+		next := ps.up[cur]
+		best := -1
+		ps.g.EachNeighbor(cur, func(w int, _ float64) {
+			if ps.dist[w] < ps.dist[cur] && ps.levels[w] > ps.levels[cur] {
+				if best == -1 || ps.levels[w] > ps.levels[best] {
+					best = w
+				}
+			}
+		})
+		if best != -1 {
+			next = best
+		}
+		cur = next
+		path = append(path, cur)
+		if len(path) > ps.g.N() {
+			return path, errors.New("layering: push path looped")
+		}
+	}
+	return path, nil
+}
+
+// PullPath returns the path a subscriber's pull takes from the rendezvous
+// down to the subscriber ("coming down through the layered structure") —
+// the reverse of the subscriber's own ascent.
+func (ps *PubSub) PullPath(subscriber int) ([]int, error) {
+	upPath, err := ps.PushPath(subscriber)
+	if err != nil {
+		return nil, err
+	}
+	down := make([]int, len(upPath))
+	for i, v := range upPath {
+		down[len(upPath)-1-i] = v
+	}
+	return down, nil
+}
+
+// Deliver returns the full publication route from publisher to subscriber
+// through the rendezvous and its total hop count.
+func (ps *PubSub) Deliver(publisher, subscriber int) ([]int, int, error) {
+	push, err := ps.PushPath(publisher)
+	if err != nil {
+		return nil, 0, err
+	}
+	pull, err := ps.PullPath(subscriber)
+	if err != nil {
+		return nil, 0, err
+	}
+	route := append(append([]int(nil), push...), pull[1:]...)
+	return route, len(route) - 1, nil
+}

@@ -1,0 +1,125 @@
+package layering
+
+import (
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/stats"
+)
+
+func TestPubSubOnStar(t *testing.T) {
+	g := gen.Star(6)
+	levels := NestedLevels(g) // center at the top
+	ps, err := NewPubSub(g, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Rendezvous() != 0 {
+		t.Fatalf("rendezvous = %d, want the center", ps.Rendezvous())
+	}
+	push, err := ps.PushPath(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(push) != 2 || push[0] != 3 || push[1] != 0 {
+		t.Errorf("push = %v, want [3 0]", push)
+	}
+	pull, err := ps.PullPath(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pull) != 2 || pull[0] != 0 || pull[1] != 5 {
+		t.Errorf("pull = %v, want [0 5]", pull)
+	}
+	route, hops, err := ps.Deliver(3, 5)
+	if err != nil || hops != 2 {
+		t.Errorf("deliver = %v (%d hops), %v; want 2 hops via center", route, hops, err)
+	}
+	// Publisher == rendezvous: push is trivial.
+	own, err := ps.PushPath(0)
+	if err != nil || len(own) != 1 {
+		t.Errorf("push from rendezvous = %v, %v", own, err)
+	}
+}
+
+func TestPubSubValidation(t *testing.T) {
+	g := gen.Star(4)
+	levels := NestedLevels(g)
+	if _, err := NewPubSub(graph.New(0), nil); err == nil {
+		t.Error("empty overlay should error")
+	}
+	if _, err := NewPubSub(g, []int{1}); err == nil {
+		t.Error("levels mismatch should error")
+	}
+	if _, err := NewPubSub(graph.New(3), []int{1, 1, 1}); err == nil {
+		t.Error("disconnected overlay should error")
+	}
+	ps, err := NewPubSub(g, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.PushPath(-1); err == nil {
+		t.Error("bad publisher should error")
+	}
+}
+
+func TestPubSubOnScaleFreeOverlay(t *testing.T) {
+	r := stats.NewRand(1)
+	g, err := gen.BarabasiAlbert(r, 600, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := NestedLevels(g)
+	ps, err := NewPubSub(g, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every publication must reach the rendezvous and every subscriber.
+	var totalHops, pairs int
+	for trial := 0; trial < 200; trial++ {
+		pub, sub := r.Intn(g.N()), r.Intn(g.N())
+		route, hops, err := ps.Deliver(pub, sub)
+		if err != nil {
+			t.Fatalf("deliver %d->%d: %v", pub, sub, err)
+		}
+		if route[0] != pub || route[len(route)-1] != sub {
+			t.Fatalf("route endpoints wrong: %v", route)
+		}
+		// Every step must be a real overlay edge.
+		for i := 1; i < len(route); i++ {
+			if !g.HasEdge(route[i-1], route[i]) {
+				t.Fatalf("route step %d-%d is not an edge", route[i-1], route[i])
+			}
+		}
+		totalHops += hops
+		pairs++
+	}
+	avg := float64(totalHops) / float64(pairs)
+	// Rendezvous routing should stay near the diameter scale, far below
+	// flooding the whole overlay.
+	diam, _ := g.Diameter()
+	if avg > 3*float64(diam) {
+		t.Errorf("average delivery hops %.1f vs diameter %d; hierarchy not helping", avg, diam)
+	}
+}
+
+func TestPushPrefersClimbing(t *testing.T) {
+	// Path 0-1-2-3-4: nested levels peak at node 2. A push from 0 must
+	// strictly climb levels on its way to the rendezvous.
+	g := gen.Path(5)
+	levels := NestedLevels(g)
+	ps, err := NewPubSub(g, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	push, err := ps.PushPath(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(push); i++ {
+		if levels[push[i]] <= levels[push[i-1]] {
+			t.Fatalf("push did not climb at step %d of %v (levels %v)", i, push, levels)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// Package maxflow implements the height-based max-flow construction the
+// paper cites in §III-B as the second application of man-made layering:
+// link orientations are "dynamically calculated and adjusted by the heights
+// of each node... while maintaining the destination-oriented DAG structure"
+// — the push-relabel family. A Dinic implementation serves as an
+// independent baseline for cross-checking.
+package maxflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Network is a flow network over nodes 0..N-1 with directed capacities.
+type Network struct {
+	n     int
+	heads [][]int // adjacency as arc indices
+	to    []int
+	cap   []int64
+}
+
+// NewNetwork returns an empty flow network with n nodes.
+func NewNetwork(n int) (*Network, error) {
+	if n < 2 {
+		return nil, errors.New("maxflow: need at least source and sink")
+	}
+	return &Network{n: n, heads: make([][]int, n)}, nil
+}
+
+// N returns the node count.
+func (nw *Network) N() int { return nw.n }
+
+// AddArc adds a directed arc u->v with the given capacity (and a paired
+// reverse arc of capacity 0 for the residual graph).
+func (nw *Network) AddArc(u, v int, capacity int64) error {
+	if u < 0 || u >= nw.n || v < 0 || v >= nw.n {
+		return fmt.Errorf("maxflow: arc (%d,%d) out of range", u, v)
+	}
+	if u == v {
+		return errors.New("maxflow: self-arc")
+	}
+	if capacity < 0 {
+		return errors.New("maxflow: negative capacity")
+	}
+	nw.heads[u] = append(nw.heads[u], len(nw.to))
+	nw.to = append(nw.to, v)
+	nw.cap = append(nw.cap, capacity)
+	nw.heads[v] = append(nw.heads[v], len(nw.to))
+	nw.to = append(nw.to, u)
+	nw.cap = append(nw.cap, 0)
+	return nil
+}
+
+func (nw *Network) clone() *Network {
+	c := &Network{n: nw.n, heads: make([][]int, nw.n)}
+	for v, h := range nw.heads {
+		c.heads[v] = append([]int(nil), h...)
+	}
+	c.to = append([]int(nil), nw.to...)
+	c.cap = append([]int64(nil), nw.cap...)
+	return c
+}
+
+// Result carries a computed maximum flow.
+type Result struct {
+	Value    int64
+	Heights  []int   // final node heights (push-relabel only; nil for Dinic)
+	Residual []int64 // final residual capacities, parallel to the arc list
+}
+
+// PushRelabel computes the max flow from src to sink with the
+// highest-label-free push-relabel algorithm. The returned heights are the
+// final node labels: they orient every residual link downhill toward the
+// sink region, the destination-oriented-DAG view of §III-B.
+func (nw *Network) PushRelabel(src, sink int) (Result, error) {
+	if err := nw.checkEnds(src, sink); err != nil {
+		return Result{}, err
+	}
+	g := nw.clone()
+	n := g.n
+	height := make([]int, n)
+	excess := make([]int64, n)
+	height[src] = n
+	// Saturate source arcs.
+	for _, a := range g.heads[src] {
+		if a%2 == 0 && g.cap[a] > 0 {
+			v := g.to[a]
+			excess[v] += g.cap[a]
+			excess[src] -= g.cap[a]
+			g.cap[a^1] += g.cap[a]
+			g.cap[a] = 0
+		}
+	}
+	// Active nodes bucketed by height for highest-label selection.
+	active := make([][]int, 2*n+1)
+	inQueue := make([]bool, n)
+	highest := 0
+	push := func(v int) {
+		if v != src && v != sink && excess[v] > 0 && !inQueue[v] {
+			inQueue[v] = true
+			h := height[v]
+			active[h] = append(active[h], v)
+			if h > highest {
+				highest = h
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		push(v)
+	}
+	for highest >= 0 {
+		if len(active[highest]) == 0 {
+			highest--
+			continue
+		}
+		v := active[highest][len(active[highest])-1]
+		active[highest] = active[highest][:len(active[highest])-1]
+		inQueue[v] = false
+		// Discharge v.
+		for excess[v] > 0 {
+			pushed := false
+			for _, a := range g.heads[v] {
+				if g.cap[a] <= 0 || g.to[a] == v {
+					continue
+				}
+				w := g.to[a]
+				if height[v] != height[w]+1 {
+					continue
+				}
+				d := excess[v]
+				if g.cap[a] < d {
+					d = g.cap[a]
+				}
+				g.cap[a] -= d
+				g.cap[a^1] += d
+				excess[v] -= d
+				excess[w] += d
+				push(w)
+				pushed = true
+				if excess[v] == 0 {
+					break
+				}
+			}
+			if excess[v] == 0 {
+				break
+			}
+			if !pushed {
+				// Relabel: rise just above the lowest admissible neighbor.
+				minH := 2 * n
+				for _, a := range g.heads[v] {
+					if g.cap[a] > 0 && height[g.to[a]] < minH {
+						minH = height[g.to[a]]
+					}
+				}
+				if minH >= 2*n {
+					break // no residual arcs; excess is stuck (shouldn't happen)
+				}
+				height[v] = minH + 1
+				if height[v] > 2*n {
+					height[v] = 2 * n
+				}
+			}
+		}
+		if excess[v] > 0 {
+			push(v)
+		}
+	}
+	return Result{Value: excess[sink], Heights: height, Residual: g.cap}, nil
+}
+
+// Dinic computes the max flow with Dinic's layered BFS + blocking flow —
+// the independent baseline.
+func (nw *Network) Dinic(src, sink int) (Result, error) {
+	if err := nw.checkEnds(src, sink); err != nil {
+		return Result{}, err
+	}
+	g := nw.clone()
+	n := g.n
+	level := make([]int, n)
+	iter := make([]int, n)
+	var bfs func() bool
+	bfs = func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, a := range g.heads[v] {
+				if g.cap[a] > 0 && level[g.to[a]] == -1 {
+					level[g.to[a]] = level[v] + 1
+					queue = append(queue, g.to[a])
+				}
+			}
+		}
+		return level[sink] >= 0
+	}
+	var dfs func(v int, f int64) int64
+	dfs = func(v int, f int64) int64 {
+		if v == sink {
+			return f
+		}
+		for ; iter[v] < len(g.heads[v]); iter[v]++ {
+			a := g.heads[v][iter[v]]
+			w := g.to[a]
+			if g.cap[a] > 0 && level[w] == level[v]+1 {
+				d := f
+				if g.cap[a] < d {
+					d = g.cap[a]
+				}
+				if got := dfs(w, d); got > 0 {
+					g.cap[a] -= got
+					g.cap[a^1] += got
+					return got
+				}
+			}
+		}
+		return 0
+	}
+	var flow int64
+	const inf = int64(1) << 62
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := dfs(src, inf)
+			if f == 0 {
+				break
+			}
+			flow += f
+		}
+	}
+	return Result{Value: flow}, nil
+}
+
+func (nw *Network) checkEnds(src, sink int) error {
+	if src < 0 || src >= nw.n || sink < 0 || sink >= nw.n {
+		return errors.New("maxflow: src/sink out of range")
+	}
+	if src == sink {
+		return errors.New("maxflow: src == sink")
+	}
+	return nil
+}
+
+// VerifyHeightOrientation checks the §III-B invariant on a finished
+// push-relabel run: for every residual (capacity > 0) arc u->v,
+// height(u) <= height(v) + 1 — no residual arc jumps downhill by more than
+// one level, which is exactly what keeps the height orientation a valid
+// layered (destination-oriented) structure toward the sink side.
+func (nw *Network) VerifyHeightOrientation(res Result) error {
+	if res.Heights == nil || res.Residual == nil {
+		return errors.New("maxflow: result carries no heights/residual")
+	}
+	if len(res.Residual) != len(nw.to) {
+		return errors.New("maxflow: residual size mismatch")
+	}
+	for a := range nw.to {
+		if res.Residual[a] <= 0 {
+			continue
+		}
+		u, v := nw.to[a^1], nw.to[a] // tail of arc a is the head of its pair
+		if res.Heights[u] > res.Heights[v]+1 {
+			return fmt.Errorf("maxflow: residual arc %d->%d violates heights %d > %d+1",
+				u, v, res.Heights[u], res.Heights[v])
+		}
+	}
+	return nil
+}
+
+// VerifyFlow checks that a push-relabel result is a feasible flow of the
+// stated value: per-arc flows (original capacity minus residual) respect
+// capacities, pair up antisymmetrically with their reverse arcs, conserve
+// mass at every internal node, and push exactly Value out of src and into
+// sink.
+func (nw *Network) VerifyFlow(res Result, src, sink int) error {
+	if err := nw.checkEnds(src, sink); err != nil {
+		return err
+	}
+	if res.Residual == nil || len(res.Residual) != len(nw.cap) {
+		return errors.New("maxflow: result carries no usable residual")
+	}
+	net := make([]int64, nw.n) // net outflow per node
+	for a := 0; a < len(nw.to); a += 2 {
+		flow := nw.cap[a] - res.Residual[a] // forward arc flow
+		back := nw.cap[a+1] - res.Residual[a+1]
+		if flow+back != 0 {
+			return fmt.Errorf("maxflow: arc pair %d flow %d and reverse %d not antisymmetric", a, flow, back)
+		}
+		if flow < 0 || flow > nw.cap[a] {
+			return fmt.Errorf("maxflow: arc %d flow %d outside [0,%d]", a, flow, nw.cap[a])
+		}
+		tail, head := nw.to[a+1], nw.to[a]
+		net[tail] += flow
+		net[head] -= flow
+	}
+	for v := 0; v < nw.n; v++ {
+		switch v {
+		case src:
+			if net[v] != res.Value {
+				return fmt.Errorf("maxflow: source pushes %d, value says %d", net[v], res.Value)
+			}
+		case sink:
+			if net[v] != -res.Value {
+				return fmt.Errorf("maxflow: sink absorbs %d, value says %d", -net[v], res.Value)
+			}
+		default:
+			if net[v] != 0 {
+				return fmt.Errorf("maxflow: node %d violates conservation by %d", v, net[v])
+			}
+		}
+	}
+	return nil
+}

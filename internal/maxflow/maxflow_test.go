@@ -1,0 +1,219 @@
+package maxflow
+
+import (
+	"testing"
+
+	"structura/internal/stats"
+)
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(1); err == nil {
+		t.Error("n < 2 should error")
+	}
+	nw, err := NewNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddArc(0, 9, 1); err == nil {
+		t.Error("out-of-range arc should error")
+	}
+	if err := nw.AddArc(0, 0, 1); err == nil {
+		t.Error("self-arc should error")
+	}
+	if err := nw.AddArc(0, 1, -1); err == nil {
+		t.Error("negative capacity should error")
+	}
+	if _, err := nw.PushRelabel(0, 0); err == nil {
+		t.Error("src == sink should error")
+	}
+	if _, err := nw.Dinic(-1, 1); err == nil {
+		t.Error("bad src should error")
+	}
+}
+
+func TestSimpleChain(t *testing.T) {
+	nw, _ := NewNetwork(3)
+	_ = nw.AddArc(0, 1, 5)
+	_ = nw.AddArc(1, 2, 3)
+	pr, err := nw.PushRelabel(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Value != 3 {
+		t.Errorf("push-relabel = %d, want 3", pr.Value)
+	}
+	dn, err := nw.Dinic(0, 2)
+	if err != nil || dn.Value != 3 {
+		t.Errorf("dinic = %d, %v; want 3", dn.Value, err)
+	}
+	if err := nw.VerifyHeightOrientation(pr); err != nil {
+		t.Errorf("height invariant: %v", err)
+	}
+}
+
+func TestClassicDiamond(t *testing.T) {
+	// Source 0, sink 3; two disjoint paths of capacity 2 and 3, plus a
+	// cross arc enabling 1 extra unit.
+	nw, _ := NewNetwork(4)
+	_ = nw.AddArc(0, 1, 3)
+	_ = nw.AddArc(0, 2, 2)
+	_ = nw.AddArc(1, 3, 2)
+	_ = nw.AddArc(2, 3, 3)
+	_ = nw.AddArc(1, 2, 1)
+	pr, _ := nw.PushRelabel(0, 3)
+	dn, _ := nw.Dinic(0, 3)
+	if pr.Value != 5 || dn.Value != 5 {
+		t.Errorf("flows = %d, %d; want 5", pr.Value, dn.Value)
+	}
+}
+
+func TestDisconnectedSink(t *testing.T) {
+	nw, _ := NewNetwork(4)
+	_ = nw.AddArc(0, 1, 7)
+	pr, _ := nw.PushRelabel(0, 3)
+	dn, _ := nw.Dinic(0, 3)
+	if pr.Value != 0 || dn.Value != 0 {
+		t.Errorf("disconnected flows = %d, %d; want 0", pr.Value, dn.Value)
+	}
+}
+
+func TestZeroCapacityArcs(t *testing.T) {
+	nw, _ := NewNetwork(3)
+	_ = nw.AddArc(0, 1, 0)
+	_ = nw.AddArc(1, 2, 5)
+	pr, _ := nw.PushRelabel(0, 2)
+	if pr.Value != 0 {
+		t.Errorf("flow across zero arc = %d", pr.Value)
+	}
+}
+
+func TestParallelArcs(t *testing.T) {
+	nw, _ := NewNetwork(2)
+	_ = nw.AddArc(0, 1, 2)
+	_ = nw.AddArc(0, 1, 3)
+	pr, _ := nw.PushRelabel(0, 1)
+	dn, _ := nw.Dinic(0, 1)
+	if pr.Value != 5 || dn.Value != 5 {
+		t.Errorf("parallel arcs = %d, %d; want 5", pr.Value, dn.Value)
+	}
+}
+
+func TestPushRelabelMatchesDinicRandom(t *testing.T) {
+	r := stats.NewRand(1)
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + r.Intn(12)
+		nw, err := NewNetwork(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arcs := n * 3
+		for k := 0; k < arcs; k++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			_ = nw.AddArc(u, v, int64(r.Intn(20)))
+		}
+		src, sink := 0, n-1
+		pr, err := nw.PushRelabel(src, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dn, err := nw.Dinic(src, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.Value != dn.Value {
+			t.Fatalf("trial %d: push-relabel %d != dinic %d", trial, pr.Value, dn.Value)
+		}
+		if err := nw.VerifyHeightOrientation(pr); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if pr.Heights[src] != n {
+			t.Fatalf("source height must stay n, got %d", pr.Heights[src])
+		}
+	}
+}
+
+func TestBipartiteMatchingFlow(t *testing.T) {
+	// 3x3 bipartite perfect matching via unit capacities.
+	// Nodes: 0 src, 1-3 left, 4-6 right, 7 sink.
+	nw, _ := NewNetwork(8)
+	for l := 1; l <= 3; l++ {
+		_ = nw.AddArc(0, l, 1)
+		_ = nw.AddArc(l+3, 7, 1)
+	}
+	pairs := [][2]int{{1, 4}, {1, 5}, {2, 5}, {3, 6}}
+	for _, p := range pairs {
+		_ = nw.AddArc(p[0], p[1], 1)
+	}
+	pr, _ := nw.PushRelabel(0, 7)
+	if pr.Value != 3 {
+		t.Errorf("matching size = %d, want 3", pr.Value)
+	}
+}
+
+func TestVerifyHeightOrientationErrors(t *testing.T) {
+	nw, _ := NewNetwork(2)
+	_ = nw.AddArc(0, 1, 1)
+	if err := nw.VerifyHeightOrientation(Result{}); err == nil {
+		t.Error("missing heights should error")
+	}
+	if err := nw.VerifyHeightOrientation(Result{Heights: []int{0, 0}, Residual: []int64{1}}); err == nil {
+		t.Error("size mismatch should error")
+	}
+	dn, _ := nw.Dinic(0, 1)
+	if err := nw.VerifyHeightOrientation(dn); err == nil {
+		t.Error("Dinic result carries no heights; should error")
+	}
+}
+
+func TestVerifyFlowOnRandomInstances(t *testing.T) {
+	r := stats.NewRand(9)
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + r.Intn(10)
+		nw, err := NewNetwork(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < n*3; k++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				_ = nw.AddArc(u, v, int64(r.Intn(30)))
+			}
+		}
+		res, err := nw.PushRelabel(0, n-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.VerifyFlow(res, 0, n-1); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestVerifyFlowErrors(t *testing.T) {
+	nw, _ := NewNetwork(3)
+	_ = nw.AddArc(0, 1, 2)
+	_ = nw.AddArc(1, 2, 2)
+	res, _ := nw.PushRelabel(0, 2)
+	if err := nw.VerifyFlow(Result{}, 0, 2); err == nil {
+		t.Error("missing residual should error")
+	}
+	if err := nw.VerifyFlow(res, 0, 0); err == nil {
+		t.Error("src == sink should error")
+	}
+	// Corrupt the value: conservation check must catch it.
+	bad := res
+	bad.Value++
+	if err := nw.VerifyFlow(bad, 0, 2); err == nil {
+		t.Error("wrong value should be detected")
+	}
+	// Corrupt a residual: antisymmetry/capacity must catch it.
+	bad2 := res
+	bad2.Residual = append([]int64(nil), res.Residual...)
+	bad2.Residual[0] += 5
+	if err := nw.VerifyFlow(bad2, 0, 2); err == nil {
+		t.Error("corrupted residual should be detected")
+	}
+}

@@ -1,0 +1,373 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"structura/internal/stats"
+	"structura/internal/temporal"
+)
+
+func waypointCfg() WaypointConfig {
+	return WaypointConfig{
+		N: 20, Width: 100, Height: 100,
+		MinSpeed: 1, MaxSpeed: 5, Pause: 2,
+		Steps: 200, Range: 15,
+	}
+}
+
+func TestWaypointValidation(t *testing.T) {
+	r := stats.NewRand(1)
+	bad := []func(*WaypointConfig){
+		func(c *WaypointConfig) { c.N = 0 },
+		func(c *WaypointConfig) { c.Width = 0 },
+		func(c *WaypointConfig) { c.Height = -1 },
+		func(c *WaypointConfig) { c.MinSpeed = 0 },
+		func(c *WaypointConfig) { c.MaxSpeed = 0.5 },
+		func(c *WaypointConfig) { c.Pause = -1 },
+		func(c *WaypointConfig) { c.Steps = 0 },
+		func(c *WaypointConfig) { c.Range = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := waypointCfg()
+		mutate(&cfg)
+		if _, err := RandomWaypoint(r, cfg); err == nil {
+			t.Errorf("mutation %d should invalidate config", i)
+		}
+	}
+}
+
+func TestRandomWaypointStaysInField(t *testing.T) {
+	r := stats.NewRand(2)
+	cfg := waypointCfg()
+	tr, err := RandomWaypoint(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Positions) != cfg.Steps {
+		t.Fatalf("steps = %d", len(tr.Positions))
+	}
+	for t0, snap := range tr.Positions {
+		if len(snap) != cfg.N {
+			t.Fatalf("snapshot %d has %d nodes", t0, len(snap))
+		}
+		for _, p := range snap {
+			if p.X < 0 || p.X > cfg.Width || p.Y < 0 || p.Y > cfg.Height {
+				t.Fatalf("node out of field at %v", p)
+			}
+		}
+	}
+}
+
+func TestRandomWaypointSpeedBound(t *testing.T) {
+	r := stats.NewRand(3)
+	cfg := waypointCfg()
+	tr, _ := RandomWaypoint(r, cfg)
+	for t0 := 1; t0 < len(tr.Positions); t0++ {
+		for v := 0; v < cfg.N; v++ {
+			d := tr.Positions[t0-1][v].Dist(tr.Positions[t0][v])
+			if d > cfg.MaxSpeed+1e-9 {
+				t.Fatalf("node %d moved %v > max speed %v in one unit", v, d, cfg.MaxSpeed)
+			}
+		}
+	}
+}
+
+func TestTraceEG(t *testing.T) {
+	r := stats.NewRand(4)
+	tr, err := RandomWaypoint(r, waypointCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg, err := tr.EG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eg.N() != 20 || eg.Horizon() != 200 {
+		t.Fatalf("EG dims = %d, %d", eg.N(), eg.Horizon())
+	}
+	// Spot-check: every EG contact matches a within-range pair.
+	for u := 0; u < eg.N(); u++ {
+		for _, v := range eg.Neighbors(u) {
+			for _, tu := range eg.Labels(u, v) {
+				d := tr.Positions[tu][u].Dist(tr.Positions[tu][v])
+				if d > tr.Range {
+					t.Fatalf("contact (%d,%d,%d) at distance %v > range", u, v, tu, d)
+				}
+			}
+		}
+	}
+	empty := &Trace{}
+	if eg2, err := empty.EG(); err != nil || eg2.N() != 0 {
+		t.Error("empty trace should yield empty EG")
+	}
+}
+
+func TestExtractContacts(t *testing.T) {
+	eg, _ := temporal.New(2, 20)
+	// Contact runs: [2,4] (duration 3), gap 5, [9,9] (duration 1).
+	for _, tu := range []int{2, 3, 4, 9} {
+		_ = eg.AddContact(0, 1, tu)
+	}
+	cs := ExtractContacts(eg)
+	if len(cs.Durations) != 2 || cs.Durations[0] != 3 || cs.Durations[1] != 1 {
+		t.Errorf("durations = %v, want [3 1]", cs.Durations)
+	}
+	if len(cs.InterContacts) != 1 || cs.InterContacts[0] != 5 {
+		t.Errorf("inter-contacts = %v, want [5]", cs.InterContacts)
+	}
+	if got := ExtractContacts(mustEG(t, 3, 5)); len(got.Durations) != 0 {
+		t.Error("no contacts should yield no samples")
+	}
+}
+
+func mustEG(t *testing.T, n, h int) *temporal.EG {
+	t.Helper()
+	eg, err := temporal.New(n, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eg
+}
+
+func TestEdgeMarkovianValidation(t *testing.T) {
+	r := stats.NewRand(5)
+	if _, err := EdgeMarkovian(r, EdgeMarkovianConfig{N: 0, P: 0.1, Q: 0.1, Steps: 5}); err == nil {
+		t.Error("N=0 should error")
+	}
+	if _, err := EdgeMarkovian(r, EdgeMarkovianConfig{N: 5, P: 1.5, Q: 0.1, Steps: 5}); err == nil {
+		t.Error("bad P should error")
+	}
+	if _, err := EdgeMarkovian(r, EdgeMarkovianConfig{N: 5, P: 0.1, Q: 0.1, Steps: 5, StartDensity: 2}); err == nil {
+		t.Error("StartDensity > 1 should error")
+	}
+}
+
+func TestEdgeMarkovianStationaryDensity(t *testing.T) {
+	r := stats.NewRand(6)
+	cfg := EdgeMarkovianConfig{N: 40, P: 0.3, Q: 0.1, Steps: 200, StartDensity: -1}
+	eg, err := EdgeMarkovian(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stationary density Q/(P+Q) = 0.25: measure the average snapshot
+	// density over time.
+	pairs := cfg.N * (cfg.N - 1) / 2
+	var density float64
+	for tu := 0; tu < cfg.Steps; tu++ {
+		density += float64(eg.Snapshot(tu).M()) / float64(pairs)
+	}
+	density /= float64(cfg.Steps)
+	want := cfg.Q / (cfg.P + cfg.Q)
+	if math.Abs(density-want) > 0.02 {
+		t.Errorf("mean density = %v, want ~%v", density, want)
+	}
+}
+
+func TestEdgeMarkovianExtremes(t *testing.T) {
+	r := stats.NewRand(7)
+	// P=1, Q=1: edges alternate; density always positive after t=0.
+	eg, err := EdgeMarkovian(r, EdgeMarkovianConfig{N: 10, P: 1, Q: 1, Steps: 4, StartDensity: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eg.Snapshot(0).M() != 0 {
+		t.Error("start density 0 should make t=0 edgeless")
+	}
+	if eg.Snapshot(1).M() != 45 {
+		t.Errorf("Q=1 should birth all edges at t=1, got %d", eg.Snapshot(1).M())
+	}
+	if eg.Snapshot(2).M() != 0 {
+		t.Errorf("P=1 should kill all edges at t=2, got %d", eg.Snapshot(2).M())
+	}
+	// P+Q = 0 with StartDensity -1: density 0 everywhere, no error.
+	eg2, err := EdgeMarkovian(r, EdgeMarkovianConfig{N: 5, P: 0, Q: 0, Steps: 3, StartDensity: -1})
+	if err != nil || eg2.ContactCount() != 0 {
+		t.Error("frozen empty process should stay empty")
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	tests := []struct {
+		a, b FeatureProfile
+		want int
+	}{
+		{FeatureProfile{1, 2, 3}, FeatureProfile{1, 2, 3}, 0},
+		{FeatureProfile{1, 2, 3}, FeatureProfile{1, 9, 3}, 1},
+		{FeatureProfile{1, 2}, FeatureProfile{3, 4}, 2},
+		{FeatureProfile{1, 2, 3}, FeatureProfile{1, 2}, 1},
+		{FeatureProfile{1}, FeatureProfile{1, 2, 3}, 2},
+		{nil, nil, 0},
+	}
+	for _, tc := range tests {
+		if got := HammingDistance(tc.a, tc.b); got != tc.want {
+			t.Errorf("Hamming(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestFeatureContactsValidation(t *testing.T) {
+	r := stats.NewRand(8)
+	profiles := []FeatureProfile{{0, 0}, {0, 1}}
+	if _, err := FeatureContacts(r, FeatureContactConfig{Profiles: nil, BaseProb: 0.5, Decay: 0.5, Steps: 5}); err == nil {
+		t.Error("no profiles should error")
+	}
+	if _, err := FeatureContacts(r, FeatureContactConfig{Profiles: profiles, BaseProb: 2, Decay: 0.5, Steps: 5}); err == nil {
+		t.Error("bad BaseProb should error")
+	}
+	if _, err := FeatureContacts(r, FeatureContactConfig{Profiles: profiles, BaseProb: 0.5, Decay: 0, Steps: 5}); err == nil {
+		t.Error("bad Decay should error")
+	}
+	if _, err := FeatureContacts(r, FeatureContactConfig{Profiles: profiles, BaseProb: 0.5, Decay: 0.5, Steps: 0}); err == nil {
+		t.Error("no steps should error")
+	}
+}
+
+func TestFeatureContactsFrequencyDecays(t *testing.T) {
+	// The defining property: mean contact frequency strictly decreases
+	// with feature distance.
+	r := stats.NewRand(9)
+	var profiles []FeatureProfile
+	for g := 0; g < 2; g++ {
+		for o := 0; o < 2; o++ {
+			for c := 0; c < 3; c++ {
+				// Several individuals per feature combination.
+				for k := 0; k < 3; k++ {
+					profiles = append(profiles, FeatureProfile{g, o, c})
+				}
+			}
+		}
+	}
+	cfg := FeatureContactConfig{Profiles: profiles, BaseProb: 0.4, Decay: 0.4, Steps: 400}
+	eg, err := FeatureContacts(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := ContactFrequencies(eg, profiles)
+	var prev float64 = math.Inf(1)
+	for d := 0; d <= 3; d++ {
+		samples, ok := freqs[d]
+		if !ok {
+			t.Fatalf("no pairs at feature distance %d", d)
+		}
+		mean := stats.Mean(samples)
+		if mean >= prev {
+			t.Errorf("mean contact frequency at distance %d (%v) did not decay (prev %v)", d, mean, prev)
+		}
+		prev = mean
+	}
+}
+
+func TestFeatureContactsExpectedRates(t *testing.T) {
+	r := stats.NewRand(10)
+	profiles := []FeatureProfile{{0}, {0}, {1}}
+	cfg := FeatureContactConfig{Profiles: profiles, BaseProb: 0.5, Decay: 0.5, Steps: 2000}
+	eg, err := FeatureContacts(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair (0,1): distance 0 -> rate 0.5; pairs (0,2),(1,2): distance 1 -> 0.25.
+	rate01 := float64(len(eg.Labels(0, 1))) / float64(cfg.Steps)
+	rate02 := float64(len(eg.Labels(0, 2))) / float64(cfg.Steps)
+	if math.Abs(rate01-0.5) > 0.05 {
+		t.Errorf("rate(0,1) = %v, want ~0.5", rate01)
+	}
+	if math.Abs(rate02-0.25) > 0.05 {
+		t.Errorf("rate(0,2) = %v, want ~0.25", rate02)
+	}
+}
+
+func TestWaypointContactStatsNonEmpty(t *testing.T) {
+	r := stats.NewRand(11)
+	cfg := waypointCfg()
+	tr, err := RandomWaypoint(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg, err := tr.EG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := ExtractContacts(eg)
+	if len(cs.Durations) == 0 {
+		t.Fatal("waypoint trace should produce contacts")
+	}
+	for _, d := range cs.Durations {
+		if d < 1 {
+			t.Fatalf("contact duration %v < 1", d)
+		}
+	}
+	for _, ic := range cs.InterContacts {
+		if ic < 2 {
+			t.Fatalf("inter-contact %v < 2 (gap must skip at least one unit)", ic)
+		}
+	}
+}
+
+func TestOnlineSessions(t *testing.T) {
+	eg, _ := temporal.New(3, 10)
+	// Node 0: contacts at 1,2,3 and 7 -> sessions [1,3] and [7,7].
+	_ = eg.AddContact(0, 1, 1)
+	_ = eg.AddContact(0, 1, 2)
+	_ = eg.AddContact(0, 2, 3)
+	_ = eg.AddContact(0, 1, 7)
+	f := OnlineSessions(eg)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var sessions0 int
+	for _, iv := range f.Intervals {
+		if iv.Owner == 0 {
+			sessions0++
+			if iv.Start == 1 && iv.End != 3 {
+				t.Errorf("first session = [%g,%g], want [1,3]", iv.Start, iv.End)
+			}
+		}
+	}
+	if sessions0 != 2 {
+		t.Errorf("node 0 has %d sessions, want 2", sessions0)
+	}
+	// Simultaneously-online nodes are adjacent in the interval graph.
+	g, err := f.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Error("nodes 0 and 1 are online together")
+	}
+}
+
+func TestOnlineSessionsFromTrace(t *testing.T) {
+	// End to end: waypoint trace -> EG -> interval hypergraph of
+	// co-presence.
+	r := stats.NewRand(20)
+	tr, err := RandomWaypoint(r, WaypointConfig{
+		N: 15, Width: 60, Height: 60,
+		MinSpeed: 1, MaxSpeed: 4, Pause: 1,
+		Steps: 80, Range: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg, err := tr.EG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := OnlineSessions(eg)
+	hes, err := f.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hes) == 0 {
+		t.Fatal("a dense trace must produce co-presence hyperedges")
+	}
+	// Every hyperedge member must really be online at a shared time:
+	// weak sanity — all owners valid.
+	for _, he := range hes {
+		for _, v := range he {
+			if v < 0 || v >= eg.N() {
+				t.Fatalf("hyperedge member %d out of range", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package reversal
+
+import (
+	"errors"
+	"fmt"
+
+	"structura/internal/graph"
+)
+
+// BinaryLR implements the binary-link-label link reversal of [24]
+// (Charron-Bost et al.): every link carries a label in {0,1}; a
+// non-destination sink i applies
+//
+//	Rule 1: if at least one incident link is labeled 0, reverse exactly the
+//	        0-labeled incident links and flip the labels of ALL incident
+//	        links;
+//	Rule 2: if all incident links are labeled 1, reverse all incident links
+//	        and leave labels unchanged.
+//
+// Initializing all labels to 1 makes the system execute full reversal
+// (Rule 2 only); initializing to 0 yields partial reversal — the
+// unification the paper highlights.
+type BinaryLR struct {
+	n      int
+	dest   int
+	nbrs   [][]int
+	toward map[[2]int]int // link {min,max} -> endpoint the link points TO
+	label  map[[2]int]int // link label in {0,1}
+}
+
+func linkKey(u, v int) [2]int {
+	if u < v {
+		return [2]int{u, v}
+	}
+	return [2]int{v, u}
+}
+
+// NewBinaryLR builds the labeled digraph from a support graph, an initial
+// orientation given by alpha heights (higher points to lower, ties by ID,
+// destination strictly lowest), and a uniform initial label.
+func NewBinaryLR(support *graph.Graph, alphas []int, dest int, initialLabel int) (*BinaryLR, error) {
+	if support.Directed() {
+		return nil, errors.New("reversal: support graph must be undirected")
+	}
+	n := support.N()
+	if len(alphas) != n {
+		return nil, fmt.Errorf("reversal: %d heights for %d nodes", len(alphas), n)
+	}
+	if dest < 0 || dest >= n {
+		return nil, errors.New("reversal: destination out of range")
+	}
+	if initialLabel != 0 && initialLabel != 1 {
+		return nil, errors.New("reversal: label must be 0 or 1")
+	}
+	b := &BinaryLR{
+		n:      n,
+		dest:   dest,
+		nbrs:   make([][]int, n),
+		toward: make(map[[2]int]int),
+		label:  make(map[[2]int]int),
+	}
+	higher := func(u, v int) bool {
+		if alphas[u] != alphas[v] {
+			return alphas[u] > alphas[v]
+		}
+		return u > v
+	}
+	for _, e := range support.Edges() {
+		b.nbrs[e.From] = append(b.nbrs[e.From], e.To)
+		b.nbrs[e.To] = append(b.nbrs[e.To], e.From)
+		k := linkKey(e.From, e.To)
+		if higher(e.From, e.To) {
+			b.toward[k] = e.To
+		} else {
+			b.toward[k] = e.From
+		}
+		b.label[k] = initialLabel
+	}
+	return b, nil
+}
+
+// PointsTo reports whether the link between u and v is oriented u -> v.
+func (b *BinaryLR) PointsTo(u, v int) bool {
+	to, ok := b.toward[linkKey(u, v)]
+	return ok && to == v
+}
+
+// Label returns the label of link (u,v), or -1 if absent.
+func (b *BinaryLR) Label(u, v int) int {
+	l, ok := b.label[linkKey(u, v)]
+	if !ok {
+		return -1
+	}
+	return l
+}
+
+// RemoveLink deletes the link, reporting whether it existed.
+func (b *BinaryLR) RemoveLink(u, v int) bool {
+	k := linkKey(u, v)
+	if _, ok := b.toward[k]; !ok {
+		return false
+	}
+	delete(b.toward, k)
+	delete(b.label, k)
+	b.nbrs[u] = removeFrom(b.nbrs[u], v)
+	b.nbrs[v] = removeFrom(b.nbrs[v], u)
+	return true
+}
+
+func removeFrom(xs []int, v int) []int {
+	out := xs[:0]
+	for _, x := range xs {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// IsSink reports whether v is a non-destination node with incident links,
+// all incoming.
+func (b *BinaryLR) IsSink(v int) bool {
+	if v == b.dest || len(b.nbrs[v]) == 0 {
+		return false
+	}
+	for _, w := range b.nbrs[v] {
+		if b.PointsTo(v, w) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sinks lists all current sinks.
+func (b *BinaryLR) Sinks() []int {
+	var out []int
+	for v := 0; v < b.n; v++ {
+		if b.IsSink(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Step performs one synchronous round of Rule 1 / Rule 2 at every sink,
+// returning the sinks that acted. Adjacent nodes cannot both be sinks, so
+// per-round link updates never conflict.
+func (b *BinaryLR) Step() []int {
+	sinks := b.Sinks()
+	for _, i := range sinks {
+		hasZero := false
+		for _, w := range b.nbrs[i] {
+			if b.label[linkKey(i, w)] == 0 {
+				hasZero = true
+				break
+			}
+		}
+		for _, w := range b.nbrs[i] {
+			k := linkKey(i, w)
+			if hasZero {
+				// Rule 1: reverse 0-links, flip all labels.
+				if b.label[k] == 0 {
+					b.toward[k] = w // was pointing to i; now away
+				}
+				b.label[k] = 1 - b.label[k]
+			} else {
+				// Rule 2: reverse everything, labels unchanged.
+				b.toward[k] = w
+			}
+		}
+	}
+	return sinks
+}
+
+// Stabilize runs Step until no sinks remain or maxRounds elapses.
+func (b *BinaryLR) Stabilize(maxRounds int) Stats {
+	st := Stats{PerNode: make(map[int]int)}
+	for r := 0; r < maxRounds; r++ {
+		acted := b.Step()
+		if len(acted) == 0 {
+			st.Converged = true
+			return st
+		}
+		st.Rounds++
+		st.NodeReversals += len(acted)
+		for _, v := range acted {
+			st.PerNode[v]++
+		}
+	}
+	st.Converged = len(b.Sinks()) == 0
+	return st
+}
+
+// IsDestinationOriented reports whether every node with links reaches the
+// destination along the current orientation and no sinks remain. Because
+// orientations here are explicit, it also guards against cycles.
+func (b *BinaryLR) IsDestinationOriented() bool {
+	if len(b.Sinks()) > 0 {
+		return false
+	}
+	reach := make([]bool, b.n)
+	reach[b.dest] = true
+	queue := []int{b.dest}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range b.nbrs[v] {
+			if !reach[w] && b.PointsTo(w, v) {
+				reach[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	for v := 0; v < b.n; v++ {
+		if len(b.nbrs[v]) > 0 && !reach[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,30 @@
+package reversal
+
+import (
+	"fmt"
+	"testing"
+
+	"structura/internal/gen"
+)
+
+func TestDebugPartialRing(t *testing.T) {
+	n := 8
+	alphas := make([]int, n)
+	for i := 1; i < n; i++ {
+		alphas[i] = i
+	}
+	net, _ := NewNetwork(gen.Ring(n), alphas, 0, Partial)
+	net.RemoveLink(0, 1)
+	for r := 0; r < 12; r++ {
+		acted := net.Step()
+		if len(acted) == 0 {
+			break
+		}
+		hs := net.Heights()
+		fmt.Printf("round %d acted=%v heights=", r, acted)
+		for _, h := range hs {
+			fmt.Printf("(%d,%d)", h.Alpha, h.Beta)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,29 @@
+package reversal_test
+
+import (
+	"fmt"
+
+	"structura/internal/reversal"
+)
+
+// The paper's Fig. 4: breaking link (A, D) triggers a full link reversal
+// cascade in which node A reverses twice before the DAG is repaired.
+func ExampleNetwork_Stabilize() {
+	net, err := reversal.Fig4Network(reversal.Full)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	net.RemoveLink(0, 3) // break (A, D)
+	st := net.Stabilize(100)
+	fmt.Println("reversals:", st.NodeReversals)
+	fmt.Println("A reversed:", st.PerNode[0])
+	fmt.Println("repaired:", net.IsDestinationOriented())
+	path, _ := net.Route(0)
+	fmt.Println("route from A:", path)
+	// Output:
+	// reversals: 3
+	// A reversed: 2
+	// repaired: true
+	// route from A: [0 1 2 3]
+}

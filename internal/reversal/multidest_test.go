@@ -1,0 +1,131 @@
+package reversal
+
+import (
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/stats"
+)
+
+func TestMultiNetworkBasics(t *testing.T) {
+	g := gen.Grid(4, 4)
+	m, err := NewMultiNetwork(g, []int{0, 15, 5}, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dests := m.Destinations()
+	if len(dests) != 3 || dests[0] != 0 || dests[2] != 15 {
+		t.Fatalf("destinations = %v", dests)
+	}
+	if !m.AllDestinationOriented() {
+		t.Fatal("fresh multi-network must be destination-oriented everywhere")
+	}
+	// Routing works toward every destination.
+	for _, d := range dests {
+		net, err := m.Network(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src := 0; src < g.N(); src++ {
+			path, err := net.Route(src)
+			if err != nil {
+				t.Fatalf("dest %d src %d: %v", d, src, err)
+			}
+			if path[len(path)-1] != d {
+				t.Fatalf("dest %d src %d: route ends at %d", d, src, path[len(path)-1])
+			}
+		}
+	}
+	if _, err := m.Network(7); err == nil {
+		t.Error("unmaintained destination should error")
+	}
+}
+
+func TestMultiNetworkValidation(t *testing.T) {
+	g := gen.Grid(3, 3)
+	if _, err := NewMultiNetwork(g, nil, Full); err == nil {
+		t.Error("no destinations should error")
+	}
+	if _, err := NewMultiNetwork(g, []int{0, 0}, Full); err == nil {
+		t.Error("duplicate destinations should error")
+	}
+	if _, err := NewMultiNetwork(g, []int{99}, Full); err == nil {
+		t.Error("out-of-range destination should error")
+	}
+	if _, err := NewMultiNetwork(graph.NewDirected(4), []int{0}, Full); err == nil {
+		t.Error("directed support should error")
+	}
+	if _, err := NewMultiNetwork(graph.New(4), []int{0}, Full); err == nil {
+		t.Error("disconnected support should error")
+	}
+}
+
+func TestMultiNetworkFailLink(t *testing.T) {
+	r := stats.NewRand(1)
+	g := gen.Grid(5, 5)
+	dests := []int{0, 24, 12}
+	m, err := NewMultiNetwork(g, dests, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail a few random links that keep the grid connected.
+	failures := 0
+	for trial := 0; trial < 10 && failures < 4; trial++ {
+		es := m.support.Edges()
+		e := es[r.Intn(len(es))]
+		work := m.support.Clone()
+		work.RemoveEdge(e.From, e.To)
+		if !work.Connected() {
+			continue
+		}
+		stats, err := m.FailLink(e.From, e.To, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		failures++
+		if len(stats) != len(dests) {
+			t.Fatalf("stats for %d destinations, want %d", len(stats), len(dests))
+		}
+		if !m.AllDestinationOriented() {
+			t.Fatal("repair incomplete")
+		}
+		// Repair cost is per-destination: a failure far from one
+		// destination's DAG flow may cost that DAG zero reversals.
+		for d, st := range stats {
+			if !st.Converged {
+				t.Fatalf("destination %d did not converge", d)
+			}
+		}
+	}
+	if failures == 0 {
+		t.Fatal("no usable link failures drawn")
+	}
+	if _, err := m.FailLink(0, 24, 0); err == nil {
+		t.Error("failing a non-link should error")
+	}
+}
+
+func TestMultiNetworkIndependentRepairCosts(t *testing.T) {
+	// The §III-B challenge in numbers: k destinations means k repairs per
+	// failure; total work is the sum over DAGs.
+	g := gen.Ring(16)
+	m, err := NewMultiNetwork(g, []int{0, 8}, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.FailLink(3, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, st := range stats {
+		total += st.NodeReversals
+	}
+	if total == 0 {
+		t.Error("a ring link failure must trigger repairs in at least one DAG")
+	}
+	if !m.AllDestinationOriented() {
+		t.Error("both DAGs must be repaired")
+	}
+}

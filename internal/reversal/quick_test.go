@@ -1,0 +1,144 @@
+package reversal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"structura/internal/graph"
+)
+
+// randomConnected builds a random connected support graph with strictly
+// increasing heights away from the destination 0.
+func randomConnected(seed int64, nRaw uint8) (*graph.Graph, []int) {
+	n := int(nRaw%12) + 3
+	r := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		_ = g.AddEdge(v, r.Intn(v)) // random tree
+	}
+	extra := r.Intn(n)
+	for k := 0; k < extra; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	alphas := make([]int, n)
+	dist, _ := g.BFS(0)
+	for v := 1; v < n; v++ {
+		alphas[v] = dist[v]*n + v // distinct, increasing away from 0
+	}
+	return g, alphas
+}
+
+// Property: after any single link failure that keeps the graph connected,
+// both height modes and both binary labelings converge to a
+// destination-oriented DAG.
+func TestQuickReversalConvergesAfterFailure(t *testing.T) {
+	f := func(seed int64, nRaw, eRaw uint8) bool {
+		g, alphas := randomConnected(seed, nRaw)
+		edges := g.Edges()
+		if len(edges) == 0 {
+			return true
+		}
+		e := edges[int(eRaw)%len(edges)]
+		work := g.Clone()
+		work.RemoveEdge(e.From, e.To)
+		if !work.Connected() {
+			return true // disconnection: divergence is expected behavior
+		}
+		for _, mode := range []Mode{Full, Partial} {
+			net, err := NewNetwork(g, alphas, 0, mode)
+			if err != nil {
+				return false
+			}
+			net.RemoveLink(e.From, e.To)
+			st := net.Stabilize(200000)
+			if !st.Converged || !net.IsDestinationOriented() {
+				return false
+			}
+		}
+		for _, label := range []int{0, 1} {
+			b, err := NewBinaryLR(g, alphas, 0, label)
+			if err != nil {
+				return false
+			}
+			b.RemoveLink(e.From, e.To)
+			st := b.Stabilize(200000)
+			if !st.Converged || !b.IsDestinationOriented() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: binary all-1 replays height-based full reversal: identical
+// total reversal counts on any instance.
+func TestQuickBinaryAllOnesEqualsFull(t *testing.T) {
+	f := func(seed int64, nRaw, eRaw uint8) bool {
+		g, alphas := randomConnected(seed, nRaw)
+		edges := g.Edges()
+		if len(edges) == 0 {
+			return true
+		}
+		e := edges[int(eRaw)%len(edges)]
+		work := g.Clone()
+		work.RemoveEdge(e.From, e.To)
+		if !work.Connected() {
+			return true
+		}
+		net, err := NewNetwork(g, alphas, 0, Full)
+		if err != nil {
+			return false
+		}
+		net.RemoveLink(e.From, e.To)
+		st1 := net.Stabilize(200000)
+		b, err := NewBinaryLR(g, alphas, 0, 1)
+		if err != nil {
+			return false
+		}
+		b.RemoveLink(e.From, e.To)
+		st2 := b.Stabilize(200000)
+		return st1.Converged && st2.Converged && st1.NodeReversals == st2.NodeReversals
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: routing on a stabilized network always reaches the destination
+// without loops.
+func TestQuickRouteAfterRepair(t *testing.T) {
+	f := func(seed int64, nRaw, eRaw, srcRaw uint8) bool {
+		g, alphas := randomConnected(seed, nRaw)
+		edges := g.Edges()
+		if len(edges) == 0 {
+			return true
+		}
+		e := edges[int(eRaw)%len(edges)]
+		work := g.Clone()
+		work.RemoveEdge(e.From, e.To)
+		if !work.Connected() {
+			return true
+		}
+		net, err := NewNetwork(g, alphas, 0, Full)
+		if err != nil {
+			return false
+		}
+		net.RemoveLink(e.From, e.To)
+		if st := net.Stabilize(200000); !st.Converged {
+			return false
+		}
+		src := int(srcRaw) % g.N()
+		path, err := net.Route(src)
+		return err == nil && path[len(path)-1] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

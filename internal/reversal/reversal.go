@@ -1,0 +1,287 @@
+// Package reversal implements the man-made layering of §III-B and §IV-B:
+// destination-oriented DAGs maintained by node heights, repaired after link
+// failures by link reversal — full reversal and partial reversal
+// (Gafni–Bertsekas [16]), plus the binary-link-label unification of
+// Charron-Bost et al. [24] whose Rule 1/Rule 2 subsume both.
+//
+// Heights order nodes totally (ties broken by node ID, giving the paper's
+// "distinct level" requirement); every link points from the higher endpoint
+// to the lower one, and the destination holds the globally lowest height, 0.
+package reversal
+
+import (
+	"errors"
+	"fmt"
+
+	"structura/internal/graph"
+)
+
+// Height is a node's level: compared lexicographically (Alpha, Beta, ID).
+// Full reversal uses Alpha only; partial reversal adjusts Beta as well.
+type Height struct {
+	Alpha int
+	Beta  int
+	ID    int
+}
+
+// Less orders heights lexicographically.
+func (h Height) Less(o Height) bool {
+	if h.Alpha != o.Alpha {
+		return h.Alpha < o.Alpha
+	}
+	if h.Beta != o.Beta {
+		return h.Beta < o.Beta
+	}
+	return h.ID < o.ID
+}
+
+// Mode selects the reversal discipline.
+type Mode int
+
+// Reversal modes.
+const (
+	Full Mode = iota + 1
+	Partial
+)
+
+// Network is an undirected support graph with per-node heights and a fixed
+// destination; link orientation is derived from heights.
+type Network struct {
+	g    *graph.Graph
+	h    []Height
+	dest int
+	mode Mode
+}
+
+// NewNetwork builds a height-oriented network over support (undirected),
+// with the given initial Alpha heights (Beta starts 0) and destination.
+// The destination's height must be the unique minimum.
+func NewNetwork(support *graph.Graph, alphas []int, dest int, mode Mode) (*Network, error) {
+	if support.Directed() {
+		return nil, errors.New("reversal: support graph must be undirected")
+	}
+	n := support.N()
+	if len(alphas) != n {
+		return nil, fmt.Errorf("reversal: %d heights for %d nodes", len(alphas), n)
+	}
+	if dest < 0 || dest >= n {
+		return nil, errors.New("reversal: destination out of range")
+	}
+	if mode != Full && mode != Partial {
+		return nil, errors.New("reversal: unknown mode")
+	}
+	net := &Network{g: support.Clone(), h: make([]Height, n), dest: dest, mode: mode}
+	for v := 0; v < n; v++ {
+		net.h[v] = Height{Alpha: alphas[v], ID: v}
+	}
+	for v := 0; v < n; v++ {
+		if v != dest && alphas[v] <= alphas[dest] {
+			return nil, fmt.Errorf("reversal: destination level must be the strict minimum (node %d)", v)
+		}
+	}
+	return net, nil
+}
+
+// Heights returns a copy of the node heights.
+func (net *Network) Heights() []Height {
+	return append([]Height(nil), net.h...)
+}
+
+// Destination returns the destination node.
+func (net *Network) Destination() int { return net.dest }
+
+// PointsTo reports whether the (existing) link between u and v is oriented
+// u -> v, i.e. u is higher.
+func (net *Network) PointsTo(u, v int) bool {
+	return net.g.HasEdge(u, v) && net.h[v].Less(net.h[u])
+}
+
+// OutDegree counts v's outgoing links under the height orientation.
+func (net *Network) OutDegree(v int) int {
+	var d int
+	net.g.EachNeighbor(v, func(w int, _ float64) {
+		if net.h[w].Less(net.h[v]) {
+			d++
+		}
+	})
+	return d
+}
+
+// IsSink reports whether v is a non-destination node with no outgoing link
+// and at least one incident link.
+func (net *Network) IsSink(v int) bool {
+	return v != net.dest && net.g.Degree(v) > 0 && net.OutDegree(v) == 0
+}
+
+// Sinks lists all current sinks.
+func (net *Network) Sinks() []int {
+	var out []int
+	for v := 0; v < net.g.N(); v++ {
+		if net.IsSink(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsDestinationOriented reports whether every node with any incident link
+// can reach the destination along oriented links (equivalently: no sinks,
+// plus reachability — acyclicity is automatic from heights).
+func (net *Network) IsDestinationOriented() bool {
+	if len(net.Sinks()) > 0 {
+		return false
+	}
+	// Follow orientation: BFS on reversed edges from dest.
+	n := net.g.N()
+	reach := make([]bool, n)
+	reach[net.dest] = true
+	queue := []int{net.dest}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		net.g.EachNeighbor(v, func(w int, _ float64) {
+			if !reach[w] && net.h[v].Less(net.h[w]) { // w -> v
+				reach[w] = true
+				queue = append(queue, w)
+			}
+		})
+	}
+	for v := 0; v < n; v++ {
+		if net.g.Degree(v) > 0 && !reach[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// RemoveLink deletes the link (u,v), reporting whether it existed.
+func (net *Network) RemoveLink(u, v int) bool {
+	return net.g.RemoveEdge(u, v)
+}
+
+// Step performs one synchronous round: every current sink reverses its
+// links (full or partial discipline). It returns the sinks that acted.
+// Adjacent nodes can never both be sinks, so simultaneous action is safe.
+func (net *Network) Step() []int {
+	sinks := net.Sinks()
+	if len(sinks) == 0 {
+		return nil
+	}
+	updates := make([]Height, len(sinks))
+	for i, u := range sinks {
+		switch net.mode {
+		case Full:
+			// Raise above the highest neighbor by 1 (the paper's rule).
+			maxA := net.h[u].Alpha
+			net.g.EachNeighbor(u, func(w int, _ float64) {
+				if net.h[w].Alpha > maxA {
+					maxA = net.h[w].Alpha
+				}
+			})
+			updates[i] = Height{Alpha: maxA + 1, Beta: net.h[u].Beta, ID: u}
+		case Partial:
+			// Gafni–Bertsekas partial reversal: rise just above the lowest
+			// neighbor level; the Beta component breaks ties so that links
+			// to neighbors at the new Alpha are NOT reversed.
+			first := true
+			minA := 0
+			net.g.EachNeighbor(u, func(w int, _ float64) {
+				if first || net.h[w].Alpha < minA {
+					minA = net.h[w].Alpha
+					first = false
+				}
+			})
+			newAlpha := minA + 1
+			newBeta := net.h[u].Beta
+			haveTie := false
+			tieMin := 0
+			net.g.EachNeighbor(u, func(w int, _ float64) {
+				if net.h[w].Alpha == newAlpha {
+					if !haveTie || net.h[w].Beta < tieMin {
+						tieMin = net.h[w].Beta
+						haveTie = true
+					}
+				}
+			})
+			if haveTie {
+				newBeta = tieMin - 1
+			}
+			updates[i] = Height{Alpha: newAlpha, Beta: newBeta, ID: u}
+		}
+	}
+	for i, u := range sinks {
+		net.h[u] = updates[i]
+	}
+	return sinks
+}
+
+// Stats summarizes a stabilization run.
+type Stats struct {
+	Rounds        int
+	NodeReversals int         // total sink activations
+	PerNode       map[int]int // activations per node
+	Converged     bool
+}
+
+// Stabilize runs Step until no sinks remain or maxRounds elapses.
+func (net *Network) Stabilize(maxRounds int) Stats {
+	st := Stats{PerNode: make(map[int]int)}
+	for r := 0; r < maxRounds; r++ {
+		acted := net.Step()
+		if len(acted) == 0 {
+			st.Converged = true
+			return st
+		}
+		st.Rounds++
+		st.NodeReversals += len(acted)
+		for _, v := range acted {
+			st.PerNode[v]++
+		}
+	}
+	st.Converged = len(net.Sinks()) == 0
+	return st
+}
+
+// Route follows oriented links greedily (any outgoing link, lowest-height
+// first) from src to the destination, returning the node path. It works on
+// any destination-oriented DAG — the paper's point that "a given source
+// node can take any route without using a routing table".
+func (net *Network) Route(src int) ([]int, error) {
+	if src < 0 || src >= net.g.N() {
+		return nil, errors.New("reversal: src out of range")
+	}
+	path := []int{src}
+	cur := src
+	for cur != net.dest {
+		next := -1
+		net.g.EachNeighbor(cur, func(w int, _ float64) {
+			if net.h[w].Less(net.h[cur]) && (next == -1 || net.h[w].Less(net.h[next])) {
+				next = w
+			}
+		})
+		if next == -1 {
+			return path, fmt.Errorf("reversal: stuck at sink %d", cur)
+		}
+		cur = next
+		path = append(path, cur)
+		if len(path) > net.g.N()+1 {
+			return path, errors.New("reversal: routing loop (heights not a DAG?)")
+		}
+	}
+	return path, nil
+}
+
+// Fig4Network reproduces the paper's Fig. 4 scenario: a destination-oriented
+// DAG (destination D) in which breaking link (A, D) triggers a full link
+// reversal cascade where node A reverses more than once. Nodes: A=0, B=1,
+// C=2, D=3 (destination); support edges A-D, A-B, B-C, C-D; initial heights
+// A=1, B=2, C=3, D=0.
+func Fig4Network(mode Mode) (*Network, error) {
+	g := graph.New(4)
+	for _, e := range [][2]int{{0, 3}, {0, 1}, {1, 2}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return NewNetwork(g, []int{1, 2, 3, 0}, 3, mode)
+}

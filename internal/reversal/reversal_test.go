@@ -1,0 +1,373 @@
+package reversal
+
+import (
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+)
+
+const (
+	nodeA = 0
+	nodeB = 1
+	nodeC = 2
+	nodeD = 3 // destination in Fig. 4
+)
+
+func TestHeightLess(t *testing.T) {
+	tests := []struct {
+		a, b Height
+		want bool
+	}{
+		{Height{1, 0, 0}, Height{2, 0, 0}, true},
+		{Height{2, 0, 0}, Height{1, 0, 0}, false},
+		{Height{1, -1, 0}, Height{1, 0, 0}, true},
+		{Height{1, 0, 0}, Height{1, 0, 1}, true},
+		{Height{1, 0, 1}, Height{1, 0, 1}, false},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Less(tc.b); got != tc.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	g := gen.Path(3)
+	if _, err := NewNetwork(g, []int{1, 2}, 0, Full); err == nil {
+		t.Error("wrong-length heights should error")
+	}
+	if _, err := NewNetwork(g, []int{1, 2, 3}, 9, Full); err == nil {
+		t.Error("bad destination should error")
+	}
+	if _, err := NewNetwork(g, []int{0, 2, 0}, 0, Full); err == nil {
+		t.Error("non-unique minimum should error")
+	}
+	if _, err := NewNetwork(g, []int{0, 1, 2}, 0, Mode(9)); err == nil {
+		t.Error("bad mode should error")
+	}
+	if _, err := NewNetwork(graph.NewDirected(3), []int{0, 1, 2}, 0, Full); err == nil {
+		t.Error("directed support should error")
+	}
+}
+
+func TestFig4InitialDAG(t *testing.T) {
+	net, err := Fig4Network(Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.IsDestinationOriented() {
+		t.Fatal("Fig. 4(a) must start destination-oriented")
+	}
+	// Orientation: A->D, B->A, C->B... wait heights A=1,B=2,C=3: C->B? No:
+	// links are A-D, A-B, B-C, C-D; so B(2)->A(1), C(3)->B(2), C(3)->D(0).
+	if !net.PointsTo(nodeA, nodeD) || !net.PointsTo(nodeB, nodeA) || !net.PointsTo(nodeC, nodeD) {
+		t.Error("initial orientation wrong")
+	}
+	// Any-path routing works without a routing table.
+	for src := 0; src < 4; src++ {
+		path, err := net.Route(src)
+		if err != nil {
+			t.Fatalf("route from %d: %v", src, err)
+		}
+		if path[len(path)-1] != nodeD {
+			t.Fatalf("route from %d ends at %d", src, path[len(path)-1])
+		}
+	}
+}
+
+func TestFig4FullReversalCascade(t *testing.T) {
+	// The paper's scenario: break (A, D); A becomes a sink and a full
+	// reversal cascade follows in which A reverses more than once
+	// ("each node may be involved in multiple rounds of reversals, like
+	// node A in Fig. 4").
+	net, err := Fig4Network(Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.RemoveLink(nodeA, nodeD) {
+		t.Fatal("link (A,D) should exist")
+	}
+	if !net.IsSink(nodeA) {
+		t.Fatal("A must become a sink after the break")
+	}
+	st := net.Stabilize(100)
+	if !st.Converged {
+		t.Fatal("full reversal must converge")
+	}
+	if !net.IsDestinationOriented() {
+		t.Fatal("result must be destination-oriented (Fig. 4e)")
+	}
+	if st.PerNode[nodeA] < 2 {
+		t.Errorf("A reversed %d times, want >= 2 as in the paper", st.PerNode[nodeA])
+	}
+	if st.NodeReversals != 3 || st.Rounds != 3 {
+		t.Errorf("cascade: %d reversals in %d rounds (A,B,A expected)", st.NodeReversals, st.Rounds)
+	}
+	// Final orientation must route A -> B -> C -> D.
+	path, err := net.Route(nodeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{nodeA, nodeB, nodeC, nodeD}
+	for i := range want {
+		if i >= len(path) || path[i] != want[i] {
+			t.Fatalf("route = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestFig4PartialReversal(t *testing.T) {
+	net, err := Fig4Network(Partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RemoveLink(nodeA, nodeD)
+	st := net.Stabilize(100)
+	if !st.Converged || !net.IsDestinationOriented() {
+		t.Fatal("partial reversal must also converge to a destination-oriented DAG")
+	}
+}
+
+func TestReversalQuadraticOnRing(t *testing.T) {
+	// O(n^2) total reversals (§IV-B): on a ring with the heights increasing
+	// away from the destination, breaking the short link triggers a
+	// quadratic cascade. Verify super-linear growth.
+	counts := map[int]int{}
+	for _, n := range []int{8, 16, 32} {
+		g := gen.Ring(n)
+		alphas := make([]int, n)
+		for i := 1; i < n; i++ {
+			alphas[i] = i
+		}
+		net, err := NewNetwork(g, alphas, 0, Full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !net.IsDestinationOriented() {
+			t.Fatal("ring must start destination-oriented")
+		}
+		net.RemoveLink(0, 1)
+		st := net.Stabilize(100000)
+		if !st.Converged {
+			t.Fatalf("n=%d did not converge", n)
+		}
+		counts[n] = st.NodeReversals
+	}
+	// Quadratic growth: doubling n should roughly quadruple reversals.
+	if r := float64(counts[16]) / float64(counts[8]); r < 2.5 {
+		t.Errorf("growth 8->16 = %v, want near 4 (quadratic)", r)
+	}
+	if r := float64(counts[32]) / float64(counts[16]); r < 2.5 {
+		t.Errorf("growth 16->32 = %v, want near 4 (quadratic)", r)
+	}
+}
+
+func TestPartialBeatsFullOnRing(t *testing.T) {
+	// "Partial link reversal improves performance by reversing a subset of
+	// links at each reversal" — compare work on the same topology.
+	n := 24
+	build := func(mode Mode) *Network {
+		g := gen.Ring(n)
+		alphas := make([]int, n)
+		for i := 1; i < n; i++ {
+			alphas[i] = i
+		}
+		net, err := NewNetwork(g, alphas, 0, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.RemoveLink(0, 1)
+		return net
+	}
+	full := build(Full).Stabilize(100000)
+	partial := build(Partial).Stabilize(100000)
+	if !full.Converged || !partial.Converged {
+		t.Fatal("both must converge")
+	}
+	if partial.NodeReversals > full.NodeReversals {
+		t.Errorf("partial (%d reversals) should not exceed full (%d) here",
+			partial.NodeReversals, full.NodeReversals)
+	}
+}
+
+func TestDisconnectedComponentNeverStabilizes(t *testing.T) {
+	// Known behavior: a component cut off from the destination keeps
+	// reversing forever; Stabilize must report non-convergence.
+	g := gen.Path(3) // 0-1-2, dest 0
+	net, err := NewNetwork(g, []int{0, 1, 2}, 0, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RemoveLink(0, 1) // 1-2 now isolated from dest
+	st := net.Stabilize(50)
+	if st.Converged {
+		t.Error("disconnected component must not converge")
+	}
+	if st.Rounds != 50 {
+		t.Errorf("should have run all %d rounds, ran %d", 50, st.Rounds)
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	net, _ := Fig4Network(Full)
+	if _, err := net.Route(-1); err == nil {
+		t.Error("bad src should error")
+	}
+	net.RemoveLink(nodeA, nodeD)
+	if _, err := net.Route(nodeA); err == nil {
+		t.Error("routing from a sink should error before repair")
+	}
+}
+
+// --- binary-labeled link reversal ---------------------------------------
+
+func fig4Binary(t *testing.T, label int) *BinaryLR {
+	t.Helper()
+	g := graph.New(4)
+	for _, e := range [][2]int{{0, 3}, {0, 1}, {1, 2}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := NewBinaryLR(g, []int{1, 2, 3, 0}, 3, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBinaryLRValidation(t *testing.T) {
+	g := gen.Path(3)
+	if _, err := NewBinaryLR(g, []int{0, 1}, 0, 1); err == nil {
+		t.Error("wrong-length heights should error")
+	}
+	if _, err := NewBinaryLR(g, []int{0, 1, 2}, 9, 1); err == nil {
+		t.Error("bad dest should error")
+	}
+	if _, err := NewBinaryLR(g, []int{0, 1, 2}, 0, 2); err == nil {
+		t.Error("bad label should error")
+	}
+	if _, err := NewBinaryLR(graph.NewDirected(2), []int{0, 1}, 0, 1); err == nil {
+		t.Error("directed support should error")
+	}
+}
+
+func TestBinaryAllOnesEqualsFullReversal(t *testing.T) {
+	// [24]: all labels 1 + Rule 2 only = full link reversal. The cascade
+	// on the Fig. 4 scenario must match the height-based run: A, B, A.
+	b := fig4Binary(t, 1)
+	b.RemoveLink(nodeA, nodeD)
+	st := b.Stabilize(100)
+	if !st.Converged || !b.IsDestinationOriented() {
+		t.Fatal("binary full reversal must converge to destination-oriented")
+	}
+	if st.NodeReversals != 3 || st.PerNode[nodeA] != 2 || st.PerNode[nodeB] != 1 {
+		t.Errorf("cascade = %+v, want A twice and B once", st.PerNode)
+	}
+	for _, tu := range [][2]int{{nodeA, nodeB}, {nodeB, nodeC}, {nodeC, nodeD}} {
+		if b.Label(tu[0], tu[1]) != 1 {
+			t.Errorf("Rule 2 must leave labels at 1, link %v is %d", tu, b.Label(tu[0], tu[1]))
+		}
+	}
+}
+
+func TestBinaryAllZerosIsPartialReversal(t *testing.T) {
+	b := fig4Binary(t, 0)
+	b.RemoveLink(nodeA, nodeD)
+	st := b.Stabilize(100)
+	if !st.Converged || !b.IsDestinationOriented() {
+		t.Fatal("binary partial reversal must converge")
+	}
+	if st.NodeReversals == 0 {
+		t.Error("some reversals must have occurred")
+	}
+}
+
+func TestBinaryRule1FlipsLabels(t *testing.T) {
+	// Mixed labels at a sink: only 0-links reverse, all labels flip.
+	g := gen.Path(3) // 1 is between 0 and 2; make 1 the sink
+	b, err := NewBinaryLR(g, []int{1, 0, 2}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Orientation: 0(1) -> 1(0); 2(2) -> 1(0): node 1 is dest; no sinks...
+	// instead make dest = 2 so node 1 with links to 0 and 2 can sink.
+	b2, err := NewBinaryLR(g, []int{2, 1, 0}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0(2)->1(1)->2(0): no sinks initially.
+	if len(b2.Sinks()) != 0 {
+		t.Fatalf("unexpected sinks %v", b2.Sinks())
+	}
+	b2.RemoveLink(1, 2)
+	// Now 1 has only the incoming link from 0, labeled 0: Rule 1 reverses
+	// it and flips its label to 1.
+	if !b2.IsSink(1) {
+		t.Fatal("1 must be a sink")
+	}
+	b2.Step()
+	if !b2.PointsTo(1, 0) {
+		t.Error("0-labeled link must have reversed")
+	}
+	if b2.Label(0, 1) != 1 {
+		t.Errorf("label must flip to 1, got %d", b2.Label(0, 1))
+	}
+	_ = b
+}
+
+func TestBinaryOnRingMatchesQuadratic(t *testing.T) {
+	for _, n := range []int{8, 16} {
+		g := gen.Ring(n)
+		alphas := make([]int, n)
+		for i := 1; i < n; i++ {
+			alphas[i] = i
+		}
+		b, err := NewBinaryLR(g, alphas, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.RemoveLink(0, 1)
+		st := b.Stabilize(100000)
+		if !st.Converged || !b.IsDestinationOriented() {
+			t.Fatalf("n=%d binary full reversal failed", n)
+		}
+		// Must match the height-based full reversal count.
+		g2 := gen.Ring(n)
+		net, err := NewNetwork(g2, alphas, 0, Full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.RemoveLink(0, 1)
+		st2 := net.Stabilize(100000)
+		if st.NodeReversals != st2.NodeReversals {
+			t.Errorf("n=%d: binary %d reversals vs height-based %d",
+				n, st.NodeReversals, st2.NodeReversals)
+		}
+	}
+}
+
+func TestBinaryRemoveLink(t *testing.T) {
+	b := fig4Binary(t, 1)
+	if !b.RemoveLink(nodeA, nodeD) {
+		t.Error("existing link should remove")
+	}
+	if b.RemoveLink(nodeA, nodeD) {
+		t.Error("second removal should report false")
+	}
+	if b.Label(nodeA, nodeD) != -1 {
+		t.Error("label of removed link should be -1")
+	}
+}
+
+func TestStepNoSinksNoop(t *testing.T) {
+	net, _ := Fig4Network(Full)
+	if acted := net.Step(); acted != nil {
+		t.Errorf("no sinks: Step should act on nobody, got %v", acted)
+	}
+	b := fig4Binary(t, 1)
+	if acted := b.Step(); len(acted) != 0 {
+		t.Errorf("no sinks: binary Step acted on %v", acted)
+	}
+}

@@ -1,0 +1,94 @@
+package runtime
+
+import (
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/stats"
+)
+
+// The kernel must support arbitrary state types: a gossip aggregation with
+// struct states (sum + count averaging) converging to the global average.
+func TestKernelGossipAveraging(t *testing.T) {
+	r := stats.NewRand(1)
+	g := gen.ErdosRenyi(r, 40, 0.2)
+	if !g.Connected() {
+		t.Skip("disconnected draw")
+	}
+	type state struct {
+		min, max float64
+	}
+	values := make([]float64, 40)
+	var trueMin, trueMax float64
+	for i := range values {
+		values[i] = r.Float64() * 100
+		if i == 0 || values[i] < trueMin {
+			trueMin = values[i]
+		}
+		if i == 0 || values[i] > trueMax {
+			trueMax = values[i]
+		}
+	}
+	states, stats2, err := Run(g,
+		func(v int) state { return state{min: values[v], max: values[v]} },
+		func(v int, self state, nbrs []state) (state, bool) {
+			out := self
+			for _, nb := range nbrs {
+				if nb.min < out.min {
+					out.min = nb.min
+				}
+				if nb.max > out.max {
+					out.max = nb.max
+				}
+			}
+			return out, out != self
+		}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats2.Stable {
+		t.Fatal("gossip must stabilize")
+	}
+	for v, s := range states {
+		if s.min != trueMin || s.max != trueMax {
+			t.Fatalf("node %d converged to (%v,%v), want (%v,%v)", v, s.min, s.max, trueMin, trueMax)
+		}
+	}
+	// Convergence takes about diameter rounds, not n.
+	diam, _ := g.Diameter()
+	if stats2.Rounds > diam+2 {
+		t.Errorf("rounds = %d for diameter %d", stats2.Rounds, diam)
+	}
+}
+
+// Pointer-free states: the kernel must not let one node's update bleed into
+// another's view within the same round (snapshot semantics).
+func TestKernelSnapshotSemantics(t *testing.T) {
+	// Chain 0-1-2: node 0 starts with 1, others 0. With snapshot semantics
+	// node 2 must see the token only after TWO rounds, not one.
+	g := gen.Path(3)
+	states, _, err := Run(g,
+		func(v int) int {
+			if v == 0 {
+				return 1
+			}
+			return 0
+		},
+		func(v int, self int, nbrs []int) (int, bool) {
+			for _, nb := range nbrs {
+				if nb == 1 && self == 0 {
+					return 1, true
+				}
+			}
+			return self, false
+		}, 1) // ONE round only
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states[1] != 1 {
+		t.Error("direct neighbor must receive the token in round 1")
+	}
+	if states[2] != 0 {
+		t.Error("two-hop node must NOT receive the token in round 1 (snapshot semantics violated)")
+	}
+}

@@ -1,0 +1,92 @@
+// Package runtime provides the synchronous round-based execution kernel of
+// §IV: nodes interact only with their restricted vicinity, exchanging state
+// with neighbors once per round. Distributed labeling algorithms (MIS, CDS,
+// distance-vector, safety levels) run on this kernel, and its round/message
+// accounting backs the paper's complexity claims.
+package runtime
+
+import (
+	"errors"
+
+	"structura/internal/graph"
+)
+
+// Stats reports the cost of a run in the standard synchronous measures.
+type Stats struct {
+	Rounds   int
+	Messages int // one message per directed edge per round (state exchange)
+	Stable   bool
+}
+
+// Run executes a synchronous distributed algorithm: every round, each node
+// observes its own state and its neighbors' states from the end of the
+// previous round and produces a new state. The run stops when a round
+// leaves every state unchanged, or after maxRounds.
+//
+// step must be a pure function of its inputs for the simulation to be
+// faithful; the neighbor slice is ordered by adjacency and reused across
+// calls, so implementations must not retain it.
+func Run[S any](
+	g *graph.Graph,
+	init func(v int) S,
+	step func(v int, self S, neighbors []S) (S, bool),
+	maxRounds int,
+) ([]S, Stats, error) {
+	if init == nil || step == nil {
+		return nil, Stats{}, errors.New("runtime: nil init or step")
+	}
+	if maxRounds < 0 {
+		return nil, Stats{}, errors.New("runtime: negative maxRounds")
+	}
+	n := g.N()
+	cur := make([]S, n)
+	for v := 0; v < n; v++ {
+		cur[v] = init(v)
+	}
+	next := make([]S, n)
+	var st Stats
+	scratch := make([]S, 0, 16)
+	for r := 0; r < maxRounds; r++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			scratch = scratch[:0]
+			g.EachNeighbor(v, func(w int, _ float64) {
+				scratch = append(scratch, cur[w])
+			})
+			s, ch := step(v, cur[v], scratch)
+			next[v] = s
+			if ch {
+				changed = true
+			}
+		}
+		st.Rounds++
+		st.Messages += 2 * g.M() // every node sends its state over each link
+		cur, next = next, cur
+		if !changed {
+			st.Stable = true
+			return cur, st, nil
+		}
+	}
+	st.Stable = false
+	return cur, st, nil
+}
+
+// KHopNeighborhoods returns, for each node, the sorted set of nodes within
+// k hops (excluding the node itself) — the "local horizon" each node is
+// assumed to know in localized solutions.
+func KHopNeighborhoods(g *graph.Graph, k int) ([][]int, error) {
+	if k < 0 {
+		return nil, errors.New("runtime: negative k")
+	}
+	n := g.N()
+	out := make([][]int, n)
+	for v := 0; v < n; v++ {
+		dist, _ := g.BFS(v)
+		for u, d := range dist {
+			if u != v && d >= 0 && d <= k {
+				out[v] = append(out[v], u)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package runtime
+
+import (
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+)
+
+func TestRunValidation(t *testing.T) {
+	g := gen.Path(3)
+	if _, _, err := Run[int](g, nil, nil, 5); err == nil {
+		t.Error("nil callbacks should error")
+	}
+	if _, _, err := Run(g, func(int) int { return 0 },
+		func(v int, s int, ns []int) (int, bool) { return s, false }, -1); err == nil {
+		t.Error("negative maxRounds should error")
+	}
+}
+
+func TestRunStabilizes(t *testing.T) {
+	// Distributed max: every node adopts the largest value it has seen;
+	// stabilizes in diameter rounds.
+	g := gen.Path(5)
+	states, stats, err := Run(g,
+		func(v int) int { return v },
+		func(v int, self int, nbrs []int) (int, bool) {
+			best := self
+			for _, nb := range nbrs {
+				if nb > best {
+					best = nb
+				}
+			}
+			return best, best != self
+		}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Stable {
+		t.Fatal("must stabilize")
+	}
+	for v, s := range states {
+		if s != 4 {
+			t.Errorf("node %d converged to %d, want 4", v, s)
+		}
+	}
+	// Path 0..4: value 4 propagates 4 hops -> 4 working rounds + 1 quiet.
+	if stats.Rounds != 5 {
+		t.Errorf("rounds = %d, want 5", stats.Rounds)
+	}
+	if stats.Messages != stats.Rounds*2*g.M() {
+		t.Errorf("messages = %d, want %d", stats.Messages, stats.Rounds*2*g.M())
+	}
+}
+
+func TestRunHitsRoundLimit(t *testing.T) {
+	// A system that never stabilizes (parity flip).
+	g := gen.Ring(4)
+	_, stats, err := Run(g,
+		func(v int) int { return 0 },
+		func(v int, self int, nbrs []int) (int, bool) { return 1 - self, true }, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stable || stats.Rounds != 10 {
+		t.Errorf("stats = %+v, want 10 unstable rounds", stats)
+	}
+}
+
+func TestRunEmptyGraph(t *testing.T) {
+	states, stats, err := Run(graph.New(0),
+		func(v int) int { return 0 },
+		func(v int, s int, ns []int) (int, bool) { return s, false }, 5)
+	if err != nil || len(states) != 0 || !stats.Stable {
+		t.Errorf("empty run = %v, %+v, %v", states, stats, err)
+	}
+}
+
+func TestKHopNeighborhoods(t *testing.T) {
+	g := gen.Path(5)
+	hoods, err := KHopNeighborhoods(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{
+		{1, 2},
+		{0, 2, 3},
+		{0, 1, 3, 4},
+		{1, 2, 4},
+		{2, 3},
+	}
+	for v := range want {
+		if len(hoods[v]) != len(want[v]) {
+			t.Fatalf("hood[%d] = %v, want %v", v, hoods[v], want[v])
+		}
+		for i := range want[v] {
+			if hoods[v][i] != want[v][i] {
+				t.Fatalf("hood[%d] = %v, want %v", v, hoods[v], want[v])
+			}
+		}
+	}
+	if _, err := KHopNeighborhoods(g, -1); err == nil {
+		t.Error("negative k should error")
+	}
+	h0, _ := KHopNeighborhoods(g, 0)
+	for v := range h0 {
+		if len(h0[v]) != 0 {
+			t.Error("k=0 neighborhoods must be empty")
+		}
+	}
+}

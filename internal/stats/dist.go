@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-width-bin empirical histogram.
+type Histogram struct {
+	Lo, Hi float64 // range covered; samples outside are clamped to edge bins
+	Counts []int
+}
+
+// NewHistogram builds a histogram of xs with the given number of bins over
+// [lo, hi]. bins must be >= 1 and hi > lo.
+func NewHistogram(xs []float64, lo, hi float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, errors.New("stats: histogram needs >= 1 bin")
+	}
+	if hi <= lo {
+		return nil, errors.New("stats: histogram needs hi > lo")
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	w := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+	}
+	return h, nil
+}
+
+// Total returns the number of samples in the histogram.
+func (h *Histogram) Total() int {
+	var t int
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// CCDF returns the empirical complementary CDF of xs as parallel slices
+// (values, P(X >= value)), with values sorted ascending and deduplicated.
+func CCDF(xs []float64) (values, probs []float64) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j] == s[i] {
+			j++
+		}
+		values = append(values, s[i])
+		probs = append(probs, float64(len(s)-i)/n)
+		i = j
+	}
+	return values, probs
+}
+
+// FitExponentialMLE returns the maximum-likelihood rate lambda = 1/mean for
+// samples assumed exponential. It errors on empty or non-positive-mean input.
+func FitExponentialMLE(xs []float64) (lambda float64, err error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := Mean(xs)
+	if m <= 0 {
+		return 0, errors.New("stats: exponential fit needs positive mean")
+	}
+	return 1 / m, nil
+}
+
+// PowerLawFit is the result of a discrete power-law MLE fit.
+type PowerLawFit struct {
+	Alpha float64 // fitted exponent
+	Xmin  int     // lower cutoff used
+	N     int     // number of samples >= Xmin
+	KS    float64 // Kolmogorov-Smirnov distance between data and fit
+}
+
+// FitPowerLawMLE fits a discrete power law p(k) ~ k^-alpha (truncated at the
+// sample maximum) to the integer samples ks by exact maximum likelihood: the
+// log-likelihood
+//
+//	L(alpha) = -n*ln Z(alpha) - alpha * sum(ln k)
+//
+// with Z(alpha) = sum_{k=xmin}^{kmax} k^-alpha is maximized by ternary search
+// over alpha in (1, 12]. Samples below xmin are ignored.
+func FitPowerLawMLE(ks []int, xmin int) (PowerLawFit, error) {
+	if xmin < 1 {
+		xmin = 1
+	}
+	var (
+		n      int
+		sumLog float64
+		kmax   = xmin
+	)
+	for _, k := range ks {
+		if k < xmin {
+			continue
+		}
+		n++
+		sumLog += math.Log(float64(k))
+		if k > kmax {
+			kmax = k
+		}
+	}
+	if n == 0 {
+		return PowerLawFit{}, ErrEmpty
+	}
+	if sumLog <= float64(n)*math.Log(float64(xmin)) {
+		return PowerLawFit{}, errors.New("stats: degenerate sample (all at xmin)")
+	}
+	logZ := func(alpha float64) float64 {
+		var z float64
+		for k := xmin; k <= kmax; k++ {
+			z += math.Pow(float64(k), -alpha)
+		}
+		return math.Log(z)
+	}
+	ll := func(alpha float64) float64 {
+		return -float64(n)*logZ(alpha) - alpha*sumLog
+	}
+	lo, hi := 1.0001, 12.0
+	for i := 0; i < 100 && hi-lo > 1e-6; i++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if ll(m1) < ll(m2) {
+			lo = m1
+		} else {
+			hi = m2
+		}
+	}
+	fit := PowerLawFit{
+		Alpha: (lo + hi) / 2,
+		Xmin:  xmin,
+		N:     n,
+	}
+	fit.KS = powerLawKS(ks, fit)
+	return fit, nil
+}
+
+// FitPowerLawAuto fits a power law choosing xmin from [1, xminMax] to
+// minimize the KS distance, the standard Clauset-style selection.
+func FitPowerLawAuto(ks []int, xminMax int) (PowerLawFit, error) {
+	if xminMax < 1 {
+		xminMax = 1
+	}
+	best := PowerLawFit{KS: math.Inf(1)}
+	var ok bool
+	for xm := 1; xm <= xminMax; xm++ {
+		fit, err := FitPowerLawMLE(ks, xm)
+		if err != nil {
+			continue
+		}
+		if fit.N < 10 {
+			break // too few samples above this cutoff to keep going
+		}
+		if fit.KS < best.KS {
+			best = fit
+			ok = true
+		}
+	}
+	if !ok {
+		return PowerLawFit{}, errors.New("stats: no valid power-law fit")
+	}
+	return best, nil
+}
+
+// powerLawKS computes the KS distance between the empirical CDF of samples
+// >= fit.Xmin and the fitted discrete power-law CDF (approximated via the
+// Hurwitz-zeta normalization truncated at the sample max).
+func powerLawKS(ks []int, fit PowerLawFit) float64 {
+	var tail []int
+	maxK := fit.Xmin
+	for _, k := range ks {
+		if k >= fit.Xmin {
+			tail = append(tail, k)
+			if k > maxK {
+				maxK = k
+			}
+		}
+	}
+	if len(tail) == 0 {
+		return 0
+	}
+	sort.Ints(tail)
+	// Normalization constant Z = sum_{k=xmin}^{maxK} k^-alpha, truncated.
+	var z float64
+	cdf := make([]float64, maxK-fit.Xmin+1)
+	for k := fit.Xmin; k <= maxK; k++ {
+		z += math.Pow(float64(k), -fit.Alpha)
+		cdf[k-fit.Xmin] = z
+	}
+	for i := range cdf {
+		cdf[i] /= z
+	}
+	// Compare empirical and model CDFs at each distinct sample value; with
+	// ties the empirical CDF at k is count(<= k)/n, i.e. the index just past
+	// the tie group.
+	n := float64(len(tail))
+	var ks2 float64
+	for i := 0; i < len(tail); {
+		j := i
+		for j < len(tail) && tail[j] == tail[i] {
+			j++
+		}
+		emp := float64(j) / n
+		model := cdf[tail[i]-fit.Xmin]
+		if d := math.Abs(emp - model); d > ks2 {
+			ks2 = d
+		}
+		i = j
+	}
+	return ks2
+}

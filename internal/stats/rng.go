@@ -1,0 +1,56 @@
+// Package stats provides deterministic randomness plumbing, summary
+// statistics, empirical distributions, and maximum-likelihood fits used
+// across the structura experiment suite.
+//
+// Every randomized component in the repository takes an explicit *rand.Rand
+// (or a seed that is turned into one via NewRand) so that experiments are
+// reproducible bit-for-bit.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NewRand returns a deterministic PRNG for the given seed.
+//
+// All structura packages accept a *rand.Rand rather than consulting global
+// randomness, so a single seed pins down an entire experiment.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Exponential draws from an exponential distribution with rate lambda
+// (mean 1/lambda). lambda must be > 0.
+func Exponential(r *rand.Rand, lambda float64) float64 {
+	return r.ExpFloat64() / lambda
+}
+
+// Pareto draws from a continuous Pareto distribution with minimum xmin and
+// exponent alpha > 1 (density ~ x^-alpha for x >= xmin).
+func Pareto(r *rand.Rand, xmin, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xmin * math.Pow(1-u, -1/(alpha-1))
+}
+
+// PowerLawInts draws n integers k in [xmin, kmax] with P(k) proportional to
+// k^-alpha, using the stdlib Zipf sampler (which is exact for this pmf).
+func PowerLawInts(r *rand.Rand, n, xmin, kmax int, alpha float64) []int {
+	if xmin < 1 {
+		xmin = 1
+	}
+	if kmax < xmin {
+		kmax = xmin
+	}
+	// rand.Zipf draws j in [0, imax] with P(j) ~ (v+j)^-s; with v = xmin the
+	// shifted value xmin+j follows P(x) ~ x^-alpha on [xmin, xmin+imax].
+	z := rand.NewZipf(r, alpha, float64(xmin), uint64(kmax-xmin))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = xmin + int(z.Uint64())
+	}
+	return out
+}

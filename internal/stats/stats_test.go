@@ -1,0 +1,295 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	tests := []struct {
+		name     string
+		xs       []float64
+		mean     float64
+		variance float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []float64{5}, 5, 0},
+		{"pair", []float64{2, 4}, 3, 1},
+		{"constant", []float64{7, 7, 7, 7}, 7, 0},
+		{"mixed", []float64{1, 2, 3, 4, 5}, 3, 2},
+		{"negative", []float64{-1, 1}, 0, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); math.Abs(got-tt.mean) > 1e-12 {
+				t.Errorf("Mean = %v, want %v", got, tt.mean)
+			}
+			if got := Variance(tt.xs); math.Abs(got-tt.variance) > 1e-12 {
+				t.Errorf("Variance = %v, want %v", got, tt.variance)
+			}
+			if got := StdDev(tt.xs); math.Abs(got-math.Sqrt(tt.variance)) > 1e-12 {
+				t.Errorf("StdDev = %v, want %v", got, math.Sqrt(tt.variance))
+			}
+		})
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, err := Min(nil); err == nil {
+		t.Fatal("Min(nil) should error")
+	}
+	if _, err := Max(nil); err == nil {
+		t.Fatal("Max(nil) should error")
+	}
+	xs := []float64{3, -2, 8, 0}
+	mn, err := Min(xs)
+	if err != nil || mn != -2 {
+		t.Fatalf("Min = %v, %v; want -2", mn, err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 8 {
+		t.Fatalf("Max = %v, %v; want 8", mx, err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", tt.q, err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if _, err := Quantile(xs, -0.1); err == nil {
+		t.Error("negative quantile should error")
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty quantile should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.Median != 2 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty Summarize should error")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 0.5, 1.5, 2.5, 10}, 0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 1, 2} // 10 clamps into last bin
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bin %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d, want 5", h.Total())
+	}
+	if _, err := NewHistogram(nil, 0, 1, 0); err == nil {
+		t.Error("0 bins should error")
+	}
+	if _, err := NewHistogram(nil, 1, 1, 3); err == nil {
+		t.Error("hi <= lo should error")
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	vals, probs := CCDF([]float64{1, 1, 2, 3})
+	wantVals := []float64{1, 2, 3}
+	wantProbs := []float64{1, 0.5, 0.25}
+	if len(vals) != len(wantVals) {
+		t.Fatalf("got %d values, want %d", len(vals), len(wantVals))
+	}
+	for i := range vals {
+		if vals[i] != wantVals[i] || math.Abs(probs[i]-wantProbs[i]) > 1e-12 {
+			t.Errorf("point %d = (%v,%v), want (%v,%v)", i, vals[i], probs[i], wantVals[i], wantProbs[i])
+		}
+	}
+	if v, p := CCDF(nil); v != nil || p != nil {
+		t.Error("empty CCDF should return nils")
+	}
+}
+
+func TestExponentialDrawAndFit(t *testing.T) {
+	r := NewRand(1)
+	const lambda = 2.5
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = Exponential(r, lambda)
+	}
+	got, err := FitExponentialMLE(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-lambda)/lambda > 0.05 {
+		t.Errorf("fitted lambda = %v, want ~%v", got, lambda)
+	}
+	if _, err := FitExponentialMLE(nil); err == nil {
+		t.Error("empty fit should error")
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	r := NewRand(2)
+	const xmin, alpha = 1.0, 2.5
+	n := 20000
+	var above2 int
+	for i := 0; i < n; i++ {
+		x := Pareto(r, xmin, alpha)
+		if x < xmin {
+			t.Fatalf("Pareto draw %v below xmin", x)
+		}
+		if x >= 2 {
+			above2++
+		}
+	}
+	// P(X >= 2) = (2/xmin)^-(alpha-1) = 2^-1.5 ~ 0.3536.
+	p := float64(above2) / float64(n)
+	if math.Abs(p-math.Pow(2, -(alpha-1))) > 0.02 {
+		t.Errorf("tail P(X>=2) = %v, want ~%v", p, math.Pow(2, -(alpha-1)))
+	}
+}
+
+func TestPowerLawIntsAndFit(t *testing.T) {
+	r := NewRand(3)
+	const alpha = 2.5
+	ks := PowerLawInts(r, 30000, 1, 100000, alpha)
+	for _, k := range ks {
+		if k < 1 {
+			t.Fatalf("PowerLawInts produced %d < xmin", k)
+		}
+	}
+	fit, err := FitPowerLawMLE(ks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-alpha) > 0.15 {
+		t.Errorf("fitted alpha = %v, want ~%v", fit.Alpha, alpha)
+	}
+	if fit.KS > 0.05 {
+		t.Errorf("KS = %v, want small for true power-law data", fit.KS)
+	}
+}
+
+func TestFitPowerLawAuto(t *testing.T) {
+	r := NewRand(4)
+	ks := PowerLawInts(r, 20000, 3, 100000, 2.2)
+	// Pollute with sub-xmin noise the auto fit should cut away.
+	for i := 0; i < 2000; i++ {
+		ks = append(ks, 1+r.Intn(2))
+	}
+	fit, err := FitPowerLawAuto(ks, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Xmin < 2 {
+		t.Errorf("auto xmin = %d, expected cutoff above polluted region", fit.Xmin)
+	}
+	if math.Abs(fit.Alpha-2.2) > 0.25 {
+		t.Errorf("fitted alpha = %v, want ~2.2", fit.Alpha)
+	}
+	if _, err := FitPowerLawAuto(nil, 5); err == nil {
+		t.Error("empty auto fit should error")
+	}
+}
+
+func TestFitPowerLawDegenerate(t *testing.T) {
+	if _, err := FitPowerLawMLE([]int{2, 2, 2}, 2); err == nil {
+		t.Error("all-at-xmin sample should error")
+	}
+	if _, err := FitPowerLawMLE([]int{1, 2, 3}, 10); err == nil {
+		t.Error("no samples above xmin should error")
+	}
+}
+
+func TestNewRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed must yield identical streams")
+		}
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		norm := func(q float64) float64 { return math.Abs(math.Mod(q, 1)) }
+		a, b := norm(q1), norm(q2)
+		if a > b {
+			a, b = b, a
+		}
+		va, err1 := Quantile(xs, a)
+		vb, err2 := Quantile(xs, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return va <= vb+1e-9 && va >= mn-1e-9 && vb <= mx+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CCDF probabilities are non-increasing and start at 1.
+func TestCCDFProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		vals, probs := CCDF(xs)
+		if len(vals) == 0 || probs[0] != 1 {
+			return false
+		}
+		if !sort.Float64sAreSorted(vals) {
+			return false
+		}
+		for i := 1; i < len(probs); i++ {
+			if probs[i] > probs[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,318 @@
+// Package temporal implements the time-evolving graph (EG) model of §II-B:
+// an ordered sequence of spanning subgraphs G_0..G_k where each edge carries
+// the set of time units during which it exists. It provides journeys
+// (time-respecting paths), the three path-optimization problems the paper
+// lists (earliest completion time, minimum hop, fastest), time-sensitive
+// connectivity, and the dynamic diameter (flooding time).
+//
+// Message transmission over a contact is instantaneous, as in the paper; a
+// journey is a sequence of edges with non-decreasing labels, and nodes have
+// sufficient storage to carry messages between contacts.
+package temporal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"structura/internal/graph"
+)
+
+// Infinity marks an unreachable arrival time.
+const Infinity = math.MaxInt64
+
+// EG is an undirected time-evolving graph over nodes 0..N-1 and time units
+// 0..Horizon-1. The zero value is unusable; construct with New.
+type EG struct {
+	n       int
+	horizon int
+	adj     [][]tempEdge
+}
+
+type tempEdge struct {
+	to     int
+	labels []int     // sorted ascending
+	weight []float64 // parallel to labels; 1 by default
+}
+
+// New returns an EG with n nodes, horizon time units, and no contacts.
+func New(n, horizon int) (*EG, error) {
+	if n < 0 || horizon < 0 {
+		return nil, errors.New("temporal: negative size")
+	}
+	return &EG{n: n, horizon: horizon, adj: make([][]tempEdge, n)}, nil
+}
+
+// N returns the number of nodes.
+func (eg *EG) N() int { return eg.n }
+
+// Horizon returns the number of time units.
+func (eg *EG) Horizon() int { return eg.horizon }
+
+func (eg *EG) check(v int) error {
+	if v < 0 || v >= eg.n {
+		return fmt.Errorf("temporal: node %d out of range [0,%d)", v, eg.n)
+	}
+	return nil
+}
+
+// AddContact records that edge (u,v) exists during time unit t with unit
+// weight. Adding the same contact twice is a no-op.
+func (eg *EG) AddContact(u, v, t int) error {
+	return eg.AddWeightedContact(u, v, t, 1)
+}
+
+// AddWeightedContact records edge (u,v) at time t with weight w (e.g.
+// bandwidth, delay, or reliability per §II-B). Re-adding an existing
+// contact updates its weight.
+func (eg *EG) AddWeightedContact(u, v, t int, w float64) error {
+	if err := eg.check(u); err != nil {
+		return err
+	}
+	if err := eg.check(v); err != nil {
+		return err
+	}
+	if u == v {
+		return fmt.Errorf("temporal: self-contact at %d", u)
+	}
+	if t < 0 || t >= eg.horizon {
+		return fmt.Errorf("temporal: time %d out of horizon [0,%d)", t, eg.horizon)
+	}
+	eg.insertHalf(u, v, t, w)
+	eg.insertHalf(v, u, t, w)
+	return nil
+}
+
+func (eg *EG) insertHalf(u, v, t int, w float64) {
+	for i := range eg.adj[u] {
+		e := &eg.adj[u][i]
+		if e.to != v {
+			continue
+		}
+		pos := sort.SearchInts(e.labels, t)
+		if pos < len(e.labels) && e.labels[pos] == t {
+			e.weight[pos] = w
+			return
+		}
+		e.labels = append(e.labels, 0)
+		copy(e.labels[pos+1:], e.labels[pos:])
+		e.labels[pos] = t
+		e.weight = append(e.weight, 0)
+		copy(e.weight[pos+1:], e.weight[pos:])
+		e.weight[pos] = w
+		return
+	}
+	eg.adj[u] = append(eg.adj[u], tempEdge{to: v, labels: []int{t}, weight: []float64{w}})
+}
+
+// AddPeriodicContacts records contacts at phase, phase+period, ... up to the
+// horizon — the cyclic edge labels of Fig. 2 ("(B,D) and (C,D) have a cycle
+// of 6, (A,D) has 2, ...").
+func (eg *EG) AddPeriodicContacts(u, v, phase, period int) error {
+	if period <= 0 {
+		return errors.New("temporal: period must be positive")
+	}
+	if phase < 0 {
+		return errors.New("temporal: negative phase")
+	}
+	for t := phase; t < eg.horizon; t += period {
+		if err := eg.AddContact(u, v, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RemoveContact deletes the contact (u,v,t); it reports whether it existed.
+func (eg *EG) RemoveContact(u, v, t int) bool {
+	return eg.removeHalf(u, v, t) && eg.removeHalf(v, u, t)
+}
+
+func (eg *EG) removeHalf(u, v, t int) bool {
+	if u < 0 || u >= eg.n {
+		return false
+	}
+	for i := range eg.adj[u] {
+		e := &eg.adj[u][i]
+		if e.to != v {
+			continue
+		}
+		pos := sort.SearchInts(e.labels, t)
+		if pos >= len(e.labels) || e.labels[pos] != t {
+			return false
+		}
+		e.labels = append(e.labels[:pos], e.labels[pos+1:]...)
+		e.weight = append(e.weight[:pos], e.weight[pos+1:]...)
+		if len(e.labels) == 0 {
+			eg.adj[u] = append(eg.adj[u][:i], eg.adj[u][i+1:]...)
+		}
+		return true
+	}
+	return false
+}
+
+// RemoveEdge removes all contacts between u and v, reporting whether any
+// existed.
+func (eg *EG) RemoveEdge(u, v int) bool {
+	labels := eg.Labels(u, v)
+	for _, t := range labels {
+		eg.RemoveContact(u, v, t)
+	}
+	return len(labels) > 0
+}
+
+// RemoveNode removes every contact incident to v (the node stays as an
+// isolated vertex, matching the paper's node-trimming semantics).
+func (eg *EG) RemoveNode(v int) {
+	if v < 0 || v >= eg.n {
+		return
+	}
+	for _, e := range append([]tempEdge(nil), eg.adj[v]...) {
+		eg.RemoveEdge(v, e.to)
+	}
+}
+
+// Labels returns the sorted label set of edge (u,v) (nil if absent). The
+// returned slice is a copy.
+func (eg *EG) Labels(u, v int) []int {
+	if u < 0 || u >= eg.n {
+		return nil
+	}
+	for _, e := range eg.adj[u] {
+		if e.to == v {
+			return append([]int(nil), e.labels...)
+		}
+	}
+	return nil
+}
+
+// Weight returns the weight of contact (u,v,t).
+func (eg *EG) Weight(u, v, t int) (float64, error) {
+	if u < 0 || u >= eg.n {
+		return 0, fmt.Errorf("temporal: node %d out of range", u)
+	}
+	for _, e := range eg.adj[u] {
+		if e.to != v {
+			continue
+		}
+		pos := sort.SearchInts(e.labels, t)
+		if pos < len(e.labels) && e.labels[pos] == t {
+			return e.weight[pos], nil
+		}
+	}
+	return 0, fmt.Errorf("temporal: no contact (%d,%d,%d)", u, v, t)
+}
+
+// Neighbors returns the nodes sharing at least one contact with v.
+func (eg *EG) Neighbors(v int) []int {
+	if v < 0 || v >= eg.n {
+		return nil
+	}
+	out := make([]int, len(eg.adj[v]))
+	for i, e := range eg.adj[v] {
+		out[i] = e.to
+	}
+	return out
+}
+
+// ContactCount returns the total number of contacts (edge-label pairs).
+func (eg *EG) ContactCount() int {
+	var c int
+	for _, lst := range eg.adj {
+		for _, e := range lst {
+			c += len(e.labels)
+		}
+	}
+	return c / 2
+}
+
+// Snapshot returns the static graph G_t of edges present at time unit t.
+func (eg *EG) Snapshot(t int) *graph.Graph {
+	g := graph.New(eg.n)
+	for u, lst := range eg.adj {
+		for _, e := range lst {
+			if u < e.to {
+				pos := sort.SearchInts(e.labels, t)
+				if pos < len(e.labels) && e.labels[pos] == t {
+					_ = g.AddEdge(u, e.to)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Footprint returns the static graph with an edge wherever any contact
+// exists (the union over all snapshots).
+func (eg *EG) Footprint() *graph.Graph {
+	g := graph.New(eg.n)
+	for u, lst := range eg.adj {
+		for _, e := range lst {
+			if u < e.to && len(e.labels) > 0 {
+				_ = g.AddEdge(u, e.to)
+			}
+		}
+	}
+	return g
+}
+
+// Clone returns a deep copy.
+func (eg *EG) Clone() *EG {
+	c := &EG{n: eg.n, horizon: eg.horizon, adj: make([][]tempEdge, eg.n)}
+	for v, lst := range eg.adj {
+		c.adj[v] = make([]tempEdge, len(lst))
+		for i, e := range lst {
+			c.adj[v][i] = tempEdge{
+				to:     e.to,
+				labels: append([]int(nil), e.labels...),
+				weight: append([]float64(nil), e.weight...),
+			}
+		}
+	}
+	return c
+}
+
+// Fig2EG builds the paper's Fig. 2(c) VANET time-evolving graph: nodes
+// A=0, B=1, C=2, D=3; B, C, D are mobile with moving cycles 3, 3, 2. The
+// displayed edge labels have cycles 3 for (A,B) and (B,C), 2 for (A,D), and
+// 6 = lcm(3,2) for (B,D) and (C,D). Horizon is 7 (time units 0..6), the
+// window shown in the figure. Every temporal fact the paper states about
+// Fig. 2 holds on this instance (see the package tests).
+func Fig2EG() *EG {
+	eg, _ := New(4, 7)
+	const a, b, c, d = 0, 1, 2, 3
+	must := func(err error) {
+		if err != nil {
+			panic(err) // unreachable: constants are in range
+		}
+	}
+	must(eg.AddContact(a, b, 1))
+	must(eg.AddContact(a, b, 4))
+	must(eg.AddContact(b, c, 2))
+	must(eg.AddContact(b, c, 5))
+	must(eg.AddContact(a, d, 1))
+	must(eg.AddContact(a, d, 3))
+	must(eg.AddContact(b, d, 2))
+	must(eg.AddContact(c, d, 0))
+	must(eg.AddContact(c, d, 6))
+	return eg
+}
+
+// TimeConnected reports whether the network is "time-i-connected" (§III-A):
+// every ordered pair of nodes is connected at starting time i, i.e. a
+// journey with first label >= i exists between every pair.
+func (eg *EG) TimeConnected(i int) bool {
+	for src := 0; src < eg.n; src++ {
+		arr, _, err := eg.EarliestArrival(src, i)
+		if err != nil {
+			return false
+		}
+		for _, a := range arr {
+			if a == Infinity {
+				return false
+			}
+		}
+	}
+	return true
+}

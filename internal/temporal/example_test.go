@@ -1,0 +1,52 @@
+package temporal_test
+
+import (
+	"fmt"
+
+	"structura/internal/temporal"
+)
+
+// The paper's Fig. 2: ask the three §II-B path questions about A and C.
+func ExampleEG_EarliestCompletionJourney() {
+	eg := temporal.Fig2EG() // A=0, B=1, C=2, D=3
+
+	j, err := eg.EarliestCompletionJourney(0, 2, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, hop := range j {
+		fmt.Printf("%d -%d-> %d\n", hop.From, hop.Time, hop.To)
+	}
+	fmt.Println("completion:", j.Completion())
+	// Output:
+	// 0 -4-> 1
+	// 1 -5-> 2
+	// completion: 5
+}
+
+func ExampleEG_ConnectedAt() {
+	eg := temporal.Fig2EG()
+	for start := 0; start <= 5; start++ {
+		fmt.Printf("start %d: %v\n", start, eg.ConnectedAt(0, 2, start))
+	}
+	// Output:
+	// start 0: true
+	// start 1: true
+	// start 2: true
+	// start 3: true
+	// start 4: true
+	// start 5: false
+}
+
+func ExampleEG_FastestJourney() {
+	eg := temporal.Fig2EG()
+	j, err := eg.FastestJourney(0, 2, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("span:", j.Span(), "hops:", j.Hops())
+	// Output:
+	// span: 1 hops: 2
+}

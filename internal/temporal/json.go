@@ -1,0 +1,66 @@
+package temporal
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// egJSON is the stable serialization schema, compatible with the trace
+// documents cmd/tracegen emits.
+type egJSON struct {
+	Nodes    int           `json:"nodes"`
+	Horizon  int           `json:"horizon"`
+	Contacts []contactJSON `json:"contacts"`
+}
+
+type contactJSON struct {
+	U int     `json:"U"`
+	V int     `json:"V"`
+	T int     `json:"T"`
+	W float64 `json:"W,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler: node count, horizon, and the
+// contact list (weight omitted when 1).
+func (eg *EG) MarshalJSON() ([]byte, error) {
+	doc := egJSON{Nodes: eg.n, Horizon: eg.horizon}
+	for u := 0; u < eg.n; u++ {
+		for _, e := range eg.adj[u] {
+			if e.to < u {
+				continue
+			}
+			for i, t := range e.labels {
+				c := contactJSON{U: u, V: e.to, T: t}
+				if e.weight[i] != 1 {
+					c.W = e.weight[i]
+				}
+				doc.Contacts = append(doc.Contacts, c)
+			}
+		}
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, replacing the receiver with
+// the decoded time-evolving graph.
+func (eg *EG) UnmarshalJSON(data []byte) error {
+	var doc egJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	fresh, err := New(doc.Nodes, doc.Horizon)
+	if err != nil {
+		return fmt.Errorf("temporal: invalid trace header: %w", err)
+	}
+	for _, c := range doc.Contacts {
+		w := c.W
+		if w == 0 {
+			w = 1
+		}
+		if err := fresh.AddWeightedContact(c.U, c.V, c.T, w); err != nil {
+			return fmt.Errorf("temporal: invalid contact (%d,%d,%d): %w", c.U, c.V, c.T, err)
+		}
+	}
+	*eg = *fresh
+	return nil
+}

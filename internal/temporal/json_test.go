@@ -1,0 +1,77 @@
+package temporal
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestEGJSONRoundTrip(t *testing.T) {
+	eg := Fig2EG()
+	_ = eg.AddWeightedContact(0, 1, 2, 0.5)
+	data, err := json.Marshal(eg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back EG
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != eg.N() || back.Horizon() != eg.Horizon() || back.ContactCount() != eg.ContactCount() {
+		t.Fatalf("shape mismatch: %d/%d/%d vs %d/%d/%d",
+			back.N(), back.Horizon(), back.ContactCount(),
+			eg.N(), eg.Horizon(), eg.ContactCount())
+	}
+	for u := 0; u < eg.N(); u++ {
+		for _, v := range eg.Neighbors(u) {
+			l1, l2 := eg.Labels(u, v), back.Labels(u, v)
+			if len(l1) != len(l2) {
+				t.Fatalf("labels (%d,%d) differ", u, v)
+			}
+			for i := range l1 {
+				if l1[i] != l2[i] {
+					t.Fatalf("labels (%d,%d) differ at %d", u, v, i)
+				}
+			}
+		}
+	}
+	if w, err := back.Weight(0, 1, 2); err != nil || w != 0.5 {
+		t.Errorf("weight lost: %v, %v", w, err)
+	}
+	// Semantics preserved: same earliest arrivals.
+	a1, _, _ := eg.EarliestArrival(0, 0)
+	a2, _, _ := back.EarliestArrival(0, 0)
+	for v := range a1 {
+		if a1[v] != a2[v] {
+			t.Fatalf("arrival[%d] changed: %d vs %d", v, a1[v], a2[v])
+		}
+	}
+}
+
+func TestEGJSONRejectsGarbage(t *testing.T) {
+	var eg EG
+	if err := json.Unmarshal([]byte(`{"nodes": -1, "horizon": 3}`), &eg); err == nil {
+		t.Error("negative nodes should error")
+	}
+	if err := json.Unmarshal([]byte(`{"nodes": 2, "horizon": 3, "contacts": [{"U":0,"V":1,"T":9}]}`), &eg); err == nil {
+		t.Error("out-of-horizon contact should error")
+	}
+	if err := json.Unmarshal([]byte(`{`), &eg); err == nil {
+		t.Error("syntax error should surface")
+	}
+}
+
+func TestEGJSONTracegenCompatibility(t *testing.T) {
+	// The schema matches cmd/tracegen output: uppercase U/V/T keys.
+	doc := []byte(`{"nodes": 3, "horizon": 5, "contacts": [{"U":0,"V":2,"T":1},{"U":1,"V":2,"T":3}]}`)
+	var eg EG
+	if err := json.Unmarshal(doc, &eg); err != nil {
+		t.Fatal(err)
+	}
+	if eg.ContactCount() != 2 || len(eg.Labels(0, 2)) != 1 {
+		t.Fatalf("decoded %d contacts", eg.ContactCount())
+	}
+	arr, _, _ := eg.EarliestArrival(0, 0)
+	if arr[1] != 3 {
+		t.Errorf("arrival at 1 = %d, want 3 (0-1->2-3->1)", arr[1])
+	}
+}

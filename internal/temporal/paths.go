@@ -1,0 +1,441 @@
+package temporal
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Hop is one contact used by a journey.
+type Hop struct {
+	From, To int
+	Time     int
+}
+
+// Journey is a time-respecting path: consecutive hops share endpoints and
+// have non-decreasing times (the paper's u -*-> v with non-decreasing edge
+// labels).
+type Journey []Hop
+
+// Completion returns the arrival time of the journey (time of its last
+// hop); 0 for an empty journey.
+func (j Journey) Completion() int {
+	if len(j) == 0 {
+		return 0
+	}
+	return j[len(j)-1].Time
+}
+
+// Span returns elapsed time between first and last contact (the "fastest
+// path" objective); 0 for journeys with fewer than 2 hops.
+func (j Journey) Span() int {
+	if len(j) == 0 {
+		return 0
+	}
+	return j[len(j)-1].Time - j[0].Time
+}
+
+// Hops returns the hop count.
+func (j Journey) Hops() int { return len(j) }
+
+// Validate checks that j is a valid journey in eg from src to dst starting
+// no earlier than start.
+func (eg *EG) Validate(j Journey, src, dst, start int) error {
+	if len(j) == 0 {
+		if src == dst {
+			return nil
+		}
+		return errors.New("temporal: empty journey for distinct endpoints")
+	}
+	if j[0].From != src {
+		return fmt.Errorf("temporal: journey starts at %d, want %d", j[0].From, src)
+	}
+	if j[len(j)-1].To != dst {
+		return fmt.Errorf("temporal: journey ends at %d, want %d", j[len(j)-1].To, dst)
+	}
+	prev := start
+	cur := src
+	for i, h := range j {
+		if h.From != cur {
+			return fmt.Errorf("temporal: hop %d starts at %d, want %d", i, h.From, cur)
+		}
+		if h.Time < prev {
+			return fmt.Errorf("temporal: hop %d time %d decreases below %d", i, h.Time, prev)
+		}
+		labels := eg.Labels(h.From, h.To)
+		pos := sort.SearchInts(labels, h.Time)
+		if pos >= len(labels) || labels[pos] != h.Time {
+			return fmt.Errorf("temporal: contact (%d,%d,%d) does not exist", h.From, h.To, h.Time)
+		}
+		prev = h.Time
+		cur = h.To
+	}
+	return nil
+}
+
+// EarliestArrival computes, for every node, the earliest completion time of
+// a journey from src whose first contact is at time >= start (the paper's
+// "earliest completion time path"), along with predecessor hops for path
+// reconstruction. Unreachable nodes get Infinity.
+func (eg *EG) EarliestArrival(src, start int) (arrival []int, pred []Hop, err error) {
+	if err := eg.check(src); err != nil {
+		return nil, nil, err
+	}
+	arrival = make([]int, eg.n)
+	pred = make([]Hop, eg.n)
+	for i := range arrival {
+		arrival[i] = Infinity
+		pred[i] = Hop{From: -1, To: -1, Time: -1}
+	}
+	arrival[src] = start
+	pq := &arrHeap{{node: src, t: start}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(arrItem)
+		if it.t > arrival[it.node] {
+			continue
+		}
+		for _, e := range eg.adj[it.node] {
+			// First label >= current arrival time; transmission is
+			// instantaneous so we arrive at exactly that label.
+			pos := sort.SearchInts(e.labels, it.t)
+			if pos == len(e.labels) {
+				continue
+			}
+			t := e.labels[pos]
+			if t < arrival[e.to] {
+				arrival[e.to] = t
+				pred[e.to] = Hop{From: it.node, To: e.to, Time: t}
+				heap.Push(pq, arrItem{node: e.to, t: t})
+			}
+		}
+	}
+	return arrival, pred, nil
+}
+
+// EarliestCompletionJourney returns a journey from src to dst with the
+// earliest completion time among those starting at or after start, or an
+// error if none exists.
+func (eg *EG) EarliestCompletionJourney(src, dst, start int) (Journey, error) {
+	if err := eg.check(dst); err != nil {
+		return nil, err
+	}
+	arrival, pred, err := eg.EarliestArrival(src, start)
+	if err != nil {
+		return nil, err
+	}
+	if arrival[dst] == Infinity {
+		return nil, fmt.Errorf("temporal: %d not connected to %d at time %d", src, dst, start)
+	}
+	if src == dst {
+		return Journey{}, nil
+	}
+	var rev Journey
+	for v := dst; v != src; v = pred[v].From {
+		rev = append(rev, pred[v])
+	}
+	j := make(Journey, len(rev))
+	for i := range rev {
+		j[i] = rev[len(rev)-1-i]
+	}
+	return j, nil
+}
+
+// ConnectedAt reports whether src is connected to dst at time unit start:
+// a journey exists whose first contact label is >= start (§II-B).
+func (eg *EG) ConnectedAt(src, dst, start int) bool {
+	if src == dst {
+		return true
+	}
+	arrival, _, err := eg.EarliestArrival(src, start)
+	if err != nil || dst < 0 || dst >= eg.n {
+		return false
+	}
+	return arrival[dst] != Infinity
+}
+
+// MinHopJourney returns a journey from src to dst starting at or after
+// start with the minimum number of hops (the paper's "minimum hop path").
+func (eg *EG) MinHopJourney(src, dst, start int) (Journey, error) {
+	if err := eg.check(src); err != nil {
+		return nil, err
+	}
+	if err := eg.check(dst); err != nil {
+		return nil, err
+	}
+	if src == dst {
+		return Journey{}, nil
+	}
+	// Layered DP: best[v] = earliest arrival at v over journeys of <= k
+	// hops. A journey with fewer hops may be forced to arrive later, so hop
+	// count is the outer loop; layers[k][v] records the hop that improved v
+	// at layer k for reconstruction.
+	best := make([]int, eg.n)
+	for i := range best {
+		best[i] = Infinity
+	}
+	best[src] = start
+	var layers []map[int]Hop
+	for len(layers) < eg.n && best[dst] == Infinity {
+		next := append([]int(nil), best...)
+		layer := make(map[int]Hop)
+		for u := 0; u < eg.n; u++ {
+			if best[u] == Infinity {
+				continue
+			}
+			for _, e := range eg.adj[u] {
+				pos := sort.SearchInts(e.labels, best[u])
+				if pos == len(e.labels) {
+					continue
+				}
+				if t := e.labels[pos]; t < next[e.to] {
+					next[e.to] = t
+					layer[e.to] = Hop{From: u, To: e.to, Time: t}
+				}
+			}
+		}
+		if len(layer) == 0 {
+			break
+		}
+		layers = append(layers, layer)
+		best = next
+	}
+	if best[dst] == Infinity {
+		return nil, fmt.Errorf("temporal: %d not connected to %d at time %d", src, dst, start)
+	}
+	// Walk back: the hop into v lives in the last layer (< current) where v
+	// improved; each step strictly decreases the layer index, so the result
+	// has at most len(layers) = minhop hops.
+	var rev Journey
+	v, k := dst, len(layers)-1
+	for v != src {
+		for k >= 0 {
+			if _, ok := layers[k][v]; ok {
+				break
+			}
+			k--
+		}
+		if k < 0 {
+			return nil, errors.New("temporal: internal reconstruction failure")
+		}
+		h := layers[k][v]
+		rev = append(rev, h)
+		v = h.From
+		k--
+	}
+	j := make(Journey, len(rev))
+	for i := range rev {
+		j[i] = rev[len(rev)-1-i]
+	}
+	return j, nil
+}
+
+// FastestJourney returns a journey from src to dst minimizing the span
+// between its first and last contact, considering journeys starting at any
+// time >= start (the paper's "fastest path").
+func (eg *EG) FastestJourney(src, dst, start int) (Journey, error) {
+	if err := eg.check(src); err != nil {
+		return nil, err
+	}
+	if err := eg.check(dst); err != nil {
+		return nil, err
+	}
+	if src == dst {
+		return Journey{}, nil
+	}
+	// Enumerate candidate departure times: the labels on src's incident
+	// edges (a fastest journey departs exactly at its first contact).
+	departures := map[int]bool{}
+	for _, e := range eg.adj[src] {
+		for _, t := range e.labels {
+			if t >= start {
+				departures[t] = true
+			}
+		}
+	}
+	if len(departures) == 0 {
+		return nil, fmt.Errorf("temporal: %d has no departures after %d", src, start)
+	}
+	times := make([]int, 0, len(departures))
+	for t := range departures {
+		times = append(times, t)
+	}
+	sort.Ints(times)
+	var (
+		bestJourney Journey
+		bestSpan    = Infinity
+	)
+	for _, t := range times {
+		j, err := eg.EarliestCompletionJourney(src, dst, t)
+		if err != nil {
+			continue
+		}
+		if len(j) == 0 {
+			continue
+		}
+		// Only count journeys that truly depart at t (first hop at >= t is
+		// guaranteed; the span is measured from the actual first contact).
+		span := j.Span()
+		if span < bestSpan {
+			bestSpan = span
+			bestJourney = j
+		}
+	}
+	if bestJourney == nil {
+		return nil, fmt.Errorf("temporal: %d not connected to %d at time %d", src, dst, start)
+	}
+	return bestJourney, nil
+}
+
+// FloodingTime returns the earliest time by which a message originating at
+// src at time start reaches every node (the paper's dynamic diameter from
+// one source), or an error if some node is never reached.
+func (eg *EG) FloodingTime(src, start int) (int, error) {
+	arrival, _, err := eg.EarliestArrival(src, start)
+	if err != nil {
+		return 0, err
+	}
+	worst := start
+	for v, t := range arrival {
+		if t == Infinity {
+			return 0, fmt.Errorf("temporal: node %d never reached from %d", v, src)
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst, nil
+}
+
+// DynamicDiameter returns the maximum flooding completion time over all
+// sources starting at time start — the paper's extension of diameter to
+// time-evolving graphs.
+func (eg *EG) DynamicDiameter(start int) (int, error) {
+	worst := start
+	for src := 0; src < eg.n; src++ {
+		ft, err := eg.FloodingTime(src, start)
+		if err != nil {
+			return 0, err
+		}
+		if ft > worst {
+			worst = ft
+		}
+	}
+	return worst, nil
+}
+
+// MinCostJourney returns a journey from src to dst (starting at or after
+// start) minimizing total contact weight — the weighted time-evolving graph
+// extension of §II-B. Weights must be non-negative.
+func (eg *EG) MinCostJourney(src, dst, start int) (Journey, float64, error) {
+	if err := eg.check(src); err != nil {
+		return nil, 0, err
+	}
+	if err := eg.check(dst); err != nil {
+		return nil, 0, err
+	}
+	if src == dst {
+		return Journey{}, 0, nil
+	}
+	// Dijkstra over states (node, earliest time usable). For each node we
+	// keep the Pareto frontier of (cost, time): a state is dominated if
+	// another has both lower-or-equal cost and time.
+	type state struct {
+		node int
+		t    int
+	}
+	type labelled struct {
+		cost float64
+		t    int
+		prev state
+		hop  Hop
+	}
+	frontier := make(map[state]labelled)
+	pq := &costHeap{{node: src, t: start, cost: 0}}
+	startState := state{src, start}
+	frontier[startState] = labelled{cost: 0, t: start, prev: state{-1, -1}}
+	var (
+		bestEnd  state
+		bestCost = math.Inf(1)
+	)
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(costItem)
+		st := state{it.node, it.t}
+		if l, ok := frontier[st]; !ok || it.cost > l.cost {
+			continue
+		}
+		if it.node == dst && it.cost < bestCost {
+			bestCost = it.cost
+			bestEnd = st
+		}
+		for _, e := range eg.adj[it.node] {
+			pos := sort.SearchInts(e.labels, it.t)
+			for ; pos < len(e.labels); pos++ {
+				t := e.labels[pos]
+				w := e.weight[pos]
+				ns := state{e.to, t}
+				nc := it.cost + w
+				if l, ok := frontier[ns]; ok && l.cost <= nc {
+					continue
+				}
+				frontier[ns] = labelled{cost: nc, t: t, prev: st, hop: Hop{From: it.node, To: e.to, Time: t}}
+				heap.Push(pq, costItem{node: e.to, t: t, cost: nc})
+			}
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		return nil, 0, fmt.Errorf("temporal: %d not connected to %d at time %d", src, dst, start)
+	}
+	var rev Journey
+	for st := bestEnd; ; {
+		l := frontier[st]
+		if l.prev.node == -1 {
+			break
+		}
+		rev = append(rev, l.hop)
+		st = l.prev
+	}
+	j := make(Journey, len(rev))
+	for i := range rev {
+		j[i] = rev[len(rev)-1-i]
+	}
+	return j, bestCost, nil
+}
+
+type arrItem struct {
+	node, t int
+}
+
+type arrHeap []arrItem
+
+func (h arrHeap) Len() int            { return len(h) }
+func (h arrHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h arrHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrHeap) Push(x interface{}) { *h = append(*h, x.(arrItem)) }
+func (h *arrHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type costItem struct {
+	node, t int
+	cost    float64
+}
+
+type costHeap []costItem
+
+func (h costHeap) Len() int            { return len(h) }
+func (h costHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h costHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *costHeap) Push(x interface{}) { *h = append(*h, x.(costItem)) }
+func (h *costHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,195 @@
+package temporal
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// egSpec is a quick-generatable description of a random EG.
+type egSpec struct {
+	N        uint8
+	Horizon  uint8
+	Contacts []struct{ U, V, T uint8 }
+}
+
+func (s egSpec) build() *EG {
+	n := int(s.N%10) + 2
+	h := int(s.Horizon%12) + 2
+	eg, _ := New(n, h)
+	for _, c := range s.Contacts {
+		u, v, t := int(c.U)%n, int(c.V)%n, int(c.T)%h
+		if u != v {
+			_ = eg.AddContact(u, v, t)
+		}
+	}
+	return eg
+}
+
+// Generate implements quick.Generator for richer contact lists.
+func (egSpec) Generate(r *rand.Rand, size int) reflect.Value {
+	var s egSpec
+	s.N = uint8(r.Intn(256))
+	s.Horizon = uint8(r.Intn(256))
+	k := r.Intn(40)
+	for i := 0; i < k; i++ {
+		s.Contacts = append(s.Contacts, struct{ U, V, T uint8 }{
+			uint8(r.Intn(256)), uint8(r.Intn(256)), uint8(r.Intn(256)),
+		})
+	}
+	return reflect.ValueOf(s)
+}
+
+// Property: Labels are always sorted, deduplicated, and symmetric.
+func TestQuickLabelsSortedSymmetric(t *testing.T) {
+	f := func(s egSpec) bool {
+		eg := s.build()
+		for u := 0; u < eg.N(); u++ {
+			for _, v := range eg.Neighbors(u) {
+				l1 := eg.Labels(u, v)
+				l2 := eg.Labels(v, u)
+				if !sort.IntsAreSorted(l1) {
+					return false
+				}
+				if len(l1) != len(l2) {
+					return false
+				}
+				for i := range l1 {
+					if l1[i] != l2[i] {
+						return false
+					}
+					if i > 0 && l1[i] == l1[i-1] {
+						return false // duplicate label
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: earliest arrival is monotone in start time — starting later can
+// never let you arrive earlier.
+func TestQuickEarliestArrivalMonotoneInStart(t *testing.T) {
+	f := func(s egSpec, t1, t2 uint8) bool {
+		eg := s.build()
+		a := int(t1) % eg.Horizon()
+		b := int(t2) % eg.Horizon()
+		if a > b {
+			a, b = b, a
+		}
+		arrA, _, err1 := eg.EarliestArrival(0, a)
+		arrB, _, err2 := eg.EarliestArrival(0, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for v := range arrA {
+			if arrA[v] > arrB[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clone is deep — mutating the clone leaves the original intact,
+// and the two agree before mutation.
+func TestQuickCloneDeep(t *testing.T) {
+	f := func(s egSpec) bool {
+		eg := s.build()
+		before := eg.ContactCount()
+		c := eg.Clone()
+		if c.ContactCount() != before {
+			return false
+		}
+		for u := 0; u < c.N(); u++ {
+			for _, v := range append([]int(nil), c.Neighbors(u)...) {
+				c.RemoveEdge(u, v)
+			}
+		}
+		return eg.ContactCount() == before && c.ContactCount() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every journey returned by the three optimizers validates, and
+// removing a contact never improves earliest arrival.
+func TestQuickRemovalNeverImproves(t *testing.T) {
+	f := func(s egSpec, pick uint8) bool {
+		eg := s.build()
+		arr1, _, err := eg.EarliestArrival(0, 0)
+		if err != nil {
+			return false
+		}
+		// Remove an arbitrary existing contact, if any.
+		removed := false
+		for u := 0; u < eg.N() && !removed; u++ {
+			for _, v := range eg.Neighbors(u) {
+				labels := eg.Labels(u, v)
+				if len(labels) == 0 {
+					continue
+				}
+				eg.RemoveContact(u, v, labels[int(pick)%len(labels)])
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return true
+		}
+		arr2, _, err := eg.EarliestArrival(0, 0)
+		if err != nil {
+			return false
+		}
+		for v := range arr1 {
+			if arr2[v] < arr1[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ConnectedAt agrees with EarliestCompletionJourney existence, and
+// every produced journey validates.
+func TestQuickJourneysValidate(t *testing.T) {
+	f := func(s egSpec, dstRaw, startRaw uint8) bool {
+		eg := s.build()
+		dst := int(dstRaw) % eg.N()
+		start := int(startRaw) % eg.Horizon()
+		connected := eg.ConnectedAt(0, dst, start)
+		j, err := eg.EarliestCompletionJourney(0, dst, start)
+		if connected != (err == nil) {
+			return false
+		}
+		if err == nil {
+			if eg.Validate(j, 0, dst, start) != nil {
+				return false
+			}
+			mh, err2 := eg.MinHopJourney(0, dst, start)
+			if err2 != nil || eg.Validate(mh, 0, dst, start) != nil {
+				return false
+			}
+			if mh.Hops() > j.Hops() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

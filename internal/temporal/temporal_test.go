@@ -1,0 +1,619 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+const (
+	nodeA = 0
+	nodeB = 1
+	nodeC = 2
+	nodeD = 3
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, 5); err == nil {
+		t.Error("negative n should error")
+	}
+	if _, err := New(5, -1); err == nil {
+		t.Error("negative horizon should error")
+	}
+	eg, err := New(3, 10)
+	if err != nil || eg.N() != 3 || eg.Horizon() != 10 {
+		t.Fatalf("New = %v, %v", eg, err)
+	}
+}
+
+func TestAddContactValidation(t *testing.T) {
+	eg, _ := New(3, 5)
+	if err := eg.AddContact(0, 3, 1); err == nil {
+		t.Error("out-of-range node should error")
+	}
+	if err := eg.AddContact(0, 0, 1); err == nil {
+		t.Error("self-contact should error")
+	}
+	if err := eg.AddContact(0, 1, 5); err == nil {
+		t.Error("time beyond horizon should error")
+	}
+	if err := eg.AddContact(0, 1, -1); err == nil {
+		t.Error("negative time should error")
+	}
+}
+
+func TestContactRoundTrip(t *testing.T) {
+	eg, _ := New(3, 10)
+	if err := eg.AddContact(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := eg.AddContact(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	labels := eg.Labels(0, 1)
+	if len(labels) != 2 || labels[0] != 1 || labels[1] != 3 {
+		t.Errorf("labels = %v, want [1 3] sorted", labels)
+	}
+	if got := eg.Labels(1, 0); len(got) != 2 {
+		t.Error("labels must be symmetric")
+	}
+	if eg.ContactCount() != 2 {
+		t.Errorf("ContactCount = %d, want 2", eg.ContactCount())
+	}
+	// Duplicate add is idempotent.
+	if err := eg.AddContact(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if eg.ContactCount() != 2 {
+		t.Error("duplicate contact changed count")
+	}
+}
+
+func TestWeights(t *testing.T) {
+	eg, _ := New(2, 5)
+	if err := eg.AddWeightedContact(0, 1, 2, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	w, err := eg.Weight(0, 1, 2)
+	if err != nil || w != 3.5 {
+		t.Errorf("Weight = %v, %v", w, err)
+	}
+	if _, err := eg.Weight(0, 1, 3); err == nil {
+		t.Error("missing contact weight should error")
+	}
+	// Re-add updates weight.
+	_ = eg.AddWeightedContact(0, 1, 2, 9)
+	if w, _ := eg.Weight(0, 1, 2); w != 9 {
+		t.Errorf("updated weight = %v, want 9", w)
+	}
+}
+
+func TestRemoveContactAndEdge(t *testing.T) {
+	eg, _ := New(3, 10)
+	_ = eg.AddContact(0, 1, 2)
+	_ = eg.AddContact(0, 1, 4)
+	if !eg.RemoveContact(0, 1, 2) {
+		t.Error("RemoveContact should report true")
+	}
+	if eg.RemoveContact(0, 1, 2) {
+		t.Error("double-remove should report false")
+	}
+	if got := eg.Labels(0, 1); len(got) != 1 || got[0] != 4 {
+		t.Errorf("labels = %v, want [4]", got)
+	}
+	if !eg.RemoveEdge(0, 1) {
+		t.Error("RemoveEdge should report true")
+	}
+	if eg.Labels(0, 1) != nil {
+		t.Error("edge should be fully gone")
+	}
+	if len(eg.Neighbors(0)) != 0 {
+		t.Error("neighbor entry should be dropped when labels empty")
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	eg := Fig2EG()
+	eg.RemoveNode(nodeD)
+	if len(eg.Neighbors(nodeD)) != 0 {
+		t.Error("D should have no contacts after removal")
+	}
+	if eg.Labels(nodeA, nodeD) != nil {
+		t.Error("A-D contacts should be gone")
+	}
+	if eg.Labels(nodeA, nodeB) == nil {
+		t.Error("A-B must survive")
+	}
+}
+
+func TestAddPeriodicContacts(t *testing.T) {
+	eg, _ := New(2, 12)
+	if err := eg.AddPeriodicContacts(0, 1, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 4, 7, 10}
+	got := eg.Labels(0, 1)
+	if len(got) != len(want) {
+		t.Fatalf("labels = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", got, want)
+		}
+	}
+	if err := eg.AddPeriodicContacts(0, 1, 0, 0); err == nil {
+		t.Error("zero period should error")
+	}
+	if err := eg.AddPeriodicContacts(0, 1, -1, 2); err == nil {
+		t.Error("negative phase should error")
+	}
+}
+
+func TestSnapshotAndFootprint(t *testing.T) {
+	eg := Fig2EG()
+	g1 := eg.Snapshot(1)
+	if !g1.HasEdge(nodeA, nodeB) || !g1.HasEdge(nodeA, nodeD) {
+		t.Error("snapshot t=1 should have A-B and A-D")
+	}
+	if g1.HasEdge(nodeB, nodeC) {
+		t.Error("snapshot t=1 should not have B-C")
+	}
+	fp := eg.Footprint()
+	if fp.M() != 5 {
+		t.Errorf("footprint M = %d, want 5 edges", fp.M())
+	}
+}
+
+func TestClone(t *testing.T) {
+	eg := Fig2EG()
+	c := eg.Clone()
+	c.RemoveEdge(nodeA, nodeD)
+	if eg.Labels(nodeA, nodeD) == nil {
+		t.Error("clone mutation leaked")
+	}
+}
+
+// --- Fig. 2 paper-fact tests -------------------------------------------
+
+func TestFig2PathA4B5C(t *testing.T) {
+	eg := Fig2EG()
+	// "path A -4-> B -5-> C exists"
+	j := Journey{{From: nodeA, To: nodeB, Time: 4}, {From: nodeB, To: nodeC, Time: 5}}
+	if err := eg.Validate(j, nodeA, nodeC, 0); err != nil {
+		t.Fatalf("paper journey invalid: %v", err)
+	}
+}
+
+func TestFig2PathA3D6C(t *testing.T) {
+	eg := Fig2EG()
+	// "A -3-> D -6-> C" from the trimming discussion.
+	j := Journey{{From: nodeA, To: nodeD, Time: 3}, {From: nodeD, To: nodeC, Time: 6}}
+	if err := eg.Validate(j, nodeA, nodeC, 0); err != nil {
+		t.Fatalf("paper journey invalid: %v", err)
+	}
+}
+
+func TestFig2ConnectivityWindow(t *testing.T) {
+	eg := Fig2EG()
+	// "A is connected to C at starting time units 0, 1, 2, 3, and 4".
+	for start := 0; start <= 4; start++ {
+		if !eg.ConnectedAt(nodeA, nodeC, start) {
+			t.Errorf("A should be connected to C at start %d", start)
+		}
+	}
+	for start := 5; start < eg.Horizon(); start++ {
+		if eg.ConnectedAt(nodeA, nodeC, start) {
+			t.Errorf("A should NOT be connected to C at start %d", start)
+		}
+	}
+}
+
+func TestFig2NeverConnectedInSnapshot(t *testing.T) {
+	eg := Fig2EG()
+	// "A and C in Fig. 2 are not connected at any particular time unit.
+	// Hence, the network is not connected at any given time."
+	for tu := 0; tu < eg.Horizon(); tu++ {
+		snap := eg.Snapshot(tu)
+		dist, _ := snap.BFS(nodeA)
+		if dist[nodeC] != -1 {
+			t.Errorf("A and C connected in snapshot %d", tu)
+		}
+		if snap.Connected() {
+			t.Errorf("network should not be connected at time %d", tu)
+		}
+	}
+}
+
+func TestFig2EdgeLabelCycles(t *testing.T) {
+	eg := Fig2EG()
+	// "(B,D) and (C,D) have a cycle of 6, (A,D) has 2, and (A,B) and (B,C)
+	// have 3": consecutive displayed labels differ by the cycle.
+	cases := []struct {
+		u, v, cycle int
+	}{
+		{nodeC, nodeD, 6},
+		{nodeA, nodeD, 2},
+		{nodeA, nodeB, 3},
+		{nodeB, nodeC, 3},
+	}
+	for _, tc := range cases {
+		labels := eg.Labels(tc.u, tc.v)
+		if len(labels) < 2 {
+			t.Fatalf("edge (%d,%d) needs >= 2 labels to show its cycle", tc.u, tc.v)
+		}
+		for i := 1; i < len(labels); i++ {
+			if labels[i]-labels[i-1] != tc.cycle {
+				t.Errorf("edge (%d,%d) labels %v do not cycle by %d", tc.u, tc.v, labels, tc.cycle)
+			}
+		}
+	}
+	if len(eg.Labels(nodeB, nodeD)) == 0 {
+		t.Error("(B,D) must exist")
+	}
+}
+
+func TestFig2EarliestCompletion(t *testing.T) {
+	eg := Fig2EG()
+	tests := []struct {
+		start, want int
+	}{
+		{0, 2}, // A-1->B-2->C
+		{1, 2},
+		{2, 5}, // A-4->B-5->C
+		{3, 5},
+		{4, 5},
+	}
+	for _, tc := range tests {
+		j, err := eg.EarliestCompletionJourney(nodeA, nodeC, tc.start)
+		if err != nil {
+			t.Fatalf("start %d: %v", tc.start, err)
+		}
+		if j.Completion() != tc.want {
+			t.Errorf("start %d: completion = %d, want %d", tc.start, j.Completion(), tc.want)
+		}
+		if err := eg.Validate(j, nodeA, nodeC, tc.start); err != nil {
+			t.Errorf("start %d: invalid journey: %v", tc.start, err)
+		}
+	}
+}
+
+func TestFig2MinHop(t *testing.T) {
+	eg := Fig2EG()
+	j, err := eg.MinHopJourney(nodeA, nodeC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Hops() != 2 {
+		t.Errorf("min hops A->C = %d, want 2", j.Hops())
+	}
+	if err := eg.Validate(j, nodeA, nodeC, 0); err != nil {
+		t.Errorf("invalid journey: %v", err)
+	}
+	// Direct neighbor: 1 hop.
+	j2, err := eg.MinHopJourney(nodeA, nodeB, 0)
+	if err != nil || j2.Hops() != 1 {
+		t.Errorf("min hops A->B = %d, %v; want 1", j2.Hops(), err)
+	}
+}
+
+func TestFig2Fastest(t *testing.T) {
+	eg := Fig2EG()
+	j, err := eg.FastestJourney(nodeA, nodeC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A-1->B-2->C (span 1) and A-4->B-5->C (span 1) tie; both beat
+	// A-1->D-6->C (span 5) and A-3->D-6->C (span 3).
+	if j.Span() != 1 {
+		t.Errorf("fastest span = %d, want 1 (journey %v)", j.Span(), j)
+	}
+	if err := eg.Validate(j, nodeA, nodeC, 0); err != nil {
+		t.Errorf("invalid journey: %v", err)
+	}
+}
+
+func TestFig2FloodingAndDiameter(t *testing.T) {
+	eg := Fig2EG()
+	// From A at t=0: B by 1, D by 1, C by 2.
+	ft, err := eg.FloodingTime(nodeA, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != 2 {
+		t.Errorf("flooding time from A = %d, want 2", ft)
+	}
+	dd, err := eg.DynamicDiameter(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From C at t=0: C-0->D misses, next C contact t=2 (B), then B-4->A...
+	// the diameter must be >= flooding from A and finite.
+	if dd < ft || dd >= eg.Horizon() {
+		t.Errorf("dynamic diameter = %d, want in [%d, %d)", dd, ft, eg.Horizon())
+	}
+}
+
+func TestFig2DynamicDiameterUnreachable(t *testing.T) {
+	eg := Fig2EG()
+	// After t=5 start, A can no longer reach C.
+	if _, err := eg.DynamicDiameter(5); err == nil {
+		t.Error("diameter at start 5 should error (disconnection)")
+	}
+}
+
+// --- general algorithm tests -------------------------------------------
+
+func TestEarliestArrivalWaitsForLabels(t *testing.T) {
+	eg, _ := New(3, 20)
+	_ = eg.AddContact(0, 1, 5)
+	_ = eg.AddContact(1, 2, 3) // before message reaches 1: unusable
+	_ = eg.AddContact(1, 2, 9)
+	arr, _, err := eg.EarliestArrival(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr[1] != 5 || arr[2] != 9 {
+		t.Errorf("arrivals = %v, want [0 5 9]", arr)
+	}
+}
+
+func TestEarliestArrivalStartFiltersPast(t *testing.T) {
+	eg, _ := New(2, 20)
+	_ = eg.AddContact(0, 1, 3)
+	arr, _, _ := eg.EarliestArrival(0, 4)
+	if arr[1] != Infinity {
+		t.Errorf("past contact should be unusable, arr = %v", arr[1])
+	}
+}
+
+func TestMinHopTradesTimeForHops(t *testing.T) {
+	// 0-1-2 path completes at 2; direct 0->2 contact at 10.
+	eg, _ := New(3, 20)
+	_ = eg.AddContact(0, 1, 1)
+	_ = eg.AddContact(1, 2, 2)
+	_ = eg.AddContact(0, 2, 10)
+	early, err := eg.EarliestCompletionJourney(0, 2, 0)
+	if err != nil || early.Completion() != 2 {
+		t.Fatalf("earliest completion = %v, %v; want 2", early.Completion(), err)
+	}
+	minhop, err := eg.MinHopJourney(0, 2, 0)
+	if err != nil || minhop.Hops() != 1 {
+		t.Fatalf("min hops = %d, %v; want 1 (the late direct contact)", minhop.Hops(), err)
+	}
+	if minhop.Completion() != 10 {
+		t.Errorf("min-hop completion = %d, want 10", minhop.Completion())
+	}
+}
+
+func TestFastestPrefersLaterTighterWindow(t *testing.T) {
+	// Starting at 0: journey 0-0->1-5->2 has span 5; waiting for
+	// 0-7->1-8->2 has span 1.
+	eg, _ := New(3, 20)
+	_ = eg.AddContact(0, 1, 0)
+	_ = eg.AddContact(1, 2, 5)
+	_ = eg.AddContact(0, 1, 7)
+	_ = eg.AddContact(1, 2, 8)
+	j, err := eg.FastestJourney(0, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Span() != 1 {
+		t.Errorf("fastest span = %d, want 1", j.Span())
+	}
+	if j[0].Time != 7 {
+		t.Errorf("fastest journey should depart at 7, got %v", j)
+	}
+}
+
+func TestSelfJourneys(t *testing.T) {
+	eg := Fig2EG()
+	j, err := eg.EarliestCompletionJourney(nodeA, nodeA, 3)
+	if err != nil || len(j) != 0 {
+		t.Errorf("self journey = %v, %v", j, err)
+	}
+	if !eg.ConnectedAt(nodeA, nodeA, 6) {
+		t.Error("self connectivity must hold")
+	}
+	j2, err := eg.MinHopJourney(nodeB, nodeB, 0)
+	if err != nil || j2.Hops() != 0 {
+		t.Errorf("self min-hop = %v, %v", j2, err)
+	}
+	j3, err := eg.FastestJourney(nodeC, nodeC, 0)
+	if err != nil || j3.Span() != 0 {
+		t.Errorf("self fastest = %v, %v", j3, err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	eg := Fig2EG()
+	cases := []struct {
+		name            string
+		j               Journey
+		src, dst, start int
+	}{
+		{"empty for distinct", nil, nodeA, nodeC, 0},
+		{"wrong src", Journey{{From: nodeB, To: nodeC, Time: 2}}, nodeA, nodeC, 0},
+		{"wrong dst", Journey{{From: nodeA, To: nodeB, Time: 1}}, nodeA, nodeC, 0},
+		{"decreasing times", Journey{
+			{From: nodeA, To: nodeB, Time: 4},
+			{From: nodeB, To: nodeC, Time: 2},
+		}, nodeA, nodeC, 0},
+		{"nonexistent contact", Journey{{From: nodeA, To: nodeB, Time: 2}}, nodeA, nodeB, 0},
+		{"before start", Journey{{From: nodeA, To: nodeB, Time: 1}}, nodeA, nodeB, 3},
+		{"disconnected hops", Journey{
+			{From: nodeA, To: nodeB, Time: 1},
+			{From: nodeD, To: nodeC, Time: 6},
+		}, nodeA, nodeC, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := eg.Validate(tc.j, tc.src, tc.dst, tc.start); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestMinCostJourney(t *testing.T) {
+	// Two temporal routes 0->2: expensive early direct vs cheap two-hop.
+	eg, _ := New(3, 20)
+	_ = eg.AddWeightedContact(0, 2, 1, 10)
+	_ = eg.AddWeightedContact(0, 1, 2, 1)
+	_ = eg.AddWeightedContact(1, 2, 3, 1)
+	j, cost, err := eg.MinCostJourney(0, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2 {
+		t.Errorf("cost = %v, want 2", cost)
+	}
+	if len(j) != 2 {
+		t.Errorf("journey = %v, want 2 hops", j)
+	}
+	if err := eg.Validate(j, 0, 2, 0); err != nil {
+		t.Errorf("invalid journey: %v", err)
+	}
+	if _, _, err := eg.MinCostJourney(2, 0, 5); err == nil {
+		t.Error("unreachable should error")
+	}
+	if j, cost, err := eg.MinCostJourney(1, 1, 0); err != nil || cost != 0 || len(j) != 0 {
+		t.Error("self min-cost should be trivial")
+	}
+}
+
+func TestMinCostRespectsTime(t *testing.T) {
+	// The cheap edge is in the past once the message arrives: must pay.
+	eg, _ := New(3, 20)
+	_ = eg.AddWeightedContact(0, 1, 5, 1)
+	_ = eg.AddWeightedContact(1, 2, 3, 1) // unusable: before arrival at 1
+	_ = eg.AddWeightedContact(1, 2, 8, 4)
+	j, cost, err := eg.MinCostJourney(0, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 5 {
+		t.Errorf("cost = %v, want 5 (1 + 4)", cost)
+	}
+	if err := eg.Validate(j, 0, 2, 0); err != nil {
+		t.Errorf("invalid journey: %v", err)
+	}
+}
+
+// Random EGs: earliest arrival must match brute-force over all journeys of
+// bounded length.
+func TestEarliestArrivalAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + r.Intn(5)
+		horizon := 8
+		eg, _ := New(n, horizon)
+		for k := 0; k < n*3; k++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				_ = eg.AddContact(u, v, r.Intn(horizon))
+			}
+		}
+		start := r.Intn(horizon)
+		arr, _, err := eg.EarliestArrival(0, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteEarliest(eg, 0, start)
+		for v := 0; v < n; v++ {
+			if arr[v] != want[v] {
+				t.Fatalf("trial %d node %d: arrival %d, brute %d", trial, v, arr[v], want[v])
+			}
+		}
+	}
+}
+
+// bruteEarliest runs a simple time-stepped epidemic spread.
+func bruteEarliest(eg *EG, src, start int) []int {
+	arr := make([]int, eg.N())
+	for i := range arr {
+		arr[i] = Infinity
+	}
+	arr[src] = start
+	for tu := start; tu < eg.Horizon(); tu++ {
+		snap := eg.Snapshot(tu)
+		// Within one time unit transmission is instantaneous, so flood the
+		// snapshot's components.
+		changed := true
+		for changed {
+			changed = false
+			for _, e := range snap.Edges() {
+				if arr[e.From] <= tu && arr[e.To] > tu {
+					arr[e.To] = tu
+					changed = true
+				}
+				if arr[e.To] <= tu && arr[e.From] > tu {
+					arr[e.From] = tu
+					changed = true
+				}
+			}
+		}
+	}
+	return arr
+}
+
+// Property: min-hop journeys never have more hops than earliest-completion
+// journeys, and earliest-completion journeys never complete later.
+func TestOptimizationObjectivesProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + r.Intn(4)
+		eg, _ := New(n, 10)
+		for k := 0; k < n*4; k++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				_ = eg.AddContact(u, v, r.Intn(10))
+			}
+		}
+		src, dst := 0, n-1
+		ec, err1 := eg.EarliestCompletionJourney(src, dst, 0)
+		mh, err2 := eg.MinHopJourney(src, dst, 0)
+		fs, err3 := eg.FastestJourney(src, dst, 0)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("reachability disagreement: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if err3 != nil {
+			t.Fatalf("fastest failed where earliest succeeded: %v", err3)
+		}
+		if mh.Hops() > ec.Hops() {
+			t.Fatalf("min-hop %d > earliest-completion hops %d", mh.Hops(), ec.Hops())
+		}
+		if ec.Completion() > mh.Completion() {
+			t.Fatalf("earliest completion %d > min-hop completion %d", ec.Completion(), mh.Completion())
+		}
+		if fs.Span() > ec.Span() {
+			t.Fatalf("fastest span %d > earliest-completion span %d", fs.Span(), ec.Span())
+		}
+		for name, j := range map[string]Journey{"ec": ec, "mh": mh, "fs": fs} {
+			if err := eg.Validate(j, src, dst, 0); err != nil {
+				t.Fatalf("%s journey invalid: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestTimeConnected(t *testing.T) {
+	// Fig. 2 is time-0-connected (carry-store-forward reaches everyone)
+	// but not time-5-connected (A can no longer reach C).
+	eg := Fig2EG()
+	if !eg.TimeConnected(0) {
+		t.Error("Fig. 2 must be time-0-connected")
+	}
+	if eg.TimeConnected(5) {
+		t.Error("Fig. 2 must not be time-5-connected")
+	}
+	empty, _ := New(2, 3)
+	if empty.TimeConnected(0) {
+		t.Error("contactless EG is not time-connected")
+	}
+	single, _ := New(1, 3)
+	if !single.TimeConnected(0) {
+		t.Error("singleton is vacuously time-connected")
+	}
+}

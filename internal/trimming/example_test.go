@@ -1,0 +1,33 @@
+package trimming_test
+
+import (
+	"fmt"
+
+	"structura/internal/temporal"
+	"structura/internal/trimming"
+)
+
+// The paper's Fig. 2 trimming walkthrough: A can ignore neighbor D because
+// every relay A -> D -> v has a replacement that departs no earlier and
+// arrives no later.
+func ExampleCanIgnoreNeighbor() {
+	eg := temporal.Fig2EG() // A=0, B=1, C=2, D=3
+	prio := trimming.PriorityByID(4)
+
+	ok, err := trimming.CanIgnoreNeighbor(eg, 0, 3, prio, trimming.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("A can ignore D:", ok)
+
+	full, err := trimming.CanTrimNode(eg, 3, prio, trimming.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("D fully trimmable:", full)
+	// Output:
+	// A can ignore D: true
+	// D fully trimmable: false
+}

@@ -1,0 +1,139 @@
+package trimming
+
+import (
+	"errors"
+	"sort"
+
+	"structura/internal/temporal"
+)
+
+// The paper (§III-A): "In situations where link labels are not
+// deterministically, but rather, probabilistically, known, it would be
+// interesting to explore different probabilistic versions of the trimming
+// rule." This file provides one: contact weights in (0,1] are read as
+// existence probabilities, and a relay through u is replaceable when some
+// journey avoiding u arrives no later *and* succeeds with at least
+// Confidence times the probability of the relay itself.
+
+// ProbOptions configures the probabilistic rule.
+type ProbOptions struct {
+	// Confidence scales how reliable the replacement must be relative to
+	// the replaced two-hop relay: replacement success probability >=
+	// Confidence * P(relay). 1 demands an equally reliable replacement;
+	// values below 1 accept riskier replacements. Must be in (0, +inf).
+	Confidence float64
+}
+
+// maxProbArrival computes, for every node, the maximum success probability
+// over journeys from src (departing >= start, arriving <= deadline) using
+// only allowed intermediates, where a journey's probability is the product
+// of its contacts' probabilities. It returns the per-node best probability.
+//
+// States are (node, time) Pareto frontiers: we propagate label times in
+// increasing order, keeping for each node the best probability achievable
+// by each arrival time (later arrivals may allow larger probabilities, so
+// a full frontier is kept).
+func maxProbArrival(eg *temporal.EG, src, start, deadline int, allowed []bool) map[int]float64 {
+	type state struct {
+		node, t int
+	}
+	best := map[state]float64{{src, start}: 1}
+	// Process states in increasing time; since contacts only move forward
+	// in time, a simple worklist ordered by t terminates.
+	queue := []state{{src, start}}
+	for len(queue) > 0 {
+		sort.Slice(queue, func(i, j int) bool { return queue[i].t < queue[j].t })
+		cur := queue[0]
+		queue = queue[1:]
+		p := best[cur]
+		if cur.node != src && !allowed[cur.node] {
+			continue // may terminate here but not relay further
+		}
+		for _, v := range eg.Neighbors(cur.node) {
+			for _, t := range eg.Labels(cur.node, v) {
+				if t < cur.t || t > deadline {
+					continue
+				}
+				w, err := eg.Weight(cur.node, v, t)
+				if err != nil || w <= 0 {
+					continue
+				}
+				if w > 1 {
+					w = 1
+				}
+				ns := state{v, t}
+				if np := p * w; np > best[ns] {
+					best[ns] = np
+					queue = append(queue, ns)
+				}
+			}
+		}
+	}
+	out := make(map[int]float64)
+	for s, p := range best {
+		if p > out[s.node] {
+			out[s.node] = p
+		}
+	}
+	return out
+}
+
+// CanIgnoreNeighborProb is the probabilistic directional trimming rule:
+// node w may ignore neighbor u if, for every relay w -i-> u -j-> v with
+// i <= j, a journey from w to v avoiding u departs no earlier than i,
+// arrives no later than j, routes through higher-priority intermediates,
+// and succeeds with probability at least opts.Confidence times the relay's
+// own success probability P(w,u,i) * P(u,v,j).
+func CanIgnoreNeighborProb(eg *temporal.EG, w, u int, prio Priorities, opts ProbOptions) (bool, error) {
+	if err := prio.validate(eg.N()); err != nil {
+		return false, err
+	}
+	if w < 0 || w >= eg.N() || u < 0 || u >= eg.N() {
+		return false, errors.New("trimming: node out of range")
+	}
+	if opts.Confidence <= 0 {
+		return false, errors.New("trimming: Confidence must be positive")
+	}
+	allowed := allowedAbove(eg.N(), prio, prio[u], u)
+	iLabels := eg.Labels(w, u)
+	if len(iLabels) == 0 {
+		return true, nil
+	}
+	for _, v := range eg.Neighbors(u) {
+		if v == w {
+			continue
+		}
+		for _, i := range iLabels {
+			pwu, err := eg.Weight(w, u, i)
+			if err != nil {
+				return false, err
+			}
+			for _, j := range eg.Labels(u, v) {
+				if i > j {
+					continue
+				}
+				puv, err := eg.Weight(u, v, j)
+				if err != nil {
+					return false, err
+				}
+				relayProb := clampProb(pwu) * clampProb(puv)
+				need := opts.Confidence * relayProb
+				probs := maxProbArrival(eg, w, i, j, allowed)
+				if probs[v] < need {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,109 @@
+package trimming
+
+import (
+	"testing"
+
+	"structura/internal/temporal"
+)
+
+// probEG builds the Fig. 2 shape with configurable reliability on the A-B
+// replacement path.
+func probEG(t *testing.T, abReliability float64) *temporal.EG {
+	t.Helper()
+	eg, err := temporal.New(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const a, b, c, d = 0, 1, 2, 3
+	add := func(u, v, tm int, p float64) {
+		t.Helper()
+		if err := eg.AddWeightedContact(u, v, tm, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(a, b, 1, abReliability)
+	add(a, b, 4, abReliability)
+	add(b, c, 2, abReliability)
+	add(b, c, 5, abReliability)
+	add(a, d, 1, 1)
+	add(a, d, 3, 1)
+	add(b, d, 2, 1)
+	add(c, d, 0, 1)
+	add(c, d, 6, 1)
+	return eg
+}
+
+func TestProbTrimReliableReplacement(t *testing.T) {
+	// Fully reliable replacement path: the probabilistic rule agrees with
+	// the deterministic one (A can ignore D).
+	eg := probEG(t, 1)
+	ok, err := CanIgnoreNeighborProb(eg, 0, 3, PriorityByID(4), ProbOptions{Confidence: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("reliable replacement must allow ignoring D")
+	}
+}
+
+func TestProbTrimUnreliableReplacement(t *testing.T) {
+	// The A-B-C replacement only succeeds with probability 0.5*0.5 = 0.25
+	// per leg pair while the relay through D is fully reliable: at
+	// confidence 1 the rule must refuse.
+	eg := probEG(t, 0.5)
+	ok, err := CanIgnoreNeighborProb(eg, 0, 3, PriorityByID(4), ProbOptions{Confidence: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("unreliable replacement must not justify ignoring a reliable relay")
+	}
+	// Lowering the confidence requirement to 0.2 accepts the 0.25-prob
+	// replacement.
+	ok, err = CanIgnoreNeighborProb(eg, 0, 3, PriorityByID(4), ProbOptions{Confidence: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("confidence 0.2 should accept the 0.25-probability replacement")
+	}
+}
+
+func TestProbTrimValidation(t *testing.T) {
+	eg := probEG(t, 1)
+	if _, err := CanIgnoreNeighborProb(eg, 0, 3, PriorityByID(4), ProbOptions{}); err == nil {
+		t.Error("zero confidence should error")
+	}
+	if _, err := CanIgnoreNeighborProb(eg, 0, 9, PriorityByID(4), ProbOptions{Confidence: 1}); err == nil {
+		t.Error("bad node should error")
+	}
+	if _, err := CanIgnoreNeighborProb(eg, 0, 3, Priorities{1}, ProbOptions{Confidence: 1}); err == nil {
+		t.Error("bad priorities should error")
+	}
+}
+
+func TestProbTrimAbsentNeighbor(t *testing.T) {
+	eg, _ := temporal.New(3, 5)
+	ok, err := CanIgnoreNeighborProb(eg, 0, 1, PriorityByID(3), ProbOptions{Confidence: 1})
+	if err != nil || !ok {
+		t.Errorf("absent neighbor trivially ignorable: %v %v", ok, err)
+	}
+}
+
+func TestMaxProbArrivalPicksReliablePath(t *testing.T) {
+	// Two routes 0->2: early unreliable direct vs later reliable two-hop.
+	eg, _ := temporal.New(3, 10)
+	_ = eg.AddWeightedContact(0, 2, 1, 0.1)
+	_ = eg.AddWeightedContact(0, 1, 2, 0.9)
+	_ = eg.AddWeightedContact(1, 2, 3, 0.9)
+	allowed := []bool{true, true, true}
+	probs := maxProbArrival(eg, 0, 0, 9, allowed)
+	if probs[2] < 0.8 {
+		t.Errorf("best probability to 2 = %v, want 0.81 via the reliable relay", probs[2])
+	}
+	// With deadline 1 only the unreliable direct contact fits.
+	probs = maxProbArrival(eg, 0, 0, 1, allowed)
+	if probs[2] != 0.1 {
+		t.Errorf("deadline-1 probability = %v, want 0.1", probs[2])
+	}
+}

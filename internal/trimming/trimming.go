@@ -1,0 +1,434 @@
+// Package trimming implements structural trimming (§III-A): removing
+// "useless" or "redundant" nodes and links from a time-evolving graph while
+// preserving its global properties.
+//
+// The static temporal trimming rule follows the paper exactly: node u can be
+// trimmed if for any path w -i-> u -j-> v with i <= j there is a replacement
+// path w -i'-> u1 -> ... -> uk -j'-> v with i <= i' and j' <= j whose
+// intermediate nodes all have priority higher than u's (priorities break
+// replacement cycles). Only the first- and last-hop labels are compared.
+// The directional variant ("A can ignore neighbor D" in Fig. 2) lets a
+// single node drop one neighbor from its local view.
+//
+// For unit disk graphs the package provides the classic localized topology
+// controls (Gabriel graph and relative neighborhood graph), which preserve
+// connectivity while sparsifying.
+package trimming
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"structura/internal/geo"
+	"structura/internal/graph"
+	"structura/internal/temporal"
+)
+
+// Options controls the trimming rule's strictness.
+type Options struct {
+	// MaxIntermediates bounds the number of intermediate nodes allowed on a
+	// replacement path; 0 means unbounded. The paper notes that requiring
+	// at most one intermediate preserves minimum hop count in addition to
+	// minimum completion time.
+	MaxIntermediates int
+	// LocalHorizon restricts replacement intermediates to nodes within
+	// this many hops (in the EG footprint) of the observing node w — the
+	// paper's "local information (within k hops for a small k)"; 0 means
+	// unbounded (global information).
+	LocalHorizon int
+}
+
+// Priorities assigns each node a distinct strategic priority; higher values
+// are more important and survive trimming. The paper suggests node IDs,
+// node degree, or betweenness.
+type Priorities []float64
+
+// PriorityByID returns priorities where lower IDs are more important
+// (the paper's p(A) > p(B) > p(C) > ... convention).
+func PriorityByID(n int) Priorities {
+	p := make(Priorities, n)
+	for i := range p {
+		p[i] = float64(n - i)
+	}
+	return p
+}
+
+// PriorityByScore builds priorities from a score (degree, betweenness,...),
+// breaking ties by lower ID so priorities are distinct, as the rule requires.
+func PriorityByScore(scores []float64) Priorities {
+	n := len(scores)
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		if scores[ids[a]] != scores[ids[b]] {
+			return scores[ids[a]] < scores[ids[b]]
+		}
+		return ids[a] > ids[b]
+	})
+	p := make(Priorities, n)
+	for rank, id := range ids {
+		p[id] = float64(rank + 1)
+	}
+	return p
+}
+
+func (p Priorities) validate(n int) error {
+	if len(p) != n {
+		return fmt.Errorf("trimming: %d priorities for %d nodes", len(p), n)
+	}
+	seen := make(map[float64]bool, n)
+	for _, v := range p {
+		if seen[v] {
+			return errors.New("trimming: priorities must be distinct")
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// restrictedEarliest computes earliest arrival from src (start time start)
+// using only intermediate nodes allowed[x] == true (src and dst are always
+// usable as endpoints; dst is checked by the caller), with an optional bound
+// on the number of intermediate nodes (maxIntermediates 0 = unbounded).
+// It returns the arrival time at dst, or temporal.Infinity.
+func restrictedEarliest(eg *temporal.EG, src, dst, start int, allowed []bool, maxIntermediates int) int {
+	// Layered DP over hop count so the intermediate bound is exact:
+	// a path with h hops has h-1 intermediates.
+	n := eg.N()
+	best := make([]int, n)
+	for i := range best {
+		best[i] = temporal.Infinity
+	}
+	best[src] = start
+	maxHops := n
+	if maxIntermediates > 0 && maxIntermediates+1 < maxHops {
+		maxHops = maxIntermediates + 1
+	}
+	ans := temporal.Infinity
+	for h := 1; h <= maxHops; h++ {
+		next := append([]int(nil), best...)
+		improved := false
+		for u := 0; u < n; u++ {
+			if best[u] == temporal.Infinity {
+				continue
+			}
+			if u != src && !allowed[u] {
+				continue // u may terminate a path but not extend one
+			}
+			for _, v := range eg.Neighbors(u) {
+				if v != dst && !allowed[v] {
+					continue
+				}
+				labels := eg.Labels(u, v)
+				pos := sort.SearchInts(labels, best[u])
+				if pos == len(labels) {
+					continue
+				}
+				if t := labels[pos]; t < next[v] {
+					next[v] = t
+					improved = true
+				}
+			}
+		}
+		best = next
+		if best[dst] < ans {
+			ans = best[dst]
+		}
+		if !improved {
+			break
+		}
+	}
+	return ans
+}
+
+// CanIgnoreNeighbor reports whether node w can drop neighbor u from its
+// local view: every path w -i-> u -j-> v (i <= j) has a replacement that
+// avoids u, departs no earlier than i, arrives no later than j, and routes
+// only through nodes with priority above u's. This is the directional rule
+// behind "A can ignore neighbor D" in Fig. 2.
+func CanIgnoreNeighbor(eg *temporal.EG, w, u int, prio Priorities, opts Options) (bool, error) {
+	if err := prio.validate(eg.N()); err != nil {
+		return false, err
+	}
+	if w < 0 || w >= eg.N() || u < 0 || u >= eg.N() {
+		return false, errors.New("trimming: node out of range")
+	}
+	allowed := allowedAbove(eg.N(), prio, prio[u], u)
+	restrictToBall(eg, w, opts.LocalHorizon, allowed)
+	iLabels := eg.Labels(w, u)
+	if len(iLabels) == 0 {
+		return true, nil // nothing to ignore
+	}
+	for _, v := range eg.Neighbors(u) {
+		if v == w {
+			continue
+		}
+		jLabels := eg.Labels(u, v)
+		for _, i := range iLabels {
+			for _, j := range jLabels {
+				if i > j {
+					continue
+				}
+				if restrictedEarliest(eg, w, v, i, allowed, opts.MaxIntermediates) > j {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// CanTrimNode reports whether node u is trimmable under the full node
+// replacement rule: the CanIgnoreNeighbor condition holds for every ordered
+// neighbor pair (w, v) of u.
+func CanTrimNode(eg *temporal.EG, u int, prio Priorities, opts Options) (bool, error) {
+	if err := prio.validate(eg.N()); err != nil {
+		return false, err
+	}
+	if u < 0 || u >= eg.N() {
+		return false, errors.New("trimming: node out of range")
+	}
+	allowed := allowedAbove(eg.N(), prio, prio[u], u)
+	restrictToBall(eg, u, opts.LocalHorizon, allowed)
+	nbrs := eg.Neighbors(u)
+	for _, w := range nbrs {
+		iLabels := eg.Labels(w, u)
+		for _, v := range nbrs {
+			if v == w {
+				continue
+			}
+			jLabels := eg.Labels(u, v)
+			for _, i := range iLabels {
+				for _, j := range jLabels {
+					if i > j {
+						continue
+					}
+					if restrictedEarliest(eg, w, v, i, allowed, opts.MaxIntermediates) > j {
+						return false, nil
+					}
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// CanTrimLink reports whether the (undirected) link (u,v) is trimmable
+// under the link replacement rule — the refinement of the node rule: every
+// relay path w -i-> u -j-> v through the link (and symmetrically through
+// (v,u)) has a replacement avoiding the link itself, departing >= i and
+// arriving <= j, routed through nodes with priority above min(p(u), p(v)).
+func CanTrimLink(eg *temporal.EG, u, v int, prio Priorities, opts Options) (bool, error) {
+	if err := prio.validate(eg.N()); err != nil {
+		return false, err
+	}
+	if u < 0 || u >= eg.N() || v < 0 || v >= eg.N() {
+		return false, errors.New("trimming: node out of range")
+	}
+	floor := prio[u]
+	if prio[v] < floor {
+		floor = prio[v]
+	}
+	// Work on a copy with the link removed; endpoints remain allowed so
+	// replacements may pass through them (they outrank the link).
+	work := eg.Clone()
+	work.RemoveEdge(u, v)
+	allowed := allowedAbove(eg.N(), prio, floor, -1)
+	restrictToBall(eg, u, opts.LocalHorizon, allowed)
+	allowed[u] = true
+	allowed[v] = true
+	check := func(a, b int) bool {
+		jLabels := eg.Labels(a, b) // labels of the trimmed link
+		for _, w := range eg.Neighbors(a) {
+			if w == b {
+				continue
+			}
+			for _, i := range eg.Labels(w, a) {
+				for _, j := range jLabels {
+					if i > j {
+						continue
+					}
+					if restrictedEarliest(work, w, b, i, allowed, opts.MaxIntermediates) > j {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	return check(u, v) && check(v, u), nil
+}
+
+func allowedAbove(n int, prio Priorities, floor float64, exclude int) []bool {
+	allowed := make([]bool, n)
+	for i := range allowed {
+		allowed[i] = prio[i] > floor && i != exclude
+	}
+	return allowed
+}
+
+// restrictToBall clears allowed[] outside the k-hop footprint ball around
+// center (k <= 0 leaves it untouched — global information).
+func restrictToBall(eg *temporal.EG, center, k int, allowed []bool) {
+	if k <= 0 {
+		return
+	}
+	dist, _ := eg.Footprint().BFS(center)
+	for v := range allowed {
+		if dist[v] < 0 || dist[v] > k {
+			allowed[v] = false
+		}
+	}
+}
+
+// Result reports what a Trim pass removed.
+type Result struct {
+	RemovedNodes []int
+	Trimmed      *temporal.EG
+}
+
+// TrimNodes applies the node replacement rule iteratively in ascending
+// priority order, re-evaluating on the progressively trimmed graph (so a
+// node's replacement paths can never route through already-removed nodes).
+// The returned EG preserves earliest completion times — hence
+// time-i-connectivity — between all surviving node pairs.
+func TrimNodes(eg *temporal.EG, prio Priorities, opts Options) (Result, error) {
+	if err := prio.validate(eg.N()); err != nil {
+		return Result{}, err
+	}
+	work := eg.Clone()
+	order := make([]int, eg.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return prio[order[a]] < prio[order[b]] })
+	var removed []int
+	for _, u := range order {
+		ok, err := CanTrimNode(work, u, prio, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok && len(work.Neighbors(u)) > 0 {
+			work.RemoveNode(u)
+			removed = append(removed, u)
+		}
+	}
+	sort.Ints(removed)
+	return Result{RemovedNodes: removed, Trimmed: work}, nil
+}
+
+// IgnoredNeighbors computes, for every node w, the set of neighbors w can
+// locally ignore under the directional rule — the per-node routing view of
+// the 2-hop local trimming discussion.
+func IgnoredNeighbors(eg *temporal.EG, prio Priorities, opts Options) (map[int][]int, error) {
+	if err := prio.validate(eg.N()); err != nil {
+		return nil, err
+	}
+	out := make(map[int][]int)
+	for w := 0; w < eg.N(); w++ {
+		for _, u := range eg.Neighbors(w) {
+			ok, err := CanIgnoreNeighbor(eg, w, u, prio, opts)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out[w] = append(out[w], u)
+			}
+		}
+		sort.Ints(out[w])
+	}
+	return out, nil
+}
+
+// VerifyPreservation checks that trimmed preserves, for every pair of
+// surviving nodes (those with contacts in trimmed, plus isolated originals)
+// and every start time in [0, horizon), both time-t-connectivity and the
+// earliest completion time of original. It returns the first discrepancy.
+func VerifyPreservation(original, trimmed *temporal.EG, removed []int) error {
+	if original.N() != trimmed.N() {
+		return errors.New("trimming: node-count mismatch")
+	}
+	gone := make(map[int]bool, len(removed))
+	for _, v := range removed {
+		gone[v] = true
+	}
+	for s := 0; s < original.N(); s++ {
+		if gone[s] {
+			continue
+		}
+		for start := 0; start < original.Horizon(); start++ {
+			origArr, _, err := original.EarliestArrival(s, start)
+			if err != nil {
+				return err
+			}
+			trimArr, _, err := trimmed.EarliestArrival(s, start)
+			if err != nil {
+				return err
+			}
+			for d := 0; d < original.N(); d++ {
+				if gone[d] || d == s {
+					continue
+				}
+				if origArr[d] != trimArr[d] {
+					return fmt.Errorf("trimming: earliest arrival %d->%d at start %d changed: %d -> %d",
+						s, d, start, origArr[d], trimArr[d])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// GabrielGraph returns the Gabriel subgraph of a unit disk graph: edge
+// (u,v) survives iff no third point lies strictly inside the circle whose
+// diameter is uv. A classic localized static trimming for UDGs (§III-A);
+// it contains the Euclidean MST, so connectivity is preserved.
+func GabrielGraph(g *graph.Graph, pts []geo.Point) *graph.Graph {
+	out := graph.New(g.N())
+	for _, e := range g.Edges() {
+		mid := geo.Point{X: (pts[e.From].X + pts[e.To].X) / 2, Y: (pts[e.From].Y + pts[e.To].Y) / 2}
+		r2 := pts[e.From].Dist(pts[e.To]) / 2
+		blocked := false
+		for w := range pts {
+			if w == e.From || w == e.To {
+				continue
+			}
+			if mid.Dist(pts[w]) < r2-1e-12 {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			_ = out.AddWeightedEdge(e.From, e.To, e.Weight)
+		}
+	}
+	return out
+}
+
+// RelativeNeighborhoodGraph returns the RNG subgraph: edge (u,v) survives
+// iff no third point w is simultaneously closer to both u and v than they
+// are to each other. RNG is a subgraph of the Gabriel graph and still
+// contains the MST.
+func RelativeNeighborhoodGraph(g *graph.Graph, pts []geo.Point) *graph.Graph {
+	out := graph.New(g.N())
+	for _, e := range g.Edges() {
+		d := pts[e.From].Dist(pts[e.To])
+		blocked := false
+		for w := range pts {
+			if w == e.From || w == e.To {
+				continue
+			}
+			if pts[e.From].Dist(pts[w]) < d-1e-12 && pts[e.To].Dist(pts[w]) < d-1e-12 {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			_ = out.AddWeightedEdge(e.From, e.To, e.Weight)
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package trimming
+
+import (
+	"container/heap"
+	"errors"
+	"sort"
+
+	"structura/internal/temporal"
+)
+
+// The paper (§III-A) leaves open how far local trimming can be pushed:
+// "more research is needed on local trimming in time-evolving graphs
+// maintaining a given set of global properties." This file provides the
+// empirical instrument: routing over the *composed* per-node views — every
+// node independently drops the neighbors it may locally ignore — and a
+// verifier comparing the resulting earliest arrivals with the untrimmed
+// graph. The per-segment replacement guarantee does not automatically
+// compose across hops (each replacement may route through links other
+// nodes have dropped), so the measured gap quantifies exactly the open
+// question.
+
+// ViewEarliestArrival computes earliest arrival from src (start time
+// start) when every node w refuses to *relay* over the links in views[w] —
+// the per-node ignored-neighbor sets of IgnoredNeighbors. Ignoring is a
+// relay decision: delivery to the ignored neighbor itself stays allowed
+// (the rule's replacement guarantee covers paths THROUGH u, not paths TO
+// u), and messages may be received over any link. The returned arrival for
+// node d is therefore "earliest arrival at d treating d as the final
+// destination". Unreachable nodes get temporal.Infinity.
+func ViewEarliestArrival(eg *temporal.EG, views map[int][]int, src, start int) ([]int, error) {
+	n := eg.N()
+	if src < 0 || src >= n {
+		return nil, errors.New("trimming: src out of range")
+	}
+	ignored := make([]map[int]bool, n)
+	for w, list := range views {
+		if w < 0 || w >= n {
+			return nil, errors.New("trimming: view node out of range")
+		}
+		set := make(map[int]bool, len(list))
+		for _, u := range list {
+			set[u] = true
+		}
+		ignored[w] = set
+	}
+	// relay[v] = earliest time the message is held by v as a RELAY (i.e.
+	// reached without using any ignored link). arrival[v] additionally
+	// allows one final ignored hop into v.
+	relay := make([]int, n)
+	arrival := make([]int, n)
+	for i := range relay {
+		relay[i] = temporal.Infinity
+		arrival[i] = temporal.Infinity
+	}
+	relay[src] = start
+	arrival[src] = start
+	pq := &viewHeap{{node: src, t: start}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(viewItem)
+		if it.t > relay[it.node] {
+			continue
+		}
+		for _, v := range eg.Neighbors(it.node) {
+			labels := eg.Labels(it.node, v)
+			pos := sort.SearchInts(labels, it.t)
+			if pos == len(labels) {
+				continue
+			}
+			t := labels[pos]
+			if ignored[it.node] != nil && ignored[it.node][v] {
+				// Final-hop delivery only: v gets the message but will not
+				// relay it (it was reached over a link its holder had
+				// trimmed from the relay view).
+				if t < arrival[v] {
+					arrival[v] = t
+				}
+				continue
+			}
+			if t < relay[v] {
+				relay[v] = t
+				if t < arrival[v] {
+					arrival[v] = t
+				}
+				heap.Push(pq, viewItem{node: v, t: t})
+			}
+		}
+	}
+	return arrival, nil
+}
+
+// ViewCompositionReport quantifies how composed local views degrade global
+// routing.
+type ViewCompositionReport struct {
+	Pairs        int // (src, start, dst) triples with a finite baseline
+	Exact        int // triples where the view arrival equals the baseline
+	Delayed      int // finite but later
+	Disconnected int // unreachable under the views
+	LinksDropped int // total directed view entries
+}
+
+// CompareViewRouting routes every (src, start) pair over both the full EG
+// and the composed views and tallies the differences.
+func CompareViewRouting(eg *temporal.EG, views map[int][]int) (ViewCompositionReport, error) {
+	var rep ViewCompositionReport
+	for _, list := range views {
+		rep.LinksDropped += len(list)
+	}
+	for src := 0; src < eg.N(); src++ {
+		for start := 0; start < eg.Horizon(); start++ {
+			base, _, err := eg.EarliestArrival(src, start)
+			if err != nil {
+				return rep, err
+			}
+			got, err := ViewEarliestArrival(eg, views, src, start)
+			if err != nil {
+				return rep, err
+			}
+			for d := 0; d < eg.N(); d++ {
+				if d == src || base[d] == temporal.Infinity {
+					continue
+				}
+				rep.Pairs++
+				switch {
+				case got[d] == base[d]:
+					rep.Exact++
+				case got[d] == temporal.Infinity:
+					rep.Disconnected++
+				default:
+					rep.Delayed++
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+type viewItem struct {
+	node, t int
+}
+
+type viewHeap []viewItem
+
+func (h viewHeap) Len() int            { return len(h) }
+func (h viewHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h viewHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *viewHeap) Push(x interface{}) { *h = append(*h, x.(viewItem)) }
+func (h *viewHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,154 @@
+// Package udg implements the unit-disk-graph results quoted in §II-A: the
+// star-graph witness that not every graph is a unit disk graph, and the
+// constant-factor TSP approximation (MST doubling) that exists on unit disk
+// graphs "but not in general graphs".
+package udg
+
+import (
+	"errors"
+	"math"
+
+	"structura/internal/geo"
+	"structura/internal/graph"
+)
+
+// MaxIndependentNeighbors is the largest number of pairwise-nonadjacent
+// neighbors any node of a unit disk graph can have: five. A star with six or
+// more leaves therefore cannot be a unit disk graph (§II-A and footnote 2).
+const MaxIndependentNeighbors = 5
+
+// StarIsUDG reports whether a star graph with the given number of leaves can
+// be realized as a unit disk graph with mutually nonadjacent leaves.
+func StarIsUDG(leaves int) bool {
+	return leaves <= MaxIndependentNeighbors
+}
+
+// IndependentNeighborBoundHolds verifies on a concrete embedded unit disk
+// graph that no node has more than five pairwise-nonadjacent neighbors.
+// It returns the first violating node, or -1 if the bound holds.
+func IndependentNeighborBoundHolds(g *graph.Graph, pts []geo.Point) int {
+	for v := 0; v < g.N(); v++ {
+		nbrs := g.Neighbors(v)
+		// Greedy max independent set among neighbors; for the 5-bound the
+		// greedy count is a lower bound on the true MIS size, so a greedy
+		// count > 5 is a definite violation.
+		var chosen []int
+		for _, u := range nbrs {
+			ok := true
+			for _, w := range chosen {
+				if g.HasEdge(u, w) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				chosen = append(chosen, u)
+			}
+		}
+		if len(chosen) > MaxIndependentNeighbors {
+			return v
+		}
+	}
+	return -1
+}
+
+// TSPTour is a traveling-salesman tour with its total Euclidean length.
+type TSPTour struct {
+	Order  []int
+	Length float64
+}
+
+// ApproxTSP computes the classic MST-doubling 2-approximation of the metric
+// TSP over the points: build an MST of the complete Euclidean graph, walk it
+// in preorder, and shortcut repeats. The returned tour visits every point
+// once and returns to the start; its length is at most twice the optimum.
+func ApproxTSP(pts []geo.Point) (TSPTour, error) {
+	n := len(pts)
+	if n == 0 {
+		return TSPTour{}, errors.New("udg: no points")
+	}
+	if n == 1 {
+		return TSPTour{Order: []int{0}}, nil
+	}
+	// Prim's MST on the implicit complete graph: O(n^2), no heap needed.
+	inTree := make([]bool, n)
+	bestD := make([]float64, n)
+	bestTo := make([]int, n)
+	children := make([][]int, n)
+	for i := range bestD {
+		bestD[i] = math.Inf(1)
+		bestTo[i] = -1
+	}
+	bestD[0] = 0
+	for it := 0; it < n; it++ {
+		v := -1
+		for u := 0; u < n; u++ {
+			if !inTree[u] && (v == -1 || bestD[u] < bestD[v]) {
+				v = u
+			}
+		}
+		inTree[v] = true
+		if bestTo[v] >= 0 {
+			children[bestTo[v]] = append(children[bestTo[v]], v)
+		}
+		for u := 0; u < n; u++ {
+			if !inTree[u] {
+				if d := pts[v].Dist(pts[u]); d < bestD[u] {
+					bestD[u] = d
+					bestTo[u] = v
+				}
+			}
+		}
+	}
+	// Preorder walk with shortcutting = visiting order.
+	order := make([]int, 0, n)
+	stack := []int{0}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, v)
+		for i := len(children[v]) - 1; i >= 0; i-- {
+			stack = append(stack, children[v][i])
+		}
+	}
+	tour := TSPTour{Order: order}
+	for i := 0; i < n; i++ {
+		tour.Length += pts[order[i]].Dist(pts[order[(i+1)%n]])
+	}
+	return tour, nil
+}
+
+// MSTLowerBound returns the Euclidean MST weight of the points — a lower
+// bound on the optimal TSP tour length, used to verify the 2-approximation
+// empirically.
+func MSTLowerBound(pts []geo.Point) float64 {
+	n := len(pts)
+	if n < 2 {
+		return 0
+	}
+	inTree := make([]bool, n)
+	bestD := make([]float64, n)
+	for i := range bestD {
+		bestD[i] = math.Inf(1)
+	}
+	bestD[0] = 0
+	var total float64
+	for it := 0; it < n; it++ {
+		v := -1
+		for u := 0; u < n; u++ {
+			if !inTree[u] && (v == -1 || bestD[u] < bestD[v]) {
+				v = u
+			}
+		}
+		inTree[v] = true
+		total += bestD[v]
+		for u := 0; u < n; u++ {
+			if !inTree[u] {
+				if d := pts[v].Dist(pts[u]); d < bestD[u] {
+					bestD[u] = d
+				}
+			}
+		}
+	}
+	return total
+}

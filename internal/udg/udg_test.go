@@ -1,0 +1,122 @@
+package udg
+
+import (
+	"math"
+	"testing"
+
+	"structura/internal/geo"
+	"structura/internal/stats"
+)
+
+func TestStarIsUDG(t *testing.T) {
+	// §II-A: "A star graph with one center node and six or more leaves" is
+	// not a unit disk graph.
+	for leaves := 1; leaves <= 5; leaves++ {
+		if !StarIsUDG(leaves) {
+			t.Errorf("star with %d leaves should be realizable", leaves)
+		}
+	}
+	for leaves := 6; leaves <= 8; leaves++ {
+		if StarIsUDG(leaves) {
+			t.Errorf("star with %d leaves must not be a UDG", leaves)
+		}
+	}
+}
+
+func TestFiveLeafStarEmbedding(t *testing.T) {
+	// Construct the 5-leaf star as an actual UDG: center origin, leaves on
+	// a circle of radius 1 spaced 72 degrees (leaf-leaf distance ~1.18 > 1).
+	pts := []geo.Point{{X: 0, Y: 0}}
+	for k := 0; k < 5; k++ {
+		a := 2 * math.Pi * float64(k) / 5
+		pts = append(pts, geo.Point{X: math.Cos(a), Y: math.Sin(a)})
+	}
+	g := geo.UnitDiskGraph(pts, 1+1e-9) // epsilon absorbs Hypot rounding
+	if g.Degree(0) != 5 {
+		t.Fatalf("center degree = %d, want 5", g.Degree(0))
+	}
+	for i := 1; i <= 5; i++ {
+		if g.Degree(i) != 1 {
+			t.Fatalf("leaf %d degree = %d, want 1 (leaves must be independent)", i, g.Degree(i))
+		}
+	}
+	if v := IndependentNeighborBoundHolds(g, pts); v != -1 {
+		t.Errorf("5-leaf star violates nothing, got violation at %d", v)
+	}
+}
+
+func TestIndependentNeighborBoundOnRandomUDGs(t *testing.T) {
+	r := stats.NewRand(1)
+	for trial := 0; trial < 20; trial++ {
+		pts := geo.RandomPoints(r, 150, 10, 10)
+		g := geo.UnitDiskGraph(pts, 1.5)
+		if v := IndependentNeighborBoundHolds(g, pts); v != -1 {
+			t.Fatalf("trial %d: node %d has > 5 independent neighbors in a UDG", trial, v)
+		}
+	}
+}
+
+func TestApproxTSPSquare(t *testing.T) {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 0}}
+	tour, err := ApproxTSP(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tour.Order) != 4 {
+		t.Fatalf("tour order %v", tour.Order)
+	}
+	seen := map[int]bool{}
+	for _, v := range tour.Order {
+		if seen[v] {
+			t.Fatalf("tour revisits %d", v)
+		}
+		seen[v] = true
+	}
+	// Optimum is the square perimeter 4; 2-approx allows <= 8, and for a
+	// square the preorder walk gives exactly 4.
+	if tour.Length > 8+1e-9 {
+		t.Errorf("tour length %v exceeds 2x optimum", tour.Length)
+	}
+}
+
+func TestApproxTSPEdgeCases(t *testing.T) {
+	if _, err := ApproxTSP(nil); err == nil {
+		t.Error("empty should error")
+	}
+	tour, err := ApproxTSP([]geo.Point{{X: 1, Y: 2}})
+	if err != nil || tour.Length != 0 || len(tour.Order) != 1 {
+		t.Errorf("single point tour = %+v, %v", tour, err)
+	}
+	tour2, err := ApproxTSP([]geo.Point{{X: 0, Y: 0}, {X: 3, Y: 4}})
+	if err != nil || math.Abs(tour2.Length-10) > 1e-9 {
+		t.Errorf("two-point tour length = %v, want 10", tour2.Length)
+	}
+}
+
+func TestApproxTSPWithinTwiceMST(t *testing.T) {
+	// MST weight <= OPT, and doubling guarantees tour <= 2*MST <= 2*OPT.
+	r := stats.NewRand(2)
+	for trial := 0; trial < 10; trial++ {
+		pts := geo.RandomPoints(r, 100, 10, 10)
+		tour, err := ApproxTSP(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := MSTLowerBound(pts)
+		if lb <= 0 {
+			t.Fatal("MST lower bound must be positive")
+		}
+		if tour.Length > 2*lb+1e-9 {
+			t.Fatalf("tour %v > 2 * MST %v", tour.Length, lb)
+		}
+	}
+}
+
+func TestMSTLowerBoundEdgeCases(t *testing.T) {
+	if MSTLowerBound(nil) != 0 || MSTLowerBound([]geo.Point{{X: 0, Y: 0}}) != 0 {
+		t.Error("degenerate MST bounds should be 0")
+	}
+	if w := MSTLowerBound([]geo.Point{{X: 0, Y: 0}, {X: 0, Y: 2}}); w != 2 {
+		t.Errorf("pair MST = %v, want 2", w)
+	}
+}

@@ -1,0 +1,50 @@
+// Package structura is a Go reproduction of "Uncovering the Useful
+// Structures of Complex Networks in Socially-Rich and Dynamic
+// Environments" (Jie Wu, ICDCS 2017).
+//
+// The library implements the paper's full stack: the graph models of §II
+// (intersection graphs, unit disk graphs, interval graphs and hypergraphs,
+// time-evolving graphs, edge-Markovian dynamics, mobility-driven contact
+// traces), the three structure-uncovering strategies of §III (structural
+// trimming, layering, and remapping), and the distributed/localized
+// labeling machinery of §IV (CDS/MIS/DS labelings, link reversal,
+// distance-vector labels, hypercube safety levels).
+//
+// This root package is the facade: it exposes the experiment registry that
+// regenerates every figure and quantitative claim of the paper. The
+// subsystems live under internal/ (one package per substrate; see
+// DESIGN.md for the inventory) and are exercised by the example programs
+// under examples/.
+package structura
+
+import (
+	"io"
+
+	"structura/internal/core"
+)
+
+// Strategy is one of the paper's structure-uncovering approaches.
+type Strategy = core.Strategy
+
+// The strategies of §III and the labeling machinery of §IV.
+const (
+	Trimming  = core.Trimming
+	Layering  = core.Layering
+	Remapping = core.Remapping
+	Labeling  = core.Labeling
+)
+
+// Table is a rendered experiment result.
+type Table = core.Table
+
+// Experiment regenerates one figure or claim of the paper.
+type Experiment = core.Experiment
+
+// Experiments lists every registered experiment, sorted by ID.
+func Experiments() []Experiment { return core.Registry() }
+
+// LookupExperiment finds an experiment by ID (e.g. "fig3", "tour").
+func LookupExperiment(id string) (Experiment, error) { return core.Lookup(id) }
+
+// RunAll executes every experiment with the seed, rendering to w.
+func RunAll(w io.Writer, seed int64) error { return core.RunAll(w, seed) }

@@ -1,0 +1,34 @@
+package structura
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFacade(t *testing.T) {
+	es := Experiments()
+	if len(es) != 20 {
+		t.Fatalf("experiments = %d, want 20", len(es))
+	}
+	e, err := LookupExperiment("fig9")
+	if err != nil || e.ID != "fig9" {
+		t.Fatalf("LookupExperiment: %v, %v", e.ID, err)
+	}
+	if _, err := LookupExperiment("zzz"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if Trimming.String() != "trimming" || Labeling.String() != "labeling" {
+		t.Error("strategy aliases broken")
+	}
+}
+
+func TestRunAllFacade(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "=== fig1") {
+		t.Error("RunAll output incomplete")
+	}
+}
