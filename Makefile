@@ -1,0 +1,24 @@
+# Verification entry points. `make verify` is the tier-1 gate plus the
+# race-detector pass over the parallel kernel and its heaviest consumer,
+# so the sharded round execution is permanently exercised under -race.
+
+GO ?= go
+
+.PHONY: build test race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel kernel must stay race-clean: the sharded stepping in
+# internal/runtime and the labeling schemes that drive it hardest.
+race:
+	$(GO) test -race ./internal/runtime/... ./internal/labeling/...
+
+# Sequential vs. sharded kernel on 100k-node ER and 20k-node UDG graphs.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 3x ./internal/runtime/bench
+
+verify: build test race

@@ -6,6 +6,7 @@
 //	structura list                 # list available experiments
 //	structura all                  # run everything
 //	structura fig3 fig4 tour       # run selected experiments
+//	structura trace                # per-round kernel convergence traces
 //	structura -seed 7 fig5         # override the deterministic seed
 package main
 

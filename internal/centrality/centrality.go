@@ -33,7 +33,7 @@ func Closeness(g *graph.Graph) []float64 {
 	n := g.N()
 	out := make([]float64, n)
 	for v := 0; v < n; v++ {
-		dist, _ := g.BFS(v)
+		dist, _, _ := g.BFS(v) // v ranges over valid nodes
 		var sum, reach float64
 		for u, d := range dist {
 			if u == v || d < 0 {

@@ -26,11 +26,14 @@ type DistributedPageRankResult struct {
 // DistributedPageRank runs the damped PageRank iteration on the
 // round-synchronous kernel until the per-node label change drops below tol
 // (or maxRounds passes). Dangling mass is handled by the standard uniform
-// redistribution, which each node can compute from the global constants it
-// is assumed to know (n and the damping factor); detecting the dangling
-// total requires one extra broadcast per round, counted in the stats by
-// the kernel's message model.
-func DistributedPageRank(g *graph.Graph, damping float64, maxRounds int, tol float64) (DistributedPageRankResult, error) {
+// redistribution, computed purely locally: every dangling (degree-0) node
+// starts at the uniform score and receives the identical update each
+// round, so all dangling scores share one trajectory that any node can
+// advance by itself from the global constants it is assumed to know (n,
+// the damping factor, and the dangling-node count). The step function is
+// therefore pure, as the kernel's parallel execution requires. Extra
+// kernel options are passed through to runtime.Run.
+func DistributedPageRank(g *graph.Graph, damping float64, maxRounds int, tol float64, opts ...runtime.Option) (DistributedPageRankResult, error) {
 	n := g.N()
 	if n == 0 {
 		return DistributedPageRankResult{}, errors.New("centrality: empty graph")
@@ -54,44 +57,36 @@ func DistributedPageRank(g *graph.Graph, damping float64, maxRounds int, tol flo
 		score float64
 		share float64 // score / out-degree, what neighbors consume
 		deg   int
+		dang  float64 // the common score of every dangling node this round
 	}
-	// Dangling redistribution needs the previous round's total dangling
-	// mass; with a pure neighbor-local kernel we carry it via a closure
-	// over the previous snapshot, recomputed each round (the kernel calls
-	// step for node 0 first, so we recompute when v == 0).
-	var danglingShare float64
-	prev := make([]state, n)
+	dangCount := 0
+	for v := 0; v < n; v++ {
+		if g.Degree(v) == 0 {
+			dangCount++
+		}
+	}
 	states, stats, err := runtime.Run(g,
 		func(v int) state {
-			s := state{score: 1 / float64(n), deg: g.Degree(v)}
+			s := state{score: 1 / float64(n), deg: g.Degree(v), dang: 1 / float64(n)}
 			if s.deg > 0 {
 				s.share = s.score / float64(s.deg)
 			}
-			prev[v] = s
 			return s
 		},
 		func(v int, self state, nbrs []state) (state, bool) {
-			if v == 0 {
-				var dangling float64
-				for _, s := range prev {
-					if s.deg == 0 {
-						dangling += s.score
-					}
-				}
-				danglingShare = damping * dangling / float64(n)
-			}
+			danglingShare := damping * float64(dangCount) * self.dang / float64(n)
 			next := (1-damping)/float64(n) + danglingShare
 			for _, nb := range nbrs {
 				next += damping * nb.share
 			}
 			changed := math.Abs(next-self.score) > tol
-			out := state{score: next, deg: self.deg}
+			out := state{score: next, deg: self.deg,
+				dang: (1-damping)/float64(n) + danglingShare}
 			if out.deg > 0 {
 				out.share = out.score / float64(out.deg)
 			}
-			prev[v] = out
 			return out, changed
-		}, maxRounds)
+		}, append([]runtime.Option{runtime.WithMaxRounds(maxRounds)}, opts...)...)
 	if err != nil {
 		return DistributedPageRankResult{}, err
 	}

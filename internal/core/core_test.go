@@ -10,7 +10,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"centrality", "distvec", "dynmis",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-		"hybrid", "markov", "maxflow", "smallworld", "tour", "trim", "udgtsp", "views",
+		"hybrid", "markov", "maxflow", "smallworld", "tour", "trace", "trim", "udgtsp", "views",
 	}
 	got := Registry()
 	if len(got) != len(want) {

@@ -27,8 +27,9 @@ type dvState struct {
 }
 
 // Compute runs synchronous distance-vector rounds on g toward dest until
-// the labels stabilize. Edge weights are the link costs.
-func Compute(g *graph.Graph, dest, maxRounds int) (*Table, error) {
+// the labels stabilize. Edge weights are the link costs. Extra kernel
+// options (observers, parallelism) are passed through to runtime.Run.
+func Compute(g *graph.Graph, dest, maxRounds int, opts ...runtime.Option) (*Table, error) {
 	if dest < 0 || dest >= g.N() {
 		return nil, errors.New("distvec: destination out of range")
 	}
@@ -68,7 +69,7 @@ func Compute(g *graph.Graph, dest, maxRounds int) (*Table, error) {
 				return best, true
 			}
 			return self, false
-		}, maxRounds)
+		}, append([]runtime.Option{runtime.WithMaxRounds(maxRounds)}, opts...)...)
 	if err != nil {
 		return nil, err
 	}

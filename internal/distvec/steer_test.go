@@ -46,7 +46,7 @@ func TestSteerByWeightsRandomArborescence(t *testing.T) {
 		}
 		// Random BFS-ish arborescence: take the BFS tree of a random root
 		// relabeled to dest 0... simplest: use BFS parents from 0.
-		_, parent := g.BFS(0)
+		_, parent, _ := g.BFS(0)
 		steered, err := SteerByWeights(g, 0, parent)
 		if err != nil {
 			t.Fatal(err)

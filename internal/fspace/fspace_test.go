@@ -252,7 +252,7 @@ func TestFeatureDistanceMatchesBFS(t *testing.T) {
 	s := Fig6Space()
 	g := s.Graph()
 	for src := 0; src < s.N(); src++ {
-		dist, _ := g.BFS(src)
+		dist, _, _ := g.BFS(src)
 		for v := 0; v < s.N(); v++ {
 			fd, err := s.FeatureDistance(src, v)
 			if err != nil {

@@ -69,7 +69,7 @@ func TestQuickHypercubeShape(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		dist, _ := g.BFS(a)
+		dist, _, _ := g.BFS(a)
 		return dist[b] == fd
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {

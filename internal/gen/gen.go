@@ -7,6 +7,7 @@ package gen
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 
 	"structura/internal/graph"
@@ -22,6 +23,37 @@ func ErdosRenyi(r *rand.Rand, n int, p float64) *graph.Graph {
 			if r.Float64() < p {
 				_ = g.AddEdge(u, v)
 			}
+		}
+	}
+	return g
+}
+
+// SparseErdosRenyi returns G(n, p) like ErdosRenyi but in O(n + m)
+// expected time using geometric edge skipping (Batagelj–Brandes): instead
+// of flipping a coin per pair, it jumps directly to the next successful
+// pair. The draw differs from ErdosRenyi for the same rand stream but has
+// the identical distribution, and it is what makes million-node sparse
+// graphs practical to generate.
+func SparseErdosRenyi(r *rand.Rand, n int, p float64) *graph.Graph {
+	g := graph.New(n)
+	if n < 2 || p <= 0 {
+		return g
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	logq := math.Log(1 - p)
+	// Walk the strictly-lower-triangular pair matrix row by row (v, w<v),
+	// skipping a geometric number of pairs between successes.
+	v, w := 1, -1
+	for v < n {
+		w += 1 + int(math.Log(1-r.Float64())/logq)
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			_ = g.AddEdge(v, w)
 		}
 	}
 	return g

@@ -128,7 +128,7 @@ func TestRegularTopologies(t *testing.T) {
 
 func TestGridDistances(t *testing.T) {
 	g := Grid(5, 5)
-	dist, _ := g.BFS(0)
+	dist, _, _ := g.BFS(0)
 	if dist[24] != 8 {
 		t.Errorf("corner-to-corner distance = %d, want 8", dist[24])
 	}
@@ -192,5 +192,42 @@ func TestDeterminism(t *testing.T) {
 		if e1[i] != e2[i] {
 			t.Fatalf("same seed diverged at edge %d: %v vs %v", i, e1[i], e2[i])
 		}
+	}
+}
+
+func TestSparseErdosRenyi(t *testing.T) {
+	// Same distribution as the quadratic generator: the edge count of
+	// G(n, p) concentrates around p*n*(n-1)/2.
+	r := stats.NewRand(3)
+	n, p := 2000, 0.005
+	g := SparseErdosRenyi(r, n, p)
+	mean := p * float64(n) * float64(n-1) / 2
+	if m := float64(g.M()); m < mean*0.8 || m > mean*1.2 {
+		t.Errorf("edge count %v far from expectation %v", m, mean)
+	}
+	// Simple graph: no self-loops or duplicate edges.
+	for v := 0; v < g.N(); v++ {
+		seen := map[int]bool{}
+		for _, w := range g.Neighbors(v) {
+			if w == v {
+				t.Fatalf("self-loop at %d", v)
+			}
+			if seen[w] {
+				t.Fatalf("duplicate edge %d-%d", v, w)
+			}
+			seen[w] = true
+		}
+	}
+	// Deterministic for a fixed seed.
+	again := SparseErdosRenyi(stats.NewRand(3), n, p)
+	if again.M() != g.M() {
+		t.Errorf("same seed drew %d edges, then %d", g.M(), again.M())
+	}
+	// Degenerate parameters.
+	if SparseErdosRenyi(stats.NewRand(1), 100, 0).M() != 0 {
+		t.Error("p=0 must be empty")
+	}
+	if got := SparseErdosRenyi(stats.NewRand(1), 20, 1).M(); got != 190 {
+		t.Errorf("p=1 drew %d edges, want complete 190", got)
 	}
 }

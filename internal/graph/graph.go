@@ -264,8 +264,11 @@ func (g *Graph) Subgraph(keep map[int]bool) (*Graph, []int) {
 	return sub, olds
 }
 
-// Undirected returns an undirected copy of g (collapsing edge directions;
-// parallel edges may result if both directions existed).
+// Undirected returns an undirected copy of g, collapsing edge directions.
+// When both directions of a link existed they are deduplicated (via
+// HasEdge) into a single undirected edge carrying the first direction's
+// weight, so the result never contains parallel edges the directed graph
+// did not already have.
 func (g *Graph) Undirected() *Graph {
 	if !g.directed {
 		return g.Clone()

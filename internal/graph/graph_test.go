@@ -153,7 +153,7 @@ func TestEdgesOnceUndirected(t *testing.T) {
 
 func TestBFS(t *testing.T) {
 	g := path(5)
-	dist, parent := g.BFS(0)
+	dist, parent, _ := g.BFS(0)
 	for i := 0; i < 5; i++ {
 		if dist[i] != i {
 			t.Errorf("dist[%d] = %d, want %d", i, dist[i], i)
@@ -174,7 +174,7 @@ func TestBFS(t *testing.T) {
 func TestBFSUnreachable(t *testing.T) {
 	g := New(3)
 	mustEdge(t, g, 0, 1)
-	dist, parent := g.BFS(0)
+	dist, parent, _ := g.BFS(0)
 	if dist[2] != -1 || parent[2] != -1 {
 		t.Error("unreachable node should have dist/parent -1")
 	}
@@ -461,7 +461,7 @@ func TestBFSDistanceProperty(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 50; trial++ {
 		g := randomGraph(r, 2+r.Intn(30), 0.2, false)
-		dist, _ := g.BFS(0)
+		dist, _, _ := g.BFS(0)
 		for _, e := range g.Edges() {
 			du, dv := dist[e.From], dist[e.To]
 			if du == -1 && dv == -1 {
@@ -482,7 +482,7 @@ func TestDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
 	r := rand.New(rand.NewSource(8))
 	for trial := 0; trial < 50; trial++ {
 		g := randomGraph(r, 2+r.Intn(30), 0.15, trial%2 == 0)
-		bd, _ := g.BFS(0)
+		bd, _, _ := g.BFS(0)
 		dd, _ := g.Dijkstra(0)
 		for v := range bd {
 			if bd[v] == -1 {
@@ -576,5 +576,36 @@ func TestPathToCorruptedParents(t *testing.T) {
 	parent := []int{1, 0, 1}
 	if p := PathTo(parent, 9, 2); p != nil {
 		t.Errorf("cyclic parents should yield nil, got %v", p)
+	}
+}
+
+func TestBFSOutOfRangeSource(t *testing.T) {
+	g := path(3)
+	for _, src := range []int{-1, 3, 99} {
+		if _, _, err := g.BFS(src); err == nil {
+			t.Errorf("BFS(%d) should error on an out-of-range source", src)
+		}
+	}
+}
+
+func TestUndirectedNoParallelEdges(t *testing.T) {
+	// Both directions of every link exist; the undirected view must
+	// deduplicate them into simple edges, never parallel copies.
+	g := NewDirected(4)
+	for _, e := range [][2]int{{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 3}} {
+		mustEdge(t, g, e[0], e[1])
+	}
+	u := g.Undirected()
+	if u.M() != 3 {
+		t.Fatalf("undirected M = %d, want 3", u.M())
+	}
+	for v := 0; v < u.N(); v++ {
+		seen := map[int]int{}
+		for _, w := range u.Neighbors(v) {
+			seen[w]++
+			if seen[w] > 1 {
+				t.Fatalf("parallel edge %d-%d in undirected view", v, w)
+			}
+		}
 	}
 }

@@ -55,7 +55,10 @@ func (g *Graph) SpanningTree(root int) (parent []int, err error) {
 	if err := g.check(root); err != nil {
 		return nil, err
 	}
-	dist, parent := g.BFS(root)
+	dist, parent, err := g.BFS(root)
+	if err != nil {
+		return nil, err
+	}
 	for v, d := range dist {
 		if d == -1 {
 			return nil, fmt.Errorf("graph: node %d unreachable from root %d", v, root)

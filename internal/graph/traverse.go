@@ -8,17 +8,19 @@ import (
 
 // BFS runs a breadth-first search from src and returns the hop distance to
 // every node (-1 if unreachable) and the BFS parent of every node (-1 for
-// src and unreachable nodes).
-func (g *Graph) BFS(src int) (dist, parent []int) {
+// src and unreachable nodes). An out-of-range src is an error (ErrNodeRange)
+// rather than an all-unreachable result, which would be indistinguishable
+// from a disconnected graph.
+func (g *Graph) BFS(src int) (dist, parent []int, err error) {
+	if err := g.check(src); err != nil {
+		return nil, nil, err
+	}
 	n := len(g.adj)
 	dist = make([]int, n)
 	parent = make([]int, n)
 	for i := range dist {
 		dist[i] = -1
 		parent[i] = -1
-	}
-	if src < 0 || src >= n {
-		return dist, parent
 	}
 	dist[src] = 0
 	queue := []int{src}
@@ -33,7 +35,7 @@ func (g *Graph) BFS(src int) (dist, parent []int) {
 			}
 		}
 	}
-	return dist, parent
+	return dist, parent, nil
 }
 
 // DFS returns the nodes reachable from src in depth-first preorder.
@@ -74,7 +76,7 @@ func (g *Graph) Connected() bool {
 	if g.directed {
 		u = g.Undirected()
 	}
-	dist, _ := u.BFS(0)
+	dist, _, _ := u.BFS(0) // n > 1 here, so src 0 is always valid
 	for _, d := range dist {
 		if d == -1 {
 			return false
@@ -189,7 +191,7 @@ func PathTo(parent []int, src, dst int) []int {
 func (g *Graph) Diameter() (int, bool) {
 	best := -1
 	for s := 0; s < len(g.adj); s++ {
-		dist, _ := g.BFS(s)
+		dist, _, _ := g.BFS(s) // s ranges over valid nodes
 		for _, d := range dist {
 			if d > best {
 				best = d

@@ -15,6 +15,9 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+
+	"structura/internal/graph"
+	"structura/internal/runtime"
 )
 
 // Cube is an n-dimensional binary hypercube with a set of faulty nodes.
@@ -139,6 +142,60 @@ func (c *Cube) SafetyLevels() SafetyResult {
 		rounds++
 	}
 	return SafetyResult{Levels: levels, Rounds: rounds}
+}
+
+// Graph returns the cube's topology as an undirected graph.Graph (node v
+// adjacent to v with each address bit flipped), the substrate for running
+// cube labelings on the synchronous round kernel.
+func (c *Cube) Graph() *graph.Graph {
+	g := graph.New(c.N())
+	for v := 0; v < c.N(); v++ {
+		for i := 0; i < c.dim; i++ {
+			if w := v ^ (1 << i); v < w {
+				_ = g.AddEdge(v, w)
+			}
+		}
+	}
+	return g
+}
+
+// SafetyLevelsDistributed computes SafetyLevels as an actual distributed
+// labeling process on the synchronous round kernel, so its cost is measured
+// by the same round/message accounting as the other labeling schemes. The
+// result always equals SafetyLevels; the returned kernel stats include the
+// final quiet round (Rounds-1 matches SafetyResult.Rounds). Extra kernel
+// options (observers, parallelism) are passed through to runtime.Run.
+func (c *Cube) SafetyLevelsDistributed(opts ...runtime.Option) (SafetyResult, runtime.Stats, error) {
+	g := c.Graph()
+	levels, stats, err := runtime.Run(g,
+		func(v int) int {
+			if c.faulty[v] {
+				return 0
+			}
+			return c.dim
+		},
+		func(v int, self int, nbrs []int) (int, bool) {
+			if c.faulty[v] {
+				return 0, false
+			}
+			seq := append([]int(nil), nbrs...)
+			sort.Ints(seq)
+			l := c.dim
+			for i := 0; i < len(seq); i++ {
+				if seq[i] < i {
+					l = i
+					break
+				}
+			}
+			return l, l != self
+		}, append([]runtime.Option{runtime.WithMaxRounds(c.dim + 2)}, opts...)...)
+	if err != nil {
+		return SafetyResult{}, stats, err
+	}
+	if !stats.Stable {
+		return SafetyResult{}, stats, errors.New("hypercube: safety levels did not stabilize")
+	}
+	return SafetyResult{Levels: levels, Rounds: stats.Rounds - 1}, stats, nil
 }
 
 // Safe reports whether node v is safe (level == dim) under res.

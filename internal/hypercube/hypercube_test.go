@@ -3,6 +3,7 @@ package hypercube
 import (
 	"testing"
 
+	"structura/internal/runtime"
 	"structura/internal/stats"
 )
 
@@ -308,5 +309,66 @@ func TestFig9Scenario(t *testing.T) {
 	}
 	if res.Rounds > 3 {
 		t.Errorf("rounds = %d, want <= n-1 = 3", res.Rounds)
+	}
+}
+
+func TestSafetyLevelsDistributedMatchesCentralized(t *testing.T) {
+	// The kernel-based labeling must reproduce the iterative computation
+	// exactly — levels and round count — on random fault sets, sequential
+	// and sharded alike.
+	r := stats.NewRand(5)
+	for trial := 0; trial < 6; trial++ {
+		dim := 3 + trial%4
+		nf := r.Intn(1 << (dim - 1))
+		faults := map[int]bool{}
+		for len(faults) < nf {
+			faults[r.Intn(1<<dim)] = true
+		}
+		var fl []int
+		for f := range faults {
+			fl = append(fl, f)
+		}
+		c, err := New(dim, fl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := c.SafetyLevels()
+		for _, workers := range []int{1, 4} {
+			got, st, err := c.SafetyLevelsDistributed(runtime.WithParallelism(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Rounds != want.Rounds {
+				t.Errorf("trial %d workers %d: rounds = %d, want %d",
+					trial, workers, got.Rounds, want.Rounds)
+			}
+			for v := range want.Levels {
+				if got.Levels[v] != want.Levels[v] {
+					t.Fatalf("trial %d workers %d: level[%d] = %d, want %d",
+						trial, workers, v, got.Levels[v], want.Levels[v])
+				}
+			}
+			if st.Messages != st.Rounds*2*c.Graph().M() {
+				t.Errorf("trial %d: kernel charged %d messages", trial, st.Messages)
+			}
+		}
+	}
+}
+
+func TestCubeGraph(t *testing.T) {
+	c, err := New(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Graph()
+	if g.N() != 8 || g.M() != 12 {
+		t.Fatalf("3-cube graph has n=%d m=%d, want 8 and 12", g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if Distance(v, w) != 1 {
+				t.Fatalf("edge %d-%d is not a one-bit flip", v, w)
+			}
+		}
 	}
 }

@@ -174,7 +174,9 @@ type MISResult struct {
 // round, every White node that is the local priority maximum among its
 // White neighbors turns Black; White neighbors of Black nodes turn Gray.
 // With random priorities this takes O(log n) rounds with high probability.
-func DistributedMIS(g *graph.Graph, prio Priority) (MISResult, error) {
+// Extra kernel options (observers, parallelism) are passed through to
+// runtime.Run.
+func DistributedMIS(g *graph.Graph, prio Priority, opts ...runtime.Option) (MISResult, error) {
 	n := g.N()
 	if err := prio.validate(n); err != nil {
 		return MISResult{}, err
@@ -208,7 +210,7 @@ func DistributedMIS(g *graph.Graph, prio Priority) (MISResult, error) {
 				return self, true
 			}
 			return self, false
-		}, 4*n+4)
+		}, append([]runtime.Option{runtime.WithMaxRounds(4*n + 4)}, opts...)...)
 	if err != nil {
 		return MISResult{}, err
 	}

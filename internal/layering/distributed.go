@@ -24,8 +24,9 @@ type DistributedLevelsResult struct {
 
 // DistributedNestedLevels computes NestedLevels on the round-synchronous
 // kernel. The result equals the centralized NestedLevels; Stats.Rounds is
-// roughly twice the hierarchy depth (two phases per level).
-func DistributedNestedLevels(g *graph.Graph) (DistributedLevelsResult, error) {
+// roughly twice the hierarchy depth (two phases per level). Extra kernel
+// options (observers, parallelism) are passed through to runtime.Run.
+func DistributedNestedLevels(g *graph.Graph, opts ...runtime.Option) (DistributedLevelsResult, error) {
 	n := g.N()
 	type state struct {
 		level   int  // 0 = unassigned
@@ -79,7 +80,7 @@ func DistributedNestedLevels(g *graph.Graph) (DistributedLevelsResult, error) {
 			self.adj = adj
 			self.assign = true
 			return self, true
-		}, 4*n+8)
+		}, append([]runtime.Option{runtime.WithMaxRounds(4*n + 8)}, opts...)...)
 	if err != nil {
 		return DistributedLevelsResult{}, err
 	}

@@ -44,7 +44,10 @@ func NewPubSub(g *graph.Graph, levels []int) (*PubSub, error) {
 	// an external server; we pick the lowest-ID top node as the rendezvous
 	// (the "server" role).
 	top := tops[0]
-	dist, parent := g.BFS(top)
+	dist, parent, err := g.BFS(top)
+	if err != nil {
+		return nil, err
+	}
 	for v, d := range dist {
 		if d < 0 {
 			return nil, errors.New("layering: overlay must be connected")

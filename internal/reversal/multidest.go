@@ -41,7 +41,10 @@ func NewMultiNetwork(support *graph.Graph, dests []int, mode Mode) (*MultiNetwor
 		if _, dup := m.nets[d]; dup {
 			return nil, fmt.Errorf("reversal: duplicate destination %d", d)
 		}
-		dist, _ := support.BFS(d)
+		dist, _, err := support.BFS(d)
+		if err != nil {
+			return nil, err
+		}
 		alphas := make([]int, support.N())
 		for v, dv := range dist {
 			alphas[v] = dv

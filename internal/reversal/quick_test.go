@@ -25,7 +25,7 @@ func randomConnected(seed int64, nRaw uint8) (*graph.Graph, []int) {
 		}
 	}
 	alphas := make([]int, n)
-	dist, _ := g.BFS(0)
+	dist, _, _ := g.BFS(0)
 	for v := 1; v < n; v++ {
 		alphas[v] = dist[v]*n + v // distinct, increasing away from 0
 	}

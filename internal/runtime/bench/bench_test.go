@@ -1,0 +1,95 @@
+// Package bench benchmarks the synchronous round kernel, comparing the
+// sequential schedule against the sharded parallel one on the two graph
+// families the paper's experiments lean on: sparse Erdős–Rényi and unit
+// disk graphs. Run with:
+//
+//	go test -bench . -benchtime 3x ./internal/runtime/bench
+package bench
+
+import (
+	"fmt"
+	stdruntime "runtime"
+	"sync"
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/geo"
+	"structura/internal/graph"
+	"structura/internal/runtime"
+	"structura/internal/stats"
+)
+
+const (
+	erNodes  = 100_000
+	erDegree = 10
+	udgNodes = 20_000
+	udgDeg   = 10
+)
+
+var (
+	erOnce, udgOnce sync.Once
+	erG, udgG       *graph.Graph
+)
+
+func erGraph() *graph.Graph {
+	erOnce.Do(func() {
+		erG = gen.SparseErdosRenyi(stats.NewRand(1), erNodes, erDegree/float64(erNodes-1))
+	})
+	return erG
+}
+
+func udgGraph() *graph.Graph {
+	udgOnce.Do(func() {
+		// Radius for an expected degree of ~udgDeg in the unit square:
+		// n * pi * r^2 = udgDeg.
+		pts := geo.RandomPoints(stats.NewRand(2), udgNodes, 1, 1)
+		udgG = geo.UnitDiskGraph(pts, 0.0126)
+	})
+	return udgG
+}
+
+// maxStep is the distributed-max labeling: one comparison per neighbor per
+// round, the lightest realistic per-node work, which makes the benchmark a
+// worst case for parallel overhead.
+func maxStep(v int, self int, nbrs []int) (int, bool) {
+	best := self
+	for _, nb := range nbrs {
+		if nb > best {
+			best = nb
+		}
+	}
+	return best, best != self
+}
+
+func benchKernel(b *testing.B, g *graph.Graph) {
+	init := func(v int) int { return v * 2654435761 % 1_000_003 }
+	workerCounts := []int{1, stdruntime.GOMAXPROCS(0)}
+	if workerCounts[1] == 1 {
+		workerCounts[1] = 4 // still exercise the sharded path on 1-core hosts
+	}
+	var want int
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				states, st, err := runtime.Run(g, init, maxStep,
+					runtime.WithMaxRounds(15), runtime.WithParallelism(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Rounds == 0 {
+					b.Fatal("no rounds executed")
+				}
+				if want == 0 {
+					want = states[0]
+				} else if states[0] != want {
+					b.Fatalf("schedules disagree: state[0] = %d, want %d", states[0], want)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKernelER100k(b *testing.B) { benchKernel(b, erGraph()) }
+
+func BenchmarkKernelUDG20k(b *testing.B) { benchKernel(b, udgGraph()) }

@@ -42,7 +42,7 @@ func TestKernelGossipAveraging(t *testing.T) {
 				}
 			}
 			return out, out != self
-		}, 200)
+		}, WithMaxRounds(200))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestKernelSnapshotSemantics(t *testing.T) {
 				}
 			}
 			return self, false
-		}, 1) // ONE round only
+		}, WithMaxRounds(1)) // ONE round only
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,136 @@
+package runtime
+
+import (
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/stats"
+)
+
+// maxStep is the distributed-max step used across the equivalence tests.
+func maxStep(v int, self int, nbrs []int) (int, bool) {
+	best := self
+	for _, nb := range nbrs {
+		if nb > best {
+			best = nb
+		}
+	}
+	return best, best != self
+}
+
+// Property: the sharded schedule is indistinguishable from the sequential
+// one — identical final states, round counts, message totals, and
+// per-round changed counts — on randomized graphs, for worker counts that
+// divide the node set evenly and ones that do not.
+func TestParallelMatchesSequential(t *testing.T) {
+	r := stats.NewRand(7)
+	for trial := 0; trial < 8; trial++ {
+		n := 50 + r.Intn(200)
+		g := gen.ErdosRenyi(r, n, 3/float64(n))
+		init := func(v int) int { return (v*2654435761 + trial) % 1000 }
+		seq, seqStats, err := Run(g, init, maxStep, WithMaxRounds(4*n), WithParallelism(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			par, parStats, err := Run(g, init, maxStep, WithMaxRounds(4*n), WithParallelism(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parStats.Rounds != seqStats.Rounds || parStats.Messages != seqStats.Messages ||
+				parStats.Stable != seqStats.Stable {
+				t.Fatalf("trial %d workers %d: stats %+v vs sequential %+v",
+					trial, workers, parStats, seqStats)
+			}
+			for v := range seq {
+				if par[v] != seq[v] {
+					t.Fatalf("trial %d workers %d: state[%d] = %d vs sequential %d",
+						trial, workers, v, par[v], seq[v])
+				}
+			}
+			for i := range seqStats.History {
+				if parStats.History[i].Changed != seqStats.History[i].Changed {
+					t.Fatalf("trial %d workers %d round %d: %d changed vs sequential %d",
+						trial, workers, i+1,
+						parStats.History[i].Changed, seqStats.History[i].Changed)
+				}
+			}
+		}
+	}
+}
+
+// Struct-valued states must survive the sharded path too (the gossip
+// min/max aggregation), including on directed graphs where the message
+// accounting differs.
+func TestParallelStructStatesAndDirected(t *testing.T) {
+	r := stats.NewRand(11)
+	type state struct{ min, max float64 }
+	gossip := func(v int, self state, nbrs []state) (state, bool) {
+		out := self
+		for _, nb := range nbrs {
+			if nb.min < out.min {
+				out.min = nb.min
+			}
+			if nb.max > out.max {
+				out.max = nb.max
+			}
+		}
+		return out, out != self
+	}
+	for trial := 0; trial < 4; trial++ {
+		n := 60 + r.Intn(60)
+		g := graph.NewDirected(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				_ = g.AddEdge(u, v)
+			}
+		}
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64()
+		}
+		init := func(v int) state { return state{min: vals[v], max: vals[v]} }
+		seq, seqStats, err := Run(g, init, gossip, WithMaxRounds(4*n), WithParallelism(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqStats.Messages != seqStats.Rounds*g.M() {
+			t.Fatalf("directed run charged %d messages over %d rounds with M=%d",
+				seqStats.Messages, seqStats.Rounds, g.M())
+		}
+		par, parStats, err := Run(g, init, gossip, WithMaxRounds(4*n), WithParallelism(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parStats.Rounds != seqStats.Rounds || parStats.Messages != seqStats.Messages {
+			t.Fatalf("trial %d: parallel stats %+v vs %+v", trial, parStats, seqStats)
+		}
+		for v := range seq {
+			if par[v] != seq[v] {
+				t.Fatalf("trial %d: state[%d] differs", trial, v)
+			}
+		}
+	}
+}
+
+// Forced parallelism beyond the node count must not break sharding (empty
+// shards are fine), and tiny graphs must work under every worker count.
+func TestParallelMoreWorkersThanNodes(t *testing.T) {
+	g := gen.Path(3)
+	states, st, err := Run(g,
+		func(v int) int { return v },
+		maxStep, WithMaxRounds(20), WithParallelism(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Stable {
+		t.Fatal("must stabilize")
+	}
+	for v, s := range states {
+		if s != 2 {
+			t.Errorf("state[%d] = %d, want 2", v, s)
+		}
+	}
+}

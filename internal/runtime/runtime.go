@@ -3,72 +3,231 @@
 // with neighbors once per round. Distributed labeling algorithms (MIS, CDS,
 // distance-vector, safety levels) run on this kernel, and its round/message
 // accounting backs the paper's complexity claims.
+//
+// Within a round every node's step is a pure function of the previous
+// round's states, so the kernel is free to evaluate nodes in any order —
+// including concurrently. Run shards the node set across workers when the
+// graph is large enough (or when WithParallelism asks for it) and produces
+// results bit-for-bit identical to the sequential schedule.
 package runtime
 
 import (
 	"errors"
+	stdruntime "runtime"
+	"sync"
+	"time"
 
 	"structura/internal/graph"
 )
+
+// RoundStats describes one synchronous round, as delivered to a
+// RoundObserver and recorded in Stats.History.
+type RoundStats struct {
+	Round    int           // 1-based round index
+	Changed  int           // nodes whose step reported a state change
+	Messages int           // messages exchanged this round
+	Elapsed  time.Duration // wall time spent stepping the round
+}
+
+// RoundObserver receives per-round statistics as the run progresses. It is
+// called from the coordinating goroutine between rounds (never
+// concurrently), after the round's states are committed.
+type RoundObserver func(RoundStats)
 
 // Stats reports the cost of a run in the standard synchronous measures.
 type Stats struct {
 	Rounds   int
 	Messages int // one message per directed edge per round (state exchange)
 	Stable   bool
+	History  []RoundStats // per-round trace, one entry per executed round
 }
+
+type config struct {
+	maxRounds    int
+	maxRoundsSet bool
+	parallelism  int // 0 = auto (GOMAXPROCS, sequential below cutoff)
+	observer     RoundObserver
+}
+
+// Option configures a Run.
+type Option func(*config)
+
+// WithMaxRounds bounds the run at r rounds. Zero means "execute no rounds":
+// the init states are returned without a stability probe. Without this
+// option the kernel defaults to 4n+8 rounds, enough for every labeling
+// scheme in the repository to stabilize.
+func WithMaxRounds(r int) Option {
+	return func(c *config) { c.maxRounds = r; c.maxRoundsSet = true }
+}
+
+// WithParallelism fixes the number of worker goroutines stepping nodes
+// within a round. p <= 0 restores the automatic choice (GOMAXPROCS, with a
+// sequential fallback for small graphs); p == 1 forces the sequential
+// path; p > 1 forces sharded execution even on graphs below the automatic
+// cutoff, which is how tests exercise the parallel path deterministically.
+func WithParallelism(p int) Option {
+	return func(c *config) { c.parallelism = p }
+}
+
+// WithObserver registers a per-round statistics hook (convergence traces,
+// progress reporting). The observer must not call back into the run.
+func WithObserver(obs RoundObserver) Option {
+	return func(c *config) { c.observer = obs }
+}
+
+// parallelCutoff is the node count below which the automatic mode stays
+// sequential: under ~2k nodes a round's work is comparable to the cost of
+// the fork/join barrier itself.
+const parallelCutoff = 2048
 
 // Run executes a synchronous distributed algorithm: every round, each node
 // observes its own state and its neighbors' states from the end of the
 // previous round and produces a new state. The run stops when a round
-// leaves every state unchanged, or after maxRounds.
+// leaves every state unchanged, or after the round budget (WithMaxRounds).
 //
 // step must be a pure function of its inputs for the simulation to be
-// faithful; the neighbor slice is ordered by adjacency and reused across
-// calls, so implementations must not retain it.
+// faithful — and, because the kernel may step nodes concurrently, it must
+// not write shared state. The neighbor slice is ordered by adjacency and
+// reused across calls, so implementations must not retain it.
 func Run[S any](
 	g *graph.Graph,
 	init func(v int) S,
 	step func(v int, self S, neighbors []S) (S, bool),
-	maxRounds int,
+	opts ...Option,
 ) ([]S, Stats, error) {
 	if init == nil || step == nil {
 		return nil, Stats{}, errors.New("runtime: nil init or step")
 	}
-	if maxRounds < 0 {
+	n := g.N()
+	cfg := config{maxRounds: 4*n + 8}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.maxRoundsSet && cfg.maxRounds < 0 {
 		return nil, Stats{}, errors.New("runtime: negative maxRounds")
 	}
-	n := g.N()
+	workers := cfg.parallelism
+	forced := workers > 0
+	if workers <= 0 {
+		workers = stdruntime.GOMAXPROCS(0)
+	}
+	if !forced && n < parallelCutoff {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
 	cur := make([]S, n)
 	for v := 0; v < n; v++ {
 		cur[v] = init(v)
 	}
 	next := make([]S, n)
+	// One message per directed edge per round: a directed edge carries one
+	// state transfer, an undirected edge is two directed links (one each way).
+	msgsPerRound := g.M()
+	if !g.Directed() {
+		msgsPerRound *= 2
+	}
+
 	var st Stats
+	var shards []shard
+	var scratches [][]S
+	if workers > 1 {
+		shards = makeShards(n, workers)
+		scratches = make([][]S, len(shards))
+	}
 	scratch := make([]S, 0, 16)
-	for r := 0; r < maxRounds; r++ {
-		changed := false
-		for v := 0; v < n; v++ {
-			scratch = scratch[:0]
-			g.EachNeighbor(v, func(w int, _ float64) {
-				scratch = append(scratch, cur[w])
-			})
-			s, ch := step(v, cur[v], scratch)
-			next[v] = s
-			if ch {
-				changed = true
-			}
+	for r := 0; r < cfg.maxRounds; r++ {
+		begin := time.Now()
+		var changed int
+		if workers > 1 {
+			changed = stepShards(g, cur, next, step, shards, scratches)
+		} else {
+			changed = stepRange(g, cur, next, step, 0, n, &scratch)
 		}
 		st.Rounds++
-		st.Messages += 2 * g.M() // every node sends its state over each link
+		st.Messages += msgsPerRound
 		cur, next = next, cur
-		if !changed {
+		rs := RoundStats{Round: st.Rounds, Changed: changed, Messages: msgsPerRound, Elapsed: time.Since(begin)}
+		st.History = append(st.History, rs)
+		if cfg.observer != nil {
+			cfg.observer(rs)
+		}
+		if changed == 0 {
 			st.Stable = true
 			return cur, st, nil
 		}
 	}
 	st.Stable = false
 	return cur, st, nil
+}
+
+type shard struct{ lo, hi int }
+
+// makeShards partitions [0, n) into contiguous, near-equal ranges — one per
+// worker, keeping each worker's reads of cur clustered for cache locality.
+func makeShards(n, workers int) []shard {
+	out := make([]shard, workers)
+	for w := 0; w < workers; w++ {
+		out[w] = shard{lo: w * n / workers, hi: (w + 1) * n / workers}
+	}
+	return out
+}
+
+// stepRange steps nodes [lo, hi) against the cur snapshot, writing into
+// next, and returns how many reported a change. scratch is the caller's
+// reusable neighbor-state buffer (returned grown in place).
+func stepRange[S any](
+	g *graph.Graph,
+	cur, next []S,
+	step func(v int, self S, neighbors []S) (S, bool),
+	lo, hi int,
+	scratch *[]S,
+) int {
+	buf := (*scratch)[:0]
+	changed := 0
+	for v := lo; v < hi; v++ {
+		buf = buf[:0]
+		g.EachNeighbor(v, func(w int, _ float64) {
+			buf = append(buf, cur[w])
+		})
+		s, ch := step(v, cur[v], buf)
+		next[v] = s
+		if ch {
+			changed++
+		}
+	}
+	*scratch = buf
+	return changed
+}
+
+// stepShards fans one round out across the shards and merges the per-worker
+// changed counts. Workers only read cur and write disjoint ranges of next,
+// so the result is identical to the sequential schedule; the WaitGroup
+// barrier publishes every write before the coordinator resumes.
+func stepShards[S any](
+	g *graph.Graph,
+	cur, next []S,
+	step func(v int, self S, neighbors []S) (S, bool),
+	shards []shard,
+	scratches [][]S,
+) int {
+	var wg sync.WaitGroup
+	counts := make([]int, len(shards))
+	for w, sh := range shards {
+		wg.Add(1)
+		go func(w int, sh shard) {
+			defer wg.Done()
+			counts[w] = stepRange(g, cur, next, step, sh.lo, sh.hi, &scratches[w])
+		}(w, sh)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
 }
 
 // KHopNeighborhoods returns, for each node, the sorted set of nodes within
@@ -81,7 +240,10 @@ func KHopNeighborhoods(g *graph.Graph, k int) ([][]int, error) {
 	n := g.N()
 	out := make([][]int, n)
 	for v := 0; v < n; v++ {
-		dist, _ := g.BFS(v)
+		dist, _, err := g.BFS(v)
+		if err != nil {
+			return nil, err
+		}
 		for u, d := range dist {
 			if u != v && d >= 0 && d <= k {
 				out[v] = append(out[v], u)

@@ -9,11 +9,12 @@ import (
 
 func TestRunValidation(t *testing.T) {
 	g := gen.Path(3)
-	if _, _, err := Run[int](g, nil, nil, 5); err == nil {
+	if _, _, err := Run[int](g, nil, nil, WithMaxRounds(5)); err == nil {
 		t.Error("nil callbacks should error")
 	}
 	if _, _, err := Run(g, func(int) int { return 0 },
-		func(v int, s int, ns []int) (int, bool) { return s, false }, -1); err == nil {
+		func(v int, s int, ns []int) (int, bool) { return s, false },
+		WithMaxRounds(-1)); err == nil {
 		t.Error("negative maxRounds should error")
 	}
 }
@@ -32,7 +33,7 @@ func TestRunStabilizes(t *testing.T) {
 				}
 			}
 			return best, best != self
-		}, 100)
+		}, WithMaxRounds(100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,6 +52,85 @@ func TestRunStabilizes(t *testing.T) {
 	if stats.Messages != stats.Rounds*2*g.M() {
 		t.Errorf("messages = %d, want %d", stats.Messages, stats.Rounds*2*g.M())
 	}
+	if len(stats.History) != stats.Rounds {
+		t.Fatalf("history has %d entries, want %d", len(stats.History), stats.Rounds)
+	}
+	if last := stats.History[len(stats.History)-1]; last.Changed != 0 {
+		t.Errorf("final quiet round recorded %d changes", last.Changed)
+	}
+}
+
+func TestRunDefaultMaxRounds(t *testing.T) {
+	// Without WithMaxRounds the kernel still stabilizes (default 4n+8).
+	g := gen.Path(5)
+	_, stats, err := Run(g,
+		func(v int) int { return v },
+		func(v int, self int, nbrs []int) (int, bool) {
+			best := self
+			for _, nb := range nbrs {
+				if nb > best {
+					best = nb
+				}
+			}
+			return best, best != self
+		})
+	if err != nil || !stats.Stable {
+		t.Fatalf("default-budget run: stats=%+v err=%v", stats, err)
+	}
+}
+
+// Regression for the directed message accounting: the contract is one
+// message per directed edge per round, so a directed graph must charge
+// g.M() per round, not 2*g.M() (the undirected two-way exchange).
+func TestRunDirectedMessageAccounting(t *testing.T) {
+	g := graph.NewDirected(3) // directed triangle 0->1->2->0
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, stats, err := Run(g,
+		func(v int) int { return v },
+		func(v int, self int, nbrs []int) (int, bool) {
+			best := self
+			for _, nb := range nbrs {
+				if nb > best {
+					best = nb
+				}
+			}
+			return best, best != self
+		}, WithMaxRounds(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Stable {
+		t.Fatal("directed triangle must stabilize")
+	}
+	if want := stats.Rounds * g.M(); stats.Messages != want {
+		t.Errorf("directed messages = %d, want %d (one per directed edge per round)",
+			stats.Messages, want)
+	}
+}
+
+func TestRunZeroMaxRounds(t *testing.T) {
+	// maxRounds == 0: no rounds execute, so there is no stability probe —
+	// the init states come back unchanged and Stable stays false.
+	g := gen.Path(3)
+	states, stats, err := Run(g,
+		func(v int) int { return v * 10 },
+		func(v int, s int, ns []int) (int, bool) { return s + 1, true },
+		WithMaxRounds(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 0 || stats.Stable || stats.Messages != 0 || len(stats.History) != 0 {
+		t.Errorf("zero-round stats = %+v, want empty unstable", stats)
+	}
+	for v, s := range states {
+		if s != v*10 {
+			t.Errorf("state[%d] = %d, want untouched init %d", v, s, v*10)
+		}
+	}
 }
 
 func TestRunHitsRoundLimit(t *testing.T) {
@@ -58,21 +138,82 @@ func TestRunHitsRoundLimit(t *testing.T) {
 	g := gen.Ring(4)
 	_, stats, err := Run(g,
 		func(v int) int { return 0 },
-		func(v int, self int, nbrs []int) (int, bool) { return 1 - self, true }, 10)
+		func(v int, self int, nbrs []int) (int, bool) { return 1 - self, true },
+		WithMaxRounds(10))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.Stable || stats.Rounds != 10 {
 		t.Errorf("stats = %+v, want 10 unstable rounds", stats)
 	}
+	for _, rs := range stats.History {
+		if rs.Changed != 4 {
+			t.Errorf("round %d recorded %d changes, want 4", rs.Round, rs.Changed)
+		}
+	}
+}
+
+func TestRunSingleNode(t *testing.T) {
+	g := graph.New(1)
+	states, stats, err := Run(g,
+		func(v int) int { return 7 },
+		func(v int, self int, nbrs []int) (int, bool) {
+			if len(nbrs) != 0 {
+				t.Errorf("single node saw %d neighbors", len(nbrs))
+			}
+			return self, false
+		}, WithMaxRounds(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Stable || stats.Rounds != 1 || stats.Messages != 0 {
+		t.Errorf("single-node stats = %+v, want stable after 1 quiet round", stats)
+	}
+	if states[0] != 7 {
+		t.Errorf("state = %d, want 7", states[0])
+	}
 }
 
 func TestRunEmptyGraph(t *testing.T) {
 	states, stats, err := Run(graph.New(0),
 		func(v int) int { return 0 },
-		func(v int, s int, ns []int) (int, bool) { return s, false }, 5)
+		func(v int, s int, ns []int) (int, bool) { return s, false },
+		WithMaxRounds(5))
 	if err != nil || len(states) != 0 || !stats.Stable {
 		t.Errorf("empty run = %v, %+v, %v", states, stats, err)
+	}
+}
+
+func TestRunObserver(t *testing.T) {
+	g := gen.Path(5)
+	var seen []RoundStats
+	_, stats, err := Run(g,
+		func(v int) int { return v },
+		func(v int, self int, nbrs []int) (int, bool) {
+			best := self
+			for _, nb := range nbrs {
+				if nb > best {
+					best = nb
+				}
+			}
+			return best, best != self
+		}, WithMaxRounds(100), WithObserver(func(rs RoundStats) { seen = append(seen, rs) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != stats.Rounds {
+		t.Fatalf("observer saw %d rounds, stats counted %d", len(seen), stats.Rounds)
+	}
+	for i, rs := range seen {
+		if rs.Round != i+1 {
+			t.Errorf("observer round %d numbered %d", i, rs.Round)
+		}
+		if rs.Messages != 2*g.M() {
+			t.Errorf("round %d charged %d messages, want %d", rs.Round, rs.Messages, 2*g.M())
+		}
+		if rs != stats.History[i] {
+			t.Errorf("observer round %d disagrees with history: %+v vs %+v", i, rs, stats.History[i])
+		}
 	}
 }
 

@@ -213,7 +213,7 @@ func TestFig2NeverConnectedInSnapshot(t *testing.T) {
 	// Hence, the network is not connected at any given time."
 	for tu := 0; tu < eg.Horizon(); tu++ {
 		snap := eg.Snapshot(tu)
-		dist, _ := snap.BFS(nodeA)
+		dist, _, _ := snap.BFS(nodeA)
 		if dist[nodeC] != -1 {
 			t.Errorf("A and C connected in snapshot %d", tu)
 		}

@@ -276,7 +276,10 @@ func restrictToBall(eg *temporal.EG, center, k int, allowed []bool) {
 	if k <= 0 {
 		return
 	}
-	dist, _ := eg.Footprint().BFS(center)
+	dist, _, err := eg.Footprint().BFS(center)
+	if err != nil {
+		return // out-of-range center: no ball to restrict to
+	}
 	for v := range allowed {
 		if dist[v] < 0 || dist[v] > k {
 			allowed[v] = false

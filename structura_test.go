@@ -8,8 +8,8 @@ import (
 
 func TestFacade(t *testing.T) {
 	es := Experiments()
-	if len(es) != 20 {
-		t.Fatalf("experiments = %d, want 20", len(es))
+	if len(es) != 21 {
+		t.Fatalf("experiments = %d, want 21", len(es))
 	}
 	e, err := LookupExperiment("fig9")
 	if err != nil || e.ID != "fig9" {
