@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench verify
+.PHONY: build test race bench bench-json bench-smoke verify
 
 build:
 	$(GO) build ./...
@@ -21,4 +21,16 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 3x ./internal/runtime/bench
 
-verify: build test race
+# Machine-readable benchmark record: op -> ns/op, B/op, allocs/op. The
+# committed BENCH_kernel.json is regenerated with this target.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 3x ./internal/runtime/bench \
+		| $(GO) run ./cmd/benchjson -o BENCH_kernel.json
+
+# One-iteration smoke run of the benchmark battery through the JSON
+# pipeline: catches benchmark or parser rot without the full cost.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./internal/runtime/bench \
+		| $(GO) run ./cmd/benchjson -o /dev/null
+
+verify: build test race bench-smoke

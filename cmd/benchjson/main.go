@@ -1,0 +1,120 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// stable JSON document mapping each benchmark to its ns/op, B/op and
+// allocs/op, so benchmark runs can be committed and diffed:
+//
+//	go test -bench . -benchmem -benchtime 3x ./internal/runtime/bench | benchjson -o BENCH_kernel.json
+//
+// With no -o it writes to stdout. Non-benchmark lines are ignored, so the
+// full `go test` output can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkKernelER100k/workers=1-8  3  44715339 ns/op  1606528 B/op  9 allocs/op
+//
+// B/op and allocs/op are optional (present only with -benchmem).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+
+// gomaxprocsSuffix is the trailing -N the testing package appends to the
+// benchmark name; stripping it keeps keys stable across machines.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse reads benchmark lines from r and returns name -> Result, with the
+// GOMAXPROCS suffix stripped from names.
+func parse(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		var res Result
+		var err error
+		if res.NsPerOp, err = strconv.ParseFloat(m[2], 64); err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if m[3] != "" {
+			if res.BytesPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
+				return nil, fmt.Errorf("benchjson: bad B/op in %q: %w", sc.Text(), err)
+			}
+		}
+		if m[4] != "" {
+			if res.AllocsPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+				return nil, fmt.Errorf("benchjson: bad allocs/op in %q: %w", sc.Text(), err)
+			}
+		}
+		out[name] = res
+	}
+	return out, sc.Err()
+}
+
+// encode writes the results as indented JSON with sorted keys (json.Marshal
+// already sorts map keys; the wrapper fixes the trailing newline).
+func encode(w io.Writer, results map[string]Result) error {
+	// Emit sorted keys explicitly so the document is diff-stable.
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make(map[string]Result, len(results))
+	for _, k := range keys {
+		ordered[k] = results[k]
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ordered)
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if err := run(os.Stdin, *out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, outPath string) error {
+	results, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines found on stdin")
+	}
+	w := io.Writer(os.Stdout)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return encode(w, results)
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: structura/internal/runtime/bench
+BenchmarkKernelER100k/workers=1-8         	       3	  44715339 ns/op	 1606528 B/op	       9 allocs/op
+BenchmarkKernelER100k/workers=8-8         	       3	  45098107 ns/op	 1612345 B/op	     114 allocs/op
+BenchmarkFreezeER100k-8                   	      10	   2500000 ns/op
+PASS
+ok  	structura/internal/runtime/bench	2.5s
+`
+
+func TestParse(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	r, ok := got["BenchmarkKernelER100k/workers=1"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: keys %v", got)
+	}
+	if r.NsPerOp != 44715339 || r.BytesPerOp != 1606528 || r.AllocsPerOp != 9 {
+		t.Fatalf("wrong measurements: %+v", r)
+	}
+	// -benchmem columns are optional.
+	if f := got["BenchmarkFreezeER100k"]; f.NsPerOp != 2500000 || f.BytesPerOp != 0 || f.AllocsPerOp != 0 {
+		t.Fatalf("wrong freeze measurements: %+v", f)
+	}
+}
+
+func TestParseRejectsNothing(t *testing.T) {
+	got, err := parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise", len(got))
+	}
+}
+
+func TestEncodeStable(t *testing.T) {
+	res := map[string]Result{
+		"B/workers=2": {NsPerOp: 2},
+		"A/workers=1": {NsPerOp: 1},
+	}
+	var sb1, sb2 strings.Builder
+	if err := encode(&sb1, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := encode(&sb2, res); err != nil {
+		t.Fatal(err)
+	}
+	if sb1.String() != sb2.String() {
+		t.Fatal("encoding not deterministic")
+	}
+	if !strings.Contains(sb1.String(), "ns_per_op") {
+		t.Fatalf("unexpected JSON: %s", sb1.String())
+	}
+}

@@ -104,14 +104,15 @@ func run(args []string) error {
 	}
 	out := Trace{Model: *model, Nodes: eg.N(), Horizon: eg.Horizon(), Seed: *seed, Profiles: profiles}
 	for u := 0; u < eg.N(); u++ {
-		for _, v := range eg.Neighbors(u) {
+		eg.EachNeighbor(u, func(v int) bool {
 			if v < u {
-				continue
+				return true
 			}
 			for _, t := range eg.Labels(u, v) {
 				out.Contacts = append(out.Contacts, Contact{U: u, V: v, T: t})
 			}
-		}
+			return true
+		})
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", " ")

@@ -56,12 +56,14 @@ func main() {
 	}
 	forced := map[int]int{}
 	for v := 1; v < g.N() && len(forced) < 3; v++ {
-		for _, u := range g.Neighbors(v) {
+		g.EachNeighbor(v, func(u int, _ float64) {
+			if _, done := forced[v]; done {
+				return
+			}
 			if u != base.NextHop[v] && u != 0 {
 				forced[v] = u
-				break
 			}
-		}
+		})
 	}
 	aug, err := distvec.SteerByFakeNodes(g, 0, forced)
 	if err != nil {

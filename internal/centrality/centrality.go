@@ -25,6 +25,18 @@ func Degree(g *graph.Graph) []float64 {
 	return out
 }
 
+// InDegree returns each node's in-degree (equal to Degree for undirected
+// graphs), served from the graph's bulk in-degree array in O(n) rather
+// than an O(n+m) scan per node.
+func InDegree(g *graph.Graph) []float64 {
+	degs := g.InDegrees()
+	out := make([]float64, len(degs))
+	for v, d := range degs {
+		out[v] = float64(d)
+	}
+	return out
+}
+
 // Closeness returns, for each node, (n-1) divided by the sum of hop
 // distances to all reachable nodes, scaled by the reachable fraction
 // (the Wasserman–Faust generalization, well-defined on disconnected
@@ -32,8 +44,11 @@ func Degree(g *graph.Graph) []float64 {
 func Closeness(g *graph.Graph) []float64 {
 	n := g.N()
 	out := make([]float64, n)
+	c := g.Freeze()
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
 	for v := 0; v < n; v++ {
-		dist, _, _ := g.BFS(v) // v ranges over valid nodes
+		queue, _ = c.BFSInto(v, dist, queue) // v ranges over valid nodes
 		var sum, reach float64
 		for u, d := range dist {
 			if u == v || d < 0 {
@@ -54,6 +69,7 @@ func Closeness(g *graph.Graph) []float64 {
 // pair is counted once (values halved, per convention).
 func Betweenness(g *graph.Graph) []float64 {
 	n := g.N()
+	c := g.Freeze()
 	cb := make([]float64, n)
 	sigma := make([]float64, n)
 	dist := make([]int, n)
@@ -73,20 +89,19 @@ func Betweenness(g *graph.Graph) []float64 {
 		sigma[s] = 1
 		dist[s] = 0
 		queue = append(queue[:0], s)
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
 			stack = append(stack, v)
-			g.EachNeighbor(v, func(w int, _ float64) {
+			for _, w := range c.Neighbors(v) {
 				if dist[w] < 0 {
 					dist[w] = dist[v] + 1
-					queue = append(queue, w)
+					queue = append(queue, int(w))
 				}
 				if dist[w] == dist[v]+1 {
 					sigma[w] += sigma[v]
 					preds[w] = append(preds[w], v)
 				}
-			})
+			}
 		}
 		for i := len(stack) - 1; i >= 0; i-- {
 			w := stack[i]
@@ -123,6 +138,7 @@ func Eigenvector(g *graph.Graph, iters int, tol float64) ([]float64, error) {
 	if tol <= 0 {
 		tol = 1e-9
 	}
+	c := g.Freeze()
 	x := make([]float64, n)
 	for i := range x {
 		x[i] = 1 / math.Sqrt(float64(n))
@@ -134,9 +150,9 @@ func Eigenvector(g *graph.Graph, iters int, tol float64) ([]float64, error) {
 		// oscillates there); the shift leaves eigenvectors unchanged.
 		copy(next, x)
 		for v := 0; v < n; v++ {
-			g.EachNeighbor(v, func(w int, _ float64) {
+			for _, w := range c.Neighbors(v) {
 				next[w] += x[v]
-			})
+			}
 		}
 		var norm float64
 		for _, t := range next {
@@ -176,6 +192,7 @@ func PageRank(g *graph.Graph, damping float64, iters int, tol float64) ([]float6
 	if tol <= 0 {
 		tol = 1e-10
 	}
+	c := g.Freeze()
 	pr := make([]float64, n)
 	next := make([]float64, n)
 	for i := range pr {
@@ -188,15 +205,15 @@ func PageRank(g *graph.Graph, damping float64, iters int, tol float64) ([]float6
 			next[i] = base
 		}
 		for v := 0; v < n; v++ {
-			d := g.Degree(v)
-			if d == 0 {
+			nbrs := c.Neighbors(v)
+			if len(nbrs) == 0 {
 				dangling += pr[v]
 				continue
 			}
-			share := damping * pr[v] / float64(d)
-			g.EachNeighbor(v, func(w int, _ float64) {
+			share := damping * pr[v] / float64(len(nbrs))
+			for _, w := range nbrs {
 				next[w] += share
-			})
+			}
 		}
 		spread := damping * dangling / float64(n)
 		var diff float64
@@ -225,6 +242,7 @@ func HITS(g *graph.Graph, iters int, tol float64) (hubs, auths []float64, err er
 	if tol <= 0 {
 		tol = 1e-9
 	}
+	c := g.Freeze()
 	hubs = make([]float64, n)
 	auths = make([]float64, n)
 	for i := range hubs {
@@ -237,18 +255,20 @@ func HITS(g *graph.Graph, iters int, tol float64) (hubs, auths []float64, err er
 			newAuth[i] = 0
 		}
 		for v := 0; v < n; v++ {
-			g.EachNeighbor(v, func(w int, _ float64) {
+			for _, w := range c.Neighbors(v) {
 				newAuth[w] += hubs[v]
-			})
+			}
 		}
 		normalizeL2(newAuth)
 		for i := range newHub {
 			newHub[i] = 0
 		}
 		for v := 0; v < n; v++ {
-			g.EachNeighbor(v, func(w int, _ float64) {
-				newHub[v] += newAuth[w]
-			})
+			var h float64
+			for _, w := range c.Neighbors(v) {
+				h += newAuth[w]
+			}
+			newHub[v] = h
 		}
 		normalizeL2(newHub)
 		var diff float64

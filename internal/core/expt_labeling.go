@@ -180,12 +180,14 @@ func runHybrid(seed int64) ([]Table, error) {
 		// Force three nodes onto a non-default neighbor.
 		forced := map[int]int{}
 		for v := 1; v < n && len(forced) < 3; v++ {
-			for _, u := range g.Neighbors(v) {
+			g.EachNeighbor(v, func(u int, _ float64) {
+				if _, done := forced[v]; done {
+					return
+				}
 				if u != base.NextHop[v] && u != 0 {
 					forced[v] = u
-					break
 				}
-			}
+			})
 		}
 		aug, err := distvec.SteerByFakeNodes(g, 0, forced)
 		if err != nil {

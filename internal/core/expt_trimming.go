@@ -78,16 +78,17 @@ func runTrim(seed int64) ([]Table, error) {
 		{"degree", func(eg *temporal.EG) trimming.Priorities {
 			deg := make([]float64, 8)
 			for v := 0; v < 8; v++ {
-				deg[v] = float64(len(eg.Neighbors(v)))
+				deg[v] = float64(eg.Degree(v))
 			}
 			return trimming.PriorityByScore(deg)
 		}},
 		{"contact count", func(eg *temporal.EG) trimming.Priorities {
 			cc := make([]float64, 8)
 			for v := 0; v < 8; v++ {
-				for _, u := range eg.Neighbors(v) {
+				eg.EachNeighbor(v, func(u int) bool {
 					cc[v] += float64(len(eg.Labels(v, u)))
-				}
+					return true
+				})
 			}
 			return trimming.PriorityByScore(cc)
 		}},

@@ -36,19 +36,11 @@ func Compute(g *graph.Graph, dest, maxRounds int, opts ...runtime.Option) (*Tabl
 	if maxRounds <= 0 {
 		maxRounds = 4 * g.N()
 	}
-	// Pre-collect each node's incident weights in adjacency order, matching
-	// the neighbor-state slice the kernel passes to step.
-	weights := make([][]float64, g.N())
-	for v := 0; v < g.N(); v++ {
-		g.EachNeighbor(v, func(w int, wt float64) {
-			weights[v] = append(weights[v], wt)
-		})
-	}
-	nbrIDs := make([][]int, g.N())
-	for v := 0; v < g.N(); v++ {
-		nbrIDs[v] = g.Neighbors(v)
-	}
-	states, stats, err := runtime.Run(g,
+	// Freeze once: the step reads each node's incident weights and neighbor
+	// IDs through zero-copy CSR views, which are in adjacency order —
+	// exactly the order of the neighbor-state slice the kernel passes in.
+	csr := g.Freeze()
+	states, stats, err := runtime.RunCSR(csr,
 		func(v int) dvState {
 			if v == dest {
 				return dvState{dist: 0, next: -1}
@@ -59,10 +51,12 @@ func Compute(g *graph.Graph, dest, maxRounds int, opts ...runtime.Option) (*Tabl
 			if v == dest {
 				return self, false
 			}
+			weights := csr.NeighborWeights(v)
+			ids := csr.Neighbors(v)
 			best := dvState{dist: math.Inf(1), next: -1}
 			for i, nb := range nbrs {
-				if d := nb.dist + weights[v][i]; d < best.dist {
-					best = dvState{dist: d, next: nbrIDs[v][i]}
+				if d := nb.dist + weights[i]; d < best.dist {
+					best = dvState{dist: d, next: int(ids[i])}
 				}
 			}
 			if best.dist != self.dist || best.next != self.next {

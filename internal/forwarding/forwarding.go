@@ -222,9 +222,10 @@ func ContactRates(eg *temporal.EG) [][]float64 {
 	}
 	h := float64(eg.Horizon())
 	for u := 0; u < n; u++ {
-		for _, v := range eg.Neighbors(u) {
+		eg.EachNeighbor(u, func(v int) bool {
 			rates[u][v] = float64(len(eg.Labels(u, v))) / h
-		}
+			return true
+		})
 	}
 	return rates
 }

@@ -1,0 +1,246 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomMutatedGraph builds a random multigraph-free graph with n nodes and up to
+// tries edge-insertion attempts, plus a sprinkle of removals so the indeg
+// cache and CSR are exercised on post-removal adjacency too.
+func randomMutatedGraph(r *rand.Rand, n int, tries int, directed bool) *Graph {
+	var g *Graph
+	if directed {
+		g = NewDirected(n)
+	} else {
+		g = New(n)
+	}
+	type pair struct{ u, v int }
+	var added []pair
+	for i := 0; i < tries; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddWeightedEdge(u, v, r.Float64()*10); err != nil {
+			panic(err)
+		}
+		added = append(added, pair{u, v})
+	}
+	// Remove ~1/8 of the edges that went in.
+	for _, p := range added {
+		if r.Intn(8) == 0 {
+			g.RemoveEdge(p.u, p.v)
+		}
+	}
+	return g
+}
+
+// bruteInDegrees recomputes in-degrees by scanning the adjacency, ignoring
+// the incremental cache.
+func bruteInDegrees(g *Graph) []int {
+	out := make([]int, g.N())
+	for u := 0; u < g.N(); u++ {
+		g.EachNeighbor(u, func(v int, _ float64) { out[v]++ })
+	}
+	return out
+}
+
+// TestCSRMatchesGraph is the randomized property test: every CSR accessor
+// must agree with the Graph it was frozen from, on directed and undirected
+// graphs alike.
+func TestCSRMatchesGraph(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		directed := trial%2 == 1
+		n := 1 + r.Intn(30)
+		g := randomMutatedGraph(r, n, 3*n, directed)
+		c := g.Freeze()
+
+		if c.N() != g.N() || c.M() != g.M() || c.Directed() != g.Directed() {
+			t.Fatalf("trial %d: N/M/Directed mismatch: csr (%d,%d,%v) vs graph (%d,%d,%v)",
+				trial, c.N(), c.M(), c.Directed(), g.N(), g.M(), g.Directed())
+		}
+		for v := 0; v < n; v++ {
+			if c.Degree(v) != g.Degree(v) {
+				t.Fatalf("trial %d: Degree(%d): csr %d vs graph %d", trial, v, c.Degree(v), g.Degree(v))
+			}
+			if c.InDegree(v) != g.InDegree(v) {
+				t.Fatalf("trial %d: InDegree(%d): csr %d vs graph %d", trial, v, c.InDegree(v), g.InDegree(v))
+			}
+			// Neighbor order must match adjacency (insertion) order exactly.
+			want := g.Neighbors(v)
+			got := c.Neighbors(v)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: Neighbors(%d) length: csr %d vs graph %d", trial, v, len(got), len(want))
+			}
+			ws := c.NeighborWeights(v)
+			for i := range want {
+				if int(got[i]) != want[i] {
+					t.Fatalf("trial %d: Neighbors(%d)[%d]: csr %d vs graph %d", trial, v, i, got[i], want[i])
+				}
+				w, err := g.Weight(v, want[i])
+				if err != nil {
+					t.Fatalf("trial %d: Weight(%d,%d): %v", trial, v, want[i], err)
+				}
+				if ws[i] != w {
+					t.Fatalf("trial %d: weight of %d->%d: csr %g vs graph %g", trial, v, want[i], ws[i], w)
+				}
+			}
+			for u := 0; u < n; u++ {
+				if c.HasEdge(v, u) != g.HasEdge(v, u) {
+					t.Fatalf("trial %d: HasEdge(%d,%d): csr %v vs graph %v", trial, v, u, c.HasEdge(v, u), g.HasEdge(v, u))
+				}
+			}
+		}
+		// Bulk accessors against brute force.
+		brute := bruteInDegrees(g)
+		cin, gin := c.InDegrees(), g.InDegrees()
+		for v := 0; v < n; v++ {
+			if cin[v] != brute[v] || gin[v] != brute[v] {
+				t.Fatalf("trial %d: InDegrees[%d]: csr %d graph %d brute %d", trial, v, cin[v], gin[v], brute[v])
+			}
+		}
+		// InNeighbors must cover exactly the brute in-edges; for directed
+		// graphs the reverse CSR additionally promises ascending source order.
+		for v := 0; v < n; v++ {
+			ins := c.InNeighbors(v)
+			if len(ins) != brute[v] {
+				t.Fatalf("trial %d: InNeighbors(%d) length %d, want %d", trial, v, len(ins), brute[v])
+			}
+			inw := c.InNeighborWeights(v)
+			for i, u := range ins {
+				if directed && i > 0 && ins[i-1] > u {
+					t.Fatalf("trial %d: InNeighbors(%d) not ascending: %v", trial, v, ins)
+				}
+				if !g.HasEdge(int(u), v) {
+					t.Fatalf("trial %d: InNeighbors(%d) lists %d but graph has no edge %d->%d", trial, v, u, u, v)
+				}
+				w, err := g.Weight(int(u), v)
+				if err != nil {
+					t.Fatalf("trial %d: Weight(%d,%d): %v", trial, u, v, err)
+				}
+				if inw[i] != w {
+					t.Fatalf("trial %d: in-weight of %d->%d: csr %g vs graph %g", trial, u, v, inw[i], w)
+				}
+			}
+		}
+	}
+}
+
+// TestCSRSnapshotStability is the regression test for snapshot semantics: a
+// CSR built before a batch of mutations must keep reporting the pre-mutation
+// structure.
+func TestCSRSnapshotStability(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := randomMutatedGraph(r, 12, 40, false)
+	c := g.Freeze()
+
+	// Record the frozen view.
+	wantN, wantM := c.N(), c.M()
+	wantNbrs := make([][]int32, wantN)
+	for v := 0; v < wantN; v++ {
+		wantNbrs[v] = append([]int32(nil), c.Neighbors(v)...)
+	}
+
+	// Mutate the source graph heavily: new nodes, new edges, removals.
+	g.AddNode()
+	g.AddNode()
+	for i := 0; i < 30; i++ {
+		u, v := r.Intn(g.N()), r.Intn(g.N())
+		if u == v {
+			continue
+		}
+		if g.HasEdge(u, v) {
+			g.RemoveEdge(u, v)
+		} else if err := g.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if c.N() != wantN || c.M() != wantM {
+		t.Fatalf("snapshot changed shape after mutation: (%d,%d) vs frozen (%d,%d)", c.N(), c.M(), wantN, wantM)
+	}
+	for v := 0; v < wantN; v++ {
+		got := c.Neighbors(v)
+		if len(got) != len(wantNbrs[v]) {
+			t.Fatalf("snapshot Neighbors(%d) changed length after mutation", v)
+		}
+		for i := range got {
+			if got[i] != wantNbrs[v][i] {
+				t.Fatalf("snapshot Neighbors(%d)[%d] changed after mutation", v, i)
+			}
+		}
+	}
+}
+
+// TestInDegreeCache checks the incrementally maintained in-degree cache
+// across every mutation path (AddEdge, RemoveEdge, AddNode, Clone, Subgraph)
+// against a brute-force adjacency scan.
+func TestInDegreeCache(t *testing.T) {
+	check := func(t *testing.T, g *Graph, label string) {
+		t.Helper()
+		brute := bruteInDegrees(g)
+		for v := 0; v < g.N(); v++ {
+			if got := g.InDegree(v); got != brute[v] {
+				t.Fatalf("%s: InDegree(%d) = %d, brute force says %d", label, v, got, brute[v])
+			}
+		}
+	}
+	r := rand.New(rand.NewSource(23))
+	g := NewDirected(10)
+	for i := 0; i < 60; i++ {
+		u, v := r.Intn(g.N()), r.Intn(g.N())
+		switch {
+		case u == v:
+		case g.HasEdge(u, v):
+			g.RemoveEdge(u, v)
+		default:
+			if err := g.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%10 == 0 {
+			g.AddNode()
+		}
+		check(t, g, "after mutation")
+	}
+	check(t, g.Clone(), "clone")
+	keep := map[int]bool{}
+	for v := 0; v < g.N(); v += 2 {
+		keep[v] = true
+	}
+	sub, _ := g.Subgraph(keep)
+	check(t, sub, "subgraph")
+}
+
+// TestBFSInto checks CSR.BFSInto against Graph.BFS on random graphs,
+// including scratch reuse across sources.
+func TestBFSInto(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + r.Intn(25)
+		g := randomMutatedGraph(r, n, 2*n, trial%2 == 1)
+		c := g.Freeze()
+		dist := make([]int32, n)
+		var queue []int32
+		for src := 0; src < n; src++ {
+			want, _, err := g.BFS(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			queue, err = c.BFSInto(src, dist, queue)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < n; v++ {
+				if int(dist[v]) != want[v] {
+					t.Fatalf("trial %d src %d: dist[%d] = %d, BFS says %d", trial, src, v, dist[v], want[v])
+				}
+			}
+		}
+		if _, err := c.BFSInto(-1, dist, queue); err == nil {
+			t.Fatalf("trial %d: BFSInto(-1) did not error", trial)
+		}
+	}
+}

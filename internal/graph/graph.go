@@ -28,6 +28,12 @@ type Graph struct {
 	directed bool
 	adj      [][]halfEdge
 	edges    int
+	// indeg caches per-node in-degrees for directed graphs (nil for
+	// undirected, where in-degree == degree). It is maintained
+	// incrementally by every mutation, so InDegree stays O(1) and
+	// read-only methods never write to the graph (concurrent readers
+	// stay safe).
+	indeg []int
 }
 
 type halfEdge struct {
@@ -42,7 +48,7 @@ func New(n int) *Graph {
 
 // NewDirected returns a directed graph with n nodes and no edges.
 func NewDirected(n int) *Graph {
-	return &Graph{directed: true, adj: make([][]halfEdge, n)}
+	return &Graph{directed: true, adj: make([][]halfEdge, n), indeg: make([]int, n)}
 }
 
 // N returns the number of nodes.
@@ -57,6 +63,9 @@ func (g *Graph) Directed() bool { return g.directed }
 // AddNode appends a new isolated node and returns its ID.
 func (g *Graph) AddNode() int {
 	g.adj = append(g.adj, nil)
+	if g.directed {
+		g.indeg = append(g.indeg, 0)
+	}
 	return len(g.adj) - 1
 }
 
@@ -86,7 +95,9 @@ func (g *Graph) AddWeightedEdge(u, v int, w float64) error {
 		return fmt.Errorf("graph: self-loop at %d", u)
 	}
 	g.adj[u] = append(g.adj[u], halfEdge{to: v, w: w})
-	if !g.directed {
+	if g.directed {
+		g.indeg[v]++
+	} else {
 		g.adj[v] = append(g.adj[v], halfEdge{to: u, w: w})
 	}
 	g.edges++
@@ -97,8 +108,12 @@ func (g *Graph) AddWeightedEdge(u, v int, w float64) error {
 // matching direction). It reports whether any edge was removed.
 func (g *Graph) RemoveEdge(u, v int) bool {
 	removed := g.removeHalf(u, v)
-	if removed > 0 && !g.directed {
-		g.removeHalf(v, u)
+	if removed > 0 {
+		if g.directed {
+			g.indeg[v] -= removed
+		} else {
+			g.removeHalf(v, u)
+		}
 	}
 	g.edges -= removed
 	return removed > 0
@@ -149,7 +164,10 @@ func (g *Graph) Weight(u, v int) (float64, error) {
 }
 
 // Neighbors returns the out-neighbors of v in insertion order. The returned
-// slice is a copy and safe to retain.
+// slice is a copy and safe to retain. Hot paths that only iterate should
+// prefer EachNeighbor, or freeze the graph and use CSR.Neighbors for a
+// zero-copy view; Neighbors keeps its copying semantics for API
+// compatibility.
 func (g *Graph) Neighbors(v int) []int {
 	if v < 0 || v >= len(g.adj) {
 		return nil
@@ -181,20 +199,25 @@ func (g *Graph) Degree(v int) int {
 }
 
 // InDegree returns the in-degree of v. For undirected graphs it equals
-// Degree. For directed graphs it scans all adjacency lists.
+// Degree. For directed graphs it is an O(1) read of the incrementally
+// maintained in-degree cache.
 func (g *Graph) InDegree(v int) int {
 	if !g.directed {
 		return g.Degree(v)
 	}
-	var d int
-	for _, lst := range g.adj {
-		for _, e := range lst {
-			if e.to == v {
-				d++
-			}
-		}
+	if v < 0 || v >= len(g.indeg) {
+		return 0
 	}
-	return d
+	return g.indeg[v]
+}
+
+// InDegrees returns the in-degree of every node in one O(n) pass (equal to
+// Degrees for undirected graphs).
+func (g *Graph) InDegrees() []int {
+	if !g.directed {
+		return g.Degrees()
+	}
+	return append([]int(nil), g.indeg...)
 }
 
 // Degrees returns the out-degree of every node.
@@ -226,6 +249,9 @@ func (g *Graph) Clone() *Graph {
 	for v, lst := range g.adj {
 		c.adj[v] = append([]halfEdge(nil), lst...)
 	}
+	if g.directed {
+		c.indeg = append([]int(nil), g.indeg...)
+	}
 	return c
 }
 
@@ -245,6 +271,9 @@ func (g *Graph) Subgraph(keep map[int]bool) (*Graph, []int) {
 		newID[v] = i
 	}
 	sub := &Graph{directed: g.directed, adj: make([][]halfEdge, len(olds))}
+	if g.directed {
+		sub.indeg = make([]int, len(olds))
+	}
 	for _, u := range olds {
 		for _, e := range g.adj[u] {
 			if !keep[e.to] {
@@ -255,7 +284,9 @@ func (g *Graph) Subgraph(keep map[int]bool) (*Graph, []int) {
 			}
 			nu, nv := newID[u], newID[e.to]
 			sub.adj[nu] = append(sub.adj[nu], halfEdge{to: nv, w: e.w})
-			if !g.directed {
+			if g.directed {
+				sub.indeg[nv]++
+			} else {
 				sub.adj[nv] = append(sub.adj[nv], halfEdge{to: nu, w: e.w})
 			}
 			sub.edges++

@@ -43,6 +43,9 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("graph: negative node count %d", doc.N)
 	}
 	fresh := Graph{directed: doc.Directed, adj: make([][]halfEdge, doc.N)}
+	if doc.Directed {
+		fresh.indeg = make([]int, doc.N)
+	}
 	*g = fresh
 	for _, e := range doc.Edges {
 		w := e.Weight

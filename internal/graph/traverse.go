@@ -23,10 +23,12 @@ func (g *Graph) BFS(src int) (dist, parent []int, err error) {
 		parent[i] = -1
 	}
 	dist[src] = 0
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	// Head-index walk: advancing a slice with queue[1:] would retain the
+	// whole backing array for the run and regrow it on every append.
+	queue := make([]int, 1, n)
+	queue[0] = src
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, e := range g.adj[u] {
 			if dist[e.to] == -1 {
 				dist[e.to] = dist[u] + 1
@@ -103,13 +105,10 @@ func (g *Graph) Components() [][]int {
 			continue
 		}
 		id := len(comps)
-		var members []int
 		queue := []int{s}
 		comp[s] = id
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			members = append(members, v)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
 			for _, e := range u.adj[v] {
 				if comp[e.to] == -1 {
 					comp[e.to] = id
@@ -117,7 +116,7 @@ func (g *Graph) Components() [][]int {
 				}
 			}
 		}
-		comps = append(comps, members)
+		comps = append(comps, queue)
 	}
 	// Largest first; members are already ascending by BFS from the smallest
 	// unvisited node, but sort defensively.
@@ -187,18 +186,23 @@ func PathTo(parent []int, src, dst int) []int {
 
 // Diameter returns the largest finite hop-count eccentricity over all nodes
 // (ignoring unreachable pairs) and whether the graph had at least one
-// reachable pair.
+// reachable pair. The all-sources sweep runs on a CSR snapshot with reused
+// scratch, so it allocates O(n) once instead of per source.
 func (g *Graph) Diameter() (int, bool) {
-	best := -1
-	for s := 0; s < len(g.adj); s++ {
-		dist, _, _ := g.BFS(s) // s ranges over valid nodes
+	n := len(g.adj)
+	c := g.Freeze()
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	best := int32(-1)
+	for s := 0; s < n; s++ {
+		queue, _ = c.BFSInto(s, dist, queue) // s ranges over valid nodes
 		for _, d := range dist {
 			if d > best {
 				best = d
 			}
 		}
 	}
-	return best, best >= 0
+	return int(best), best >= 0
 }
 
 type distItem struct {

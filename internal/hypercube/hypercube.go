@@ -14,7 +14,6 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
-	"sort"
 
 	"structura/internal/graph"
 	"structura/internal/runtime"
@@ -93,6 +92,29 @@ type SafetyResult struct {
 	Rounds int // rounds until the levels stopped changing (<= dim-1)
 }
 
+// maxDim bounds the histogram used by the safety-level update (New caps
+// dim at 20).
+const maxDim = 21
+
+// levelFromHist evaluates the footnote-3 safety-level rule from a
+// histogram of neighbor levels (hist[l] = neighbors at level l < dim):
+// with the neighbor levels sorted ascending as l_0 <= ... <= l_{dim-1},
+// the level is the first index i with l_i < i (else dim). l_i < i holds
+// exactly when more than i neighbors have a level below i, so a prefix
+// scan over the histogram replaces the per-node sort without allocating.
+func levelFromHist(hist *[maxDim]int, dim int) int {
+	below := 0 // neighbors with level < i
+	for i := 0; i < dim; i++ {
+		if i > 0 {
+			below += hist[i-1]
+		}
+		if below >= i+1 {
+			return i
+		}
+	}
+	return dim
+}
+
 // SafetyLevels runs the iterative computation: faulty nodes have level 0,
 // non-faulty nodes start at n, and each round every node recomputes its
 // level from the non-decreasing sequence of its neighbors' levels
@@ -110,7 +132,6 @@ func (c *Cube) SafetyLevels() SafetyResult {
 			levels[v] = c.dim
 		}
 	}
-	seq := make([]int, c.dim)
 	rounds := 0
 	for r := 0; r < c.dim; r++ {
 		next := make([]int, n)
@@ -119,17 +140,13 @@ func (c *Cube) SafetyLevels() SafetyResult {
 			if c.faulty[v] {
 				continue
 			}
+			var hist [maxDim]int
 			for i := 0; i < c.dim; i++ {
-				seq[i] = levels[v^(1<<i)]
-			}
-			sort.Ints(seq)
-			l := c.dim
-			for i := 0; i < c.dim; i++ {
-				if seq[i] < i {
-					l = i
-					break
+				if l := levels[v^(1<<i)]; l < c.dim {
+					hist[l]++
 				}
 			}
+			l := levelFromHist(&hist, c.dim)
 			next[v] = l
 			if l != levels[v] {
 				changed = true
@@ -178,15 +195,15 @@ func (c *Cube) SafetyLevelsDistributed(opts ...runtime.Option) (SafetyResult, ru
 			if c.faulty[v] {
 				return 0, false
 			}
-			seq := append([]int(nil), nbrs...)
-			sort.Ints(seq)
-			l := c.dim
-			for i := 0; i < len(seq); i++ {
-				if seq[i] < i {
-					l = i
-					break
+			// Histogram instead of copy+sort: the step stays pure and
+			// allocation-free under the kernel's parallel execution.
+			var hist [maxDim]int
+			for _, l := range nbrs {
+				if l < c.dim {
+					hist[l]++
 				}
 			}
+			l := levelFromHist(&hist, c.dim)
 			return l, l != self
 		}, append([]runtime.Option{runtime.WithMaxRounds(c.dim + 2)}, opts...)...)
 	if err != nil {

@@ -58,13 +58,14 @@ func (p Priority) validate(n int) error {
 // This is a localized rule using 2-hop information only.
 func MarkCDS(g *graph.Graph) []Color {
 	n := g.N()
+	c := g.Freeze()
 	colors := make([]Color, n)
 	for v := 0; v < n; v++ {
-		nbrs := g.Neighbors(v)
+		nbrs := c.Neighbors(v)
 		found := false
 		for i := 0; i < len(nbrs) && !found; i++ {
 			for j := i + 1; j < len(nbrs); j++ {
-				if !g.HasEdge(nbrs[i], nbrs[j]) {
+				if !c.HasEdge(int(nbrs[i]), int(nbrs[j])) {
 					found = true
 					break
 				}
@@ -91,6 +92,7 @@ func PruneCDS(g *graph.Graph, colors []Color, prio Priority) ([]Color, error) {
 	if err := prio.validate(n); err != nil {
 		return nil, err
 	}
+	c := g.Freeze()
 	out := append([]Color(nil), colors...)
 	for v := 0; v < n; v++ {
 		if colors[v] != Black {
@@ -98,13 +100,13 @@ func PruneCDS(g *graph.Graph, colors []Color, prio Priority) ([]Color, error) {
 		}
 		// Candidate coverers: higher-priority black nodes within 2 hops.
 		twoHop := make(map[int]bool)
-		for _, u := range g.Neighbors(v) {
-			if u != v {
-				twoHop[u] = true
+		for _, u := range c.Neighbors(v) {
+			if int(u) != v {
+				twoHop[int(u)] = true
 			}
-			for _, w := range g.Neighbors(u) {
-				if w != v {
-					twoHop[w] = true
+			for _, w := range c.Neighbors(int(u)) {
+				if int(w) != v {
+					twoHop[int(w)] = true
 				}
 			}
 		}
@@ -132,23 +134,23 @@ func PruneCDS(g *graph.Graph, colors []Color, prio Priority) ([]Color, error) {
 			comp := []int{start}
 			visited[start] = true
 			for qi := 0; qi < len(comp); qi++ {
-				g.EachNeighbor(comp[qi], func(w int, _ float64) {
-					if candSet[w] && !visited[w] {
-						visited[w] = true
-						comp = append(comp, w)
+				for _, w := range c.Neighbors(comp[qi]) {
+					if candSet[int(w)] && !visited[int(w)] {
+						visited[int(w)] = true
+						comp = append(comp, int(w))
 					}
-				})
+				}
 			}
 			cover := make(map[int]bool, 4*len(comp))
 			for _, u := range comp {
 				cover[u] = true
-				for _, w := range g.Neighbors(u) {
-					cover[w] = true
+				for _, w := range c.Neighbors(u) {
+					cover[int(w)] = true
 				}
 			}
 			ok := true
-			for _, w := range g.Neighbors(v) {
-				if !cover[w] {
+			for _, w := range c.Neighbors(v) {
+				if !cover[int(w)] {
 					ok = false
 					break
 				}

@@ -34,6 +34,7 @@ func CDSFromMIS(g *graph.Graph, prio Priority) (cds, mis []int, err error) {
 	for _, v := range mis {
 		inCDS[v] = true
 	}
+	csr := g.Freeze()
 	// Union-find over current CDS-connectivity (members adjacent in g).
 	parent := map[int]int{}
 	var find func(x int) int
@@ -50,11 +51,11 @@ func CDSFromMIS(g *graph.Graph, prio Priority) (cds, mis []int, err error) {
 			parent[v] = v
 		}
 		for v := range inCDS {
-			g.EachNeighbor(v, func(w int, _ float64) {
-				if inCDS[w] {
-					union(v, w)
+			for _, w := range csr.Neighbors(v) {
+				if inCDS[int(w)] {
+					union(v, int(w))
 				}
-			})
+			}
 		}
 	}
 	components := func() int {
@@ -87,18 +88,21 @@ func CDSFromMIS(g *graph.Graph, prio Priority) (cds, mis []int, err error) {
 			if best != nil && len(best.gateways) == 1 {
 				break
 			}
-			for _, x := range g.Neighbors(a) {
+			for _, x32 := range csr.Neighbors(a) {
+				x := int(x32)
 				if inCDS[x] {
 					continue
 				}
-				for _, y := range g.Neighbors(x) {
+				for _, y32 := range csr.Neighbors(x) {
+					y := int(y32)
 					if inCDS[y] && find(y) != find(a) {
 						consider(merge{gateways: []int{x}, a: a, b: y})
 					}
 					if inCDS[y] || y == a {
 						continue
 					}
-					for _, z := range g.Neighbors(y) {
+					for _, z32 := range csr.Neighbors(y) {
+						z := int(z32)
 						if inCDS[z] && find(z) != find(a) {
 							consider(merge{gateways: []int{x, y}, a: a, b: z})
 						}

@@ -34,15 +34,14 @@ func DistributedNestedLevels(g *graph.Graph, opts ...runtime.Option) (Distribute
 		current int  // level being competed for
 		assign  bool // true in phase B (assignment), false in phase A
 	}
-	ids := make([][]int, n)
-	for v := 0; v < n; v++ {
-		ids[v] = g.Neighbors(v)
-	}
-	states, stats, err := runtime.Run(g,
+	// Freeze once: neighbor IDs come from zero-copy CSR views in the same
+	// adjacency order as the kernel's neighbor-state slice.
+	csr := g.Freeze()
+	states, stats, err := runtime.RunCSR(csr,
 		func(v int) state {
 			// Start in phase B with adj = plain degree: the first
 			// assignment round matches the centralized round 1.
-			return state{adj: g.Degree(v), current: 1, assign: true}
+			return state{adj: csr.Degree(v), current: 1, assign: true}
 		},
 		func(v int, self state, nbrs []state) (state, bool) {
 			if self.level != 0 {
@@ -51,12 +50,13 @@ func DistributedNestedLevels(g *graph.Graph, opts ...runtime.Option) (Distribute
 			if self.assign {
 				// Phase B: compare snapshot (adj, ID) with unassigned
 				// neighbors; minima take the current level.
+				ids := csr.Neighbors(v)
 				isMin := true
 				for i, nb := range nbrs {
 					if nb.level != 0 {
 						continue
 					}
-					if nb.adj < self.adj || (nb.adj == self.adj && ids[v][i] < v) {
+					if nb.adj < self.adj || (nb.adj == self.adj && int(ids[i]) < v) {
 						isMin = false
 						break
 					}

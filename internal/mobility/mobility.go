@@ -147,13 +147,13 @@ func ExtractContacts(eg *temporal.EG) ContactStats {
 	var cs ContactStats
 	n := eg.N()
 	for u := 0; u < n; u++ {
-		for _, v := range eg.Neighbors(u) {
+		eg.EachNeighbor(u, func(v int) bool {
 			if v <= u {
-				continue
+				return true
 			}
 			labels := eg.Labels(u, v)
 			if len(labels) == 0 {
-				continue
+				return true
 			}
 			runStart := labels[0]
 			prev := labels[0]
@@ -167,7 +167,8 @@ func ExtractContacts(eg *temporal.EG) ContactStats {
 				runStart, prev = t, t
 			}
 			cs.Durations = append(cs.Durations, float64(prev-runStart+1))
-		}
+			return true
+		})
 	}
 	return cs
 }
@@ -329,11 +330,12 @@ func OnlineSessions(eg *temporal.EG) intervals.Family {
 	f := intervals.Family{NumVertices: eg.N()}
 	for v := 0; v < eg.N(); v++ {
 		active := map[int]bool{}
-		for _, u := range eg.Neighbors(v) {
+		eg.EachNeighbor(v, func(u int) bool {
 			for _, t := range eg.Labels(v, u) {
 				active[t] = true
 			}
-		}
+			return true
+		})
 		if len(active) == 0 {
 			continue
 		}

@@ -90,6 +90,56 @@ func benchKernel(b *testing.B, g *graph.Graph) {
 	}
 }
 
+// benchKernelCSR measures the steady-state round path: the graph is frozen
+// to CSR once outside the timed loop, so the numbers isolate what repeated
+// rounds cost once the snapshot exists (the regime of every iterative
+// algorithm in this repo — label propagation, PageRank, Bellman-Ford).
+func benchKernelCSR(b *testing.B, g *graph.Graph) {
+	csr := g.Freeze()
+	init := func(v int) int { return v * 2654435761 % 1_000_003 }
+	workerCounts := []int{1, stdruntime.GOMAXPROCS(0)}
+	if workerCounts[1] == 1 {
+		workerCounts[1] = 4
+	}
+	var want int
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				states, st, err := runtime.RunCSR(csr, init, maxStep,
+					runtime.WithMaxRounds(15), runtime.WithParallelism(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Rounds == 0 {
+					b.Fatal("no rounds executed")
+				}
+				if want == 0 {
+					want = states[0]
+				} else if states[0] != want {
+					b.Fatalf("schedules disagree: state[0] = %d, want %d", states[0], want)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkKernelER100k(b *testing.B) { benchKernel(b, erGraph()) }
 
 func BenchmarkKernelUDG20k(b *testing.B) { benchKernel(b, udgGraph()) }
+
+func BenchmarkKernelCSRER100k(b *testing.B) { benchKernelCSR(b, erGraph()) }
+
+func BenchmarkKernelCSRUDG20k(b *testing.B) { benchKernelCSR(b, udgGraph()) }
+
+// BenchmarkFreezeER100k prices the snapshot itself, so the amortization
+// argument (freeze once, run many rounds) can be checked against numbers.
+func BenchmarkFreezeER100k(b *testing.B) {
+	g := erGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c := g.Freeze(); c.N() != erNodes {
+			b.Fatal("bad freeze")
+		}
+	}
+}

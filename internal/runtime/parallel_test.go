@@ -57,6 +57,27 @@ func TestParallelMatchesSequential(t *testing.T) {
 				}
 			}
 		}
+		// The prebuilt-CSR entry point must be the same computation: Run is
+		// RunCSR over a fresh freeze, and a CSR frozen once and reused across
+		// worker counts must still match.
+		csr := g.Freeze()
+		for _, workers := range []int{1, 3} {
+			cs, csStats, err := RunCSR(csr, init, maxStep, WithMaxRounds(4*n), WithParallelism(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if csStats.Rounds != seqStats.Rounds || csStats.Messages != seqStats.Messages ||
+				csStats.Stable != seqStats.Stable {
+				t.Fatalf("trial %d RunCSR workers %d: stats %+v vs sequential %+v",
+					trial, workers, csStats, seqStats)
+			}
+			for v := range seq {
+				if cs[v] != seq[v] {
+					t.Fatalf("trial %d RunCSR workers %d: state[%d] = %d vs sequential %d",
+						trial, workers, v, cs[v], seq[v])
+				}
+			}
+		}
 	}
 }
 

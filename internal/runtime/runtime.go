@@ -14,6 +14,7 @@ package runtime
 import (
 	"errors"
 	stdruntime "runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -89,8 +90,26 @@ const parallelCutoff = 2048
 // faithful — and, because the kernel may step nodes concurrently, it must
 // not write shared state. The neighbor slice is ordered by adjacency and
 // reused across calls, so implementations must not retain it.
+//
+// Run freezes the graph to an immutable CSR snapshot before the first
+// round, so every round walks flat int32 adjacency arrays; mutating g while
+// a run is in flight does not affect the run. Callers that execute many
+// runs over one topology should freeze once and use RunCSR directly.
 func Run[S any](
 	g *graph.Graph,
+	init func(v int) S,
+	step func(v int, self S, neighbors []S) (S, bool),
+	opts ...Option,
+) ([]S, Stats, error) {
+	return RunCSR(g.Freeze(), init, step, opts...)
+}
+
+// RunCSR is Run on a pre-built CSR snapshot: the steady-state round path
+// with the freeze cost amortized away. Neighbor states are gathered through
+// zero-copy CSR views, so a round allocates nothing beyond the one-time
+// state and scratch arrays.
+func RunCSR[S any](
+	g *graph.CSR,
 	init func(v int) S,
 	step func(v int, self S, neighbors []S) (S, bool),
 	opts ...Option,
@@ -179,7 +198,7 @@ func makeShards(n, workers int) []shard {
 // next, and returns how many reported a change. scratch is the caller's
 // reusable neighbor-state buffer (returned grown in place).
 func stepRange[S any](
-	g *graph.Graph,
+	g *graph.CSR,
 	cur, next []S,
 	step func(v int, self S, neighbors []S) (S, bool),
 	lo, hi int,
@@ -189,9 +208,9 @@ func stepRange[S any](
 	changed := 0
 	for v := lo; v < hi; v++ {
 		buf = buf[:0]
-		g.EachNeighbor(v, func(w int, _ float64) {
+		for _, w := range g.Neighbors(v) {
 			buf = append(buf, cur[w])
-		})
+		}
 		s, ch := step(v, cur[v], buf)
 		next[v] = s
 		if ch {
@@ -207,7 +226,7 @@ func stepRange[S any](
 // so the result is identical to the sequential schedule; the WaitGroup
 // barrier publishes every write before the coordinator resumes.
 func stepShards[S any](
-	g *graph.Graph,
+	g *graph.CSR,
 	cur, next []S,
 	step func(v int, self S, neighbors []S) (S, bool),
 	shards []shard,
@@ -232,22 +251,47 @@ func stepShards[S any](
 
 // KHopNeighborhoods returns, for each node, the sorted set of nodes within
 // k hops (excluding the node itself) — the "local horizon" each node is
-// assumed to know in localized solutions.
+// assumed to know in localized solutions. The all-sources sweep runs
+// depth-bounded BFS on a CSR snapshot with one shared scratch queue and
+// distance array, resetting only the entries each source touched.
 func KHopNeighborhoods(g *graph.Graph, k int) ([][]int, error) {
 	if k < 0 {
 		return nil, errors.New("runtime: negative k")
 	}
 	n := g.N()
+	c := g.Freeze()
 	out := make([][]int, n)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, n)
 	for v := 0; v < n; v++ {
-		dist, _, err := g.BFS(v)
-		if err != nil {
-			return nil, err
-		}
-		for u, d := range dist {
-			if u != v && d >= 0 && d <= k {
-				out[v] = append(out[v], u)
+		queue = append(queue[:0], int32(v))
+		dist[v] = 0
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			du := dist[u]
+			if int(du) == k {
+				continue // horizon reached; do not expand further
 			}
+			for _, w := range c.Neighbors(int(u)) {
+				if dist[w] == -1 {
+					dist[w] = du + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		if len(queue) > 1 {
+			hood := make([]int, len(queue)-1)
+			for i, u := range queue[1:] {
+				hood[i] = int(u)
+			}
+			sort.Ints(hood)
+			out[v] = hood
+		}
+		for _, u := range queue {
+			dist[u] = -1
 		}
 	}
 	return out, nil

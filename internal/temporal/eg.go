@@ -204,7 +204,9 @@ func (eg *EG) Weight(u, v, t int) (float64, error) {
 	return 0, fmt.Errorf("temporal: no contact (%d,%d,%d)", u, v, t)
 }
 
-// Neighbors returns the nodes sharing at least one contact with v.
+// Neighbors returns the nodes sharing at least one contact with v. The
+// returned slice is a copy; iteration-only callers should prefer
+// EachNeighbor, which does not allocate.
 func (eg *EG) Neighbors(v int) []int {
 	if v < 0 || v >= eg.n {
 		return nil
@@ -214,6 +216,29 @@ func (eg *EG) Neighbors(v int) []int {
 		out[i] = e.to
 	}
 	return out
+}
+
+// EachNeighbor calls fn for every node sharing at least one contact with
+// v, in adjacency (first-contact) order, without allocating. fn returns
+// false to stop the iteration early.
+func (eg *EG) EachNeighbor(v int, fn func(u int) bool) {
+	if v < 0 || v >= eg.n {
+		return
+	}
+	for _, e := range eg.adj[v] {
+		if !fn(e.to) {
+			return
+		}
+	}
+}
+
+// Degree returns the number of distinct neighbors of v (nodes sharing at
+// least one contact), without materializing the neighbor list.
+func (eg *EG) Degree(v int) int {
+	if v < 0 || v >= eg.n {
+		return 0
+	}
+	return len(eg.adj[v])
 }
 
 // ContactCount returns the total number of contacts (edge-label pairs).

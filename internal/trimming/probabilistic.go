@@ -49,7 +49,7 @@ func maxProbArrival(eg *temporal.EG, src, start, deadline int, allowed []bool) m
 		if cur.node != src && !allowed[cur.node] {
 			continue // may terminate here but not relay further
 		}
-		for _, v := range eg.Neighbors(cur.node) {
+		eg.EachNeighbor(cur.node, func(v int) bool {
 			for _, t := range eg.Labels(cur.node, v) {
 				if t < cur.t || t > deadline {
 					continue
@@ -67,7 +67,8 @@ func maxProbArrival(eg *temporal.EG, src, start, deadline int, allowed []bool) m
 					queue = append(queue, ns)
 				}
 			}
-		}
+			return true
+		})
 	}
 	out := make(map[int]float64)
 	for s, p := range best {
@@ -99,14 +100,17 @@ func CanIgnoreNeighborProb(eg *temporal.EG, w, u int, prio Priorities, opts Prob
 	if len(iLabels) == 0 {
 		return true, nil
 	}
-	for _, v := range eg.Neighbors(u) {
+	ok := true
+	var iterErr error
+	eg.EachNeighbor(u, func(v int) bool {
 		if v == w {
-			continue
+			return true
 		}
 		for _, i := range iLabels {
 			pwu, err := eg.Weight(w, u, i)
 			if err != nil {
-				return false, err
+				iterErr = err
+				return false
 			}
 			for _, j := range eg.Labels(u, v) {
 				if i > j {
@@ -114,18 +118,24 @@ func CanIgnoreNeighborProb(eg *temporal.EG, w, u int, prio Priorities, opts Prob
 				}
 				puv, err := eg.Weight(u, v, j)
 				if err != nil {
-					return false, err
+					iterErr = err
+					return false
 				}
 				relayProb := clampProb(pwu) * clampProb(puv)
 				need := opts.Confidence * relayProb
 				probs := maxProbArrival(eg, w, i, j, allowed)
 				if probs[v] < need {
-					return false, nil
+					ok = false
+					return false
 				}
 			}
 		}
+		return true
+	})
+	if iterErr != nil {
+		return false, iterErr
 	}
-	return true, nil
+	return ok, nil
 }
 
 func clampProb(p float64) float64 {

@@ -118,20 +118,21 @@ func restrictedEarliest(eg *temporal.EG, src, dst, start int, allowed []bool, ma
 			if u != src && !allowed[u] {
 				continue // u may terminate a path but not extend one
 			}
-			for _, v := range eg.Neighbors(u) {
+			eg.EachNeighbor(u, func(v int) bool {
 				if v != dst && !allowed[v] {
-					continue
+					return true
 				}
 				labels := eg.Labels(u, v)
 				pos := sort.SearchInts(labels, best[u])
 				if pos == len(labels) {
-					continue
+					return true
 				}
 				if t := labels[pos]; t < next[v] {
 					next[v] = t
 					improved = true
 				}
-			}
+				return true
+			})
 		}
 		best = next
 		if best[dst] < ans {
@@ -162,9 +163,10 @@ func CanIgnoreNeighbor(eg *temporal.EG, w, u int, prio Priorities, opts Options)
 	if len(iLabels) == 0 {
 		return true, nil // nothing to ignore
 	}
-	for _, v := range eg.Neighbors(u) {
+	ok := true
+	eg.EachNeighbor(u, func(v int) bool {
 		if v == w {
-			continue
+			return true
 		}
 		jLabels := eg.Labels(u, v)
 		for _, i := range iLabels {
@@ -173,12 +175,14 @@ func CanIgnoreNeighbor(eg *temporal.EG, w, u int, prio Priorities, opts Options)
 					continue
 				}
 				if restrictedEarliest(eg, w, v, i, allowed, opts.MaxIntermediates) > j {
-					return false, nil
+					ok = false
+					return false
 				}
 			}
 		}
-	}
-	return true, nil
+		return true
+	})
+	return ok, nil
 }
 
 // CanTrimNode reports whether node u is trimmable under the full node
@@ -242,9 +246,10 @@ func CanTrimLink(eg *temporal.EG, u, v int, prio Priorities, opts Options) (bool
 	allowed[v] = true
 	check := func(a, b int) bool {
 		jLabels := eg.Labels(a, b) // labels of the trimmed link
-		for _, w := range eg.Neighbors(a) {
+		ok := true
+		eg.EachNeighbor(a, func(w int) bool {
 			if w == b {
-				continue
+				return true
 			}
 			for _, i := range eg.Labels(w, a) {
 				for _, j := range jLabels {
@@ -252,12 +257,14 @@ func CanTrimLink(eg *temporal.EG, u, v int, prio Priorities, opts Options) (bool
 						continue
 					}
 					if restrictedEarliest(work, w, b, i, allowed, opts.MaxIntermediates) > j {
+						ok = false
 						return false
 					}
 				}
 			}
-		}
-		return true
+			return true
+		})
+		return ok
 	}
 	return check(u, v) && check(v, u), nil
 }
@@ -314,7 +321,7 @@ func TrimNodes(eg *temporal.EG, prio Priorities, opts Options) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		if ok && len(work.Neighbors(u)) > 0 {
+		if ok && work.Degree(u) > 0 {
 			work.RemoveNode(u)
 			removed = append(removed, u)
 		}
@@ -332,14 +339,20 @@ func IgnoredNeighbors(eg *temporal.EG, prio Priorities, opts Options) (map[int][
 	}
 	out := make(map[int][]int)
 	for w := 0; w < eg.N(); w++ {
-		for _, u := range eg.Neighbors(w) {
+		var iterErr error
+		eg.EachNeighbor(w, func(u int) bool {
 			ok, err := CanIgnoreNeighbor(eg, w, u, prio, opts)
 			if err != nil {
-				return nil, err
+				iterErr = err
+				return false
 			}
 			if ok {
 				out[w] = append(out[w], u)
 			}
+			return true
+		})
+		if iterErr != nil {
+			return nil, iterErr
 		}
 		sort.Ints(out[w])
 	}

@@ -60,11 +60,11 @@ func ViewEarliestArrival(eg *temporal.EG, views map[int][]int, src, start int) (
 		if it.t > relay[it.node] {
 			continue
 		}
-		for _, v := range eg.Neighbors(it.node) {
+		eg.EachNeighbor(it.node, func(v int) bool {
 			labels := eg.Labels(it.node, v)
 			pos := sort.SearchInts(labels, it.t)
 			if pos == len(labels) {
-				continue
+				return true
 			}
 			t := labels[pos]
 			if ignored[it.node] != nil && ignored[it.node][v] {
@@ -74,7 +74,7 @@ func ViewEarliestArrival(eg *temporal.EG, views map[int][]int, src, start int) (
 				if t < arrival[v] {
 					arrival[v] = t
 				}
-				continue
+				return true
 			}
 			if t < relay[v] {
 				relay[v] = t
@@ -83,7 +83,8 @@ func ViewEarliestArrival(eg *temporal.EG, views map[int][]int, src, start int) (
 				}
 				heap.Push(pq, viewItem{node: v, t: t})
 			}
-		}
+			return true
+		})
 	}
 	return arrival, nil
 }

@@ -27,22 +27,23 @@ func StarIsUDG(leaves int) bool {
 // graph that no node has more than five pairwise-nonadjacent neighbors.
 // It returns the first violating node, or -1 if the bound holds.
 func IndependentNeighborBoundHolds(g *graph.Graph, pts []geo.Point) int {
-	for v := 0; v < g.N(); v++ {
-		nbrs := g.Neighbors(v)
+	c := g.Freeze()
+	chosen := make([]int, 0, 8)
+	for v := 0; v < c.N(); v++ {
 		// Greedy max independent set among neighbors; for the 5-bound the
 		// greedy count is a lower bound on the true MIS size, so a greedy
 		// count > 5 is a definite violation.
-		var chosen []int
-		for _, u := range nbrs {
+		chosen = chosen[:0]
+		for _, u := range c.Neighbors(v) {
 			ok := true
 			for _, w := range chosen {
-				if g.HasEdge(u, w) {
+				if c.HasEdge(int(u), w) {
 					ok = false
 					break
 				}
 			}
 			if ok {
-				chosen = append(chosen, u)
+				chosen = append(chosen, int(u))
 			}
 		}
 		if len(chosen) > MaxIndependentNeighbors {
