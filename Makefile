@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-smoke verify
+.PHONY: build test race bench bench-json bench-smoke fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,11 @@ test:
 	$(GO) test ./...
 
 # The parallel kernel must stay race-clean: the sharded stepping in
-# internal/runtime and the labeling schemes that drive it hardest.
+# internal/runtime, the labeling schemes that drive it hardest, and the
+# fault-injection harness plus the algorithm packages it perturbs.
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/labeling/...
+	$(GO) test -race ./internal/runtime/... ./internal/labeling/... \
+		./internal/sim/... ./internal/reversal/... ./internal/distvec/...
 
 # Sequential vs. sharded kernel on 100k-node ER and 20k-node UDG graphs.
 bench:
@@ -33,4 +35,11 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./internal/runtime/bench \
 		| $(GO) run ./cmd/benchjson -o /dev/null
 
-verify: build test race bench-smoke
+# Short native-fuzz pass over the serialization boundaries: Graph/CSR
+# snapshot agreement and the temporal-trace JSON decoder. 10s per target
+# keeps the gate cheap; longer campaigns run the same targets by hand.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzFreezeRoundTrip -fuzztime 10s ./internal/graph/
+	$(GO) test -run '^$$' -fuzz FuzzEGJSONRoundTrip -fuzztime 10s ./internal/temporal/
+
+verify: build test race bench-smoke fuzz-smoke

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"structura/internal/sim"
+)
+
+// runChaos is the `structura chaos` subcommand: run a fault-injection
+// scenario under a schedule, check every registered invariant, and — when a
+// run violates one — shrink it with delta debugging and print the minimal
+// failing schedule as a copy-pasteable reproducer.
+func runChaos(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("structura chaos", flag.ContinueOnError)
+	var (
+		scenario   = fs.String("scenario", "mis", "scenario to perturb (see -list)")
+		seed       = fs.Uint64("seed", 42, "deterministic fault seed")
+		file       = fs.String("schedule", "", "JSON schedule file (overrides the probability flags)")
+		horizon    = fs.Int("horizon", 10, "rounds during which faults may fire")
+		budget     = fs.Int("budget", 0, "round budget after the fault window (0 = scenario default)")
+		loss       = fs.Float64("loss", 0, "per-edge message loss probability")
+		crash      = fs.Float64("crash", 0, "per-node per-round crash probability")
+		downtime   = fs.Int("downtime", 1, "rounds a crashed node stays down")
+		skew       = fs.Float64("skew", 0, "per-node per-round skew (step skip) probability")
+		maxSkew    = fs.Int("max-skew", 1, "max rounds a skewed node lags")
+		churnAdd   = fs.Int("churn-add", 0, "edges added per churn tick")
+		churnRm    = fs.Int("churn-remove", 0, "edges removed per churn tick")
+		churnEvery = fs.Int("churn-every", 1, "rounds between churn ticks")
+		workers    = fs.Int("workers", 0, "kernel worker count (0 = auto); results are identical for all values")
+		invNames   = fs.String("invariants", "", "comma-separated invariant subset (default: all)")
+		list       = fs.Bool("list", false, "list scenarios and invariants, then exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintln(out, "scenarios:")
+		for _, sc := range sim.BuiltinScenarios() {
+			fmt.Fprintf(out, "  %-17s %s\n", sc.Name, sc.Desc)
+		}
+		fmt.Fprintln(out, "invariants:")
+		for _, inv := range sim.Invariants() {
+			fmt.Fprintf(out, "  %-30s %s\n", inv.Name, inv.Desc)
+		}
+		return nil
+	}
+	var sch sim.Schedule
+	if *file != "" {
+		raw, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(raw, &sch); err != nil {
+			return fmt.Errorf("schedule %s: %w", *file, err)
+		}
+	} else {
+		sch = sim.Schedule{
+			Horizon: *horizon, Budget: *budget,
+			MsgLoss:   *loss,
+			CrashProb: *crash, Downtime: *downtime,
+			SkewProb: *skew, MaxSkew: *maxSkew,
+			ChurnAdd: *churnAdd, ChurnRemove: *churnRm, ChurnEvery: *churnEvery,
+		}
+	}
+	var invs []sim.Invariant
+	if *invNames != "" {
+		for _, name := range strings.Split(*invNames, ",") {
+			inv, err := sim.Lookup(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			invs = append(invs, inv)
+		}
+	}
+	res, err := sim.ExploreWith(*scenario, *seed, sch, *workers, invs...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, res)
+	if len(res.Violations) == 0 {
+		return nil
+	}
+	for _, v := range res.Violations {
+		fmt.Fprintf(out, "  %s\n", v)
+	}
+	min, minRes, err := sim.Minimize(*scenario, *seed, sch, invs...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "minimal failing schedule (%d event(s), replay with -schedule):\n", len(min.Events))
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(min); err != nil {
+		return err
+	}
+	for _, v := range minRes.Violations {
+		fmt.Fprintf(out, "  %s\n", v)
+	}
+	return fmt.Errorf("%d invariant violation(s) in scenario %s (seed %d)",
+		len(res.Violations), *scenario, *seed)
+}

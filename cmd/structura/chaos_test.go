@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"structura/internal/sim"
+)
+
+func TestChaosList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runChaos([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"scenarios:", "invariants:", "mis", "reversal-full", "mis-independence"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos -list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChaosCleanRun(t *testing.T) {
+	var buf bytes.Buffer
+	err := runChaos([]string{"-scenario", "mis", "-seed", "5", "-loss", "0.1", "-horizon", "6"}, &buf)
+	if err != nil {
+		t.Fatalf("lossy-but-recoverable run should pass: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "OK") {
+		t.Errorf("clean run did not report OK:\n%s", buf.String())
+	}
+}
+
+// TestChaosMinimalRepro drives the full loop: a schedule file that partitions
+// the reversal ring must surface violations, print a minimal concrete
+// schedule, and exit non-zero; the printed schedule must itself be a valid
+// replayable document reproducing the failure.
+func TestChaosMinimalRepro(t *testing.T) {
+	sch := sim.Schedule{
+		Horizon: 6,
+		Events: []sim.Event{
+			{Round: 1, Op: sim.OpRemoveEdge, U: 1, V: 0},
+			{Round: 1, Op: sim.OpRemoveEdge, U: 1, V: 6},
+			{Round: 1, Op: sim.OpRemoveEdge, U: 2, V: 3},
+		},
+	}
+	raw, err := json.Marshal(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "partition.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = runChaos([]string{"-scenario", "reversal-full", "-seed", "7", "-schedule", path}, &buf)
+	if err == nil {
+		t.Fatalf("violating run must exit with an error:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "violation") {
+		t.Fatalf("error %q does not mention violations", err)
+	}
+	out := buf.String()
+	marker := "minimal failing schedule"
+	idx := strings.Index(out, marker)
+	if idx < 0 {
+		t.Fatalf("output lacks the minimal schedule:\n%s", out)
+	}
+	// The JSON document starts at the first '{' after the marker line.
+	rest := out[idx:]
+	brace := strings.Index(rest, "{")
+	if brace < 0 {
+		t.Fatalf("no JSON after marker:\n%s", out)
+	}
+	dec := json.NewDecoder(strings.NewReader(rest[brace:]))
+	var min sim.Schedule
+	if err := dec.Decode(&min); err != nil {
+		t.Fatalf("printed schedule does not parse: %v\n%s", err, out)
+	}
+	if len(min.Events) == 0 || len(min.Events) > len(sch.Events) {
+		t.Fatalf("minimal schedule has %d events, original had %d", len(min.Events), len(sch.Events))
+	}
+	r, err := sim.Explore("reversal-full", 7, min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Violations) == 0 {
+		t.Fatal("printed minimal schedule does not reproduce the violation")
+	}
+}
+
+func TestChaosBadInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runChaos([]string{"-scenario", "nope"}, &buf); err == nil {
+		t.Error("unknown scenario should error")
+	}
+	if err := runChaos([]string{"-invariants", "bogus"}, &buf); err == nil {
+		t.Error("unknown invariant should error")
+	}
+	if err := runChaos([]string{"-schedule", "/does/not/exist.json"}, &buf); err == nil {
+		t.Error("missing schedule file should error")
+	}
+}

@@ -8,6 +8,8 @@
 //	structura fig3 fig4 tour       # run selected experiments
 //	structura trace                # per-round kernel convergence traces
 //	structura -seed 7 fig5         # override the deterministic seed
+//	structura chaos -list          # fault-injection scenarios and invariants
+//	structura chaos -scenario mis -loss 0.2 -seed 11   # chaos run + minimal repro
 package main
 
 import (
@@ -27,6 +29,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "chaos" {
+		return runChaos(args[1:], os.Stdout)
+	}
 	fs := flag.NewFlagSet("structura", flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "deterministic experiment seed")
 	format := fs.String("format", "text", "output format: text | json")

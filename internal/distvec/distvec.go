@@ -13,6 +13,12 @@ import (
 	"structura/internal/runtime"
 )
 
+// ErrUnstable reports a run that exhausted its round budget before the
+// labels stabilized (negative cycle, count-to-infinity after a partition,
+// or maxRounds too small). Compute returns the partial table alongside it
+// so fault-injection harnesses can inspect the stale labels.
+var ErrUnstable = errors.New("distvec: did not converge (negative cycle or maxRounds too small)")
+
 // Table holds the converged labels toward one destination.
 type Table struct {
 	Dest    int
@@ -67,14 +73,16 @@ func Compute(g *graph.Graph, dest, maxRounds int, opts ...runtime.Option) (*Tabl
 	if err != nil {
 		return nil, err
 	}
-	if !stats.Stable {
-		return nil, errors.New("distvec: did not converge (negative cycle or maxRounds too small)")
-	}
-	t := &Table{Dest: dest, Dist: make([]float64, g.N()), NextHop: make([]int, g.N()), Rounds: stats.Rounds - 1}
+	t := &Table{Dest: dest, Dist: make([]float64, g.N()), NextHop: make([]int, g.N()), Rounds: stats.Rounds}
 	for v, s := range states {
 		t.Dist[v] = s.dist
 		t.NextHop[v] = s.next
 	}
+	if !stats.Stable {
+		return t, ErrUnstable
+	}
+	// The final no-change round does not count as work.
+	t.Rounds = stats.Rounds - 1
 	return t, nil
 }
 

@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzFreezeRoundTrip interprets the fuzz input as a program of edge
+// mutations on a small graph and checks that the frozen CSR snapshot agrees
+// with the mutable adjacency-list graph on every read-side query. Byte
+// layout: [0] node count (mod 17), [1] directedness, then op triples
+// (op, u, v) where op selects add / weighted-add / remove.
+func FuzzFreezeRoundTrip(f *testing.F) {
+	f.Add([]byte{5, 0, 0, 0, 1, 0, 1, 2, 2, 0, 1})
+	f.Add([]byte{8, 1, 0, 0, 7, 1, 7, 0, 0, 3, 4})
+	f.Add([]byte{1, 0})
+	f.Add([]byte{16, 0, 0, 0, 1, 0, 0, 1, 0, 1, 0, 2, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		n := int(data[0]) % 17
+		var g *Graph
+		if data[1]&1 == 1 {
+			g = NewDirected(n)
+		} else {
+			g = New(n)
+		}
+		for i := 2; i+2 < len(data); i += 3 {
+			op, u, v := data[i]%3, int(data[i+1]), int(data[i+2])
+			if n > 0 {
+				u, v = u%n, v%n
+			}
+			switch op {
+			case 0:
+				g.AddEdge(u, v) // errors (self-loop, out of range) are part of the contract
+			case 1:
+				g.AddWeightedEdge(u, v, float64(data[i+2])+0.5)
+			case 2:
+				g.RemoveEdge(u, v)
+			}
+		}
+		c := g.Freeze()
+		if c.N() != g.N() {
+			t.Fatalf("CSR N=%d, Graph N=%d", c.N(), g.N())
+		}
+		if c.M() != g.M() {
+			t.Fatalf("CSR M=%d, Graph M=%d", c.M(), g.M())
+		}
+		if c.Directed() != g.Directed() {
+			t.Fatalf("CSR directed=%v, Graph directed=%v", c.Directed(), g.Directed())
+		}
+		for v := 0; v < n; v++ {
+			if c.Degree(v) != g.Degree(v) {
+				t.Fatalf("node %d: CSR degree %d, Graph degree %d", v, c.Degree(v), g.Degree(v))
+			}
+			if g.Directed() && c.InDegree(v) != g.InDegree(v) {
+				t.Fatalf("node %d: CSR in-degree %d, Graph in-degree %d", v, c.InDegree(v), g.InDegree(v))
+			}
+			want := append([]int(nil), g.Neighbors(v)...)
+			var got []int
+			c.EachNeighbor(v, func(to int, _ float64) { got = append(got, to) })
+			sort.Ints(want)
+			sort.Ints(got)
+			if len(want) != len(got) {
+				t.Fatalf("node %d: CSR has %d neighbors, Graph %d", v, len(got), len(want))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("node %d: neighbor multisets differ: CSR %v, Graph %v", v, got, want)
+				}
+			}
+		}
+		// Edge-membership agreement both for present edges and a sweep of
+		// absent pairs (bounded so the fuzz iteration stays fast).
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if c.HasEdge(u, v) != g.HasEdge(u, v) {
+					t.Fatalf("HasEdge(%d,%d): CSR %v, Graph %v", u, v, c.HasEdge(u, v), g.HasEdge(u, v))
+				}
+			}
+		}
+	})
+}

@@ -115,6 +115,23 @@ func levelFromHist(hist *[maxDim]int, dim int) int {
 	return dim
 }
 
+// LevelFromNeighborLevels evaluates the footnote-3 safety-level rule on a
+// slice of neighbor levels (order-insensitive), exported for harnesses that
+// re-run the update outside SafetyLevels — e.g. fault-injection scenarios
+// tracking level monotonicity. dim must be in [1, 20], like New.
+func LevelFromNeighborLevels(neighborLevels []int, dim int) int {
+	if dim < 1 || dim > 20 {
+		return 0
+	}
+	var hist [maxDim]int
+	for _, l := range neighborLevels {
+		if l >= 0 && l < dim {
+			hist[l]++
+		}
+	}
+	return levelFromHist(&hist, dim)
+}
+
 // SafetyLevels runs the iterative computation: faulty nodes have level 0,
 // non-faulty nodes start at n, and each round every node recomputes its
 // level from the non-decreasing sequence of its neighbors' levels

@@ -172,6 +172,11 @@ type MISResult struct {
 	Rounds int
 }
 
+// ErrUnstable reports a kernel run that exhausted its round budget without
+// quiescing. Callers that probe algorithms under fault injection receive
+// the partial labels alongside it.
+var ErrUnstable = errors.New("labeling: MIS did not stabilize")
+
 // DistributedMIS runs the paper's three-color clusterhead election: per
 // round, every White node that is the local priority maximum among its
 // White neighbors turns Black; White neighbors of Black nodes turn Gray.
@@ -216,12 +221,14 @@ func DistributedMIS(g *graph.Graph, prio Priority, opts ...runtime.Option) (MISR
 	if err != nil {
 		return MISResult{}, err
 	}
-	if !stats.Stable {
-		return MISResult{}, errors.New("labeling: MIS did not stabilize")
-	}
 	colors := make([]Color, n)
 	for v, s := range states {
 		colors[v] = s.color
+	}
+	if !stats.Stable {
+		// Return the partial labels with the error: fault-injection
+		// harnesses inspect them to name the violated invariant.
+		return MISResult{Colors: colors, Rounds: stats.Rounds}, ErrUnstable
 	}
 	// The final no-change round does not count as work.
 	return MISResult{Colors: colors, Rounds: stats.Rounds - 1}, nil

@@ -1,0 +1,275 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"structura/internal/graph"
+)
+
+// Perturbation describes the faults injected into one synchronous round.
+// The zero value perturbs nothing. All slices are indexed by node ID and may
+// be nil (meaning "no node affected"); Drop may be nil (no message loss).
+type Perturbation struct {
+	// Topology, when non-nil, replaces the round's CSR snapshot before any
+	// message is exchanged — edge churn applied between rounds. The node
+	// count must not change.
+	Topology *graph.CSR
+
+	// Restart[v] resets v's state to init(v) before the round — a crashed
+	// node rejoining with amnesia. The fresh state is visible to neighbors
+	// this same round (subject to loss).
+	Restart []bool
+
+	// Inactive[v] makes v skip its step this round: its state carries over
+	// unchanged and it receives no messages (its neighbor views stay
+	// stale). Models both a crashed node and bounded asynchrony (a node
+	// whose round is skewed behind its shard).
+	Inactive []bool
+
+	// Silence[v] drops every message v sends this round; each neighbor
+	// keeps its last delivered view of v. A crashed node is typically both
+	// Inactive and Silenced.
+	Silence []bool
+
+	// Drop reports whether the single message from -> to is lost this
+	// round. It is called concurrently from worker goroutines and must be a
+	// pure function of its arguments (derive decisions from a per-round
+	// seed, not from mutable state), or the run loses determinism.
+	Drop func(from, to int) bool
+}
+
+// Perturber injects faults into a run. BeforeRound is called once per round
+// (1-based), from the coordinating goroutine, before the round's messages
+// are exchanged; the returned Perturbation applies to that round only.
+// Active(round) reports whether faults may still occur at or after the
+// given round — while true, a no-change round does not end the run, so
+// self-stabilization is measured against the full fault window.
+type Perturber interface {
+	BeforeRound(round int, g *graph.CSR) Perturbation
+	Active(round int) bool
+}
+
+// WithPerturber threads a fault injector through the run. The kernel
+// switches to a buffered message-delivery path: every node keeps the last
+// delivered state of each neighbor, so lost or delayed messages leave stale
+// views rather than zero values. Stats.Messages then counts messages
+// actually delivered (not M per round), and a round with no state change
+// only ends the run once the perturber reports itself inactive.
+//
+// Step functions must not mutate the neighbor-state slice they are handed:
+// under a perturber it is the node's persistent view buffer, not a
+// per-round copy.
+func WithPerturber(p Perturber) Option {
+	return func(c *config) { c.perturber = p }
+}
+
+// runPerturbed is the fault-injected twin of the RunCSR round loop. It
+// trades the zero-allocation gather of the clean path for per-node view
+// buffers (seen[v][i] = last delivered state of v's i-th neighbor), which
+// is what gives message loss its "stale view" semantics.
+func runPerturbed[S any](
+	g *graph.CSR,
+	init func(v int) S,
+	step func(v int, self S, neighbors []S) (S, bool),
+	cfg config,
+	workers int,
+) ([]S, Stats, error) {
+	n := g.N()
+	cur := make([]S, n)
+	for v := 0; v < n; v++ {
+		cur[v] = init(v)
+	}
+	next := make([]S, n)
+	seen := buildSeen(g, cur)
+
+	var st Stats
+	var shards []shard
+	if workers > 1 {
+		shards = makeShards(n, workers)
+	}
+	for r := 0; r < cfg.maxRounds; r++ {
+		round := r + 1
+		p := cfg.perturber.BeforeRound(round, g)
+		if p.Topology != nil {
+			if p.Topology.N() != n {
+				return cur, st, errors.New("runtime: perturbed topology changed the node count")
+			}
+			seen = remapSeen(g, p.Topology, seen, cur)
+			g = p.Topology
+		}
+		if p.Restart != nil {
+			for v, rs := range p.Restart {
+				if rs {
+					cur[v] = init(v)
+				}
+			}
+		}
+		begin := time.Now()
+		var changed, delivered int
+		var err error
+		if workers > 1 {
+			changed, delivered, err = stepShardsPerturbed(g, cur, next, seen, step, shards, &p)
+		} else {
+			changed, delivered, err = stepRangePerturbed(g, cur, next, seen, step, 0, n, &p)
+		}
+		if err != nil {
+			return cur, st, err
+		}
+		st.Rounds++
+		st.Messages += delivered
+		cur, next = next, cur
+		rs := RoundStats{Round: st.Rounds, Changed: changed, Messages: delivered, Elapsed: time.Since(begin)}
+		st.History = append(st.History, rs)
+		if cfg.observer != nil {
+			if oerr := observe(cfg.observer, rs); oerr != nil {
+				return cur, st, oerr
+			}
+		}
+		if changed == 0 && !cfg.perturber.Active(round+1) {
+			st.Stable = true
+			return cur, st, nil
+		}
+	}
+	st.Stable = false
+	return cur, st, nil
+}
+
+// buildSeen initializes every node's neighbor-view buffer to the neighbors'
+// init states (the round-0 knowledge the synchronous model assumes).
+func buildSeen[S any](g *graph.CSR, cur []S) [][]S {
+	n := g.N()
+	out := make([][]S, n)
+	for v := 0; v < n; v++ {
+		row := g.Neighbors(v)
+		sv := make([]S, len(row))
+		for i, w := range row {
+			sv[i] = cur[w]
+		}
+		out[v] = sv
+	}
+	return out
+}
+
+// remapSeen rebuilds the view buffers after edge churn: views across
+// surviving edges are carried over (staleness preserved), views across
+// new edges start from the neighbor's current state (the edge-creation
+// handshake delivers it).
+func remapSeen[S any](old, fresh *graph.CSR, seen [][]S, cur []S) [][]S {
+	n := fresh.N()
+	out := make([][]S, n)
+	for v := 0; v < n; v++ {
+		oldRow := old.Neighbors(v)
+		newRow := fresh.Neighbors(v)
+		sv := make([]S, len(newRow))
+		for i, w := range newRow {
+			carried := false
+			for j, ow := range oldRow {
+				if ow == w {
+					sv[i] = seen[v][j]
+					carried = true
+					break
+				}
+			}
+			if !carried {
+				sv[i] = cur[w]
+			}
+		}
+		out[v] = sv
+	}
+	return out
+}
+
+// stepRangePerturbed steps nodes [lo, hi) under the round's perturbation:
+// deliverable messages refresh the view buffer, everything else stays
+// stale, inactive nodes carry their state over. Returns the change and
+// delivered-message counts; a panicking step is recovered and reported
+// with the offending node.
+func stepRangePerturbed[S any](
+	g *graph.CSR,
+	cur, next []S,
+	seen [][]S,
+	step func(v int, self S, neighbors []S) (S, bool),
+	lo, hi int,
+	p *Perturbation,
+) (changed, delivered int, err error) {
+	v := lo
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("runtime: step panicked at node %d: %v", v, rec)
+		}
+	}()
+	for ; v < hi; v++ {
+		if p.Inactive != nil && p.Inactive[v] {
+			next[v] = cur[v]
+			continue
+		}
+		sv := seen[v]
+		for i, w := range g.Neighbors(v) {
+			if p.Silence != nil && p.Silence[w] {
+				continue
+			}
+			if p.Drop != nil && p.Drop(int(w), v) {
+				continue
+			}
+			sv[i] = cur[w]
+			delivered++
+		}
+		s, ch := step(v, cur[v], sv)
+		next[v] = s
+		if ch {
+			changed++
+		}
+	}
+	return changed, delivered, nil
+}
+
+// stepShardsPerturbed fans a perturbed round out across the shards. Workers
+// write disjoint ranges of next and disjoint rows of seen, and Drop is a
+// pure function, so the result is identical to the sequential schedule.
+func stepShardsPerturbed[S any](
+	g *graph.CSR,
+	cur, next []S,
+	seen [][]S,
+	step func(v int, self S, neighbors []S) (S, bool),
+	shards []shard,
+	p *Perturbation,
+) (int, int, error) {
+	var wg sync.WaitGroup
+	counts := make([]int, len(shards))
+	delivered := make([]int, len(shards))
+	errs := make([]error, len(shards))
+	for w, sh := range shards {
+		wg.Add(1)
+		go func(w int, sh shard) {
+			defer wg.Done()
+			counts[w], delivered[w], errs[w] = stepRangePerturbed(g, cur, next, seen, step, sh.lo, sh.hi, p)
+		}(w, sh)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return 0, 0, e
+		}
+	}
+	totalC, totalD := 0, 0
+	for i := range counts {
+		totalC += counts[i]
+		totalD += delivered[i]
+	}
+	return totalC, totalD, nil
+}
+
+// observe invokes the observer with panic recovery, so a faulty hook aborts
+// the run with an error instead of crashing the process.
+func observe(obs RoundObserver, rs RoundStats) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("runtime: observer panicked at round %d: %v", rs.Round, rec)
+		}
+	}()
+	obs(rs)
+	return nil
+}

@@ -13,6 +13,7 @@ package runtime
 
 import (
 	"errors"
+	"fmt"
 	stdruntime "runtime"
 	"sort"
 	"sync"
@@ -48,6 +49,7 @@ type config struct {
 	maxRoundsSet bool
 	parallelism  int // 0 = auto (GOMAXPROCS, sequential below cutoff)
 	observer     RoundObserver
+	perturber    Perturber
 }
 
 // Option configures a Run.
@@ -136,6 +138,9 @@ func RunCSR[S any](
 	if workers > n {
 		workers = n
 	}
+	if cfg.perturber != nil {
+		return runPerturbed(g, init, step, cfg, workers)
+	}
 
 	cur := make([]S, n)
 	for v := 0; v < n; v++ {
@@ -160,10 +165,17 @@ func RunCSR[S any](
 	for r := 0; r < cfg.maxRounds; r++ {
 		begin := time.Now()
 		var changed int
+		var err error
 		if workers > 1 {
-			changed = stepShards(g, cur, next, step, shards, scratches)
+			changed, err = stepShards(g, cur, next, step, shards, scratches)
 		} else {
-			changed = stepRange(g, cur, next, step, 0, n, &scratch)
+			changed, err = stepRange(g, cur, next, step, 0, n, &scratch)
+		}
+		if err != nil {
+			// A panicking step aborts the run cleanly: the barrier has
+			// already joined every shard, and the states committed by
+			// previous rounds are returned with the error.
+			return cur, st, err
 		}
 		st.Rounds++
 		st.Messages += msgsPerRound
@@ -171,7 +183,9 @@ func RunCSR[S any](
 		rs := RoundStats{Round: st.Rounds, Changed: changed, Messages: msgsPerRound, Elapsed: time.Since(begin)}
 		st.History = append(st.History, rs)
 		if cfg.observer != nil {
-			cfg.observer(rs)
+			if oerr := observe(cfg.observer, rs); oerr != nil {
+				return cur, st, oerr
+			}
 		}
 		if changed == 0 {
 			st.Stable = true
@@ -196,17 +210,26 @@ func makeShards(n, workers int) []shard {
 
 // stepRange steps nodes [lo, hi) against the cur snapshot, writing into
 // next, and returns how many reported a change. scratch is the caller's
-// reusable neighbor-state buffer (returned grown in place).
+// reusable neighbor-state buffer (returned grown in place). A panicking
+// step is recovered and reported as an error naming the offending node, so
+// a buggy algorithm aborts the run instead of killing the process from a
+// worker goroutine.
 func stepRange[S any](
 	g *graph.CSR,
 	cur, next []S,
 	step func(v int, self S, neighbors []S) (S, bool),
 	lo, hi int,
 	scratch *[]S,
-) int {
+) (changed int, err error) {
 	buf := (*scratch)[:0]
-	changed := 0
-	for v := lo; v < hi; v++ {
+	v := lo
+	defer func() {
+		*scratch = buf
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("runtime: step panicked at node %d: %v", v, rec)
+		}
+	}()
+	for ; v < hi; v++ {
 		buf = buf[:0]
 		for _, w := range g.Neighbors(v) {
 			buf = append(buf, cur[w])
@@ -217,8 +240,7 @@ func stepRange[S any](
 			changed++
 		}
 	}
-	*scratch = buf
-	return changed
+	return changed, nil
 }
 
 // stepShards fans one round out across the shards and merges the per-worker
@@ -231,22 +253,29 @@ func stepShards[S any](
 	step func(v int, self S, neighbors []S) (S, bool),
 	shards []shard,
 	scratches [][]S,
-) int {
+) (int, error) {
 	var wg sync.WaitGroup
 	counts := make([]int, len(shards))
+	errs := make([]error, len(shards))
 	for w, sh := range shards {
 		wg.Add(1)
 		go func(w int, sh shard) {
 			defer wg.Done()
-			counts[w] = stepRange(g, cur, next, step, sh.lo, sh.hi, &scratches[w])
+			counts[w], errs[w] = stepRange(g, cur, next, step, sh.lo, sh.hi, &scratches[w])
 		}(w, sh)
 	}
 	wg.Wait()
+	// Lowest shard's error wins so the reported node is deterministic.
+	for _, e := range errs {
+		if e != nil {
+			return 0, e
+		}
+	}
 	total := 0
 	for _, c := range counts {
 		total += c
 	}
-	return total
+	return total, nil
 }
 
 // KHopNeighborhoods returns, for each node, the sorted set of nodes within

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"fmt"
+	stdruntime "runtime"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// chaosSchedule exercises every fault class at once.
+func chaosSchedule() Schedule {
+	return Schedule{
+		Horizon:     10,
+		MsgLoss:     0.05,
+		CrashProb:   0.02,
+		Downtime:    2,
+		SkewProb:    0.02,
+		MaxSkew:     2,
+		ChurnAdd:    1,
+		ChurnRemove: 1,
+		ChurnEvery:  3,
+	}
+}
+
+// fingerprint canonicalizes everything observable about a Result except
+// wall-clock times. Two runs of the same (scenario, seed, schedule) must
+// produce identical fingerprints — across processes and worker counts.
+func fingerprint(r *Result) string {
+	var b strings.Builder
+	w := r.World
+	fmt.Fprintf(&b, "stats rounds=%d msgs=%d stable=%v\n", w.Stats.Rounds, w.Stats.Messages, w.Stats.Stable)
+	for _, rs := range w.Stats.History {
+		fmt.Fprintf(&b, "h %d %d %d\n", rs.Round, rs.Changed, rs.Messages)
+	}
+	fmt.Fprintf(&b, "lastFault=%d recovery=%d quiesced=%v\n", r.LastFault, r.RecoveryRounds, r.Quiesced)
+	for _, e := range w.Trace {
+		fmt.Fprintf(&b, "t %s\n", e)
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "v %s\n", v)
+	}
+	fmt.Fprintf(&b, "edges %v\n", w.Graph.Edges())
+	if w.MIS != nil {
+		fmt.Fprintf(&b, "mis %v %v\n", w.MIS.Colors, w.MIS.Stable)
+	}
+	if w.CDS != nil {
+		fmt.Fprintf(&b, "cds %v\n", w.CDS.Members)
+	}
+	if w.Rev != nil {
+		keys := make([]int, 0, len(w.Rev.PerNode))
+		for k := range w.Rev.PerNode {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		fmt.Fprintf(&b, "rev sinks=%v fails=%d total=%d stable=%v per=", w.Rev.Sinks, w.Rev.Fails, w.Rev.Total, w.Rev.Stable)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%d:%d ", k, w.Rev.PerNode[k])
+		}
+		b.WriteByte('\n')
+	}
+	if w.Dist != nil {
+		fmt.Fprintf(&b, "dist %v %v\n", w.Dist.Dist, w.Dist.Stable)
+	}
+	if w.Cube != nil {
+		fmt.Fprintf(&b, "cube %v %v %v %v\n", w.Cube.Faulty, w.Cube.Levels, w.Cube.MinLevels, w.Cube.Peaks)
+	}
+	return b.String()
+}
+
+// TestExploreDeterminism is the tentpole acceptance check: the same
+// (scenario, seed, schedule) triple replays bit-identically across repeated
+// runs AND across kernel worker counts (sequential vs GOMAXPROCS shards).
+func TestExploreDeterminism(t *testing.T) {
+	sch := chaosSchedule()
+	for _, sc := range BuiltinScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			first, err := Explore(sc.Name, 42, sch)
+			if err != nil {
+				t.Fatalf("run 1: %v", err)
+			}
+			second, err := Explore(sc.Name, 42, sch)
+			if err != nil {
+				t.Fatalf("run 2: %v", err)
+			}
+			if a, b := fingerprint(first), fingerprint(second); a != b {
+				t.Fatalf("two identical Explore calls diverged:\n--- run1\n%s\n--- run2\n%s", a, b)
+			}
+			seq, err := ExploreWith(sc.Name, 42, sch, 1)
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			par, err := ExploreWith(sc.Name, 42, sch, stdruntime.GOMAXPROCS(0))
+			if err != nil {
+				t.Fatalf("workers=max: %v", err)
+			}
+			if a, b := fingerprint(seq), fingerprint(par); a != b {
+				t.Fatalf("sequential vs parallel kernel diverged:\n--- seq\n%s\n--- par\n%s", a, b)
+			}
+			if a, b := fingerprint(first), fingerprint(seq); a != b {
+				t.Fatalf("auto vs pinned worker count diverged:\n--- auto\n%s\n--- seq\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestExploreSeedSensitivity guards against a pinned RNG: different seeds
+// must produce different fault draws somewhere across the scenario set.
+func TestExploreSeedSensitivity(t *testing.T) {
+	sch := chaosSchedule()
+	differ := false
+	for _, sc := range BuiltinScenarios() {
+		a, err := Explore(sc.Name, 1, sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Explore(sc.Name, 2, sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fingerprint(a) != fingerprint(b) {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatal("seeds 1 and 2 produced identical runs for every scenario")
+	}
+}
+
+func TestExploreUnknownScenario(t *testing.T) {
+	if _, err := Explore("no-such-scenario", 1, Schedule{}); err == nil {
+		t.Fatal("expected an error for an unknown scenario")
+	}
+	if _, err := ScenarioByName("nope"); err == nil {
+		t.Fatal("expected an error from ScenarioByName")
+	}
+}
+
+func TestExploreZeroScheduleQuiesces(t *testing.T) {
+	for _, sc := range BuiltinScenarios() {
+		r, err := Explore(sc.Name, 7, Schedule{})
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if !r.Quiesced {
+			t.Errorf("%s: fault-free run did not quiesce", sc.Name)
+		}
+		if len(r.Violations) != 0 {
+			t.Errorf("%s: fault-free run violated invariants: %v", sc.Name, r.Violations)
+		}
+		if r.LastFault != 0 || r.RecoveryRounds != 0 {
+			t.Errorf("%s: fault-free run reported faults (last=%d recovery=%d)",
+				sc.Name, r.LastFault, r.RecoveryRounds)
+		}
+	}
+}
+
+// partitionEvents cuts an adjacent non-destination pair (u,v) out of g at
+// the given round: every incident edge except (u,v) itself is removed,
+// leaving a two-node component with one link and no destination.
+func partitionEvents(t *testing.T, r *Result, round int) []Event {
+	t.Helper()
+	g := r.World.Graph
+	pu, pv := -1, -1
+	for _, e := range g.Edges() {
+		if e.From != 0 && e.To != 0 {
+			pu, pv = e.From, e.To
+			break
+		}
+	}
+	if pu < 0 {
+		t.Fatal("no non-destination edge to cut")
+	}
+	var cut []Event
+	for _, x := range []int{pu, pv} {
+		g.EachNeighbor(x, func(u int, _ float64) {
+			if (x == pu && u == pv) || (x == pv && u == pu) {
+				return
+			}
+			cut = append(cut, Event{Round: round, Op: OpRemoveEdge, U: x, V: u})
+		})
+	}
+	return cut
+}
+
+// TestMinimize checks the shrinker: a partition cut buried in background
+// churn reduces to exactly the cut edges, and the minimized schedule is a
+// fully concrete reproducer (no probabilistic faults left).
+func TestMinimize(t *testing.T) {
+	base, err := Explore("reversal-full", 7, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := partitionEvents(t, base, 1)
+	sch := Schedule{Horizon: 6, ChurnAdd: 1, ChurnEvery: 2, Events: cut}
+	min, res, err := Minimize("reversal-full", 7, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("minimized run lost the violation")
+	}
+	if len(min.Events) != len(cut) {
+		t.Fatalf("expected the %d-edge cut to survive minimization, got %d events: %v",
+			len(cut), len(min.Events), min.Events)
+	}
+	if min.MsgLoss != 0 || min.CrashProb != 0 || min.SkewProb != 0 || min.ChurnAdd != 0 || min.ChurnRemove != 0 {
+		t.Fatalf("minimized schedule still has probabilistic faults: %+v", min)
+	}
+	for _, e := range min.Events {
+		if e.Op != OpRemoveEdge {
+			t.Fatalf("unexpected surviving event %s", e)
+		}
+	}
+	// The reproducer replays deterministically.
+	again, err := Explore("reversal-full", 7, min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(again) != fingerprint(res) {
+		t.Fatal("minimized schedule did not replay identically")
+	}
+}
+
+func TestMinimizeRejectsPassingRun(t *testing.T) {
+	if _, _, err := Minimize("mis", 7, Schedule{}); err == nil {
+		t.Fatal("expected an error when minimizing a run with no violations")
+	}
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenCase is the seed-replay corpus schema: a named (scenario, seed,
+// schedule) triple plus the behavior band the run must stay inside. The
+// corpus pins the harness's observable behavior — a kernel or scenario
+// change that shifts convergence beyond the tolerance band fails here
+// before it reaches an experiment table.
+type goldenCase struct {
+	Name              string   `json:"name"`
+	Scenario          string   `json:"scenario"`
+	Seed              uint64   `json:"seed"`
+	Schedule          Schedule `json:"schedule"`
+	ExpectQuiesced    bool     `json:"expect_quiesced"`
+	ExpectViolations  bool     `json:"expect_violations"`
+	MaxRecoveryRounds int      `json:"max_recovery_rounds"`
+}
+
+func TestGoldenSchedules(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "schedules", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("seed-replay corpus too small: %v", files)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			raw, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var gc goldenCase
+			if err := json.Unmarshal(raw, &gc); err != nil {
+				t.Fatalf("corpus file does not parse: %v", err)
+			}
+			r, err := Explore(gc.Scenario, gc.Seed, gc.Schedule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Quiesced != gc.ExpectQuiesced {
+				t.Errorf("quiesced = %v, corpus expects %v", r.Quiesced, gc.ExpectQuiesced)
+			}
+			if got := len(r.Violations) > 0; got != gc.ExpectViolations {
+				t.Errorf("violations present = %v, corpus expects %v (%v)", got, gc.ExpectViolations, r.Violations)
+			}
+			if gc.ExpectQuiesced {
+				if r.RecoveryRounds < 0 || r.RecoveryRounds > gc.MaxRecoveryRounds {
+					t.Errorf("rounds-to-restabilize = %d, outside tolerance band [0, %d]",
+						r.RecoveryRounds, gc.MaxRecoveryRounds)
+				}
+			}
+			// The corpus doubles as a replay regression: the same file must
+			// reproduce the same run bit-for-bit.
+			again, err := Explore(gc.Scenario, gc.Seed, gc.Schedule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fingerprint(r) != fingerprint(again) {
+				t.Error("corpus replay diverged between two runs")
+			}
+		})
+	}
+}
+
+// TestScheduleJSONRoundTrip pins the Schedule wire format the corpus and
+// the chaos subcommand share.
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	sch := chaosSchedule()
+	sch.Events = []Event{
+		{Round: 3, Op: OpCrash, U: 4, For: 2},
+		{Round: 5, Op: OpRemoveEdge, U: 1, V: 2},
+		{Round: 6, Op: OpDrop, U: 7, V: 8},
+	}
+	raw, err := json.Marshal(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Explore("mis", 3, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Explore("mis", 3, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(r1) != fingerprint(r2) {
+		t.Fatal("schedule changed across a JSON round trip")
+	}
+}

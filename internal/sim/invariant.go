@@ -1,0 +1,363 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"structura/internal/graph"
+	"structura/internal/labeling"
+	"structura/internal/runtime"
+)
+
+// World is what a scenario exposes to invariant checkers after a run: the
+// final (post-churn) topology, the kernel statistics, and exactly one
+// algorithm-specific section. Checkers return nil for worlds whose section
+// they do not inspect, so one registry serves every scenario.
+type World struct {
+	Scenario  string
+	Graph     *graph.Graph // final support topology
+	Stats     runtime.Stats
+	Trace     []Event // every concrete fault applied, in application order
+	LastFault int     // last round at which any fault applied (0 if none)
+
+	MIS  *MISWorld
+	CDS  *CDSWorld
+	Rev  *RevWorld
+	Dist *DistWorld
+	Cube *CubeWorld
+}
+
+// MISWorld carries the final three-color labels.
+type MISWorld struct {
+	Colors []labeling.Color
+	Stable bool
+}
+
+// CDSWorld carries the connected-dominating-set membership computed before
+// churn began.
+type CDSWorld struct {
+	Members []int
+}
+
+// RevWorld captures a link-reversal network after the fault window and the
+// post-window stabilization budget.
+type RevWorld struct {
+	N        int
+	Dest     int
+	Mode     string // "full", "partial", "binary0", "binary1"
+	Support  *graph.Graph
+	PointsTo func(u, v int) bool // current orientation of link (u,v)
+	Sinks    []int
+	Fails    int // link failures injected
+	Total    int // total sink activations across the run
+	PerNode  map[int]int
+	Stable   bool
+}
+
+// DistWorld carries the final distance-vector labels toward Dest.
+type DistWorld struct {
+	Dest   int
+	Dist   []float64
+	Stable bool
+}
+
+// CubeWorld carries final hypercube safety levels plus, per node, the
+// minimum level it ever announced and the peak level it reached AFTER that
+// minimum. In a fault-free run levels only decrease, so Peak stays at zero;
+// Peak > Min records a monotonicity breach even when the level later
+// re-converges to its correct value.
+type CubeWorld struct {
+	Dim       int
+	Faulty    []bool
+	Levels    []int
+	MinLevels []int
+	Peaks     []int
+}
+
+// Violation names an invariant breach precisely enough to debug it: the
+// offending node, or the offending edge when the breach is edge-level
+// (Node == -1).
+type Violation struct {
+	Invariant string
+	Node      int
+	Edge      [2]int
+	Detail    string
+}
+
+func (v Violation) String() string {
+	if v.Node >= 0 {
+		return fmt.Sprintf("%s: node %d: %s", v.Invariant, v.Node, v.Detail)
+	}
+	return fmt.Sprintf("%s: edge (%d,%d): %s", v.Invariant, v.Edge[0], v.Edge[1], v.Detail)
+}
+
+func nodeViolation(inv string, node int, format string, args ...any) Violation {
+	return Violation{Invariant: inv, Node: node, Edge: [2]int{-1, -1}, Detail: fmt.Sprintf(format, args...)}
+}
+
+func edgeViolation(inv string, u, v int, format string, args ...any) Violation {
+	return Violation{Invariant: inv, Node: -1, Edge: [2]int{u, v}, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Invariant is a reusable structural property checker.
+type Invariant struct {
+	Name  string
+	Desc  string
+	Check func(w *World) []Violation
+}
+
+var registry []Invariant
+
+// Register adds an invariant to the registry. Standard checkers register
+// themselves in init; tests may add scenario-specific ones.
+func Register(inv Invariant) { registry = append(registry, inv) }
+
+// Invariants returns every registered invariant, sorted by name.
+func Invariants() []Invariant {
+	out := append([]Invariant(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup finds an invariant by name.
+func Lookup(name string) (Invariant, error) {
+	for _, inv := range registry {
+		if inv.Name == name {
+			return inv, nil
+		}
+	}
+	return Invariant{}, fmt.Errorf("sim: unknown invariant %q", name)
+}
+
+func init() {
+	Register(Invariant{
+		Name:  "mis-independence",
+		Desc:  "no two Black nodes are adjacent",
+		Check: checkMISIndependence,
+	})
+	Register(Invariant{
+		Name:  "mis-maximality",
+		Desc:  "every node is Black or has a Black neighbor",
+		Check: checkMISMaximality,
+	})
+	Register(Invariant{
+		Name:  "cds-domination",
+		Desc:  "every node outside the CDS has a neighbor inside",
+		Check: checkCDSDomination,
+	})
+	Register(Invariant{
+		Name:  "cds-connectivity",
+		Desc:  "the induced subgraph on the CDS is connected",
+		Check: checkCDSConnectivity,
+	})
+	Register(Invariant{
+		Name:  "reversal-destination-oriented",
+		Desc:  "after stabilization every node reaches the destination along oriented links",
+		Check: checkReversalOriented,
+	})
+	Register(Invariant{
+		Name:  "reversal-count-bound",
+		Desc:  "per-node reversal count stays within n per link failure (O(n^2) total)",
+		Check: checkReversalCountBound,
+	})
+	Register(Invariant{
+		Name:  "distvec-bfs-agreement",
+		Desc:  "distance labels equal BFS distances on the final topology at quiescence",
+		Check: checkDistVecBFS,
+	})
+	Register(Invariant{
+		Name:  "hypercube-level-monotone",
+		Desc:  "safety levels never rise above the minimum a node has announced",
+		Check: checkCubeMonotone,
+	})
+}
+
+func checkMISIndependence(w *World) []Violation {
+	if w.MIS == nil {
+		return nil
+	}
+	var out []Violation
+	for _, e := range w.Graph.Edges() {
+		if w.MIS.Colors[e.From] == labeling.Black && w.MIS.Colors[e.To] == labeling.Black {
+			out = append(out, edgeViolation("mis-independence", e.From, e.To,
+				"both endpoints are Black"))
+		}
+	}
+	return out
+}
+
+func checkMISMaximality(w *World) []Violation {
+	if w.MIS == nil {
+		return nil
+	}
+	var out []Violation
+	for v := 0; v < w.Graph.N(); v++ {
+		if w.MIS.Colors[v] == labeling.Black {
+			continue
+		}
+		dominated := false
+		w.Graph.EachNeighbor(v, func(u int, _ float64) {
+			if w.MIS.Colors[u] == labeling.Black {
+				dominated = true
+			}
+		})
+		if !dominated {
+			out = append(out, nodeViolation("mis-maximality", v,
+				"color %d with no Black neighbor", w.MIS.Colors[v]))
+		}
+	}
+	return out
+}
+
+func checkCDSDomination(w *World) []Violation {
+	if w.CDS == nil {
+		return nil
+	}
+	in := labeling.SetOf(w.CDS.Members)
+	var out []Violation
+	for v := 0; v < w.Graph.N(); v++ {
+		if in[v] {
+			continue
+		}
+		dominated := false
+		w.Graph.EachNeighbor(v, func(u int, _ float64) {
+			if in[u] {
+				dominated = true
+			}
+		})
+		if !dominated {
+			out = append(out, nodeViolation("cds-domination", v, "no CDS neighbor"))
+		}
+	}
+	return out
+}
+
+func checkCDSConnectivity(w *World) []Violation {
+	if w.CDS == nil || len(w.CDS.Members) <= 1 {
+		return nil
+	}
+	in := labeling.SetOf(w.CDS.Members)
+	// BFS inside the CDS from its first member; members left unvisited sit
+	// in a detached component.
+	visited := map[int]bool{w.CDS.Members[0]: true}
+	queue := []int{w.CDS.Members[0]}
+	for head := 0; head < len(queue); head++ {
+		w.Graph.EachNeighbor(queue[head], func(u int, _ float64) {
+			if in[u] && !visited[u] {
+				visited[u] = true
+				queue = append(queue, u)
+			}
+		})
+	}
+	var out []Violation
+	for _, v := range w.CDS.Members {
+		if !visited[v] {
+			out = append(out, nodeViolation("cds-connectivity", v,
+				"detached from CDS component of node %d (%d of %d members reachable)",
+				w.CDS.Members[0], len(queue), len(w.CDS.Members)))
+		}
+	}
+	return out
+}
+
+func checkReversalOriented(w *World) []Violation {
+	if w.Rev == nil {
+		return nil
+	}
+	var out []Violation
+	for _, s := range w.Rev.Sinks {
+		out = append(out, nodeViolation("reversal-destination-oriented", s,
+			"sink: every incident link points in"))
+	}
+	// Reachability along the orientation: BFS from the destination over
+	// incoming links.
+	reach := make([]bool, w.Rev.N)
+	reach[w.Rev.Dest] = true
+	queue := []int{w.Rev.Dest}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		w.Rev.Support.EachNeighbor(v, func(u int, _ float64) {
+			if !reach[u] && w.Rev.PointsTo(u, v) {
+				reach[u] = true
+				queue = append(queue, u)
+			}
+		})
+	}
+	for v := 0; v < w.Rev.N; v++ {
+		if w.Rev.Support.Degree(v) > 0 && !reach[v] {
+			out = append(out, nodeViolation("reversal-destination-oriented", v,
+				"cannot reach destination %d along oriented links", w.Rev.Dest))
+		}
+	}
+	return out
+}
+
+func checkReversalCountBound(w *World) []Violation {
+	if w.Rev == nil {
+		return nil
+	}
+	events := w.Rev.Fails
+	if events < 1 {
+		events = 1
+	}
+	perNodeBound := w.Rev.N * events
+	var out []Violation
+	nodes := make([]int, 0, len(w.Rev.PerNode))
+	for v := range w.Rev.PerNode {
+		nodes = append(nodes, v)
+	}
+	sort.Ints(nodes)
+	for _, v := range nodes {
+		if c := w.Rev.PerNode[v]; c > perNodeBound {
+			out = append(out, nodeViolation("reversal-count-bound", v,
+				"%d reversals > bound %d (n=%d, failures=%d)", c, perNodeBound, w.Rev.N, events))
+		}
+	}
+	if total := w.Rev.Total; total > w.Rev.N*perNodeBound {
+		out = append(out, nodeViolation("reversal-count-bound", w.Rev.Dest,
+			"total reversals %d > n^2-type bound %d", total, w.Rev.N*perNodeBound))
+	}
+	return out
+}
+
+func checkDistVecBFS(w *World) []Violation {
+	if w.Dist == nil {
+		return nil
+	}
+	dist, _, err := w.Graph.BFS(w.Dist.Dest)
+	if err != nil {
+		return []Violation{nodeViolation("distvec-bfs-agreement", w.Dist.Dest, "BFS failed: %v", err)}
+	}
+	suffix := ""
+	if !w.Dist.Stable {
+		suffix = " (run did not restabilize)"
+	}
+	var out []Violation
+	for v, want := range dist {
+		got := w.Dist.Dist[v]
+		switch {
+		case want < 0 && !math.IsInf(got, 1):
+			out = append(out, nodeViolation("distvec-bfs-agreement", v,
+				"label %.0f but destination unreachable%s", got, suffix))
+		case want >= 0 && got != float64(want):
+			out = append(out, nodeViolation("distvec-bfs-agreement", v,
+				"label %v, BFS distance %d%s", got, want, suffix))
+		}
+	}
+	return out
+}
+
+func checkCubeMonotone(w *World) []Violation {
+	if w.Cube == nil {
+		return nil
+	}
+	var out []Violation
+	for v, peak := range w.Cube.Peaks {
+		if peak > w.Cube.MinLevels[v] {
+			out = append(out, nodeViolation("hypercube-level-monotone", v,
+				"level rose to %d after announcing %d", peak, w.Cube.MinLevels[v]))
+		}
+	}
+	return out
+}

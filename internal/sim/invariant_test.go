@@ -1,0 +1,340 @@
+package sim
+
+import (
+	"testing"
+
+	"structura/internal/labeling"
+)
+
+// Every registered invariant gets a test that injects a fault known to
+// violate it and asserts the checker fires, naming the offending node or
+// edge. Targets are derived from a fault-free baseline run of the same
+// (scenario, seed), so the injections stay valid if topologies change.
+
+func named(violations []Violation, invariant string) []Violation {
+	var out []Violation
+	for _, v := range violations {
+		if v.Invariant == invariant {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"cds-connectivity",
+		"cds-domination",
+		"distvec-bfs-agreement",
+		"hypercube-level-monotone",
+		"mis-independence",
+		"mis-maximality",
+		"reversal-count-bound",
+		"reversal-destination-oriented",
+	}
+	invs := Invariants()
+	if len(invs) != len(want) {
+		t.Fatalf("expected %d registered invariants, got %d", len(want), len(invs))
+	}
+	for i, inv := range invs {
+		if inv.Name != want[i] {
+			t.Fatalf("invariant %d: got %q, want %q", i, inv.Name, want[i])
+		}
+		if _, err := Lookup(inv.Name); err != nil {
+			t.Fatalf("Lookup(%q): %v", inv.Name, err)
+		}
+	}
+	if _, err := Lookup("bogus"); err == nil {
+		t.Fatal("Lookup of unknown invariant should fail")
+	}
+}
+
+// TestInjectMISIndependence adds an edge between two converged Black nodes:
+// Black is terminal in the three-color process, so both endpoints stay Black
+// and the independence checker must flag exactly that edge.
+func TestInjectMISIndependence(t *testing.T) {
+	base, err := Explore("mis", 7, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blacks []int
+	for v, c := range base.World.MIS.Colors {
+		if c == labeling.Black {
+			blacks = append(blacks, v)
+		}
+	}
+	if len(blacks) < 2 {
+		t.Fatalf("baseline MIS too small: %v", blacks)
+	}
+	u, v := blacks[0], blacks[1]
+	ev := Event{Round: base.World.Stats.Rounds + 5, Op: OpAddEdge, U: u, V: v}
+	r, err := Explore("mis", 7, Schedule{Events: []Event{ev}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := named(r.Violations, "mis-independence")
+	if len(hits) == 0 {
+		t.Fatalf("mis-independence did not fire; violations: %v", r.Violations)
+	}
+	got := hits[0].Edge
+	if !(got == [2]int{u, v} || got == [2]int{v, u}) {
+		t.Fatalf("violation names edge %v, injected (%d,%d)", got, u, v)
+	}
+}
+
+// TestInjectMISMaximality removes a converged Gray node's only edges to
+// Black neighbors: Gray is terminal too, so the node is left undominated.
+func TestInjectMISMaximality(t *testing.T) {
+	base, err := Explore("mis", 7, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := base.World.MIS.Colors
+	g := base.World.Graph
+	round := base.World.Stats.Rounds + 5
+	gray := -1
+	var cut []Event
+	for v, c := range colors {
+		if c != labeling.Gray {
+			continue
+		}
+		cut = cut[:0]
+		g.EachNeighbor(v, func(u int, _ float64) {
+			if colors[u] == labeling.Black {
+				cut = append(cut, Event{Round: round, Op: OpRemoveEdge, U: v, V: u})
+			}
+		})
+		if len(cut) == 1 { // a gray node held by a single Black edge
+			gray = v
+			break
+		}
+	}
+	if gray < 0 {
+		t.Fatal("no gray node with exactly one Black neighbor in the baseline")
+	}
+	r, err := Explore("mis", 7, Schedule{Events: append([]Event(nil), cut...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := named(r.Violations, "mis-maximality")
+	if len(hits) == 0 {
+		t.Fatalf("mis-maximality did not fire; violations: %v", r.Violations)
+	}
+	found := false
+	for _, h := range hits {
+		if h.Node == gray {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations %v do not name the stranded gray node %d", hits, gray)
+	}
+}
+
+// TestInjectCDSDomination cuts a non-member away from all its CDS neighbors.
+func TestInjectCDSDomination(t *testing.T) {
+	base, err := Explore("cds", 7, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := labeling.SetOf(base.World.CDS.Members)
+	g := base.World.Graph
+	victim := -1
+	var cut []Event
+	for v := 0; v < g.N() && victim < 0; v++ {
+		if in[v] {
+			continue
+		}
+		cut = cut[:0]
+		g.EachNeighbor(v, func(u int, _ float64) {
+			if in[u] {
+				cut = append(cut, Event{Round: 1, Op: OpRemoveEdge, U: v, V: u})
+			}
+		})
+		if len(cut) > 0 {
+			victim = v
+		}
+	}
+	if victim < 0 {
+		t.Fatal("every node is in the CDS; nothing to strand")
+	}
+	r, err := Explore("cds", 7, Schedule{Events: append([]Event(nil), cut...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := named(r.Violations, "cds-domination")
+	if len(hits) != 1 || hits[0].Node != victim {
+		t.Fatalf("expected cds-domination naming node %d, got %v (all: %v)", victim, hits, r.Violations)
+	}
+}
+
+// TestInjectCDSConnectivity isolates one CDS member entirely, detaching it
+// from the backbone component.
+func TestInjectCDSConnectivity(t *testing.T) {
+	base, err := Explore("cds", 7, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := base.World.CDS.Members
+	if len(members) < 2 {
+		t.Fatalf("CDS too small to split: %v", members)
+	}
+	m := members[1] // not the BFS root the checker starts from
+	var cut []Event
+	base.World.Graph.EachNeighbor(m, func(u int, _ float64) {
+		cut = append(cut, Event{Round: 1, Op: OpRemoveEdge, U: m, V: u})
+	})
+	r, err := Explore("cds", 7, Schedule{Events: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := named(r.Violations, "cds-connectivity")
+	if len(hits) == 0 {
+		t.Fatalf("cds-connectivity did not fire; violations: %v", r.Violations)
+	}
+	found := false
+	for _, h := range hits {
+		if h.Node == m {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations %v do not name the detached member %d", hits, m)
+	}
+}
+
+// TestInjectReversalPartition cuts a two-node component off the chordal
+// ring for each reversal variant: the detached pair reverses against each
+// other forever, so the orientation invariant AND the work bound must both
+// fire, and every named node must lie in the detached pair.
+func TestInjectReversalPartition(t *testing.T) {
+	for _, scn := range []string{"reversal-full", "reversal-partial", "reversal-binary"} {
+		scn := scn
+		t.Run(scn, func(t *testing.T) {
+			base, err := Explore(scn, 7, Schedule{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cut := partitionEvents(t, base, 1)
+			pair := map[int]bool{cut[0].U: true}
+			for _, e := range cut {
+				pair[e.U] = true
+			}
+			r, err := Explore(scn, 7, Schedule{Events: cut})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Quiesced {
+				t.Fatal("partitioned reversal run claims to have stabilized")
+			}
+			oriented := named(r.Violations, "reversal-destination-oriented")
+			bound := named(r.Violations, "reversal-count-bound")
+			if len(oriented) == 0 {
+				t.Fatalf("reversal-destination-oriented did not fire; violations: %v", r.Violations)
+			}
+			if len(bound) == 0 {
+				t.Fatalf("reversal-count-bound did not fire; violations: %v", r.Violations)
+			}
+			for _, h := range append(oriented, bound...) {
+				if h.Node >= 0 && !pair[h.Node] && h.Node != 0 {
+					t.Errorf("violation %v names node outside the detached pair %v", h, pair)
+				}
+			}
+		})
+	}
+}
+
+// TestInjectDistVecCountToInfinity partitions the converged distance-vector
+// run: the detached pair bounces labels off each other (count-to-infinity),
+// never restabilizes, and ends with finite labels for an unreachable
+// destination.
+func TestInjectDistVecCountToInfinity(t *testing.T) {
+	base, err := Explore("distvec", 7, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := partitionEvents(t, base, base.World.Stats.Rounds+2)
+	pair := map[int]bool{}
+	for _, e := range cut {
+		pair[e.U] = true
+	}
+	r, err := Explore("distvec", 7, Schedule{Events: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Quiesced {
+		t.Fatal("count-to-infinity run claims to have restabilized")
+	}
+	hits := named(r.Violations, "distvec-bfs-agreement")
+	if len(hits) != len(pair) {
+		t.Fatalf("expected %d distvec-bfs-agreement violations (one per detached node), got %v", len(pair), hits)
+	}
+	for _, h := range hits {
+		if !pair[h.Node] {
+			t.Errorf("violation %v names a node outside the detached pair %v", h, pair)
+		}
+	}
+}
+
+// TestInjectCubeLevelRise removes the edge binding a low-safety-level node
+// to a faulty neighbor after the levels converge: the node's recomputed
+// level jumps up, breaking the monotone-decrease contract the safety-level
+// scheme relies on.
+func TestInjectCubeLevelRise(t *testing.T) {
+	const seed = 1
+	base, err := Explore("hypercube", seed, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := base.World.Cube
+	u, f := -1, -1
+	for v := 0; v < len(cw.Levels) && u < 0; v++ {
+		if cw.Faulty[v] || cw.Levels[v] >= cw.Dim {
+			continue
+		}
+		base.World.Graph.EachNeighbor(v, func(w int, _ float64) {
+			if u < 0 && cw.Faulty[w] {
+				u, f = v, w
+			}
+		})
+	}
+	if u < 0 {
+		t.Fatalf("seed %d: no low-level node with a faulty neighbor (levels %v, faulty %v)",
+			seed, cw.Levels, cw.Faulty)
+	}
+	ev := Event{Round: base.World.Stats.Rounds + 2, Op: OpRemoveEdge, U: u, V: f}
+	r, err := Explore("hypercube", seed, Schedule{Events: []Event{ev}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := named(r.Violations, "hypercube-level-monotone")
+	if len(hits) == 0 {
+		t.Fatalf("hypercube-level-monotone did not fire; violations: %v", r.Violations)
+	}
+	found := false
+	for _, h := range hits {
+		if h.Node == u {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations %v do not name the destabilized node %d", hits, u)
+	}
+}
+
+// TestCheckersIgnoreForeignWorlds: every checker returns nil for a World
+// missing its section, so one registry can judge every scenario.
+func TestCheckersIgnoreForeignWorlds(t *testing.T) {
+	r, err := Explore("mis", 7, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inv := range Invariants() {
+		if inv.Name == "mis-independence" || inv.Name == "mis-maximality" {
+			continue
+		}
+		if v := inv.Check(r.World); v != nil {
+			t.Errorf("%s reported violations on an MIS world: %v", inv.Name, v)
+		}
+	}
+}

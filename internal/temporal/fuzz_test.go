@@ -1,0 +1,58 @@
+package temporal
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzEGJSONRoundTrip throws arbitrary documents at the EG JSON decoder and
+// checks the normalize-then-roundtrip contract: any input the decoder
+// accepts must re-encode and re-decode to the identical encoding (the first
+// decode may normalize — e.g. zero weights become 1, duplicate contacts
+// collapse — but after one pass the representation is a fixed point).
+func FuzzEGJSONRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"nodes":3,"horizon":4,"contacts":[{"U":0,"V":1,"T":2}]}`))
+	f.Add([]byte(`{"nodes":2,"horizon":8,"contacts":[{"U":0,"V":1,"T":0,"W":2.5},{"U":1,"V":0,"T":0,"W":3}]}`))
+	f.Add([]byte(`{"nodes":0,"horizon":0}`))
+	f.Add([]byte(`{"nodes":4,"horizon":1,"contacts":[{"U":3,"V":2,"T":0,"W":0}]}`))
+	f.Add([]byte(`{"nodes":-1,"horizon":5}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Guard the allocation the decoder performs from the header before
+		// handing the document to UnmarshalJSON: absurd node counts are not
+		// interesting inputs, just OOM.
+		var header struct {
+			Nodes   int `json:"nodes"`
+			Horizon int `json:"horizon"`
+		}
+		if err := json.Unmarshal(data, &header); err != nil {
+			_ = header // fall through: UnmarshalJSON must reject it too
+		}
+		if header.Nodes > 1<<12 || header.Horizon > 1<<20 {
+			return
+		}
+		var eg EG
+		if err := json.Unmarshal(data, &eg); err != nil {
+			return // rejected inputs are fine; we only check accepted ones
+		}
+		first, err := json.Marshal(&eg)
+		if err != nil {
+			t.Fatalf("accepted document failed to re-encode: %v", err)
+		}
+		var back EG
+		if err := json.Unmarshal(first, &back); err != nil {
+			t.Fatalf("self-produced encoding rejected: %v\n%s", err, first)
+		}
+		if back.N() != eg.N() || back.Horizon() != eg.Horizon() || back.ContactCount() != eg.ContactCount() {
+			t.Fatalf("round trip changed shape: (%d,%d,%d) -> (%d,%d,%d)",
+				eg.N(), eg.Horizon(), eg.ContactCount(), back.N(), back.Horizon(), back.ContactCount())
+		}
+		second, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("encoding is not a fixed point:\n first=%s\nsecond=%s", first, second)
+		}
+	})
+}
