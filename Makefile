@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-smoke fuzz-smoke verify
+.PHONY: build test race bench bench-json bench-smoke fuzz-smoke heal-smoke verify
 
 build:
 	$(GO) build ./...
@@ -13,11 +13,13 @@ test:
 	$(GO) test ./...
 
 # The parallel kernel must stay race-clean: the sharded stepping in
-# internal/runtime, the labeling schemes that drive it hardest, and the
-# fault-injection harness plus the algorithm packages it perturbs.
+# internal/runtime, the labeling schemes that drive it hardest, the
+# fault-injection harness plus the algorithm packages it perturbs, and
+# the self-healing supervision layer built on top of them.
 race:
 	$(GO) test -race ./internal/runtime/... ./internal/labeling/... \
-		./internal/sim/... ./internal/reversal/... ./internal/distvec/...
+		./internal/sim/... ./internal/reversal/... ./internal/distvec/... \
+		./internal/heal/...
 
 # Sequential vs. sharded kernel on 100k-node ER and 20k-node UDG graphs.
 bench:
@@ -42,4 +44,10 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzFreezeRoundTrip -fuzztime 10s ./internal/graph/
 	$(GO) test -run '^$$' -fuzz FuzzEGJSONRoundTrip -fuzztime 10s ./internal/temporal/
 
-verify: build test race bench-smoke fuzz-smoke
+# Supervised MIS must survive 200 rounds of add/remove churn with zero
+# standing violations; the heal subcommand exits nonzero otherwise.
+heal-smoke:
+	$(GO) run ./cmd/structura heal -engine mis -seed 1 -rounds 200 \
+		-churn-add 1 -churn-remove 1 -max-touched 12
+
+verify: build test race bench-smoke fuzz-smoke heal-smoke

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"structura/internal/sim"
@@ -33,6 +34,7 @@ func runChaos(args []string, out io.Writer) error {
 		churnEvery = fs.Int("churn-every", 1, "rounds between churn ticks")
 		workers    = fs.Int("workers", 0, "kernel worker count (0 = auto); results are identical for all values")
 		invNames   = fs.String("invariants", "", "comma-separated invariant subset (default: all)")
+		seeds      = fs.String("seeds", "", "inclusive seed range N..M; overrides -seed and skips minimization")
 		list       = fs.Bool("list", false, "list scenarios and invariants, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -55,7 +57,8 @@ func runChaos(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := json.Unmarshal(raw, &sch); err != nil {
+		sch, err = sim.DecodeSchedule(raw)
+		if err != nil {
 			return fmt.Errorf("schedule %s: %w", *file, err)
 		}
 	} else {
@@ -76,6 +79,31 @@ func runChaos(args []string, out io.Writer) error {
 			}
 			invs = append(invs, inv)
 		}
+	}
+	if *seeds != "" {
+		lo, hi, err := parseSeedRange(*seeds)
+		if err != nil {
+			return err
+		}
+		failed := 0
+		for s := lo; s <= hi; s++ {
+			res, err := sim.ExploreWith(*scenario, s, sch, *workers, invs...)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "seed %d: %s\n", s, res)
+			for _, v := range res.Violations {
+				fmt.Fprintf(out, "  %s\n", v)
+			}
+			if len(res.Violations) > 0 {
+				failed++
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d of %d seed(s) violated an invariant in scenario %s",
+				failed, hi-lo+1, *scenario)
+		}
+		return nil
 	}
 	res, err := sim.ExploreWith(*scenario, *seed, sch, *workers, invs...)
 	if err != nil {
@@ -103,4 +131,22 @@ func runChaos(args []string, out io.Writer) error {
 	}
 	return fmt.Errorf("%d invariant violation(s) in scenario %s (seed %d)",
 		len(res.Violations), *scenario, *seed)
+}
+
+// parseSeedRange parses an inclusive "N..M" seed range.
+func parseSeedRange(s string) (lo, hi uint64, err error) {
+	lohi := strings.SplitN(s, "..", 2)
+	if len(lohi) != 2 {
+		return 0, 0, fmt.Errorf("seed range %q: want N..M", s)
+	}
+	if lo, err = strconv.ParseUint(strings.TrimSpace(lohi[0]), 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("seed range %q: %w", s, err)
+	}
+	if hi, err = strconv.ParseUint(strings.TrimSpace(lohi[1]), 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("seed range %q: %w", s, err)
+	}
+	if hi < lo {
+		return 0, 0, fmt.Errorf("seed range %q: %d > %d", s, lo, hi)
+	}
+	return lo, hi, nil
 }

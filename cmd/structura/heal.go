@@ -1,0 +1,110 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"structura/internal/heal"
+	"structura/internal/sim"
+)
+
+// runHeal is the `structura heal` subcommand: drive a supervised
+// self-healing engine through a churn schedule and report detection
+// latency, repair locality, and localized-repair versus full-recompute
+// round work. It exits nonzero when a run ends with standing violations.
+func runHeal(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("structura heal", flag.ContinueOnError)
+	var (
+		engine     = fs.String("engine", "mis", "supervised engine: "+strings.Join(heal.EngineNames(), ", "))
+		seed       = fs.Uint64("seed", 1, "deterministic churn seed (also picks the topology)")
+		seeds      = fs.String("seeds", "", "inclusive seed range N..M; overrides -seed")
+		file       = fs.String("schedule", "", "JSON schedule file (overrides the churn flags)")
+		rounds     = fs.Int("rounds", 200, "supervision rounds (the schedule horizon)")
+		churnAdd   = fs.Int("churn-add", 1, "edges added per churn tick")
+		churnRm    = fs.Int("churn-remove", 1, "edges removed per churn tick")
+		churnEvery = fs.Int("churn-every", 1, "rounds between churn ticks")
+		sweepEvery = fs.Int("sweep-every", 0, "full invariant sweep period (0 = dirty-tracking only)")
+		maxRounds  = fs.Int("max-rounds", 0, "repair budget: max localized repair sweeps (0 = unbounded)")
+		maxTouched = fs.Int("max-touched", 0, "repair budget: max nodes one repair may touch (0 = unbounded)")
+		compare    = fs.Bool("compare", false, "also run the force-recompute baseline and report both")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var sch sim.Schedule
+	if *file != "" {
+		raw, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		sch, err = sim.DecodeSchedule(raw)
+		if err != nil {
+			return fmt.Errorf("schedule %s: %w", *file, err)
+		}
+	} else {
+		sch = sim.Schedule{
+			Horizon:  *rounds,
+			ChurnAdd: *churnAdd, ChurnRemove: *churnRm, ChurnEvery: *churnEvery,
+		}
+	}
+	lo, hi := *seed, *seed
+	if *seeds != "" {
+		var err error
+		if lo, hi, err = parseSeedRange(*seeds); err != nil {
+			return err
+		}
+	}
+	failed := 0
+	for s := lo; s <= hi; s++ {
+		rep, err := superviseOnce(*engine, s, sch, heal.Budget{MaxRounds: *maxRounds, MaxTouched: *maxTouched}, *sweepEvery, false)
+		if err != nil {
+			return err
+		}
+		printHealReport(out, s, rep)
+		if *compare {
+			base, err := superviseOnce(*engine, s, sch, heal.Budget{}, *sweepEvery, true)
+			if err != nil {
+				return err
+			}
+			localized := rep.RepairRounds + rep.RecomputeRounds
+			fmt.Fprintf(out, "  repair-vs-recompute: localized %d round(s) (%d repairs + %d escalations), force-recompute %d round(s) (%d recomputes)\n",
+				localized, rep.Repairs, rep.Escalations, base.RecomputeRounds, base.Escalations)
+		}
+		if len(rep.Standing) > 0 {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d supervised run(s) ended with standing violations (engine %s)",
+			failed, hi-lo+1, *engine)
+	}
+	return nil
+}
+
+func superviseOnce(engine string, seed uint64, sch sim.Schedule, b heal.Budget, sweepEvery int, force bool) (*heal.Report, error) {
+	eng, err := heal.NewEngine(engine, seed)
+	if err != nil {
+		return nil, err
+	}
+	sup := &heal.Supervisor{Engine: eng, Budget: b, SweepEvery: sweepEvery, ForceRecompute: force}
+	return sup.Run(seed, sch)
+}
+
+func printHealReport(out io.Writer, seed uint64, rep *heal.Report) {
+	fmt.Fprintf(out, "engine %s seed %d: %d nodes, %d rounds, %d churn events\n",
+		rep.Engine, seed, rep.Nodes, rep.Rounds, rep.Events)
+	fmt.Fprintf(out, "  detections %d (max latency %d), repairs %d (%d sweeps, worst locality %.1f%%), escalations %d (%d recompute rounds), full sweeps %d\n",
+		len(rep.Detections), rep.MaxLatency, rep.Repairs, rep.RepairRounds,
+		100*rep.MaxTouchedFrac, rep.Escalations, rep.RecomputeRounds, rep.Sweeps)
+	if len(rep.Standing) == 0 {
+		fmt.Fprintln(out, "  standing violations: none")
+		return
+	}
+	fmt.Fprintf(out, "  standing violations: %d\n", len(rep.Standing))
+	for _, v := range rep.Standing {
+		fmt.Fprintf(out, "    %s\n", v)
+	}
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestHealCleanRun(t *testing.T) {
+	var buf bytes.Buffer
+	err := runHeal([]string{"-engine", "mis", "-seed", "1", "-rounds", "20", "-max-touched", "12"}, &buf)
+	if err != nil {
+		t.Fatalf("supervised mis run failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"engine mis seed 1", "churn events", "standing violations: none"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHealSeedRange(t *testing.T) {
+	var buf bytes.Buffer
+	err := runHeal([]string{"-engine", "distvec", "-seeds", "1..3", "-rounds", "10"}, &buf)
+	if err != nil {
+		t.Fatalf("supervised distvec range failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"seed 1", "seed 2", "seed 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing report for %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHealCompare(t *testing.T) {
+	var buf bytes.Buffer
+	err := runHeal([]string{"-engine", "mis", "-seed", "3", "-rounds", "10", "-max-touched", "12", "-compare"}, &buf)
+	if err != nil {
+		t.Fatalf("compare run failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "repair-vs-recompute") {
+		t.Errorf("compare output missing baseline line:\n%s", buf.String())
+	}
+}
+
+// TestHealStandingViolations isolates grid node 0 (its only neighbors are 1
+// and 8), which no CDS repair or recompute can dominate — the run must end
+// with standing violations and a nonzero exit.
+func TestHealStandingViolations(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "isolate.json")
+	sch := `{"horizon": 4, "events": [
+		{"round": 1, "op": "remove-edge", "u": 0, "v": 1},
+		{"round": 1, "op": "remove-edge", "u": 0, "v": 8}
+	]}`
+	if err := os.WriteFile(file, []byte(sch), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := runHeal([]string{"-engine", "cds", "-seed", "1", "-schedule", file}, &buf)
+	if err == nil {
+		t.Fatalf("isolating a grid node reported success:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "standing violations") {
+		t.Errorf("error = %v, want a standing-violations failure", err)
+	}
+	if !strings.Contains(buf.String(), "cds-connectivity") {
+		t.Errorf("report does not show the severed backbone:\n%s", buf.String())
+	}
+}
+
+func TestHealBadInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown engine", []string{"-engine", "nope"}, "unknown engine"},
+		{"inverted seed range", []string{"-seeds", "5..2"}, "seed range"},
+		{"malformed seed range", []string{"-seeds", "abc"}, "seed range"},
+		{"missing schedule file", []string{"-schedule", "no-such-file.json"}, "no-such-file"},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		err := runHeal(c.args, &buf)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+	// A schedule file with a typo'd field must fail with the field named.
+	file := filepath.Join(t.TempDir(), "typo.json")
+	if err := os.WriteFile(file, []byte(`{"horizn": 5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runHeal([]string{"-schedule", file}, &buf); err == nil || !strings.Contains(err.Error(), "horizn") {
+		t.Errorf("typo'd schedule field: err = %v", err)
+	}
+}
+
+func TestChaosSeedRange(t *testing.T) {
+	// A quiet schedule passes across the whole range.
+	var buf bytes.Buffer
+	err := runChaos([]string{"-scenario", "mis", "-seeds", "1..3", "-horizon", "4"}, &buf)
+	if err != nil {
+		t.Fatalf("quiet seed range failed: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{"seed 1:", "seed 2:", "seed 3:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+	// Unsupervised MIS under churn violates on most seeds: the range run
+	// must report the tally and exit nonzero (the self-healing baseline).
+	buf.Reset()
+	err = runChaos([]string{"-scenario", "mis", "-seeds", "1..8", "-horizon", "10",
+		"-churn-add", "1", "-churn-remove", "1"}, &buf)
+	if err == nil {
+		t.Fatalf("churned mis seed range reported success:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "of 8 seed(s) violated") {
+		t.Errorf("error = %v, want a violation tally", err)
+	}
+}

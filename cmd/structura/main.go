@@ -10,6 +10,9 @@
 //	structura -seed 7 fig5         # override the deterministic seed
 //	structura chaos -list          # fault-injection scenarios and invariants
 //	structura chaos -scenario mis -loss 0.2 -seed 11   # chaos run + minimal repro
+//	structura chaos -scenario mis -churn-add 1 -churn-remove 1 -seeds 1..8
+//	structura heal -engine mis -seed 1 -rounds 200     # supervised self-healing run
+//	structura heal -engine distvec -seeds 1..8 -compare
 package main
 
 import (
@@ -31,6 +34,9 @@ func main() {
 func run(args []string) error {
 	if len(args) > 0 && args[0] == "chaos" {
 		return runChaos(args[1:], os.Stdout)
+	}
+	if len(args) > 0 && args[0] == "heal" {
+		return runHeal(args[1:], os.Stdout)
 	}
 	fs := flag.NewFlagSet("structura", flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "deterministic experiment seed")

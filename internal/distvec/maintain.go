@@ -1,0 +1,240 @@
+package distvec
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"structura/internal/graph"
+)
+
+// Maintainer is the maintenance face of the distance-vector labels: instead
+// of recomputing the table from scratch after every topology change, it
+// keeps hop counts toward one destination consistent under edge churn using
+// the classic count-to-infinity mitigations — split horizon with poisoned
+// reverse (a node never adopts a route through a neighbor that routes
+// through it) and a hop-count ceiling at n (anything counting past every
+// possible simple path is declared unreachable). Repairs spread as frontier
+// relaxation sweeps from the disturbed nodes, under an explicit budget, so
+// a supervisor can measure locality and escalate to a BFS rebuild when a
+// partition makes the vector count toward the ceiling.
+type Maintainer struct {
+	g    *graph.Graph
+	dest int
+	dist []float64 // hop estimate; +Inf = unreachable
+	next []int     // next hop toward dest; -1 at dest and when unreachable
+}
+
+// NewMaintainer builds the maintainer over a clone of g (the caller's graph
+// is never mutated) with labels initialized to true BFS hop counts.
+func NewMaintainer(g *graph.Graph, dest int) (*Maintainer, error) {
+	if g.Directed() {
+		return nil, errors.New("distvec: maintainer needs an undirected support")
+	}
+	if dest < 0 || dest >= g.N() {
+		return nil, errors.New("distvec: destination out of range")
+	}
+	m := &Maintainer{
+		g:    g.Clone(),
+		dest: dest,
+		dist: make([]float64, g.N()),
+		next: make([]int, g.N()),
+	}
+	m.Recompute()
+	return m, nil
+}
+
+// Dest returns the destination node.
+func (m *Maintainer) Dest() int { return m.dest }
+
+// Graph returns a copy of the live support graph.
+func (m *Maintainer) Graph() *graph.Graph { return m.g.Clone() }
+
+// Dist returns a copy of the current hop labels.
+func (m *Maintainer) Dist() []float64 { return append([]float64(nil), m.dist...) }
+
+// AddEdge inserts support edge (u,v) and returns the nodes whose labels the
+// change may have invalidated. The labels themselves are not updated —
+// detection and repair are the supervisor's moves.
+func (m *Maintainer) AddEdge(u, v int) ([]int, error) {
+	if err := m.g.AddEdge(u, v); err != nil {
+		return nil, err
+	}
+	return []int{u, v}, nil
+}
+
+// RemoveEdge deletes support edge (u,v). Each endpoint that was routing
+// over the lost edge is poisoned on the spot — label +Inf, no next hop — so
+// its stale finite estimate cannot keep circulating while the repair
+// frontier catches up (the poisoned-reverse discipline's first move).
+func (m *Maintainer) RemoveEdge(u, v int) ([]int, error) {
+	if !m.g.RemoveEdge(u, v) {
+		return nil, errors.New("distvec: edge does not exist")
+	}
+	if m.next[u] == v {
+		m.dist[u] = math.Inf(1)
+		m.next[u] = -1
+	}
+	if m.next[v] == u {
+		m.dist[v] = math.Inf(1)
+		m.next[v] = -1
+	}
+	return []int{u, v}, nil
+}
+
+// offer is the label neighbor w advertises to x under split horizon with
+// poisoned reverse: its own estimate, except poisoned to +Inf when w's
+// route goes through x.
+func (m *Maintainer) offer(w, x int) float64 {
+	if m.next[w] == x {
+		return math.Inf(1)
+	}
+	return m.dist[w]
+}
+
+// settle recomputes x's label from its neighbors' poisoned advertisements,
+// applying the hop ceiling, and reports whether it changed.
+func (m *Maintainer) settle(x int) bool {
+	if x == m.dest {
+		changed := m.dist[x] != 0 || m.next[x] != -1
+		m.dist[x], m.next[x] = 0, -1
+		return changed
+	}
+	best, hop := math.Inf(1), -1
+	m.g.EachNeighbor(x, func(w int, _ float64) {
+		if d := m.offer(w, x) + 1; d < best {
+			best, hop = d, w
+		}
+	})
+	if best >= float64(m.g.N()) {
+		best, hop = math.Inf(1), -1 // counted past every simple path
+	}
+	if best == m.dist[x] && hop == m.next[x] {
+		return false
+	}
+	m.dist[x], m.next[x] = best, hop
+	return true
+}
+
+// Inconsistent returns, among the candidate nodes, those whose (label,
+// next hop) pair disagrees with what settle would compute from the
+// neighbors' poisoned advertisements — the local detector. Pass an event's
+// endpoints and their neighbors. Checking the next hop, not just the label,
+// is what makes the detector complete: a node can hold a correct label
+// while its stale next hop still points into a poisoned region, and that
+// stale pointer poisons the node's own advertisement back into the region,
+// hiding a real route behind a value-only check. At the (dist, next) fixed
+// point every hop chain descends by one to the destination, so labels equal
+// BFS hop counts and local consistency everywhere is global correctness.
+func (m *Maintainer) Inconsistent(candidates []int) []int {
+	var out []int
+	seen := make(map[int]bool, len(candidates))
+	for _, x := range candidates {
+		if x < 0 || x >= m.g.N() || seen[x] {
+			continue
+		}
+		seen[x] = true
+		if x == m.dest {
+			if m.dist[x] != 0 || m.next[x] != -1 {
+				out = append(out, x)
+			}
+			continue
+		}
+		best, hop := math.Inf(1), -1
+		m.g.EachNeighbor(x, func(w int, _ float64) {
+			if d := m.offer(w, x) + 1; d < best {
+				best, hop = d, w
+			}
+		})
+		if best >= float64(m.g.N()) {
+			best, hop = math.Inf(1), -1
+		}
+		if best != m.dist[x] || hop != m.next[x] {
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Repair runs frontier relaxation sweeps from the seed nodes: every sweep
+// settles the current frontier synchronously and enqueues the neighbors of
+// every node whose label changed. It stops when the frontier drains (ok),
+// or when it would exceed maxRounds sweeps or maxTouched distinct nodes
+// (not ok — the caller escalates to Recompute). A partition drives labels
+// up toward the hop ceiling one sweep at a time, which is exactly the
+// bounded count-to-infinity the budget converts into an escalation.
+func (m *Maintainer) Repair(seeds []int, maxRounds, maxTouched int) (touched []int, rounds int, ok bool) {
+	frontier := make([]int, 0, len(seeds))
+	inFrontier := make(map[int]bool, len(seeds))
+	push := func(x int) {
+		if x >= 0 && x < m.g.N() && !inFrontier[x] {
+			inFrontier[x] = true
+			frontier = append(frontier, x)
+		}
+	}
+	for _, s := range seeds {
+		push(s)
+	}
+	touchedSet := make(map[int]bool)
+	for len(frontier) > 0 {
+		if maxRounds > 0 && rounds >= maxRounds {
+			return sortedKeys(touchedSet), rounds, false
+		}
+		rounds++
+		cur := frontier
+		frontier = nil
+		inFrontier = make(map[int]bool)
+		sort.Ints(cur) // deterministic sweep order
+		for _, x := range cur {
+			if !touchedSet[x] {
+				if maxTouched > 0 && len(touchedSet) >= maxTouched {
+					return sortedKeys(touchedSet), rounds, false
+				}
+				touchedSet[x] = true
+			}
+			if m.settle(x) {
+				push(x) // re-check against next sweep's neighborhood
+				m.g.EachNeighbor(x, func(w int, _ float64) { push(w) })
+			}
+		}
+	}
+	return sortedKeys(touchedSet), rounds, true
+}
+
+// Recompute rebuilds the labels from a BFS — the full-recompute escalation.
+// Its cost, charged as one sweep per BFS level, is what localized repair is
+// measured against.
+func (m *Maintainer) Recompute() int {
+	n := m.g.N()
+	for v := 0; v < n; v++ {
+		m.dist[v] = math.Inf(1)
+		m.next[v] = -1
+	}
+	m.dist[m.dest] = 0
+	queue := []int{m.dest}
+	depth := 0
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		m.g.EachNeighbor(v, func(w int, _ float64) {
+			if math.IsInf(m.dist[w], 1) {
+				m.dist[w] = m.dist[v] + 1
+				m.next[w] = v
+				queue = append(queue, w)
+			}
+		})
+		if d := int(m.dist[v]); d > depth {
+			depth = d
+		}
+	}
+	return depth + 1
+}
+
+func sortedKeys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,82 @@
+package heal
+
+import (
+	"structura/internal/distvec"
+	"structura/internal/graph"
+	"structura/internal/runtime"
+	"structura/internal/sim"
+)
+
+// distvecEngine supervises the distance-vector labels toward destination 0
+// via the distvec.Maintainer: split-horizon/poisoned-reverse advertisements
+// with a hop ceiling. Local consistency is a complete detector (the global
+// fixed point equals BFS hop counts), and the candidate set must include
+// the dirtied nodes' neighbors: poisoning an endpoint changes the offers
+// its neighbors see.
+type distvecEngine struct {
+	g *graph.Graph // live mirror, kept in lockstep with the maintainer's clone
+	m *distvec.Maintainer
+}
+
+func newDistVecEngine(seed uint64) (*distvecEngine, error) {
+	g := sim.DistVecRing(seed)
+	m, err := distvec.NewMaintainer(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &distvecEngine{g: g, m: m}, nil
+}
+
+func (e *distvecEngine) Name() string       { return "distvec" }
+func (e *distvecEngine) Live() *graph.Graph { return e.g }
+
+func (e *distvecEngine) Apply(ev sim.Event) ([]int, bool) {
+	dirty, applied := applyEdgeEvent(e.g, ev)
+	if !applied {
+		return nil, false
+	}
+	var err error
+	if ev.Op == sim.OpAddEdge {
+		_, err = e.m.AddEdge(ev.U, ev.V)
+	} else {
+		_, err = e.m.RemoveEdge(ev.U, ev.V)
+	}
+	if err != nil {
+		// The mirror accepted the event, so the maintainer must have too.
+		panic("heal: distvec maintainer diverged from live mirror: " + err.Error())
+	}
+	return dirty, true
+}
+
+func (e *distvecEngine) CheckLocal(dirty []int) []sim.Violation {
+	if len(dirty) == 0 {
+		return nil
+	}
+	bad := e.m.Inconsistent(expandNeighbors(e.g, dirty))
+	out := make([]sim.Violation, 0, len(bad))
+	for _, v := range bad {
+		out = append(out, sim.Violation{
+			Invariant: "distvec-local-consistency", Node: v, Edge: [2]int{-1, -1},
+			Detail: "label disagrees with neighbors' poisoned advertisements",
+		})
+	}
+	return out
+}
+
+func (e *distvecEngine) Repair(viols []sim.Violation, b Budget) RepairOutcome {
+	touched, rounds, ok := e.m.Repair(violationNodes(viols), b.MaxRounds, b.MaxTouched)
+	return RepairOutcome{Touched: touched, Rounds: rounds, OK: ok}
+}
+
+func (e *distvecEngine) Recompute() (int, error) {
+	return e.m.Recompute(), nil
+}
+
+func (e *distvecEngine) Snapshot() *sim.World {
+	return &sim.World{
+		Scenario: "heal-distvec",
+		Graph:    e.g.Clone(),
+		Stats:    runtime.Stats{Stable: true},
+		Dist:     &sim.DistWorld{Dest: e.m.Dest(), Dist: e.m.Dist(), Stable: true},
+	}
+}

@@ -1,0 +1,104 @@
+package heal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"structura/internal/sim"
+)
+
+// healGoldenCase is the supervised-engine corpus schema: an engine driven
+// through one schedule across a seed set, with tolerance bands on detection
+// latency, repair locality, and escalation count. The files live alongside
+// the sim seed-replay corpus under internal/sim/testdata/schedules/ with a
+// heal- prefix (which the sim golden test skips).
+type healGoldenCase struct {
+	Name     string       `json:"name"`
+	Engine   string       `json:"engine"`
+	Seeds    []uint64     `json:"seeds"`
+	Schedule sim.Schedule `json:"schedule"`
+	Budget   struct {
+		MaxRounds  int `json:"max_rounds"`
+		MaxTouched int `json:"max_touched"`
+	} `json:"budget"`
+	SweepEvery       int     `json:"sweep_every"`
+	MaxDetectLatency int     `json:"max_detect_latency"`
+	MaxTouchedFrac   float64 `json:"max_touched_frac"`
+	MaxEscalations   int     `json:"max_escalations"`
+	ExpectStanding   bool    `json:"expect_standing"`
+}
+
+func TestGoldenHealSchedules(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "sim", "testdata", "schedules", "heal-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 2 {
+		t.Fatalf("supervised-engine corpus too small: %v", files)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			raw, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var gc healGoldenCase
+			if err := json.Unmarshal(raw, &gc); err != nil {
+				t.Fatalf("corpus file does not parse: %v", err)
+			}
+			if len(gc.Seeds) == 0 {
+				t.Fatal("corpus case lists no seeds")
+			}
+			for _, seed := range gc.Seeds {
+				eng, err := NewEngine(gc.Engine, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sup := &Supervisor{
+					Engine:     eng,
+					Budget:     Budget{MaxRounds: gc.Budget.MaxRounds, MaxTouched: gc.Budget.MaxTouched},
+					SweepEvery: gc.SweepEvery,
+				}
+				rep, err := sup.Run(seed, gc.Schedule)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := len(rep.Standing) > 0; got != gc.ExpectStanding {
+					t.Errorf("seed %d: standing violations present = %v, corpus expects %v (%v)",
+						seed, got, gc.ExpectStanding, rep.Standing)
+				}
+				if rep.MaxLatency > gc.MaxDetectLatency {
+					t.Errorf("seed %d: detection latency %d outside tolerance band [0, %d]",
+						seed, rep.MaxLatency, gc.MaxDetectLatency)
+				}
+				if rep.MaxTouchedFrac > gc.MaxTouchedFrac {
+					t.Errorf("seed %d: repair locality %.3f outside tolerance band [0, %.3f]",
+						seed, rep.MaxTouchedFrac, gc.MaxTouchedFrac)
+				}
+				if rep.Escalations > gc.MaxEscalations {
+					t.Errorf("seed %d: %d escalations outside tolerance band [0, %d]",
+						seed, rep.Escalations, gc.MaxEscalations)
+				}
+				// The corpus doubles as a replay regression: a second run of
+				// the same (engine, seed, schedule) must be identical.
+				eng2, err := NewEngine(gc.Engine, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sup2 := &Supervisor{Engine: eng2, Budget: sup.Budget, SweepEvery: sup.SweepEvery}
+				rep2, err := sup2.Run(seed, gc.Schedule)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Events != rep2.Events || rep.Repairs != rep2.Repairs ||
+					rep.Escalations != rep2.Escalations || rep.RepairRounds != rep2.RepairRounds ||
+					len(rep.Standing) != len(rep2.Standing) {
+					t.Errorf("seed %d: corpus replay diverged between two runs:\n%+v\n%+v", seed, rep, rep2)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,334 @@
+// Package heal is the supervision layer that turns the one-shot labeling
+// engines (MIS, CDS, distance vector, hypercube safety levels, link
+// reversal) into long-running, self-healing ones. The paper's premise is
+// uncovering structure in *dynamic* environments, and the chaos harness
+// showed what happens without maintenance: under sustained churn the MIS
+// election provably fails to self-stabilize and distance vectors count to
+// infinity. Following the maintenance-protocol view of dynamic-network
+// theory (Casteigts et al.), a Supervisor runs the detect → repair →
+// escalate state machine against a sim fault timeline:
+//
+//	detect   — cheap local checks on the nodes each churn event dirtied
+//	           (complete for edge churn: an edge flip can only invalidate
+//	           its endpoints' local rules), plus periodic full sweeps of
+//	           the sim invariant registry as a safety net;
+//	repair   — an engine-specific localized fix confined to the violated
+//	           neighborhood, under an explicit Budget (max repair rounds,
+//	           max touched nodes);
+//	escalate — when the budget is exhausted or the repair fails to verify,
+//	           a full recompute from the live topology.
+//
+// The Report quantifies what the paper's maintenance story needs: detection
+// latency, repair locality (fraction of nodes touched), and localized
+// repair rounds versus full-recompute rounds.
+package heal
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"structura/internal/graph"
+	"structura/internal/sim"
+)
+
+// Budget bounds one localized repair: at most MaxRounds repair sweeps and
+// MaxTouched distinct touched nodes. A bound <= 0 is unbounded. A repair
+// that would exceed either bound stops and reports !OK, which the
+// Supervisor converts into an escalation to full recompute.
+type Budget struct {
+	MaxRounds  int
+	MaxTouched int
+}
+
+// RepairOutcome is what an engine's localized repair reports back.
+type RepairOutcome struct {
+	Touched []int // distinct nodes examined or moved, sorted
+	Rounds  int   // repair sweeps (the localized analogue of kernel rounds)
+	OK      bool  // false: budget exhausted mid-repair, caller must escalate
+}
+
+// Engine is a supervised labeling engine: a live structure over a churning
+// support graph with local detection, localized repair, and full recompute.
+// Implementations live in this package, one per labeling scheme.
+type Engine interface {
+	Name() string
+
+	// Live returns the current support topology. The caller must treat it
+	// as read-only; all mutation goes through Apply.
+	Live() *graph.Graph
+
+	// Apply executes one churn event against the live structure and
+	// returns the nodes whose local rules the event may have invalidated,
+	// plus whether the event applied at all.
+	Apply(e sim.Event) (dirty []int, applied bool)
+
+	// CheckLocal runs the engine's local detector over the dirtied nodes
+	// (expanding to neighbors as the engine's rule requires) and returns
+	// the violations found. For edge churn these detectors are complete:
+	// no violation exists unless one is rooted at a dirtied node.
+	CheckLocal(dirty []int) []sim.Violation
+
+	// Repair attempts a localized fix for the violations under the budget.
+	Repair(viols []sim.Violation, b Budget) RepairOutcome
+
+	// Recompute rebuilds the structure from the live topology, returning
+	// the equivalent round cost. An error means even a full rebuild cannot
+	// restore the invariant (e.g. the support was partitioned).
+	Recompute() (rounds int, err error)
+
+	// Snapshot assembles the sim.World the invariant registry checks —
+	// the ground truth the supervisor's final sweep is judged by.
+	Snapshot() *sim.World
+}
+
+// NewEngine constructs a supervised engine by scenario name over the
+// seed's topology — the same topology the sim scenario of that name uses,
+// so chaos findings replay under supervision.
+func NewEngine(name string, seed uint64) (Engine, error) {
+	switch name {
+	case "mis":
+		return newMISEngine(seed)
+	case "cds":
+		return newCDSEngine(seed)
+	case "distvec":
+		return newDistVecEngine(seed)
+	case "hypercube":
+		return newCubeEngine(seed)
+	case "reversal":
+		return newReversalEngine(seed)
+	}
+	return nil, fmt.Errorf("heal: unknown engine %q (want mis, cds, distvec, hypercube or reversal)", name)
+}
+
+// EngineNames lists the supervised engines.
+func EngineNames() []string {
+	return []string{"cds", "distvec", "hypercube", "mis", "reversal"}
+}
+
+// Detection records one transition of the state machine from monitoring to
+// repairing.
+type Detection struct {
+	Round      int    // round the violation was detected
+	FaultRound int    // most recent round a fault applied
+	Latency    int    // Round - FaultRound: 0 for dirty-tracking, up to SweepEvery for sweeps
+	Violations int    // violations in the batch
+	First      string // first violation, for reporting
+}
+
+// Report is a supervised run, quantified.
+type Report struct {
+	Engine string
+	Nodes  int
+	Rounds int // supervision rounds executed
+	Events int // churn events applied
+
+	Detections []Detection
+	MaxLatency int // max detection latency over all detections
+
+	Repairs        int     // localized repairs attempted
+	RepairRounds   int     // total localized repair sweeps
+	RepairTouched  int     // total distinct nodes touched by successful repairs
+	MaxTouchedFrac float64 // worst repair locality among successful repairs
+
+	Escalations     int // budget exhaustions or failed verifications
+	RecomputeRounds int // total full-recompute round cost
+
+	Sweeps   int             // periodic full invariant sweeps run
+	Standing []sim.Violation // violations left after the final sweep
+}
+
+// Supervisor drives one engine through a fault timeline. The zero value of
+// the tuning fields is usable: an unbounded budget and no periodic sweeps
+// (local detection is complete for edge churn, and a final sweep always
+// runs).
+type Supervisor struct {
+	Engine Engine
+	Budget Budget
+
+	// SweepEvery > 0 runs a full invariant-registry sweep every that many
+	// rounds even when local detection stayed quiet — the safety net that
+	// bounds detection latency if a local detector misses.
+	SweepEvery int
+
+	// ForceRecompute disables localized repair: every detection escalates
+	// straight to full recompute. The comparison baseline for the
+	// repair-vs-recompute experiment.
+	ForceRecompute bool
+}
+
+// ErrNoEngine reports a Supervisor run without an engine.
+var ErrNoEngine = errors.New("heal: supervisor has no engine")
+
+// Run supervises the engine through the (seed, schedule) fault timeline:
+// sch's scripted edge events and churn draws stream in round by round (the
+// same FaultStream discipline the CDS and reversal scenarios use), and
+// every round executes one detect → repair → escalate cycle. The final
+// report includes a full invariant sweep; a healthy supervised engine ends
+// with Standing empty.
+func (s *Supervisor) Run(seed uint64, sch sim.Schedule) (*Report, error) {
+	if s.Engine == nil {
+		return nil, ErrNoEngine
+	}
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	eng := s.Engine
+	rep := &Report{Engine: eng.Name(), Nodes: eng.Live().N()}
+	fs := sim.NewFaultStream(seed, sch)
+	lastFault := 0
+	inIncident := false
+	var pending []int // nodes of an unresolved incident, retried every round
+	for round := 1; round <= fs.MaxRound(); round++ {
+		rep.Rounds = round
+		dirty := append([]int(nil), pending...)
+		for _, e := range fs.RoundEvents(round, eng.Live()) {
+			d, applied := eng.Apply(e)
+			if applied {
+				rep.Events++
+				lastFault = round
+				dirty = append(dirty, d...)
+			}
+		}
+		viols := eng.CheckLocal(dirty)
+		if len(viols) == 0 && s.SweepEvery > 0 && round%s.SweepEvery == 0 {
+			rep.Sweeps++
+			viols = s.sweep()
+		}
+		if len(viols) == 0 {
+			pending, inIncident = nil, false
+			continue
+		}
+		if !inIncident {
+			det := Detection{
+				Round:      round,
+				FaultRound: lastFault,
+				Latency:    round - lastFault,
+				Violations: len(viols),
+				First:      viols[0].String(),
+			}
+			rep.Detections = append(rep.Detections, det)
+			if det.Latency > rep.MaxLatency {
+				rep.MaxLatency = det.Latency
+			}
+			inIncident = true
+		}
+		// An incident that survives repair AND recompute (a partitioned
+		// support) stays pending: it is retried every following round, so a
+		// reconnecting edge heals it without waiting for a sweep.
+		pending = violationNodes(s.resolve(rep, viols, dirty))
+		inIncident = len(pending) > 0
+	}
+	rep.Standing = s.sweep()
+	return rep, nil
+}
+
+// resolve runs the repair → verify → escalate arm of the state machine for
+// one detection batch, returning the violations still standing afterwards.
+func (s *Supervisor) resolve(rep *Report, viols []sim.Violation, dirty []int) []sim.Violation {
+	eng := s.Engine
+	if !s.ForceRecompute {
+		out := eng.Repair(viols, s.Budget)
+		rep.Repairs++
+		rep.RepairRounds += out.Rounds
+		// A repair must verify before it counts: the engine's detector is
+		// re-run over everything the repair moved plus the original dirty
+		// set. Anything left standing escalates.
+		if out.OK {
+			left := eng.CheckLocal(append(append([]int(nil), out.Touched...), dirty...))
+			if len(left) == 0 {
+				rep.RepairTouched += len(out.Touched)
+				if n := eng.Live().N(); n > 0 {
+					if frac := float64(len(out.Touched)) / float64(n); frac > rep.MaxTouchedFrac {
+						rep.MaxTouchedFrac = frac
+					}
+				}
+				return nil
+			}
+		}
+	}
+	rep.Escalations++
+	if rounds, err := eng.Recompute(); err == nil {
+		rep.RecomputeRounds += rounds
+		return nil
+	}
+	// A failed recompute (partitioned support): the incident stays open.
+	return viols
+}
+
+// sweep checks every registered invariant against the engine's snapshot.
+func (s *Supervisor) sweep() []sim.Violation {
+	w := s.Engine.Snapshot()
+	var out []sim.Violation
+	for _, inv := range sim.Invariants() {
+		out = append(out, inv.Check(w)...)
+	}
+	return out
+}
+
+// expandNeighbors returns the distinct valid nodes of `nodes` plus all their
+// neighbors, sorted — the candidate set for detectors whose rule reads the
+// neighbors' labels (distvec, hypercube), where a label change at v can make
+// v's neighbors inconsistent too.
+func expandNeighbors(g *graph.Graph, nodes []int) []int {
+	set := map[int]bool{}
+	for _, v := range nodes {
+		if v < 0 || v >= g.N() {
+			continue
+		}
+		set[v] = true
+		g.EachNeighbor(v, func(w int, _ float64) { set[w] = true })
+	}
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// applyEdgeEvent mutates g per an add-edge / remove-edge event, reporting
+// the dirtied endpoints and whether the event applied (scripted events can
+// target edges that no longer exist, or duplicates).
+func applyEdgeEvent(g *graph.Graph, e sim.Event) ([]int, bool) {
+	switch e.Op {
+	case sim.OpAddEdge:
+		if e.U == e.V || g.HasEdge(e.U, e.V) {
+			return nil, false
+		}
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			return nil, false
+		}
+	case sim.OpRemoveEdge:
+		if !g.RemoveEdge(e.U, e.V) {
+			return nil, false
+		}
+	default:
+		return nil, false
+	}
+	return []int{e.U, e.V}, true
+}
+
+// violationNodes extracts the distinct node seeds of a violation batch
+// (edge violations contribute both endpoints), sorted — the seed set
+// engine repairs cascade from.
+func violationNodes(viols []sim.Violation) []int {
+	set := map[int]bool{}
+	for _, v := range viols {
+		if v.Node >= 0 {
+			set[v.Node] = true
+			continue
+		}
+		for _, e := range v.Edge {
+			if e >= 0 {
+				set[e] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

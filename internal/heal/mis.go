@@ -1,0 +1,85 @@
+package heal
+
+import (
+	"structura/internal/graph"
+	"structura/internal/labeling"
+	"structura/internal/runtime"
+	"structura/internal/sim"
+)
+
+// misEngine keeps the priority-greedy MIS membership at its fixed point
+// under churn. Detection is exact and purely local: an edge flip can change
+// only its endpoints' election rule, so the endpoints are the complete
+// candidate set. Repair is the MaintainMIS priority-descending cascade;
+// escalation re-runs the distributed three-color election, whose stable
+// outcome is the same fixed point.
+type misEngine struct {
+	g    *graph.Graph
+	prio labeling.Priority
+	in   []bool
+}
+
+func newMISEngine(seed uint64) (*misEngine, error) {
+	g := sim.MISGraph(seed)
+	prio := labeling.PriorityByID(g.N())
+	in, err := labeling.GreedyMIS(g, prio)
+	if err != nil {
+		return nil, err
+	}
+	return &misEngine{g: g, prio: prio, in: in}, nil
+}
+
+func (e *misEngine) Name() string       { return "mis" }
+func (e *misEngine) Live() *graph.Graph { return e.g }
+
+func (e *misEngine) Apply(ev sim.Event) ([]int, bool) {
+	return applyEdgeEvent(e.g, ev)
+}
+
+func (e *misEngine) CheckLocal(dirty []int) []sim.Violation {
+	bad := labeling.MISFixedPointViolations(e.g, e.in, e.prio, dirty)
+	out := make([]sim.Violation, 0, len(bad))
+	for _, v := range bad {
+		out = append(out, sim.Violation{
+			Invariant: "mis-fixed-point", Node: v, Edge: [2]int{-1, -1},
+			Detail: "membership disagrees with the priority-greedy rule",
+		})
+	}
+	return out
+}
+
+// Repair cascades re-elections from the violated nodes. The cascade has no
+// sweep structure, so the flip count stands in for repair rounds and the
+// MaxTouched bound is the budget that matters.
+func (e *misEngine) Repair(viols []sim.Violation, b Budget) RepairOutcome {
+	touched, flips, ok := labeling.MaintainMIS(e.g, e.in, e.prio, violationNodes(viols), b.MaxTouched)
+	return RepairOutcome{Touched: touched, Rounds: flips, OK: ok}
+}
+
+func (e *misEngine) Recompute() (int, error) {
+	res, err := labeling.DistributedMIS(e.g, e.prio)
+	if err != nil {
+		return 0, err
+	}
+	for v := range e.in {
+		e.in[v] = res.Colors[v] == labeling.Black
+	}
+	return res.Rounds, nil
+}
+
+func (e *misEngine) Snapshot() *sim.World {
+	colors := make([]labeling.Color, len(e.in))
+	for v, in := range e.in {
+		if in {
+			colors[v] = labeling.Black
+		} else {
+			colors[v] = labeling.Gray
+		}
+	}
+	return &sim.World{
+		Scenario: "heal-mis",
+		Graph:    e.g.Clone(),
+		Stats:    runtime.Stats{Stable: true},
+		MIS:      &sim.MISWorld{Colors: colors, Stable: true},
+	}
+}

@@ -1,0 +1,154 @@
+package labeling
+
+import (
+	"errors"
+	"sort"
+
+	"structura/internal/graph"
+)
+
+// This file holds the maintenance face of the MIS election: instead of
+// re-running the O(log n)-round distributed election after every topology
+// change, a supervisor keeps the priority-greedy membership at its fixed
+// point — v is in the MIS iff no higher-priority neighbor is — by cascading
+// re-elections outward from the nodes a change actually disturbed. This is
+// the DynamicMIS discipline generalized to arbitrary seed sets and a
+// bounded budget, so callers can cap how far a repair may spread and
+// escalate to a full rebuild when the cascade would not stay local.
+
+// GreedyMIS computes the priority-greedy MIS membership of g: the unique
+// fixed point of "v is in iff no higher-priority neighbor is in". It equals
+// the stable outcome of the three-color distributed election under the same
+// priorities.
+func GreedyMIS(g *graph.Graph, prio Priority) ([]bool, error) {
+	n := g.N()
+	if err := prio.validate(n); err != nil {
+		return nil, err
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return prio[order[i]] > prio[order[j]] })
+	in := make([]bool, n)
+	for _, v := range order {
+		ok := true
+		g.EachNeighbor(v, func(w int, _ float64) {
+			if in[w] {
+				ok = false
+			}
+		})
+		in[v] = ok
+	}
+	return in, nil
+}
+
+// MISFixedPointViolations returns, among the candidate nodes, those whose
+// membership disagrees with the greedy fixed point rule — the local
+// detector a supervisor runs over the nodes a churn event dirtied (pass a
+// node and its neighbors to cover both election directions).
+func MISFixedPointViolations(g *graph.Graph, in []bool, prio Priority, candidates []int) []int {
+	var out []int
+	seen := make(map[int]bool, len(candidates))
+	for _, v := range candidates {
+		if v < 0 || v >= g.N() || seen[v] {
+			continue
+		}
+		seen[v] = true
+		should := true
+		g.EachNeighbor(v, func(w int, _ float64) {
+			if in[w] && prio[w] > prio[v] {
+				should = false
+			}
+		})
+		if should != in[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MaintainMIS restores the greedy fixed point by cascading from the seed
+// nodes, mutating `in` in place. Nodes are settled in descending priority
+// order — a node's correct membership depends only on higher-priority
+// nodes, which are already final — and only lower-priority neighbors of a
+// flipped node are re-enqueued, so a repair touches exactly the nodes the
+// disturbance can reach.
+//
+// maxTouched (<= 0 for unbounded) caps the number of distinct nodes
+// examined. When the cascade would exceed it, MaintainMIS stops and returns
+// ok == false with `in` mid-repair; the caller must escalate to a full
+// rebuild (GreedyMIS). touched lists the distinct nodes examined, flips
+// counts membership changes.
+func MaintainMIS(g *graph.Graph, in []bool, prio Priority, seeds []int, maxTouched int) (touched []int, flips int, ok bool) {
+	if len(in) != g.N() {
+		return nil, 0, false
+	}
+	work := make([]int, 0, len(seeds))
+	inWork := make(map[int]bool, len(seeds))
+	for _, s := range seeds {
+		if s >= 0 && s < g.N() && !inWork[s] {
+			inWork[s] = true
+			work = append(work, s)
+		}
+	}
+	for len(work) > 0 {
+		// Pop the highest-priority pending node.
+		bi := 0
+		for i := 1; i < len(work); i++ {
+			if prio[work[i]] > prio[work[bi]] {
+				bi = i
+			}
+		}
+		x := work[bi]
+		work[bi] = work[len(work)-1]
+		work = work[:len(work)-1]
+		delete(inWork, x)
+
+		if maxTouched > 0 && len(touched) >= maxTouched {
+			return touched, flips, false
+		}
+		touched = append(touched, x)
+
+		should := true
+		g.EachNeighbor(x, func(w int, _ float64) {
+			if in[w] && prio[w] > prio[x] {
+				should = false
+			}
+		})
+		if should == in[x] {
+			continue
+		}
+		in[x] = should
+		flips++
+		g.EachNeighbor(x, func(w int, _ float64) {
+			if prio[w] < prio[x] && !inWork[w] {
+				inWork[w] = true
+				work = append(work, w)
+			}
+		})
+	}
+	sort.Ints(touched)
+	return touched, flips, true
+}
+
+// ErrNotMIS reports a membership slice that fails the MIS property.
+var ErrNotMIS = errors.New("labeling: membership is not a maximal independent set")
+
+// VerifyMIS checks that `in` is a maximal independent set of g.
+func VerifyMIS(g *graph.Graph, in []bool) error {
+	if len(in) != g.N() {
+		return ErrNotMIS
+	}
+	set := make(map[int]bool)
+	for v, b := range in {
+		if b {
+			set[v] = true
+		}
+	}
+	if !IsMIS(g, set) {
+		return ErrNotMIS
+	}
+	return nil
+}

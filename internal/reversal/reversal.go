@@ -12,6 +12,7 @@ package reversal
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"structura/internal/graph"
 )
@@ -159,6 +160,13 @@ func (net *Network) RemoveLink(u, v int) bool {
 	return net.g.RemoveEdge(u, v)
 }
 
+// AddLink inserts the support link (u,v). Heights orient it immediately
+// (from the higher endpoint to the lower), so no height adjustment is
+// needed: a new link can cure a sink but never create one.
+func (net *Network) AddLink(u, v int) error {
+	return net.g.AddEdge(u, v)
+}
+
 // Step performs one synchronous round: every current sink reverses its
 // links (full or partial discipline). It returns the sinks that acted.
 // Adjacent nodes can never both be sinks, so simultaneous action is safe.
@@ -240,6 +248,40 @@ func (net *Network) Stabilize(maxRounds int) Stats {
 	}
 	st.Converged = len(net.Sinks()) == 0
 	return st
+}
+
+// StabilizeBudget runs Step under an explicit repair budget: it stops as
+// soon as no sinks remain (Converged true), or once the run would exceed
+// maxRounds rounds or maxTouched distinct acting nodes (Converged false —
+// the caller escalates). Either bound <= 0 means unbounded. The returned
+// stats carry the per-node activation counts for the reversal-count-bound
+// invariant; touched lists the distinct nodes that acted, sorted.
+func (net *Network) StabilizeBudget(maxRounds, maxTouched int) (Stats, []int) {
+	st := Stats{PerNode: make(map[int]int)}
+	for {
+		if len(net.Sinks()) == 0 {
+			st.Converged = true
+			break
+		}
+		if maxRounds > 0 && st.Rounds >= maxRounds {
+			break
+		}
+		acted := net.Step()
+		st.Rounds++
+		st.NodeReversals += len(acted)
+		for _, v := range acted {
+			st.PerNode[v]++
+		}
+		if maxTouched > 0 && len(st.PerNode) > maxTouched {
+			break
+		}
+	}
+	touched := make([]int, 0, len(st.PerNode))
+	for v := range st.PerNode {
+		touched = append(touched, v)
+	}
+	sort.Ints(touched)
+	return st, touched
 }
 
 // Route follows oriented links greedily (any outgoing link, lowest-height

@@ -1,0 +1,223 @@
+package runtime
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/stats"
+)
+
+// hopInit/hopStep is a distance-vector-style process whose state depends on
+// every earlier round, so any divergence between an uninterrupted run and a
+// checkpoint-resumed one shows up in the final states. States are ints (with
+// a large unreachable sentinel) so checkpoints survive a JSON round trip.
+const hopInf = 1 << 20
+
+func hopInit(v int) int {
+	if v == 0 {
+		return 0
+	}
+	return hopInf
+}
+
+func hopStep(v int, self int, nbrs []int) (int, bool) {
+	if v == 0 {
+		return 0, false
+	}
+	best := hopInf
+	for _, d := range nbrs {
+		if d+1 < best {
+			best = d + 1
+		}
+	}
+	return best, best != self
+}
+
+// stripElapsed zeroes the wall-clock field so history comparisons check only
+// the deterministic parts of the trace.
+func stripElapsed(h []RoundStats) []RoundStats {
+	out := append([]RoundStats(nil), h...)
+	for i := range out {
+		out[i].Elapsed = 0
+	}
+	return out
+}
+
+// churnPerturber is a deterministic, replayable fault timeline for the
+// perturbed path: round-keyed message drops plus a topology swap and a
+// restart at fixed rounds. All state is derived from the round number, so a
+// fresh instance fast-forwards identically.
+type churnPerturber struct {
+	alt *graph.CSR // swapped in at round 3
+}
+
+func (p *churnPerturber) BeforeRound(round int, g *graph.CSR) Perturbation {
+	var per Perturbation
+	if round == 3 && p.alt != nil {
+		per.Topology = p.alt
+	}
+	if round == 4 {
+		restart := make([]bool, g.N())
+		restart[2] = true
+		per.Restart = restart
+	}
+	if round <= 6 {
+		per.Drop = func(from, to int) bool { return (from*31+to*17+round)%5 == 0 }
+	}
+	return per
+}
+
+func (p *churnPerturber) Active(round int) bool { return round <= 6 }
+
+func testGraphPair(t *testing.T) (*graph.CSR, *graph.CSR) {
+	t.Helper()
+	g := gen.SparseErdosRenyi(stats.NewRand(7), 48, 0.1)
+	alt := g.Clone()
+	alt.RemoveEdge(0, alt.Neighbors(0)[0])
+	if err := alt.AddEdge(5, 40); err != nil && !alt.HasEdge(5, 40) {
+		t.Fatal(err)
+	}
+	return g.Freeze(), alt.Freeze()
+}
+
+// TestCheckpointResumeEquivalence: cancel a run mid-flight via context,
+// resume from the last checkpoint, and require the resumed run to be
+// bit-identical to the uninterrupted one — per-round history and final
+// states — on the clean and perturbed paths, across worker counts, and with
+// resume worker counts different from the checkpointing run's.
+func TestCheckpointResumeEquivalence(t *testing.T) {
+	g, alt := testGraphPair(t)
+	const maxRounds = 12
+	for _, perturbed := range []bool{false, true} {
+		for _, w := range []int{1, 2, 4} {
+			name := map[bool]string{false: "clean", true: "perturbed"}[perturbed]
+			baseOpts := func(workers int) []Option {
+				opts := []Option{WithMaxRounds(maxRounds), WithParallelism(workers)}
+				if perturbed {
+					opts = append(opts, WithPerturber(&churnPerturber{alt: alt}))
+				}
+				return opts
+			}
+			// Uninterrupted baseline.
+			want, wantStats, err := RunCSR(g, hopInit, hopStep, baseOpts(w)...)
+			if err != nil {
+				t.Fatalf("%s/w%d baseline: %v", name, w, err)
+			}
+
+			// Interrupted run: checkpoints every 2 rounds, cancelled after
+			// round 5 commits.
+			var cps []Checkpoint[int]
+			ctx, cancel := context.WithCancel(context.Background())
+			opts := append(baseOpts(w),
+				WithContext(ctx),
+				WithCheckpoints(2, func(cp Checkpoint[int]) { cps = append(cps, cp) }),
+				WithObserver(func(rs RoundStats) {
+					if rs.Round == 5 {
+						cancel()
+					}
+				}),
+			)
+			_, half, err := RunCSR(g, hopInit, hopStep, opts...)
+			cancel()
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s/w%d cancelled run returned err=%v", name, w, err)
+			}
+			if half.Rounds != 5 {
+				t.Fatalf("%s/w%d cancelled run executed %d rounds, want 5", name, w, half.Rounds)
+			}
+			if len(cps) == 0 {
+				t.Fatalf("%s/w%d no checkpoints captured", name, w)
+			}
+			cp := cps[len(cps)-1]
+			if cp.Round != 4 {
+				t.Fatalf("%s/w%d last checkpoint at round %d, want 4", name, w, cp.Round)
+			}
+			if perturbed && cp.Seen == nil {
+				t.Fatalf("%s/w%d perturbed checkpoint lacks Seen views", name, w)
+			}
+
+			// A checkpoint must survive serialization: resume from the
+			// decoded copy, under a different worker count.
+			raw, err := json.Marshal(cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back Checkpoint[int]
+			if err := json.Unmarshal(raw, &back); err != nil {
+				t.Fatal(err)
+			}
+			for _, rw := range []int{w, w%4 + 1} {
+				got, gotStats, err := RunCSR(g, hopInit, hopStep,
+					append(baseOpts(rw), WithResume(back))...)
+				if err != nil {
+					t.Fatalf("%s/w%d resume(w=%d): %v", name, w, rw, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s/w%d resume(w=%d) final states diverged:\n got %v\nwant %v",
+						name, w, rw, got, want)
+				}
+				if !reflect.DeepEqual(stripElapsed(gotStats.History), stripElapsed(wantStats.History)) {
+					t.Fatalf("%s/w%d resume(w=%d) history diverged:\n got %+v\nwant %+v",
+						name, w, rw, stripElapsed(gotStats.History), stripElapsed(wantStats.History))
+				}
+				if gotStats.Stable != wantStats.Stable || gotStats.Messages != wantStats.Messages {
+					t.Fatalf("%s/w%d resume(w=%d) stats diverged: got %+v want %+v",
+						name, w, rw, gotStats, wantStats)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointGuards pins the error paths: sink/resume state-type
+// mismatches, malformed checkpoints, and resuming a perturbed run from a
+// clean-path checkpoint.
+func TestCheckpointGuards(t *testing.T) {
+	g, alt := testGraphPair(t)
+	if _, _, err := RunCSR(g, hopInit, hopStep,
+		WithCheckpoints(1, func(Checkpoint[int8]) {}), WithMaxRounds(2)); err == nil {
+		t.Error("mismatched sink type must fail")
+	}
+	if _, _, err := RunCSR(g, hopInit, hopStep,
+		WithResume(Checkpoint[int8]{}), WithMaxRounds(2)); err == nil {
+		t.Error("mismatched resume type must fail")
+	}
+	if _, _, err := RunCSR(g, hopInit, hopStep,
+		WithResume(Checkpoint[int]{Round: 1, States: []int{1}, Stats: Stats{Rounds: 1}}),
+		WithMaxRounds(2)); err == nil {
+		t.Error("wrong state count must fail")
+	}
+	if _, _, err := RunCSR(g, hopInit, hopStep,
+		WithResume(Checkpoint[int]{Round: 2, States: make([]int, g.N()), Stats: Stats{Rounds: 1}}),
+		WithMaxRounds(4)); err == nil {
+		t.Error("round/stats disagreement must fail")
+	}
+	cleanCP := Checkpoint[int]{Round: 2, States: make([]int, g.N()), Stats: Stats{Rounds: 2}}
+	if _, _, err := RunCSR(g, hopInit, hopStep,
+		WithResume(cleanCP), WithPerturber(&churnPerturber{alt: alt}), WithMaxRounds(4)); err == nil {
+		t.Error("perturbed resume from a Seen-less checkpoint must fail")
+	}
+}
+
+// TestContextDeadline: a deadline in the past aborts before any round runs,
+// returning the init states.
+func TestContextDeadline(t *testing.T) {
+	g, _ := testGraphPair(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	states, st, err := RunCSR(g, hopInit, hopStep, WithContext(ctx), WithMaxRounds(8))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Rounds != 0 {
+		t.Errorf("executed %d rounds under a dead context", st.Rounds)
+	}
+	if len(states) != g.N() || states[0] != 0 || states[1] != hopInf {
+		t.Errorf("states are not the init states: %v", states[:2])
+	}
+}

@@ -78,19 +78,52 @@ func runPerturbed[S any](
 	workers int,
 ) ([]S, Stats, error) {
 	n := g.N()
+	sink, resume, err := checkpointPlumbing[S](&cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 	cur := make([]S, n)
 	for v := 0; v < n; v++ {
 		cur[v] = init(v)
 	}
 	next := make([]S, n)
-	seen := buildSeen(g, cur)
+	var seen [][]S
 
 	var st Stats
+	startRound := 0
+	if resume != nil {
+		if err := validateResume(resume, n, true); err != nil {
+			return nil, Stats{}, err
+		}
+		// Fast-forward the perturber through the already-executed rounds:
+		// every fault decision is drawn inside BeforeRound, so replaying the
+		// calls (and threading topology swaps) restores its internal state —
+		// churned live graph, crash/skew timers, RNG position — exactly.
+		for r := 1; r <= resume.Round; r++ {
+			p := cfg.perturber.BeforeRound(r, g)
+			if p.Topology != nil {
+				if p.Topology.N() != n {
+					return nil, Stats{}, errors.New("runtime: perturbed topology changed the node count")
+				}
+				g = p.Topology
+			}
+		}
+		copy(cur, resume.States)
+		seen = snapshotSeen(resume.Seen)
+		st = snapshotStats(resume.Stats)
+		startRound = resume.Round
+	}
+	if seen == nil {
+		seen = buildSeen(g, cur)
+	}
 	var shards []shard
 	if workers > 1 {
 		shards = makeShards(n, workers)
 	}
-	for r := 0; r < cfg.maxRounds; r++ {
+	for r := startRound; r < cfg.maxRounds; r++ {
+		if cerr := cfg.cancelled(); cerr != nil {
+			return cur, st, cerr
+		}
 		round := r + 1
 		p := cfg.perturber.BeforeRound(round, g)
 		if p.Topology != nil {
@@ -123,6 +156,14 @@ func runPerturbed[S any](
 		cur, next = next, cur
 		rs := RoundStats{Round: st.Rounds, Changed: changed, Messages: delivered, Elapsed: time.Since(begin)}
 		st.History = append(st.History, rs)
+		if sink != nil && st.Rounds%cfg.ckptEvery == 0 {
+			sink(Checkpoint[S]{
+				Round:  st.Rounds,
+				States: snapshotStates(cur),
+				Seen:   snapshotSeen(seen),
+				Stats:  snapshotStats(st),
+			})
+		}
 		if cfg.observer != nil {
 			if oerr := observe(cfg.observer, rs); oerr != nil {
 				return cur, st, oerr

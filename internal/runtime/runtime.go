@@ -12,6 +12,7 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	stdruntime "runtime"
@@ -50,6 +51,10 @@ type config struct {
 	parallelism  int // 0 = auto (GOMAXPROCS, sequential below cutoff)
 	observer     RoundObserver
 	perturber    Perturber
+	ctx          context.Context
+	ckptEvery    int
+	ckptSink     any // func(Checkpoint[S]); asserted back in RunCSR
+	resume       any // Checkpoint[S]; asserted back in RunCSR
 }
 
 // Option configures a Run.
@@ -141,6 +146,10 @@ func RunCSR[S any](
 	if cfg.perturber != nil {
 		return runPerturbed(g, init, step, cfg, workers)
 	}
+	sink, resume, err := checkpointPlumbing[S](&cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 
 	cur := make([]S, n)
 	for v := 0; v < n; v++ {
@@ -155,6 +164,15 @@ func RunCSR[S any](
 	}
 
 	var st Stats
+	startRound := 0
+	if resume != nil {
+		if err := validateResume(resume, n, false); err != nil {
+			return nil, Stats{}, err
+		}
+		copy(cur, resume.States)
+		st = snapshotStats(resume.Stats)
+		startRound = resume.Round
+	}
 	var shards []shard
 	var scratches [][]S
 	if workers > 1 {
@@ -162,7 +180,10 @@ func RunCSR[S any](
 		scratches = make([][]S, len(shards))
 	}
 	scratch := make([]S, 0, 16)
-	for r := 0; r < cfg.maxRounds; r++ {
+	for r := startRound; r < cfg.maxRounds; r++ {
+		if cerr := cfg.cancelled(); cerr != nil {
+			return cur, st, cerr
+		}
 		begin := time.Now()
 		var changed int
 		var err error
@@ -182,6 +203,9 @@ func RunCSR[S any](
 		cur, next = next, cur
 		rs := RoundStats{Round: st.Rounds, Changed: changed, Messages: msgsPerRound, Elapsed: time.Since(begin)}
 		st.History = append(st.History, rs)
+		if sink != nil && st.Rounds%cfg.ckptEvery == 0 {
+			sink(Checkpoint[S]{Round: st.Rounds, States: snapshotStates(cur), Stats: snapshotStats(st)})
+		}
 		if cfg.observer != nil {
 			if oerr := observe(cfg.observer, rs); oerr != nil {
 				return cur, st, oerr

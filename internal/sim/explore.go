@@ -129,7 +129,7 @@ func Minimize(scenario string, seed uint64, sch Schedule, invs ...Invariant) (Sc
 		return r, len(r.Violations) > 0
 	}
 	events := base.World.Trace
-	best, ok := fails(events)
+	_, ok := fails(events)
 	if !ok {
 		// The trace alone does not reproduce the failure (should not happen:
 		// every draw is materialized). Fall back to the original result.
@@ -147,9 +147,8 @@ func Minimize(scenario string, seed uint64, sch Schedule, invs ...Invariant) (Sc
 			cand := make([]Event, 0, len(events)-(hi-lo))
 			cand = append(cand, events[:lo]...)
 			cand = append(cand, events[hi:]...)
-			if r, bad := fails(cand); bad {
+			if _, bad := fails(cand); bad {
 				events = cand
-				best = r
 			} else {
 				lo += chunk
 			}
@@ -163,8 +162,58 @@ func Minimize(scenario string, seed uint64, sch Schedule, invs ...Invariant) (Sc
 		trimmed := min
 		trimmed.Horizon = me
 		if r, rerr := Explore(scenario, seed, trimmed, invs...); rerr == nil && len(r.Violations) > 0 {
-			min, best = trimmed, r
+			min = trimmed
 		}
 	}
-	return min, best, nil
+	// Re-validate against the original failure before handing the schedule
+	// out as a reproducer: a fresh replay of the minimized schedule must
+	// still violate one of the invariants the base run violated. ddmin only
+	// requires "some violation" at each step, so without this check the
+	// shrinker can walk to a different failure than the one being debugged.
+	verify, err := Explore(scenario, seed, min, invs...)
+	if err != nil {
+		return Schedule{}, nil, fmt.Errorf("sim: minimized schedule no longer replays: %w", err)
+	}
+	if len(verify.Violations) == 0 {
+		return Schedule{}, nil, errors.New(
+			"sim: minimization diverged: the minimized schedule no longer violates any invariant")
+	}
+	baseInvs := make(map[string]bool, len(base.Violations))
+	for _, v := range base.Violations {
+		baseInvs[v.Invariant] = true
+	}
+	shared := false
+	for _, v := range verify.Violations {
+		if baseInvs[v.Invariant] {
+			shared = true
+			break
+		}
+	}
+	if !shared {
+		return Schedule{}, nil, fmt.Errorf(
+			"sim: minimization diverged: minimized schedule violates %s, the original run violated %s",
+			invariantNames(verify.Violations), invariantNames(base.Violations))
+	}
+	return min, verify, nil
+}
+
+// invariantNames lists the distinct invariant names in a violation set, in
+// first-appearance order.
+func invariantNames(viols []Violation) string {
+	var names []string
+	seen := map[string]bool{}
+	for _, v := range viols {
+		if !seen[v.Invariant] {
+			seen[v.Invariant] = true
+			names = append(names, v.Invariant)
+		}
+	}
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -32,6 +33,11 @@ func TestGoldenSchedules(t *testing.T) {
 	}
 	for _, f := range files {
 		f := f
+		// heal-*.json cases belong to the supervised-engine corpus; the heal
+		// package's golden test replays them with a Supervisor.
+		if strings.HasPrefix(filepath.Base(f), "heal-") {
+			continue
+		}
 		t.Run(filepath.Base(f), func(t *testing.T) {
 			raw, err := os.ReadFile(f)
 			if err != nil {

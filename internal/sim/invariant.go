@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"structura/internal/graph"
+	"structura/internal/hypercube"
 	"structura/internal/labeling"
 	"structura/internal/runtime"
 )
@@ -170,6 +171,11 @@ func init() {
 		Name:  "hypercube-level-monotone",
 		Desc:  "safety levels never rise above the minimum a node has announced",
 		Check: checkCubeMonotone,
+	})
+	Register(Invariant{
+		Name:  "hypercube-level-consistent",
+		Desc:  "at quiescence every non-faulty node's level satisfies the footnote-3 rule on its live neighborhood",
+		Check: checkCubeConsistent,
 	})
 }
 
@@ -343,6 +349,38 @@ func checkDistVecBFS(w *World) []Violation {
 		case want >= 0 && got != float64(want):
 			out = append(out, nodeViolation("distvec-bfs-agreement", v,
 				"label %v, BFS distance %d%s", got, want, suffix))
+		}
+	}
+	return out
+}
+
+// checkCubeConsistent verifies the safety-level fixed point on the final
+// topology: a stable run means the last round changed nothing, so every
+// non-faulty level must equal the footnote-3 rule evaluated on its current
+// neighbors' levels (faulty nodes stay at 0). Unstable runs are skipped —
+// mid-convergence levels are legitimately inconsistent.
+func checkCubeConsistent(w *World) []Violation {
+	if w.Cube == nil || !w.Stats.Stable {
+		return nil
+	}
+	var out []Violation
+	var nl []int
+	for v := 0; v < w.Graph.N(); v++ {
+		if w.Cube.Faulty[v] {
+			if w.Cube.Levels[v] != 0 {
+				out = append(out, nodeViolation("hypercube-level-consistent", v,
+					"faulty node at level %d, want 0", w.Cube.Levels[v]))
+			}
+			continue
+		}
+		nl = nl[:0]
+		w.Graph.EachNeighbor(v, func(u int, _ float64) {
+			nl = append(nl, w.Cube.Levels[u])
+		})
+		want := hypercube.LevelFromNeighborLevels(nl, w.Cube.Dim)
+		if w.Cube.Levels[v] != want {
+			out = append(out, nodeViolation("hypercube-level-consistent", v,
+				"level %d, neighborhood rule gives %d", w.Cube.Levels[v], want))
 		}
 	}
 	return out

@@ -26,6 +26,7 @@ func TestRegistryComplete(t *testing.T) {
 		"cds-connectivity",
 		"cds-domination",
 		"distvec-bfs-agreement",
+		"hypercube-level-consistent",
 		"hypercube-level-monotone",
 		"mis-independence",
 		"mis-maximality",

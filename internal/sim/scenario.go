@@ -4,11 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	mrand "math/rand"
-	"math/rand/v2"
 	"sort"
 
-	"structura/internal/gen"
 	"structura/internal/graph"
 	"structura/internal/hypercube"
 	"structura/internal/labeling"
@@ -102,38 +99,8 @@ func statsFrom(hist []runtime.RoundStats, stable bool) runtime.Stats {
 	return st
 }
 
-const (
-	misNodes     = 64
-	misEdgeProb  = 0.08
-	ringNodes    = 16
-	ringChords   = 3
-	distvecNodes = 32
-	cubeDim      = 4
-	cubeFaults   = 2
-)
-
-// chordalRing builds a ring of n nodes plus `chords` seed-drawn chords — a
-// connected support with alternative routes, so single link failures are
-// survivable and partitions need coordinated cuts.
-func chordalRing(n, chords int, seed uint64) *graph.Graph {
-	g := gen.Ring(n)
-	rng := rand.New(rand.NewPCG(seed, 0x5851F42D4C957F2D))
-	for i := 0; i < chords; i++ {
-		for try := 0; try < 32; try++ {
-			u, v := rng.IntN(n), rng.IntN(n)
-			if u == v || g.HasEdge(u, v) {
-				continue
-			}
-			_ = g.AddEdge(u, v)
-			break
-		}
-	}
-	return g
-}
-
 func runMISScenario(seed uint64, sch Schedule, workers int) (*World, error) {
-	// gen takes a math/rand (v1) source; seed it deterministically.
-	g := gen.SparseErdosRenyi(mrand.New(mrand.NewSource(int64(seed))), misNodes, misEdgeProb)
+	g := MISGraph(seed)
 	per := NewPerturber(g, seed, sch)
 	per.EnableTrace()
 	var hist []runtime.RoundStats
@@ -161,7 +128,7 @@ func runCDSScenario(seed uint64, sch Schedule, workers int) (*World, error) {
 	// Labels are computed once on the pristine grid; the schedule then churns
 	// the support underneath them. The invariants measure how long a static
 	// labeling survives a dynamic environment — the paper's core contrast.
-	g := gen.Grid(6, 8)
+	g := CDSGrid()
 	cds, mis, err := labeling.CDSFromMIS(g, labeling.PriorityByID(g.N()))
 	if err != nil {
 		return nil, err
@@ -292,7 +259,7 @@ func runReversalLoop(name string, eng reversalEngine, live *graph.Graph, seed ui
 }
 
 func runReversalScenario(name string, mode reversal.Mode, seed uint64, sch Schedule) (*World, error) {
-	g := chordalRing(ringNodes, ringChords, seed)
+	g := ReversalRing(seed)
 	alphas, err := reversalAlphas(g, 0)
 	if err != nil {
 		return nil, err
@@ -305,7 +272,7 @@ func runReversalScenario(name string, mode reversal.Mode, seed uint64, sch Sched
 }
 
 func runBinaryScenario(seed uint64, sch Schedule, workers int) (*World, error) {
-	g := chordalRing(ringNodes, ringChords, seed)
+	g := ReversalRing(seed)
 	alphas, err := reversalAlphas(g, 0)
 	if err != nil {
 		return nil, err
@@ -324,7 +291,7 @@ func runDistVecScenario(seed uint64, sch Schedule, workers int) (*World, error) 
 	// captured CSR), so it stays well-defined when the perturber swaps the
 	// topology mid-run — unlike distvec.Compute, whose weighted step reads
 	// the frozen snapshot it was built on.
-	g := chordalRing(distvecNodes, ringChords, seed)
+	g := DistVecRing(seed)
 	const dest = 0
 	per := NewPerturber(g, seed, sch)
 	per.EnableTrace()
@@ -372,20 +339,7 @@ type cubeState struct {
 }
 
 func runCubeScenario(seed uint64, sch Schedule, workers int) (*World, error) {
-	rng := rand.New(rand.NewPCG(seed, 0x2545F4914F6CDD1D))
-	faultSet := make(map[int]bool, cubeFaults)
-	faults := make([]int, 0, cubeFaults)
-	for len(faults) < cubeFaults {
-		f := rng.IntN(1 << cubeDim)
-		if !faultSet[f] {
-			faultSet[f] = true
-			faults = append(faults, f)
-		}
-	}
-	cube, err := hypercube.New(cubeDim, faults)
-	if err != nil {
-		return nil, err
-	}
+	cube := FaultyCube(seed)
 	g := cube.Graph()
 	per := NewPerturber(g, seed, sch)
 	per.EnableTrace()

@@ -16,7 +16,11 @@
 // to a minimal concrete event list.
 package sim
 
-import "fmt"
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
 
 // Event operation kinds. Every probabilistic fault the Perturber draws is
 // materialized as one of these, so any run can be replayed — and shrunk —
@@ -94,6 +98,79 @@ type Schedule struct {
 	// round's probabilistic draws. A schedule of Events with every
 	// probability zero is a fully concrete, replayable fault trace.
 	Events []Event `json:"events,omitempty"`
+}
+
+// Validate checks every field against its documented domain, naming the
+// offending JSON field so a hand-written schedule fails with an actionable
+// message instead of a silent misbehavior (a negative probability never
+// fires; a zero-round event never applies).
+func (s Schedule) Validate() error {
+	if s.Horizon < 0 {
+		return fmt.Errorf("sim: schedule field %q must be >= 0, got %d", "horizon", s.Horizon)
+	}
+	if s.Budget < 0 {
+		return fmt.Errorf("sim: schedule field %q must be >= 0, got %d", "budget", s.Budget)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"msg_loss", s.MsgLoss},
+		{"crash_prob", s.CrashProb},
+		{"skew_prob", s.SkewProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("sim: schedule field %q must be a probability in [0,1], got %v", p.name, p.v)
+		}
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"downtime", s.Downtime},
+		{"max_skew", s.MaxSkew},
+		{"churn_add", s.ChurnAdd},
+		{"churn_remove", s.ChurnRemove},
+		{"churn_every", s.ChurnEvery},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("sim: schedule field %q must be >= 0, got %d", c.name, c.v)
+		}
+	}
+	for i, e := range s.Events {
+		prefix := fmt.Sprintf("sim: schedule field \"events[%d]\"", i)
+		switch e.Op {
+		case OpAddEdge, OpRemoveEdge, OpCrash, OpSkip, OpDrop:
+		case "":
+			return fmt.Errorf("%s: missing %q", prefix, "op")
+		default:
+			return fmt.Errorf("%s: unknown %q %q (want %s, %s, %s, %s or %s)",
+				prefix, "op", e.Op, OpAddEdge, OpRemoveEdge, OpCrash, OpSkip, OpDrop)
+		}
+		if e.Round < 1 {
+			return fmt.Errorf("%s: %q must be >= 1, got %d", prefix, "round", e.Round)
+		}
+		if e.For < 0 {
+			return fmt.Errorf("%s: %q must be >= 0, got %d", prefix, "for", e.For)
+		}
+	}
+	return nil
+}
+
+// DecodeSchedule parses a schedule document strictly: unknown fields are
+// rejected (catching typos like "churn_ad") and the decoded schedule is
+// validated field by field.
+func DecodeSchedule(raw []byte) (Schedule, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var sch Schedule
+	if err := dec.Decode(&sch); err != nil {
+		return Schedule{}, fmt.Errorf("sim: schedule does not parse: %w", err)
+	}
+	if err := sch.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	return sch, nil
 }
 
 // maxEventRound returns the latest scripted round (0 if none).

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScheduleValidateNamesField pins the contract that a hand-written
+// schedule fails with the offending JSON field named, not a silent
+// misbehavior.
+func TestScheduleValidateNamesField(t *testing.T) {
+	cases := []struct {
+		field string
+		sch   Schedule
+	}{
+		{"horizon", Schedule{Horizon: -1}},
+		{"budget", Schedule{Budget: -2}},
+		{"msg_loss", Schedule{MsgLoss: 1.5}},
+		{"crash_prob", Schedule{CrashProb: -0.1}},
+		{"skew_prob", Schedule{SkewProb: 2}},
+		{"downtime", Schedule{Downtime: -1}},
+		{"max_skew", Schedule{MaxSkew: -1}},
+		{"churn_add", Schedule{ChurnAdd: -1}},
+		{"churn_remove", Schedule{ChurnRemove: -3}},
+		{"churn_every", Schedule{ChurnEvery: -1}},
+		{"events[0]", Schedule{Events: []Event{{Round: 1, Op: "explode", U: 0}}}},
+		{"events[1]", Schedule{Events: []Event{
+			{Round: 1, Op: OpDrop, U: 0, V: 1},
+			{Round: 2, U: 0}, // missing op
+		}}},
+		{"round", Schedule{Events: []Event{{Round: 0, Op: OpCrash, U: 1}}}},
+		{"for", Schedule{Events: []Event{{Round: 2, Op: OpSkip, U: 1, For: -1}}}},
+	}
+	for _, c := range cases {
+		err := c.sch.Validate()
+		if err == nil {
+			t.Errorf("schedule with bad %s validated", c.field)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.field) {
+			t.Errorf("error %q does not name field %q", err, c.field)
+		}
+	}
+	good := Schedule{
+		Horizon: 8, MsgLoss: 0.2, CrashProb: 0.05, Downtime: 2,
+		SkewProb: 0.1, MaxSkew: 3, ChurnAdd: 1, ChurnRemove: 1, ChurnEvery: 2,
+		Events: []Event{
+			{Round: 1, Op: OpRemoveEdge, U: 0, V: 1},
+			{Round: 3, Op: OpCrash, U: 4, For: 2},
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestDecodeScheduleStrict(t *testing.T) {
+	sch, err := DecodeSchedule([]byte(`{"horizon": 5, "churn_add": 1, "events": [{"round": 2, "op": "remove-edge", "u": 0, "v": 1}]}`))
+	if err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	if sch.Horizon != 5 || sch.ChurnAdd != 1 || len(sch.Events) != 1 {
+		t.Errorf("decoded schedule = %+v", sch)
+	}
+	// Typo'd field names must be rejected, not silently ignored.
+	if _, err := DecodeSchedule([]byte(`{"horizon": 5, "churn_ad": 1}`)); err == nil || !strings.Contains(err.Error(), "churn_ad") {
+		t.Errorf("unknown field: err = %v, want a churn_ad complaint", err)
+	}
+	// Validation runs on the decoded document.
+	if _, err := DecodeSchedule([]byte(`{"msg_loss": 7}`)); err == nil || !strings.Contains(err.Error(), "msg_loss") {
+		t.Errorf("out-of-range field: err = %v, want a msg_loss complaint", err)
+	}
+	if _, err := DecodeSchedule([]byte(`{"horizon": `)); err == nil || !strings.Contains(err.Error(), "parse") {
+		t.Errorf("truncated document: err = %v", err)
+	}
+}
+
+// TestMinimizeDivergenceDetected forces the ddmin walk onto a different
+// failure than the one being debugged: invariant wide fires on the full
+// two-event trace, narrow only on a one-event trace, so shrinking "keeps
+// failing" while abandoning the original violation. Minimize must refuse to
+// hand out the reproducer and say which invariants diverged.
+func TestMinimizeDivergenceDetected(t *testing.T) {
+	wide := Invariant{
+		Name: "test-wide",
+		Desc: "fires when two or more faults applied",
+		Check: func(w *World) []Violation {
+			if len(w.Trace) >= 2 {
+				return []Violation{{Invariant: "test-wide", Node: 0, Edge: [2]int{-1, -1}, Detail: "two faults"}}
+			}
+			return nil
+		},
+	}
+	narrow := Invariant{
+		Name: "test-narrow",
+		Desc: "fires when exactly one fault applied",
+		Check: func(w *World) []Violation {
+			if len(w.Trace) == 1 {
+				return []Violation{{Invariant: "test-narrow", Node: 0, Edge: [2]int{-1, -1}, Detail: "one fault"}}
+			}
+			return nil
+		},
+	}
+	sch := Schedule{Events: []Event{
+		{Round: 1, Op: OpRemoveEdge, U: 0, V: 1},
+		{Round: 1, Op: OpRemoveEdge, U: 2, V: 3},
+	}}
+	_, _, err := Minimize("reversal-full", 7, sch, wide, narrow)
+	if err == nil {
+		t.Fatal("divergent minimization handed out a reproducer")
+	}
+	for _, want := range []string{"diverged", "test-narrow", "test-wide"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
