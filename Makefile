@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-smoke fuzz-smoke heal-smoke verify
+.PHONY: build test race bench bench-json bench-smoke fuzz-smoke heal-smoke async-smoke verify
 
 build:
 	$(GO) build ./...
@@ -14,35 +14,45 @@ test:
 
 # The parallel kernel must stay race-clean: the sharded stepping in
 # internal/runtime, the labeling schemes that drive it hardest, the
-# fault-injection harness plus the algorithm packages it perturbs, and
-# the self-healing supervision layer built on top of them.
+# fault-injection harness plus the algorithm packages it perturbs, the
+# self-healing supervision layer, and the event-driven async executor.
 race:
 	$(GO) test -race ./internal/runtime/... ./internal/labeling/... \
 		./internal/sim/... ./internal/reversal/... ./internal/distvec/... \
-		./internal/heal/...
+		./internal/heal/... ./internal/async/...
 
-# Sequential vs. sharded kernel on 100k-node ER and 20k-node UDG graphs.
+# Sequential vs. sharded kernel on 100k-node ER and 20k-node UDG graphs,
+# plus the async executor priced on the same 100k-node ER instance. The
+# async leg runs one full quiescence per op (tens of seconds), so it gets
+# -benchtime 1x while the kernel legs average over 3.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 3x ./internal/runtime/bench
+	$(GO) test -run '^$$' -bench 'Kernel|Freeze' -benchtime 3x ./internal/runtime/bench
+	$(GO) test -run '^$$' -bench Async -benchtime 1x ./internal/runtime/bench
 
-# Machine-readable benchmark record: op -> ns/op, B/op, allocs/op. The
-# committed BENCH_kernel.json is regenerated with this target.
+# Machine-readable benchmark record: one history entry per invocation, each
+# mapping op -> ns/op, B/op, allocs/op (plus ReportMetric extras such as the
+# async retry overhead). Both legs feed a single benchjson call so they land
+# in the same history entry of the committed BENCH_kernel.json.
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 3x ./internal/runtime/bench \
+	{ $(GO) test -run '^$$' -bench 'Kernel|Freeze' -benchmem -benchtime 3x ./internal/runtime/bench ; \
+	  $(GO) test -run '^$$' -bench Async -benchmem -benchtime 1x ./internal/runtime/bench ; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_kernel.json
 
-# One-iteration smoke run of the benchmark battery through the JSON
-# pipeline: catches benchmark or parser rot without the full cost.
+# One-iteration smoke run of the kernel benchmark battery through the JSON
+# pipeline: catches benchmark or parser rot without the full cost. The async
+# benchmark is excluded here — a single op is a full 100k-node quiescence —
+# and covered by async-smoke at CLI scale instead.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./internal/runtime/bench \
+	$(GO) test -run '^$$' -bench 'Kernel|Freeze' -benchmem -benchtime 1x ./internal/runtime/bench \
 		| $(GO) run ./cmd/benchjson -o /dev/null
 
-# Short native-fuzz pass over the serialization boundaries: Graph/CSR
-# snapshot agreement and the temporal-trace JSON decoder. 10s per target
-# keeps the gate cheap; longer campaigns run the same targets by hand.
+# Short native-fuzz pass over the serialization boundaries and the async
+# delivery pipeline's FIFO-per-link ordering. 10s per target keeps the gate
+# cheap; longer campaigns run the same targets by hand.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzFreezeRoundTrip -fuzztime 10s ./internal/graph/
 	$(GO) test -run '^$$' -fuzz FuzzEGJSONRoundTrip -fuzztime 10s ./internal/temporal/
+	$(GO) test -run '^$$' -fuzz FuzzLinkFIFO -fuzztime 10s ./internal/async/
 
 # Supervised MIS must survive 200 rounds of add/remove churn with zero
 # standing violations; the heal subcommand exits nonzero otherwise.
@@ -50,4 +60,12 @@ heal-smoke:
 	$(GO) run ./cmd/structura heal -engine mis -seed 1 -rounds 200 \
 		-churn-add 1 -churn-remove 1 -max-touched 12
 
-verify: build test race bench-smoke fuzz-smoke heal-smoke
+# The async executor must reproduce the synchronous outcome on a confluent
+# scenario under churn (exit nonzero on divergence or invariant violation),
+# and survive a lossy adversarial schedule on its own.
+async-smoke:
+	$(GO) run ./cmd/structura async -scenario distvec -seed 3 -compare \
+		-churn-add 1 -churn-remove 1 -churn-every 2 -horizon 8
+	$(GO) run ./cmd/structura async -scenario mis -seeds 1..4 -loss 0.2 -horizon 6
+
+verify: build test race bench-smoke fuzz-smoke heal-smoke async-smoke

@@ -1,11 +1,16 @@
 // Command benchjson converts `go test -bench -benchmem` output into a
-// stable JSON document mapping each benchmark to its ns/op, B/op and
-// allocs/op, so benchmark runs can be committed and diffed:
+// committed benchmark trajectory: a JSON array of runs, each mapping
+// benchmark name to ns/op, B/op and allocs/op. Repeated invocations APPEND
+// to the output file, so the committed document records how the numbers
+// moved across changes instead of only the latest snapshot:
 //
 //	go test -bench . -benchmem -benchtime 3x ./internal/runtime/bench | benchjson -o BENCH_kernel.json
 //
-// With no -o it writes to stdout. Non-benchmark lines are ignored, so the
-// full `go test` output can be piped in unfiltered.
+// A legacy output file holding a single plain name->result object (the
+// pre-history format) is migrated in place as the trajectory's first entry.
+// With no -o the run is written to stdout as a one-entry history.
+// Non-benchmark lines are ignored, so the full `go test` output can be
+// piped in unfiltered.
 package main
 
 import (
@@ -16,32 +21,44 @@ import (
 	"io"
 	"os"
 	"regexp"
-	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
-// Result is one benchmark's measurements.
+// Result is one benchmark's measurements. Extra holds custom
+// b.ReportMetric units (e.g. the async executor's retry-frac) keyed by
+// unit name.
 type Result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
-// benchLine matches e.g.
+// Entry is one recorded benchmark run in the history array.
+type Entry struct {
+	Label   string            `json:"label,omitempty"`
+	Time    string            `json:"time,omitempty"` // RFC 3339, UTC
+	Results map[string]Result `json:"results"`
+}
+
+// benchLine matches the name/iteration prefix of a benchmark result, e.g.
 //
 //	BenchmarkKernelER100k/workers=1-8  3  44715339 ns/op  1606528 B/op  9 allocs/op
 //
-// B/op and allocs/op are optional (present only with -benchmem).
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+// The measurement tail is parsed as (value, unit) pairs so custom
+// b.ReportMetric units — which the testing package prints BETWEEN ns/op
+// and the -benchmem columns — are captured instead of breaking the parse.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(\S.*)$`)
 
 // gomaxprocsSuffix is the trailing -N the testing package appends to the
 // benchmark name; stripping it keeps keys stable across machines.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 // parse reads benchmark lines from r and returns name -> Result, with the
-// GOMAXPROCS suffix stripped from names.
+// GOMAXPROCS suffix stripped from names. Lines without an ns/op pair are
+// ignored (headers, PASS, package summaries).
 func parse(r io.Reader) (map[string]Result, error) {
 	out := make(map[string]Result)
 	sc := bufio.NewScanner(r)
@@ -51,55 +68,76 @@ func parse(r io.Reader) (map[string]Result, error) {
 		if m == nil {
 			continue
 		}
-		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		fields := strings.Fields(m[2])
 		var res Result
-		var err error
-		if res.NsPerOp, err = strconv.ParseFloat(m[2], 64); err != nil {
-			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", sc.Text(), err)
-		}
-		if m[3] != "" {
-			if res.BytesPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
-				return nil, fmt.Errorf("benchjson: bad B/op in %q: %w", sc.Text(), err)
+		sawNs := false
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q: %w", fields[i], sc.Text(), err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp, sawNs = val, true
+			case "B/op":
+				res.BytesPerOp = val
+			case "allocs/op":
+				res.AllocsPerOp = val
+			default:
+				if res.Extra == nil {
+					res.Extra = map[string]float64{}
+				}
+				res.Extra[unit] = val
 			}
 		}
-		if m[4] != "" {
-			if res.AllocsPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
-				return nil, fmt.Errorf("benchjson: bad allocs/op in %q: %w", sc.Text(), err)
-			}
+		if !sawNs {
+			continue
 		}
-		out[name] = res
+		out[gomaxprocsSuffix.ReplaceAllString(m[1], "")] = res
 	}
 	return out, sc.Err()
 }
 
-// encode writes the results as indented JSON with sorted keys (json.Marshal
-// already sorts map keys; the wrapper fixes the trailing newline).
-func encode(w io.Writer, results map[string]Result) error {
-	// Emit sorted keys explicitly so the document is diff-stable.
-	keys := make([]string, 0, len(results))
-	for k := range results {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	ordered := make(map[string]Result, len(results))
-	for _, k := range keys {
-		ordered[k] = results[k]
-	}
+// encode writes the history as indented JSON; within each entry the result
+// keys are emitted sorted (json.Marshal sorts map keys), so the document is
+// diff-stable.
+func encode(w io.Writer, history []Entry) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(ordered)
+	return enc.Encode(history)
+}
+
+// loadHistory reads the existing output file, accepting either the history
+// array format or the legacy single-object format (migrated as the first
+// entry). A missing, empty, or unreadable-as-JSON file yields an empty
+// history.
+func loadHistory(path string) []Entry {
+	raw, err := os.ReadFile(path)
+	if err != nil || len(strings.TrimSpace(string(raw))) == 0 {
+		return nil
+	}
+	var history []Entry
+	if err := json.Unmarshal(raw, &history); err == nil {
+		return history
+	}
+	var legacy map[string]Result
+	if err := json.Unmarshal(raw, &legacy); err == nil && len(legacy) > 0 {
+		return []Entry{{Label: "legacy-snapshot", Results: legacy}}
+	}
+	return nil
 }
 
 func main() {
-	out := flag.String("o", "", "output file (default stdout)")
+	out := flag.String("o", "", "output file to append to (default: print a one-entry history to stdout)")
+	label := flag.String("label", "", "optional label recorded on this history entry")
 	flag.Parse()
-	if err := run(os.Stdin, *out); err != nil {
+	if err := run(os.Stdin, *out, *label, time.Now); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(in io.Reader, outPath string) error {
+func run(in io.Reader, outPath, label string, now func() time.Time) error {
 	results, err := parse(in)
 	if err != nil {
 		return err
@@ -107,14 +145,18 @@ func run(in io.Reader, outPath string) error {
 	if len(results) == 0 {
 		return fmt.Errorf("benchjson: no benchmark lines found on stdin")
 	}
-	w := io.Writer(os.Stdout)
-	if outPath != "" {
-		f, err := os.Create(outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+	entry := Entry{Label: label, Results: results}
+	if now != nil {
+		entry.Time = now().UTC().Format(time.RFC3339)
 	}
-	return encode(w, results)
+	if outPath == "" {
+		return encode(os.Stdout, []Entry{entry})
+	}
+	history := append(loadHistory(outPath), entry)
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return encode(f, history)
 }

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 const sample = `goos: linux
@@ -36,6 +39,26 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseCustomMetrics(t *testing.T) {
+	// The testing package prints ReportMetric units BETWEEN ns/op and the
+	// -benchmem columns; B/op must survive the interleaving.
+	line := "BenchmarkAsyncER100k-8  1  2500000000 ns/op  123456 quiesce-vticks  0.021 retry-frac  52428800 B/op  42 allocs/op\n"
+	got, err := parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got["BenchmarkAsyncER100k"]
+	if !ok {
+		t.Fatalf("benchmark not parsed: %v", got)
+	}
+	if r.NsPerOp != 2500000000 || r.BytesPerOp != 52428800 || r.AllocsPerOp != 42 {
+		t.Fatalf("standard columns wrong: %+v", r)
+	}
+	if r.Extra["retry-frac"] != 0.021 || r.Extra["quiesce-vticks"] != 123456 {
+		t.Fatalf("custom metrics wrong: %+v", r.Extra)
+	}
+}
+
 func TestParseRejectsNothing(t *testing.T) {
 	got, err := parse(strings.NewReader("no benchmarks here\n"))
 	if err != nil {
@@ -47,15 +70,15 @@ func TestParseRejectsNothing(t *testing.T) {
 }
 
 func TestEncodeStable(t *testing.T) {
-	res := map[string]Result{
+	history := []Entry{{Label: "x", Results: map[string]Result{
 		"B/workers=2": {NsPerOp: 2},
 		"A/workers=1": {NsPerOp: 1},
-	}
+	}}}
 	var sb1, sb2 strings.Builder
-	if err := encode(&sb1, res); err != nil {
+	if err := encode(&sb1, history); err != nil {
 		t.Fatal(err)
 	}
-	if err := encode(&sb2, res); err != nil {
+	if err := encode(&sb2, history); err != nil {
 		t.Fatal(err)
 	}
 	if sb1.String() != sb2.String() {
@@ -63,5 +86,69 @@ func TestEncodeStable(t *testing.T) {
 	}
 	if !strings.Contains(sb1.String(), "ns_per_op") {
 		t.Fatalf("unexpected JSON: %s", sb1.String())
+	}
+}
+
+// fixedNow pins the entry timestamp so history files compare exactly.
+func fixedNow() time.Time { return time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC) }
+
+func TestRunAppendsHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	for i := 0; i < 3; i++ {
+		if err := run(strings.NewReader(sample), path, "", fixedNow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	history := loadHistory(path)
+	if len(history) != 3 {
+		t.Fatalf("history has %d entries after 3 runs, want 3", len(history))
+	}
+	for i, e := range history {
+		if len(e.Results) != 3 {
+			t.Fatalf("entry %d has %d results, want 3", i, len(e.Results))
+		}
+		if r := e.Results["BenchmarkKernelER100k/workers=1"]; r.NsPerOp != 44715339 {
+			t.Fatalf("entry %d lost measurements: %+v", i, r)
+		}
+		if e.Time == "" {
+			t.Fatalf("entry %d missing timestamp", i)
+		}
+	}
+}
+
+func TestRunMigratesLegacySnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	legacy := `{"BenchmarkOld/workers=1": {"ns_per_op": 7, "bytes_per_op": 8, "allocs_per_op": 9}}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(strings.NewReader(sample), path, "new-run", fixedNow); err != nil {
+		t.Fatal(err)
+	}
+	history := loadHistory(path)
+	if len(history) != 2 {
+		t.Fatalf("history has %d entries, want 2 (legacy + new)", len(history))
+	}
+	if history[0].Label != "legacy-snapshot" {
+		t.Fatalf("first entry label %q, want legacy-snapshot", history[0].Label)
+	}
+	if r := history[0].Results["BenchmarkOld/workers=1"]; r.NsPerOp != 7 || r.AllocsPerOp != 9 {
+		t.Fatalf("legacy measurements lost: %+v", r)
+	}
+	if history[1].Label != "new-run" || len(history[1].Results) != 3 {
+		t.Fatalf("new entry malformed: %+v", history[1])
+	}
+}
+
+func TestLoadHistoryMissingOrEmpty(t *testing.T) {
+	if h := loadHistory(filepath.Join(t.TempDir(), "nope.json")); h != nil {
+		t.Fatalf("missing file produced history %v", h)
+	}
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if h := loadHistory(path); h != nil {
+		t.Fatalf("empty file produced history %v", h)
 	}
 }

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"structura/internal/async"
+	"structura/internal/sim"
+)
+
+// runAsync is the `structura async` subcommand: run a scenario on the
+// event-driven message-passing executor under a fault schedule and a
+// per-link delay model, check every registered invariant against the final
+// world, and — with -compare — run the synchronous kernel on the same
+// concrete fault timeline and exit nonzero on any divergence between the
+// two final labelings.
+func runAsync(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("structura async", flag.ContinueOnError)
+	var (
+		scenario   = fs.String("scenario", "mis", "async scenario (see -list)")
+		seed       = fs.Uint64("seed", 42, "deterministic seed for faults and delays")
+		file       = fs.String("schedule", "", "JSON schedule file (overrides the probability flags)")
+		horizon    = fs.Int("horizon", 10, "round windows during which faults may fire")
+		budget     = fs.Int("budget", 0, "round-window budget (0 = scenario default)")
+		loss       = fs.Float64("loss", 0, "per-transmission loss probability inside the horizon")
+		crash      = fs.Float64("crash", 0, "per-node per-window crash probability")
+		downtime   = fs.Int("downtime", 1, "windows a crashed node stays down")
+		skew       = fs.Float64("skew", 0, "per-node per-window pause probability")
+		maxSkew    = fs.Int("max-skew", 1, "max windows a paused node lags")
+		churnAdd   = fs.Int("churn-add", 0, "edges added per churn tick")
+		churnRm    = fs.Int("churn-remove", 0, "edges removed per churn tick")
+		churnEvery = fs.Int("churn-every", 1, "windows between churn ticks")
+		delayKind  = fs.String("delay", "uniform", "per-link delay distribution: fixed | uniform | bimodal")
+		delayBase  = fs.Int64("delay-base", 4, "minimum one-way delay in ticks")
+		delaySpr   = fs.Int64("delay-spread", 8, "uniform jitter width / bimodal slow-path penalty, ticks")
+		slowOneIn  = fs.Int("slow-one-in", 8, "bimodal: one in this many messages takes the slow path")
+		mailbox    = fs.Int("mailbox", 8, "per-node mailbox capacity")
+		policy     = fs.String("policy", "block", "full-mailbox policy: block | shed")
+		rto        = fs.Int64("rto", 0, "initial retransmission timeout in ticks (0 = 4 round windows)")
+		roundTicks = fs.Int64("round-ticks", 16, "ticks per round window (the sync-comparability unit)")
+		invNames   = fs.String("invariants", "", "comma-separated invariant subset (default: all)")
+		seeds      = fs.String("seeds", "", "inclusive seed range N..M; overrides -seed")
+		compare    = fs.Bool("compare", false, "run the synchronous kernel on the same fault timeline and diff outcomes")
+		list       = fs.Bool("list", false, "list async scenarios and delay models, then exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintln(out, "async scenarios:")
+		for _, sc := range async.Scenarios() {
+			fmt.Fprintf(out, "  %-15s %s\n", sc.Name, sc.Desc)
+		}
+		fmt.Fprintln(out, "delay models: fixed | uniform | bimodal")
+		fmt.Fprintln(out, "invariants:")
+		for _, inv := range sim.Invariants() {
+			fmt.Fprintf(out, "  %-30s %s\n", inv.Name, inv.Desc)
+		}
+		return nil
+	}
+
+	var sch sim.Schedule
+	if *file != "" {
+		raw, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		sch, err = sim.DecodeSchedule(raw)
+		if err != nil {
+			return fmt.Errorf("schedule %s: %w", *file, err)
+		}
+	} else {
+		sch = sim.Schedule{
+			Horizon: *horizon, Budget: *budget,
+			MsgLoss:   *loss,
+			CrashProb: *crash, Downtime: *downtime,
+			SkewProb: *skew, MaxSkew: *maxSkew,
+			ChurnAdd: *churnAdd, ChurnRemove: *churnRm, ChurnEvery: *churnEvery,
+		}
+	}
+
+	var kind async.DelayKind
+	switch *delayKind {
+	case "fixed":
+		kind = async.Fixed
+	case "uniform":
+		kind = async.Uniform
+	case "bimodal":
+		kind = async.Bimodal
+	default:
+		return fmt.Errorf("unknown delay model %q (want fixed, uniform, or bimodal)", *delayKind)
+	}
+	var pol async.Policy
+	switch *policy {
+	case "block":
+		pol = async.Block
+	case "shed":
+		pol = async.Shed
+	default:
+		return fmt.Errorf("unknown policy %q (want block or shed)", *policy)
+	}
+	cfg := async.Config{
+		Delay:      async.Delay{Kind: kind, Base: *delayBase, Spread: *delaySpr, SlowOneIn: *slowOneIn},
+		RoundTicks: *roundTicks,
+		MailboxCap: *mailbox,
+		Policy:     pol,
+		RTO:        *rto,
+	}
+
+	var invs []sim.Invariant
+	if *invNames != "" {
+		for _, name := range strings.Split(*invNames, ",") {
+			inv, err := sim.Lookup(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			invs = append(invs, inv)
+		}
+	}
+
+	lo, hi := *seed, *seed
+	if *seeds != "" {
+		var err error
+		lo, hi, err = parseSeedRange(*seeds)
+		if err != nil {
+			return err
+		}
+	}
+
+	failed := 0
+	for s := lo; s <= hi; s++ {
+		if *compare {
+			cmp, err := async.Compare(*scenario, s, sch, cfg)
+			if err != nil {
+				return err
+			}
+			printComparison(out, cmp)
+			if cmp.Diverged() || len(cmp.Async.Violations) > 0 {
+				failed++
+			}
+			continue
+		}
+		res, err := async.Explore(*scenario, s, sch, cfg, invs...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "seed %d: %s\n", s, res)
+		for _, v := range res.Violations {
+			fmt.Fprintf(out, "  %s\n", v)
+		}
+		if len(res.Violations) > 0 || !res.Quiesced {
+			failed++
+		}
+	}
+	if failed > 0 {
+		if *compare {
+			return fmt.Errorf("%d of %d seed(s) diverged or violated an invariant in scenario %s",
+				failed, hi-lo+1, *scenario)
+		}
+		return fmt.Errorf("%d of %d seed(s) violated an invariant or missed quiescence in scenario %s",
+			failed, hi-lo+1, *scenario)
+	}
+	return nil
+}
+
+// printComparison renders the sync-vs-async report: the rounds-to-quiesce
+// comparison the tentpole asks for, the retry overhead, both invariant
+// verdicts, and every divergence.
+func printComparison(out io.Writer, c *async.Comparison) {
+	st := c.Async.Async
+	fmt.Fprintf(out, "%s seed %d: sync rounds=%d quiesced=%v | async vrounds=%d (last activity t=%d, detected t=%d) quiesced=%v\n",
+		c.Scenario, c.Seed,
+		c.Sync.World.Stats.Rounds, c.Sync.Quiesced,
+		st.VRounds, st.LastActivity, st.DetectedAt, c.Async.Quiesced)
+	fmt.Fprintf(out, "  transport: sent=%d retries=%d (overhead %.3f) delivered=%d dups=%d shed=%d blocked=%d lost=%d\n",
+		st.Sent, st.Retries, st.RetryOverhead(), st.Delivered, st.Dups, st.Shed, st.Blocked, st.Lost)
+	fmt.Fprintf(out, "  invariants: sync=%s async=%s\n",
+		verdict(len(c.Sync.Violations)), verdict(len(c.Async.Violations)))
+	for _, v := range c.Sync.Violations {
+		fmt.Fprintf(out, "    sync:  %s\n", v)
+	}
+	for _, v := range c.Async.Violations {
+		fmt.Fprintf(out, "    async: %s\n", v)
+	}
+	if c.Diverged() {
+		fmt.Fprintf(out, "  DIVERGED (%d):\n", len(c.Divergences))
+		for _, d := range c.Divergences {
+			fmt.Fprintf(out, "    %s\n", d)
+		}
+	} else {
+		fmt.Fprintln(out, "  final labelings identical")
+	}
+}
+
+func verdict(n int) string {
+	if n == 0 {
+		return "clean"
+	}
+	return fmt.Sprintf("%d violation(s)", n)
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAsyncList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runAsync([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"async scenarios:", "mis", "distvec", "hypercube", "reversal-full",
+		"delay models: fixed | uniform | bimodal", "invariants:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("async -list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAsyncCleanRun(t *testing.T) {
+	var buf bytes.Buffer
+	err := runAsync([]string{"-scenario", "distvec", "-seed", "3", "-loss", "0.1", "-horizon", "6",
+		"-delay", "uniform", "-delay-base", "2", "-delay-spread", "10"}, &buf)
+	if err != nil {
+		t.Fatalf("lossy-but-recoverable run should pass: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "OK") {
+		t.Errorf("clean run did not report OK:\n%s", out)
+	}
+	if !strings.Contains(out, "quiesced=true") {
+		t.Errorf("clean run did not report quiescence:\n%s", out)
+	}
+}
+
+// TestAsyncCompareAgrees pins the -compare happy path on a confluent
+// scenario: identical final labelings, exit zero, and a report carrying both
+// the sync round count and the async virtual-time figures.
+func TestAsyncCompareAgrees(t *testing.T) {
+	var buf bytes.Buffer
+	err := runAsync([]string{"-scenario", "distvec", "-seed", "3", "-compare",
+		"-churn-add", "1", "-churn-remove", "1", "-churn-every", "2", "-horizon", "8"}, &buf)
+	if err != nil {
+		t.Fatalf("confluent compare should agree: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"sync rounds=", "async vrounds=", "final labelings identical", "transport:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAsyncCompareDivergenceExitsNonzero is the acceptance criterion for
+// the -compare exit contract: a schedule-dependent scenario whose async
+// replay lands on a different orientation must report DIVERGED and return
+// an error.
+func TestAsyncCompareDivergenceExitsNonzero(t *testing.T) {
+	var buf bytes.Buffer
+	err := runAsync([]string{"-scenario", "reversal-full", "-seed", "2", "-compare",
+		"-churn-remove", "2", "-horizon", "8",
+		"-delay", "bimodal", "-delay-base", "2", "-delay-spread", "24", "-slow-one-in", "4"}, &buf)
+	if err == nil {
+		t.Fatalf("diverging compare must exit nonzero:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("error %q does not mention divergence", err)
+	}
+	if !strings.Contains(buf.String(), "DIVERGED") {
+		t.Fatalf("report does not flag the divergence:\n%s", buf.String())
+	}
+}
+
+func TestAsyncBadInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runAsync([]string{"-scenario", "nope"}, &buf); err == nil {
+		t.Error("unknown scenario should error")
+	}
+	if err := runAsync([]string{"-delay", "warp"}, &buf); err == nil {
+		t.Error("unknown delay model should error")
+	}
+	if err := runAsync([]string{"-policy", "panic"}, &buf); err == nil {
+		t.Error("unknown policy should error")
+	}
+	if err := runAsync([]string{"-invariants", "bogus"}, &buf); err == nil {
+		t.Error("unknown invariant should error")
+	}
+	if err := runAsync([]string{"-schedule", "/does/not/exist.json"}, &buf); err == nil {
+		t.Error("missing schedule file should error")
+	}
+}

@@ -13,6 +13,9 @@
 //	structura chaos -scenario mis -churn-add 1 -churn-remove 1 -seeds 1..8
 //	structura heal -engine mis -seed 1 -rounds 200     # supervised self-healing run
 //	structura heal -engine distvec -seeds 1..8 -compare
+//	structura async -list                              # message-driven executor scenarios
+//	structura async -scenario distvec -seed 3 -loss 0.1 -delay bimodal
+//	structura async -scenario mis -seeds 1..8 -compare # sync-vs-async equivalence check
 package main
 
 import (
@@ -37,6 +40,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "heal" {
 		return runHeal(args[1:], os.Stdout)
+	}
+	if len(args) > 0 && args[0] == "async" {
+		return runAsync(args[1:], os.Stdout)
 	}
 	fs := flag.NewFlagSet("structura", flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "deterministic experiment seed")

@@ -1,0 +1,121 @@
+package async
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"structura/internal/sim"
+)
+
+// asyncGoldenCase is the async seed-replay corpus schema: a named
+// (scenario, seed, schedule, delay) tuple plus the behavior band the run
+// must stay inside. The corpus pins the event-driven executor's observable
+// behavior — a protocol or queue change that shifts quiescence beyond the
+// tolerance band fails here before it reaches an experiment table.
+type asyncGoldenCase struct {
+	Name     string       `json:"name"`
+	Scenario string       `json:"scenario"`
+	Seed     uint64       `json:"seed"`
+	Schedule sim.Schedule `json:"schedule"`
+	Delay    struct {
+		Kind      string `json:"kind"`
+		Base      Ticks  `json:"base"`
+		Spread    Ticks  `json:"spread"`
+		SlowOneIn int    `json:"slow_one_in,omitempty"`
+	} `json:"delay"`
+	ExpectQuiesced    bool `json:"expect_quiesced"`
+	ExpectViolations  bool `json:"expect_violations"`
+	MaxRecoveryRounds int  `json:"max_recovery_rounds"`
+	MaxVRounds        int  `json:"max_vrounds"`
+	MinRetries        int  `json:"min_retries"`
+}
+
+func (gc *asyncGoldenCase) config() (Config, error) {
+	var kind DelayKind
+	switch gc.Delay.Kind {
+	case "fixed", "":
+		kind = Fixed
+	case "uniform":
+		kind = Uniform
+	case "bimodal":
+		kind = Bimodal
+	default:
+		return Config{}, fmt.Errorf("unknown delay kind %q", gc.Delay.Kind)
+	}
+	return Config{Delay: Delay{
+		Kind:      kind,
+		Base:      gc.Delay.Base,
+		Spread:    gc.Delay.Spread,
+		SlowOneIn: gc.Delay.SlowOneIn,
+	}}, nil
+}
+
+// TestAsyncGoldenSchedules replays the async-*.json corpus shared with the
+// synchronous harness's schedule directory; internal/sim's golden test
+// skips the async- prefix, this one owns it.
+func TestAsyncGoldenSchedules(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "sim", "testdata", "schedules", "async-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 2 {
+		t.Fatalf("async seed-replay corpus too small: %v", files)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			raw, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var gc asyncGoldenCase
+			if err := json.Unmarshal(raw, &gc); err != nil {
+				t.Fatalf("corpus file does not parse: %v", err)
+			}
+			if want := strings.TrimSuffix(filepath.Base(f), ".json"); gc.Name != want {
+				t.Errorf("corpus name %q does not match file %q", gc.Name, want)
+			}
+			cfg, err := gc.config()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Explore(gc.Scenario, gc.Seed, gc.Schedule, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Quiesced != gc.ExpectQuiesced {
+				t.Errorf("quiesced = %v, corpus expects %v", r.Quiesced, gc.ExpectQuiesced)
+			}
+			if got := len(r.Violations) > 0; got != gc.ExpectViolations {
+				t.Errorf("violations present = %v, corpus expects %v (%v)", got, gc.ExpectViolations, r.Violations)
+			}
+			if gc.ExpectQuiesced {
+				if r.RecoveryRounds < 0 || r.RecoveryRounds > gc.MaxRecoveryRounds {
+					t.Errorf("rounds-to-restabilize = %d, outside tolerance band [0, %d]",
+						r.RecoveryRounds, gc.MaxRecoveryRounds)
+				}
+				if r.Async.VRounds > gc.MaxVRounds {
+					t.Errorf("quiescence at vround %d, outside tolerance band [0, %d]",
+						r.Async.VRounds, gc.MaxVRounds)
+				}
+			}
+			if r.Async.Retries < gc.MinRetries {
+				t.Errorf("%d retransmissions, corpus demands >= %d — the schedule no longer exercises recovery",
+					r.Async.Retries, gc.MinRetries)
+			}
+			// The corpus doubles as a replay regression: the same file must
+			// reproduce the same run bit-for-bit.
+			again, err := Explore(gc.Scenario, gc.Seed, gc.Schedule, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resultFingerprint(r) != resultFingerprint(again) {
+				t.Error("corpus replay diverged between two runs")
+			}
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package async
+
+import (
+	"math"
+	"testing"
+
+	"structura/internal/heal"
+	"structura/internal/sim"
+)
+
+// requireBFSAgreement asserts the engine's labels sit at the exact BFS
+// fixpoint of its live support — the ground truth the distvec-bfs-agreement
+// invariant encodes, asserted directly so a judging gap cannot hide drift.
+func requireBFSAgreement(t *testing.T, eng *DistVecHealEngine, ctx string) {
+	t.Helper()
+	bfs, _, err := eng.Live().BFS(0)
+	if err != nil {
+		t.Fatalf("%s: %v", ctx, err)
+	}
+	for v, d := range eng.Dist() {
+		want := math.Inf(1)
+		if bfs[v] >= 0 {
+			want = float64(bfs[v])
+		}
+		if d != want && !(math.IsInf(d, 1) && math.IsInf(want, 1)) {
+			t.Errorf("%s: node %d label %v, BFS gives %v", ctx, v, d, want)
+		}
+	}
+}
+
+// TestSupervisedAsyncDistVecUnderChurn is the adapter acceptance criterion:
+// heal.Supervisor drives the message-passing distance-vector process through
+// a churn timeline unchanged, and every run ends at the BFS fixpoint with
+// zero standing violations. Edge churn alone never trips the detector here —
+// applyEventNow re-steps the dirtied endpoints and CheckLocal settles
+// in-flight traffic, so the protocol absorbs topology changes on its own;
+// the detect → repair cycle is exercised by the corruption tests below.
+func TestSupervisedAsyncDistVecUnderChurn(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		g := sim.DistVecRing(seed)
+		eng, err := NewDistVecHealEngine(g, 0, Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sup := &heal.Supervisor{Engine: eng}
+		rep, err := sup.Run(seed, sim.Schedule{Horizon: 8, ChurnAdd: 1, ChurnRemove: 1})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(rep.Standing) != 0 {
+			t.Errorf("seed %d: %d standing violations, first: %s", seed, len(rep.Standing), rep.Standing[0])
+		}
+		if rep.Events == 0 {
+			t.Errorf("seed %d: schedule applied no churn", seed)
+		}
+		requireBFSAgreement(t, eng, "supervised churn")
+	}
+}
+
+// TestSupervisedSweepHealsSilentCorruption drives the full detect → repair
+// state machine: a label silently corrupted behind the protocol's back (no
+// broadcast, so no relaxation traffic can expose it) is invisible to local
+// churn detection, caught by the periodic invariant sweep, and healed by the
+// localized repair — the supervision loop the async adapter exists for.
+func TestSupervisedSweepHealsSilentCorruption(t *testing.T) {
+	g := sim.DistVecRing(1)
+	eng, err := NewDistVecHealEngine(g, 0, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Silent corruption: overwrite the state cell directly. patch() would
+	// broadcast and let ordinary relaxation self-heal; a bit flip does not.
+	victim := g.N() / 2
+	eng.x.state[victim] = 1
+	sup := &heal.Supervisor{Engine: eng, SweepEvery: 2}
+	rep, err := sup.Run(1, sim.Schedule{Horizon: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Detections) == 0 {
+		t.Fatal("sweep never detected the silent corruption")
+	}
+	if rep.Repairs == 0 && rep.Escalations == 0 {
+		t.Fatalf("corruption detected but never repaired: %+v", rep)
+	}
+	if len(rep.Standing) != 0 {
+		t.Fatalf("standing violations after supervision: %v", rep.Standing)
+	}
+	requireBFSAgreement(t, eng, "post-supervision")
+}
+
+// TestAsyncEngineRepairHealsPoisonedLabel drives the engine surface
+// directly: corrupt one label behind the supervisor's back, detect it with
+// CheckLocal, repair it, and verify the repair touched a neighborhood, not
+// the world.
+func TestAsyncEngineRepairHealsPoisonedLabel(t *testing.T) {
+	g := sim.DistVecRing(2)
+	eng, err := NewDistVecHealEngine(g, 0, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	// Corrupt a node far from the destination with a stale-low distance, the
+	// lie endpoint poisoning exists to purge. Write the cell directly: a
+	// patch() broadcast would hand the protocol the evidence to self-heal.
+	victim := n / 2
+	eng.x.state[victim] = 1
+	viols := eng.CheckLocal([]int{victim})
+	if len(viols) == 0 {
+		t.Fatal("corrupted label not detected by CheckLocal")
+	}
+	out := eng.Repair(viols, heal.Budget{})
+	if !out.OK {
+		t.Fatalf("repair did not settle: %+v", out)
+	}
+	if len(out.Touched) == 0 || len(out.Touched) == n {
+		t.Fatalf("repair touched %d of %d nodes; want a localized, non-empty set", len(out.Touched), n)
+	}
+	bfs, _, err := eng.Live().BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := eng.Dist()[victim], float64(bfs[victim]); got != want {
+		t.Fatalf("victim healed to %v, BFS gives %v", got, want)
+	}
+}
+
+// TestAsyncEngineRecompute pins the escalation path: a full reset
+// re-converges to the BFS fixpoint.
+func TestAsyncEngineRecompute(t *testing.T) {
+	g := sim.DistVecRing(3)
+	eng, err := NewDistVecHealEngine(g, 0, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Recompute(); err != nil {
+		t.Fatal(err)
+	}
+	bfs, _, err := eng.Live().BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range eng.Dist() {
+		if bfs[v] >= 0 && d != float64(bfs[v]) {
+			t.Fatalf("node %d recomputed to %v, BFS gives %d", v, d, bfs[v])
+		}
+	}
+}

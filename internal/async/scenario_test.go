@@ -1,0 +1,179 @@
+package async
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"structura/internal/sim"
+)
+
+// resultFingerprint canonicalizes everything observable about an async
+// scenario Result — the mirror of internal/sim's fingerprint plus the
+// transport accounting. Two runs of the same (scenario, seed, schedule,
+// config) tuple must produce identical fingerprints.
+func resultFingerprint(r *Result) string {
+	var b strings.Builder
+	w := r.World
+	fmt.Fprintf(&b, "async sent=%d retries=%d delivered=%d acked=%d dups=%d shed=%d blocked=%d lost=%d changes=%d\n",
+		r.Async.Sent, r.Async.Retries, r.Async.Delivered, r.Async.Acked, r.Async.Dups,
+		r.Async.Shed, r.Async.Blocked, r.Async.Lost, r.Async.Changes)
+	fmt.Fprintf(&b, "async last=%d detected=%d quiesced=%v vrounds=%d\n",
+		r.Async.LastActivity, r.Async.DetectedAt, r.Async.Quiesced, r.Async.VRounds)
+	fmt.Fprintf(&b, "stats rounds=%d msgs=%d stable=%v\n", w.Stats.Rounds, w.Stats.Messages, w.Stats.Stable)
+	for _, rs := range w.Stats.History {
+		fmt.Fprintf(&b, "h %d %d %d\n", rs.Round, rs.Changed, rs.Messages)
+	}
+	fmt.Fprintf(&b, "lastFault=%d recovery=%d quiesced=%v\n", r.LastFault, r.RecoveryRounds, r.Quiesced)
+	for _, e := range w.Trace {
+		fmt.Fprintf(&b, "t %s\n", e)
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "v %s\n", v)
+	}
+	fmt.Fprintf(&b, "edges %v\n", w.Graph.Edges())
+	if w.MIS != nil {
+		fmt.Fprintf(&b, "mis %v %v\n", w.MIS.Colors, w.MIS.Stable)
+	}
+	if w.Dist != nil {
+		fmt.Fprintf(&b, "dist %v %v\n", w.Dist.Dist, w.Dist.Stable)
+	}
+	if w.Cube != nil {
+		fmt.Fprintf(&b, "cube %v %v %v %v\n", w.Cube.Faulty, w.Cube.Levels, w.Cube.MinLevels, w.Cube.Peaks)
+	}
+	if w.Rev != nil {
+		keys := make([]int, 0, len(w.Rev.PerNode))
+		for k := range w.Rev.PerNode {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		fmt.Fprintf(&b, "rev sinks=%v fails=%d total=%d stable=%v per=", w.Rev.Sinks, w.Rev.Fails, w.Rev.Total, w.Rev.Stable)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%d:%d ", k, w.Rev.PerNode[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// scenarioCase couples each builtin scenario with a seeded adversarial
+// schedule and delay model it is expected to survive: quiesce within budget,
+// pass every registered invariant, and replay bit-identically.
+type scenarioCase struct {
+	scenario string
+	seed     uint64
+	sch      sim.Schedule
+	cfg      Config
+}
+
+func adversarialCases() []scenarioCase {
+	return []scenarioCase{
+		{
+			scenario: "distvec",
+			seed:     3,
+			sch:      sim.Schedule{Horizon: 6, MsgLoss: 0.1},
+			cfg:      Config{Delay: Delay{Kind: Uniform, Base: 2, Spread: 10}},
+		},
+		{
+			scenario: "mis",
+			seed:     5,
+			sch:      sim.Schedule{Horizon: 6, MsgLoss: 0.1},
+			cfg:      Config{Delay: Delay{Kind: Uniform, Base: 1, Spread: 6}},
+		},
+		{
+			// Seed 5 draws adjacent faults, the only configuration where two
+			// faults in a 4-cube actually drag safety levels down and create
+			// traffic for the loss schedule to bite.
+			scenario: "hypercube",
+			seed:     5,
+			sch:      sim.Schedule{Horizon: 6, MsgLoss: 0.05},
+			cfg:      Config{Delay: Delay{Kind: Bimodal, Base: 2, Spread: 20, SlowOneIn: 6}},
+		},
+		{
+			scenario: "reversal-full",
+			seed:     1,
+			sch:      sim.Schedule{Horizon: 4},
+			cfg:      Config{Delay: Delay{Kind: Uniform, Base: 2, Spread: 6}},
+		},
+	}
+}
+
+// TestScenariosUnderAdversarialSchedules is the scenario-level acceptance
+// criterion: all four message-driven scenarios reach detector-confirmed
+// quiescence under seeded loss/jitter/reorder schedules with every
+// registered invariant clean.
+func TestScenariosUnderAdversarialSchedules(t *testing.T) {
+	for _, tc := range adversarialCases() {
+		tc := tc
+		t.Run(tc.scenario, func(t *testing.T) {
+			res, err := Explore(tc.scenario, tc.seed, tc.sch, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Quiesced {
+				t.Fatalf("did not quiesce: %s", res)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("invariant violations: %v", res.Violations)
+			}
+			if res.Async.VRounds <= 0 {
+				t.Fatalf("no virtual rounds recorded: %+v", res.Async)
+			}
+			if tc.sch.MsgLoss > 0 && res.Async.Retries == 0 {
+				t.Errorf("loss schedule produced no retransmissions: %+v", res.Async)
+			}
+		})
+	}
+}
+
+// TestScenarioReplayIsBitIdentical re-runs every adversarial case and
+// demands identical fingerprints — the replay guarantee Explore documents.
+func TestScenarioReplayIsBitIdentical(t *testing.T) {
+	for _, tc := range adversarialCases() {
+		tc := tc
+		t.Run(tc.scenario, func(t *testing.T) {
+			first, err := Explore(tc.scenario, tc.seed, tc.sch, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := Explore(tc.scenario, tc.seed, tc.sch, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := resultFingerprint(first), resultFingerprint(again); a != b {
+				t.Fatalf("replay diverged:\n--- first\n%s\n--- again\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestExploreUnknownScenario pins the error contract for scenarios with no
+// async counterpart.
+func TestExploreUnknownScenario(t *testing.T) {
+	if _, err := Explore("nope", 1, sim.Schedule{}, Config{}); err == nil {
+		t.Fatal("unknown scenario did not error")
+	}
+}
+
+// TestScenariosRegistryMirrorsSim checks every async scenario resolves and
+// is listed sorted — the CLI's -list contract.
+func TestScenariosRegistryMirrorsSim(t *testing.T) {
+	list := Scenarios()
+	if len(list) != 4 {
+		t.Fatalf("registry has %d scenarios, want 4: %v", len(list), list)
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i-1].Name >= list[i].Name {
+			t.Fatalf("registry not sorted: %q before %q", list[i-1].Name, list[i].Name)
+		}
+	}
+	for _, s := range list {
+		if _, err := ScenarioByName(s.Name); err != nil {
+			t.Fatal(err)
+		}
+		if s.Desc == "" {
+			t.Errorf("scenario %q has no description", s.Name)
+		}
+	}
+}

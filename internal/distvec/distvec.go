@@ -15,8 +15,12 @@ import (
 
 // ErrUnstable reports a run that exhausted its round budget before the
 // labels stabilized (negative cycle, count-to-infinity after a partition,
-// or maxRounds too small). Compute returns the partial table alongside it
-// so fault-injection harnesses can inspect the stale labels.
+// or maxRounds too small).
+//
+// Unstable-return contract (shared with labeling.ErrUnstable and
+// hypercube.ErrUnstable): the accompanying result is non-nil and carries
+// the partial labels as of the last executed round, so fault-injection
+// harnesses can inspect the stale state instead of losing it.
 var ErrUnstable = errors.New("distvec: did not converge (negative cycle or maxRounds too small)")
 
 // Table holds the converged labels toward one destination.

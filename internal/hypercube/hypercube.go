@@ -92,6 +92,16 @@ type SafetyResult struct {
 	Rounds int // rounds until the levels stopped changing (<= dim-1)
 }
 
+// ErrUnstable reports a distributed safety-level run that exhausted its
+// round budget before the levels stabilized.
+//
+// Unstable-return contract (shared with labeling.ErrUnstable and
+// distvec.ErrUnstable): the accompanying result is non-nil and carries the
+// partial labels as of the last executed round, so fault-injection
+// harnesses can inspect the stale state instead of losing it. Rounds then
+// reports the budget actually spent rather than rounds-to-converge.
+var ErrUnstable = errors.New("hypercube: safety levels did not stabilize")
+
 // maxDim bounds the histogram used by the safety-level update (New caps
 // dim at 20).
 const maxDim = 21
@@ -198,7 +208,10 @@ func (c *Cube) Graph() *graph.Graph {
 // by the same round/message accounting as the other labeling schemes. The
 // result always equals SafetyLevels; the returned kernel stats include the
 // final quiet round (Rounds-1 matches SafetyResult.Rounds). Extra kernel
-// options (observers, parallelism) are passed through to runtime.Run.
+// options (observers, parallelism) are passed through to runtime.Run. A run
+// that exhausts its budget (possible only under fault-injection options)
+// returns the partial levels with ErrUnstable per the unstable-return
+// contract.
 func (c *Cube) SafetyLevelsDistributed(opts ...runtime.Option) (SafetyResult, runtime.Stats, error) {
 	g := c.Graph()
 	levels, stats, err := runtime.Run(g,
@@ -227,7 +240,9 @@ func (c *Cube) SafetyLevelsDistributed(opts ...runtime.Option) (SafetyResult, ru
 		return SafetyResult{}, stats, err
 	}
 	if !stats.Stable {
-		return SafetyResult{}, stats, errors.New("hypercube: safety levels did not stabilize")
+		// Partial-result contract: the stale levels travel with the error so
+		// fault-injection harnesses can inspect them.
+		return SafetyResult{Levels: levels, Rounds: stats.Rounds}, stats, ErrUnstable
 	}
 	return SafetyResult{Levels: levels, Rounds: stats.Rounds - 1}, stats, nil
 }

@@ -173,8 +173,12 @@ type MISResult struct {
 }
 
 // ErrUnstable reports a kernel run that exhausted its round budget without
-// quiescing. Callers that probe algorithms under fault injection receive
-// the partial labels alongside it.
+// quiescing.
+//
+// Unstable-return contract (shared with distvec.ErrUnstable and
+// hypercube.ErrUnstable): the accompanying result is non-nil and carries
+// the partial labels as of the last executed round, so fault-injection
+// harnesses can inspect the stale state instead of losing it.
 var ErrUnstable = errors.New("labeling: MIS did not stabilize")
 
 // DistributedMIS runs the paper's three-color clusterhead election: per

@@ -12,10 +12,12 @@ import (
 	"sync"
 	"testing"
 
+	"structura/internal/async"
 	"structura/internal/gen"
 	"structura/internal/geo"
 	"structura/internal/graph"
 	"structura/internal/runtime"
+	"structura/internal/sim"
 	"structura/internal/stats"
 )
 
@@ -131,6 +133,37 @@ func BenchmarkKernelUDG20k(b *testing.B) { benchKernel(b, udgGraph()) }
 func BenchmarkKernelCSRER100k(b *testing.B) { benchKernelCSR(b, erGraph()) }
 
 func BenchmarkKernelCSRUDG20k(b *testing.B) { benchKernelCSR(b, udgGraph()) }
+
+// BenchmarkAsyncER100k prices the event-driven executor against the same
+// 100k-node ER graph and labeling the kernel benchmarks use: one op is a
+// full run to detector-declared quiescence under 1% message loss inside an
+// 8-window fault horizon. ns/op is the quiescence wall-time; the custom
+// metrics record the retry overhead (retransmissions / transmissions) and
+// the virtual time at which quiescence was detected.
+func BenchmarkAsyncER100k(b *testing.B) {
+	g := erGraph()
+	init := func(v int) int { return v * 2654435761 % 1_000_003 }
+	sch := sim.Schedule{Horizon: 8, MsgLoss: 0.01}
+	b.ReportAllocs()
+	var retry, vticks float64
+	for i := 0; i < b.N; i++ {
+		x, err := async.NewExecutor(g, init, maxStep, sch, async.Config{Seed: 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, st, err := x.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !st.Quiesced {
+			b.Fatal("run did not quiesce within budget")
+		}
+		retry = st.RetryOverhead()
+		vticks = float64(st.DetectedAt)
+	}
+	b.ReportMetric(retry, "retry-frac")
+	b.ReportMetric(vticks, "quiesce-vticks")
+}
 
 // BenchmarkFreezeER100k prices the snapshot itself, so the amortization
 // argument (freeze once, run many rounds) can be checked against numbers.

@@ -33,9 +33,11 @@ func TestGoldenSchedules(t *testing.T) {
 	}
 	for _, f := range files {
 		f := f
-		// heal-*.json cases belong to the supervised-engine corpus; the heal
-		// package's golden test replays them with a Supervisor.
-		if strings.HasPrefix(filepath.Base(f), "heal-") {
+		// heal-*.json cases belong to the supervised-engine corpus (replayed
+		// by the heal package's golden test) and async-*.json to the
+		// event-driven executor corpus (replayed by the async package's).
+		if strings.HasPrefix(filepath.Base(f), "heal-") ||
+			strings.HasPrefix(filepath.Base(f), "async-") {
 			continue
 		}
 		t.Run(filepath.Base(f), func(t *testing.T) {
