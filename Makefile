@@ -13,28 +13,36 @@ test:
 	$(GO) test ./...
 
 # The parallel kernel must stay race-clean: the sharded stepping in
-# internal/runtime, the labeling schemes that drive it hardest, the
-# fault-injection harness plus the algorithm packages it perturbs, the
-# self-healing supervision layer, and the event-driven async executor.
+# internal/runtime (full-sweep and delta-frontier paths — the cross-engine
+# delta equivalence tests run sharded), the labeling schemes that drive it
+# hardest, the fault-injection harness plus the algorithm packages it
+# perturbs, the remaining engines that ride the delta frontier (centrality,
+# layering, hypercube), the self-healing supervision layer, and the
+# event-driven async executor with its pooled event-queue/arena hot path.
 race:
 	$(GO) test -race ./internal/runtime/... ./internal/labeling/... \
 		./internal/sim/... ./internal/reversal/... ./internal/distvec/... \
-		./internal/heal/... ./internal/async/...
+		./internal/centrality/... ./internal/layering/... \
+		./internal/hypercube/... ./internal/heal/... ./internal/async/...
 
 # Sequential vs. sharded kernel on 100k-node ER and 20k-node UDG graphs,
-# plus the async executor priced on the same 100k-node ER instance. The
-# async leg runs one full quiescence per op (tens of seconds), so it gets
-# -benchtime 1x while the kernel legs average over 3.
+# the delta-frontier steady-state sweep on the same ER instance (full vs
+# delta round cost under scripted churn), plus the async executor priced on
+# one full quiescence. The async leg runs tens of seconds per op, so it
+# gets -benchtime 1x while the other legs average over 3.
 bench:
 	$(GO) test -run '^$$' -bench 'Kernel|Freeze' -benchtime 3x ./internal/runtime/bench
+	$(GO) test -run '^$$' -bench DeltaSteady -benchtime 3x ./internal/runtime/bench
 	$(GO) test -run '^$$' -bench Async -benchtime 1x ./internal/runtime/bench
 
 # Machine-readable benchmark record: one history entry per invocation, each
 # mapping op -> ns/op, B/op, allocs/op (plus ReportMetric extras such as the
-# async retry overhead). Both legs feed a single benchjson call so they land
-# in the same history entry of the committed BENCH_kernel.json.
+# async retry overhead and the delta kernel's steady-ns/round). All legs
+# feed a single benchjson call so they land in the same history entry of
+# the committed BENCH_kernel.json.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'Kernel|Freeze' -benchmem -benchtime 3x ./internal/runtime/bench ; \
+	  $(GO) test -run '^$$' -bench DeltaSteady -benchmem -benchtime 3x ./internal/runtime/bench ; \
 	  $(GO) test -run '^$$' -bench Async -benchmem -benchtime 1x ./internal/runtime/bench ; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_kernel.json
 

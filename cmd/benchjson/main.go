@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -107,6 +108,41 @@ func encode(w io.Writer, history []Entry) error {
 	return enc.Encode(history)
 }
 
+// normalize repairs mixed-schema history in place: entries that carry no
+// timestamp (the legacy-snapshot migration, or files hand-edited before the
+// history format) are moved to the front — they predate every timestamped
+// run — ordered stably among themselves by label, and backfilled with
+// synthetic RFC 3339 times strictly before the earliest real timestamp
+// (one second apart, preserving their relative order). When no entry has a
+// real timestamp, the backfill counts back from now. The result is a
+// uniform-schema document: every entry timestamped, timestamps
+// non-decreasing.
+func normalize(history []Entry, now time.Time) []Entry {
+	timeless := make([]Entry, 0, len(history))
+	timed := make([]Entry, 0, len(history))
+	for _, e := range history {
+		if e.Time == "" {
+			timeless = append(timeless, e)
+		} else {
+			timed = append(timed, e)
+		}
+	}
+	if len(timeless) == 0 {
+		return history
+	}
+	sort.SliceStable(timeless, func(i, j int) bool { return timeless[i].Label < timeless[j].Label })
+	anchor := now.UTC()
+	if len(timed) > 0 {
+		if t, err := time.Parse(time.RFC3339, timed[0].Time); err == nil {
+			anchor = t.UTC()
+		}
+	}
+	for i := range timeless {
+		timeless[i].Time = anchor.Add(-time.Duration(len(timeless)-i) * time.Second).Format(time.RFC3339)
+	}
+	return append(timeless, timed...)
+}
+
 // loadHistory reads the existing output file, accepting either the history
 // array format or the legacy single-object format (migrated as the first
 // entry). A missing, empty, or unreadable-as-JSON file yields an empty
@@ -153,6 +189,9 @@ func run(in io.Reader, outPath, label string, now func() time.Time) error {
 		return encode(os.Stdout, []Entry{entry})
 	}
 	history := append(loadHistory(outPath), entry)
+	if now != nil {
+		history = normalize(history, now())
+	}
 	f, err := os.Create(outPath)
 	if err != nil {
 		return err

@@ -138,6 +138,87 @@ func TestRunMigratesLegacySnapshot(t *testing.T) {
 	if history[1].Label != "new-run" || len(history[1].Results) != 3 {
 		t.Fatalf("new entry malformed: %+v", history[1])
 	}
+	// Regression: the migrated legacy entry must not stay timeless — the
+	// written document carries a uniform schema, with the legacy entry
+	// backfilled strictly before the new run's timestamp.
+	if history[0].Time == "" {
+		t.Fatal("legacy entry written without a backfilled timestamp (mixed-schema history)")
+	}
+	lt, err := time.Parse(time.RFC3339, history[0].Time)
+	if err != nil {
+		t.Fatalf("backfilled timestamp unparseable: %v", err)
+	}
+	if !lt.Before(fixedNow()) {
+		t.Fatalf("backfilled time %v not before the real run time %v", lt, fixedNow())
+	}
+}
+
+func TestNormalizeBackfillsTimeless(t *testing.T) {
+	now := fixedNow()
+	history := []Entry{
+		{Label: "zeta"}, // timeless, label-sorted after "alpha"
+		{Label: "run-1", Time: "2026-01-01T00:00:00Z"}, // earliest real timestamp
+		{Label: "alpha"}, // timeless
+		{Label: "run-2", Time: "2026-01-02T00:00:00Z"},
+	}
+	got := normalize(history, now)
+	wantOrder := []string{"alpha", "zeta", "run-1", "run-2"}
+	for i, label := range wantOrder {
+		if got[i].Label != label {
+			t.Fatalf("entry %d label %q, want %q (order %v)", i, got[i].Label, label, got)
+		}
+	}
+	prev := time.Time{}
+	for i, e := range got {
+		if e.Time == "" {
+			t.Fatalf("entry %d (%s) still timeless after normalize", i, e.Label)
+		}
+		ts, err := time.Parse(time.RFC3339, e.Time)
+		if err != nil {
+			t.Fatalf("entry %d time unparseable: %v", i, err)
+		}
+		if ts.Before(prev) {
+			t.Fatalf("timestamps not non-decreasing at entry %d: %v < %v", i, ts, prev)
+		}
+		prev = ts
+	}
+	// Backfilled entries land strictly before the earliest real run.
+	anchor, _ := time.Parse(time.RFC3339, "2026-01-01T00:00:00Z")
+	for _, e := range got[:2] {
+		ts, _ := time.Parse(time.RFC3339, e.Time)
+		if !ts.Before(anchor) {
+			t.Fatalf("backfilled %s at %v, want before %v", e.Label, ts, anchor)
+		}
+	}
+}
+
+func TestNormalizeAllTimelessUsesNow(t *testing.T) {
+	got := normalize([]Entry{{Label: "b"}, {Label: "a"}}, fixedNow())
+	if got[0].Label != "a" || got[1].Label != "b" {
+		t.Fatalf("timeless entries not label-ordered: %v", got)
+	}
+	for _, e := range got {
+		ts, err := time.Parse(time.RFC3339, e.Time)
+		if err != nil {
+			t.Fatalf("time unparseable: %v", err)
+		}
+		if !ts.Before(fixedNow()) {
+			t.Fatalf("backfill %v not before now", ts)
+		}
+	}
+}
+
+func TestNormalizeTimestampedUntouched(t *testing.T) {
+	in := []Entry{
+		{Label: "b", Time: "2026-01-02T00:00:00Z"},
+		{Label: "a", Time: "2026-01-01T00:00:00Z"},
+	}
+	got := normalize(in, fixedNow())
+	// Already-uniform history passes through unreordered and unmodified.
+	if got[0].Label != "b" || got[1].Label != "a" ||
+		got[0].Time != "2026-01-02T00:00:00Z" || got[1].Time != "2026-01-01T00:00:00Z" {
+		t.Fatalf("fully-timestamped history was modified: %v", got)
+	}
 }
 
 func TestLoadHistoryMissingOrEmpty(t *testing.T) {

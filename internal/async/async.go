@@ -38,6 +38,8 @@ package async
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"time"
 
 	"structura/internal/runtime"
@@ -184,6 +186,42 @@ type Config struct {
 	// message: instrumentation for tests asserting per-link ordering. It
 	// must not call back into the executor.
 	OnApply func(from, to int, seq uint64)
+}
+
+// ErrConfig reports a Config whose resolved values are unusable.
+var ErrConfig = errors.New("async: invalid config")
+
+// Validate resolves the documented zero-value defaults and checks that the
+// resolved configuration is internally consistent: strictly positive time
+// quantities and mailbox capacity, a non-negative round budget, and an RTO
+// window that is neither zero nor inverted (0 < RTO ≤ MaxRTO). The
+// defaulting order makes unset-field combinations safe by construction —
+// RoundTicks resolves before the windows derived from it (RTO = 4·RoundTicks,
+// MaxRTO = 64·RoundTicks, then MaxRTO is floored at RTO) — so Validate
+// exists to catch the explicit-value failure modes defaults cannot:
+// RoundTicks large enough that a derived window overflows Ticks, or a
+// negative MaxRounds. NewExecutor runs this check on every config.
+func (c Config) Validate() error {
+	r := c.withDefaults()
+	switch {
+	case r.RoundTicks < 1:
+		return fmt.Errorf("%w: RoundTicks %d (want >= 1)", ErrConfig, r.RoundTicks)
+	case r.ProcTicks < 1:
+		return fmt.Errorf("%w: ProcTicks %d (want >= 1)", ErrConfig, r.ProcTicks)
+	case r.MailboxCap < 1:
+		return fmt.Errorf("%w: MailboxCap %d (want >= 1)", ErrConfig, r.MailboxCap)
+	case r.RTO < 1:
+		return fmt.Errorf("%w: RTO %d (want >= 1; derived 4*RoundTicks overflowed?)", ErrConfig, r.RTO)
+	case r.MaxRTO < r.RTO:
+		return fmt.Errorf("%w: MaxRTO %d < RTO %d (inverted backoff window)", ErrConfig, r.MaxRTO, r.RTO)
+	case r.DetectEvery < 1:
+		return fmt.Errorf("%w: DetectEvery %d (want >= 1)", ErrConfig, r.DetectEvery)
+	case r.MaxRounds < 0:
+		return fmt.Errorf("%w: MaxRounds %d (want >= 0)", ErrConfig, r.MaxRounds)
+	case r.Delay.Base < 0 || r.Delay.Spread < 0:
+		return fmt.Errorf("%w: negative delay (base %d, spread %d)", ErrConfig, r.Delay.Base, r.Delay.Spread)
+	}
+	return nil
 }
 
 // withDefaults resolves the documented zero-value defaults.

@@ -1,0 +1,120 @@
+package async
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/sim"
+)
+
+// TestDefaultsEveryUnsetCombination sweeps all 2^6 combinations of the six
+// interacting scalar fields (RoundTicks, ProcTicks, MailboxCap, RTO, MaxRTO,
+// DetectEvery) being set or left zero, and asserts the resolved config is
+// valid in every case — in particular that no combination yields a zero or
+// inverted RTO window. This pins the defaulting ORDER: RoundTicks must be
+// resolved before RTO (4x) and MaxRTO (64x) derive from it, and the
+// MaxRTO >= RTO floor must run after both.
+func TestDefaultsEveryUnsetCombination(t *testing.T) {
+	type field struct {
+		name string
+		set  func(*Config)
+	}
+	fields := []field{
+		{"RoundTicks", func(c *Config) { c.RoundTicks = 5 }},
+		{"ProcTicks", func(c *Config) { c.ProcTicks = 2 }},
+		{"MailboxCap", func(c *Config) { c.MailboxCap = 3 }},
+		{"RTO", func(c *Config) { c.RTO = 7 }},
+		{"MaxRTO", func(c *Config) { c.MaxRTO = 9 }},
+		{"DetectEvery", func(c *Config) { c.DetectEvery = 11 }},
+	}
+	for mask := 0; mask < 1<<len(fields); mask++ {
+		name := ""
+		var cfg Config
+		for i, f := range fields {
+			if mask&(1<<i) != 0 {
+				f.set(&cfg)
+				name += f.name + "+"
+			}
+		}
+		if name == "" {
+			name = "all-unset"
+		}
+		t.Run(fmt.Sprintf("%03d/%s", mask, name), func(t *testing.T) {
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("Validate: %v (config %+v)", err, cfg)
+			}
+			r := cfg.withDefaults()
+			if r.RoundTicks < 1 || r.ProcTicks < 1 || r.MailboxCap < 1 || r.DetectEvery < 1 {
+				t.Fatalf("unresolved scalar: %+v", r)
+			}
+			if r.RTO < 1 {
+				t.Fatalf("zero RTO window: %+v", r)
+			}
+			if r.MaxRTO < r.RTO {
+				t.Fatalf("inverted RTO window (MaxRTO %d < RTO %d): %+v", r.MaxRTO, r.RTO, r)
+			}
+			// Explicitly set fields must survive resolution untouched,
+			// except MaxRTO, which is floored at the resolved RTO.
+			if mask&1 != 0 && r.RoundTicks != 5 {
+				t.Fatalf("RoundTicks overridden: %+v", r)
+			}
+			if mask&8 != 0 && r.RTO != 7 {
+				t.Fatalf("RTO overridden: %+v", r)
+			}
+			if mask&16 != 0 && r.MaxRTO != 9 && r.MaxRTO != r.RTO {
+				t.Fatalf("MaxRTO neither kept nor floored at RTO: %+v", r)
+			}
+		})
+	}
+}
+
+// TestDefaultsDerivedWindows pins the documented derivations against the
+// resolved values: RTO = 4 round windows, MaxRTO = 64, detector probes once
+// per window.
+func TestDefaultsDerivedWindows(t *testing.T) {
+	r := Config{RoundTicks: 10}.withDefaults()
+	if r.RTO != 40 || r.MaxRTO != 640 || r.DetectEvery != 10 {
+		t.Fatalf("derived windows wrong: RTO=%d MaxRTO=%d DetectEvery=%d", r.RTO, r.MaxRTO, r.DetectEvery)
+	}
+	// An explicit RTO above the derived MaxRTO must lift MaxRTO, not invert.
+	r = Config{RoundTicks: 1, RTO: 1000}.withDefaults()
+	if r.MaxRTO < r.RTO {
+		t.Fatalf("explicit RTO %d inverted against MaxRTO %d", r.RTO, r.MaxRTO)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"overflowed RTO derivation", Config{RoundTicks: math.MaxInt64 / 2}},
+		{"negative MaxRounds", Config{MaxRounds: -1}},
+		{"negative delay base with spread", Config{Delay: Delay{Base: -3, Spread: 5}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", tc.cfg)
+			}
+			if !errors.Is(err, ErrConfig) {
+				t.Fatalf("error %v does not wrap ErrConfig", err)
+			}
+		})
+	}
+}
+
+// TestNewExecutorValidates ensures the constructor rejects an invalid
+// config instead of running with an overflowed window.
+func TestNewExecutorValidates(t *testing.T) {
+	g := gen.Ring(4)
+	_, err := NewExecutor(g, hashInit, maxRule,
+		sim.Schedule{Horizon: 2}, Config{RoundTicks: math.MaxInt64 / 2})
+	if !errors.Is(err, ErrConfig) {
+		t.Fatalf("NewExecutor error %v, want ErrConfig", err)
+	}
+}

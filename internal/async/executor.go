@@ -128,8 +128,14 @@ type Executor[S any] struct {
 	now     Ticks
 	bkt     [][]event[S]
 	bktHead []int
-	bktPool [][]event[S] // retired bucket arrays, reused so steady-state pushes never grow
-	cursor  Ticks        // all ticks < cursor have empty buckets
+	cursor  Ticks // all ticks < cursor have empty buckets
+	// bktFree recycles drained slot arrays: pop parks each emptied slot's
+	// array here and push hands the most recently parked one to the next
+	// slot that needs storage. Virtual time is monotone, so a run shorter
+	// than bktSpan ticks never revisits a slot — without recycling, every
+	// tick of a burst would grow a fresh array and total allocation would
+	// track cumulative event volume instead of peak queue depth.
+	bktFree [][]event[S]
 	ovf     []event[S]
 	qLen    int
 	pushSeq uint64
@@ -144,13 +150,13 @@ type Executor[S any] struct {
 	prevFP           [4]int
 	declared         bool
 
-	rng          *rand.Rand
-	byRound      map[int][]sim.Event
-	dropWin      map[dropKey]bool
+	rng           *rand.Rand
+	byRound       map[int][]sim.Event
+	dropWin       map[dropKey]bool
 	maxFaultRound int
-	horizonTicks Ticks
-	budgetTicks  Ticks
-	skipAdds     bool // reversal: record add-edge events but do not apply them
+	horizonTicks  Ticks
+	budgetTicks   Ticks
+	skipAdds      bool // reversal: record add-edge events but do not apply them
 
 	stats     Stats
 	hist      []runtime.RoundStats
@@ -169,6 +175,9 @@ type Executor[S any] struct {
 // r spans ticks [(r-1)·RoundTicks, r·RoundTicks).
 func NewExecutor[S any](g *graph.Graph, init func(int) S, step func(int, S, []S) (S, bool), sch sim.Schedule, cfg Config) (*Executor[S], error) {
 	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
@@ -194,6 +203,35 @@ func NewExecutor[S any](g *graph.Graph, init func(int) S, step func(int, S, []S)
 	x.mboxHead = make([]int, n)
 	x.blocked = make([][]msgItem[S], n)
 	x.blockedHead = make([]int, n)
+	// Arena-allocate the queue rows: two slabs instead of one growth chain
+	// per node. Row capacities cover the steady-state bound (qpop keeps a
+	// row's length within 2x its live content, and in-queue coalescing
+	// bounds live content by MailboxCap resp. in-degree); a row that still
+	// overflows reallocates alone, capped so it cannot bleed into its
+	// neighbors' storage.
+	mcap := cfg.MailboxCap
+	if mcap > 8 {
+		mcap = 8
+	}
+	mcap *= 2
+	mboxBuf := make([]msgItem[S], n*mcap)
+	qcap := make([]int, n)
+	total := 0
+	for v := 0; v < n; v++ {
+		x.mbox[v] = mboxBuf[v*mcap : v*mcap : (v+1)*mcap]
+		c := 2 * g.Degree(v)
+		if c > 16 {
+			c = 16
+		}
+		qcap[v] = c
+		total += c
+	}
+	blockedBuf := make([]msgItem[S], total)
+	off := 0
+	for v := 0; v < n; v++ {
+		x.blocked[v] = blockedBuf[off : off : off+qcap[v]]
+		off += qcap[v]
+	}
 	x.procPending = make([]bool, n)
 	x.downTicks = make([]Ticks, n)
 	x.pauseTicks = make([]Ticks, n)
@@ -310,19 +348,50 @@ func (x *Executor[S]) push(e event[S]) {
 		e.at = x.cursor // defensive: the protocol never schedules into the past
 	}
 	if e.at-x.cursor < bktSpan {
-		i := int(e.at & bktMask)
-		if x.bkt[i] == nil {
-			if np := len(x.bktPool); np > 0 {
-				x.bkt[i] = x.bktPool[np-1]
-				x.bktPool = x.bktPool[:np-1]
-			} else {
-				x.bkt[i] = make([]event[S], 0, 1024)
-			}
-		}
-		x.bkt[i] = append(x.bkt[i], e)
+		x.slotAppend(int(e.at&bktMask), e)
 		return
 	}
 	x.ovfPush(e)
+}
+
+// slotAppend adds e to ring slot i, seeding an empty slot with the largest
+// recycled array first. The free list is capacity-sorted and acquisition
+// takes from the top, so a hot tick — the initial activation wave, a
+// synchronized retry deadline — inherits the biggest drained array instead
+// of regrowing a quiet tick's two-element one; a quiet tick that borrows a
+// big array merely returns it untouched one tick later. Growth therefore
+// happens only while peak demand is still being discovered, and total
+// allocation tracks peak queue depth rather than cumulative event volume.
+func (x *Executor[S]) slotAppend(i int, e event[S]) {
+	if cap(x.bkt[i]) == 0 {
+		if n := len(x.bktFree); n > 0 {
+			x.bkt[i] = x.bktFree[n-1]
+			x.bktFree[n-1] = nil
+			x.bktFree = x.bktFree[:n-1]
+		}
+	}
+	if len(x.bkt[i]) == cap(x.bkt[i]) {
+		// Grow by doubling rather than append's ~1.25x large-slice factor:
+		// a slot ramping to H costs 2H across its growth chain instead of
+		// 5H, and hot slots are the repo's biggest single allocation site.
+		newCap := 2 * cap(x.bkt[i])
+		if newCap < 64 {
+			newCap = 64
+		}
+		nb := make([]event[S], len(x.bkt[i]), newCap)
+		copy(nb, x.bkt[i])
+		x.bkt[i] = nb
+	}
+	x.bkt[i] = append(x.bkt[i], e)
+}
+
+// parkSlot returns a drained slot array to the capacity-sorted free list.
+func (x *Executor[S]) parkSlot(arr []event[S]) {
+	c := cap(arr)
+	k := sort.Search(len(x.bktFree), func(j int) bool { return cap(x.bktFree[j]) > c })
+	x.bktFree = append(x.bktFree, nil)
+	copy(x.bktFree[k+1:], x.bktFree[k:])
+	x.bktFree[k] = arr[:0]
 }
 
 // peekAt returns the virtual time of the next queued event without
@@ -349,15 +418,16 @@ func (x *Executor[S]) peekAt() Ticks {
 
 func (x *Executor[S]) pop() event[S] {
 	at := x.peekAt()
-	// Advance the cursor, recycling the emptied buckets it passes.
+	// Advance the cursor, parking each emptied bucket's array on the free
+	// stack so a later tick reuses its capacity.
 	steps := at - x.cursor
 	if steps > bktSpan {
 		steps = bktSpan
 	}
 	for s := Ticks(0); s < steps; s++ {
 		i := int((x.cursor + s) & bktMask)
-		if x.bkt[i] != nil {
-			x.bktPool = append(x.bktPool, x.bkt[i][:0])
+		if cap(x.bkt[i]) > 0 {
+			x.parkSlot(x.bkt[i])
 			x.bkt[i] = nil
 		}
 		x.bktHead[i] = 0
@@ -367,8 +437,7 @@ func (x *Executor[S]) pop() event[S] {
 	// (time, order) sequence.
 	for len(x.ovf) > 0 && x.ovf[0].at-x.cursor < bktSpan {
 		o := x.ovfPop()
-		j := int(o.at & bktMask)
-		x.bkt[j] = append(x.bkt[j], o)
+		x.slotAppend(int(o.at&bktMask), o)
 	}
 	i := int(at & bktMask)
 	e := x.bkt[i][x.bktHead[i]]
@@ -520,23 +589,21 @@ func (x *Executor[S]) refreeze() {
 			x.out[v][i] = outbox[S]{seq: x.seqMem[linkKey(v, w)], acked: true}
 			x.inSeq[v][i] = x.seqMem[linkKey(w, v)]
 		}
-		// Sort the shadow row by neighbor id for rowIndex lookups.
+		// Sort the shadow row by neighbor id for rowIndex lookups. An
+		// allocation-free insertion co-sort: rows are short (node degree)
+		// and usually nearly sorted already, and sort.Sort's interface
+		// indirection would cost one heap allocation per node per
+		// refreeze.
 		sn, si := x.sortedNbr[v], x.sortedIdx[v]
-		sort.Sort(&nbrIdxSort{sn, si})
+		for i := 1; i < len(sn); i++ {
+			nb, ix := sn[i], si[i]
+			j := i - 1
+			for ; j >= 0 && sn[j] > nb; j-- {
+				sn[j+1], si[j+1] = sn[j], si[j]
+			}
+			sn[j+1], si[j+1] = nb, ix
+		}
 	}
-}
-
-// nbrIdxSort co-sorts a (neighbor, row-index) pair of shadow arrays.
-type nbrIdxSort struct {
-	nbr []int32
-	idx []int32
-}
-
-func (s *nbrIdxSort) Len() int           { return len(s.nbr) }
-func (s *nbrIdxSort) Less(i, j int) bool { return s.nbr[i] < s.nbr[j] }
-func (s *nbrIdxSort) Swap(i, j int) {
-	s.nbr[i], s.nbr[j] = s.nbr[j], s.nbr[i]
-	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
 }
 
 // ---- accounting --------------------------------------------------------
@@ -626,7 +693,7 @@ func (x *Executor[S]) send(v, i, w int) {
 	ob.payload = x.state[v]
 	ob.attempts = 0
 	ob.rto = x.cfg.RTO
-	ob.deadline = x.now + ob.rto
+	ob.deadline = x.now + ob.rto + x.retryJitter(v, w, ob.seq, 0)
 	x.transmit(v, w, ob.payload, ob.seq, 0)
 	// One timer per link, not per send: a burst of superseding sends shares
 	// the queued evRetry, which re-arms itself against the live deadline.
@@ -712,6 +779,32 @@ func (x *Executor[S]) handleMsg(e event[S]) {
 		return
 	}
 	m := msgItem[S]{from: e.from, mseq: e.mseq, attempt: e.attempt, payload: e.payload}
+	// Newest-wins extends into the queues: each in-link occupies at most
+	// one undrained slot, so a burst of superseding sends (or a
+	// retransmission racing its original) coalesces into one pending
+	// application instead of growing the backlog — the receiver applies
+	// the newest state once, which is all the protocol ever promises. A
+	// stale straggler dies here instead of costing a mailbox pass.
+	for j := x.mboxHead[w]; j < len(x.mbox[w]); j++ {
+		if x.mbox[w][j].from == m.from {
+			if m.mseq >= x.mbox[w][j].mseq {
+				x.mbox[w][j] = m
+			} else {
+				x.stats.Dups++
+			}
+			return
+		}
+	}
+	for j := x.blockedHead[w]; j < len(x.blocked[w]); j++ {
+		if x.blocked[w][j].from == m.from {
+			if m.mseq >= x.blocked[w][j].mseq {
+				x.blocked[w][j] = m
+			} else {
+				x.stats.Dups++
+			}
+			return
+		}
+	}
 	switch {
 	case x.mboxLen(w) < x.cfg.MailboxCap:
 		x.mbox[w] = append(x.mbox[w], m)
@@ -741,7 +834,7 @@ func qpop[S any](q *[]msgItem[S], head *int) msgItem[S] {
 	case *head == len(*q):
 		*q = (*q)[:0]
 		*head = 0
-	case *head >= 64 && *head*2 >= len(*q):
+	case *head >= 8 && *head*2 >= len(*q):
 		n := copy(*q, (*q)[*head:])
 		*q = (*q)[:n]
 		*head = 0
@@ -772,9 +865,12 @@ func (x *Executor[S]) handleProc(e event[S]) {
 	if m.mseq <= x.inSeq[w][i] {
 		// Duplicate or out-of-order stale copy: re-ack, never re-apply.
 		// This is the FIFO-per-link guarantee — an older state cannot
-		// overwrite a newer view, whatever the network reordered.
+		// overwrite a newer view, whatever the network reordered. The
+		// re-ack is cumulative: it names the newest applied sequence, so
+		// a sender whose fresher ack was lost clears its deficit off this
+		// stale round trip instead of paying another RTO.
 		x.stats.Dups++
-		x.sendAck(w, m.from, m.mseq, m.attempt)
+		x.sendAck(w, m.from, x.inSeq[w][i], m.attempt)
 		return
 	}
 	x.inSeq[w][i] = m.mseq
@@ -795,7 +891,11 @@ func (x *Executor[S]) handleAck(e event[S]) {
 		return
 	}
 	ob := &x.out[e.to][i]
-	if !ob.acked && ob.seq == e.mseq {
+	// Acks are cumulative per link: seq k acknowledges every sequence up
+	// to k, so any ack at or beyond the outstanding (newest) sequence
+	// clears the deficit. Receivers never ack beyond what the sender
+	// assigned, so >= only fires for the newest-applied re-acks.
+	if !ob.acked && e.mseq >= ob.seq {
 		ob.acked = true
 		x.outstandingLinks--
 		x.stats.Acked++
@@ -827,9 +927,26 @@ func (x *Executor[S]) handleRetry(e event[S]) {
 	if ob.rto > x.cfg.MaxRTO {
 		ob.rto = x.cfg.MaxRTO
 	}
-	ob.deadline = x.now + ob.rto
+	ob.deadline = x.now + ob.rto + x.retryJitter(e.from, e.to, ob.seq, ob.attempts)
 	ob.timer = true
 	x.push(event[S]{at: ob.deadline, kind: evRetry, from: e.from, to: e.to})
+}
+
+// retryJitter spreads a link's retransmission deadline uniformly over half
+// an extra backoff window. A synchronized burst — every node's first
+// broadcast, a fault window's worth of losses — would otherwise arm every
+// timer in the same tick and land them all on the same slot RTO ticks
+// later, a thundering-herd retry storm that is also the single largest
+// event-queue hot spot. The draw is a pure hash of (seed, link, seq,
+// attempt), so replay determinism is untouched, and it is additive, so a
+// retransmission never fires before its full backoff elapsed.
+func (x *Executor[S]) retryJitter(v, w int, seq uint64, attempt int) Ticks {
+	rto := x.cfg.RTO
+	if rto < 4 {
+		return 0
+	}
+	h := splitmix64(x.seed ^ 0x517CC1B727220A95 ^ linkKey(v, w) ^ seq*0x9E3779B97F4A7C15 ^ uint64(attempt)<<40)
+	return Ticks(h % uint64(rto/2+1))
 }
 
 // handleRestart brings a crashed node back: restart with amnesia (state

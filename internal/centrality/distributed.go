@@ -79,13 +79,20 @@ func DistributedPageRank(g *graph.Graph, damping float64, maxRounds int, tol flo
 			for _, nb := range nbrs {
 				next += damping * nb.share
 			}
-			changed := math.Abs(next-self.score) > tol
+			if math.Abs(next-self.score) <= tol {
+				// Converged within tolerance: freeze the label instead of
+				// letting it drift while reporting "unchanged". The kernel's
+				// stability detection — and delta-frontier skipping — relies
+				// on the change bit being honest: ch == false must mean the
+				// state really is the state the neighbors already saw.
+				return self, false
+			}
 			out := state{score: next, deg: self.deg,
 				dang: (1-damping)/float64(n) + danglingShare}
 			if out.deg > 0 {
 				out.share = out.score / float64(out.deg)
 			}
-			return out, changed
+			return out, true
 		}, append([]runtime.Option{runtime.WithMaxRounds(maxRounds)}, opts...)...)
 	if err != nil {
 		return DistributedPageRankResult{}, err

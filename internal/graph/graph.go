@@ -246,8 +246,19 @@ func (g *Graph) Edges() []Edge {
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{directed: g.directed, adj: make([][]halfEdge, len(g.adj)), edges: g.edges}
+	// One backing slab for every adjacency row: cloning costs two
+	// allocations instead of one per node. Each row is capacity-capped, so
+	// a later AddEdge on the clone reallocates that row alone and the
+	// in-place compaction RemoveEdge performs stays inside the row.
+	total := 0
+	for _, lst := range g.adj {
+		total += len(lst)
+	}
+	buf := make([]halfEdge, 0, total)
 	for v, lst := range g.adj {
-		c.adj[v] = append([]halfEdge(nil), lst...)
+		off := len(buf)
+		buf = append(buf, lst...)
+		c.adj[v] = buf[off:len(buf):len(buf)]
 	}
 	if g.directed {
 		c.indeg = append([]int(nil), g.indeg...)

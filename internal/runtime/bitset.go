@@ -1,0 +1,95 @@
+package runtime
+
+import "math/bits"
+
+// bitset is a dense bit vector over node IDs, the frontier representation of
+// the delta kernel: set/clear/test are O(1), iteration skips empty words, and
+// the word layout lets word-aligned shards write disjoint ranges without
+// synchronization.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(v int)   { b[v>>6] |= 1 << (uint(v) & 63) }
+func (b bitset) clear(v int) { b[v>>6] &^= 1 << (uint(v) & 63) }
+
+func (b bitset) get(v int) bool { return b[v>>6]&(1<<(uint(v)&63)) != 0 }
+
+// reset zeroes the whole set (compiles to a memclr; at one bit per node this
+// is n/8 bytes — noise next to even a single node's step).
+func (b bitset) reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// setAll sets bits [0, n) and leaves the tail of the last word clear, so
+// iteration and count never see ghost nodes.
+func (b bitset) setAll(n int) {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	if r := uint(n) & 63; r != 0 && len(b) > 0 {
+		b[len(b)-1] = ^uint64(0) >> (64 - r)
+	}
+}
+
+// count returns the number of set bits.
+func (b bitset) count() int {
+	total := 0
+	for _, w := range b {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// any reports whether any bit is set.
+func (b bitset) any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// copyFrom overwrites b with src (same length).
+func (b bitset) copyFrom(src bitset) { copy(b, src) }
+
+// forEachIn calls fn for every set bit in [lo, hi) in ascending order. lo and
+// hi need not be word-aligned.
+func (b bitset) forEachIn(lo, hi int, fn func(v int)) {
+	if lo >= hi {
+		return
+	}
+	for wi := lo >> 6; wi <= (hi-1)>>6; wi++ {
+		w := b[wi]
+		if w == 0 {
+			continue
+		}
+		base := wi << 6
+		// Mask off bits below lo and at/above hi within boundary words.
+		if base < lo {
+			w &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if base+64 > hi {
+			w &= ^uint64(0) >> (64 - (uint(hi-1)&63 + 1))
+		}
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// appendBits appends every set bit of b to out in ascending order.
+func (b bitset) appendBits(out []int) []int {
+	for wi, w := range b {
+		base := wi << 6
+		for w != 0 {
+			out = append(out, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package runtime
+
+import (
+	"testing"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	const n = 130 // spans three words with a partial tail
+	b := newBitset(n)
+	if b.any() || b.count() != 0 {
+		t.Fatal("fresh bitset not empty")
+	}
+	for _, v := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		b.set(v)
+		if !b.get(v) {
+			t.Fatalf("bit %d not set", v)
+		}
+	}
+	if got := b.count(); got != 8 {
+		t.Fatalf("count = %d, want 8", got)
+	}
+	got := b.appendBits(nil)
+	want := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	if len(got) != len(want) {
+		t.Fatalf("appendBits = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("appendBits = %v, want %v", got, want)
+		}
+	}
+	b.clear(64)
+	if b.get(64) || b.count() != 7 {
+		t.Fatal("clear(64) failed")
+	}
+	b.setAll(n)
+	if b.count() != n {
+		t.Fatalf("setAll count = %d, want %d", b.count(), n)
+	}
+	// The tail bits beyond n must stay clear so iteration never emits a
+	// ghost node.
+	b.forEachIn(0, n, func(v int) {
+		if v < 0 || v >= n {
+			t.Fatalf("forEachIn emitted out-of-range node %d", v)
+		}
+	})
+	b.reset()
+	if b.any() {
+		t.Fatal("reset left bits set")
+	}
+}
+
+func TestBitsetForEachInBoundaries(t *testing.T) {
+	b := newBitset(256)
+	for v := 0; v < 256; v += 3 {
+		b.set(v)
+	}
+	for _, tc := range [][2]int{{0, 256}, {0, 0}, {5, 5}, {1, 64}, {63, 65}, {64, 128}, {100, 101}, {200, 256}, {255, 256}} {
+		lo, hi := tc[0], tc[1]
+		var got []int
+		b.forEachIn(lo, hi, func(v int) { got = append(got, v) })
+		var want []int
+		for v := lo; v < hi; v++ {
+			if v%3 == 0 {
+				want = append(want, v)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("[%d,%d): got %v, want %v", lo, hi, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("[%d,%d): got %v, want %v", lo, hi, got, want)
+			}
+		}
+	}
+}
+
+// FuzzBitset drives the bitset with an arbitrary op tape and cross-checks
+// every observation against a map-based reference model.
+func FuzzBitset(f *testing.F) {
+	f.Add([]byte{0, 5, 1, 5, 0, 64, 2, 0, 3, 0})
+	f.Add([]byte{0, 0, 0, 63, 0, 64, 0, 127, 1, 64, 4, 0})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		const n = 150
+		b := newBitset(n)
+		ref := make(map[int]bool)
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, arg := tape[i]%5, int(tape[i+1])%n
+			switch op {
+			case 0:
+				b.set(arg)
+				ref[arg] = true
+			case 1:
+				b.clear(arg)
+				delete(ref, arg)
+			case 2:
+				b.reset()
+				ref = make(map[int]bool)
+			case 3:
+				b.setAll(n)
+				for v := 0; v < n; v++ {
+					ref[v] = true
+				}
+			case 4:
+				if b.get(arg) != ref[arg] {
+					t.Fatalf("get(%d) = %v, model %v", arg, b.get(arg), ref[arg])
+				}
+			}
+		}
+		if b.count() != len(ref) {
+			t.Fatalf("count = %d, model %d", b.count(), len(ref))
+		}
+		seen := 0
+		prev := -1
+		for _, v := range b.appendBits(nil) {
+			if v <= prev || v >= n {
+				t.Fatalf("appendBits not ascending in range: %d after %d", v, prev)
+			}
+			if !ref[v] {
+				t.Fatalf("appendBits emitted %d, not in model", v)
+			}
+			prev = v
+			seen++
+		}
+		if seen != len(ref) {
+			t.Fatalf("appendBits emitted %d bits, model %d", seen, len(ref))
+		}
+		lo, hi := 0, n
+		if len(tape) >= 2 {
+			lo = int(tape[0]) % n
+			hi = lo + int(tape[1])%(n-lo+1)
+		}
+		var iter []int
+		b.forEachIn(lo, hi, func(v int) { iter = append(iter, v) })
+		var wantIter []int
+		for v := lo; v < hi; v++ {
+			if ref[v] {
+				wantIter = append(wantIter, v)
+			}
+		}
+		if len(iter) != len(wantIter) {
+			t.Fatalf("forEachIn[%d,%d) = %v, model %v", lo, hi, iter, wantIter)
+		}
+		for i := range wantIter {
+			if iter[i] != wantIter[i] {
+				t.Fatalf("forEachIn[%d,%d) = %v, model %v", lo, hi, iter, wantIter)
+			}
+		}
+	})
+}

@@ -15,11 +15,24 @@ import (
 // Seen carries the per-node neighbor-view buffers of the perturbed path
 // (WithPerturber) and is nil for checkpoints taken on the clean path.
 // Checkpoints are JSON-serializable whenever S is.
+//
+// Delta, Changed, Frontier and Pending carry the frontier state of runs
+// under WithDelta: Changed is the checkpoint round's changed set (the next
+// round's senders), Frontier the already-built next-round frontier, and
+// Pending the per-link suppressed-delivery retry bits of the perturbed
+// path (row-aligned to the checkpoint round's adjacency, like Seen). A
+// checkpoint resumes only into a run of the same mode: the frontier state
+// is meaningless to the full kernel, and a full-kernel checkpoint lacks
+// the state a delta run needs.
 type Checkpoint[S any] struct {
-	Round  int    `json:"round"`
-	States []S    `json:"states"`
-	Seen   [][]S  `json:"seen,omitempty"`
-	Stats  Stats  `json:"stats"`
+	Round    int      `json:"round"`
+	States   []S      `json:"states"`
+	Seen     [][]S    `json:"seen,omitempty"`
+	Stats    Stats    `json:"stats"`
+	Delta    bool     `json:"delta,omitempty"`
+	Changed  []int    `json:"changed,omitempty"`
+	Frontier []int    `json:"frontier,omitempty"`
+	Pending  [][]bool `json:"pending,omitempty"`
 }
 
 // WithCheckpoints registers a checkpoint sink: after every `every`-th
@@ -93,8 +106,9 @@ func checkpointPlumbing[S any](cfg *config) (sink func(Checkpoint[S]), resume *C
 }
 
 // validateResume sanity-checks a checkpoint against the run it is resumed
-// into.
-func validateResume[S any](cp *Checkpoint[S], n int, needSeen bool) error {
+// into. delta is whether the resuming run steps under WithDelta; a mode
+// mismatch past round zero is rejected rather than silently diverging.
+func validateResume[S any](cp *Checkpoint[S], n int, needSeen, delta bool) error {
 	if cp.Round < 0 {
 		return errors.New("runtime: resume checkpoint has a negative round")
 	}
@@ -107,6 +121,12 @@ func validateResume[S any](cp *Checkpoint[S], n int, needSeen bool) error {
 	}
 	if needSeen && cp.Seen == nil && cp.Round > 0 {
 		return errors.New("runtime: resume into a perturbed run needs a checkpoint taken under the perturber (Seen views missing)")
+	}
+	if cp.Round > 0 && cp.Delta != delta {
+		if delta {
+			return errors.New("runtime: resume into a WithDelta run needs a checkpoint taken under WithDelta (frontier state missing)")
+		}
+		return errors.New("runtime: checkpoint taken under WithDelta cannot resume a full-kernel run")
 	}
 	return nil
 }
@@ -133,6 +153,19 @@ func snapshotSeen[S any](seen [][]S) [][]S {
 	out := make([][]S, len(seen))
 	for i, row := range seen {
 		out[i] = append([]S(nil), row...)
+	}
+	return out
+}
+
+// snapshotPending deep-copies the perturbed delta path's per-link retry bits.
+func snapshotPending(pending [][]bool) [][]bool {
+	if pending == nil {
+		return nil
+	}
+	out := make([][]bool, len(pending))
+	for i, row := range pending {
+		out[i] = make([]bool, len(row))
+		copy(out[i], row)
 	}
 	return out
 }

@@ -1,0 +1,713 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+
+	"structura/internal/graph"
+)
+
+// WithDelta switches the kernel to delta-frontier ("dirty") stepping: a node
+// is stepped in round r only if its inputs could have changed — it changed
+// itself in round r-1, one of the neighbors it observes changed, it was
+// restarted, its adjacency row was rewritten by churn, or a delivery to it is
+// still pending after suppression. Because step functions are pure, skipping
+// a node whose inputs are unchanged and whose last step reported no change
+// cannot alter the outcome: final states, Stats.Rounds, and per-round
+// Changed counts are bit-identical to the full kernel, on both the clean and
+// the perturbed path, across worker counts, and through checkpoint/resume.
+//
+// Message accounting is where the two kernels intentionally differ: the full
+// clean kernel charges one message per directed link per round, while the
+// delta kernel counts messages actually sent — a node broadcasts to the
+// nodes observing it only in the round after it changed (plus restart
+// broadcasts and suppressed-delivery retries). In particular a round with an
+// empty frontier reports 0 messages. This makes the clean and perturbed
+// paths consistent with each other: under a fault-free perturber both count
+// exactly the deliveries triggered by state changes.
+//
+// Correctness requires the step contract to be honest: step must report
+// ch == true if and only if the returned state differs from self. A step
+// that mutates state while reporting "unchanged" already breaks the full
+// kernel's stability detection; under WithDelta it would also leave
+// downstream nodes unstepped.
+func WithDelta() Option {
+	return func(c *config) { c.delta = true }
+}
+
+// deltaWorkerState is one worker's per-round scratch for the delta paths:
+// the commit list of stepped nodes, the carry list of nodes that must stay
+// in the frontier beyond the changed∪readers rule (pending retries, deferred
+// inactive steps), and the reusable neighbor-gather buffer.
+type deltaWorkerState[S any] struct {
+	ids       []int32 // nodes stepped this round, in ascending order
+	carry     []int32 // perturbed path: extra next-frontier members
+	scratch   []S
+	changed   int
+	delivered int
+	err       error
+}
+
+// deltaShards partitions [0, n) into word-aligned ranges (multiples of 64)
+// so that concurrent workers write disjoint bitset words without
+// synchronization. The final shard absorbs the partial word at n.
+func deltaShards(n, workers int) []shard {
+	if workers <= 1 || n <= 64 {
+		return []shard{{0, n}}
+	}
+	words := (n + 63) / 64
+	if workers > words {
+		workers = words
+	}
+	out := make([]shard, 0, workers)
+	for w := 0; w < workers; w++ {
+		lo := (w * words / workers) * 64
+		hi := ((w + 1) * words / workers) * 64
+		if hi > n {
+			hi = n
+		}
+		if lo < hi {
+			out = append(out, shard{lo: lo, hi: hi})
+		}
+	}
+	return out
+}
+
+// frontierMessages is the messages the nodes of set will send next round:
+// each changed node broadcasts to the nodes that observe it, i.e. its
+// in-neighbors under the "v reads Neighbors(v)" convention.
+func frontierMessages(g *graph.CSR, set bitset) int {
+	total := 0
+	for wi, w := range set {
+		base := wi << 6
+		for w != 0 {
+			total += g.InDegree(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return total
+}
+
+// rebuildFrontier recomputes frontier = dirty ∪ readers(dirty), choosing
+// direction by cost: when the changed set's total in-degree is small the
+// sweep pushes bits along reverse rows; when it is dense every node pulls
+// over its forward row (parallelized across the word-aligned shards, with
+// early exit on the first changed neighbor). pushCost must be
+// frontierMessages(g, dirty).
+func rebuildFrontier(g *graph.CSR, frontier, dirty bitset, pushCost, n int, shards []shard) {
+	frontier.reset()
+	if pushCost <= n/4 {
+		for wi, w := range dirty {
+			base := wi << 6
+			for w != 0 {
+				u := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				frontier.set(u)
+				for _, r := range g.InNeighbors(u) {
+					frontier.set(int(r))
+				}
+			}
+		}
+		return
+	}
+	if len(shards) > 1 {
+		var wg sync.WaitGroup
+		for _, sh := range shards {
+			wg.Add(1)
+			go func(sh shard) {
+				defer wg.Done()
+				pullRange(g, frontier, dirty, sh.lo, sh.hi)
+			}(sh)
+		}
+		wg.Wait()
+		return
+	}
+	pullRange(g, frontier, dirty, 0, n)
+}
+
+// pullRange marks v ∈ [lo, hi) dirty if v changed or any neighbor v observes
+// changed. Writes stay inside [lo, hi)'s bitset words (shards word-aligned).
+func pullRange(g *graph.CSR, frontier, dirty bitset, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		if dirty.get(v) {
+			frontier.set(v)
+			continue
+		}
+		for _, w := range g.Neighbors(v) {
+			if dirty.get(int(w)) {
+				frontier.set(v)
+				break
+			}
+		}
+	}
+}
+
+// checkFrontierIDs validates checkpointed node lists against the run size.
+func checkFrontierIDs(ids []int, n int, field string) error {
+	for _, v := range ids {
+		if v < 0 || v >= n {
+			return fmt.Errorf("runtime: resume checkpoint %s contains node %d (n=%d)", field, v, n)
+		}
+	}
+	return nil
+}
+
+// runDelta is the clean-path delta kernel: bit-identical states and history
+// to RunCSR's full sweep, with per-round work proportional to the frontier.
+func runDelta[S any](
+	g *graph.CSR,
+	init func(v int) S,
+	step func(v int, self S, neighbors []S) (S, bool),
+	cfg config,
+	workers int,
+) ([]S, Stats, error) {
+	n := g.N()
+	sink, resume, err := checkpointPlumbing[S](&cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	cur := make([]S, n)
+	for v := 0; v < n; v++ {
+		cur[v] = init(v)
+	}
+	next := make([]S, n)
+	msgsPerRound := g.M()
+	if !g.Directed() {
+		msgsPerRound *= 2
+	}
+
+	frontier := newBitset(n)
+	changed := newBitset(n)
+
+	var st Stats
+	startRound := 0
+	roundMsgs := msgsPerRound // round 1: every node broadcasts its init state
+	if resume != nil {
+		if err := validateResume(resume, n, false, true); err != nil {
+			return nil, Stats{}, err
+		}
+		copy(cur, resume.States)
+		st = snapshotStats(resume.Stats)
+		startRound = resume.Round
+	}
+	if resume != nil && startRound > 0 {
+		if err := checkFrontierIDs(resume.Changed, n, "Changed"); err != nil {
+			return nil, Stats{}, err
+		}
+		if err := checkFrontierIDs(resume.Frontier, n, "Frontier"); err != nil {
+			return nil, Stats{}, err
+		}
+		roundMsgs = 0
+		for _, v := range resume.Changed {
+			roundMsgs += g.InDegree(v)
+		}
+		for _, v := range resume.Frontier {
+			frontier.set(v)
+		}
+	} else {
+		frontier.setAll(n)
+	}
+
+	shards := deltaShards(n, workers)
+	states := make([]deltaWorkerState[S], len(shards))
+	for i := range states {
+		states[i].scratch = make([]S, 0, 16)
+	}
+
+	for r := startRound; r < cfg.maxRounds; r++ {
+		if cerr := cfg.cancelled(); cerr != nil {
+			return cur, st, cerr
+		}
+		begin := time.Now()
+		if len(shards) > 1 {
+			var wg sync.WaitGroup
+			for i, sh := range shards {
+				wg.Add(1)
+				go func(i int, sh shard) {
+					defer wg.Done()
+					deltaStepRange(g, cur, next, step, frontier, changed, sh.lo, sh.hi, &states[i])
+				}(i, sh)
+			}
+			wg.Wait()
+		} else {
+			deltaStepRange(g, cur, next, step, frontier, changed, 0, n, &states[0])
+		}
+		for i := range states {
+			if states[i].err != nil {
+				return cur, st, states[i].err
+			}
+		}
+		// Commit after the barrier: workers own disjoint node ranges, so
+		// parallel commit is race-free and order-independent.
+		if len(shards) > 1 {
+			var wg sync.WaitGroup
+			for i := range states {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					for _, v := range states[i].ids {
+						cur[v] = next[v]
+					}
+				}(i)
+			}
+			wg.Wait()
+		} else {
+			for _, v := range states[0].ids {
+				cur[v] = next[v]
+			}
+		}
+		changedTotal := 0
+		for i := range states {
+			changedTotal += states[i].changed
+		}
+		st.Rounds++
+		st.Messages += roundMsgs
+		rs := RoundStats{Round: st.Rounds, Changed: changedTotal, Messages: roundMsgs, Elapsed: time.Since(begin)}
+		st.History = append(st.History, rs)
+
+		// Next round's frontier and message bill both derive from this
+		// round's changed set.
+		pushCost := frontierMessages(g, changed)
+		rebuildFrontier(g, frontier, changed, pushCost, n, shards)
+		roundMsgs = pushCost
+
+		if sink != nil && st.Rounds%cfg.ckptEvery == 0 {
+			sink(Checkpoint[S]{
+				Round:    st.Rounds,
+				States:   snapshotStates(cur),
+				Stats:    snapshotStats(st),
+				Delta:    true,
+				Changed:  changed.appendBits(nil),
+				Frontier: frontier.appendBits(nil),
+			})
+		}
+		changed.reset()
+		if cfg.observer != nil {
+			if oerr := observe(cfg.observer, rs); oerr != nil {
+				return cur, st, oerr
+			}
+		}
+		if changedTotal == 0 {
+			st.Stable = true
+			return cur, st, nil
+		}
+	}
+	st.Stable = false
+	return cur, st, nil
+}
+
+// deltaStepRange steps the frontier nodes of [lo, hi) against cur, writing
+// results into next (keyed by node, committed after the barrier) and
+// recording stepped nodes in the worker's commit list. Shards are
+// word-aligned, so changedBits writes stay within the worker's words.
+func deltaStepRange[S any](
+	g *graph.CSR,
+	cur, next []S,
+	step func(v int, self S, neighbors []S) (S, bool),
+	frontier, changedBits bitset,
+	lo, hi int,
+	ws *deltaWorkerState[S],
+) {
+	ws.ids = ws.ids[:0]
+	ws.changed = 0
+	ws.err = nil
+	buf := ws.scratch[:0]
+	v := lo
+	defer func() {
+		ws.scratch = buf
+		if rec := recover(); rec != nil {
+			ws.err = fmt.Errorf("runtime: step panicked at node %d: %v", v, rec)
+		}
+	}()
+	if lo >= hi {
+		return
+	}
+	for wi := lo >> 6; wi <= (hi-1)>>6; wi++ {
+		word := frontier[wi]
+		if word == 0 {
+			continue
+		}
+		base := wi << 6
+		for word != 0 {
+			v = base + bits.TrailingZeros64(word)
+			word &= word - 1
+			buf = buf[:0]
+			for _, w := range g.Neighbors(v) {
+				buf = append(buf, cur[w])
+			}
+			s, ch := step(v, cur[v], buf)
+			next[v] = s
+			ws.ids = append(ws.ids, int32(v))
+			if ch {
+				changedBits.set(v)
+				ws.changed++
+			}
+		}
+	}
+}
+
+// runDeltaPerturbed is the fault-injected delta kernel. On top of the clean
+// frontier rule it tracks, per directed link, whether a delivery was
+// suppressed (drop, sender silence, or receiver inactivity) and must be
+// retried: pending links keep their receiver in the frontier until the
+// delivery lands, which is exactly when the full kernel's view buffer would
+// first be refreshed — so the two kernels step every node with identical
+// views, rounds and change counts.
+func runDeltaPerturbed[S any](
+	g *graph.CSR,
+	init func(v int) S,
+	step func(v int, self S, neighbors []S) (S, bool),
+	cfg config,
+	workers int,
+) ([]S, Stats, error) {
+	n := g.N()
+	sink, resume, err := checkpointPlumbing[S](&cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	cur := make([]S, n)
+	for v := 0; v < n; v++ {
+		cur[v] = init(v)
+	}
+	next := make([]S, n)
+	frontier := newBitset(n)
+	senders := newBitset(n)
+	changed := newBitset(n)
+	pc := make([]int32, n) // per-node count of set pending bits
+	var seen [][]S
+	var pending [][]bool
+
+	var st Stats
+	startRound := 0
+	if resume != nil {
+		if err := validateResume(resume, n, true, true); err != nil {
+			return nil, Stats{}, err
+		}
+		// Fast-forward the perturber exactly like the full perturbed path:
+		// replaying BeforeRound restores its RNG position, churned live
+		// graph, and crash/skew timers.
+		for r := 1; r <= resume.Round; r++ {
+			p := cfg.perturber.BeforeRound(r, g)
+			if p.Topology != nil {
+				if p.Topology.N() != n {
+					return nil, Stats{}, errors.New("runtime: perturbed topology changed the node count")
+				}
+				g = p.Topology
+			}
+		}
+		copy(cur, resume.States)
+		seen = snapshotSeen(resume.Seen)
+		st = snapshotStats(resume.Stats)
+		startRound = resume.Round
+		if startRound > 0 {
+			if resume.Pending == nil {
+				return nil, Stats{}, errors.New("runtime: resume into a perturbed delta run needs a checkpoint with Pending link state")
+			}
+			if len(resume.Pending) != n {
+				return nil, Stats{}, fmt.Errorf("runtime: resume checkpoint has %d pending rows for %d nodes", len(resume.Pending), n)
+			}
+			pending = snapshotPending(resume.Pending)
+			for v := 0; v < n; v++ {
+				if len(pending[v]) != len(g.Neighbors(v)) {
+					return nil, Stats{}, fmt.Errorf("runtime: resume checkpoint pending row %d has %d links, topology has %d",
+						v, len(pending[v]), len(g.Neighbors(v)))
+				}
+				cnt := int32(0)
+				for _, b := range pending[v] {
+					if b {
+						cnt++
+					}
+				}
+				pc[v] = cnt
+			}
+			if err := checkFrontierIDs(resume.Changed, n, "Changed"); err != nil {
+				return nil, Stats{}, err
+			}
+			if err := checkFrontierIDs(resume.Frontier, n, "Frontier"); err != nil {
+				return nil, Stats{}, err
+			}
+			for _, v := range resume.Changed {
+				senders.set(v)
+			}
+			for _, v := range resume.Frontier {
+				frontier.set(v)
+			}
+		}
+	}
+	if seen == nil {
+		seen = buildSeen(g, cur)
+	}
+	if pending == nil {
+		pending = make([][]bool, n)
+		for v := 0; v < n; v++ {
+			pending[v] = make([]bool, len(g.Neighbors(v)))
+		}
+		// Round 1: every node broadcasts its init state to every observer.
+		frontier.setAll(n)
+		senders.setAll(n)
+	}
+
+	shards := deltaShards(n, workers)
+	states := make([]deltaWorkerState[S], len(shards))
+	for i := range states {
+		states[i].scratch = make([]S, 0, 16)
+	}
+
+	for r := startRound; r < cfg.maxRounds; r++ {
+		if cerr := cfg.cancelled(); cerr != nil {
+			return cur, st, cerr
+		}
+		round := r + 1
+		p := cfg.perturber.BeforeRound(round, g)
+		handshakes := 0
+		if p.Topology != nil {
+			if p.Topology.N() != n {
+				return cur, st, errors.New("runtime: perturbed topology changed the node count")
+			}
+			seen = remapSeen(g, p.Topology, seen, cur)
+			pending, handshakes = remapPending(g, p.Topology, pending, pc, frontier)
+			g = p.Topology
+		}
+		if p.Restart != nil {
+			for v, rs := range p.Restart {
+				if !rs {
+					continue
+				}
+				// The rejoining node broadcasts its reset state this round
+				// and re-steps; its observers must re-step with the fresh
+				// view, exactly as the full kernel delivers it.
+				cur[v] = init(v)
+				senders.set(v)
+				frontier.set(v)
+				for _, w := range g.InNeighbors(v) {
+					frontier.set(int(w))
+				}
+			}
+		}
+		begin := time.Now()
+		if len(shards) > 1 {
+			var wg sync.WaitGroup
+			for i, sh := range shards {
+				wg.Add(1)
+				go func(i int, sh shard) {
+					defer wg.Done()
+					deltaStepRangePerturbed(g, cur, next, seen, pending, pc, step, frontier, senders, changed, &p, sh.lo, sh.hi, &states[i])
+				}(i, sh)
+			}
+			wg.Wait()
+		} else {
+			deltaStepRangePerturbed(g, cur, next, seen, pending, pc, step, frontier, senders, changed, &p, 0, n, &states[0])
+		}
+		for i := range states {
+			if states[i].err != nil {
+				return cur, st, states[i].err
+			}
+		}
+		if len(shards) > 1 {
+			var wg sync.WaitGroup
+			for i := range states {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					for _, v := range states[i].ids {
+						cur[v] = next[v]
+					}
+				}(i)
+			}
+			wg.Wait()
+		} else {
+			for _, v := range states[0].ids {
+				cur[v] = next[v]
+			}
+		}
+		changedTotal, delivered := 0, handshakes
+		for i := range states {
+			changedTotal += states[i].changed
+			delivered += states[i].delivered
+		}
+		st.Rounds++
+		st.Messages += delivered
+		rs := RoundStats{Round: st.Rounds, Changed: changedTotal, Messages: delivered, Elapsed: time.Since(begin)}
+		st.History = append(st.History, rs)
+
+		// This round's changed set becomes next round's sender set; the
+		// frontier is its readers plus every carried node (pending retries
+		// and deferred inactive steps).
+		senders, changed = changed, senders
+		changed.reset()
+		pushCost := frontierMessages(g, senders)
+		rebuildFrontier(g, frontier, senders, pushCost, n, shards)
+		for i := range states {
+			for _, v := range states[i].carry {
+				frontier.set(int(v))
+			}
+			states[i].carry = states[i].carry[:0]
+		}
+
+		if sink != nil && st.Rounds%cfg.ckptEvery == 0 {
+			sink(Checkpoint[S]{
+				Round:    st.Rounds,
+				States:   snapshotStates(cur),
+				Seen:     snapshotSeen(seen),
+				Stats:    snapshotStats(st),
+				Delta:    true,
+				Changed:  senders.appendBits(nil),
+				Frontier: frontier.appendBits(nil),
+				Pending:  snapshotPending(pending),
+			})
+		}
+		if cfg.observer != nil {
+			if oerr := observe(cfg.observer, rs); oerr != nil {
+				return cur, st, oerr
+			}
+		}
+		if changedTotal == 0 && !cfg.perturber.Active(round+1) {
+			st.Stable = true
+			return cur, st, nil
+		}
+	}
+	st.Stable = false
+	return cur, st, nil
+}
+
+// deltaStepRangePerturbed processes the frontier nodes of [lo, hi) under the
+// round's perturbation. For each frontier node it attempts delivery on every
+// link that is pending or whose sender changed: successes refresh the view
+// buffer and clear the pending bit, suppressions set it. An inactive node
+// defers its step entirely (and absorbs attempted deliveries as pending), so
+// nothing is lost while it is down. Nodes left with pending links — or
+// deferred — go on the carry list, keeping them in the next frontier.
+func deltaStepRangePerturbed[S any](
+	g *graph.CSR,
+	cur, next []S,
+	seen [][]S,
+	pending [][]bool,
+	pc []int32,
+	step func(v int, self S, neighbors []S) (S, bool),
+	frontier, senders, changedBits bitset,
+	p *Perturbation,
+	lo, hi int,
+	ws *deltaWorkerState[S],
+) {
+	ws.ids = ws.ids[:0]
+	ws.changed = 0
+	ws.delivered = 0
+	ws.err = nil
+	v := lo
+	defer func() {
+		if rec := recover(); rec != nil {
+			ws.err = fmt.Errorf("runtime: step panicked at node %d: %v", v, rec)
+		}
+	}()
+	if lo >= hi {
+		return
+	}
+	for wi := lo >> 6; wi <= (hi-1)>>6; wi++ {
+		word := frontier[wi]
+		if word == 0 {
+			continue
+		}
+		base := wi << 6
+		for word != 0 {
+			v = base + bits.TrailingZeros64(word)
+			word &= word - 1
+			if p.Inactive != nil && p.Inactive[v] {
+				// The node receives nothing and does not step; record the
+				// attempts so they are retried, and defer the step itself.
+				pv := pending[v]
+				for i, w := range g.Neighbors(v) {
+					if !pv[i] && senders.get(int(w)) {
+						pv[i] = true
+						pc[v]++
+					}
+				}
+				ws.carry = append(ws.carry, int32(v))
+				continue
+			}
+			sv := seen[v]
+			pv := pending[v]
+			for i, w := range g.Neighbors(v) {
+				if !pv[i] && !senders.get(int(w)) {
+					continue
+				}
+				if (p.Silence != nil && p.Silence[w]) || (p.Drop != nil && p.Drop(int(w), v)) {
+					if !pv[i] {
+						pv[i] = true
+						pc[v]++
+					}
+					continue
+				}
+				sv[i] = cur[w]
+				if pv[i] {
+					pv[i] = false
+					pc[v]--
+				}
+				ws.delivered++
+			}
+			s, ch := step(v, cur[v], sv)
+			next[v] = s
+			ws.ids = append(ws.ids, int32(v))
+			if ch {
+				changedBits.set(v)
+				ws.changed++
+			}
+			if pc[v] > 0 {
+				ws.carry = append(ws.carry, int32(v))
+			}
+		}
+	}
+}
+
+// remapPending rebuilds the per-link pending bits after edge churn,
+// mirroring remapSeen's carry rule: surviving links keep their retry state,
+// new links are satisfied by the edge-creation handshake (remapSeen already
+// wrote the neighbor's current state into the view), removed links drop
+// their retries with the link. Any node whose observed row changed — length,
+// membership, or order — is marked dirty in the current round's frontier: a
+// rewritten row changes the step's input vector even if no state moved.
+// Returns the new pending rows and the number of handshake deliveries.
+func remapPending(old, fresh *graph.CSR, pending [][]bool, pc []int32, frontier bitset) ([][]bool, int) {
+	n := fresh.N()
+	out := make([][]bool, n)
+	handshakes := 0
+	for v := 0; v < n; v++ {
+		oldRow := old.Neighbors(v)
+		newRow := fresh.Neighbors(v)
+		pv := make([]bool, len(newRow))
+		cnt := int32(0)
+		for i, w := range newRow {
+			carried := false
+			for j, ow := range oldRow {
+				if ow == w {
+					pv[i] = pending[v][j]
+					if pv[i] {
+						cnt++
+					}
+					carried = true
+					break
+				}
+			}
+			if !carried {
+				handshakes++
+			}
+		}
+		rowChanged := len(oldRow) != len(newRow)
+		if !rowChanged {
+			for i := range newRow {
+				if newRow[i] != oldRow[i] {
+					rowChanged = true
+					break
+				}
+			}
+		}
+		if rowChanged {
+			frontier.set(v)
+		}
+		out[v] = pv
+		pc[v] = cnt
+	}
+	return out, handshakes
+}

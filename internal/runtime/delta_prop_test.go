@@ -1,0 +1,195 @@
+// Package runtime_test holds the cross-engine delta-equivalence property
+// test: it lives outside package runtime so it can drive the real engines
+// (labeling, distvec, centrality, layering, hypercube) and sim.Schedule
+// churn through the public kernel API without an import cycle.
+package runtime_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"structura/internal/centrality"
+	"structura/internal/distvec"
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/hypercube"
+	"structura/internal/labeling"
+	"structura/internal/layering"
+	"structura/internal/runtime"
+	"structura/internal/sim"
+	"structura/internal/stats"
+)
+
+// engineRun executes one engine end to end and reduces its outcome to a
+// comparable fingerprint: final labels, round count, per-round changed
+// counts, and the error (engines surface budget exhaustion as ErrUnstable).
+type engineOutcome struct {
+	labels  string
+	rounds  int
+	history []int
+	err     string
+}
+
+func fingerprint(labels fmt.Stringer, st runtime.Stats, err error) engineOutcome {
+	out := engineOutcome{rounds: st.Rounds}
+	if labels != nil {
+		out.labels = labels.String()
+	}
+	for _, rs := range st.History {
+		out.history = append(out.history, rs.Changed)
+	}
+	if err != nil {
+		out.err = err.Error()
+	}
+	return out
+}
+
+type intLabels []int
+
+func (l intLabels) String() string { return fmt.Sprint([]int(l)) }
+
+type floatLabels []float64
+
+func (l floatLabels) String() string {
+	// Exact bit pattern: delta equivalence is bit-identity, not tolerance.
+	out := make([]uint64, len(l))
+	for i, f := range l {
+		out[i] = math.Float64bits(f)
+	}
+	return fmt.Sprint(out)
+}
+
+func colorLabels(c []labeling.Color) intLabels {
+	out := make(intLabels, len(c))
+	for i, v := range c {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// engines enumerates the five engines as closures over shared inputs. Each
+// closure runs its engine with the given kernel options and returns the
+// outcome fingerprint.
+func engines(g *graph.Graph, prio labeling.Priority) map[string]func(opts ...runtime.Option) engineOutcome {
+	return map[string]func(opts ...runtime.Option) engineOutcome{
+		"labeling/mis": func(opts ...runtime.Option) engineOutcome {
+			res, err := labeling.DistributedMIS(g, prio, opts...)
+			if err != nil && !errors.Is(err, labeling.ErrUnstable) {
+				return engineOutcome{err: err.Error()}
+			}
+			return fingerprint(colorLabels(res.Colors), runtime.Stats{Rounds: res.Rounds}, err)
+		},
+		"distvec": func(opts ...runtime.Option) engineOutcome {
+			tbl, err := distvec.Compute(g, 0, 4*g.N(), opts...)
+			if err != nil && !errors.Is(err, distvec.ErrUnstable) {
+				return engineOutcome{err: err.Error()}
+			}
+			labels := make(intLabels, 0, 2*g.N())
+			for v := range tbl.Dist {
+				d := tbl.Dist[v]
+				if math.IsInf(d, 1) {
+					d = -1
+				}
+				labels = append(labels, int(d*1e6), tbl.NextHop[v])
+			}
+			return fingerprint(labels, runtime.Stats{Rounds: tbl.Rounds}, err)
+		},
+		"centrality/pagerank": func(opts ...runtime.Option) engineOutcome {
+			res, err := centrality.DistributedPageRank(g, 0.85, 300, 1e-10, opts...)
+			if err != nil {
+				return engineOutcome{err: err.Error()}
+			}
+			return fingerprint(floatLabels(res.Scores), res.Stats, nil)
+		},
+		"layering": func(opts ...runtime.Option) engineOutcome {
+			res, err := layering.DistributedNestedLevels(g, opts...)
+			if err != nil {
+				return engineOutcome{err: err.Error()}
+			}
+			return fingerprint(intLabels(res.Levels), res.Stats, nil)
+		},
+	}
+}
+
+func outcomesEqual(a, b engineOutcome) bool {
+	if a.labels != b.labels || a.rounds != b.rounds || a.err != b.err || len(a.history) != len(b.history) {
+		return false
+	}
+	for i := range a.history {
+		if a.history[i] != b.history[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDeltaEngineEquivalence: for every engine, worker count, and churn
+// seed, WithDelta must reproduce the full kernel bit for bit — labels,
+// rounds, per-round changed counts, and even the failure mode.
+func TestDeltaEngineEquivalence(t *testing.T) {
+	g := gen.SparseErdosRenyi(stats.NewRand(42), 160, 0.03)
+	prio := labeling.PriorityByID(g.N())
+
+	schedules := map[string]*sim.Schedule{
+		"clean": nil,
+		"churn": {Horizon: 8, ChurnAdd: 2, ChurnRemove: 2, MsgLoss: 0.05},
+		"chaos": {Horizon: 10, ChurnAdd: 1, ChurnRemove: 1, MsgLoss: 0.08,
+			CrashProb: 0.01, Downtime: 2, SkewProb: 0.03, MaxSkew: 2},
+	}
+	for engName, run := range engines(g, prio) {
+		for schedName, sch := range schedules {
+			for _, seed := range []uint64{1, 7} {
+				for _, workers := range []int{1, 4} {
+					name := fmt.Sprintf("%s/%s/seed%d/w%d", engName, schedName, seed, workers)
+					opts := func(delta bool) []runtime.Option {
+						out := []runtime.Option{runtime.WithParallelism(workers)}
+						if sch != nil {
+							// Perturbers are single-run; identical (seed,
+							// schedule) pairs replay identical fault
+							// timelines for the two kernels.
+							out = append(out, runtime.WithPerturber(sim.NewPerturber(g, seed, *sch)))
+						}
+						if delta {
+							out = append(out, runtime.WithDelta())
+						}
+						return out
+					}
+					full := run(opts(false)...)
+					delta := run(opts(true)...)
+					if !outcomesEqual(full, delta) {
+						t.Errorf("%s diverged:\n full: rounds=%d err=%q history=%v\ndelta: rounds=%d err=%q history=%v\nlabels equal: %v",
+							name, full.rounds, full.err, full.history,
+							delta.rounds, delta.err, delta.history, full.labels == delta.labels)
+					}
+				}
+				if sch == nil {
+					break // seeds only matter under a schedule
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaHypercubeEquivalence runs the fifth engine, whose topology and
+// init differ structurally (faulty nodes, dim-regular graph).
+func TestDeltaHypercubeEquivalence(t *testing.T) {
+	cube, err := hypercube.New(6, []int{3, 17, 40, 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		res, st, err := cube.SafetyLevelsDistributed(runtime.WithParallelism(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dres, dst, err := cube.SafetyLevelsDistributed(runtime.WithParallelism(workers), runtime.WithDelta())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !outcomesEqual(fingerprint(intLabels(res.Levels), st, nil), fingerprint(intLabels(dres.Levels), dst, nil)) {
+			t.Fatalf("w%d: hypercube safety levels diverged under delta", workers)
+		}
+	}
+}

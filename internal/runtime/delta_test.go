@@ -1,0 +1,327 @@
+package runtime
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/stats"
+)
+
+// assertDeltaEquivalence runs the same process with and without WithDelta
+// and requires bit-identical final states, round counts, stability verdicts,
+// and per-round Changed counts. Messages intentionally differ between the
+// kernels (the delta kernel bills actual sends), so they are not compared
+// here; dedicated tests pin the delta accounting below.
+func assertDeltaEquivalence[S comparable](
+	t *testing.T, name string,
+	g *graph.CSR,
+	init func(v int) S,
+	step func(v int, self S, nbrs []S) (S, bool),
+	opts ...Option,
+) {
+	t.Helper()
+	want, wantStats, err := RunCSR(g, init, step, opts...)
+	if err != nil {
+		t.Fatalf("%s full: %v", name, err)
+	}
+	got, gotStats, err := RunCSR(g, init, step, append([]Option{WithDelta()}, opts...)...)
+	if err != nil {
+		t.Fatalf("%s delta: %v", name, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: state lengths differ: %d vs %d", name, len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("%s: state of node %d differs: delta %v, full %v", name, v, got[v], want[v])
+		}
+	}
+	if gotStats.Rounds != wantStats.Rounds || gotStats.Stable != wantStats.Stable {
+		t.Fatalf("%s: rounds/stable differ: delta (%d,%v), full (%d,%v)",
+			name, gotStats.Rounds, gotStats.Stable, wantStats.Rounds, wantStats.Stable)
+	}
+	if len(gotStats.History) != len(wantStats.History) {
+		t.Fatalf("%s: history lengths differ: %d vs %d", name, len(gotStats.History), len(wantStats.History))
+	}
+	for i := range wantStats.History {
+		if gotStats.History[i].Changed != wantStats.History[i].Changed {
+			t.Fatalf("%s: round %d changed count differs: delta %d, full %d",
+				name, i+1, gotStats.History[i].Changed, wantStats.History[i].Changed)
+		}
+		if gotStats.History[i].Round != wantStats.History[i].Round {
+			t.Fatalf("%s: round index differs at %d", name, i)
+		}
+	}
+}
+
+func TestDeltaMatchesFullClean(t *testing.T) {
+	g := gen.SparseErdosRenyi(stats.NewRand(11), 300, 0.02).Freeze()
+	for _, w := range []int{1, 2, 4} {
+		assertDeltaEquivalence(t, "hop", g, hopInit, hopStep, WithParallelism(w))
+	}
+}
+
+func TestDeltaMatchesFullDirected(t *testing.T) {
+	// Directed cycle with chords: the push direction must use the reverse
+	// CSR (readers of u), which only directed graphs materialize separately.
+	n := 200
+	g := graph.NewDirected(n)
+	for v := 0; v < n; v++ {
+		if err := g.AddEdge(v, (v+1)%n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := 0; v < n; v += 7 {
+		if err := g.AddEdge(v, (v+n/2)%n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := g.Freeze()
+	for _, w := range []int{1, 3} {
+		assertDeltaEquivalence(t, "directed-hop", c, hopInit, hopStep, WithParallelism(w))
+	}
+}
+
+func TestDeltaMatchesFullPerturbed(t *testing.T) {
+	g, alt := testGraphPair(t)
+	for _, w := range []int{1, 2, 4} {
+		// Fresh perturbers per run: they are single-use, but fully
+		// deterministic, so both kernels see the same fault timeline.
+		want, wantStats, err := RunCSR(g, hopInit, hopStep,
+			WithMaxRounds(12), WithParallelism(w), WithPerturber(&churnPerturber{alt: alt}))
+		if err != nil {
+			t.Fatalf("full w%d: %v", w, err)
+		}
+		got, gotStats, err := RunCSR(g, hopInit, hopStep,
+			WithMaxRounds(12), WithParallelism(w), WithPerturber(&churnPerturber{alt: alt}), WithDelta())
+		if err != nil {
+			t.Fatalf("delta w%d: %v", w, err)
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("w%d: node %d differs: delta %v, full %v", w, v, got[v], want[v])
+			}
+		}
+		if gotStats.Rounds != wantStats.Rounds || gotStats.Stable != wantStats.Stable {
+			t.Fatalf("w%d: rounds/stable differ: delta (%d,%v), full (%d,%v)",
+				w, gotStats.Rounds, gotStats.Stable, wantStats.Rounds, wantStats.Stable)
+		}
+		for i := range wantStats.History {
+			if gotStats.History[i].Changed != wantStats.History[i].Changed {
+				t.Fatalf("w%d round %d: changed differs: delta %d, full %d",
+					w, i+1, gotStats.History[i].Changed, wantStats.History[i].Changed)
+			}
+		}
+	}
+}
+
+// quietPerturber injects nothing but keeps the run open through a window —
+// the regime where the full kernel still bills a whole sweep per round while
+// the delta kernel's frontier is empty.
+type quietPerturber struct{ until int }
+
+func (p *quietPerturber) BeforeRound(round int, g *graph.CSR) Perturbation { return Perturbation{} }
+func (p *quietPerturber) Active(round int) bool                            { return round <= p.until }
+
+// TestDeltaEmptyFrontierZeroMessages pins the accounting bugfix: a round in
+// which nothing is dirty must report 0 messages, not an O(n)-scan's worth,
+// and the clean and perturbed delta paths must agree round-by-round while no
+// fault fires.
+func TestDeltaEmptyFrontierZeroMessages(t *testing.T) {
+	g := gen.SparseErdosRenyi(stats.NewRand(3), 120, 0.05).Freeze()
+	clean, cleanStats, err := RunCSR(g, hopInit, hopStep, WithDelta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 15
+	pert, pertStats, err := RunCSR(g, hopInit, hopStep,
+		WithDelta(), WithPerturber(&quietPerturber{until: window}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range clean {
+		if pert[v] != clean[v] {
+			t.Fatalf("node %d: perturbed %v, clean %v", v, pert[v], clean[v])
+		}
+	}
+	if pertStats.Rounds <= cleanStats.Rounds {
+		t.Fatalf("window did not extend the run: %d vs %d rounds", pertStats.Rounds, cleanStats.Rounds)
+	}
+	// While both runs are converging, the two delta paths bill identically:
+	// a fault-free perturbed round delivers exactly the messages the clean
+	// path charges.
+	for i := range cleanStats.History {
+		c, p := cleanStats.History[i], pertStats.History[i]
+		if c.Changed != p.Changed || c.Messages != p.Messages {
+			t.Fatalf("round %d: clean (changed=%d msgs=%d), perturbed (changed=%d msgs=%d)",
+				i+1, c.Changed, c.Messages, p.Changed, p.Messages)
+		}
+	}
+	// Past quiescence the frontier is empty: zero messages, zero changes.
+	for i := cleanStats.Rounds; i < pertStats.Rounds; i++ {
+		rs := pertStats.History[i]
+		if rs.Changed != 0 || rs.Messages != 0 {
+			t.Fatalf("empty-frontier round %d billed changed=%d msgs=%d, want 0/0",
+				rs.Round, rs.Changed, rs.Messages)
+		}
+	}
+	if !pertStats.Stable {
+		t.Fatal("perturbed delta run did not stabilize")
+	}
+}
+
+// TestDeltaFirstRoundMessageParity: round 1 is a full broadcast, so the delta
+// kernel's bill must equal the full kernel's per-round charge (2M undirected,
+// M directed).
+func TestDeltaFirstRoundMessageParity(t *testing.T) {
+	und := gen.SparseErdosRenyi(stats.NewRand(5), 64, 0.1).Freeze()
+	_, undStats, err := RunCSR(und, hopInit, hopStep, WithDelta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := undStats.History[0].Messages, 2*und.M(); got != want {
+		t.Fatalf("undirected round 1: %d messages, want %d", got, want)
+	}
+	dir := graph.NewDirected(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 2}} {
+		if err := dir.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dc := dir.Freeze()
+	_, dirStats, err := RunCSR(dc, hopInit, hopStep, WithDelta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dirStats.History[0].Messages, dc.M(); got != want {
+		t.Fatalf("directed round 1: %d messages, want %d", got, want)
+	}
+}
+
+// TestDeltaCheckpointResume: a delta run resumed from a mid-run checkpoint
+// must replay the uninterrupted delta run exactly — states, rounds, changed
+// counts and message bills — on the clean and perturbed paths, including
+// with a different worker count on the resume leg.
+func TestDeltaCheckpointResume(t *testing.T) {
+	g, alt := testGraphPair(t)
+	for _, perturbed := range []bool{false, true} {
+		name := map[bool]string{false: "clean", true: "perturbed"}[perturbed]
+		opts := func(extra ...Option) []Option {
+			out := []Option{WithMaxRounds(12), WithDelta()}
+			if perturbed {
+				out = append(out, WithPerturber(&churnPerturber{alt: alt}))
+			}
+			return append(out, extra...)
+		}
+		want, wantStats, err := RunCSR(g, hopInit, hopStep, opts(WithParallelism(2))...)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", name, err)
+		}
+		var cps []Checkpoint[int]
+		_, _, err = RunCSR(g, hopInit, hopStep,
+			opts(WithParallelism(2), WithCheckpoints(1, func(cp Checkpoint[int]) { cps = append(cps, cp) }))...)
+		if err != nil {
+			t.Fatalf("%s checkpointing run: %v", name, err)
+		}
+		if len(cps) < 3 {
+			t.Fatalf("%s: expected several checkpoints, got %d", name, len(cps))
+		}
+		// Resume only from mid-run checkpoints: resuming from the final
+		// (stable) round re-probes stability with one extra quiet round in
+		// both kernels, which is correct but not history-identical.
+		mid := cps[:len(cps)-1]
+		for _, cp := range []Checkpoint[int]{mid[0], mid[len(mid)/2], mid[len(mid)-1]} {
+			// Frontier state must survive serialization like the rest of
+			// the checkpoint.
+			raw, err := json.Marshal(cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp = Checkpoint[int]{}
+			if err := json.Unmarshal(raw, &cp); err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{1, 3} {
+				got, gotStats, err := RunCSR(g, hopInit, hopStep,
+					opts(WithParallelism(w), WithResume(cp))...)
+				if err != nil {
+					t.Fatalf("%s resume@%d w%d: %v", name, cp.Round, w, err)
+				}
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("%s resume@%d w%d: node %d differs: %v vs %v",
+							name, cp.Round, w, v, got[v], want[v])
+					}
+				}
+				if gotStats.Rounds != wantStats.Rounds || gotStats.Stable != wantStats.Stable {
+					t.Fatalf("%s resume@%d w%d: rounds/stable (%d,%v) vs (%d,%v)",
+						name, cp.Round, w, gotStats.Rounds, gotStats.Stable, wantStats.Rounds, wantStats.Stable)
+				}
+				gh, wh := stripElapsed(gotStats.History), stripElapsed(wantStats.History)
+				for i := range wh {
+					if gh[i] != wh[i] {
+						t.Fatalf("%s resume@%d w%d: history[%d] = %+v, want %+v",
+							name, cp.Round, w, i, gh[i], wh[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaResumeModeMismatch: frontier state does not cross kernel modes.
+func TestDeltaResumeModeMismatch(t *testing.T) {
+	g, _ := testGraphPair(t)
+	var full, delta []Checkpoint[int]
+	if _, _, err := RunCSR(g, hopInit, hopStep,
+		WithMaxRounds(6), WithCheckpoints(1, func(cp Checkpoint[int]) { full = append(full, cp) })); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunCSR(g, hopInit, hopStep, WithDelta(),
+		WithMaxRounds(6), WithCheckpoints(1, func(cp Checkpoint[int]) { delta = append(delta, cp) })); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunCSR(g, hopInit, hopStep, WithDelta(), WithResume(full[0])); err == nil ||
+		!strings.Contains(err.Error(), "WithDelta") {
+		t.Fatalf("resuming a full checkpoint into a delta run: got %v, want mode-mismatch error", err)
+	}
+	if _, _, err := RunCSR(g, hopInit, hopStep, WithResume(delta[0])); err == nil ||
+		!strings.Contains(err.Error(), "WithDelta") {
+		t.Fatalf("resuming a delta checkpoint into a full run: got %v, want mode-mismatch error", err)
+	}
+}
+
+// TestDeltaStepPanicReported mirrors the full kernel's panic contract.
+func TestDeltaStepPanicReported(t *testing.T) {
+	g := gen.Ring(128).Freeze()
+	boom := func(v int, self int, nbrs []int) (int, bool) {
+		if v == 77 {
+			panic("boom")
+		}
+		return hopStep(v, self, nbrs)
+	}
+	for _, w := range []int{1, 4} {
+		_, _, err := RunCSR(g, hopInit, boom, WithDelta(), WithParallelism(w))
+		if err == nil || !strings.Contains(err.Error(), "node 77") {
+			t.Fatalf("w%d: got %v, want panic error naming node 77", w, err)
+		}
+	}
+}
+
+// TestDeltaEdgeCaseGraphs: empty, single-node, and edgeless graphs behave
+// exactly like the full kernel.
+func TestDeltaEdgeCaseGraphs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"empty", graph.New(0)},
+		{"single", graph.New(1)},
+		{"isolated", graph.New(5)},
+	} {
+		assertDeltaEquivalence(t, tc.name, tc.g.Freeze(), hopInit, hopStep)
+	}
+}

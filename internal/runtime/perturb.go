@@ -92,7 +92,7 @@ func runPerturbed[S any](
 	var st Stats
 	startRound := 0
 	if resume != nil {
-		if err := validateResume(resume, n, true); err != nil {
+		if err := validateResume(resume, n, true, false); err != nil {
 			return nil, Stats{}, err
 		}
 		// Fast-forward the perturber through the already-executed rounds:

@@ -51,6 +51,7 @@ type config struct {
 	parallelism  int // 0 = auto (GOMAXPROCS, sequential below cutoff)
 	observer     RoundObserver
 	perturber    Perturber
+	delta        bool
 	ctx          context.Context
 	ckptEvery    int
 	ckptSink     any // func(Checkpoint[S]); asserted back in RunCSR
@@ -143,6 +144,12 @@ func RunCSR[S any](
 	if workers > n {
 		workers = n
 	}
+	if cfg.delta {
+		if cfg.perturber != nil {
+			return runDeltaPerturbed(g, init, step, cfg, workers)
+		}
+		return runDelta(g, init, step, cfg, workers)
+	}
 	if cfg.perturber != nil {
 		return runPerturbed(g, init, step, cfg, workers)
 	}
@@ -166,7 +173,7 @@ func RunCSR[S any](
 	var st Stats
 	startRound := 0
 	if resume != nil {
-		if err := validateResume(resume, n, false); err != nil {
+		if err := validateResume(resume, n, false, false); err != nil {
 			return nil, Stats{}, err
 		}
 		copy(cur, resume.States)
