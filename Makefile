@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-smoke fuzz-smoke heal-smoke async-smoke verify
+.PHONY: build test race bench bench-json bench-diff bench-smoke fuzz-smoke heal-smoke async-smoke partition-smoke verify
 
 build:
 	$(GO) build ./...
@@ -14,53 +14,70 @@ test:
 
 # The parallel kernel must stay race-clean: the sharded stepping in
 # internal/runtime (full-sweep and delta-frontier paths — the cross-engine
-# delta equivalence tests run sharded), the labeling schemes that drive it
-# hardest, the fault-injection harness plus the algorithm packages it
-# perturbs, the remaining engines that ride the delta frontier (centrality,
-# layering, hypercube), the self-healing supervision layer, and the
-# event-driven async executor with its pooled event-queue/arena hot path.
+# delta equivalence tests run sharded), the partitioned executor with its
+# two-phase ghost exchange, the labeling schemes that drive it hardest, the
+# fault-injection harness plus the algorithm packages it perturbs, the
+# remaining engines that ride the delta frontier (centrality, layering,
+# hypercube), the self-healing supervision layer, and the event-driven async
+# executor with its pooled event-queue/arena hot path.
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/labeling/... \
+	$(GO) test -race ./internal/runtime/... ./internal/partition/... \
+		./internal/labeling/... \
 		./internal/sim/... ./internal/reversal/... ./internal/distvec/... \
 		./internal/centrality/... ./internal/layering/... \
 		./internal/hypercube/... ./internal/heal/... ./internal/async/...
 
 # Sequential vs. sharded kernel on 100k-node ER and 20k-node UDG graphs,
 # the delta-frontier steady-state sweep on the same ER instance (full vs
-# delta round cost under scripted churn), plus the async executor priced on
-# one full quiescence. The async leg runs tens of seconds per op, so it
-# gets -benchtime 1x while the other legs average over 3.
+# delta round cost under scripted churn), the partitioned (edge-cut shard)
+# legs of both, plus the async executor priced on one full quiescence. The
+# async and 10M-node partitioned legs run tens of seconds per op, so they
+# get -benchtime 1x while the other legs average over 3.
 bench:
 	$(GO) test -run '^$$' -bench 'Kernel|Freeze' -benchtime 3x ./internal/runtime/bench
 	$(GO) test -run '^$$' -bench DeltaSteady -benchtime 3x ./internal/runtime/bench
+	$(GO) test -run '^$$' -bench 'Partitioned.*100k' -benchtime 3x ./internal/runtime/bench
 	$(GO) test -run '^$$' -bench Async -benchtime 1x ./internal/runtime/bench
+	$(GO) test -run '^$$' -bench PartitionedER10M -benchtime 1x -timeout 30m ./internal/runtime/bench
 
 # Machine-readable benchmark record: one history entry per invocation, each
 # mapping op -> ns/op, B/op, allocs/op (plus ReportMetric extras such as the
-# async retry overhead and the delta kernel's steady-ns/round). All legs
-# feed a single benchjson call so they land in the same history entry of
-# the committed BENCH_kernel.json.
+# async retry overhead, the delta kernel's steady-ns/round, and the
+# partitioned legs' bytes/round exchange traffic). All legs feed a single
+# benchjson call so they land in the same history entry of the committed
+# BENCH_kernel.json.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'Kernel|Freeze' -benchmem -benchtime 3x ./internal/runtime/bench ; \
 	  $(GO) test -run '^$$' -bench DeltaSteady -benchmem -benchtime 3x ./internal/runtime/bench ; \
-	  $(GO) test -run '^$$' -bench Async -benchmem -benchtime 1x ./internal/runtime/bench ; } \
+	  $(GO) test -run '^$$' -bench 'Partitioned.*100k' -benchmem -benchtime 3x ./internal/runtime/bench ; \
+	  $(GO) test -run '^$$' -bench Async -benchmem -benchtime 1x ./internal/runtime/bench ; \
+	  $(GO) test -run '^$$' -bench PartitionedER10M -benchmem -benchtime 1x -timeout 30m ./internal/runtime/bench ; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_kernel.json
+
+# Latest-vs-previous movement of the committed trajectory, per benchmark and
+# dimension — the first thing to read after a bench-json run.
+bench-diff:
+	$(GO) run ./cmd/benchjson -diff -o BENCH_kernel.json
 
 # One-iteration smoke run of the kernel benchmark battery through the JSON
 # pipeline: catches benchmark or parser rot without the full cost. The async
 # benchmark is excluded here — a single op is a full 100k-node quiescence —
-# and covered by async-smoke at CLI scale instead.
+# and covered by async-smoke at CLI scale instead; the 10M partitioned leg is
+# excluded for the same reason and smoke-covered by partition-smoke.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Kernel|Freeze' -benchmem -benchtime 1x ./internal/runtime/bench \
+	$(GO) test -run '^$$' -bench 'Kernel|Freeze|Partitioned.*100k' -benchmem -benchtime 1x ./internal/runtime/bench \
 		| $(GO) run ./cmd/benchjson -o /dev/null
 
-# Short native-fuzz pass over the serialization boundaries and the async
-# delivery pipeline's FIFO-per-link ordering. 10s per target keeps the gate
-# cheap; longer campaigns run the same targets by hand.
+# Short native-fuzz pass over the serialization boundaries, the async
+# delivery pipeline's FIFO-per-link ordering, and the edge-cut partitioner
+# (structural invariants plus sharded==unsharded behavior on arbitrary
+# graphs). 10s per target keeps the gate cheap; longer campaigns run the
+# same targets by hand.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzFreezeRoundTrip -fuzztime 10s ./internal/graph/
 	$(GO) test -run '^$$' -fuzz FuzzEGJSONRoundTrip -fuzztime 10s ./internal/temporal/
 	$(GO) test -run '^$$' -fuzz FuzzLinkFIFO -fuzztime 10s ./internal/async/
+	$(GO) test -run '^$$' -fuzz FuzzPartition -fuzztime 10s ./internal/partition/
 
 # Supervised MIS must survive 200 rounds of add/remove churn with zero
 # standing violations; the heal subcommand exits nonzero otherwise.
@@ -76,4 +93,12 @@ async-smoke:
 		-churn-add 1 -churn-remove 1 -churn-every 2 -horizon 8
 	$(GO) run ./cmd/structura async -scenario mis -seeds 1..4 -loss 0.2 -horizon 6
 
-verify: build test race bench-smoke fuzz-smoke heal-smoke async-smoke
+# The sharded kernel must reproduce the unsharded results exactly on a small
+# graph, for both boundary strategies and both kernel modes; the partition
+# subcommand exits nonzero on any divergence.
+partition-smoke:
+	$(GO) run ./cmd/structura partition -nodes 20000 -shards 4 -check
+	$(GO) run ./cmd/structura partition -nodes 20000 -shards 8 \
+		-strategy degree-balanced -delta -check
+
+verify: build test race bench-smoke fuzz-smoke heal-smoke async-smoke partition-smoke

@@ -11,6 +11,12 @@
 // With no -o the run is written to stdout as a one-entry history.
 // Non-benchmark lines are ignored, so the full `go test` output can be
 // piped in unfiltered.
+//
+// -diff reads an existing trajectory instead of stdin and prints the
+// latest-vs-previous deltas per benchmark (ns/op, B/op, allocs/op, and every
+// custom metric), flagging benchmarks that appeared or disappeared:
+//
+//	benchjson -diff -o BENCH_kernel.json
 package main
 
 import (
@@ -166,11 +172,95 @@ func loadHistory(path string) []Entry {
 func main() {
 	out := flag.String("o", "", "output file to append to (default: print a one-entry history to stdout)")
 	label := flag.String("label", "", "optional label recorded on this history entry")
+	diffMode := flag.Bool("diff", false, "print latest-vs-previous deltas from the -o trajectory instead of reading stdin")
 	flag.Parse()
-	if err := run(os.Stdin, *out, *label, time.Now); err != nil {
+	var err error
+	if *diffMode {
+		err = diff(os.Stdout, *out)
+	} else {
+		err = run(os.Stdin, *out, *label, time.Now)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// diff prints how every benchmark moved between the last two entries of the
+// trajectory at path: each measured dimension as "old -> new (±pct)", plus
+// benchmarks present in only one of the two runs.
+func diff(w io.Writer, path string) error {
+	if path == "" {
+		return fmt.Errorf("benchjson: -diff needs -o pointing at a trajectory file")
+	}
+	history := loadHistory(path)
+	if len(history) < 2 {
+		return fmt.Errorf("benchjson: %s has %d entr(y/ies); -diff needs at least 2", path, len(history))
+	}
+	prev, last := history[len(history)-2], history[len(history)-1]
+	ident := func(e Entry, fallback string) string {
+		if e.Label != "" {
+			return e.Label
+		}
+		if e.Time != "" {
+			return e.Time
+		}
+		return fallback
+	}
+	fmt.Fprintf(w, "%s -> %s\n", ident(prev, "previous"), ident(last, "latest"))
+	names := make([]string, 0, len(last.Results))
+	for name := range last.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cur := last.Results[name]
+		old, ok := prev.Results[name]
+		if !ok {
+			fmt.Fprintf(w, "%s: new (%.6g ns/op)\n", name, cur.NsPerOp)
+			continue
+		}
+		fmt.Fprintf(w, "%s:\n", name)
+		dim := func(unit string, o, n float64) {
+			if o == 0 && n == 0 {
+				return
+			}
+			line := fmt.Sprintf("  %-14s %.6g -> %.6g", unit, o, n)
+			if o != 0 {
+				line += fmt.Sprintf("  (%+.1f%%)", 100*(n-o)/o)
+			}
+			fmt.Fprintln(w, line)
+		}
+		dim("ns/op", old.NsPerOp, cur.NsPerOp)
+		dim("B/op", old.BytesPerOp, cur.BytesPerOp)
+		dim("allocs/op", old.AllocsPerOp, cur.AllocsPerOp)
+		units := make([]string, 0, len(cur.Extra)+len(old.Extra))
+		seen := map[string]bool{}
+		for u := range cur.Extra {
+			units = append(units, u)
+			seen[u] = true
+		}
+		for u := range old.Extra {
+			if !seen[u] {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			dim(u, old.Extra[u], cur.Extra[u])
+		}
+	}
+	removed := make([]string, 0)
+	for name := range prev.Results {
+		if _, ok := last.Results[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(w, "%s: removed\n", name)
+	}
+	return nil
 }
 
 func run(in io.Reader, outPath, label string, now func() time.Time) error {

@@ -16,6 +16,14 @@
 //	structura async -list                              # message-driven executor scenarios
 //	structura async -scenario distvec -seed 3 -loss 0.1 -delay bimodal
 //	structura async -scenario mis -seeds 1..8 -compare # sync-vs-async equivalence check
+//	structura partition -nodes 1000000 -shards 8 -strategy degree-balanced
+//	structura partition -shards 4 -delta -check        # sharded == unsharded gate
+//
+// The global -cpuprofile/-memprofile flags work with every subcommand when
+// placed before it:
+//
+//	structura -cpuprofile cpu.out partition -nodes 1000000 -shards 8
+//	structura -memprofile mem.out fig3
 package main
 
 import (
@@ -28,7 +36,16 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	args, prof, err := extractProfileFlags(os.Args[1:])
+	if err == nil {
+		if err = prof.start(); err == nil {
+			err = run(args)
+			if perr := prof.stop(); err == nil {
+				err = perr
+			}
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "structura:", err)
 		os.Exit(1)
 	}
@@ -43,6 +60,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "async" {
 		return runAsync(args[1:], os.Stdout)
+	}
+	if len(args) > 0 && args[0] == "partition" {
+		return runPartition(args[1:], os.Stdout)
 	}
 	fs := flag.NewFlagSet("structura", flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "deterministic experiment seed")

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"structura/internal/gen"
+	"structura/internal/partition"
+	"structura/internal/runtime"
+	"structura/internal/stats"
+)
+
+// runPartition is the `structura partition` subcommand: generate a sparse ER
+// graph, split it into edge-cut shards, report the partition quality (cut
+// fraction, ghost fraction, imbalance), and run the distributed-max workload
+// on the sharded kernel to measure rounds/sec and the measured ghost-exchange
+// traffic. With -check the same workload also runs unsharded and the two
+// results are compared; any divergence is an error (nonzero exit).
+func runPartition(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("structura partition", flag.ContinueOnError)
+	var (
+		nodes    = fs.Int("nodes", 100_000, "graph size (sparse Erdős–Rényi)")
+		degree   = fs.Float64("degree", 10, "expected degree")
+		shards   = fs.Int("shards", 8, "shard count")
+		strategy = fs.String("strategy", "contiguous", "boundary placement: contiguous | degree-balanced")
+		rounds   = fs.Int("rounds", 15, "round budget for the workload")
+		delta    = fs.Bool("delta", false, "run the workload on the delta-frontier path")
+		workers  = fs.Int("workers", 0, "kernel worker count (0 = one per shard)")
+		seed     = fs.Int64("seed", 1, "graph generation seed")
+		check    = fs.Bool("check", false, "also run unsharded and require bit-identical results")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var strat partition.Strategy
+	switch *strategy {
+	case "contiguous":
+		strat = partition.Contiguous
+	case "degree-balanced":
+		strat = partition.DegreeBalanced
+	default:
+		return fmt.Errorf("unknown strategy %q (want contiguous | degree-balanced)", *strategy)
+	}
+	if *nodes < 2 {
+		return fmt.Errorf("need at least 2 nodes, got %d", *nodes)
+	}
+
+	g := gen.SparseErdosRenyi(stats.NewRand(*seed), *nodes, *degree/float64(*nodes-1))
+	csr, err := g.FreezeChecked()
+	if err != nil {
+		return err
+	}
+	var es partition.ExchangeStats
+	plan, err := partition.New(csr, *shards,
+		partition.WithStrategy(strat), partition.WithExchangeStats(&es))
+	if err != nil {
+		return err
+	}
+	ps := plan.Stats()
+	fmt.Fprintf(out, "partition: %d nodes, %d edges -> %d %s shards\n",
+		ps.Nodes, ps.Edges, ps.Shards, strat)
+	fmt.Fprintf(out, "  cut edges      %10d  (%.2f%% of edges)\n", ps.CutEdges, 100*ps.CutFraction)
+	fmt.Fprintf(out, "  ghost replicas %10d  (%.2f%% of nodes)\n", ps.Ghosts, 100*ps.GhostFraction)
+	fmt.Fprintf(out, "  owned range    %10d .. %d nodes/shard\n", ps.MinOwned, ps.MaxOwned)
+	fmt.Fprintf(out, "  edge imbalance %13.3f  (max shard half-edges / mean)\n", ps.Imbalance)
+
+	w := *workers
+	if w <= 0 {
+		w = *shards
+	}
+	init := func(v int) int { return v * 2654435761 % 1_000_003 }
+	maxStep := func(v int, self int, nbrs []int) (int, bool) {
+		best := self
+		for _, nb := range nbrs {
+			if nb > best {
+				best = nb
+			}
+		}
+		return best, best != self
+	}
+	opts := []runtime.Option{runtime.WithMaxRounds(*rounds), runtime.WithParallelism(w)}
+	if *delta {
+		opts = append(opts, runtime.WithDelta())
+	}
+	start := time.Now()
+	states, st, err := partition.Run(csr, plan, init, maxStep, opts...)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	mode := "full"
+	if *delta {
+		mode = "delta"
+	}
+	fmt.Fprintf(out, "workload: distributed-max, %s mode, %d workers\n", mode, w)
+	fmt.Fprintf(out, "  rounds         %10d  in %v  (%.2f rounds/sec)\n",
+		st.Rounds, elapsed.Round(time.Millisecond), float64(st.Rounds)/elapsed.Seconds())
+	fmt.Fprintf(out, "  exchange       %12.0f values/round  %.0f bytes/round  (max round %d values)\n",
+		es.ValuesPerRound(), es.BytesPerRound(), es.MaxRoundValues)
+
+	if *check {
+		want, wantStats, err := runtime.RunCSR(csr, init, maxStep, opts...)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(states, want) {
+			return fmt.Errorf("check failed: sharded states diverge from unsharded")
+		}
+		if st.Rounds != wantStats.Rounds || st.Messages != wantStats.Messages {
+			return fmt.Errorf("check failed: sharded stats (rounds=%d msgs=%d) diverge from unsharded (rounds=%d msgs=%d)",
+				st.Rounds, st.Messages, wantStats.Rounds, wantStats.Messages)
+		}
+		fmt.Fprintf(out, "check: sharded == unsharded (states, %d rounds, %d messages)\n",
+			st.Rounds, st.Messages)
+	}
+	return nil
+}

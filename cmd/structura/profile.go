@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+)
+
+// profileConfig holds the global -cpuprofile/-memprofile settings, usable
+// with every subcommand: `structura -cpuprofile cpu.out partition -nodes 1e6`.
+type profileConfig struct {
+	cpu string
+	mem string
+
+	cpuFile *os.File
+}
+
+// extractProfileFlags peels the global profiling flags off the front of the
+// argument list, before subcommand dispatch. Only leading flags are
+// considered — flags after the subcommand name belong to the subcommand.
+// Both "-flag value" and "-flag=value" spellings are accepted.
+func extractProfileFlags(args []string) ([]string, *profileConfig, error) {
+	pc := &profileConfig{}
+	for len(args) > 0 {
+		arg := args[0]
+		name := strings.TrimLeft(arg, "-")
+		if len(name) == len(arg) { // not a flag: subcommand or experiment ID
+			break
+		}
+		var dst *string
+		switch {
+		case name == "cpuprofile" || strings.HasPrefix(name, "cpuprofile="):
+			dst = &pc.cpu
+		case name == "memprofile" || strings.HasPrefix(name, "memprofile="):
+			dst = &pc.mem
+		default:
+			break
+		}
+		if dst == nil {
+			break
+		}
+		if eq := strings.IndexByte(name, '='); eq >= 0 {
+			*dst = name[eq+1:]
+			args = args[1:]
+		} else {
+			if len(args) < 2 {
+				return nil, nil, fmt.Errorf("flag -%s needs a file argument", name)
+			}
+			*dst = args[1]
+			args = args[2:]
+		}
+		if *dst == "" {
+			return nil, nil, fmt.Errorf("flag -%s needs a non-empty file argument", name)
+		}
+	}
+	return args, pc, nil
+}
+
+// start begins CPU profiling if requested.
+func (pc *profileConfig) start() error {
+	if pc.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(pc.cpu)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	pc.cpuFile = f
+	return nil
+}
+
+// stop finishes the CPU profile and writes the heap profile, if requested.
+// Called after the subcommand returns, whatever its outcome.
+func (pc *profileConfig) stop() error {
+	var first error
+	if pc.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := pc.cpuFile.Close(); err != nil {
+			first = err
+		}
+		pc.cpuFile = nil
+	}
+	if pc.mem != "" {
+		f, err := os.Create(pc.mem)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+		} else {
+			runtime.GC() // materialize final live-heap numbers
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = err
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

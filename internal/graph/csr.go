@@ -1,9 +1,30 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrTooLarge reports a graph whose node or half-edge count exceeds the
+// int32 CSR layout. The limit is structural — offsets and targets are int32
+// so that million-node rounds stay cache-resident — and the error is typed
+// so batch loaders can detect the condition instead of truncating.
+var ErrTooLarge = errors.New("graph: exceeds int32 CSR range")
+
+// CheckCSRBounds verifies that a graph with n nodes and half half-edges
+// fits the int32 CSR layout. It is the single bounds gate for Freeze,
+// FreezeChecked, and NewCSR, and is exported so loaders can pre-validate
+// sizes (a 10M-node/100M-edge ingest) before allocating anything.
+func CheckCSRBounds(n, half int) error {
+	if int64(n) >= math.MaxInt32 {
+		return fmt.Errorf("%w: n=%d (max %d)", ErrTooLarge, n, math.MaxInt32-1)
+	}
+	if int64(half) > math.MaxInt32 {
+		return fmt.Errorf("%w: half-edges=%d (max %d)", ErrTooLarge, half, math.MaxInt32)
+	}
+	return nil
+}
 
 // CSR is an immutable compressed-sparse-row snapshot of a Graph: the whole
 // adjacency structure flattened into three arrays so that repeated
@@ -37,17 +58,30 @@ type CSR struct {
 
 // Freeze builds a CSR snapshot of g. The snapshot is immutable: mutating g
 // afterwards does not affect it. For directed graphs the reverse adjacency
-// (in-neighbors) is materialized as well. Graphs whose half-edge count
-// exceeds int32 range cannot be frozen (they would not fit in memory long
-// before that) and panic with a descriptive message.
+// (in-neighbors) is materialized as well. Graphs that exceed the int32 CSR
+// layout panic with a descriptive message; use FreezeChecked where the
+// caller wants the typed error instead.
 func (g *Graph) Freeze() *CSR {
+	c, err := g.FreezeChecked()
+	if err != nil {
+		panic(fmt.Sprintf("graph: cannot freeze to CSR: %v", err))
+	}
+	return c
+}
+
+// FreezeChecked is Freeze with the size gate surfaced as a typed error:
+// a graph whose node or half-edge count exceeds the int32 offset/target
+// layout returns an error wrapping ErrTooLarge instead of panicking (and
+// never silently truncates). Production-scale loaders freezing graphs near
+// the 10M-node/100M-edge regime should prefer this entry point.
+func (g *Graph) FreezeChecked() (*CSR, error) {
 	n := len(g.adj)
 	half := 0
 	for _, lst := range g.adj {
 		half += len(lst)
 	}
-	if int64(n) > math.MaxInt32 || int64(half) > math.MaxInt32 {
-		panic(fmt.Sprintf("graph: cannot freeze to CSR: n=%d half-edges=%d exceed int32 range", n, half))
+	if err := CheckCSRBounds(n, half); err != nil {
+		return nil, err
 	}
 	c := &CSR{
 		directed: g.directed,
@@ -69,7 +103,56 @@ func (g *Graph) Freeze() *CSR {
 	if g.directed {
 		c.buildReverse()
 	}
-	return c
+	return c, nil
+}
+
+// NewCSR assembles a CSR directly from flat adjacency arrays, for callers
+// that already hold the row layout (shard-local views, decoded snapshots)
+// and must not pay an intermediate *Graph. offsets must have length n+1,
+// start at 0, be non-decreasing, and end at len(targets); every target must
+// be a valid node ID. weights may be nil (all edges weightless, backed by a
+// zero array) or parallel to targets. m is the edge count reported by M —
+// it is the caller's accounting unit (an undirected CSR's half-edge count
+// is 2m only when no self-loops exist, so it cannot be derived here). The
+// arrays are retained, not copied: the caller must not mutate them after
+// the call. For directed CSRs the reverse adjacency is materialized.
+func NewCSR(directed bool, m int, offsets, targets []int32, weights []float64) (*CSR, error) {
+	if len(offsets) < 1 {
+		return nil, errors.New("graph: NewCSR needs at least one offset (n+1 entries)")
+	}
+	n := len(offsets) - 1
+	if err := CheckCSRBounds(n, len(targets)); err != nil {
+		return nil, err
+	}
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: NewCSR offsets must start at 0, got %d", offsets[0])
+	}
+	for v := 0; v < n; v++ {
+		if offsets[v+1] < offsets[v] {
+			return nil, fmt.Errorf("graph: NewCSR offsets decrease at node %d (%d -> %d)", v, offsets[v], offsets[v+1])
+		}
+	}
+	if int(offsets[n]) != len(targets) {
+		return nil, fmt.Errorf("graph: NewCSR offsets end at %d but there are %d targets", offsets[n], len(targets))
+	}
+	for i, t := range targets {
+		if t < 0 || int(t) >= n {
+			return nil, fmt.Errorf("%w: %d (target %d, n=%d)", ErrNodeRange, t, i, n)
+		}
+	}
+	if weights == nil {
+		weights = make([]float64, len(targets))
+	} else if len(weights) != len(targets) {
+		return nil, fmt.Errorf("graph: NewCSR has %d weights for %d targets", len(weights), len(targets))
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("graph: NewCSR negative edge count %d", m)
+	}
+	c := &CSR{directed: directed, m: m, offsets: offsets, targets: targets, weights: weights}
+	if directed {
+		c.buildReverse()
+	}
+	return c, nil
 }
 
 // buildReverse fills the reverse-CSR arrays by a counting sort over the

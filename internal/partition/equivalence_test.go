@@ -1,0 +1,232 @@
+// Package partition_test pins the tentpole claim: sharded execution is
+// bit-identical to the unsharded kernel for the real engines (labeling,
+// distvec, centrality, layering, hypercube) across shard counts, worker
+// counts, kernel modes (full and delta), and fault schedules.
+package partition_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"structura/internal/centrality"
+	"structura/internal/distvec"
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/hypercube"
+	"structura/internal/labeling"
+	"structura/internal/layering"
+	"structura/internal/partition"
+	"structura/internal/runtime"
+	"structura/internal/sim"
+	"structura/internal/stats"
+)
+
+// engineOutcome reduces a run to a comparable fingerprint: final labels
+// (exact bits for floats), round count, per-round changed counts, error.
+type engineOutcome struct {
+	labels  string
+	rounds  int
+	history []int
+	err     string
+}
+
+func fingerprint(labels fmt.Stringer, st runtime.Stats, err error) engineOutcome {
+	out := engineOutcome{rounds: st.Rounds}
+	if labels != nil {
+		out.labels = labels.String()
+	}
+	for _, rs := range st.History {
+		out.history = append(out.history, rs.Changed)
+	}
+	if err != nil {
+		out.err = err.Error()
+	}
+	return out
+}
+
+type intLabels []int
+
+func (l intLabels) String() string { return fmt.Sprint([]int(l)) }
+
+type floatLabels []float64
+
+func (l floatLabels) String() string {
+	out := make([]uint64, len(l))
+	for i, f := range l {
+		out[i] = math.Float64bits(f)
+	}
+	return fmt.Sprint(out)
+}
+
+func colorLabels(c []labeling.Color) intLabels {
+	out := make(intLabels, len(c))
+	for i, v := range c {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// engines enumerates four of the five engines as closures over shared
+// inputs (the hypercube engine builds its own topology; see the dedicated
+// test below).
+func engines(g *graph.Graph, prio labeling.Priority) map[string]func(opts ...runtime.Option) engineOutcome {
+	return map[string]func(opts ...runtime.Option) engineOutcome{
+		"labeling/mis": func(opts ...runtime.Option) engineOutcome {
+			res, err := labeling.DistributedMIS(g, prio, opts...)
+			if err != nil && !errors.Is(err, labeling.ErrUnstable) {
+				return engineOutcome{err: err.Error()}
+			}
+			return fingerprint(colorLabels(res.Colors), runtime.Stats{Rounds: res.Rounds}, err)
+		},
+		"distvec": func(opts ...runtime.Option) engineOutcome {
+			tbl, err := distvec.Compute(g, 0, 4*g.N(), opts...)
+			if err != nil && !errors.Is(err, distvec.ErrUnstable) {
+				return engineOutcome{err: err.Error()}
+			}
+			labels := make(intLabels, 0, 2*g.N())
+			for v := range tbl.Dist {
+				d := tbl.Dist[v]
+				if math.IsInf(d, 1) {
+					d = -1
+				}
+				labels = append(labels, int(d*1e6), tbl.NextHop[v])
+			}
+			return fingerprint(labels, runtime.Stats{Rounds: tbl.Rounds}, err)
+		},
+		"centrality/pagerank": func(opts ...runtime.Option) engineOutcome {
+			res, err := centrality.DistributedPageRank(g, 0.85, 300, 1e-10, opts...)
+			if err != nil {
+				return engineOutcome{err: err.Error()}
+			}
+			return fingerprint(floatLabels(res.Scores), res.Stats, nil)
+		},
+		"layering": func(opts ...runtime.Option) engineOutcome {
+			res, err := layering.DistributedNestedLevels(g, opts...)
+			if err != nil {
+				return engineOutcome{err: err.Error()}
+			}
+			return fingerprint(intLabels(res.Levels), res.Stats, nil)
+		},
+	}
+}
+
+func outcomesEqual(a, b engineOutcome) bool {
+	if a.labels != b.labels || a.rounds != b.rounds || a.err != b.err || len(a.history) != len(b.history) {
+		return false
+	}
+	for i := range a.history {
+		if a.history[i] != b.history[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// shardConfigs pairs shard counts {1,2,4,8} with worker counts, including
+// workers below, equal to, and above the shard count.
+var shardConfigs = []struct{ k, workers int }{
+	{1, 1}, {2, 2}, {4, 1}, {4, 4}, {8, 3},
+}
+
+// TestShardedEngineEquivalence: for every engine, shard count, worker count,
+// kernel mode, and fault schedule, the partitioned kernel must reproduce the
+// unsharded run bit for bit — labels, rounds, per-round changed counts, and
+// the failure mode.
+func TestShardedEngineEquivalence(t *testing.T) {
+	g := gen.SparseErdosRenyi(stats.NewRand(42), 160, 0.03)
+	c := g.Freeze()
+	prio := labeling.PriorityByID(g.N())
+
+	schedules := map[string]*sim.Schedule{
+		"clean": nil,
+		"churn": {Horizon: 8, ChurnAdd: 2, ChurnRemove: 2, MsgLoss: 0.05},
+		"chaos": {Horizon: 10, ChurnAdd: 1, ChurnRemove: 1, MsgLoss: 0.08,
+			CrashProb: 0.01, Downtime: 2, SkewProb: 0.03, MaxSkew: 2},
+	}
+	strategies := []partition.Strategy{partition.Contiguous, partition.DegreeBalanced}
+
+	for engName, run := range engines(g, prio) {
+		for schedName, sch := range schedules {
+			for _, seed := range []uint64{1, 7} {
+				for _, delta := range []bool{false, true} {
+					baseOpts := func() []runtime.Option {
+						out := []runtime.Option{runtime.WithParallelism(2)}
+						if sch != nil {
+							out = append(out, runtime.WithPerturber(sim.NewPerturber(g, seed, *sch)))
+						}
+						if delta {
+							out = append(out, runtime.WithDelta())
+						}
+						return out
+					}
+					want := run(baseOpts()...)
+					for ci, cfg := range shardConfigs {
+						strat := strategies[ci%len(strategies)]
+						plan, err := partition.New(c, cfg.k, partition.WithStrategy(strat))
+						if err != nil {
+							t.Fatalf("partition.New(k=%d): %v", cfg.k, err)
+						}
+						opts := []runtime.Option{runtime.WithParallelism(cfg.workers), runtime.WithPartition(plan)}
+						if sch != nil {
+							opts = append(opts, runtime.WithPerturber(sim.NewPerturber(g, seed, *sch)))
+						}
+						if delta {
+							opts = append(opts, runtime.WithDelta())
+						}
+						got := run(opts...)
+						if !outcomesEqual(want, got) {
+							t.Errorf("%s/%s/seed%d/delta=%v/k%d/w%d/%v diverged:\n want: rounds=%d err=%q history=%v\n  got: rounds=%d err=%q history=%v\nlabels equal: %v",
+								engName, schedName, seed, delta, cfg.k, cfg.workers, strat,
+								want.rounds, want.err, want.history,
+								got.rounds, got.err, got.history, want.labels == got.labels)
+						}
+					}
+				}
+				if sch == nil {
+					break // seeds only matter under a schedule
+				}
+			}
+		}
+	}
+}
+
+// TestShardedHypercubeEquivalence covers the fifth engine, whose topology
+// and init differ structurally (faulty nodes, dim-regular graph).
+func TestShardedHypercubeEquivalence(t *testing.T) {
+	cube, err := hypercube.New(6, []int{3, 17, 40, 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cube.Graph().Freeze()
+	for _, delta := range []bool{false, true} {
+		base := []runtime.Option{runtime.WithParallelism(2)}
+		if delta {
+			base = append(base, runtime.WithDelta())
+		}
+		res, st, err := cube.SafetyLevelsDistributed(base...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fingerprint(intLabels(res.Levels), st, nil)
+		for _, cfg := range shardConfigs {
+			plan, err := partition.New(c, cfg.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := []runtime.Option{runtime.WithParallelism(cfg.workers), runtime.WithPartition(plan)}
+			if delta {
+				opts = append(opts, runtime.WithDelta())
+			}
+			sres, sst, err := cube.SafetyLevelsDistributed(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !outcomesEqual(want, fingerprint(intLabels(sres.Levels), sst, nil)) {
+				t.Fatalf("delta=%v k=%d w=%d: hypercube safety levels diverged sharded",
+					delta, cfg.k, cfg.workers)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package partition
+
+import (
+	"structura/internal/async"
+)
+
+// ExchangeStats accumulates the ghost-exchange traffic of a sharded run:
+// how many boundary values (and bytes) crossed shards, per round and in
+// total. Attach with WithExchangeStats; the collector survives partition
+// rebuilds under churn, so the totals cover the whole run.
+type ExchangeStats struct {
+	Rounds         int   // exchange rounds observed (one per kernel round)
+	Values         int64 // boundary values shipped, total
+	Bytes          int64 // Values x state size
+	MaxRoundValues int   // largest single-round exchange
+}
+
+// record folds one round's flow matrix into the totals.
+func (es *ExchangeStats) record(flows []int32, valueBytes int) {
+	es.Rounds++
+	total := 0
+	for _, f := range flows {
+		total += int(f)
+	}
+	es.Values += int64(total)
+	es.Bytes += int64(total) * int64(valueBytes)
+	if total > es.MaxRoundValues {
+		es.MaxRoundValues = total
+	}
+}
+
+// ValuesPerRound is the mean boundary values exchanged per round.
+func (es *ExchangeStats) ValuesPerRound() float64 {
+	if es.Rounds == 0 {
+		return 0
+	}
+	return float64(es.Values) / float64(es.Rounds)
+}
+
+// BytesPerRound is the mean bytes exchanged per round.
+func (es *ExchangeStats) BytesPerRound() float64 {
+	if es.Rounds == 0 {
+		return 0
+	}
+	return float64(es.Bytes) / float64(es.Rounds)
+}
+
+// LinkModel prices the ghost exchange over inter-shard links with realistic
+// latency: each round, every shard pair that exchanged values draws a delay
+// from the async executor's seeded per-link distributions (pure in (seed,
+// from, to, round)), and the round barrier waits for the slowest active
+// link. Attach with WithLinkModel. The model makes a shard cluster with
+// WAN-like latency just a Delay configuration — the same vocabulary the
+// event-driven executor uses for per-message delivery.
+type LinkModel struct {
+	Delay async.Delay // per-link delay distribution
+	Seed  uint64      // draw seed; same seed -> same latency trace
+
+	// Accumulated over the run:
+	Rounds     int         // rounds with cross-shard traffic
+	TotalTicks async.Ticks // sum of per-round slowest-link delays
+	MaxRound   async.Ticks // worst single round
+}
+
+// record prices one round's flow matrix.
+func (lm *LinkModel) record(round int, flows []int32, k int) {
+	var worst async.Ticks
+	for s := 0; s < k; s++ {
+		for t := 0; t < k; t++ {
+			if s == t || flows[s*k+t] <= 0 {
+				continue
+			}
+			d := lm.Delay.Draw(lm.Seed, s, t, uint64(round), 0)
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 0 {
+		lm.Rounds++
+		lm.TotalTicks += worst
+		if worst > lm.MaxRound {
+			lm.MaxRound = worst
+		}
+	}
+}
+
+// MeanTicks is the mean per-round barrier latency over rounds with traffic.
+func (lm *LinkModel) MeanTicks() float64 {
+	if lm.Rounds == 0 {
+		return 0
+	}
+	return float64(lm.TotalTicks) / float64(lm.Rounds)
+}

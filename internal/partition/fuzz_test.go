@@ -1,0 +1,67 @@
+package partition_test
+
+import (
+	"reflect"
+	"testing"
+
+	"structura/internal/graph"
+	"structura/internal/partition"
+	rt "structura/internal/runtime"
+)
+
+// FuzzPartition throws arbitrary graphs and shard counts at the planner and
+// requires the structural invariants (every edge assigned exactly once,
+// local<->global round-trip, ghost/replica symmetry — see checkPlan) plus
+// behavioral equivalence: the sharded hop-count run must match the unsharded
+// one exactly.
+func FuzzPartition(f *testing.F) {
+	f.Add([]byte{1, 2, 2, 3, 3, 4, 0, 5}, uint8(2), uint8(16), false)
+	f.Add([]byte{0, 1, 1, 2, 7, 3, 3, 0, 5, 6}, uint8(3), uint8(9), true)
+	f.Add([]byte{}, uint8(1), uint8(1), false)
+	f.Add([]byte{9, 9, 0, 0, 1, 0}, uint8(7), uint8(11), true)
+	f.Fuzz(func(t *testing.T, edges []byte, kRaw, nRaw uint8, directed bool) {
+		n := int(nRaw)%64 + 1
+		var g *graph.Graph
+		if directed {
+			g = graph.NewDirected(n)
+		} else {
+			g = graph.New(n)
+		}
+		for i := 0; i+1 < len(edges) && i < 512; i += 2 {
+			u, v := int(edges[i])%n, int(edges[i+1])%n
+			if u != v && !g.HasEdge(u, v) {
+				if err := g.AddEdge(u, v); err != nil {
+					t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+				}
+			}
+		}
+		c := g.Freeze()
+		k := int(kRaw)%n + 1
+		for _, strat := range []partition.Strategy{partition.Contiguous, partition.DegreeBalanced} {
+			plan, err := partition.New(c, k, partition.WithStrategy(strat))
+			if err != nil {
+				t.Fatalf("New(k=%d, n=%d, %v): %v", k, n, strat, err)
+			}
+			checkPlan(t, c, plan)
+			for _, delta := range []bool{false, true} {
+				opts := []rt.Option{rt.WithMaxRounds(2 * n)}
+				if delta {
+					opts = append(opts, rt.WithDelta())
+				}
+				want, wantStats, werr := rt.RunCSR(c, hopInit, hopStep, opts...)
+				got, gotStats, gerr := rt.RunCSR(c, hopInit, hopStep,
+					append(opts, rt.WithPartition(plan), rt.WithParallelism(3))...)
+				if (werr == nil) != (gerr == nil) {
+					t.Fatalf("k=%d %v delta=%v: errors diverged: %v vs %v", k, strat, delta, werr, gerr)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("k=%d %v delta=%v: states diverged", k, strat, delta)
+				}
+				if gotStats.Rounds != wantStats.Rounds || gotStats.Messages != wantStats.Messages {
+					t.Fatalf("k=%d %v delta=%v: stats diverged: %+v vs %+v",
+						k, strat, delta, gotStats, wantStats)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,298 @@
+package partition_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime" // stdlib: GOMAXPROCS
+	"testing"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/partition"
+	rt "structura/internal/runtime"
+	"structura/internal/stats"
+)
+
+// hopInit/hopStep: distance-vector-style process whose state depends on every
+// earlier round (same probe the runtime checkpoint tests use).
+const hopInf = 1 << 20
+
+func hopInit(v int) int {
+	if v == 0 {
+		return 0
+	}
+	return hopInf
+}
+
+func hopStep(v int, self int, nbrs []int) (int, bool) {
+	if v == 0 {
+		return 0, false
+	}
+	best := hopInf
+	for _, d := range nbrs {
+		if d+1 < best {
+			best = d + 1
+		}
+	}
+	return best, best != self
+}
+
+func stripElapsed(h []rt.RoundStats) []rt.RoundStats {
+	out := append([]rt.RoundStats(nil), h...)
+	for i := range out {
+		out[i].Elapsed = 0
+	}
+	return out
+}
+
+// churnPerturber is a deterministic fault timeline: round-keyed drops plus a
+// topology swap and a restart at fixed rounds. State derives only from the
+// round number, so fast-forward replays identically.
+type churnPerturber struct {
+	alt *graph.CSR
+}
+
+func (p *churnPerturber) BeforeRound(round int, g *graph.CSR) rt.Perturbation {
+	var per rt.Perturbation
+	if round == 3 && p.alt != nil {
+		per.Topology = p.alt
+	}
+	if round == 4 {
+		restart := make([]bool, g.N())
+		restart[2] = true
+		per.Restart = restart
+	}
+	if round <= 6 {
+		per.Drop = func(from, to int) bool { return (from*31+to*17+round)%5 == 0 }
+	}
+	return per
+}
+
+func (p *churnPerturber) Active(round int) bool { return round <= 6 }
+
+func testGraphPair(t *testing.T) (*graph.CSR, *graph.CSR) {
+	t.Helper()
+	g := gen.SparseErdosRenyi(stats.NewRand(7), 48, 0.1)
+	alt := g.Clone()
+	alt.RemoveEdge(0, alt.Neighbors(0)[0])
+	if err := alt.AddEdge(5, 40); err != nil && !alt.HasEdge(5, 40) {
+		t.Fatal(err)
+	}
+	return g.Freeze(), alt.Freeze()
+}
+
+// TestShardedCrossResume: checkpoints are written in a fully global format,
+// so a checkpoint taken by a sharded run must resume on the unsharded kernel
+// and vice versa — on the clean and perturbed paths, full and delta modes —
+// and land bit-identical to the uninterrupted baseline.
+func TestShardedCrossResume(t *testing.T) {
+	g, alt := testGraphPair(t)
+	const maxRounds = 12
+	for _, perturbed := range []bool{false, true} {
+		for _, delta := range []bool{false, true} {
+			name := map[bool]string{false: "clean", true: "perturbed"}[perturbed] +
+				map[bool]string{false: "/full", true: "/delta"}[delta]
+			baseOpts := func(plan *partition.Plan) []rt.Option {
+				opts := []rt.Option{rt.WithMaxRounds(maxRounds), rt.WithParallelism(2)}
+				if perturbed {
+					opts = append(opts, rt.WithPerturber(&churnPerturber{alt: alt}))
+				}
+				if delta {
+					opts = append(opts, rt.WithDelta())
+				}
+				if plan != nil {
+					opts = append(opts, rt.WithPartition(plan))
+				}
+				return opts
+			}
+			newPlan := func(k int) *partition.Plan {
+				plan, err := partition.New(g, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return plan
+			}
+			want, wantStats, err := rt.RunCSR(g, hopInit, hopStep, baseOpts(nil)...)
+			if err != nil {
+				t.Fatalf("%s baseline: %v", name, err)
+			}
+
+			// Interrupt a SHARDED run after round 5; last checkpoint at 4.
+			var cps []rt.Checkpoint[int]
+			ctx, cancel := context.WithCancel(context.Background())
+			opts := append(baseOpts(newPlan(4)),
+				rt.WithContext(ctx),
+				rt.WithCheckpoints(2, func(cp rt.Checkpoint[int]) { cps = append(cps, cp) }),
+				rt.WithObserver(func(rs rt.RoundStats) {
+					if rs.Round == 5 {
+						cancel()
+					}
+				}),
+			)
+			_, half, err := rt.RunCSR(g, hopInit, hopStep, opts...)
+			cancel()
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s cancelled sharded run returned err=%v", name, err)
+			}
+			if half.Rounds != 5 || len(cps) == 0 || cps[len(cps)-1].Round != 4 {
+				t.Fatalf("%s sharded run: rounds=%d, %d checkpoints", name, half.Rounds, len(cps))
+			}
+			shardedCP := cps[len(cps)-1]
+
+			// The same interruption on the unsharded kernel, for the reverse leg.
+			cps = nil
+			ctx, cancel = context.WithCancel(context.Background())
+			opts = append(baseOpts(nil),
+				rt.WithContext(ctx),
+				rt.WithCheckpoints(2, func(cp rt.Checkpoint[int]) { cps = append(cps, cp) }),
+				rt.WithObserver(func(rs rt.RoundStats) {
+					if rs.Round == 5 {
+						cancel()
+					}
+				}),
+			)
+			_, _, err = rt.RunCSR(g, hopInit, hopStep, opts...)
+			cancel()
+			if !errors.Is(err, context.Canceled) || len(cps) == 0 {
+				t.Fatalf("%s cancelled unsharded run: err=%v, %d checkpoints", name, err, len(cps))
+			}
+			unshardedCP := cps[len(cps)-1]
+
+			// Sharded and unsharded checkpoints must already agree byte for byte
+			// (modulo wall-clock timings).
+			shardedCP.Stats.History = stripElapsed(shardedCP.Stats.History)
+			unshardedCP.Stats.History = stripElapsed(unshardedCP.Stats.History)
+			if !reflect.DeepEqual(shardedCP, unshardedCP) {
+				t.Fatalf("%s sharded checkpoint differs from unsharded:\n got %+v\nwant %+v",
+					name, shardedCP, unshardedCP)
+			}
+
+			// Resume every checkpoint on every executor shape.
+			resumes := map[string]*partition.Plan{
+				"unsharded": nil, "k2": newPlan(2), "k4": newPlan(4), "k8": newPlan(8),
+			}
+			for rname, plan := range resumes {
+				got, gotStats, err := rt.RunCSR(g, hopInit, hopStep,
+					append(baseOpts(plan), rt.WithResume(shardedCP))...)
+				if err != nil {
+					t.Fatalf("%s resume(%s): %v", name, rname, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s resume(%s) states diverged:\n got %v\nwant %v", name, rname, got, want)
+				}
+				if !reflect.DeepEqual(stripElapsed(gotStats.History), stripElapsed(wantStats.History)) ||
+					gotStats.Messages != wantStats.Messages || gotStats.Stable != wantStats.Stable {
+					t.Fatalf("%s resume(%s) stats diverged:\n got %+v\nwant %+v",
+						name, rname, gotStats, wantStats)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedDirected: the sharded kernel on a directed graph (asymmetric
+// in/out adjacency exercises the reverse-CSR ghost discovery) must match the
+// unsharded kernel in both modes.
+func TestShardedDirected(t *testing.T) {
+	r := stats.NewRand(11)
+	dg := graph.NewDirected(96)
+	for i := 0; i < 3*96; i++ {
+		u, v := r.Intn(96), r.Intn(96)
+		if u != v && !dg.HasEdge(u, v) {
+			if err := dg.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Ensure node 0 reaches something so the hop wave propagates.
+	if !dg.HasEdge(0, 1) {
+		if err := dg.AddEdge(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := dg.Freeze()
+	for _, delta := range []bool{false, true} {
+		base := []rt.Option{rt.WithMaxRounds(30), rt.WithParallelism(2)}
+		if delta {
+			base = append(base, rt.WithDelta())
+		}
+		want, wantStats, err := rt.RunCSR(c, hopInit, hopStep, base...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{2, 4, 8} {
+			for _, strat := range []partition.Strategy{partition.Contiguous, partition.DegreeBalanced} {
+				plan, err := partition.New(c, k, partition.WithStrategy(strat))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, gotStats, err := rt.RunCSR(c, hopInit, hopStep,
+					append(append([]rt.Option(nil), base...), rt.WithPartition(plan))...)
+				if err != nil {
+					t.Fatalf("delta=%v k=%d %v: %v", delta, k, strat, err)
+				}
+				if !reflect.DeepEqual(got, want) || gotStats.Rounds != wantStats.Rounds ||
+					gotStats.Messages != wantStats.Messages {
+					t.Fatalf("delta=%v k=%d %v: directed sharded run diverged", delta, k, strat)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedDeterminism: the same sharded run repeated under different
+// GOMAXPROCS values yields byte-identical states and stats — scheduling
+// nondeterminism must not leak into results.
+func TestShardedDeterminism(t *testing.T) {
+	g, _ := testGraphPair(t)
+	plan, err := partition.New(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ([]int, rt.Stats) {
+		states, st, err := rt.RunCSR(g, hopInit, hopStep,
+			rt.WithMaxRounds(20), rt.WithParallelism(4), rt.WithPartition(plan), rt.WithDelta())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return states, st
+	}
+	wantStates, wantStats := run()
+	for _, procs := range []int{1, 2, 8} {
+		old := runtime.GOMAXPROCS(procs)
+		gotStates, gotStats := run()
+		runtime.GOMAXPROCS(old)
+		if !reflect.DeepEqual(gotStates, wantStates) {
+			t.Fatalf("GOMAXPROCS=%d changed the states", procs)
+		}
+		if gotStats.Rounds != wantStats.Rounds || gotStats.Messages != wantStats.Messages {
+			t.Fatalf("GOMAXPROCS=%d changed the stats: %+v vs %+v", procs, gotStats, wantStats)
+		}
+	}
+}
+
+// TestShardedStepPanic: a panicking step must surface the same global node ID
+// in the error regardless of sharding.
+func TestShardedStepPanic(t *testing.T) {
+	g, _ := testGraphPair(t)
+	boom := func(v int, self int, nbrs []int) (int, bool) {
+		if v == 13 {
+			panic("boom")
+		}
+		return self, false
+	}
+	_, _, wantErr := rt.RunCSR(g, hopInit, boom, rt.WithMaxRounds(3))
+	if wantErr == nil {
+		t.Fatal("baseline panic did not surface")
+	}
+	plan, err := partition.New(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, gotErr := rt.RunCSR(g, hopInit, boom,
+		rt.WithMaxRounds(3), rt.WithPartition(plan), rt.WithParallelism(3))
+	if gotErr == nil || gotErr.Error() != wantErr.Error() {
+		t.Fatalf("sharded panic error %q, want %q", gotErr, wantErr)
+	}
+}

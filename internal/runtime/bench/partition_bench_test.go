@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/partition"
+	"structura/internal/runtime"
+	"structura/internal/sim"
+	"structura/internal/stats"
+)
+
+// benchPlan builds a partition or fails the benchmark.
+func benchPlan(b *testing.B, c *graph.CSR, k int, opts ...partition.Option) *partition.Plan {
+	b.Helper()
+	plan, err := partition.New(c, k, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan
+}
+
+// BenchmarkPartitionedCSRER100k is the sharded leg of the 100k CSR kernel
+// bench: identical workload (15 rounds of distributed-max), executed over
+// k edge-cut shards with changed-values-only ghost exchange. ns/round is the
+// per-round cost to compare against the unsharded leg; values/round and
+// bytes/round are the measured exchange traffic (the numbers that would
+// cross the network on a real cluster).
+func BenchmarkPartitionedCSRER100k(b *testing.B) {
+	csr := erGraph().Freeze()
+	init := func(v int) int { return v * 2654435761 % 1_000_003 }
+	var want int
+	for _, k := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			var es partition.ExchangeStats
+			plan := benchPlan(b, csr, k, partition.WithExchangeStats(&es))
+			st := plan.Stats()
+			b.ResetTimer()
+			var nsPerRound float64
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				states, rst, err := runtime.RunCSR(csr, init, maxStep,
+					runtime.WithMaxRounds(15), runtime.WithParallelism(k),
+					runtime.WithPartition(plan))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rst.Rounds == 0 {
+					b.Fatal("no rounds executed")
+				}
+				nsPerRound = float64(time.Since(start).Nanoseconds()) / float64(rst.Rounds)
+				if want == 0 {
+					want = states[0]
+				} else if states[0] != want {
+					b.Fatalf("sharded run disagrees: state[0] = %d, want %d", states[0], want)
+				}
+			}
+			b.ReportMetric(nsPerRound, "ns/round")
+			b.ReportMetric(es.ValuesPerRound(), "values/round")
+			b.ReportMetric(es.BytesPerRound(), "bytes/round")
+			b.ReportMetric(st.CutFraction, "cut-frac")
+			b.ReportMetric(st.GhostFraction, "ghost-frac")
+		})
+	}
+}
+
+// BenchmarkPartitionedDeltaSteadyER100k is the sharded leg of the delta
+// steady-state bench at 1% churn: the delta frontier bounds the per-round
+// work AND the per-round exchange to the dirty boundary, so bytes/round here
+// is the steady-state network cost of keeping k shards coherent.
+func BenchmarkPartitionedDeltaSteadyER100k(b *testing.B) {
+	csr := erGraph().Freeze()
+	init := func(v int) int { return v * 2654435761 % 1_000_003 }
+	const rounds, warmup, crashes = 60, 15, 45 // ~1% churn, as in the unsharded leg
+	events := make([]sim.Event, 0, rounds*crashes)
+	for r := 1; r <= rounds; r++ {
+		for i := 0; i < crashes; i++ {
+			v := ((r*crashes + i) * 9973) % erNodes
+			events = append(events, sim.Event{Round: r, Op: sim.OpCrash, U: v, For: 1})
+		}
+	}
+	sch := sim.Schedule{Horizon: rounds, Events: events}
+	for _, k := range []int{4, 8} {
+		b.Run(fmt.Sprintf("churn=1%%/delta/shards=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			var es partition.ExchangeStats
+			plan := benchPlan(b, csr, k, partition.WithExchangeStats(&es))
+			b.ResetTimer()
+			var steadyNs, steadyMsgs float64
+			for i := 0; i < b.N; i++ {
+				_, st, err := runtime.RunCSR(csr, init, maxStep,
+					runtime.WithMaxRounds(rounds),
+					runtime.WithPerturber(sim.NewPerturber(erGraph(), 3, sch)),
+					runtime.WithDelta(),
+					runtime.WithParallelism(k),
+					runtime.WithPartition(plan))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var sum time.Duration
+				msgs, cnt := 0, 0
+				for _, rs := range st.History {
+					if rs.Round > warmup {
+						sum += rs.Elapsed
+						msgs += rs.Messages
+						cnt++
+					}
+				}
+				if cnt == 0 {
+					b.Fatal("run ended before the steady-state window")
+				}
+				steadyNs = float64(sum.Nanoseconds()) / float64(cnt)
+				steadyMsgs = float64(msgs) / float64(cnt)
+			}
+			b.ReportMetric(steadyNs, "steady-ns/round")
+			b.ReportMetric(steadyMsgs, "steady-msgs/round")
+			b.ReportMetric(es.ValuesPerRound(), "values/round")
+			b.ReportMetric(es.BytesPerRound(), "bytes/round")
+		})
+	}
+}
+
+const (
+	er10mNodes  = 10_000_000
+	er10mDegree = 6
+)
+
+var (
+	er10mOnce sync.Once
+	er10mCSR  *graph.CSR
+)
+
+// er10m builds the 10M-node sparse ER snapshot once per process (the
+// Batagelj–Brandes generator is O(n+m), so this is seconds, not hours).
+func er10m() *graph.CSR {
+	er10mOnce.Do(func() {
+		g := gen.SparseErdosRenyi(stats.NewRand(4), er10mNodes, er10mDegree/float64(er10mNodes-1))
+		er10mCSR = g.Freeze()
+	})
+	return er10mCSR
+}
+
+// BenchmarkPartitionedER10M is the scale target: a 10M-node / ~30M-edge
+// sparse ER graph, partitioned into 8 degree-balanced shards and run to a
+// 12-round distributed-max horizon in delta mode. One op is plan build plus
+// the full run — the end-to-end cost of standing up and executing a sharded
+// computation at the paper's "millions of nodes" regime. Run with
+// -benchtime 1x; rounds/sec is the steady throughput, the cut/ghost metrics
+// record the partition quality at this scale.
+func BenchmarkPartitionedER10M(b *testing.B) {
+	csr := er10m()
+	init := func(v int) int { return v * 2654435761 % 1_000_003 }
+	b.ReportAllocs()
+	b.ResetTimer()
+	var roundsPerSec, cutFrac, ghostFrac, bytesPerRound float64
+	for i := 0; i < b.N; i++ {
+		var es partition.ExchangeStats
+		plan, err := partition.New(csr, 8,
+			partition.WithStrategy(partition.DegreeBalanced),
+			partition.WithExchangeStats(&es))
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		_, st, err := runtime.RunCSR(csr, init, maxStep,
+			runtime.WithMaxRounds(12), runtime.WithDelta(),
+			runtime.WithParallelism(8), runtime.WithPartition(plan))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Rounds == 0 {
+			b.Fatal("no rounds executed")
+		}
+		roundsPerSec = float64(st.Rounds) / time.Since(start).Seconds()
+		ps := plan.Stats()
+		cutFrac, ghostFrac = ps.CutFraction, ps.GhostFraction
+		bytesPerRound = es.BytesPerRound()
+	}
+	b.ReportMetric(roundsPerSec, "rounds/sec")
+	b.ReportMetric(cutFrac, "cut-frac")
+	b.ReportMetric(ghostFrac, "ghost-frac")
+	b.ReportMetric(bytesPerRound, "bytes/round")
+}

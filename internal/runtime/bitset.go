@@ -34,6 +34,19 @@ func (b bitset) setAll(n int) {
 	}
 }
 
+// setFirst sets bits [0, n) and leaves every later bit clear — the setAll
+// variant for bitsets whose backing array extends past n, such as shard-local
+// sets whose tail words belong to ghost replicas.
+func (b bitset) setFirst(n int) {
+	full := n >> 6
+	for i := 0; i < full; i++ {
+		b[i] = ^uint64(0)
+	}
+	if r := uint(n) & 63; r != 0 {
+		b[full] = ^uint64(0) >> (64 - r)
+	}
+}
+
 // count returns the number of set bits.
 func (b bitset) count() int {
 	total := 0

@@ -52,6 +52,7 @@ type config struct {
 	observer     RoundObserver
 	perturber    Perturber
 	delta        bool
+	partition    Partition
 	ctx          context.Context
 	ckptEvery    int
 	ckptSink     any // func(Checkpoint[S]); asserted back in RunCSR
@@ -143,6 +144,9 @@ func RunCSR[S any](
 	}
 	if workers > n {
 		workers = n
+	}
+	if cfg.partition != nil {
+		return runSharded(g, init, step, cfg, workers)
 	}
 	if cfg.delta {
 		if cfg.perturber != nil {

@@ -1,0 +1,462 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"structura/internal/graph"
+)
+
+// Replica locates one ghost copy of an owned node: shard Shard holds the
+// node's value at local slot Slot. The owner pushes its changed value there
+// during the inter-round exchange.
+type Replica struct {
+	Shard int32
+	Slot  int32
+}
+
+// ShardLayout is one shard's view of an edge-cut partition. The shard owns
+// the contiguous global range [bounds[s], bounds[s+1]); local IDs [0, Own)
+// map onto it in order. Ghost nodes — remote nodes some owned node reads —
+// occupy local IDs [GhostBase, NLocal), where GhostBase is rounded up to a
+// multiple of 64 whenever ghosts exist so that owned and ghost bits never
+// share a bitset word (the delta kernel's word-at-a-time frontier iteration
+// depends on that separation). Local IDs in [Own, GhostBase) are padding:
+// empty adjacency rows, Global ID -1, never stepped and never referenced.
+//
+// Local.Neighbors(v) for owned v lists exactly the global row of the owned
+// node with remote targets renamed to ghost IDs, in the same order — order
+// preservation is what keeps order-sensitive step functions bit-identical.
+// Ghost rows exist only so Local.InNeighbors(ghost) yields the owned readers
+// of that ghost (undirected: the reader list is the row; directed: the
+// reverse CSR provides it); ghosts are never stepped.
+type ShardLayout struct {
+	Local     *graph.CSR
+	Own       int
+	GhostBase int
+	Global    []int32 // local ID -> global ID; -1 for padding slots
+
+	// Replicas[ReplicaOff[v]:ReplicaOff[v+1]] lists the ghost copies of
+	// owned local node v, ordered by ascending destination shard.
+	ReplicaOff []int32
+	Replicas   []Replica
+}
+
+// NLocal returns the shard's local ID space size (owned + padding + ghosts).
+func (l *ShardLayout) NLocal() int { return len(l.Global) }
+
+// Ghosts returns the number of ghost slots.
+func (l *ShardLayout) Ghosts() int { return len(l.Global) - l.GhostBase }
+
+// Partition describes an edge-cut sharding of a frozen CSR to the kernel.
+// Implementations live outside this package (internal/partition provides the
+// standard one); the kernel only needs the bounds, the per-shard layouts, a
+// way to rebuild the layouts after topology churn, and a sink for per-round
+// exchange accounting.
+type Partition interface {
+	// Bounds returns the k+1 ascending ownership boundaries: shard s owns
+	// global IDs [Bounds()[s], Bounds()[s+1]). Bounds must start at 0, end
+	// at n, and be strictly increasing (no empty shards).
+	Bounds() []int32
+
+	// Layouts returns one ShardLayout per shard, consistent with Bounds.
+	Layouts() []*ShardLayout
+
+	// Rebuild derives a new Partition for a churned topology with the same
+	// node count. Ownership (Bounds) must be preserved — only the local
+	// CSRs, ghost sets, and replica lists change — so shard-resident state
+	// survives churn without migration.
+	Rebuild(fresh *graph.CSR) (Partition, error)
+
+	// OnExchange reports one round's ghost traffic: flows[s*k+t] is the
+	// number of boundary values shard s pushed to shard t this round, and
+	// valueBytes the in-memory size of one state value. flows is reused by
+	// the kernel and only valid during the call. Implementations that do
+	// not collect exchange statistics can ignore it.
+	OnExchange(round int, flows []int32, valueBytes int)
+}
+
+// WithPartition runs the round kernel sharded over an edge-cut partition:
+// each shard steps only its owned nodes against a local CSR whose boundary
+// reads hit ghost replicas, and shards exchange only the boundary values
+// that changed between rounds. Results — states, rounds, per-round Changed
+// and Messages, checkpoints, error strings — are bit-identical to the
+// unsharded kernel on every path (full, WithDelta, WithPerturber, and their
+// combinations), and checkpoints remain in the global format, so a sharded
+// run can resume an unsharded checkpoint and vice versa.
+//
+// The changed-values-only exchange leans on the same step-honesty contract
+// as WithDelta: step must report ch == true whenever the returned state
+// differs from self, or ghost replicas go stale. WithParallelism controls
+// how many shards step concurrently (parallelism is across shards).
+func WithPartition(p Partition) Option {
+	return func(c *config) { c.partition = p }
+}
+
+// shardRun is one shard's mutable execution state: local state arrays, the
+// delta-kernel bitsets over the local ID space, the perturbed path's view and
+// pending-link buffers for owned nodes, and the per-destination staging
+// buffers of the ghost exchange.
+type shardRun[S any] struct {
+	lay  *ShardLayout
+	base int // bounds[s]: owned local v is global base+v
+
+	cur, next []S
+
+	// dirty marks owned nodes whose step reported a change this round (the
+	// staging source); the exchange apply phase also marks changed ghosts
+	// here so the local frontier rebuild sees remote changes. frontier and
+	// senders serve the delta paths exactly as in the unsharded kernel.
+	dirty    bitset
+	frontier bitset
+	senders  bitset
+
+	seen    [][]S    // perturbed: per owned node, row-aligned views
+	pending [][]bool // perturbed delta: per owned node, row-aligned retry bits
+	pc      []int32  // perturbed delta: per owned node pending count
+
+	ws      deltaWorkerState[S] // delta paths: commit/carry lists + scratch
+	scratch []S                 // full paths: neighbor gather buffer
+
+	changed   int
+	delivered int
+	err       error
+
+	// Ghost-exchange staging, one pair of parallel slices per destination
+	// shard: outSlots[t][i] is a ghost slot in shard t, outVals[t][i] the
+	// value to store there.
+	outSlots [][]int32
+	outVals  [][]S
+}
+
+// validatePartition shape-checks a Partition against the run's CSR: bounds
+// cover [0, n) with no empty shards, layouts agree with the bounds, ghost
+// regions are word-separated from owned bits, and every replica points at a
+// ghost slot of the right node on the right shard. Deep adjacency
+// equivalence is the partition builder's contract, not re-verified here.
+func validatePartition(g *graph.CSR, p Partition) ([]int32, []*ShardLayout, error) {
+	n := g.N()
+	bounds := p.Bounds()
+	if len(bounds) < 2 {
+		return nil, nil, fmt.Errorf("runtime: partition has %d bounds, need at least 2", len(bounds))
+	}
+	k := len(bounds) - 1
+	if bounds[0] != 0 || int(bounds[k]) != n {
+		return nil, nil, fmt.Errorf("runtime: partition bounds [%d, %d] do not cover [0, %d]", bounds[0], bounds[k], n)
+	}
+	for s := 0; s < k; s++ {
+		if bounds[s+1] <= bounds[s] {
+			return nil, nil, fmt.Errorf("runtime: partition shard %d is empty (bounds %d..%d)", s, bounds[s], bounds[s+1])
+		}
+	}
+	lays := p.Layouts()
+	if len(lays) != k {
+		return nil, nil, fmt.Errorf("runtime: partition has %d layouts for %d shards", len(lays), k)
+	}
+	for s, lay := range lays {
+		if lay == nil || lay.Local == nil {
+			return nil, nil, fmt.Errorf("runtime: partition shard %d has no layout", s)
+		}
+		own := int(bounds[s+1] - bounds[s])
+		if lay.Own != own {
+			return nil, nil, fmt.Errorf("runtime: partition shard %d owns %d nodes, bounds say %d", s, lay.Own, own)
+		}
+		if lay.Local.N() != len(lay.Global) {
+			return nil, nil, fmt.Errorf("runtime: partition shard %d local CSR has %d nodes for %d local IDs", s, lay.Local.N(), len(lay.Global))
+		}
+		if lay.GhostBase < lay.Own || lay.GhostBase > len(lay.Global) {
+			return nil, nil, fmt.Errorf("runtime: partition shard %d ghost base %d outside [%d, %d]", s, lay.GhostBase, lay.Own, len(lay.Global))
+		}
+		if lay.GhostBase != lay.Own && lay.GhostBase%64 != 0 {
+			return nil, nil, fmt.Errorf("runtime: partition shard %d ghost base %d is not word-aligned", s, lay.GhostBase)
+		}
+		if lay.Ghosts() > 0 && lay.GhostBase%64 != 0 {
+			return nil, nil, fmt.Errorf("runtime: partition shard %d has ghosts but ghost base %d is not word-aligned", s, lay.GhostBase)
+		}
+		for v := 0; v < lay.Own; v++ {
+			if lay.Global[v] != bounds[s]+int32(v) {
+				return nil, nil, fmt.Errorf("runtime: partition shard %d local %d maps to global %d, want %d", s, v, lay.Global[v], bounds[s]+int32(v))
+			}
+		}
+		if len(lay.ReplicaOff) != lay.Own+1 {
+			return nil, nil, fmt.Errorf("runtime: partition shard %d has %d replica offsets for %d owned nodes", s, len(lay.ReplicaOff), lay.Own)
+		}
+		if int(lay.ReplicaOff[lay.Own]) != len(lay.Replicas) {
+			return nil, nil, fmt.Errorf("runtime: partition shard %d replica offsets end at %d, have %d replicas", s, lay.ReplicaOff[lay.Own], len(lay.Replicas))
+		}
+	}
+	// Replica cross-check: every replica must name a ghost slot of the same
+	// global node on another shard.
+	for s, lay := range lays {
+		for v := 0; v < lay.Own; v++ {
+			if lay.ReplicaOff[v+1] < lay.ReplicaOff[v] {
+				return nil, nil, fmt.Errorf("runtime: partition shard %d replica offsets decrease at node %d", s, v)
+			}
+			for _, rep := range lay.Replicas[lay.ReplicaOff[v]:lay.ReplicaOff[v+1]] {
+				if int(rep.Shard) == s || rep.Shard < 0 || int(rep.Shard) >= k {
+					return nil, nil, fmt.Errorf("runtime: partition shard %d node %d has replica on invalid shard %d", s, v, rep.Shard)
+				}
+				dst := lays[rep.Shard]
+				if int(rep.Slot) < dst.GhostBase || int(rep.Slot) >= dst.NLocal() {
+					return nil, nil, fmt.Errorf("runtime: partition shard %d node %d replica slot %d outside shard %d ghost range", s, v, rep.Slot, rep.Shard)
+				}
+				if dst.Global[rep.Slot] != bounds[s]+int32(v) {
+					return nil, nil, fmt.Errorf("runtime: partition shard %d node %d replica on shard %d holds global %d", s, v, rep.Shard, dst.Global[rep.Slot])
+				}
+			}
+		}
+	}
+	return bounds, lays, nil
+}
+
+// newShardRuns allocates per-shard execution state and initializes owned
+// states via init (with global IDs); ghost values are then fetched from
+// their owners so init is invoked exactly once per node, like the unsharded
+// kernel. delta/perturbed select which auxiliary structures exist.
+func newShardRuns[S any](
+	bounds []int32, lays []*ShardLayout,
+	init func(v int) S,
+	delta, perturbed bool,
+) []*shardRun[S] {
+	k := len(lays)
+	runs := make([]*shardRun[S], k)
+	for s, lay := range lays {
+		nl := lay.NLocal()
+		r := &shardRun[S]{
+			lay:      lay,
+			base:     int(bounds[s]),
+			cur:      make([]S, nl),
+			next:     make([]S, nl),
+			dirty:    newBitset(nl),
+			outSlots: make([][]int32, k),
+			outVals:  make([][]S, k),
+		}
+		for v := 0; v < lay.Own; v++ {
+			r.cur[v] = init(r.base + v)
+		}
+		if delta {
+			r.frontier = newBitset(nl)
+			r.ws.scratch = make([]S, 0, 16)
+		} else {
+			r.scratch = make([]S, 0, 16)
+		}
+		if perturbed && delta {
+			r.senders = newBitset(nl)
+		}
+		runs[s] = r
+	}
+	fillGhosts(runs, bounds)
+	return runs
+}
+
+// fillGhosts copies every ghost slot's value from its owner's current state.
+func fillGhosts[S any](runs []*shardRun[S], bounds []int32) {
+	for _, r := range runs {
+		lay := r.lay
+		for l := lay.GhostBase; l < lay.NLocal(); l++ {
+			gid := lay.Global[l]
+			t := locateOwner(bounds, gid)
+			r.cur[l] = runs[t].cur[int(gid)-int(bounds[t])]
+		}
+	}
+}
+
+// locateOwner returns the shard owning global node gid.
+func locateOwner(bounds []int32, gid int32) int {
+	// bounds is ascending; find the first bound strictly greater than gid.
+	return sort.Search(len(bounds)-1, func(s int) bool { return bounds[s+1] > gid })
+}
+
+// forShards runs f over every shard, fanning out across up to `workers`
+// goroutines with a static assignment. f must confine its writes to the
+// shard it is handed (plus, for the exchange apply phase, data the phase
+// contract makes disjoint).
+func forShards[S any](runs []*shardRun[S], workers int, f func(s int, r *shardRun[S])) {
+	if workers <= 1 || len(runs) == 1 {
+		for s, r := range runs {
+			f(s, r)
+		}
+		return
+	}
+	w := workers
+	if w > len(runs) {
+		w = len(runs)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for s := i; s < len(runs); s += w {
+				f(s, runs[s])
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// shardErr returns the lowest-shard error, mirroring stepShards' rule so the
+// reported node is deterministic.
+func shardErr[S any](runs []*shardRun[S]) error {
+	for _, r := range runs {
+		if r.err != nil {
+			return r.err
+		}
+	}
+	return nil
+}
+
+// stageChanged fills each shard's per-destination staging buffers with the
+// committed values of owned nodes marked dirty this round that have ghost
+// replicas elsewhere. Runs per shard (parallel-safe: reads own state only).
+func (r *shardRun[S]) stageChanged() {
+	for t := range r.outSlots {
+		r.outSlots[t] = r.outSlots[t][:0]
+		r.outVals[t] = r.outVals[t][:0]
+	}
+	lay := r.lay
+	if len(lay.Replicas) == 0 {
+		return
+	}
+	r.dirty.forEachIn(0, lay.Own, func(v int) {
+		lo, hi := lay.ReplicaOff[v], lay.ReplicaOff[v+1]
+		for _, rep := range lay.Replicas[lo:hi] {
+			r.outSlots[rep.Shard] = append(r.outSlots[rep.Shard], rep.Slot)
+			r.outVals[rep.Shard] = append(r.outVals[rep.Shard], r.cur[v])
+		}
+	})
+}
+
+// applyExchange drains every staging buffer destined for each shard into
+// that shard's ghost slots, optionally marking the ghost dirty so the delta
+// frontier rebuild sees the remote change, and accumulates per-(src,dst)
+// flow counts. Parallel over destination shards: each destination writes
+// only its own state and its own column of flows.
+func applyExchange[S any](runs []*shardRun[S], workers int, markGhosts bool, flows []int32) {
+	k := len(runs)
+	forShards(runs, workers, func(d int, rd *shardRun[S]) {
+		for s := 0; s < k; s++ {
+			if s == d {
+				continue
+			}
+			slots := runs[s].outSlots[d]
+			vals := runs[s].outVals[d]
+			for i, slot := range slots {
+				rd.cur[slot] = vals[i]
+				if markGhosts {
+					rd.dirty.set(int(slot))
+				}
+			}
+			flows[s*k+d] += int32(len(slots))
+		}
+	})
+}
+
+// gatherStates assembles the global state array from the shards' owned
+// ranges — the kernel's return value and checkpoint States format.
+func gatherStates[S any](runs []*shardRun[S], n int) []S {
+	out := make([]S, n)
+	for _, r := range runs {
+		copy(out[r.base:r.base+r.lay.Own], r.cur[:r.lay.Own])
+	}
+	return out
+}
+
+// gatherOwnedBits lists, in ascending global order, the owned set bits of
+// the selected per-shard bitset — the global equivalent of appendBits, with
+// ghost replicas excluded so each node appears exactly once.
+func gatherOwnedBits[S any](runs []*shardRun[S], sel func(*shardRun[S]) bitset) []int {
+	var out []int
+	for _, r := range runs {
+		base := r.base
+		sel(r).forEachIn(0, r.lay.Own, func(v int) {
+			out = append(out, base+v)
+		})
+	}
+	return out
+}
+
+// ownedPushCost sums the global in-degrees of the selected owned bits — the
+// messages those nodes will send next round, identical to the unsharded
+// frontierMessages over the corresponding global set.
+func ownedPushCost[S any](g *graph.CSR, runs []*shardRun[S], sel func(*shardRun[S]) bitset) int {
+	total := 0
+	for _, r := range runs {
+		base := r.base
+		sel(r).forEachIn(0, r.lay.Own, func(v int) {
+			total += g.InDegree(base + v)
+		})
+	}
+	return total
+}
+
+// rebuildLocalFrontier recomputes the shard's frontier = dirty ∪
+// readers(dirty) over the local CSR. Ghost dirty bits contribute their owned
+// readers; frontier bits that land on ghost slots are harmless (ghosts are
+// never stepped). The push/pull direction choice is shard-local — both
+// directions produce the same set, so it cannot affect bit-identity.
+func rebuildLocalFrontier[S any](r *shardRun[S], dirty bitset) {
+	lp := frontierMessages(r.lay.Local, dirty)
+	rebuildFrontier(r.lay.Local, r.frontier, dirty, lp, r.lay.NLocal(), nil)
+}
+
+// gatherSeen assembles the global per-node view buffers (checkpoint Seen
+// format): owned rows are row-aligned to the global adjacency already.
+func gatherSeen[S any](runs []*shardRun[S], n int) [][]S {
+	out := make([][]S, n)
+	for _, r := range runs {
+		for v := 0; v < r.lay.Own; v++ {
+			out[r.base+v] = append([]S(nil), r.seen[v]...)
+		}
+	}
+	return out
+}
+
+// gatherPending assembles the global per-link retry bits (checkpoint Pending
+// format).
+func gatherPending[S any](runs []*shardRun[S], n int) [][]bool {
+	out := make([][]bool, n)
+	for _, r := range runs {
+		for v := 0; v < r.lay.Own; v++ {
+			row := make([]bool, len(r.pending[v]))
+			copy(row, r.pending[v])
+			out[r.base+v] = row
+		}
+	}
+	return out
+}
+
+// scatterStates distributes a global state array onto the shards: owned
+// ranges directly, ghost slots from the same array.
+func scatterStates[S any](runs []*shardRun[S], states []S) {
+	for _, r := range runs {
+		copy(r.cur[:r.lay.Own], states[r.base:r.base+r.lay.Own])
+		lay := r.lay
+		for l := lay.GhostBase; l < lay.NLocal(); l++ {
+			r.cur[l] = states[lay.Global[l]]
+		}
+	}
+}
+
+// scatterOwnedBits sets, on each owning shard, the local bits named by the
+// global ID list.
+func scatterOwnedBits[S any](runs []*shardRun[S], bounds []int32, ids []int, sel func(*shardRun[S]) bitset) {
+	for _, gid := range ids {
+		s := locateOwner(bounds, int32(gid))
+		sel(runs[s]).set(gid - runs[s].base)
+	}
+}
+
+// scatterGhostBits sets each shard's ghost bit for every ghost whose global
+// ID is in the set — used on resume to restore remote sender knowledge.
+func scatterGhostBits[S any](runs []*shardRun[S], global bitset, sel func(*shardRun[S]) bitset) {
+	for _, r := range runs {
+		lay := r.lay
+		for l := lay.GhostBase; l < lay.NLocal(); l++ {
+			if global.get(int(lay.Global[l])) {
+				sel(r).set(l)
+			}
+		}
+	}
+}

@@ -1,0 +1,802 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"time"
+	"unsafe"
+
+	"structura/internal/graph"
+)
+
+// valueBytes is the in-memory size of one state value, the unit of the
+// exchange's bytes accounting (an approximation for states holding pointers:
+// referenced storage is shared, not shipped).
+func valueBytes[S any]() int {
+	var z S
+	return int(unsafe.Sizeof(z))
+}
+
+// runSharded executes a partitioned run: the WithPartition dispatch target.
+// Every mode combination (full/delta × clean/perturbed) mirrors its
+// unsharded twin round for round — same states, same Stats, same checkpoint
+// contents, same error strings — with per-shard locality and a
+// changed-values-only ghost exchange between rounds.
+func runSharded[S any](
+	g *graph.CSR,
+	init func(v int) S,
+	step func(v int, self S, neighbors []S) (S, bool),
+	cfg config,
+	workers int,
+) ([]S, Stats, error) {
+	if cfg.perturber != nil {
+		return runShardedPerturbed(g, init, step, cfg, workers)
+	}
+	return runShardedClean(g, init, step, cfg, workers)
+}
+
+// runShardedClean is the clean-path sharded kernel, covering both the full
+// sweep (every owned node steps every round, messages billed at M per round)
+// and WithDelta (frontier-only stepping with delta message accounting).
+func runShardedClean[S any](
+	g *graph.CSR,
+	init func(v int) S,
+	step func(v int, self S, neighbors []S) (S, bool),
+	cfg config,
+	workers int,
+) ([]S, Stats, error) {
+	part := cfg.partition
+	bounds, lays, verr := validatePartition(g, part)
+	if verr != nil {
+		return nil, Stats{}, verr
+	}
+	sink, resume, err := checkpointPlumbing[S](&cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	n := g.N()
+	k := len(lays)
+	delta := cfg.delta
+	runs := newShardRuns(bounds, lays, init, delta, false)
+
+	msgsPerRound := g.M()
+	if !g.Directed() {
+		msgsPerRound *= 2
+	}
+
+	var st Stats
+	startRound := 0
+	roundMsgs := msgsPerRound // round 1: every node broadcasts its init state
+	if resume != nil {
+		if err := validateResume(resume, n, false, delta); err != nil {
+			return nil, Stats{}, err
+		}
+		scatterStates(runs, resume.States)
+		st = snapshotStats(resume.Stats)
+		startRound = resume.Round
+	}
+	if delta {
+		if resume != nil && startRound > 0 {
+			if err := checkFrontierIDs(resume.Changed, n, "Changed"); err != nil {
+				return nil, Stats{}, err
+			}
+			if err := checkFrontierIDs(resume.Frontier, n, "Frontier"); err != nil {
+				return nil, Stats{}, err
+			}
+			roundMsgs = 0
+			for _, v := range resume.Changed {
+				roundMsgs += g.InDegree(v)
+			}
+			scatterOwnedBits(runs, bounds, resume.Frontier, func(r *shardRun[S]) bitset { return r.frontier })
+		} else {
+			for _, sr := range runs {
+				sr.frontier.setFirst(sr.lay.Own)
+			}
+		}
+	}
+
+	flows := make([]int32, k*k)
+	vb := valueBytes[S]()
+
+	for r := startRound; r < cfg.maxRounds; r++ {
+		if cerr := cfg.cancelled(); cerr != nil {
+			return gatherStates(runs, n), st, cerr
+		}
+		begin := time.Now()
+		if delta {
+			forShards(runs, workers, func(_ int, sr *shardRun[S]) { shardStepDelta(sr, step) })
+		} else {
+			forShards(runs, workers, func(_ int, sr *shardRun[S]) { shardStepFull(sr, step) })
+		}
+		if serr := shardErr(runs); serr != nil {
+			return gatherStates(runs, n), st, serr
+		}
+		// Commit after the barrier; shards own disjoint state.
+		forShards(runs, workers, func(_ int, sr *shardRun[S]) {
+			if delta {
+				for _, v := range sr.ws.ids {
+					sr.cur[v] = sr.next[v]
+				}
+			} else {
+				sr.cur, sr.next = sr.next, sr.cur
+				// The swap moved the valid ghost values into next; bring
+				// them back before the exchange refreshes the changed ones.
+				copy(sr.cur[sr.lay.Own:], sr.next[sr.lay.Own:])
+			}
+		})
+		changedTotal := 0
+		for _, sr := range runs {
+			changedTotal += sr.changed
+		}
+		st.Rounds++
+		st.Messages += roundMsgs
+
+		// Ghost exchange: push this round's changed boundary values to
+		// their replicas. In delta mode the apply marks arriving ghosts
+		// dirty so the local frontier rebuild sees remote changes.
+		for i := range flows {
+			flows[i] = 0
+		}
+		forShards(runs, workers, func(_ int, sr *shardRun[S]) { sr.stageChanged() })
+		applyExchange(runs, workers, delta, flows)
+		part.OnExchange(st.Rounds, flows, vb)
+
+		rs := RoundStats{Round: st.Rounds, Changed: changedTotal, Messages: roundMsgs, Elapsed: time.Since(begin)}
+		st.History = append(st.History, rs)
+
+		if delta {
+			// Next round's message bill derives from the global changed
+			// set: ghost replicas are excluded so each changed node is
+			// billed exactly once, as in the unsharded kernel.
+			pushCost := ownedPushCost(g, runs, func(r *shardRun[S]) bitset { return r.dirty })
+			forShards(runs, workers, func(_ int, sr *shardRun[S]) { rebuildLocalFrontier(sr, sr.dirty) })
+			roundMsgs = pushCost
+		}
+		if sink != nil && st.Rounds%cfg.ckptEvery == 0 {
+			cp := Checkpoint[S]{Round: st.Rounds, States: gatherStates(runs, n), Stats: snapshotStats(st)}
+			if delta {
+				cp.Delta = true
+				cp.Changed = gatherOwnedBits(runs, func(r *shardRun[S]) bitset { return r.dirty })
+				cp.Frontier = gatherOwnedBits(runs, func(r *shardRun[S]) bitset { return r.frontier })
+			}
+			sink(cp)
+		}
+		forShards(runs, workers, func(_ int, sr *shardRun[S]) { sr.dirty.reset() })
+		if cfg.observer != nil {
+			if oerr := observe(cfg.observer, rs); oerr != nil {
+				return gatherStates(runs, n), st, oerr
+			}
+		}
+		if changedTotal == 0 {
+			st.Stable = true
+			return gatherStates(runs, n), st, nil
+		}
+	}
+	st.Stable = false
+	return gatherStates(runs, n), st, nil
+}
+
+// runShardedPerturbed is the fault-injected sharded kernel (full and delta).
+// Restarted boundary values are pushed to replicas before the step so every
+// shard sees the same start-of-round states the unsharded kernel would, and
+// topology churn rebuilds the partition in place (ownership preserved) with
+// the same seen/pending carry rules as remapSeen/remapPending.
+func runShardedPerturbed[S any](
+	g *graph.CSR,
+	init func(v int) S,
+	step func(v int, self S, neighbors []S) (S, bool),
+	cfg config,
+	workers int,
+) ([]S, Stats, error) {
+	part := cfg.partition
+	bounds, lays, verr := validatePartition(g, part)
+	if verr != nil {
+		return nil, Stats{}, verr
+	}
+	sink, resume, err := checkpointPlumbing[S](&cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	n := g.N()
+	delta := cfg.delta
+
+	var st Stats
+	startRound := 0
+	if resume != nil {
+		if err := validateResume(resume, n, true, delta); err != nil {
+			return nil, Stats{}, err
+		}
+		// Fast-forward the perturber exactly like the unsharded paths, then
+		// rebuild the partition for the churned topology before any shard
+		// state is allocated.
+		churned := false
+		for r := 1; r <= resume.Round; r++ {
+			p := cfg.perturber.BeforeRound(r, g)
+			if p.Topology != nil {
+				if p.Topology.N() != n {
+					return nil, Stats{}, errors.New("runtime: perturbed topology changed the node count")
+				}
+				g = p.Topology
+				churned = true
+			}
+		}
+		if churned {
+			np, rerr := part.Rebuild(g)
+			if rerr != nil {
+				return nil, Stats{}, rerr
+			}
+			part = np
+			if bounds, lays, verr = validatePartition(g, part); verr != nil {
+				return nil, Stats{}, verr
+			}
+		}
+	}
+	k := len(lays)
+	runs := newShardRuns(bounds, lays, init, delta, true)
+	if resume != nil {
+		scatterStates(runs, resume.States)
+		st = snapshotStats(resume.Stats)
+		startRound = resume.Round
+	}
+	seenReady := false
+	if resume != nil && resume.Seen != nil {
+		for _, sr := range runs {
+			sr.seen = make([][]S, sr.lay.Own)
+			for v := 0; v < sr.lay.Own; v++ {
+				sr.seen[v] = append([]S(nil), resume.Seen[sr.base+v]...)
+			}
+		}
+		seenReady = true
+	}
+	pendingReady := false
+	if delta && resume != nil && startRound > 0 {
+		if resume.Pending == nil {
+			return nil, Stats{}, errors.New("runtime: resume into a perturbed delta run needs a checkpoint with Pending link state")
+		}
+		if len(resume.Pending) != n {
+			return nil, Stats{}, fmt.Errorf("runtime: resume checkpoint has %d pending rows for %d nodes", len(resume.Pending), n)
+		}
+		for v := 0; v < n; v++ {
+			if len(resume.Pending[v]) != len(g.Neighbors(v)) {
+				return nil, Stats{}, fmt.Errorf("runtime: resume checkpoint pending row %d has %d links, topology has %d",
+					v, len(resume.Pending[v]), len(g.Neighbors(v)))
+			}
+		}
+		for _, sr := range runs {
+			sr.pending = make([][]bool, sr.lay.Own)
+			sr.pc = make([]int32, sr.lay.Own)
+			for v := 0; v < sr.lay.Own; v++ {
+				row := resume.Pending[sr.base+v]
+				pv := make([]bool, len(row))
+				copy(pv, row)
+				sr.pending[v] = pv
+				cnt := int32(0)
+				for _, b := range pv {
+					if b {
+						cnt++
+					}
+				}
+				sr.pc[v] = cnt
+			}
+		}
+		if err := checkFrontierIDs(resume.Changed, n, "Changed"); err != nil {
+			return nil, Stats{}, err
+		}
+		if err := checkFrontierIDs(resume.Frontier, n, "Frontier"); err != nil {
+			return nil, Stats{}, err
+		}
+		gch := newBitset(n)
+		for _, v := range resume.Changed {
+			gch.set(v)
+		}
+		scatterOwnedBits(runs, bounds, resume.Changed, func(r *shardRun[S]) bitset { return r.senders })
+		scatterGhostBits(runs, gch, func(r *shardRun[S]) bitset { return r.senders })
+		scatterOwnedBits(runs, bounds, resume.Frontier, func(r *shardRun[S]) bitset { return r.frontier })
+		pendingReady = true
+	}
+	if !seenReady {
+		for _, sr := range runs {
+			sr.seen = make([][]S, sr.lay.Own)
+			for v := 0; v < sr.lay.Own; v++ {
+				row := sr.lay.Local.Neighbors(v)
+				sv := make([]S, len(row))
+				for i, w := range row {
+					sv[i] = sr.cur[w]
+				}
+				sr.seen[v] = sv
+			}
+		}
+	}
+	if delta && !pendingReady {
+		for _, sr := range runs {
+			sr.pending = make([][]bool, sr.lay.Own)
+			sr.pc = make([]int32, sr.lay.Own)
+			for v := 0; v < sr.lay.Own; v++ {
+				sr.pending[v] = make([]bool, len(sr.lay.Local.Neighbors(v)))
+			}
+			// Round 1: every node broadcasts its init state, so every local
+			// ID that can appear as a sender — owned or ghost — is one.
+			sr.frontier.setFirst(sr.lay.Own)
+			sr.senders.setFirst(sr.lay.Own)
+			for l := sr.lay.GhostBase; l < sr.lay.NLocal(); l++ {
+				sr.senders.set(l)
+			}
+		}
+	}
+
+	flows := make([]int32, k*k)
+	vb := valueBytes[S]()
+
+	for r := startRound; r < cfg.maxRounds; r++ {
+		if cerr := cfg.cancelled(); cerr != nil {
+			return gatherStates(runs, n), st, cerr
+		}
+		round := r + 1
+		p := cfg.perturber.BeforeRound(round, g)
+		handshakes := 0
+		for i := range flows {
+			flows[i] = 0
+		}
+		if p.Topology != nil {
+			if p.Topology.N() != n {
+				return gatherStates(runs, n), st, errors.New("runtime: perturbed topology changed the node count")
+			}
+			np, rerr := part.Rebuild(p.Topology)
+			if rerr != nil {
+				return gatherStates(runs, n), st, rerr
+			}
+			nb, nl, verr := validatePartition(p.Topology, np)
+			if verr != nil {
+				return gatherStates(runs, n), st, verr
+			}
+			for i := range bounds {
+				if nb[i] != bounds[i] {
+					return gatherStates(runs, n), st, errors.New("runtime: partition rebuild changed shard ownership")
+				}
+			}
+			handshakes = remapShardRuns(runs, g, p.Topology, nl, bounds, delta)
+			part = np
+			g = p.Topology
+		}
+		if p.Restart != nil {
+			applyShardRestarts(runs, bounds, p.Restart, init, delta, flows, k)
+		}
+		begin := time.Now()
+		if delta {
+			forShards(runs, workers, func(_ int, sr *shardRun[S]) { shardStepDeltaPerturbed(sr, step, &p) })
+		} else {
+			forShards(runs, workers, func(_ int, sr *shardRun[S]) { shardStepFullPerturbed(sr, step, &p) })
+		}
+		if serr := shardErr(runs); serr != nil {
+			return gatherStates(runs, n), st, serr
+		}
+		forShards(runs, workers, func(_ int, sr *shardRun[S]) {
+			if delta {
+				for _, v := range sr.ws.ids {
+					sr.cur[v] = sr.next[v]
+				}
+			} else {
+				sr.cur, sr.next = sr.next, sr.cur
+				copy(sr.cur[sr.lay.Own:], sr.next[sr.lay.Own:])
+			}
+		})
+		changedTotal, delivered := 0, 0
+		if delta {
+			delivered = handshakes
+		}
+		for _, sr := range runs {
+			changedTotal += sr.changed
+			delivered += sr.delivered
+		}
+		st.Rounds++
+		st.Messages += delivered
+
+		forShards(runs, workers, func(_ int, sr *shardRun[S]) { sr.stageChanged() })
+		applyExchange(runs, workers, delta, flows)
+		part.OnExchange(st.Rounds, flows, vb)
+
+		rs := RoundStats{Round: st.Rounds, Changed: changedTotal, Messages: delivered, Elapsed: time.Since(begin)}
+		st.History = append(st.History, rs)
+
+		if delta {
+			// This round's changed set (owned + exchanged ghost marks)
+			// becomes next round's sender set; the frontier is its readers
+			// plus every carried node.
+			forShards(runs, workers, func(_ int, sr *shardRun[S]) {
+				sr.senders, sr.dirty = sr.dirty, sr.senders
+				sr.dirty.reset()
+				rebuildLocalFrontier(sr, sr.senders)
+				for _, v := range sr.ws.carry {
+					sr.frontier.set(int(v))
+				}
+				sr.ws.carry = sr.ws.carry[:0]
+			})
+		} else {
+			forShards(runs, workers, func(_ int, sr *shardRun[S]) { sr.dirty.reset() })
+		}
+		if sink != nil && st.Rounds%cfg.ckptEvery == 0 {
+			cp := Checkpoint[S]{
+				Round:  st.Rounds,
+				States: gatherStates(runs, n),
+				Seen:   gatherSeen(runs, n),
+				Stats:  snapshotStats(st),
+			}
+			if delta {
+				cp.Delta = true
+				cp.Changed = gatherOwnedBits(runs, func(r *shardRun[S]) bitset { return r.senders })
+				cp.Frontier = gatherOwnedBits(runs, func(r *shardRun[S]) bitset { return r.frontier })
+				cp.Pending = gatherPending(runs, n)
+			}
+			sink(cp)
+		}
+		if cfg.observer != nil {
+			if oerr := observe(cfg.observer, rs); oerr != nil {
+				return gatherStates(runs, n), st, oerr
+			}
+		}
+		if changedTotal == 0 && !cfg.perturber.Active(round+1) {
+			st.Stable = true
+			return gatherStates(runs, n), st, nil
+		}
+	}
+	st.Stable = false
+	return gatherStates(runs, n), st, nil
+}
+
+// shardStepFull steps every owned node against the local CSR — the sharded
+// twin of stepRange, with step and panic reports carrying global IDs.
+func shardStepFull[S any](r *shardRun[S], step func(v int, self S, neighbors []S) (S, bool)) {
+	r.changed = 0
+	r.err = nil
+	buf := r.scratch[:0]
+	lay := r.lay
+	gv := r.base
+	defer func() {
+		r.scratch = buf
+		if rec := recover(); rec != nil {
+			r.err = fmt.Errorf("runtime: step panicked at node %d: %v", gv, rec)
+		}
+	}()
+	for v := 0; v < lay.Own; v++ {
+		gv = r.base + v
+		buf = buf[:0]
+		for _, w := range lay.Local.Neighbors(v) {
+			buf = append(buf, r.cur[w])
+		}
+		s, ch := step(gv, r.cur[v], buf)
+		r.next[v] = s
+		if ch {
+			r.dirty.set(v)
+			r.changed++
+		}
+	}
+}
+
+// shardStepDelta steps the owned frontier nodes — the sharded twin of
+// deltaStepRange. Ghost frontier bits live past the word-aligned GhostBase,
+// so the owned-word iteration never sees them.
+func shardStepDelta[S any](r *shardRun[S], step func(v int, self S, neighbors []S) (S, bool)) {
+	ws := &r.ws
+	ws.ids = ws.ids[:0]
+	r.changed = 0
+	r.err = nil
+	buf := ws.scratch[:0]
+	lay := r.lay
+	own := lay.Own
+	gv := r.base
+	defer func() {
+		ws.scratch = buf
+		if rec := recover(); rec != nil {
+			r.err = fmt.Errorf("runtime: step panicked at node %d: %v", gv, rec)
+		}
+	}()
+	for wi := 0; wi <= (own-1)>>6; wi++ {
+		word := r.frontier[wi]
+		if word == 0 {
+			continue
+		}
+		base := wi << 6
+		for word != 0 {
+			v := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			gv = r.base + v
+			buf = buf[:0]
+			for _, w := range lay.Local.Neighbors(v) {
+				buf = append(buf, r.cur[w])
+			}
+			s, ch := step(gv, r.cur[v], buf)
+			r.next[v] = s
+			ws.ids = append(ws.ids, int32(v))
+			if ch {
+				r.dirty.set(v)
+				r.changed++
+			}
+		}
+	}
+}
+
+// shardStepFullPerturbed is the sharded twin of stepRangePerturbed: owned
+// nodes step against their persistent view buffers, deliveries read local
+// state (ghosts mirror their owners), and fault predicates are evaluated on
+// global IDs.
+func shardStepFullPerturbed[S any](r *shardRun[S], step func(v int, self S, neighbors []S) (S, bool), p *Perturbation) {
+	r.changed = 0
+	r.delivered = 0
+	r.err = nil
+	lay := r.lay
+	gv := r.base
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.err = fmt.Errorf("runtime: step panicked at node %d: %v", gv, rec)
+		}
+	}()
+	for v := 0; v < lay.Own; v++ {
+		gv = r.base + v
+		if p.Inactive != nil && p.Inactive[gv] {
+			r.next[v] = r.cur[v]
+			continue
+		}
+		sv := r.seen[v]
+		for i, w := range lay.Local.Neighbors(v) {
+			gw := int(lay.Global[w])
+			if p.Silence != nil && p.Silence[gw] {
+				continue
+			}
+			if p.Drop != nil && p.Drop(gw, gv) {
+				continue
+			}
+			sv[i] = r.cur[w]
+			r.delivered++
+		}
+		s, ch := step(gv, r.cur[v], sv)
+		r.next[v] = s
+		if ch {
+			r.dirty.set(v)
+			r.changed++
+		}
+	}
+}
+
+// shardStepDeltaPerturbed is the sharded twin of deltaStepRangePerturbed.
+// The senders bitset spans owned and ghost IDs, so "did this neighbor change
+// last round" resolves locally for remote senders too.
+func shardStepDeltaPerturbed[S any](r *shardRun[S], step func(v int, self S, neighbors []S) (S, bool), p *Perturbation) {
+	ws := &r.ws
+	ws.ids = ws.ids[:0]
+	r.changed = 0
+	r.delivered = 0
+	r.err = nil
+	lay := r.lay
+	own := lay.Own
+	gv := r.base
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.err = fmt.Errorf("runtime: step panicked at node %d: %v", gv, rec)
+		}
+	}()
+	for wi := 0; wi <= (own-1)>>6; wi++ {
+		word := r.frontier[wi]
+		if word == 0 {
+			continue
+		}
+		base := wi << 6
+		for word != 0 {
+			v := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			gv = r.base + v
+			if p.Inactive != nil && p.Inactive[gv] {
+				pv := r.pending[v]
+				for i, w := range lay.Local.Neighbors(v) {
+					if !pv[i] && r.senders.get(int(w)) {
+						pv[i] = true
+						r.pc[v]++
+					}
+				}
+				ws.carry = append(ws.carry, int32(v))
+				continue
+			}
+			sv := r.seen[v]
+			pv := r.pending[v]
+			for i, w := range lay.Local.Neighbors(v) {
+				if !pv[i] && !r.senders.get(int(w)) {
+					continue
+				}
+				gw := int(lay.Global[w])
+				if (p.Silence != nil && p.Silence[gw]) || (p.Drop != nil && p.Drop(gw, gv)) {
+					if !pv[i] {
+						pv[i] = true
+						r.pc[v]++
+					}
+					continue
+				}
+				sv[i] = r.cur[w]
+				if pv[i] {
+					pv[i] = false
+					r.pc[v]--
+				}
+				r.delivered++
+			}
+			s, ch := step(gv, r.cur[v], sv)
+			r.next[v] = s
+			ws.ids = append(ws.ids, int32(v))
+			if ch {
+				r.dirty.set(v)
+				r.changed++
+			}
+			if r.pc[v] > 0 {
+				ws.carry = append(ws.carry, int32(v))
+			}
+		}
+	}
+}
+
+// applyShardRestarts resets restarted nodes to their init state and pushes
+// the reset value to every ghost replica before the round's step — the
+// restart broadcast the unsharded kernel gets for free from shared memory.
+// In delta mode the restarted node and all its readers (local and remote,
+// via the replicas' in-neighbors) re-enter the frontier, and the restarted
+// node becomes a sender, exactly mirroring runDeltaPerturbed.
+func applyShardRestarts[S any](
+	runs []*shardRun[S],
+	bounds []int32,
+	restart []bool,
+	init func(v int) S,
+	delta bool,
+	flows []int32,
+	k int,
+) {
+	for gv, rs := range restart {
+		if !rs {
+			continue
+		}
+		s := locateOwner(bounds, int32(gv))
+		sr := runs[s]
+		lv := gv - sr.base
+		val := init(gv)
+		sr.cur[lv] = val
+		if delta {
+			sr.senders.set(lv)
+			sr.frontier.set(lv)
+			for _, w := range sr.lay.Local.InNeighbors(lv) {
+				sr.frontier.set(int(w))
+			}
+		}
+		lay := sr.lay
+		for _, rep := range lay.Replicas[lay.ReplicaOff[lv]:lay.ReplicaOff[lv+1]] {
+			rd := runs[rep.Shard]
+			rd.cur[rep.Slot] = val
+			if delta {
+				rd.senders.set(int(rep.Slot))
+				for _, w := range rd.lay.Local.InNeighbors(int(rep.Slot)) {
+					rd.frontier.set(int(w))
+				}
+			}
+			flows[s*k+int(rep.Shard)]++
+		}
+	}
+}
+
+// shardRemap stages one shard's post-churn state so every shard can read its
+// peers' pre-churn state while building; install happens after all builds.
+type shardRemap[S any] struct {
+	cur, next                []S
+	seen                     [][]S
+	pending                  [][]bool
+	pc                       []int32
+	frontier, dirty, senders bitset
+}
+
+// remapShardRuns rebuilds all shard state for a churned topology with
+// preserved ownership: owned states and owned bitset words carry over, ghost
+// values and ghost sender bits are re-fetched from their owners, and the
+// seen/pending rows follow the unsharded carry rules (remapSeen/remapPending)
+// against the global adjacency — including the handshake count and the
+// rewritten-row frontier marks. Returns the number of handshake deliveries
+// (delta mode; the full path bills none, like remapSeen).
+func remapShardRuns[S any](
+	runs []*shardRun[S],
+	oldG, fresh *graph.CSR,
+	newLays []*ShardLayout,
+	bounds []int32,
+	delta bool,
+) int {
+	handshakes := 0
+	k := len(runs)
+	staged := make([]shardRemap[S], k)
+	for s, sr := range runs {
+		lay := newLays[s]
+		nl := lay.NLocal()
+		rm := shardRemap[S]{cur: make([]S, nl), next: make([]S, nl)}
+		copy(rm.cur[:lay.Own], sr.cur[:lay.Own])
+		for l := lay.GhostBase; l < nl; l++ {
+			gid := lay.Global[l]
+			t := locateOwner(bounds, gid)
+			rm.cur[l] = runs[t].cur[int(gid)-runs[t].base]
+		}
+		rm.dirty = newBitset(nl)
+		ownedWords := (lay.Own + 63) >> 6
+		if delta {
+			rm.frontier = newBitset(nl)
+			copy(rm.frontier[:ownedWords], sr.frontier[:ownedWords])
+			rm.senders = newBitset(nl)
+			copy(rm.senders[:ownedWords], sr.senders[:ownedWords])
+			for l := lay.GhostBase; l < nl; l++ {
+				gid := lay.Global[l]
+				t := locateOwner(bounds, gid)
+				if runs[t].senders.get(int(gid) - runs[t].base) {
+					rm.senders.set(l)
+				}
+			}
+			rm.pending = make([][]bool, lay.Own)
+			rm.pc = make([]int32, lay.Own)
+		}
+		rm.seen = make([][]S, lay.Own)
+		for v := 0; v < lay.Own; v++ {
+			gid := sr.base + v
+			oldRow := oldG.Neighbors(gid)
+			newRow := fresh.Neighbors(gid)
+			sv := make([]S, len(newRow))
+			var pv []bool
+			var cnt int32
+			if delta {
+				pv = make([]bool, len(newRow))
+			}
+			for i, w := range newRow {
+				carried := false
+				for j, ow := range oldRow {
+					if ow == w {
+						sv[i] = sr.seen[v][j]
+						if delta {
+							pv[i] = sr.pending[v][j]
+							if pv[i] {
+								cnt++
+							}
+						}
+						carried = true
+						break
+					}
+				}
+				if !carried {
+					t := locateOwner(bounds, w)
+					sv[i] = runs[t].cur[int(w)-runs[t].base]
+					if delta {
+						handshakes++
+					}
+				}
+			}
+			rm.seen[v] = sv
+			if delta {
+				rm.pending[v] = pv
+				rm.pc[v] = cnt
+				rowChanged := len(oldRow) != len(newRow)
+				if !rowChanged {
+					for i := range newRow {
+						if newRow[i] != oldRow[i] {
+							rowChanged = true
+							break
+						}
+					}
+				}
+				if rowChanged {
+					rm.frontier.set(v)
+				}
+			}
+		}
+		staged[s] = rm
+	}
+	for s, sr := range runs {
+		rm := &staged[s]
+		sr.lay = newLays[s]
+		sr.cur, sr.next = rm.cur, rm.next
+		sr.seen = rm.seen
+		sr.dirty = rm.dirty
+		if delta {
+			sr.frontier = rm.frontier
+			sr.senders = rm.senders
+			sr.pending = rm.pending
+			sr.pc = rm.pc
+		}
+	}
+	return handshakes
+}
