@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-diff bench-smoke fuzz-smoke heal-smoke async-smoke partition-smoke verify
+.PHONY: build test race bench bench-json bench-diff bench-smoke fuzz-smoke heal-smoke async-smoke partition-smoke serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -18,27 +18,31 @@ test:
 # two-phase ghost exchange, the labeling schemes that drive it hardest, the
 # fault-injection harness plus the algorithm packages it perturbs, the
 # remaining engines that ride the delta frontier (centrality, layering,
-# hypercube), the self-healing supervision layer, and the event-driven async
-# executor with its pooled event-queue/arena hot path.
+# hypercube), the self-healing supervision layer, the event-driven async
+# executor with its pooled event-queue/arena hot path, and the RCU-epoch
+# structure server whose lock-free read path only -race can vouch for.
 race:
 	$(GO) test -race ./internal/runtime/... ./internal/partition/... \
 		./internal/labeling/... \
 		./internal/sim/... ./internal/reversal/... ./internal/distvec/... \
 		./internal/centrality/... ./internal/layering/... \
-		./internal/hypercube/... ./internal/heal/... ./internal/async/...
+		./internal/hypercube/... ./internal/heal/... ./internal/async/... \
+		./internal/server/...
 
 # Sequential vs. sharded kernel on 100k-node ER and 20k-node UDG graphs,
 # the delta-frontier steady-state sweep on the same ER instance (full vs
 # delta round cost under scripted churn), the partitioned (edge-cut shard)
-# legs of both, plus the async executor priced on one full quiescence. The
-# async and 10M-node partitioned legs run tens of seconds per op, so they
-# get -benchtime 1x while the other legs average over 3.
+# legs of both, the async executor priced on one full quiescence, and the
+# structure server's query throughput under churn. The async, 10M-node
+# partitioned and serve legs run one complete workload per op, so they get
+# -benchtime 1x while the other legs average over 3.
 bench:
 	$(GO) test -run '^$$' -bench 'Kernel|Freeze' -benchtime 3x ./internal/runtime/bench
 	$(GO) test -run '^$$' -bench DeltaSteady -benchtime 3x ./internal/runtime/bench
 	$(GO) test -run '^$$' -bench 'Partitioned.*100k' -benchtime 3x ./internal/runtime/bench
 	$(GO) test -run '^$$' -bench Async -benchtime 1x ./internal/runtime/bench
 	$(GO) test -run '^$$' -bench PartitionedER10M -benchtime 1x -timeout 30m ./internal/runtime/bench
+	$(GO) test -run '^$$' -bench ServeQPS -benchtime 1x ./internal/server
 
 # Machine-readable benchmark record: one history entry per invocation, each
 # mapping op -> ns/op, B/op, allocs/op (plus ReportMetric extras such as the
@@ -51,7 +55,8 @@ bench-json:
 	  $(GO) test -run '^$$' -bench DeltaSteady -benchmem -benchtime 3x ./internal/runtime/bench ; \
 	  $(GO) test -run '^$$' -bench 'Partitioned.*100k' -benchmem -benchtime 3x ./internal/runtime/bench ; \
 	  $(GO) test -run '^$$' -bench Async -benchmem -benchtime 1x ./internal/runtime/bench ; \
-	  $(GO) test -run '^$$' -bench PartitionedER10M -benchmem -benchtime 1x -timeout 30m ./internal/runtime/bench ; } \
+	  $(GO) test -run '^$$' -bench PartitionedER10M -benchmem -benchtime 1x -timeout 30m ./internal/runtime/bench ; \
+	  $(GO) test -run '^$$' -bench ServeQPS -benchmem -benchtime 1x ./internal/server ; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_kernel.json
 
 # Latest-vs-previous movement of the committed trajectory, per benchmark and
@@ -101,4 +106,12 @@ partition-smoke:
 	$(GO) run ./cmd/structura partition -nodes 20000 -shards 8 \
 		-strategy degree-balanced -delta -check
 
-verify: build test race bench-smoke fuzz-smoke heal-smoke async-smoke partition-smoke
+# The structure server's RCU read path must stay race-clean under live epoch
+# swaps (the hammer test re-run under -race on its own, so the gate survives
+# package-list edits), and the end-to-end serving stack must come up and
+# answer a loadgen burst through the CLI.
+serve-smoke:
+	$(GO) test -race -run TestServeConcurrentReadsDuringEpochSwap ./internal/server
+	$(GO) run ./cmd/structura serve -nodes 2000 -avg-degree 8 -loadgen 20000
+
+verify: build test race bench-smoke fuzz-smoke heal-smoke async-smoke partition-smoke serve-smoke

@@ -102,3 +102,49 @@ func TestDiffAfterRun(t *testing.T) {
 		t.Errorf("diff after run wrong:\n%s", out.String())
 	}
 }
+
+// TestDiffServeQPSLeg: the serving-throughput leg flows through the same
+// pipeline — its ReportMetric extras (queries/sec, p99-ns, epochs) must
+// survive the append and render in the diff alongside the standard
+// dimensions.
+func TestDiffServeQPSLeg(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	sampleA := "BenchmarkServeQPS 	       1	2800439797 ns/op	        17.00 epochs	     16384 p99-ns	     89272 queries/sec	  123456 B/op	    2345 allocs/op\n"
+	sampleB := "BenchmarkServeQPS 	       1	 982020070 ns/op	         5.000 epochs	      8192 p99-ns	    254578 queries/sec	  120000 B/op	    2300 allocs/op\n"
+	if err := run(strings.NewReader(sampleA), path, "a", fixedNow); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(strings.NewReader(sampleB), path, "b", fixedNow); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []Entry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		t.Fatal(err)
+	}
+	last := entries[len(entries)-1].Results["BenchmarkServeQPS"]
+	if got := last.Extra["queries/sec"]; got != 254578 {
+		t.Fatalf("queries/sec = %v, want 254578", got)
+	}
+	if got := last.Extra["p99-ns"]; got != 8192 {
+		t.Fatalf("p99-ns = %v, want 8192", got)
+	}
+	var out bytes.Buffer
+	if err := diff(&out, path); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"BenchmarkServeQPS:",
+		"queries/sec", "89272 -> 254578", "(+185.2%)",
+		"p99-ns", "16384 -> 8192", "(-50.0%)",
+		"epochs", "17 -> 5",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -18,6 +18,8 @@
 //	structura async -scenario mis -seeds 1..8 -compare # sync-vs-async equivalence check
 //	structura partition -nodes 1000000 -shards 8 -strategy degree-balanced
 //	structura partition -shards 4 -delta -check        # sharded == unsharded gate
+//	structura serve -nodes 100000 -addr :8372          # resident structure server
+//	structura serve -nodes 10000 -loadgen 200000       # in-process throughput smoke
 //
 // The global -cpuprofile/-memprofile flags work with every subcommand when
 // placed before it:
@@ -63,6 +65,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "partition" {
 		return runPartition(args[1:], os.Stdout)
+	}
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], os.Stdout)
 	}
 	fs := flag.NewFlagSet("structura", flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "deterministic experiment seed")

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"structura/internal/gen"
+	"structura/internal/heal"
+	"structura/internal/server"
+	"structura/internal/stats"
+)
+
+// runServe is the `structura serve` subcommand: stand up the resident
+// structure server over a generated topology and either listen on -addr or,
+// with -loadgen N, drive N in-process queries through the full serving stack
+// and report throughput — the self-contained smoke mode the Makefile gates
+// on.
+func runServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("structura serve", flag.ContinueOnError)
+	var (
+		nodes      = fs.Int("nodes", 10000, "nodes in the generated ER topology")
+		avgDeg     = fs.Float64("avg-degree", 8, "average degree of the topology")
+		seed       = fs.Int64("seed", 1, "deterministic topology seed")
+		dest       = fs.Int("dest", 0, "destination node the route labels point toward")
+		addr       = fs.String("addr", ":8372", "listen address (ignored with -loadgen)")
+		cds        = fs.Bool("cds", false, "maintain the CDS backbone (needs a connected graph; slow to build on large ones)")
+		inflight   = fs.Int("max-inflight", 0, "concurrent query cap before 429 shed (0 = default)")
+		queue      = fs.Int("queue", 0, "mutation queue depth (0 = default)")
+		batchMax   = fs.Int("batch-max", 0, "max mutations folded into one epoch (0 = default)")
+		maxK       = fs.Int("max-k", 0, "largest k accepted by /khop (0 = default)")
+		maxRounds  = fs.Int("max-rounds", 0, "repair budget: max localized repair sweeps (0 = unbounded)")
+		maxTouched = fs.Int("max-touched", 0, "repair budget: max nodes one repair may touch (0 = unbounded)")
+		load       = fs.Int("loadgen", 0, "run N in-process queries instead of listening, then exit")
+		loadSeed   = fs.Uint64("loadgen-seed", 42, "deterministic loadgen query-stream seed")
+		workers    = fs.Int("loadgen-workers", 0, "loadgen worker goroutines (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *nodes < 2 {
+		return fmt.Errorf("need at least 2 nodes, got %d", *nodes)
+	}
+	g := gen.SparseErdosRenyi(stats.NewRand(*seed), *nodes, *avgDeg/float64(*nodes-1))
+	srv, err := server.New(g, server.Config{
+		Dest: *dest, SkipCDS: !*cds,
+		MaxInFlight: *inflight, QueueDepth: *queue, BatchMax: *batchMax, MaxK: *maxK,
+		RepairBudget: heal.Budget{MaxRounds: *maxRounds, MaxTouched: *maxTouched},
+	})
+	if err != nil {
+		return err
+	}
+	ep := srv.Epoch()
+	fmt.Fprintf(out, "serving %d node(s), %d edge(s), dest %d, epoch %d\n",
+		ep.CSR.N(), ep.CSR.M(), ep.Dest, ep.Seq)
+
+	if *load > 0 {
+		lg := &server.LoadGen{
+			Handler: srv.Handler(), N: *nodes, Seed: *loadSeed,
+			Workers: *workers, CDS: *cds,
+		}
+		st, err := lg.Run(*load)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loadgen: %d queries in %v: %.0f queries/sec, p50 %v, p99 %v, max %v, shed %d\n",
+			st.Queries, st.Elapsed.Round(time.Millisecond), st.QPS, st.P50, st.P99, st.Max, st.Shed)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if st.Errors > 0 {
+			return fmt.Errorf("loadgen saw %d error response(s)", st.Errors)
+		}
+		return nil
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(out, "listening on %s\n", *addr)
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "shutting down")
+	sdCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sdCtx); err != nil {
+		return fmt.Errorf("server shutdown: %w", err)
+	}
+	if err := httpSrv.Shutdown(sdCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	return nil
+}

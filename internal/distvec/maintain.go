@@ -1,6 +1,7 @@
 package distvec
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -52,6 +53,12 @@ func (m *Maintainer) Graph() *graph.Graph { return m.g.Clone() }
 
 // Dist returns a copy of the current hop labels.
 func (m *Maintainer) Dist() []float64 { return append([]float64(nil), m.dist...) }
+
+// NextHops returns a copy of the current next-hop labels: next[v] is the
+// neighbor v forwards through toward the destination, -1 at the destination
+// and for unreachable nodes. Paired with Dist these are the route labels a
+// serving layer publishes per epoch.
+func (m *Maintainer) NextHops() []int { return append([]int(nil), m.next...) }
 
 // AddEdge inserts support edge (u,v) and returns the nodes whose labels the
 // change may have invalidated. The labels themselves are not updated —
@@ -165,6 +172,18 @@ func (m *Maintainer) Inconsistent(candidates []int) []int {
 // up toward the hop ceiling one sweep at a time, which is exactly the
 // bounded count-to-infinity the budget converts into an escalation.
 func (m *Maintainer) Repair(seeds []int, maxRounds, maxTouched int) (touched []int, rounds int, ok bool) {
+	touched, rounds, ok, _ = m.RepairContext(nil, seeds, maxRounds, maxTouched)
+	return touched, rounds, ok
+}
+
+// RepairContext is Repair with a cancellation context threaded through the
+// sweep loop (mirroring runtime.WithContext): the context is checked before
+// every sweep, and a repair interrupted mid-cascade stops where it is and
+// returns ctx.Err() with ok == false. A cancelled repair is NOT a budget
+// exhaustion — the caller should abort (e.g. a server shutting down must not
+// escalate to a full recompute it would also have to abandon), which is why
+// the error is surfaced separately from ok. A nil ctx disables the checks.
+func (m *Maintainer) RepairContext(ctx context.Context, seeds []int, maxRounds, maxTouched int) (touched []int, rounds int, ok bool, err error) {
 	frontier := make([]int, 0, len(seeds))
 	inFrontier := make(map[int]bool, len(seeds))
 	push := func(x int) {
@@ -178,8 +197,15 @@ func (m *Maintainer) Repair(seeds []int, maxRounds, maxTouched int) (touched []i
 	}
 	touchedSet := make(map[int]bool)
 	for len(frontier) > 0 {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return sortedKeys(touchedSet), rounds, false, ctx.Err()
+			default:
+			}
+		}
 		if maxRounds > 0 && rounds >= maxRounds {
-			return sortedKeys(touchedSet), rounds, false
+			return sortedKeys(touchedSet), rounds, false, nil
 		}
 		rounds++
 		cur := frontier
@@ -189,7 +215,7 @@ func (m *Maintainer) Repair(seeds []int, maxRounds, maxTouched int) (touched []i
 		for _, x := range cur {
 			if !touchedSet[x] {
 				if maxTouched > 0 && len(touchedSet) >= maxTouched {
-					return sortedKeys(touchedSet), rounds, false
+					return sortedKeys(touchedSet), rounds, false, nil
 				}
 				touchedSet[x] = true
 			}
@@ -199,7 +225,7 @@ func (m *Maintainer) Repair(seeds []int, maxRounds, maxTouched int) (touched []i
 			}
 		}
 	}
-	return sortedKeys(touchedSet), rounds, true
+	return sortedKeys(touchedSet), rounds, true, nil
 }
 
 // Recompute rebuilds the labels from a BFS — the full-recompute escalation.

@@ -1,0 +1,155 @@
+package heal
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"structura/internal/graph"
+	"structura/internal/sim"
+)
+
+// countdownCtx is a deterministic cancellation source for single-goroutine
+// tests: every Done() poll decrements the counter, and the context becomes
+// done when it reaches zero. Repair loops poll the context once per sweep,
+// so "cancel after k polls" lands the cancellation mid-repair without any
+// timing dependence.
+type countdownCtx struct {
+	left int
+	done chan struct{}
+}
+
+func newCountdownCtx(polls int) *countdownCtx {
+	return &countdownCtx{left: polls, done: make(chan struct{})}
+}
+
+func (c *countdownCtx) Done() <-chan struct{} {
+	if c.left > 0 {
+		c.left--
+		if c.left == 0 {
+			close(c.done)
+		}
+	}
+	return c.done
+}
+
+func (c *countdownCtx) Err() error {
+	select {
+	case <-c.done:
+		return context.Canceled
+	default:
+		return nil
+	}
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+func (c *countdownCtx) Value(any) any { return nil }
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		if err := g.AddEdge(v, v+1); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// TestApplyBatchHealsMutations drives the server-shaped ingest path: an
+// ad-hoc batch of edge events against an engine over the caller's own
+// topology, healed without a fault timeline.
+func TestApplyBatchHealsMutations(t *testing.T) {
+	g := pathGraph(16)
+	eng, err := NewDistVecEngineOver(g.Clone(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := &Supervisor{Engine: eng}
+	rep, err := sup.ApplyBatch([]sim.Event{
+		{Op: sim.OpAddEdge, U: 3, V: 9},
+		{Op: sim.OpRemoveEdge, U: 5, V: 6},
+		{Op: sim.OpAddEdge, U: 3, V: 9}, // duplicate: must not apply
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events != 2 {
+		t.Fatalf("applied %d events, want 2", rep.Events)
+	}
+	if len(rep.Standing) != 0 {
+		t.Fatalf("standing violations after batch: %v", rep.Standing)
+	}
+	// Labels must equal BFS hop counts on the mutated topology.
+	want, _, err := eng.Live().BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, next := eng.(interface {
+		RouteLabels() ([]float64, []int)
+	}).RouteLabels()
+	for v, d := range want {
+		got := dist[v]
+		if d < 0 {
+			if !math.IsInf(got, 1) {
+				t.Fatalf("node %d: dist %v, want +Inf", v, got)
+			}
+			continue
+		}
+		if got != float64(d) {
+			t.Fatalf("node %d: dist %v, want %d", v, got, d)
+		}
+		if v != 0 && next[v] < 0 {
+			t.Fatalf("node %d reachable but has no next hop", v)
+		}
+	}
+}
+
+// TestApplyBatchCancelledMidRepair pins the shutdown contract of satellite
+// concern: a context firing during an active repair stops the cascade where
+// it is, surfaces ctx.Err() and does NOT escalate to a full recompute — the
+// caller is shutting down and must simply not publish the half-repaired
+// labels.
+func TestApplyBatchCancelledMidRepair(t *testing.T) {
+	g := pathGraph(64)
+	eng, err := NewDistVecEngineOver(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing a mid-path edge detaches a long tail whose labels count to
+	// the hop ceiling one repair sweep at a time — dozens of sweeps, so a
+	// countdown of 3 polls lands squarely mid-repair.
+	ctx := newCountdownCtx(3)
+	sup := &Supervisor{Engine: eng, Ctx: ctx}
+	rep, err := sup.ApplyBatch([]sim.Event{{Op: sim.OpRemoveEdge, U: 31, V: 32}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ApplyBatch error = %v, want context.Canceled", err)
+	}
+	if rep.Repairs != 1 {
+		t.Fatalf("repairs = %d, want 1 (the interrupted one)", rep.Repairs)
+	}
+	if rep.Escalations != 0 {
+		t.Fatalf("escalations = %d, want 0: cancellation must not trigger recompute", rep.Escalations)
+	}
+}
+
+// TestRunCancelledBetweenRounds: a fault-timeline run observes a cancelled
+// context between rounds and returns the report so far with ctx.Err().
+func TestRunCancelledBetweenRounds(t *testing.T) {
+	eng, err := NewEngine("mis", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sup := &Supervisor{Engine: eng, Ctx: ctx}
+	rep, err := sup.Run(1, sim.Schedule{Horizon: 50, ChurnAdd: 1, ChurnRemove: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+	if rep == nil || rep.Rounds != 0 {
+		t.Fatalf("cancelled-before-start run executed %v rounds", rep)
+	}
+}

@@ -27,13 +27,31 @@ type cdsEngine struct {
 
 func newCDSEngine(seed uint64) (*cdsEngine, error) {
 	_ = seed // one fixed grid, matching the sim cds scenario
-	g := sim.CDSGrid()
+	return newCDSEngineOver(sim.CDSGrid())
+}
+
+func newCDSEngineOver(g *graph.Graph) (*cdsEngine, error) {
 	prio := labeling.PriorityByID(g.N())
 	cds, _, err := labeling.CDSFromMIS(g, prio)
 	if err != nil {
 		return nil, err
 	}
 	return &cdsEngine{g: g, prio: prio, members: labeling.SetOf(cds)}, nil
+}
+
+// NewCDSEngineOver builds a supervised CDS engine over the caller's
+// topology (retained and mutated through Apply — pass a clone to keep the
+// original), for callers maintaining the backbone on their own graph: the
+// serving layer's ingest path. Construction fails on a disconnected graph
+// (no CDS exists), so serving layers treat the backbone as optional.
+// CDSMembers exposes the membership an epoch publishes.
+func NewCDSEngineOver(g *graph.Graph) (Engine, error) {
+	return newCDSEngineOver(g)
+}
+
+// CDSMembers returns the current backbone members, sorted.
+func (e *cdsEngine) CDSMembers() []int {
+	return sortedSet(e.members)
 }
 
 func (e *cdsEngine) Name() string       { return "cds" }
@@ -121,8 +139,13 @@ func (e *cdsEngine) Repair(viols []sim.Violation, b Budget) RepairOutcome {
 
 	// Move 1: every stranded node gets its highest-priority neighbor
 	// promoted into the set (re-checked live — an earlier promotion may
-	// already cover it).
+	// already cover it). Each move polls the budget context so a shutdown
+	// interrupts the repair mid-cascade (the Supervisor re-checks its own
+	// context and aborts instead of escalating).
 	for _, viol := range viols {
+		if b.Err() != nil {
+			return RepairOutcome{Touched: sortedSet(touched), Rounds: mods, OK: false}
+		}
 		if viol.Invariant != "cds-domination" || viol.Node < 0 {
 			continue
 		}
@@ -152,6 +175,9 @@ func (e *cdsEngine) Repair(viols []sim.Violation, b Budget) RepairOutcome {
 	// Move 2: stitch detached backbone components to the primary one with
 	// gateway nodes along a shortest connecting path.
 	for {
+		if b.Err() != nil {
+			return RepairOutcome{Touched: sortedSet(touched), Rounds: mods, OK: false}
+		}
 		comps := e.components()
 		if len(comps) <= 1 {
 			break
@@ -175,6 +201,9 @@ func (e *cdsEngine) Repair(viols []sim.Violation, b Budget) RepairOutcome {
 	// Move 3: re-prune the affected region, lowest priority first — each
 	// removal is verified against the full CDS property before it sticks.
 	for _, v := range sortedByPriorityAsc(touched, e.prio) {
+		if b.Err() != nil {
+			return RepairOutcome{Touched: sortedSet(touched), Rounds: mods, OK: false}
+		}
 		if !e.members[v] {
 			continue
 		}

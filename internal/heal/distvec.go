@@ -19,12 +19,31 @@ type distvecEngine struct {
 }
 
 func newDistVecEngine(seed uint64) (*distvecEngine, error) {
-	g := sim.DistVecRing(seed)
-	m, err := distvec.NewMaintainer(g, 0)
+	return newDistVecEngineOver(sim.DistVecRing(seed), 0)
+}
+
+func newDistVecEngineOver(g *graph.Graph, dest int) (*distvecEngine, error) {
+	m, err := distvec.NewMaintainer(g, dest)
 	if err != nil {
 		return nil, err
 	}
 	return &distvecEngine{g: g, m: m}, nil
+}
+
+// NewDistVecEngineOver builds a supervised distance-vector engine over the
+// caller's topology (retained and mutated through Apply — pass a clone to
+// keep the original) toward dest, for callers that maintain route labels on
+// their own graph rather than a sim scenario: the serving layer's ingest
+// path. RouteLabels exposes the labels an epoch publishes.
+func NewDistVecEngineOver(g *graph.Graph, dest int) (Engine, error) {
+	return newDistVecEngineOver(g, dest)
+}
+
+// RouteLabels returns copies of the current route labels: hop distances
+// toward the destination (+Inf unreachable) and next hops (-1 at the
+// destination and when unreachable).
+func (e *distvecEngine) RouteLabels() (dist []float64, next []int) {
+	return e.m.Dist(), e.m.NextHops()
 }
 
 func (e *distvecEngine) Name() string       { return "distvec" }
@@ -64,7 +83,9 @@ func (e *distvecEngine) CheckLocal(dirty []int) []sim.Violation {
 }
 
 func (e *distvecEngine) Repair(viols []sim.Violation, b Budget) RepairOutcome {
-	touched, rounds, ok := e.m.Repair(violationNodes(viols), b.MaxRounds, b.MaxTouched)
+	// A ctx error surfaces as !OK; the Supervisor re-checks its own context
+	// after Repair and aborts instead of escalating.
+	touched, rounds, ok, _ := e.m.RepairContext(b.Ctx, violationNodes(viols), b.MaxRounds, b.MaxTouched)
 	return RepairOutcome{Touched: touched, Rounds: rounds, OK: ok}
 }
 

@@ -24,6 +24,7 @@
 package heal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -36,9 +37,34 @@ import (
 // MaxTouched distinct touched nodes. A bound <= 0 is unbounded. A repair
 // that would exceed either bound stops and reports !OK, which the
 // Supervisor converts into an escalation to full recompute.
+//
+// Ctx, when non-nil, threads cancellation through the repair itself
+// (mirroring runtime.WithContext): engines check it between repair sweeps
+// and stop mid-cascade when it fires, reporting !OK. Cancellation is NOT a
+// budget exhaustion — the Supervisor re-checks its own context after every
+// repair and surfaces ctx.Err() instead of escalating, so a shutdown during
+// an active repair aborts cleanly rather than triggering the full recompute
+// it would also have to abandon. The Supervisor fills this field from its
+// own Ctx; callers invoking Engine.Repair directly may set it themselves.
 type Budget struct {
 	MaxRounds  int
 	MaxTouched int
+	Ctx        context.Context
+}
+
+// Err reports the budget context's error if the context is done, nil
+// otherwise (including for the nil context). Engines whose repair loops
+// live in this package poll it between repair moves.
+func (b Budget) Err() error {
+	if b.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-b.Ctx.Done():
+		return b.Ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // RepairOutcome is what an engine's localized repair reports back.
@@ -155,6 +181,28 @@ type Supervisor struct {
 	// straight to full recompute. The comparison baseline for the
 	// repair-vs-recompute experiment.
 	ForceRecompute bool
+
+	// Ctx, when non-nil, cancels the supervision (mirroring
+	// runtime.WithContext): Run checks it between rounds, ApplyBatch
+	// between events, and both thread it into each repair's Budget so an
+	// active repair stops mid-cascade. A cancelled run returns the report
+	// accumulated so far together with ctx.Err(); no escalation happens on
+	// cancellation, so the engine's labels are simply left where the repair
+	// stopped — callers must not publish them.
+	Ctx context.Context
+}
+
+// cancelled reports the supervisor context's error, if any.
+func (s *Supervisor) cancelled() error {
+	if s.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-s.Ctx.Done():
+		return s.Ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // ErrNoEngine reports a Supervisor run without an engine.
@@ -180,6 +228,9 @@ func (s *Supervisor) Run(seed uint64, sch sim.Schedule) (*Report, error) {
 	inIncident := false
 	var pending []int // nodes of an unresolved incident, retried every round
 	for round := 1; round <= fs.MaxRound(); round++ {
+		if cerr := s.cancelled(); cerr != nil {
+			return rep, cerr
+		}
 		rep.Rounds = round
 		dirty := append([]int(nil), pending...)
 		for _, e := range fs.RoundEvents(round, eng.Live()) {
@@ -216,21 +267,77 @@ func (s *Supervisor) Run(seed uint64, sch sim.Schedule) (*Report, error) {
 		// An incident that survives repair AND recompute (a partitioned
 		// support) stays pending: it is retried every following round, so a
 		// reconnecting edge heals it without waiting for a sweep.
-		pending = violationNodes(s.resolve(rep, viols, dirty))
+		left, rerr := s.resolve(rep, viols, dirty)
+		if rerr != nil {
+			return rep, rerr
+		}
+		pending = violationNodes(left)
 		inIncident = len(pending) > 0
 	}
 	rep.Standing = s.sweep()
 	return rep, nil
 }
 
+// ApplyBatch drives one detect → repair → escalate cycle for an ad-hoc
+// batch of edge events outside any fault timeline — the ingest path of a
+// serving layer, where mutation batches arrive from clients instead of a
+// sim.Schedule. Events' Round fields are ignored. The returned report
+// covers just this batch (Rounds is 1; Standing lists violations that
+// survived repair AND recompute, e.g. a disconnected support). On
+// cancellation via s.Ctx the batch is abandoned where it stands and
+// ctx.Err() is returned: the engine's labels may be mid-repair, so the
+// caller must not publish them.
+func (s *Supervisor) ApplyBatch(events []sim.Event) (*Report, error) {
+	if s.Engine == nil {
+		return nil, ErrNoEngine
+	}
+	eng := s.Engine
+	rep := &Report{Engine: eng.Name(), Nodes: eng.Live().N(), Rounds: 1}
+	var dirty []int
+	for _, e := range events {
+		if cerr := s.cancelled(); cerr != nil {
+			return rep, cerr
+		}
+		if d, applied := eng.Apply(e); applied {
+			rep.Events++
+			dirty = append(dirty, d...)
+		}
+	}
+	viols := eng.CheckLocal(dirty)
+	if len(viols) == 0 {
+		return rep, nil
+	}
+	rep.Detections = append(rep.Detections, Detection{
+		Round: 1, FaultRound: 1, Violations: len(viols), First: viols[0].String(),
+	})
+	left, err := s.resolve(rep, viols, dirty)
+	if err != nil {
+		return rep, err
+	}
+	rep.Standing = left
+	return rep, nil
+}
+
 // resolve runs the repair → verify → escalate arm of the state machine for
 // one detection batch, returning the violations still standing afterwards.
-func (s *Supervisor) resolve(rep *Report, viols []sim.Violation, dirty []int) []sim.Violation {
+// A non-nil error means the supervisor's context fired mid-resolution: the
+// engine's labels are wherever the repair stopped, and no escalation has
+// happened.
+func (s *Supervisor) resolve(rep *Report, viols []sim.Violation, dirty []int) ([]sim.Violation, error) {
 	eng := s.Engine
 	if !s.ForceRecompute {
-		out := eng.Repair(viols, s.Budget)
+		b := s.Budget
+		if b.Ctx == nil {
+			b.Ctx = s.Ctx
+		}
+		out := eng.Repair(viols, b)
 		rep.Repairs++
 		rep.RepairRounds += out.Rounds
+		// A cancelled repair aborts the whole resolution: escalating would
+		// start a full recompute the caller is about to abandon anyway.
+		if cerr := s.cancelled(); cerr != nil {
+			return viols, cerr
+		}
 		// A repair must verify before it counts: the engine's detector is
 		// re-run over everything the repair moved plus the original dirty
 		// set. Anything left standing escalates.
@@ -243,17 +350,20 @@ func (s *Supervisor) resolve(rep *Report, viols []sim.Violation, dirty []int) []
 						rep.MaxTouchedFrac = frac
 					}
 				}
-				return nil
+				return nil, nil
 			}
 		}
+	}
+	if cerr := s.cancelled(); cerr != nil {
+		return viols, cerr
 	}
 	rep.Escalations++
 	if rounds, err := eng.Recompute(); err == nil {
 		rep.RecomputeRounds += rounds
-		return nil
+		return nil, nil
 	}
 	// A failed recompute (partitioned support): the incident stays open.
-	return viols
+	return viols, nil
 }
 
 // sweep checks every registered invariant against the engine's snapshot.

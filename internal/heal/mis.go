@@ -20,13 +20,30 @@ type misEngine struct {
 }
 
 func newMISEngine(seed uint64) (*misEngine, error) {
-	g := sim.MISGraph(seed)
+	return newMISEngineOver(sim.MISGraph(seed))
+}
+
+func newMISEngineOver(g *graph.Graph) (*misEngine, error) {
 	prio := labeling.PriorityByID(g.N())
 	in, err := labeling.GreedyMIS(g, prio)
 	if err != nil {
 		return nil, err
 	}
 	return &misEngine{g: g, prio: prio, in: in}, nil
+}
+
+// NewMISEngineOver builds a supervised MIS engine over the caller's
+// topology (retained and mutated through Apply — pass a clone to keep the
+// original) under ID priorities, for callers maintaining the election on
+// their own graph: the serving layer's ingest path. MISLabels exposes the
+// membership an epoch publishes.
+func NewMISEngineOver(g *graph.Graph) (Engine, error) {
+	return newMISEngineOver(g)
+}
+
+// MISLabels returns a copy of the current MIS membership.
+func (e *misEngine) MISLabels() []bool {
+	return append([]bool(nil), e.in...)
 }
 
 func (e *misEngine) Name() string       { return "mis" }
@@ -52,7 +69,9 @@ func (e *misEngine) CheckLocal(dirty []int) []sim.Violation {
 // sweep structure, so the flip count stands in for repair rounds and the
 // MaxTouched bound is the budget that matters.
 func (e *misEngine) Repair(viols []sim.Violation, b Budget) RepairOutcome {
-	touched, flips, ok := labeling.MaintainMIS(e.g, e.in, e.prio, violationNodes(viols), b.MaxTouched)
+	// A ctx error surfaces as !OK; the Supervisor re-checks its own context
+	// after Repair and aborts instead of escalating.
+	touched, flips, ok, _ := labeling.MaintainMISContext(b.Ctx, e.g, e.in, e.prio, violationNodes(viols), b.MaxTouched)
 	return RepairOutcome{Touched: touched, Rounds: flips, OK: ok}
 }
 

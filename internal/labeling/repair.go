@@ -1,6 +1,7 @@
 package labeling
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -82,8 +83,20 @@ func MISFixedPointViolations(g *graph.Graph, in []bool, prio Priority, candidate
 // rebuild (GreedyMIS). touched lists the distinct nodes examined, flips
 // counts membership changes.
 func MaintainMIS(g *graph.Graph, in []bool, prio Priority, seeds []int, maxTouched int) (touched []int, flips int, ok bool) {
+	touched, flips, ok, _ = MaintainMISContext(nil, g, in, prio, seeds, maxTouched)
+	return touched, flips, ok
+}
+
+// MaintainMISContext is MaintainMIS with a cancellation context threaded
+// through the cascade (mirroring runtime.WithContext): the context is
+// checked before each node is settled, and a cancelled repair stops where it
+// is, returning ctx.Err() with ok == false. Cancellation is distinct from
+// budget exhaustion — a caller shutting down should abort rather than
+// escalate to the full rebuild it would also abandon. A nil ctx disables
+// the checks.
+func MaintainMISContext(ctx context.Context, g *graph.Graph, in []bool, prio Priority, seeds []int, maxTouched int) (touched []int, flips int, ok bool, err error) {
 	if len(in) != g.N() {
-		return nil, 0, false
+		return nil, 0, false, nil
 	}
 	work := make([]int, 0, len(seeds))
 	inWork := make(map[int]bool, len(seeds))
@@ -94,6 +107,14 @@ func MaintainMIS(g *graph.Graph, in []bool, prio Priority, seeds []int, maxTouch
 		}
 	}
 	for len(work) > 0 {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				sort.Ints(touched)
+				return touched, flips, false, ctx.Err()
+			default:
+			}
+		}
 		// Pop the highest-priority pending node.
 		bi := 0
 		for i := 1; i < len(work); i++ {
@@ -107,7 +128,7 @@ func MaintainMIS(g *graph.Graph, in []bool, prio Priority, seeds []int, maxTouch
 		delete(inWork, x)
 
 		if maxTouched > 0 && len(touched) >= maxTouched {
-			return touched, flips, false
+			return touched, flips, false, nil
 		}
 		touched = append(touched, x)
 
@@ -130,7 +151,7 @@ func MaintainMIS(g *graph.Graph, in []bool, prio Priority, seeds []int, maxTouch
 		})
 	}
 	sort.Ints(touched)
-	return touched, flips, true
+	return touched, flips, true, nil
 }
 
 // ErrNotMIS reports a membership slice that fails the MIS property.

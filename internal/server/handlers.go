@@ -1,0 +1,398 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// routes wires every endpoint into the mux. Query endpoints go through the
+// shed gate; /metrics and /healthz bypass it so observability survives
+// overload.
+func (s *Server) routes() {
+	s.mux.HandleFunc("/route", s.handle("/route", true, s.handleRoute))
+	s.mux.HandleFunc("/khop", s.handle("/khop", true, s.handleKhop))
+	s.mux.HandleFunc("/centrality/topk", s.handle("/centrality/topk", true, s.handleTopK))
+	s.mux.HandleFunc("/cds/member", s.handle("/cds/member", true, s.handleCDSMember))
+	s.mux.HandleFunc("/labels", s.handle("/labels", true, s.handleLabels))
+	s.mux.HandleFunc("/mutate", s.handle("/mutate", true, s.handleMutate))
+	s.mux.HandleFunc("/metrics", s.handle("/metrics", false, s.handleMetrics))
+	s.mux.HandleFunc("/healthz", s.handle("/healthz", false, s.handleHealthz))
+}
+
+// handlerFunc is an endpoint body that reports the status it wrote, so the
+// serving wrapper can observe latency by status without allocating a
+// ResponseWriter shim per request.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) int
+
+// handle wraps an endpoint with the serving policy: 503 after shutdown,
+// 429 shed at the concurrency limit (non-blocking semaphore acquire — a
+// saturated server rejects instantly instead of queueing), in-flight
+// tracking for graceful drain, and per-endpoint latency observation.
+func (s *Server) handle(name string, useSem bool, fn handlerFunc) http.HandlerFunc {
+	est := s.met.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		if s.closed.Load() {
+			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		}
+		if useSem {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				est.shed.Add(1)
+				writeError(w, http.StatusTooManyRequests, "overloaded, retry later")
+				return
+			}
+		}
+		start := time.Now()
+		status := fn(w, r)
+		est.observe(time.Since(start), status)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+	return status
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) int {
+	return writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+// nodeParam parses a required in-range node ID query parameter.
+func (s *Server) nodeParam(q url.Values, name string) (int, error) {
+	raw := q.Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing %q parameter", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("%q must be an integer", name)
+	}
+	if v < 0 || v >= s.n {
+		return 0, fmt.Errorf("node %d out of range [0,%d)", v, s.n)
+	}
+	return v, nil
+}
+
+// intParam parses an optional positive integer parameter with a default.
+func intParam(q url.Values, name string, def int) (int, error) {
+	raw := q.Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("%q must be a positive integer", name)
+	}
+	return v, nil
+}
+
+type routeResponse struct {
+	Epoch uint64  `json:"epoch"`
+	From  int     `json:"from"`
+	Dest  int     `json:"dest"`
+	Dist  float64 `json:"dist"` // hop count, -1 when unreachable
+	Path  []int   `json:"path,omitempty"`
+}
+
+// handleRoute walks the distance-vector next-hop chain from the source to
+// the destination. The whole walk reads one epoch, so the chain is loop-free
+// by the maintainer's fixed point; the step bound is a defensive guard only.
+// Unreachable sources report dist -1 (math.Inf does not marshal to JSON).
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) int {
+	from, err := s.nodeParam(r.URL.Query(), "from")
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	ep := s.epoch.Load()
+	resp := routeResponse{Epoch: ep.Seq, From: from, Dest: ep.Dest, Dist: -1}
+	if d := ep.RouteDist[from]; !math.IsInf(d, 1) {
+		resp.Dist = d
+		path := []int{from}
+		for v := from; v != ep.Dest; {
+			nx := ep.RouteNext[v]
+			if nx < 0 || len(path) > len(ep.RouteNext) {
+				return writeError(w, http.StatusInternalServerError, "next-hop chain does not reach dest")
+			}
+			path = append(path, nx)
+			v = nx
+		}
+		resp.Path = path
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+type khopResponse struct {
+	Epoch uint64 `json:"epoch"`
+	Node  int    `json:"node"`
+	K     int    `json:"k"`
+	Count int    `json:"count"`
+	Nodes []int  `json:"nodes"`
+}
+
+// handleKhop runs a depth-bounded BFS on the epoch's CSR using pooled
+// scratch (allocation-free on the hot path apart from the response), and
+// returns the nodes within k hops, sorted, excluding the center.
+func (s *Server) handleKhop(w http.ResponseWriter, r *http.Request) int {
+	query := r.URL.Query()
+	node, err := s.nodeParam(query, "node")
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	k, err := intParam(query, "k", 1)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	if k > s.cfg.MaxK {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("k %d exceeds the configured cap %d", k, s.cfg.MaxK))
+	}
+	ep := s.epoch.Load()
+	sc := s.khopPool.Get().(*khopScratch)
+	q := sc.queue[:0]
+	q = append(q, int32(node))
+	sc.dist[node] = 0
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		if sc.dist[v] >= int32(k) {
+			continue
+		}
+		for _, u := range ep.CSR.Neighbors(int(v)) {
+			if sc.dist[u] < 0 {
+				sc.dist[u] = sc.dist[v] + 1
+				q = append(q, u)
+			}
+		}
+	}
+	nodes := make([]int, 0, len(q)-1)
+	for _, v := range q {
+		sc.dist[v] = -1 // reset touched entries before pooling
+		if int(v) != node {
+			nodes = append(nodes, int(v))
+		}
+	}
+	sc.queue = q[:0]
+	s.khopPool.Put(sc)
+	sort.Ints(nodes)
+	return writeJSON(w, http.StatusOK, khopResponse{
+		Epoch: ep.Seq, Node: node, K: k, Count: len(nodes), Nodes: nodes,
+	})
+}
+
+type rankedNode struct {
+	Node  int     `json:"node"`
+	Score float64 `json:"score"`
+}
+
+type topKResponse struct {
+	Epoch uint64       `json:"epoch"`
+	K     int          `json:"k"`
+	Nodes []rankedNode `json:"nodes"`
+}
+
+// handleTopK slices the epoch's precomputed degree-centrality ranking.
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) int {
+	k, err := intParam(r.URL.Query(), "k", 10)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	ep := s.epoch.Load()
+	if k > len(ep.Rank) {
+		k = len(ep.Rank)
+	}
+	nodes := make([]rankedNode, k)
+	for i := 0; i < k; i++ {
+		v := ep.Rank[i]
+		nodes[i] = rankedNode{Node: v, Score: ep.Deg[v]}
+	}
+	return writeJSON(w, http.StatusOK, topKResponse{Epoch: ep.Seq, K: k, Nodes: nodes})
+}
+
+type cdsMemberResponse struct {
+	Epoch  uint64 `json:"epoch"`
+	Node   int    `json:"node"`
+	Member bool   `json:"member"`
+	Size   int    `json:"size"`
+}
+
+// handleCDSMember answers backbone membership; 404 when the backbone is not
+// maintained (SkipCDS, or no CDS exists over the support).
+func (s *Server) handleCDSMember(w http.ResponseWriter, r *http.Request) int {
+	node, err := s.nodeParam(r.URL.Query(), "node")
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	ep := s.epoch.Load()
+	if ep.CDS == nil {
+		return writeError(w, http.StatusNotFound, "cds backbone not maintained: "+s.cdsErr)
+	}
+	return writeJSON(w, http.StatusOK, cdsMemberResponse{
+		Epoch: ep.Seq, Node: node, Member: ep.CDS[node], Size: ep.CDSSize,
+	})
+}
+
+type nodeLabelsResponse struct {
+	Epoch     uint64  `json:"epoch"`
+	Node      int     `json:"node"`
+	Degree    int     `json:"degree"`
+	RouteDist float64 `json:"route_dist"` // -1 when unreachable
+	RouteNext int     `json:"route_next"` // -1 at dest / unreachable
+	MIS       bool    `json:"mis"`
+	CDS       *bool   `json:"cds,omitempty"` // absent when no backbone
+}
+
+type summaryResponse struct {
+	Epoch       uint64 `json:"epoch"`
+	Nodes       int    `json:"nodes"`
+	Edges       int    `json:"edges"`
+	Dest        int    `json:"dest"`
+	MISSize     int    `json:"mis_size"`
+	CDSSize     int    `json:"cds_size"` // -1 when no backbone
+	Unreachable int    `json:"unreachable"`
+}
+
+// handleLabels returns one node's full label set, or the epoch summary when
+// no node is named.
+func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) int {
+	query := r.URL.Query()
+	ep := s.epoch.Load()
+	if query.Get("node") == "" {
+		cdsSize := -1
+		if ep.CDS != nil {
+			cdsSize = ep.CDSSize
+		}
+		return writeJSON(w, http.StatusOK, summaryResponse{
+			Epoch: ep.Seq, Nodes: ep.CSR.N(), Edges: ep.CSR.M(), Dest: ep.Dest,
+			MISSize: ep.MISSize, CDSSize: cdsSize, Unreachable: ep.Unreachable,
+		})
+	}
+	node, err := s.nodeParam(query, "node")
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	resp := nodeLabelsResponse{
+		Epoch: ep.Seq, Node: node, Degree: ep.CSR.Degree(node),
+		RouteDist: -1, RouteNext: ep.RouteNext[node], MIS: ep.MIS[node],
+	}
+	if d := ep.RouteDist[node]; !math.IsInf(d, 1) {
+		resp.RouteDist = d
+	}
+	if ep.CDS != nil {
+		in := ep.CDS[node]
+		resp.CDS = &in
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+type mutateRequest struct {
+	Ops []Mutation `json:"ops"`
+}
+
+type mutateResponse struct {
+	Accepted int `json:"accepted"`
+	Queued   int `json:"queued"`
+}
+
+// handleMutate validates and enqueues a mutation batch for the writer. The
+// enqueue is non-blocking: a full queue sheds the remainder with 429 (the
+// response reports how many ops were accepted before the queue filled).
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		return writeError(w, http.StatusMethodNotAllowed, "mutate requires POST")
+	}
+	var req mutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return writeError(w, http.StatusBadRequest, "malformed body: "+err.Error())
+	}
+	if len(req.Ops) == 0 {
+		return writeError(w, http.StatusBadRequest, "empty ops")
+	}
+	for _, m := range req.Ops {
+		if m.Op != "add" && m.Op != "remove" {
+			return writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("op %q must be \"add\" or \"remove\"", m.Op))
+		}
+		if m.U < 0 || m.U >= s.n || m.V < 0 || m.V >= s.n || m.U == m.V {
+			return writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("edge (%d,%d) out of range or self-loop", m.U, m.V))
+		}
+	}
+	accepted := 0
+	for _, m := range req.Ops {
+		select {
+		case s.mutCh <- m:
+			s.accepted.Add(1)
+			accepted++
+		default:
+			return writeJSON(w, http.StatusTooManyRequests, mutateResponse{
+				Accepted: accepted, Queued: len(s.mutCh),
+			})
+		}
+	}
+	return writeJSON(w, http.StatusAccepted, mutateResponse{
+		Accepted: accepted, Queued: len(s.mutCh),
+	})
+}
+
+// MetricsSnapshot is the /metrics response.
+type MetricsSnapshot struct {
+	Epoch           uint64                      `json:"epoch"`
+	EpochAgeNs      int64                       `json:"epoch_age_ns"`
+	QueueDepth      int                         `json:"queue_depth"`
+	Accepted        uint64                      `json:"accepted"`
+	Applied         uint64                      `json:"applied"`
+	Batches         uint64                      `json:"batches"`
+	AbortedBatches  uint64                      `json:"aborted_batches"`
+	Repairs         uint64                      `json:"repairs"`
+	Escalations     uint64                      `json:"escalations"`
+	RepairRounds    uint64                      `json:"repair_rounds"`
+	RecomputeRounds uint64                      `json:"recompute_rounds"`
+	Standing        uint64                      `json:"standing"`
+	Endpoints       map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
+	ep := s.epoch.Load()
+	snap := MetricsSnapshot{
+		Epoch:           ep.Seq,
+		EpochAgeNs:      time.Since(ep.Created).Nanoseconds(),
+		QueueDepth:      len(s.mutCh),
+		Accepted:        s.accepted.Load(),
+		Applied:         s.applied.Load(),
+		Batches:         s.met.batches.Load(),
+		AbortedBatches:  s.met.abortedBatches.Load(),
+		Repairs:         s.met.repairs.Load(),
+		Escalations:     s.met.escalations.Load(),
+		RepairRounds:    s.met.repairRounds.Load(),
+		RecomputeRounds: s.met.recomputeRounds.Load(),
+		Standing:        s.met.standing.Load(),
+		Endpoints:       make(map[string]EndpointSnapshot, len(s.met.endpoints)),
+	}
+	for name, est := range s.met.endpoints {
+		snap.Endpoints[name] = est.snapshot()
+	}
+	return writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
+	ep := s.epoch.Load()
+	return writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+		Epoch  uint64 `json:"epoch"`
+	}{"ok", ep.Seq})
+}

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// LoadGen drives a Server's handler with an in-process query mix — no
+// sockets, so the measured throughput is the serving stack itself (routing
+// walks, k-hop BFS, JSON encoding) rather than the kernel's TCP ceiling.
+// The mix mirrors a structure-service workload: mostly point routing and
+// label lookups, some neighborhood expansion, a trickle of top-k scans.
+type LoadGen struct {
+	Handler http.Handler
+	N       int    // node-ID space to draw from
+	Seed    uint64 // deterministic per-worker query streams
+	Workers int    // default GOMAXPROCS
+	KhopK   int    // k used for /khop queries, default 2
+	CDS     bool   // include /cds/member queries (needs a maintained backbone)
+}
+
+// LoadStats summarizes one load run.
+type LoadStats struct {
+	Queries uint64
+	Errors  uint64 // responses with status >= 400 other than 429
+	Shed    uint64 // 429 responses
+	Elapsed time.Duration
+	QPS     float64
+	P50     time.Duration
+	P99     time.Duration
+	Max     time.Duration
+}
+
+// nullWriter is the cheapest possible ResponseWriter: it discards the body
+// and records only the status.
+type nullWriter struct {
+	h      http.Header
+	status int
+}
+
+func (w *nullWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header, 1)
+	}
+	return w.h
+}
+func (w *nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nullWriter) WriteHeader(code int)        { w.status = code }
+
+// splitmix64 is the per-query hash: deterministic, stateless, and cheap, so
+// worker streams don't contend on a shared rng.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Run fires total queries split across the workers and blocks until all
+// complete.
+func (lg *LoadGen) Run(total int) (*LoadStats, error) {
+	if lg.Handler == nil {
+		return nil, errors.New("server: loadgen has no handler")
+	}
+	if lg.N <= 0 {
+		return nil, errors.New("server: loadgen needs a positive node space")
+	}
+	workers := lg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	k := lg.KhopK
+	if k <= 0 {
+		k = 2
+	}
+	type workerStats struct {
+		queries, errors, shed uint64
+		lat                   histogram
+	}
+	stats := make([]workerStats, workers)
+	per := total / workers
+	start := time.Now()
+	var wg sync.WaitGroup
+	for wid := 0; wid < workers; wid++ {
+		n := per
+		if wid == workers-1 {
+			n = total - per*(workers-1)
+		}
+		wg.Add(1)
+		go func(wid, n int) {
+			defer wg.Done()
+			st := &stats[wid]
+			w := &nullWriter{}
+			// One request object per worker, re-pointed at each target: the
+			// per-query cost is the handler, not request construction.
+			u := &url.URL{}
+			req := &http.Request{
+				Method: http.MethodGet, URL: u, Host: "loadgen.local",
+				Proto: "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+				RemoteAddr: "127.0.0.1:0", RequestURI: "/",
+			}
+			kStr := "k=" + strconv.Itoa(k)
+			buf := make([]byte, 0, 32)
+			for i := 0; i < n; i++ {
+				h := splitmix64(lg.Seed ^ uint64(wid)<<32 ^ uint64(i))
+				node := int64(h % uint64(lg.N))
+				switch mix := (h >> 32) % 100; {
+				case mix < 40:
+					u.Path = "/route"
+					buf = strconv.AppendInt(append(buf[:0], "from="...), node, 10)
+				case mix < 65:
+					u.Path = "/labels"
+					buf = strconv.AppendInt(append(buf[:0], "node="...), node, 10)
+				case mix < 80:
+					u.Path = "/khop"
+					buf = strconv.AppendInt(append(buf[:0], "node="...), node, 10)
+					buf = append(append(buf, '&'), kStr...)
+				case mix < 90:
+					u.Path = "/centrality/topk"
+					buf = strconv.AppendInt(append(buf[:0], "k="...), 1+int64(h>>40)%16, 10)
+				default:
+					if lg.CDS {
+						u.Path = "/cds/member"
+					} else {
+						u.Path = "/labels"
+					}
+					buf = strconv.AppendInt(append(buf[:0], "node="...), node, 10)
+				}
+				u.RawQuery = string(buf)
+				w.status = http.StatusOK
+				t0 := time.Now()
+				lg.Handler.ServeHTTP(w, req)
+				st.lat.observe(time.Since(t0))
+				st.queries++
+				switch {
+				case w.status == http.StatusTooManyRequests:
+					st.shed++
+				case w.status >= 400:
+					st.errors++
+				}
+			}
+		}(wid, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	out := &LoadStats{Elapsed: elapsed}
+	merged := &histogram{}
+	for i := range stats {
+		out.Queries += stats[i].queries
+		out.Errors += stats[i].errors
+		out.Shed += stats[i].shed
+		merged.count.Add(stats[i].lat.count.Load())
+		for b := 0; b < latBuckets; b++ {
+			merged.buckets[b].Add(stats[i].lat.buckets[b].Load())
+		}
+		if m := stats[i].lat.maxNs.Load(); m > merged.maxNs.Load() {
+			merged.maxNs.Store(m)
+		}
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		out.QPS = float64(out.Queries) / secs
+	}
+	out.P50 = time.Duration(merged.quantile(0.50))
+	out.P99 = time.Duration(merged.quantile(0.99))
+	out.Max = time.Duration(merged.maxNs.Load())
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latBuckets is the number of power-of-two latency buckets: bucket i counts
+// observations with latency < 256ns << i, so the range spans 256ns to ~17s
+// with the last bucket absorbing everything slower.
+const latBuckets = 27
+
+// histogram is a lock-free power-of-two latency histogram. observe is
+// called concurrently from request goroutines; snapshot quantiles are
+// approximate (bucket upper bound), which is all a /metrics endpoint needs.
+type histogram struct {
+	count   atomic.Uint64
+	buckets [latBuckets]atomic.Uint64
+	maxNs   atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	i := 0
+	if ns >= 256 {
+		i = bits.Len64(ns>>8) - 0
+		if ns&(ns-1) == 0 && ns>>8<<8 == ns {
+			// exact powers land in the bucket whose bound they equal
+			i--
+		}
+		if i >= latBuckets {
+			i = latBuckets - 1
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// quantile returns the upper bound (in ns) of the bucket at which the
+// cumulative count reaches q of the total, 0 when empty.
+func (h *histogram) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < latBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return float64(uint64(256) << i)
+		}
+	}
+	return float64(h.maxNs.Load())
+}
+
+// endpointStats aggregates one endpoint's traffic.
+type endpointStats struct {
+	hits   atomic.Uint64 // requests admitted past the shed gate
+	errors atomic.Uint64 // responses with status >= 400 (shed excluded)
+	shed   atomic.Uint64 // 429 rejections at the concurrency limit
+	lat    histogram
+}
+
+func (e *endpointStats) observe(d time.Duration, status int) {
+	e.hits.Add(1)
+	if status >= 400 {
+		e.errors.Add(1)
+	}
+	e.lat.observe(d)
+}
+
+// EndpointSnapshot is one endpoint's /metrics view.
+type EndpointSnapshot struct {
+	Hits   uint64  `json:"hits"`
+	Errors uint64  `json:"errors"`
+	Shed   uint64  `json:"shed"`
+	P50Ns  float64 `json:"p50_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	MaxNs  uint64  `json:"max_ns"`
+}
+
+func (e *endpointStats) snapshot() EndpointSnapshot {
+	return EndpointSnapshot{
+		Hits:   e.hits.Load(),
+		Errors: e.errors.Load(),
+		Shed:   e.shed.Load(),
+		P50Ns:  e.lat.quantile(0.50),
+		P99Ns:  e.lat.quantile(0.99),
+		MaxNs:  e.lat.maxNs.Load(),
+	}
+}
+
+// metrics is the server-wide counter block. Endpoint names are fixed at
+// construction so the /metrics JSON is schema-stable.
+type metrics struct {
+	batches         atomic.Uint64 // mutation batches applied and published
+	abortedBatches  atomic.Uint64 // batches abandoned by shutdown mid-heal
+	repairs         atomic.Uint64
+	escalations     atomic.Uint64
+	repairRounds    atomic.Uint64
+	recomputeRounds atomic.Uint64
+	standing        atomic.Uint64 // violations surviving repair+recompute
+
+	endpoints map[string]*endpointStats
+}
+
+func newMetrics(names []string) *metrics {
+	m := &metrics{endpoints: make(map[string]*endpointStats, len(names))}
+	for _, n := range names {
+		m.endpoints[n] = &endpointStats{}
+	}
+	return m
+}
+
+func (m *metrics) endpoint(name string) *endpointStats { return m.endpoints[name] }

@@ -1,0 +1,313 @@
+// Package server is the serving layer: a resident process that owns a graph
+// and answers structure queries — routing next-hops, k-hop neighborhoods,
+// centrality top-k, backbone membership — over HTTP while mutation batches
+// stream in. Reads are lock-free: every published state is an immutable
+// Epoch behind an atomic.Pointer (RCU-style), loaded once per request.
+// Writes funnel through a single writer goroutine that drains the mutation
+// queue in batches, heals the labels through heal.Supervisor (localized
+// repair first, full recompute when the budget is exhausted), and swaps in
+// the next epoch. Readers never block writers and writers never block
+// readers; old epochs are garbage-collected once the last in-flight request
+// drops them.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"structura/internal/graph"
+	"structura/internal/heal"
+	"structura/internal/sim"
+)
+
+// Mutation is one client-submitted edge change.
+type Mutation struct {
+	Op string `json:"op"` // "add" | "remove"
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+}
+
+// Config tunes a Server. The zero value is usable; unset limits get
+// defaults at construction.
+type Config struct {
+	// Dest is the destination node the route labels point toward.
+	Dest int
+
+	// SkipCDS disables the CDS backbone engine entirely. The MIS→CDS
+	// construction requires a connected graph and does not scale to very
+	// large supports, so high-throughput deployments opt out; /cds/member
+	// then answers 404.
+	SkipCDS bool
+
+	// MaxInFlight caps concurrently-executing queries; excess requests are
+	// shed with 429 rather than queued. Default 256.
+	MaxInFlight int
+
+	// QueueDepth is the mutation queue capacity; a full queue sheds
+	// /mutate posts with 429. Default 4096.
+	QueueDepth int
+
+	// BatchMax bounds how many queued mutations the writer folds into one
+	// epoch. Default 256.
+	BatchMax int
+
+	// MaxK caps the k accepted by /khop. Default 4.
+	MaxK int
+
+	// RepairBudget bounds each localized repair before the supervisor
+	// escalates to a full recompute. Zero = unbounded repair.
+	RepairBudget heal.Budget
+
+	// OnPublish, when set, observes every epoch right before it is
+	// published. Test hook for the consistency properties.
+	OnPublish func(*Epoch)
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 256
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 4
+	}
+}
+
+// endpointNames fixes the /metrics schema.
+var endpointNames = []string{
+	"/route", "/khop", "/centrality/topk", "/cds/member", "/labels",
+	"/mutate", "/metrics", "/healthz",
+}
+
+// Server owns a graph and serves structure queries against RCU epochs.
+type Server struct {
+	cfg Config
+	n   int
+
+	epoch atomic.Pointer[Epoch]
+	mux   *http.ServeMux
+	sem   chan struct{} // concurrency-limit semaphore, non-blocking acquire
+	mutCh chan Mutation
+
+	// One supervisor per maintained structure, each over its own clone of
+	// the topology. All three apply identical event batches; acceptance is
+	// purely topological (self-loop / duplicate-add / missing-remove), so
+	// the clones stay in lockstep.
+	dv, mis, cds *heal.Supervisor
+	dvEng        heal.Engine
+
+	routeSrc interface{ RouteLabels() ([]float64, []int) }
+	misSrc   interface{ MISLabels() []bool }
+	cdsSrc   interface{ CDSMembers() []int } // nil: backbone not maintained
+	cdsErr   string                          // why, when absent
+
+	met *metrics
+
+	ctx        context.Context
+	cancel     context.CancelFunc
+	writerDone chan struct{}
+	inflight   sync.WaitGroup
+	closed     atomic.Bool
+
+	accepted atomic.Uint64 // mutations enqueued
+	applied  atomic.Uint64 // mutations drained by the writer (published or dropped)
+
+	khopPool sync.Pool // *khopScratch
+
+	// testHookBatch, when set, runs after the writer drains a batch and
+	// before it heals/publishes — the epoch-swap races in tests hang here.
+	testHookBatch func()
+}
+
+type khopScratch struct {
+	dist  []int32
+	queue []int32
+}
+
+// New builds a Server over g (cloned per engine; the caller's graph is not
+// retained), heals nothing — the initial labels come from scratch
+// construction — and publishes epoch 1. The writer goroutine starts
+// immediately; call Shutdown to stop it.
+func New(g *graph.Graph, cfg Config) (*Server, error) {
+	if g == nil || g.N() == 0 {
+		return nil, errors.New("server: graph must have at least one node")
+	}
+	if g.Directed() {
+		return nil, errors.New("server: graph must be undirected")
+	}
+	if cfg.Dest < 0 || cfg.Dest >= g.N() {
+		return nil, fmt.Errorf("server: dest %d out of range [0,%d)", cfg.Dest, g.N())
+	}
+	cfg.setDefaults()
+
+	s := &Server{
+		cfg:        cfg,
+		n:          g.N(),
+		sem:        make(chan struct{}, cfg.MaxInFlight),
+		mutCh:      make(chan Mutation, cfg.QueueDepth),
+		met:        newMetrics(endpointNames),
+		writerDone: make(chan struct{}),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+
+	dvEng, err := heal.NewDistVecEngineOver(g.Clone(), cfg.Dest)
+	if err != nil {
+		s.cancel()
+		return nil, fmt.Errorf("server: distvec engine: %w", err)
+	}
+	misEng, err := heal.NewMISEngineOver(g.Clone())
+	if err != nil {
+		s.cancel()
+		return nil, fmt.Errorf("server: mis engine: %w", err)
+	}
+	s.dvEng = dvEng
+	s.routeSrc = dvEng.(interface{ RouteLabels() ([]float64, []int) })
+	s.misSrc = misEng.(interface{ MISLabels() []bool })
+	s.dv = &heal.Supervisor{Engine: dvEng, Budget: cfg.RepairBudget, Ctx: s.ctx}
+	s.mis = &heal.Supervisor{Engine: misEng, Budget: cfg.RepairBudget, Ctx: s.ctx}
+
+	if cfg.SkipCDS {
+		s.cdsErr = "disabled by config"
+	} else if cdsEng, cerr := heal.NewCDSEngineOver(g.Clone()); cerr != nil {
+		// No CDS exists (disconnected support). The backbone is optional:
+		// serve everything else and report why it is absent.
+		s.cdsErr = cerr.Error()
+	} else {
+		s.cdsSrc = cdsEng.(interface{ CDSMembers() []int })
+		s.cds = &heal.Supervisor{Engine: cdsEng, Budget: cfg.RepairBudget, Ctx: s.ctx}
+	}
+
+	s.khopPool.New = func() any {
+		sc := &khopScratch{dist: make([]int32, s.n), queue: make([]int32, 0, 64)}
+		// dist stays all -1 between uses; handlers reset the entries they touch.
+		for i := range sc.dist {
+			sc.dist[i] = -1
+		}
+		return sc
+	}
+
+	ep := s.buildEpoch(1)
+	if cfg.OnPublish != nil {
+		cfg.OnPublish(ep)
+	}
+	s.epoch.Store(ep)
+
+	s.mux = http.NewServeMux()
+	s.routes()
+	go s.writer()
+	return s, nil
+}
+
+// Epoch returns the currently published epoch.
+func (s *Server) Epoch() *Epoch { return s.epoch.Load() }
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Quiesced reports whether every accepted mutation has been drained by the
+// writer (published or rejected). With no concurrent /mutate traffic, a true
+// result means the current epoch reflects all accepted mutations.
+func (s *Server) Quiesced() bool { return s.applied.Load() == s.accepted.Load() }
+
+// Shutdown stops accepting queries (503), cancels the writer — aborting any
+// in-progress repair without publishing — and waits for in-flight requests
+// and the writer to drain, or for ctx to expire.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closed.Store(true)
+	s.cancel()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		<-s.writerDone
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// writer is the single goroutine that owns all label state. It drains the
+// mutation queue in batches, heals each batch through the supervisors, and
+// publishes the next epoch. A batch interrupted by shutdown is abandoned
+// without publishing: the last published epoch stays live and consistent.
+func (s *Server) writer() {
+	defer close(s.writerDone)
+	for {
+		var first Mutation
+		select {
+		case <-s.ctx.Done():
+			return
+		case first = <-s.mutCh:
+		}
+		batch := []Mutation{first}
+		for len(batch) < s.cfg.BatchMax {
+			select {
+			case m := <-s.mutCh:
+				batch = append(batch, m)
+			default:
+				goto drained
+			}
+		}
+	drained:
+		if s.testHookBatch != nil {
+			s.testHookBatch()
+		}
+		if !s.applyBatch(batch) {
+			s.applied.Add(uint64(len(batch)))
+			return // cancelled mid-heal: abandon without publishing
+		}
+		s.applied.Add(uint64(len(batch)))
+	}
+}
+
+// applyBatch heals one mutation batch through every supervisor and publishes
+// the resulting epoch. It reports false when shutdown cancelled the heal —
+// the labels may be mid-repair, so nothing is published.
+func (s *Server) applyBatch(batch []Mutation) bool {
+	events := make([]sim.Event, 0, len(batch))
+	for _, m := range batch {
+		op := sim.OpAddEdge
+		if m.Op == "remove" {
+			op = sim.OpRemoveEdge
+		}
+		events = append(events, sim.Event{Round: 1, Op: op, U: m.U, V: m.V})
+	}
+	sups := []*heal.Supervisor{s.dv, s.mis}
+	if s.cds != nil {
+		sups = append(sups, s.cds)
+	}
+	for _, sup := range sups {
+		rep, err := sup.ApplyBatch(events)
+		if rep != nil {
+			s.met.repairs.Add(uint64(rep.Repairs))
+			s.met.escalations.Add(uint64(rep.Escalations))
+			s.met.repairRounds.Add(uint64(rep.RepairRounds))
+			s.met.recomputeRounds.Add(uint64(rep.RecomputeRounds))
+			s.met.standing.Add(uint64(len(rep.Standing)))
+		}
+		if err != nil {
+			s.met.abortedBatches.Add(1)
+			return false
+		}
+	}
+	prev := s.epoch.Load()
+	ep := s.buildEpoch(prev.Seq + 1)
+	if s.cfg.OnPublish != nil {
+		s.cfg.OnPublish(ep)
+	}
+	s.epoch.Store(ep)
+	s.met.batches.Add(1)
+	return true
+}
