@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-diff bench-smoke fuzz-smoke heal-smoke async-smoke partition-smoke serve-smoke verify
+.PHONY: build test race bench bench-json bench-diff bench-smoke fuzz-smoke heal-smoke async-smoke partition-smoke serve-smoke wal-smoke verify
 
 build:
 	$(GO) build ./...
@@ -20,14 +20,16 @@ test:
 # remaining engines that ride the delta frontier (centrality, layering,
 # hypercube), the self-healing supervision layer, the event-driven async
 # executor with its pooled event-queue/arena hot path, and the RCU-epoch
-# structure server whose lock-free read path only -race can vouch for.
+# structure server whose lock-free read path only -race can vouch for, and
+# the WAL whose atomic metric mirrors are read concurrently by /metrics
+# while the single writer appends.
 race:
 	$(GO) test -race ./internal/runtime/... ./internal/partition/... \
 		./internal/labeling/... \
 		./internal/sim/... ./internal/reversal/... ./internal/distvec/... \
 		./internal/centrality/... ./internal/layering/... \
 		./internal/hypercube/... ./internal/heal/... ./internal/async/... \
-		./internal/server/...
+		./internal/server/... ./internal/wal/...
 
 # Sequential vs. sharded kernel on 100k-node ER and 20k-node UDG graphs,
 # the delta-frontier steady-state sweep on the same ER instance (full vs
@@ -43,6 +45,7 @@ bench:
 	$(GO) test -run '^$$' -bench Async -benchtime 1x ./internal/runtime/bench
 	$(GO) test -run '^$$' -bench PartitionedER10M -benchtime 1x -timeout 30m ./internal/runtime/bench
 	$(GO) test -run '^$$' -bench ServeQPS -benchtime 1x ./internal/server
+	$(GO) test -run '^$$' -bench WALIngest -benchtime 200x ./internal/wal
 
 # Machine-readable benchmark record: one history entry per invocation, each
 # mapping op -> ns/op, B/op, allocs/op (plus ReportMetric extras such as the
@@ -56,7 +59,8 @@ bench-json:
 	  $(GO) test -run '^$$' -bench 'Partitioned.*100k' -benchmem -benchtime 3x ./internal/runtime/bench ; \
 	  $(GO) test -run '^$$' -bench Async -benchmem -benchtime 1x ./internal/runtime/bench ; \
 	  $(GO) test -run '^$$' -bench PartitionedER10M -benchmem -benchtime 1x -timeout 30m ./internal/runtime/bench ; \
-	  $(GO) test -run '^$$' -bench ServeQPS -benchmem -benchtime 1x ./internal/server ; } \
+	  $(GO) test -run '^$$' -bench ServeQPS -benchmem -benchtime 1x ./internal/server ; \
+	  $(GO) test -run '^$$' -bench WALIngest -benchmem -benchtime 200x ./internal/wal ; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_kernel.json
 
 # Latest-vs-previous movement of the committed trajectory, per benchmark and
@@ -83,6 +87,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzEGJSONRoundTrip -fuzztime 10s ./internal/temporal/
 	$(GO) test -run '^$$' -fuzz FuzzLinkFIFO -fuzztime 10s ./internal/async/
 	$(GO) test -run '^$$' -fuzz FuzzPartition -fuzztime 10s ./internal/partition/
+	$(GO) test -run '^$$' -fuzz FuzzWALRecord -fuzztime 10s ./internal/wal/
+	$(GO) test -run '^$$' -fuzz FuzzRecover -fuzztime 10s ./internal/wal/
 
 # Supervised MIS must survive 200 rounds of add/remove churn with zero
 # standing violations; the heal subcommand exits nonzero otherwise.
@@ -114,4 +120,11 @@ serve-smoke:
 	$(GO) test -race -run TestServeConcurrentReadsDuringEpochSwap ./internal/server
 	$(GO) run ./cmd/structura serve -nodes 2000 -avg-degree 8 -loadgen 20000
 
-verify: build test race bench-smoke fuzz-smoke heal-smoke async-smoke partition-smoke serve-smoke
+# End-to-end durability: build the real binary under -race, run it with a
+# -data-dir, stream mutations, SIGKILL it mid-churn, restart, and require
+# the recovered topology to hash-match the journaled committed prefix
+# exactly (plus a -load/-save boot-image round trip).
+wal-smoke:
+	$(GO) test -race -run 'TestWALSmokeKillRecover|TestServeLoadSaveRoundTrip' ./cmd/structura
+
+verify: build test race bench-smoke fuzz-smoke heal-smoke async-smoke partition-smoke serve-smoke wal-smoke

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -13,16 +14,21 @@ import (
 	"time"
 
 	"structura/internal/gen"
+	"structura/internal/graph"
 	"structura/internal/heal"
 	"structura/internal/server"
 	"structura/internal/stats"
+	"structura/internal/wal"
 )
 
 // runServe is the `structura serve` subcommand: stand up the resident
-// structure server over a generated topology and either listen on -addr or,
-// with -loadgen N, drive N in-process queries through the full serving stack
-// and report throughput — the self-contained smoke mode the Makefile gates
-// on.
+// structure server over a generated or loaded topology and either listen on
+// -addr or, with -loadgen N, drive N in-process queries through the full
+// serving stack and report throughput — the self-contained smoke mode the
+// Makefile gates on. With -data-dir every mutation batch is journaled to a
+// write-ahead log before it is applied, and a restart recovers the last
+// committed state; the listener binds before recovery starts, answering 503
+// on every path until replay completes.
 func runServe(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("structura serve", flag.ContinueOnError)
 	var (
@@ -38,22 +44,95 @@ func runServe(args []string, out io.Writer) error {
 		maxK       = fs.Int("max-k", 0, "largest k accepted by /khop (0 = default)")
 		maxRounds  = fs.Int("max-rounds", 0, "repair budget: max localized repair sweeps (0 = unbounded)")
 		maxTouched = fs.Int("max-touched", 0, "repair budget: max nodes one repair may touch (0 = unbounded)")
-		load       = fs.Int("loadgen", 0, "run N in-process queries instead of listening, then exit")
+		loadN      = fs.Int("loadgen", 0, "run N in-process queries instead of listening, then exit")
 		loadSeed   = fs.Uint64("loadgen-seed", 42, "deterministic loadgen query-stream seed")
 		workers    = fs.Int("loadgen-workers", 0, "loadgen worker goroutines (0 = GOMAXPROCS)")
+
+		dataDir  = fs.String("data-dir", "", "WAL store directory: journal mutations and recover on restart")
+		fsyncPol = fs.String("fsync", "batch", "WAL fsync policy: batch | interval | none")
+		syncEvr  = fs.Int("sync-every", 0, "batches per fsync with -fsync=interval (0 = default)")
+		compact  = fs.Int("compact-every", 0, "batches between snapshot compactions (0 = default, <0 disables)")
+		loadFile = fs.String("load", "", "boot topology from a snapshot-codec graph file instead of generating")
+		saveFile = fs.String("save", "", "write the final topology to a snapshot-codec graph file on shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *nodes < 2 {
-		return fmt.Errorf("need at least 2 nodes, got %d", *nodes)
+
+	var syncPolicy wal.SyncPolicy
+	switch *fsyncPol {
+	case "batch":
+		syncPolicy = wal.SyncEachBatch
+	case "interval":
+		syncPolicy = wal.SyncInterval
+	case "none":
+		syncPolicy = wal.SyncNone
+	default:
+		return fmt.Errorf("-fsync must be batch, interval, or none, got %q", *fsyncPol)
 	}
-	g := gen.SparseErdosRenyi(stats.NewRand(*seed), *nodes, *avgDeg/float64(*nodes-1))
-	srv, err := server.New(g, server.Config{
+
+	// In listen mode, bind before the (possibly slow) recovery so the port
+	// is reachable immediately; the gate answers 503 until the server is up.
+	gate := server.NewGate()
+	var httpSrv *http.Server
+	errCh := make(chan error, 1)
+	if *loadN == 0 {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "listening on %s\n", ln.Addr())
+		httpSrv = &http.Server{Handler: gate}
+		go func() { errCh <- httpSrv.Serve(ln) }()
+	}
+
+	// Boot topology: snapshot file, else generated ER.
+	var g *graph.Graph
+	if *loadFile != "" {
+		var err error
+		if g, err = wal.LoadGraph(*loadFile); err != nil {
+			return fmt.Errorf("-load %s: %w", *loadFile, err)
+		}
+		fmt.Fprintf(out, "loaded %d node(s), %d edge(s) from %s\n", g.N(), g.M(), *loadFile)
+	} else {
+		if *nodes < 2 {
+			return fmt.Errorf("need at least 2 nodes, got %d", *nodes)
+		}
+		g = gen.SparseErdosRenyi(stats.NewRand(*seed), *nodes, *avgDeg/float64(*nodes-1))
+	}
+
+	// Durability: open (recover) or create the WAL store. An existing store
+	// wins over both -load and the generated topology — the journal is the
+	// truth about what this service has acknowledged.
+	cfg := server.Config{
 		Dest: *dest, SkipCDS: !*cds,
 		MaxInFlight: *inflight, QueueDepth: *queue, BatchMax: *batchMax, MaxK: *maxK,
 		RepairBudget: heal.Budget{MaxRounds: *maxRounds, MaxTouched: *maxTouched},
-	})
+	}
+	var wlog *wal.Log
+	if *dataDir != "" {
+		l, rec, created, err := wal.OpenOrCreate(*dataDir, g, wal.Options{
+			Sync: syncPolicy, SyncEvery: *syncEvr, CompactEvery: *compact,
+		})
+		if err != nil {
+			return fmt.Errorf("-data-dir %s: %w", *dataDir, err)
+		}
+		wlog = l
+		cfg.WAL = l
+		if created {
+			fmt.Fprintf(out, "created store in %s at batch 0\n", *dataDir)
+		} else {
+			g = l.Graph()
+			cfg.Recovered = &rec
+			fmt.Fprintf(out, "recovered %s: batch %d (%d batch(es), %d record(s) replayed from the log)\n",
+				*dataDir, rec.Seq, rec.Batches, rec.Replayed)
+			if rec.Truncated() {
+				fmt.Fprintf(out, "recovery truncated the log at offset %d: %s\n", rec.TruncatedAt, rec.Reason)
+			}
+		}
+	}
+
+	srv, err := server.New(g, cfg)
 	if err != nil {
 		return err
 	}
@@ -61,21 +140,40 @@ func runServe(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "serving %d node(s), %d edge(s), dest %d, epoch %d\n",
 		ep.CSR.N(), ep.CSR.M(), ep.Dest, ep.Seq)
 
-	if *load > 0 {
+	shutdown := func() error {
+		sdCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sdCtx); err != nil {
+			return fmt.Errorf("server shutdown: %w", err)
+		}
+		if wlog != nil {
+			if err := wlog.Close(); err != nil {
+				return fmt.Errorf("wal close: %w", err)
+			}
+		}
+		if *saveFile != "" {
+			final := csrToGraph(srv.Epoch().CSR)
+			if err := wal.SaveGraph(*saveFile, final); err != nil {
+				return fmt.Errorf("-save %s: %w", *saveFile, err)
+			}
+			fmt.Fprintf(out, "saved %d node(s), %d edge(s) to %s\n", final.N(), final.M(), *saveFile)
+		}
+		return nil
+	}
+
+	if *loadN > 0 {
 		lg := &server.LoadGen{
-			Handler: srv.Handler(), N: *nodes, Seed: *loadSeed,
+			Handler: srv.Handler(), N: g.N(), Seed: *loadSeed,
 			Workers: *workers, CDS: *cds,
 		}
-		st, err := lg.Run(*load)
+		st, err := lg.Run(*loadN)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "loadgen: %d queries in %v: %.0f queries/sec, p50 %v, p99 %v, max %v, shed %d\n",
 			st.Queries, st.Elapsed.Round(time.Millisecond), st.QPS, st.P50, st.P99, st.Max, st.Shed)
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			return fmt.Errorf("shutdown: %w", err)
+		if err := shutdown(); err != nil {
+			return err
 		}
 		if st.Errors > 0 {
 			return fmt.Errorf("loadgen saw %d error response(s)", st.Errors)
@@ -83,25 +181,45 @@ func runServe(args []string, out io.Writer) error {
 		return nil
 	}
 
+	gate.SetReady(srv.Handler())
+	fmt.Fprintln(out, "ready")
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(out, "listening on %s\n", *addr)
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(out, "shutting down")
+	if err := shutdown(); err != nil {
+		return err
+	}
 	sdCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(sdCtx); err != nil {
-		return fmt.Errorf("server shutdown: %w", err)
-	}
 	if err := httpSrv.Shutdown(sdCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
 	return nil
+}
+
+// csrToGraph materializes a mutable graph from a frozen epoch snapshot —
+// what -save persists when the process exits.
+func csrToGraph(c *graph.CSR) *graph.Graph {
+	n := c.N()
+	var g *graph.Graph
+	if c.Directed() {
+		g = graph.NewDirected(n)
+	} else {
+		g = graph.New(n)
+	}
+	for u := 0; u < n; u++ {
+		ws := c.NeighborWeights(u)
+		for i, v := range c.Neighbors(u) {
+			if c.Directed() || u < int(v) {
+				_ = g.AddWeightedEdge(u, int(v), ws[i])
+			}
+		}
+	}
+	return g
 }

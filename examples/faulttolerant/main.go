@@ -11,6 +11,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"structura/internal/gen"
 	"structura/internal/heal"
@@ -139,9 +141,11 @@ func superviseDemo() {
 		rep.Repairs, 100*rep.MaxTouchedFrac, rep.Escalations, len(rep.Standing))
 }
 
-// checkpointDemo cancels a kernel run mid-flight, then resumes it from the
-// last checkpoint and confirms the result matches an uninterrupted run —
-// the crash-recovery path a long labeling computation relies on.
+// checkpointDemo cancels a kernel run mid-flight, persists the last
+// checkpoint to disk through the versioned codec, then resumes from the
+// loaded copy and confirms the result matches an uninterrupted run — the
+// crash-recovery path a long labeling computation relies on, surviving not
+// just cancellation but a full process restart.
 func checkpointDemo() {
 	g := gen.SparseErdosRenyi(stats.NewRand(9), 256, 0.03).Freeze()
 	const inf = 1 << 20
@@ -186,7 +190,18 @@ func checkpointDemo() {
 	cancel()
 	fmt.Printf("\ncheckpointed hop-count run: cancelled after round %d (%v)\n", half.Rounds, err)
 
-	cp := cps[len(cps)-1]
+	// Persist through the on-disk codec (magic + version + checksum) and
+	// load it back, as a restarted process would.
+	path := filepath.Join(os.TempDir(), fmt.Sprintf("faulttolerant-%d.ckpt", os.Getpid()))
+	defer os.Remove(path)
+	if err := runtime.SaveCheckpoint(path, cps[len(cps)-1]); err != nil {
+		log.Fatal(err)
+	}
+	cp, err := runtime.LoadCheckpoint[int](path)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	got, gotStats, err := run(runtime.WithResume(cp))
 	if err != nil {
 		log.Fatal(err)
@@ -195,6 +210,6 @@ func checkpointDemo() {
 	for v := range want {
 		same = same && got[v] == want[v]
 	}
-	fmt.Printf("resumed from round-%d checkpoint: %d total rounds, matches uninterrupted run: %v\n",
+	fmt.Printf("resumed from on-disk round-%d checkpoint: %d total rounds, matches uninterrupted run: %v\n",
 		cp.Round, gotStats.Rounds, same)
 }

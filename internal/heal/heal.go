@@ -366,6 +366,11 @@ func (s *Supervisor) resolve(rep *Report, viols []sim.Violation, dirty []int) ([
 	return viols, nil
 }
 
+// Sweep checks every registered invariant against the engine's current
+// snapshot — the audit a caller runs after rebuilding an engine from
+// durable state, where the labels were constructed rather than healed.
+func (s *Supervisor) Sweep() []sim.Violation { return s.sweep() }
+
 // sweep checks every registered invariant against the engine's snapshot.
 func (s *Supervisor) sweep() []sim.Violation {
 	w := s.Engine.Snapshot()

@@ -1,0 +1,118 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// On-disk checkpoint format: a fixed binary envelope around the JSON
+// payload, so a supervised run can resume from disk across process
+// restarts and a damaged file is detected before a single state is
+// deserialized.
+//
+//	[4]  magic "STCK"
+//	[2]  format version (little-endian)
+//	[8]  payload length
+//	[N]  JSON-encoded Checkpoint[S]
+//	[4]  CRC32C over everything before it
+const (
+	ckptMagic   = "STCK"
+	ckptVersion = 1
+	ckptHeader  = 4 + 2 + 8
+)
+
+// Named decode failures, distinguishable with errors.Is so callers can tell
+// "not a checkpoint file" from "written by a future version" from "damaged".
+var (
+	// ErrBadMagic: the data does not start with the checkpoint magic — it
+	// is not a checkpoint file at all (or the header itself is truncated).
+	ErrBadMagic = errors.New("runtime: not a checkpoint file")
+	// ErrVersion: the envelope is valid but written by an unknown format
+	// version; the payload is not decoded.
+	ErrVersion = errors.New("runtime: unsupported checkpoint format version")
+	// ErrChecksum: the envelope or payload is damaged — truncated short of
+	// the declared length, or failing the CRC.
+	ErrChecksum = errors.New("runtime: checkpoint checksum mismatch")
+)
+
+var ckptCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeCheckpoint serializes cp into the versioned on-disk envelope.
+func EncodeCheckpoint[S any](cp Checkpoint[S]) ([]byte, error) {
+	payload, err := json.Marshal(cp)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: encode checkpoint: %w", err)
+	}
+	buf := make([]byte, 0, ckptHeader+len(payload)+4)
+	buf = append(buf, ckptMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, ckptVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, ckptCRC)), nil
+}
+
+// DecodeCheckpoint is EncodeCheckpoint's inverse. It validates the envelope
+// before touching the payload and never panics on arbitrary input; failures
+// wrap ErrBadMagic, ErrVersion, or ErrChecksum.
+func DecodeCheckpoint[S any](data []byte) (Checkpoint[S], error) {
+	var cp Checkpoint[S]
+	if len(data) < ckptHeader || string(data[:4]) != ckptMagic {
+		return cp, fmt.Errorf("%w: %d byte(s)", ErrBadMagic, len(data))
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != ckptVersion {
+		return cp, fmt.Errorf("%w: version %d (this build reads %d)", ErrVersion, v, ckptVersion)
+	}
+	n := binary.LittleEndian.Uint64(data[6:])
+	if n > uint64(len(data)) || uint64(len(data)) != ckptHeader+n+4 {
+		return cp, fmt.Errorf("%w: payload of %d byte(s) in a %d-byte file", ErrChecksum, n, len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, ckptCRC) != binary.LittleEndian.Uint32(tail) {
+		return cp, fmt.Errorf("%w: CRC32C", ErrChecksum)
+	}
+	if err := json.Unmarshal(body[ckptHeader:], &cp); err != nil {
+		return cp, fmt.Errorf("%w: payload: %v", ErrChecksum, err)
+	}
+	return cp, nil
+}
+
+// SaveCheckpoint writes cp to path atomically: a temp file is written,
+// fsynced, and renamed over the target, so a crash mid-save leaves either
+// the previous checkpoint or the new one, never a torn mix.
+func SaveCheckpoint[S any](path string, cp Checkpoint[S]) error {
+	data, err := EncodeCheckpoint(cp)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
+func LoadCheckpoint[S any](path string) (Checkpoint[S], error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		var cp Checkpoint[S]
+		return cp, err
+	}
+	return DecodeCheckpoint[S](data)
+}

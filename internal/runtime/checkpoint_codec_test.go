@@ -1,0 +1,169 @@
+package runtime
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleCheckpoint() Checkpoint[int] {
+	return Checkpoint[int]{
+		Round:  4,
+		States: []int{0, 3, 1 << 20, 2},
+		Stats: Stats{Rounds: 4, Messages: 17, History: []RoundStats{
+			{Round: 1, Messages: 5}, {Round: 2, Messages: 12},
+		}},
+		Delta:    true,
+		Changed:  []int{1, 3},
+		Frontier: []int{0, 2},
+	}
+}
+
+func TestCheckpointCodecRoundTrip(t *testing.T) {
+	cp := sampleCheckpoint()
+	data, err := EncodeCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint[int](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cp) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, cp)
+	}
+}
+
+// TestCheckpointCodecErrors feeds the decoder truncated, damaged, and
+// garbage input and pins the named error each yields. No input may panic.
+func TestCheckpointCodecErrors(t *testing.T) {
+	valid, err := EncodeCheckpoint(sampleCheckpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wrongVer := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint16(wrongVer[4:], 2)
+	// The version probe happens before the CRC, so a future-version file is
+	// reported as ErrVersion even though its checksum (over the old version
+	// byte) no longer matches.
+
+	flipped := append([]byte(nil), valid...)
+	flipped[ckptHeader+3] ^= 0x40 // payload bit
+
+	lied := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(lied[6:], uint64(len(valid))) // absurd length
+
+	badJSON, err := EncodeCheckpoint(sampleCheckpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the payload but fix up the CRC: only the JSON decode catches it.
+	badJSON[ckptHeader] = '!'
+	body := badJSON[:len(badJSON)-4]
+	binary.LittleEndian.PutUint32(badJSON[len(badJSON)-4:], crc32.Checksum(body, ckptCRC))
+
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty", nil, ErrBadMagic},
+		{"short header", valid[:5], ErrBadMagic},
+		{"wrong magic", bytes.Replace(valid, []byte("STCK"), []byte("NOPE"), 1), ErrBadMagic},
+		{"future version", wrongVer, ErrVersion},
+		{"truncated payload", valid[:len(valid)-9], ErrChecksum},
+		{"truncated crc", valid[:len(valid)-2], ErrChecksum},
+		{"payload bit flip", flipped, ErrChecksum},
+		{"lying length", lied, ErrChecksum},
+		{"garbage json behind valid crc", badJSON, ErrChecksum},
+		{"pure garbage", []byte("definitely not a checkpoint"), ErrBadMagic},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeCheckpoint[int](tc.in); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Every prefix of a valid file decodes to a named error, never a panic.
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := DecodeCheckpoint[int](valid[:cut]); err == nil {
+			t.Fatalf("prefix of %d byte(s) decoded successfully", cut)
+		} else if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrVersion) && !errors.Is(err, ErrChecksum) {
+			t.Fatalf("prefix of %d byte(s): unnamed error %v", cut, err)
+		}
+	}
+}
+
+// TestCheckpointResumeFromDisk is the cross-process resume claim: cancel a
+// run mid-flight, persist its last checkpoint through the on-disk codec,
+// load it back (as a restarted process would), and require the resumed run
+// to finish bit-identical to an uninterrupted one.
+func TestCheckpointResumeFromDisk(t *testing.T) {
+	g, alt := testGraphPair(t)
+	const maxRounds = 12
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+
+	opts := func() []Option {
+		return []Option{
+			WithMaxRounds(maxRounds), WithParallelism(2),
+			WithPerturber(&churnPerturber{alt: alt}),
+		}
+	}
+	want, wantStats, err := RunCSR(g, hopInit, hopStep, opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "First process": checkpoint to disk every 2 rounds, die after round 5.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runOpts := append(opts(),
+		WithContext(ctx),
+		WithCheckpoints(2, func(cp Checkpoint[int]) {
+			if err := SaveCheckpoint(path, cp); err != nil {
+				t.Errorf("save checkpoint: %v", err)
+			}
+		}),
+		WithObserver(func(rs RoundStats) {
+			if rs.Round == 5 {
+				cancel()
+			}
+		}),
+	)
+	if _, _, err := RunCSR(g, hopInit, hopStep, runOpts...); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v", err)
+	}
+
+	// "Second process": load from disk and resume.
+	cp, err := LoadCheckpoint[int](path)
+	if err != nil {
+		t.Fatalf("load checkpoint: %v", err)
+	}
+	if cp.Round != 4 {
+		t.Fatalf("loaded checkpoint at round %d, want 4", cp.Round)
+	}
+	got, gotStats, err := RunCSR(g, hopInit, hopStep, append(opts(), WithResume(cp))...)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resume-from-disk final states diverged:\n got %v\nwant %v", got, want)
+	}
+	if !reflect.DeepEqual(stripElapsed(gotStats.History), stripElapsed(wantStats.History)) {
+		t.Fatal("resume-from-disk history diverged")
+	}
+
+	// A loaded checkpoint for the wrong state type fails by name: the JSON
+	// payload refuses to decode, surfaced as a payload-layer failure.
+	if _, err := LoadCheckpoint[string](path); err == nil {
+		t.Fatal("loading with the wrong state type succeeded")
+	} else if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("wrong-type load: %v, want ErrChecksum", err)
+	}
+}

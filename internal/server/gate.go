@@ -1,0 +1,33 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Gate fronts a server that is still recovering its durable state. Until
+// SetReady hands it the real handler, every request — including /healthz —
+// answers 503, so load balancers keep traffic away while the write-ahead
+// log replays. The listener can therefore bind before recovery starts: the
+// port is up, the service is honest about not being ready.
+type Gate struct {
+	inner atomic.Pointer[http.Handler]
+}
+
+// NewGate returns a gate with no handler: all requests 503 until SetReady.
+func NewGate() *Gate { return &Gate{} }
+
+// SetReady installs h and opens the gate. Safe to call once, from any
+// goroutine; requests racing the swap get either the 503 or the handler.
+func (g *Gate) SetReady(h http.Handler) { g.inner.Store(&h) }
+
+// Ready reports whether the gate has a handler installed.
+func (g *Gate) Ready() bool { return g.inner.Load() != nil }
+
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := g.inner.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, "recovering: durable state replay in progress")
+}

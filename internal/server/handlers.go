@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strconv"
 	"time"
+
+	"structura/internal/wal"
 )
 
 // routes wires every endpoint into the mux. Query endpoints go through the
@@ -264,10 +266,13 @@ type summaryResponse struct {
 	MISSize     int    `json:"mis_size"`
 	CDSSize     int    `json:"cds_size"` // -1 when no backbone
 	Unreachable int    `json:"unreachable"`
+	GraphHash   string `json:"graph_hash,omitempty"` // only with ?hash=1
 }
 
 // handleLabels returns one node's full label set, or the epoch summary when
-// no node is named.
+// no node is named. With ?hash=1 the summary includes an order-insensitive
+// hash of the epoch's topology — how a restarted server proves its recovered
+// state is bit-equivalent to what the client saw before the crash.
 func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) int {
 	query := r.URL.Query()
 	ep := s.epoch.Load()
@@ -276,10 +281,14 @@ func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) int {
 		if ep.CDS != nil {
 			cdsSize = ep.CDSSize
 		}
-		return writeJSON(w, http.StatusOK, summaryResponse{
+		resp := summaryResponse{
 			Epoch: ep.Seq, Nodes: ep.CSR.N(), Edges: ep.CSR.M(), Dest: ep.Dest,
 			MISSize: ep.MISSize, CDSSize: cdsSize, Unreachable: ep.Unreachable,
-		})
+		}
+		if query.Get("hash") != "" {
+			resp.GraphHash = fmt.Sprintf("%016x", wal.CSRHash(ep.CSR))
+		}
+		return writeJSON(w, http.StatusOK, resp)
 	}
 	node, err := s.nodeParam(query, "node")
 	if err != nil {
@@ -363,7 +372,31 @@ type MetricsSnapshot struct {
 	RepairRounds    uint64                      `json:"repair_rounds"`
 	RecomputeRounds uint64                      `json:"recompute_rounds"`
 	Standing        uint64                      `json:"standing"`
+	WAL             *WALSnapshot                `json:"wal,omitempty"`
 	Endpoints       map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+// WALSnapshot is the durability block of /metrics, present only when the
+// server journals to a write-ahead log.
+type WALSnapshot struct {
+	Seq         uint64 `json:"seq"`          // last committed batch sequence
+	Records     uint64 `json:"records"`      // cumulative mutation records (incl. compacted history)
+	Batches     uint64 `json:"batches"`      // batches journaled by this process
+	Syncs       uint64 `json:"syncs"`        // fsyncs issued on the append path
+	Compactions uint64 `json:"compactions"`  // snapshot+truncate cycles
+	Depth       uint64 `json:"depth"`        // records in the live log suffix
+	FsyncAvgNs  int64  `json:"fsync_avg_ns"` // mean fsync latency, 0 when none yet
+	FsyncMaxNs  int64  `json:"fsync_max_ns"`
+	Failed      uint64 `json:"failed"` // batches aborted by journaling errors
+
+	// Recovery report of the Open that seeded this process, when it was a
+	// restart rather than a fresh store.
+	RecoveredSeq      uint64 `json:"recovered_seq,omitempty"`
+	RecoveredBatches  int    `json:"recovered_batches,omitempty"`
+	RecoveredRecords  int    `json:"recovered_records,omitempty"`
+	RecoveryTruncated bool   `json:"recovery_truncated,omitempty"`
+	RecoveryReason    string `json:"recovery_reason,omitempty"`
+	RecoveryStanding  uint64 `json:"recovery_standing"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
@@ -382,6 +415,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 		RecomputeRounds: s.met.recomputeRounds.Load(),
 		Standing:        s.met.standing.Load(),
 		Endpoints:       make(map[string]EndpointSnapshot, len(s.met.endpoints)),
+	}
+	if s.cfg.WAL != nil {
+		m := s.cfg.WAL.Metrics()
+		ws := &WALSnapshot{
+			Seq: m.Seq, Records: m.Records, Batches: m.Batches,
+			Syncs: m.Syncs, Compactions: m.Compactions, Depth: m.Depth,
+			FsyncMaxNs:       m.FsyncMax.Nanoseconds(),
+			Failed:           s.met.walFailed.Load(),
+			RecoveryStanding: s.met.recoveryStanding.Load(),
+		}
+		if m.Syncs > 0 {
+			ws.FsyncAvgNs = m.FsyncTotal.Nanoseconds() / int64(m.Syncs)
+		}
+		if rec := s.cfg.Recovered; rec != nil {
+			ws.RecoveredSeq = rec.Seq
+			ws.RecoveredBatches = rec.Batches
+			ws.RecoveredRecords = rec.Replayed
+			ws.RecoveryTruncated = rec.Truncated()
+			ws.RecoveryReason = rec.Reason
+		}
+		snap.WAL = ws
 	}
 	for name, est := range s.met.endpoints {
 		snap.Endpoints[name] = est.snapshot()

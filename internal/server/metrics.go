@@ -112,6 +112,9 @@ type metrics struct {
 	recomputeRounds atomic.Uint64
 	standing        atomic.Uint64 // violations surviving repair+recompute
 
+	walFailed        atomic.Uint64 // batches aborted because journaling failed
+	recoveryStanding atomic.Uint64 // invariant violations found by the post-recovery sweep
+
 	endpoints map[string]*endpointStats
 }
 

@@ -22,6 +22,7 @@ import (
 	"structura/internal/graph"
 	"structura/internal/heal"
 	"structura/internal/sim"
+	"structura/internal/wal"
 )
 
 // Mutation is one client-submitted edge change.
@@ -61,6 +62,21 @@ type Config struct {
 	// RepairBudget bounds each localized repair before the supervisor
 	// escalates to a full recompute. Zero = unbounded repair.
 	RepairBudget heal.Budget
+
+	// WAL, when set, journals every mutation batch before it is healed or
+	// published: a batch reaches the write-ahead log (fsynced per the log's
+	// policy) first, so a crash at any later point replays it on restart.
+	// A journaling error aborts the batch and stops the writer — the server
+	// keeps serving the last published epoch, but no further epoch may be
+	// built on state the log could not record. The caller owns the log's
+	// lifecycle (Open/Create before New, Close after Shutdown).
+	WAL *wal.Log
+
+	// Recovered, when set, is the recovery report of the wal.Open that
+	// produced the graph this server was built over. New audits the freshly
+	// constructed structures with a full invariant sweep and exposes the
+	// report plus the sweep's standing-violation count on /metrics.
+	Recovered *wal.Recovery
 
 	// OnPublish, when set, observes every epoch right before it is
 	// published. Test hook for the consistency properties.
@@ -195,6 +211,17 @@ func New(g *graph.Graph, cfg Config) (*Server, error) {
 		return sc
 	}
 
+	if cfg.Recovered != nil {
+		// The structures were constructed over a recovered graph, not healed
+		// into place — audit them against every registered invariant before
+		// the first epoch is published.
+		standing := len(s.dv.Sweep()) + len(s.mis.Sweep())
+		if s.cds != nil {
+			standing += len(s.cds.Sweep())
+		}
+		s.met.recoveryStanding.Store(uint64(standing))
+	}
+
 	ep := s.buildEpoch(1)
 	if cfg.OnPublish != nil {
 		cfg.OnPublish(ep)
@@ -273,9 +300,30 @@ func (s *Server) writer() {
 }
 
 // applyBatch heals one mutation batch through every supervisor and publishes
-// the resulting epoch. It reports false when shutdown cancelled the heal —
-// the labels may be mid-repair, so nothing is published.
+// the resulting epoch. It reports false when the batch could not be made
+// durable or shutdown cancelled the heal — the labels may be mid-repair, so
+// nothing is published.
 func (s *Server) applyBatch(batch []Mutation) bool {
+	if s.cfg.WAL != nil {
+		// Write-ahead: the batch is journaled (and fsynced per policy)
+		// before any label moves. The log applies the same topological
+		// acceptance rule as the engines, so its replica and the serving
+		// clones stay in lockstep, and replay-on-restart reconstructs
+		// exactly the topology the published epoch was built from.
+		recs := make([]wal.Record, 0, len(batch))
+		for _, m := range batch {
+			t := wal.TAddEdge
+			if m.Op == "remove" {
+				t = wal.TRemoveEdge
+			}
+			recs = append(recs, wal.Record{Type: t, U: int32(m.U), V: int32(m.V), Weight: 1})
+		}
+		if _, err := s.cfg.WAL.Append(recs); err != nil {
+			s.met.walFailed.Add(1)
+			s.met.abortedBatches.Add(1)
+			return false
+		}
+	}
 	events := make([]sim.Event, 0, len(batch))
 	for _, m := range batch {
 		op := sim.OpAddEdge

@@ -1,0 +1,63 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkWALIngest prices the journal's write path on the real
+// filesystem, one fsync policy per sub-benchmark: one op appends a
+// 64-record batch. records/sec is the ingest ceiling the serving layer
+// inherits, fsync-ns/batch the amortized durability tax — the spread
+// between the policies is the number the -fsync flag trades on.
+func BenchmarkWALIngest(b *testing.B) {
+	const (
+		batchSize = 64
+		nodes     = 4096
+	)
+	policies := []struct {
+		name string
+		opts Options
+	}{
+		{"fsync=batch", Options{Sync: SyncEachBatch}},
+		{"fsync=interval8", Options{Sync: SyncInterval, SyncEvery: 8}},
+		{"fsync=none", Options{Sync: SyncNone}},
+	}
+	for _, pol := range policies {
+		b.Run(pol.name, func(b *testing.B) {
+			l, err := Create(filepath.Join(b.TempDir(), "store"), ringGraph(nodes), pol.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+
+			// Deterministic LCG edge stream; duplicate adds still pay the
+			// full journaling cost, matching the serving ingest path.
+			rng := uint64(1)
+			next := func() int32 {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				return int32((rng >> 33) % nodes)
+			}
+			batch := make([]Record, batchSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					u, v := next(), next()
+					if u == v {
+						v = (v + 1) % nodes
+					}
+					batch[j] = Record{Type: TAddEdge, U: u, V: v, Weight: 1}
+				}
+				if _, err := l.Append(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			m := l.Metrics()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(batchSize*b.N)/sec, "records/sec")
+			}
+			b.ReportMetric(float64(m.FsyncTotal.Nanoseconds())/float64(b.N), "fsync-ns/batch")
+		})
+	}
+}

@@ -1,0 +1,240 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"structura/internal/heal"
+)
+
+// crashWorkload is one deterministic ingest run: seed topology plus a fixed
+// batch sequence, with compaction enabled so generation switches fall
+// inside the crash-point space.
+type crashWorkload struct {
+	nodes     int
+	batches   [][]Record
+	compact   int
+	syncP     SyncPolicy
+	syncEvery int
+}
+
+func defaultWorkload() crashWorkload {
+	return crashWorkload{nodes: 14, batches: seededBatches(21, 14, 12, 4), compact: 4, syncP: SyncEachBatch}
+}
+
+// runIngest drives the workload against fsys. It returns the per-seq graph
+// hashes of every committed batch (index 0 = initial state), the seq of the
+// last batch whose Append returned before the crash (what the caller was
+// told is durable), and whether the run crashed.
+func runIngest(t *testing.T, fsys FS, w crashWorkload) (hashes []uint64, acked uint64, crashed bool) {
+	t.Helper()
+	l, err := Create("d", ringGraph(w.nodes), Options{
+		FS: fsys, CompactEvery: w.compact, Sync: w.syncP, SyncEvery: w.syncEvery,
+	})
+	if err != nil {
+		if errors.Is(err, ErrCrashed) {
+			return nil, 0, true
+		}
+		t.Fatalf("create: %v", err)
+	}
+	hashes = append(hashes, GraphHash(l.Graph()))
+	for _, b := range w.batches {
+		seq, err := l.Append(b)
+		if err != nil {
+			if errors.Is(err, ErrCrashed) {
+				return hashes, acked, true
+			}
+			t.Fatalf("append: %v", err)
+		}
+		hashes = append(hashes, GraphHash(l.Graph()))
+		acked = seq
+	}
+	if err := l.Close(); err != nil {
+		if errors.Is(err, ErrCrashed) {
+			return hashes, acked, true
+		}
+		t.Fatalf("close: %v", err)
+	}
+	return hashes, acked, false
+}
+
+// Durability floor: with SyncEachBatch, Append acks a batch only after its
+// fsync returns, so the acked set at the moment of a crash is exactly the
+// batches whose Append returned — runIngest's `acked` value. The sweep
+// therefore needs no op-level bookkeeping: recovery must restore at least
+// `acked` and at most the full committed history.
+
+// TestCrashPointSweep is the tentpole property test: for EVERY injected
+// crash point between consecutive filesystem operations in a seeded ingest
+// run (including the ones inside compaction's rename dance), recovery from
+// the deterministic durable image yields exactly a committed-batch prefix —
+// the recovered graph hash equals the hash the live run had after that
+// batch — no torn batch is ever visible, recovery never loses an
+// acknowledged (fsynced) batch, and the structures rebuilt over the
+// recovered topology pass a full heal.Supervisor invariant sweep.
+func TestCrashPointSweep(t *testing.T) {
+	w := defaultWorkload()
+
+	// Fault-free reference run: committed hashes and the op-count of the
+	// crash-point space.
+	refFS := NewFaultFS(NewMemFS(), 1, -1)
+	refHashes, refAcked, crashed := runIngest(t, refFS, w)
+	if crashed || refAcked != uint64(len(w.batches)) {
+		t.Fatalf("reference run: acked %d of %d", refAcked, len(w.batches))
+	}
+	totalOps := refFS.Ops()
+	if totalOps < 50 {
+		t.Fatalf("workload exercises only %d op(s); too small for a sweep", totalOps)
+	}
+
+	for k := int64(0); k < totalOps; k++ {
+		for _, imageSeed := range []uint64{1, 2, 3} {
+			k, imageSeed := k, imageSeed
+			t.Run(fmt.Sprintf("crash-op-%d-img-%d", k, imageSeed), func(t *testing.T) {
+				fsys := NewFaultFS(NewMemFS(), imageSeed, k)
+				_, acked, crashed := runIngest(t, fsys, w)
+				if !crashed {
+					t.Fatalf("crash at op %d never fired", k)
+				}
+				img := fsys.Durable()
+				l, rec, err := Open("d", Options{FS: img})
+				if err != nil {
+					// Before the very first superblock is durable there is
+					// no store yet — the only point at which recovery may
+					// decline, and only with the named error.
+					if errors.Is(err, ErrNoStore) && acked == 0 {
+						return
+					}
+					t.Fatalf("recovery after crash at op %d: %v", k, err)
+				}
+				defer l.Close()
+
+				// Exactly a committed-batch prefix…
+				if rec.Seq >= uint64(len(refHashes)) {
+					t.Fatalf("recovered seq %d beyond committed history %d", rec.Seq, len(refHashes)-1)
+				}
+				if got, want := GraphHash(l.Graph()), refHashes[rec.Seq]; got != want {
+					t.Fatalf("recovered graph at seq %d hashes %x, want %x", rec.Seq, got, want)
+				}
+				// …and never behind what Append acknowledged (per-batch fsync).
+				if rec.Seq < acked {
+					t.Fatalf("recovery lost acknowledged batch(es): recovered seq %d < acked %d", rec.Seq, acked)
+				}
+
+				// The recovered store must accept writes again.
+				if _, err := l.Append([]Record{{Type: TAddEdge, U: 0, V: int32(w.nodes / 2), Weight: 1}}); err != nil {
+					t.Fatalf("append after recovery: %v", err)
+				}
+
+				// Structures rebuilt over the recovered topology hold every
+				// registered invariant.
+				mis, err := heal.NewMISEngineOver(l.Graph().Clone())
+				if err != nil {
+					t.Fatalf("mis engine over recovered graph: %v", err)
+				}
+				if bad := (&heal.Supervisor{Engine: mis}).Sweep(); len(bad) > 0 {
+					t.Fatalf("invariant sweep after recovery: %v", bad[0])
+				}
+				dv, err := heal.NewDistVecEngineOver(l.Graph().Clone(), 0)
+				if err != nil {
+					t.Fatalf("distvec engine over recovered graph: %v", err)
+				}
+				if bad := (&heal.Supervisor{Engine: dv}).Sweep(); len(bad) > 0 {
+					t.Fatalf("distvec sweep after recovery: %v", bad[0])
+				}
+			})
+		}
+	}
+}
+
+// TestCrashPointSweepRelaxedPolicies runs the same sweep under the interval
+// and no-fsync policies: the acked-batch lower bound no longer holds (loss
+// windows are the policy's contract), but recovery must still be exactly a
+// committed-batch prefix with working appends afterwards.
+func TestCrashPointSweepRelaxedPolicies(t *testing.T) {
+	for _, pol := range []struct {
+		name  string
+		w     crashWorkload
+		every int64
+	}{
+		{"interval", crashWorkload{nodes: 14, batches: seededBatches(22, 14, 10, 4), compact: 5, syncP: SyncInterval, syncEvery: 3}, 2},
+		{"none", crashWorkload{nodes: 14, batches: seededBatches(23, 14, 10, 4), compact: 5, syncP: SyncNone}, 2},
+	} {
+		t.Run(pol.name, func(t *testing.T) {
+			refFS := NewFaultFS(NewMemFS(), 1, -1)
+			refHashes, _, _ := runIngest(t, refFS, pol.w)
+			totalOps := refFS.Ops()
+			for k := int64(0); k < totalOps; k += pol.every {
+				fsys := NewFaultFS(NewMemFS(), uint64(k)+7, k)
+				_, acked, crashed := runIngest(t, fsys, pol.w)
+				if !crashed {
+					t.Fatalf("crash at op %d never fired", k)
+				}
+				l, rec, err := Open("d", Options{FS: fsys.Durable()})
+				if err != nil {
+					if errors.Is(err, ErrNoStore) && acked == 0 {
+						continue
+					}
+					t.Fatalf("recovery after crash at op %d: %v", k, err)
+				}
+				if rec.Seq >= uint64(len(refHashes)) {
+					t.Fatalf("crash op %d: recovered seq %d beyond history", k, rec.Seq)
+				}
+				if got, want := GraphHash(l.Graph()), refHashes[rec.Seq]; got != want {
+					t.Fatalf("crash op %d: recovered seq %d hashes %x, want %x", k, rec.Seq, got, want)
+				}
+				if _, err := l.Append([]Record{{Type: TAddEdge, U: 1, V: 5, Weight: 1}}); err != nil {
+					t.Fatalf("crash op %d: append after recovery: %v", k, err)
+				}
+				l.Close()
+			}
+		})
+	}
+}
+
+// TestDoubleCrashDuringRecovery injects a second crash inside the recovery
+// path itself (Open rewrites a fresh generation) and checks that a third,
+// clean recovery still lands on a committed prefix: recovery is idempotent
+// under repeated failure.
+func TestDoubleCrashDuringRecovery(t *testing.T) {
+	w := defaultWorkload()
+	refFS := NewFaultFS(NewMemFS(), 1, -1)
+	refHashes, _, _ := runIngest(t, refFS, w)
+
+	// First crash: mid-run, after some batches.
+	firstFS := NewFaultFS(NewMemFS(), 5, refFS.Ops()/2)
+	_, _, crashed := runIngest(t, firstFS, w)
+	if !crashed {
+		t.Fatal("first crash never fired")
+	}
+	img1 := firstFS.Durable()
+
+	// Count recovery's own op space, then sweep a second crash across it.
+	probe := NewFaultFS(cloneMemFS(img1), 6, -1)
+	if _, _, err := Open("d", Options{FS: probe}); err != nil {
+		t.Fatalf("probe recovery failed: %v", err)
+	}
+	for k := int64(0); k < probe.Ops(); k++ {
+		fs2 := NewFaultFS(cloneMemFS(img1), uint64(k)+100, k)
+		if l, _, err := Open("d", Options{FS: fs2}); err == nil {
+			l.Close()
+		} else if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("second crash at op %d: unexpected error %v", k, err)
+		}
+		l3, rec, err := Open("d", Options{FS: fs2.Durable()})
+		if err != nil {
+			t.Fatalf("third recovery after double crash at op %d: %v", k, err)
+		}
+		if rec.Seq >= uint64(len(refHashes)) || GraphHash(l3.Graph()) != refHashes[rec.Seq] {
+			t.Fatalf("double crash at op %d: recovered seq %d is not a committed prefix", k, rec.Seq)
+		}
+		l3.Close()
+	}
+}
+
+// cloneMemFS deep-copies a MemFS image so each sweep iteration starts from
+// the same durable bytes.
+func cloneMemFS(m *MemFS) *MemFS {
+	return m.CrashImage(0) // fully-synced image: CrashImage of a synced FS is a deep copy
+}

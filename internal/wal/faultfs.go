@@ -1,0 +1,156 @@
+package wal
+
+import "errors"
+
+// ErrCrashed is returned by every FaultFS operation at and after the
+// injected crash point: the process is "dead", and the only way forward is
+// recovery from the durable image.
+var ErrCrashed = errors.New("wal: simulated crash")
+
+// ErrShortWrite is returned by a FaultFS write that persisted only a seeded
+// prefix of its buffer — the disk-full / partial-IO fault. The log treats
+// any append error as fatal (sticky ErrBroken), and recovery truncates at
+// the resulting torn frame.
+var ErrShortWrite = errors.New("wal: injected short write")
+
+// FaultFS wraps a MemFS and injects disk faults on a deterministic
+// schedule: a crash at the k-th mutating operation (counting every Write,
+// Sync, Create, Rename, Remove, and SyncDir — so every point between a
+// write/sync pair is a crash point), and optional short writes. Reads are
+// not crash points. Use Durable to obtain the post-crash image, and
+// MemFS.Corrupt for post-fsync bit flips.
+type FaultFS struct {
+	mem     *MemFS
+	seed    uint64
+	crashAt int64 // op index that crashes; -1 = never
+	shortAt int64 // op index whose Write is cut short; -1 = never
+	ops     int64
+	crashed bool
+}
+
+// NewFaultFS wraps mem with a crash scheduled at op index crashAt
+// (-1: never). seed drives the torn-write and lost-dir-op draws of the
+// crash image.
+func NewFaultFS(mem *MemFS, seed uint64, crashAt int64) *FaultFS {
+	return &FaultFS{mem: mem, seed: seed, crashAt: crashAt, shortAt: -1}
+}
+
+// ShortWriteAt schedules the write at op index idx to persist only half its
+// buffer and fail with ErrShortWrite (the process survives, unlike a crash).
+func (f *FaultFS) ShortWriteAt(idx int64) { f.shortAt = idx }
+
+// Ops returns the number of mutating operations performed so far — run a
+// workload once fault-free to learn the crash-point space.
+func (f *FaultFS) Ops() int64 { return f.ops }
+
+// Crashed reports whether the scheduled crash has fired.
+func (f *FaultFS) Crashed() bool { return f.crashed }
+
+// Durable returns the deterministic post-crash filesystem image: what a
+// recovery process would find on disk if power were cut at the current
+// moment (or at the injected crash, once it has fired).
+func (f *FaultFS) Durable() *MemFS { return f.mem.CrashImage(f.seed) }
+
+// step accounts one mutating op and reports whether it must fail with
+// ErrCrashed. A crashing write still records its buffer as pending first,
+// so the crash image can preserve a torn prefix of it.
+func (f *FaultFS) step() bool {
+	if f.crashed {
+		return true
+	}
+	idx := f.ops
+	f.ops++
+	if idx == f.crashAt {
+		f.crashed = true
+		return true
+	}
+	return false
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	if f.crashed {
+		return ErrCrashed
+	}
+	return f.mem.MkdirAll(dir)
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if f.step() {
+		return nil, ErrCrashed
+	}
+	inner, err := f.mem.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultHandle{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	return f.mem.ReadFile(name)
+}
+
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if f.step() {
+		return ErrCrashed
+	}
+	return f.mem.Rename(oldname, newname)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if f.step() {
+		return ErrCrashed
+	}
+	return f.mem.Remove(name)
+}
+
+func (f *FaultFS) List(dir string) ([]string, error) {
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	return f.mem.List(dir)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if f.step() {
+		return ErrCrashed
+	}
+	return f.mem.SyncDir(dir)
+}
+
+type faultHandle struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (h *faultHandle) Write(p []byte) (int, error) {
+	idx := h.fs.ops
+	if h.fs.step() {
+		// The in-flight buffer reaches the page cache as pending bytes;
+		// the crash image keeps a seeded torn prefix of it.
+		_, _ = h.inner.Write(p)
+		return 0, ErrCrashed
+	}
+	if idx == h.fs.shortAt {
+		n := len(p) / 2
+		_, _ = h.inner.Write(p[:n])
+		return n, ErrShortWrite
+	}
+	return h.inner.Write(p)
+}
+
+func (h *faultHandle) Sync() error {
+	if h.fs.step() {
+		return ErrCrashed
+	}
+	return h.inner.Sync()
+}
+
+func (h *faultHandle) Close() error {
+	if h.fs.crashed {
+		return ErrCrashed
+	}
+	return h.inner.Close()
+}

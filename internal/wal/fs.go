@@ -1,0 +1,312 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File is the write side of a durable file: sequential writes, an fsync
+// barrier, and close. The WAL only ever appends — no seeks — which keeps
+// the crash model of MemFS exact.
+type File interface {
+	io.Writer
+	// Sync blocks until every byte written so far is durable.
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem slice the WAL needs. OS() is the real thing;
+// NewMemFS is the crash-simulable in-memory implementation FaultFS wraps.
+// The contract mirrors POSIX durability: file writes become durable on
+// File.Sync, and namespace changes (create, rename, remove) become durable
+// on SyncDir of the containing directory.
+type FS interface {
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// ReadFile returns the full content of name, or an error satisfying
+	// IsNotExist semantics via os.ErrNotExist when the file is absent.
+	ReadFile(name string) ([]byte, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	// List returns the sorted names (not full paths) of the files in dir.
+	List(dir string) ([]string, error)
+	// SyncDir makes all namespace changes under dir durable.
+	SyncDir(dir string) error
+}
+
+// ---- OS filesystem ----
+
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ---- In-memory filesystem with explicit durability tracking ----
+
+// memFile is one file's content split at the durability barrier: synced
+// bytes survive any crash; pending bytes survive only up to a seeded torn
+// prefix (see MemFS.CrashImage).
+type memFile struct {
+	synced  []byte
+	pending []byte
+}
+
+func (f *memFile) content() []byte {
+	out := make([]byte, 0, len(f.synced)+len(f.pending))
+	out = append(out, f.synced...)
+	return append(out, f.pending...)
+}
+
+// dirOp is one namespace change pending a SyncDir.
+type dirOp struct {
+	kind byte // 'c' create, 'r' rename, 'd' remove
+	a, b string
+	f    *memFile // create: the file object, so partial-replay rebinds it
+}
+
+// MemFS is an in-memory FS that models POSIX crash semantics precisely:
+// per-file synced-vs-pending content, and a journal of namespace operations
+// that only SyncDir makes durable. CrashImage derives the deterministic
+// post-crash filesystem a recovery run sees.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile // live (process-visible) namespace
+	durable map[string]*memFile // namespace as of the last SyncDir
+	journal []dirOp             // namespace ops since the last SyncDir
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memFile{}, durable: map[string]*memFile{}}
+}
+
+func (m *MemFS) MkdirAll(dir string) error { return nil }
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = path.Clean(name)
+	f := &memFile{}
+	m.files[name] = f
+	m.journal = append(m.journal, dirOp{kind: 'c', a: name, f: f})
+	return &memHandle{fs: m, f: f}, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path.Clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("memfs: %s: %w", name, os.ErrNotExist)
+	}
+	return f.content(), nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldname, newname = path.Clean(oldname), path.Clean(newname)
+	f, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("memfs: rename %s: %w", oldname, os.ErrNotExist)
+	}
+	m.files[newname] = f
+	delete(m.files, oldname)
+	m.journal = append(m.journal, dirOp{kind: 'r', a: oldname, b: newname})
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = path.Clean(name)
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("memfs: remove %s: %w", name, os.ErrNotExist)
+	}
+	delete(m.files, name)
+	m.journal = append(m.journal, dirOp{kind: 'd', a: name})
+	return nil
+}
+
+func (m *MemFS) List(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = path.Clean(dir)
+	var names []string
+	for name := range m.files {
+		if path.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.commitNamespace()
+	return nil
+}
+
+func (m *MemFS) commitNamespace() {
+	m.durable = make(map[string]*memFile, len(m.files))
+	for name, f := range m.files {
+		m.durable[name] = f
+	}
+	m.journal = nil
+}
+
+// Corrupt flips the bits of mask into the durable (synced) content of name
+// at byte offset off — the post-fsync bit-flip fault. It reports whether
+// the offset was in range.
+func (m *MemFS) Corrupt(name string, off int, mask byte) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path.Clean(name)]
+	if !ok || off < 0 || off >= len(f.synced) {
+		return false
+	}
+	f.synced[off] ^= mask
+	return true
+}
+
+// SyncedLen returns how many bytes of name are durable (0 if absent).
+func (m *MemFS) SyncedLen(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[path.Clean(name)]; ok {
+		return len(f.synced)
+	}
+	return 0
+}
+
+// CrashImage derives the filesystem state a recovery run observes after a
+// power cut now, deterministically from seed: the durable namespace plus a
+// seeded prefix of the pending namespace journal (ordered metadata
+// journaling), and for every surviving file its synced bytes plus a seeded
+// torn prefix of its unsynced tail. The image is fully synced — recovery
+// mutations start from a clean barrier.
+func (m *MemFS) CrashImage(seed uint64) *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rng := splitmix{state: seed}
+
+	ns := make(map[string]*memFile, len(m.durable))
+	for name, f := range m.durable {
+		ns[name] = f
+	}
+	keep := 0
+	if len(m.journal) > 0 {
+		keep = int(rng.next() % uint64(len(m.journal)+1))
+	}
+	for _, op := range m.journal[:keep] {
+		switch op.kind {
+		case 'c':
+			ns[op.a] = op.f
+		case 'r':
+			if f, ok := ns[op.a]; ok {
+				ns[op.b] = f
+				delete(ns, op.a)
+			}
+		case 'd':
+			delete(ns, op.a)
+		}
+	}
+
+	img := NewMemFS()
+	// Deterministic iteration: sort surviving names before drawing torn
+	// prefixes, so one seed always yields one image.
+	names := make([]string, 0, len(ns))
+	for name := range ns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := ns[name]
+		data := append([]byte(nil), f.synced...)
+		if len(f.pending) > 0 {
+			data = append(data, f.pending[:int(rng.next()%uint64(len(f.pending)+1))]...)
+		}
+		img.files[name] = &memFile{synced: data}
+	}
+	img.commitNamespace()
+	return img
+}
+
+type memHandle struct {
+	fs *MemFS
+	f  *memFile
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.f.pending = append(h.f.pending, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.f.synced = append(h.f.synced, h.f.pending...)
+	h.f.pending = nil
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+// splitmix is the splitmix64 generator: tiny, seeded, and stateless enough
+// for deterministic fault schedules.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

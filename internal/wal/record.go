@@ -1,0 +1,204 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Type discriminates mutation-log records. The on-disk byte values are part
+// of the durable format and must never be renumbered.
+type Type uint8
+
+const (
+	// TAddNode appends one isolated node to the graph.
+	TAddNode Type = 1
+	// TRemoveNode detaches every edge incident to U (the node stays as an
+	// isolated vertex, matching graph trimming semantics).
+	TRemoveNode Type = 2
+	// TAddEdge adds edge (U,V) with Weight, valid from batch From onward
+	// (To is -1: the interval is open until a TRemoveEdge closes it).
+	TAddEdge Type = 3
+	// TRemoveEdge removes edge (U,V), closing its validity interval at To.
+	TRemoveEdge Type = 4
+	// TWeight sets the weight of existing edge (U,V) to Weight from batch
+	// From onward.
+	TWeight Type = 5
+	// TCommit seals the Count preceding records as committed batch Seq.
+	// Records after the last commit marker are discarded by recovery.
+	TCommit Type = 6
+)
+
+// Record is one mutation-log entry. Edge records carry the validity interval
+// [From, To) in batch-sequence time units — the on-disk reflection of the
+// time-indexed graph: a window [a,b) loads as a range scan over the log
+// (see temporal.LoadWindow) instead of a full rebuild.
+type Record struct {
+	Type   Type
+	U, V   int32   // endpoints (TRemoveNode uses U alone)
+	Weight float64 // TAddEdge, TWeight
+	From   int64   // valid-from batch seq (TAddEdge, TWeight)
+	To     int64   // valid-to batch seq (TRemoveEdge; -1 = open on TAddEdge)
+	Seq    uint64  // TCommit: batch sequence number
+	Count  uint32  // TCommit: records sealed by this marker
+}
+
+// Canonical payload sizes per type; decode rejects any other length, which
+// makes encode∘decode the identity on every decodable byte string (the
+// FuzzWALRecord property).
+const (
+	lenAddNode    = 1
+	lenRemoveNode = 1 + 4
+	lenAddEdge    = 1 + 4 + 4 + 8 + 8 + 8
+	lenRemoveEdge = 1 + 4 + 4 + 8
+	lenWeight     = 1 + 4 + 4 + 8 + 8
+	lenCommit     = 1 + 8 + 4
+
+	// maxPayload bounds a frame's declared payload length; anything larger
+	// is torn or garbage, never a legal record.
+	maxPayload = lenAddEdge
+)
+
+// frameHeader is the per-record framing: payload length then CRC32C of the
+// payload, both little-endian uint32.
+const frameHeader = 8
+
+// castagnoli is the CRC32C polynomial table shared by every checksum in the
+// durable format (records, snapshots, superblocks, log headers).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Named decode errors. Recovery maps all three to a truncation point; the
+// fuzz targets assert no other failure mode exists.
+var (
+	ErrRecordType = errors.New("wal: unknown record type")
+	ErrRecordLen  = errors.New("wal: record payload length does not match its type")
+	ErrTorn       = errors.New("wal: torn record")
+)
+
+// appendPayload appends r's canonical payload encoding to buf.
+func (r Record) appendPayload(buf []byte) []byte {
+	buf = append(buf, byte(r.Type))
+	switch r.Type {
+	case TAddNode:
+	case TRemoveNode:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.U))
+	case TAddEdge:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.U))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.V))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Weight))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.From))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.To))
+	case TRemoveEdge:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.U))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.V))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.To))
+	case TWeight:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.U))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.V))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Weight))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.From))
+	case TCommit:
+		buf = binary.LittleEndian.AppendUint64(buf, r.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, r.Count)
+	default:
+		panic(fmt.Sprintf("wal: encoding unknown record type %d", r.Type))
+	}
+	return buf
+}
+
+// DecodeRecord parses one canonical payload. It never panics: arbitrary
+// input yields a Record or a named error, and every accepted input
+// re-encodes to the same bytes.
+func DecodeRecord(p []byte) (Record, error) {
+	if len(p) == 0 {
+		return Record{}, fmt.Errorf("%w: empty payload", ErrRecordLen)
+	}
+	var r Record
+	r.Type = Type(p[0])
+	want := 0
+	switch r.Type {
+	case TAddNode:
+		want = lenAddNode
+	case TRemoveNode:
+		want = lenRemoveNode
+	case TAddEdge:
+		want = lenAddEdge
+	case TRemoveEdge:
+		want = lenRemoveEdge
+	case TWeight:
+		want = lenWeight
+	case TCommit:
+		want = lenCommit
+	default:
+		return Record{}, fmt.Errorf("%w: %d", ErrRecordType, p[0])
+	}
+	if len(p) != want {
+		return Record{}, fmt.Errorf("%w: type %d has %d byte(s), want %d", ErrRecordLen, r.Type, len(p), want)
+	}
+	switch r.Type {
+	case TRemoveNode:
+		r.U = int32(binary.LittleEndian.Uint32(p[1:]))
+	case TAddEdge:
+		r.U = int32(binary.LittleEndian.Uint32(p[1:]))
+		r.V = int32(binary.LittleEndian.Uint32(p[5:]))
+		r.Weight = math.Float64frombits(binary.LittleEndian.Uint64(p[9:]))
+		r.From = int64(binary.LittleEndian.Uint64(p[17:]))
+		r.To = int64(binary.LittleEndian.Uint64(p[25:]))
+	case TRemoveEdge:
+		r.U = int32(binary.LittleEndian.Uint32(p[1:]))
+		r.V = int32(binary.LittleEndian.Uint32(p[5:]))
+		r.To = int64(binary.LittleEndian.Uint64(p[9:]))
+	case TWeight:
+		r.U = int32(binary.LittleEndian.Uint32(p[1:]))
+		r.V = int32(binary.LittleEndian.Uint32(p[5:]))
+		r.Weight = math.Float64frombits(binary.LittleEndian.Uint64(p[9:]))
+		r.From = int64(binary.LittleEndian.Uint64(p[17:]))
+	case TCommit:
+		r.Seq = binary.LittleEndian.Uint64(p[1:])
+		r.Count = binary.LittleEndian.Uint32(p[9:])
+	}
+	return r, nil
+}
+
+// EncodeRecord returns r's canonical payload (DecodeRecord's inverse).
+func EncodeRecord(r Record) []byte { return r.appendPayload(nil) }
+
+// appendFrame appends the framed record — length, CRC32C, payload — to buf.
+func appendFrame(buf []byte, r Record) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	buf = r.appendPayload(buf)
+	payload := buf[start+frameHeader:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// readFrame decodes one framed record from data. It returns the record and
+// the bytes consumed, or ErrTorn (wrapped with the reason) when the frame is
+// incomplete, oversized, checksum-corrupt, or undecodable — the signal that
+// recovery must truncate here.
+func readFrame(data []byte) (Record, int, error) {
+	if len(data) < frameHeader {
+		return Record{}, 0, fmt.Errorf("%w: %d header byte(s) of %d", ErrTorn, len(data), frameHeader)
+	}
+	n := binary.LittleEndian.Uint32(data)
+	sum := binary.LittleEndian.Uint32(data[4:])
+	if n == 0 || n > maxPayload {
+		return Record{}, 0, fmt.Errorf("%w: implausible payload length %d", ErrTorn, n)
+	}
+	if len(data) < frameHeader+int(n) {
+		return Record{}, 0, fmt.Errorf("%w: %d payload byte(s) of %d", ErrTorn, len(data)-frameHeader, n)
+	}
+	payload := data[frameHeader : frameHeader+int(n)]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return Record{}, 0, fmt.Errorf("%w: checksum mismatch", ErrTorn)
+	}
+	r, err := DecodeRecord(payload)
+	if err != nil {
+		return Record{}, 0, fmt.Errorf("%w: %v", ErrTorn, err)
+	}
+	return r, frameHeader + int(n), nil
+}

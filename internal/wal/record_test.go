@@ -1,0 +1,93 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Type: TAddNode},
+		{Type: TRemoveNode, U: 7},
+		{Type: TAddEdge, U: 1, V: 2, Weight: 2.5, From: 3, To: -1},
+		{Type: TRemoveEdge, U: 1, V: 2, To: 9},
+		{Type: TWeight, U: 4, V: 5, Weight: 0.25, From: 6},
+		{Type: TCommit, Seq: 12, Count: 4},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, r := range sampleRecords() {
+		p := EncodeRecord(r)
+		got, err := DecodeRecord(p)
+		if err != nil {
+			t.Fatalf("decode %v: %v", r, err)
+		}
+		if got != r {
+			t.Fatalf("round trip: got %+v, want %+v", got, r)
+		}
+		// Canonical: re-encoding the decoded record reproduces the bytes.
+		if !bytes.Equal(EncodeRecord(got), p) {
+			t.Fatalf("re-encode of %+v differs", r)
+		}
+	}
+}
+
+func TestRecordNaNWeightRoundTrips(t *testing.T) {
+	r := Record{Type: TWeight, U: 1, V: 2, Weight: math.NaN(), From: 1}
+	got, err := DecodeRecord(EncodeRecord(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(EncodeRecord(got), EncodeRecord(r)) {
+		t.Fatal("NaN weight did not round-trip bit-exactly")
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty", nil, ErrRecordLen},
+		{"unknown type", []byte{99}, ErrRecordType},
+		{"zero type", []byte{0}, ErrRecordType},
+		{"short add-edge", EncodeRecord(Record{Type: TAddEdge})[:10], ErrRecordLen},
+		{"long commit", append(EncodeRecord(Record{Type: TCommit}), 0), ErrRecordLen},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeRecord(tc.in); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestReadFrameTornCases(t *testing.T) {
+	full := appendFrame(nil, Record{Type: TAddEdge, U: 1, V: 2, Weight: 1, From: 1, To: -1})
+
+	if r, n, err := readFrame(full); err != nil || n != len(full) || r.Type != TAddEdge {
+		t.Fatalf("clean frame: r=%+v n=%d err=%v", r, n, err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := readFrame(full[:cut]); !errors.Is(err, ErrTorn) {
+			t.Fatalf("prefix of %d byte(s): got %v, want ErrTorn", cut, err)
+		}
+	}
+	// Flip one payload bit: CRC must catch it.
+	for i := frameHeader; i < len(full); i++ {
+		bad := append([]byte(nil), full...)
+		bad[i] ^= 0x10
+		if _, _, err := readFrame(bad); !errors.Is(err, ErrTorn) {
+			t.Fatalf("bit flip at %d: got %v, want ErrTorn", i, err)
+		}
+	}
+	// Implausible length field.
+	bad := append([]byte(nil), full...)
+	bad[0], bad[1], bad[2], bad[3] = 0xff, 0xff, 0xff, 0x7f
+	if _, _, err := readFrame(bad); !errors.Is(err, ErrTorn) {
+		t.Fatalf("oversize length: got %v, want ErrTorn", err)
+	}
+}

@@ -1,0 +1,187 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path"
+
+	"structura/internal/graph"
+)
+
+// Recovery reports what Open (or Replay) reconstructed from disk.
+type Recovery struct {
+	SnapshotSeq uint64 // batch seq of the snapshot replay started from
+	Seq         uint64 // last committed batch recovered
+	Batches     int    // committed batches replayed from the log suffix
+	Records     uint64 // cumulative mutation records in the recovered state
+	Replayed    int    // mutation records replayed from the log suffix
+	Nodes       int    // node count of the recovered graph
+	TruncatedAt int64  // log offset of the first unusable byte (-1: clean tail)
+	Reason      string // why the log was truncated there, "" when clean
+}
+
+// Truncated reports whether recovery discarded a torn or corrupt tail.
+func (r Recovery) Truncated() bool { return r.TruncatedAt >= 0 }
+
+// ErrStopReplay, returned by a Replay callback, stops the scan cleanly —
+// the range-scan early exit for windowed loads.
+var ErrStopReplay = errors.New("wal: stop replay")
+
+// Replay streams the durable committed history in dir, read-only: first
+// every edge of the superblock's snapshot (as synthetic TAddEdge records
+// whose From is the snapshot's batch seq — earlier history is compacted
+// away), then every *applied* mutation record of each committed batch in
+// order, then the batch's TCommit marker. Records of uncommitted or torn
+// tails are never surfaced. The callback may return ErrStopReplay to end
+// the scan early; any other error aborts and is returned.
+func Replay(fsys FS, dir string, fn func(Record) error) (Recovery, error) {
+	if fsys == nil {
+		fsys = OS()
+	}
+	_, rec, err := replayDir(fsys, dir, fn)
+	return rec, err
+}
+
+// replayDir loads the superblock, snapshot, and committed log prefix of
+// dir. fn, when non-nil, observes the stream as documented on Replay.
+func replayDir(fsys FS, dir string, fn func(Record) error) (*graph.Graph, Recovery, error) {
+	rec := Recovery{TruncatedAt: -1}
+
+	sbData, err := fsys.ReadFile(path.Join(dir, superName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, rec, fmt.Errorf("%w: %s", ErrNoStore, dir)
+		}
+		return nil, rec, err
+	}
+	sb, err := decodeSuper(sbData)
+	if err != nil {
+		return nil, rec, err
+	}
+
+	snapData, err := fsys.ReadFile(path.Join(dir, sb.snapName))
+	if err != nil {
+		return nil, rec, fmt.Errorf("%w: superblock names missing snapshot %s: %v", ErrCorrupt, sb.snapName, err)
+	}
+	g, snapSeq, snapCum, err := DecodeSnapshot(snapData)
+	if err != nil {
+		return nil, rec, err
+	}
+	if snapSeq != sb.snapSeq {
+		return nil, rec, fmt.Errorf("%w: snapshot %s is batch %d, superblock says %d",
+			ErrCorrupt, sb.snapName, snapSeq, sb.snapSeq)
+	}
+	rec.SnapshotSeq = snapSeq
+	rec.Seq = snapSeq
+	rec.Records = snapCum
+
+	if fn != nil {
+		for _, e := range g.Edges() {
+			r := Record{
+				Type: TAddEdge, U: int32(e.From), V: int32(e.To),
+				Weight: e.Weight, From: int64(snapSeq), To: -1,
+			}
+			if ferr := fn(r); ferr != nil {
+				if errors.Is(ferr, ErrStopReplay) {
+					rec.Nodes = g.N()
+					return g, rec, nil
+				}
+				return nil, rec, ferr
+			}
+		}
+	}
+
+	logData, lerr := fsys.ReadFile(path.Join(dir, sb.logName))
+	switch {
+	case errors.Is(lerr, os.ErrNotExist):
+		// The superblock swap is durable before old-generation removal, so
+		// a referenced-but-missing log cannot come from a crash: note it
+		// and recover from the snapshot alone.
+		rec.TruncatedAt = 0
+		rec.Reason = "log file missing"
+	case lerr != nil:
+		return nil, rec, lerr
+	default:
+		if err := replayLog(logData, g, &rec, fn); err != nil {
+			return nil, rec, err
+		}
+	}
+	rec.Nodes = g.N()
+	return g, rec, nil
+}
+
+// replayLog applies the committed-batch prefix of one log generation to g,
+// truncating at the first torn or inconsistent record. Only a bad header or
+// a callback error can fail it; everything else is a truncation point.
+func replayLog(data []byte, g *graph.Graph, rec *Recovery, fn func(Record) error) error {
+	startSeq, startCum, err := decodeLogHeader(data)
+	if err != nil {
+		// The header is written and fsynced before the superblock ever
+		// references the generation; a torn header means the superblock
+		// swap itself was interrupted in a way rename atomicity excludes,
+		// so treat it as an empty suffix rather than failing recovery.
+		rec.TruncatedAt = 0
+		rec.Reason = fmt.Sprintf("unreadable log header: %v", err)
+		return nil
+	}
+	if startSeq != rec.SnapshotSeq || startCum != rec.Records {
+		rec.TruncatedAt = 0
+		rec.Reason = fmt.Sprintf("log generation (seq %d, cum %d) does not match snapshot (seq %d, cum %d)",
+			startSeq, startCum, rec.SnapshotSeq, rec.Records)
+		return nil
+	}
+
+	off := int64(logHeaderLen)
+	pending := make([]Record, 0, 64)
+	pendingStart := off
+	for int(off) < len(data) {
+		r, n, ferr := readFrame(data[off:])
+		if ferr != nil {
+			rec.TruncatedAt = pendingStart
+			rec.Reason = fmt.Sprintf("at offset %d: %v", off, ferr)
+			return nil
+		}
+		if r.Type != TCommit {
+			pending = append(pending, r)
+			off += int64(n)
+			continue
+		}
+		if r.Seq != rec.Seq+1 || int(r.Count) != len(pending) {
+			rec.TruncatedAt = pendingStart
+			rec.Reason = fmt.Sprintf("at offset %d: commit marker (seq %d, count %d) does not seal batch %d of %d record(s)",
+				off, r.Seq, r.Count, rec.Seq+1, len(pending))
+			return nil
+		}
+		for _, pr := range pending {
+			if applyRecord(g, pr) && fn != nil {
+				if cerr := fn(pr); cerr != nil {
+					if errors.Is(cerr, ErrStopReplay) {
+						return nil
+					}
+					return cerr
+				}
+			}
+		}
+		rec.Seq = r.Seq
+		rec.Batches++
+		rec.Replayed += len(pending)
+		rec.Records += uint64(len(pending))
+		pending = pending[:0]
+		off += int64(n)
+		pendingStart = off
+		if fn != nil {
+			if cerr := fn(r); cerr != nil {
+				if errors.Is(cerr, ErrStopReplay) {
+					return nil
+				}
+				return cerr
+			}
+		}
+	}
+	if len(pending) > 0 {
+		rec.TruncatedAt = pendingStart
+		rec.Reason = fmt.Sprintf("%d record(s) after the last commit marker", len(pending))
+	}
+	return nil
+}

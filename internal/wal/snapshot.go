@@ -1,0 +1,294 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"structura/internal/graph"
+)
+
+// ErrCorrupt wraps every durable-format decode failure outside the record
+// framing: corrupt superblocks, snapshots, and log headers. These files are
+// fsynced before anything references them, so (unlike a torn log tail) a
+// checksum mismatch here means real damage, not an interrupted write.
+var ErrCorrupt = errors.New("wal: corrupt durable file")
+
+const (
+	snapMagic  = "STSN"
+	snapVer    = 1
+	superMagic = "STSB"
+	superVer   = 1
+	logMagic   = "STWL"
+	logVer     = 1
+
+	// logHeaderLen frames a log generation: magic, version, the batch seq
+	// and cumulative record count the generation starts from, and a CRC.
+	logHeaderLen = 4 + 2 + 8 + 8 + 4
+)
+
+// EncodeSnapshot serializes g with its provenance: seq is the batch
+// sequence the snapshot reflects, cum the cumulative mutation-record count
+// consumed to reach it. Layout: magic, version, seq, cum, directed, n, m,
+// the edge list (u, v, weight — each undirected edge once), and a trailing
+// CRC32C over everything before it.
+func EncodeSnapshot(g *graph.Graph, seq, cum uint64) []byte {
+	edges := g.Edges()
+	buf := make([]byte, 0, 4+2+8+8+1+4+8+16*len(edges)+4)
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, snapVer)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, cum)
+	if g.Directed() {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.N()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(edges)))
+	for _, e := range edges {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.From))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.To))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Weight))
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// DecodeSnapshot is EncodeSnapshot's inverse. Any truncation, checksum
+// mismatch, or malformed edge yields an error wrapping ErrCorrupt; it never
+// panics and never returns a partially-built graph.
+func DecodeSnapshot(data []byte) (g *graph.Graph, seq, cum uint64, err error) {
+	const head = 4 + 2 + 8 + 8 + 1 + 4 + 8
+	if len(data) < head+4 {
+		return nil, 0, 0, fmt.Errorf("%w: snapshot has %d byte(s)", ErrCorrupt, len(data))
+	}
+	if string(data[:4]) != snapMagic {
+		return nil, 0, 0, fmt.Errorf("%w: snapshot magic %q", ErrCorrupt, data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != snapVer {
+		return nil, 0, 0, fmt.Errorf("%w: snapshot version %d (want %d)", ErrCorrupt, v, snapVer)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return nil, 0, 0, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	seq = binary.LittleEndian.Uint64(data[6:])
+	cum = binary.LittleEndian.Uint64(data[14:])
+	directed := data[22] != 0
+	n := int(binary.LittleEndian.Uint32(data[23:]))
+	m := binary.LittleEndian.Uint64(data[27:])
+	if uint64(len(body)-head) != 16*m {
+		return nil, 0, 0, fmt.Errorf("%w: snapshot claims %d edge(s) in %d byte(s)", ErrCorrupt, m, len(body)-head)
+	}
+	if directed {
+		g = graph.NewDirected(n)
+	} else {
+		g = graph.New(n)
+	}
+	off := head
+	for i := uint64(0); i < m; i++ {
+		u := int(int32(binary.LittleEndian.Uint32(data[off:])))
+		v := int(int32(binary.LittleEndian.Uint32(data[off+4:])))
+		w := math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
+		off += 16
+		if aerr := g.AddWeightedEdge(u, v, w); aerr != nil {
+			return nil, 0, 0, fmt.Errorf("%w: snapshot edge (%d,%d): %v", ErrCorrupt, u, v, aerr)
+		}
+	}
+	return g, seq, cum, nil
+}
+
+// SaveGraph writes g to path through the snapshot codec, atomically: a temp
+// file is written, fsynced, and renamed over the target. The file is
+// readable by LoadGraph and usable as a server boot image.
+func SaveGraph(path string, g *graph.Graph) error {
+	return saveGraphFS(OS(), path, g)
+}
+
+func saveGraphFS(fsys FS, path string, g *graph.Graph) error {
+	tmp := path + ".tmp"
+	if err := writeFileSync(fsys, tmp, EncodeSnapshot(g, 0, 0)); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, path)
+}
+
+// LoadGraph reads a snapshot-codec graph file written by SaveGraph (or a
+// live snapshot from a WAL data dir).
+func LoadGraph(path string) (*graph.Graph, error) {
+	data, err := OS().ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	g, _, _, err := DecodeSnapshot(data)
+	return g, err
+}
+
+// writeFileSync creates name, writes data, and fsyncs it (the caller still
+// owns the namespace barrier via Rename/SyncDir).
+func writeFileSync(fsys FS, name string, data []byte) error {
+	f, err := fsys.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ---- superblock ----
+
+// superblock names the live (snapshot, log) generation pair. It is tiny and
+// rewritten atomically (temp + rename), so recovery sees either the old or
+// the new generation, never a mix.
+type superblock struct {
+	snapSeq  uint64
+	snapName string
+	logName  string
+}
+
+func encodeSuper(sb superblock) []byte {
+	buf := make([]byte, 0, 4+2+8+2+len(sb.snapName)+2+len(sb.logName)+4)
+	buf = append(buf, superMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, superVer)
+	buf = binary.LittleEndian.AppendUint64(buf, sb.snapSeq)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(sb.snapName)))
+	buf = append(buf, sb.snapName...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(sb.logName)))
+	buf = append(buf, sb.logName...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+func decodeSuper(data []byte) (superblock, error) {
+	var sb superblock
+	if len(data) < 4+2+8+2+2+4 {
+		return sb, fmt.Errorf("%w: superblock has %d byte(s)", ErrCorrupt, len(data))
+	}
+	if string(data[:4]) != superMagic {
+		return sb, fmt.Errorf("%w: superblock magic %q", ErrCorrupt, data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != superVer {
+		return sb, fmt.Errorf("%w: superblock version %d (want %d)", ErrCorrupt, v, superVer)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return sb, fmt.Errorf("%w: superblock checksum mismatch", ErrCorrupt)
+	}
+	sb.snapSeq = binary.LittleEndian.Uint64(data[6:])
+	off := 14
+	read := func() (string, bool) {
+		if off+2 > len(body) {
+			return "", false
+		}
+		n := int(binary.LittleEndian.Uint16(body[off:]))
+		off += 2
+		if off+n > len(body) {
+			return "", false
+		}
+		s := string(body[off : off+n])
+		off += n
+		return s, true
+	}
+	var ok bool
+	if sb.snapName, ok = read(); !ok {
+		return sb, fmt.Errorf("%w: superblock snapshot name truncated", ErrCorrupt)
+	}
+	if sb.logName, ok = read(); !ok {
+		return sb, fmt.Errorf("%w: superblock log name truncated", ErrCorrupt)
+	}
+	return sb, nil
+}
+
+// ---- log generation header ----
+
+func encodeLogHeader(startSeq, startCum uint64) []byte {
+	buf := make([]byte, 0, logHeaderLen)
+	buf = append(buf, logMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, logVer)
+	buf = binary.LittleEndian.AppendUint64(buf, startSeq)
+	buf = binary.LittleEndian.AppendUint64(buf, startCum)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+func decodeLogHeader(data []byte) (startSeq, startCum uint64, err error) {
+	if len(data) < logHeaderLen {
+		return 0, 0, fmt.Errorf("%w: log header has %d byte(s)", ErrCorrupt, len(data))
+	}
+	h := data[:logHeaderLen]
+	if string(h[:4]) != logMagic {
+		return 0, 0, fmt.Errorf("%w: log magic %q", ErrCorrupt, h[:4])
+	}
+	if v := binary.LittleEndian.Uint16(h[4:]); v != logVer {
+		return 0, 0, fmt.Errorf("%w: log version %d (want %d)", ErrCorrupt, v, logVer)
+	}
+	if crc32.Checksum(h[:logHeaderLen-4], castagnoli) != binary.LittleEndian.Uint32(h[logHeaderLen-4:]) {
+		return 0, 0, fmt.Errorf("%w: log header checksum mismatch", ErrCorrupt)
+	}
+	return binary.LittleEndian.Uint64(h[6:]), binary.LittleEndian.Uint64(h[14:]), nil
+}
+
+// ---- topology hashing ----
+
+// GraphHash returns an order-insensitive FNV-1a hash of g's topology and
+// weights: two graphs hash equal iff they have the same node count,
+// directedness, and multiset of weighted edges, regardless of adjacency
+// ordering. CSRHash computes the same value from a frozen snapshot, so an
+// epoch can be compared against an independently replayed mutation prefix.
+func GraphHash(g *graph.Graph) uint64 {
+	return hashEdges(g.N(), g.Directed(), g.Edges())
+}
+
+// CSRHash is GraphHash over a frozen CSR snapshot.
+func CSRHash(c *graph.CSR) uint64 {
+	edges := make([]graph.Edge, 0, c.M())
+	n := c.N()
+	for u := 0; u < n; u++ {
+		ws := c.NeighborWeights(u)
+		for i, v := range c.Neighbors(u) {
+			if c.Directed() || u < int(v) {
+				edges = append(edges, graph.Edge{From: u, To: int(v), Weight: ws[i]})
+			}
+		}
+	}
+	return hashEdges(n, c.Directed(), edges)
+}
+
+func hashEdges(n int, directed bool, edges []graph.Edge) uint64 {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		if edges[i].To != edges[j].To {
+			return edges[i].To < edges[j].To
+		}
+		return edges[i].Weight < edges[j].Weight
+	})
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	put(uint64(n))
+	if directed {
+		put(1)
+	} else {
+		put(0)
+	}
+	for _, e := range edges {
+		put(uint64(e.From))
+		put(uint64(e.To))
+		put(math.Float64bits(e.Weight))
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,454 @@
+// Package wal makes the graph durable: an append-only mutation log with
+// CRC32C-checksummed, length-prefixed records, batch-commit markers, a
+// configurable fsync policy, and periodic compaction into CSR-codec
+// snapshots — a superblock names the live (snapshot, log-suffix) pair, and
+// every generation switch goes through atomic renames and directory fsyncs.
+// Recovery truncates at the first torn or corrupt record and replays only
+// committed batches, so a kill -9 at any point between two filesystem
+// operations restores exactly a committed-batch prefix of the history; the
+// crash-point sweep in crash_test.go proves that claim at every such point
+// under the FaultFS fault injector.
+//
+// Edge records carry their validity interval in batch-sequence time, which
+// makes the log a native time-indexed graph encoding: temporal windows load
+// as range scans over the committed suffix (temporal.LoadWindow) instead of
+// full rebuilds.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"structura/internal/graph"
+)
+
+// SyncPolicy picks when Append calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncEachBatch fsyncs before Append returns: an acknowledged batch is
+	// durable. The default, and the policy every durability claim assumes.
+	SyncEachBatch SyncPolicy = iota
+	// SyncInterval fsyncs every Options.SyncEvery batches: bounded loss
+	// window, amortized fsync cost.
+	SyncInterval
+	// SyncNone never fsyncs from Append; the OS decides. Recovery still
+	// yields a committed-batch prefix — just possibly an older one.
+	SyncNone
+)
+
+// Options tunes a Log. The zero value is usable: OS filesystem, fsync per
+// batch, compaction every 1024 batches.
+type Options struct {
+	// FS is the filesystem; nil means the real one. Tests inject MemFS or
+	// FaultFS here.
+	FS FS
+	// Sync is the fsync policy (default SyncEachBatch).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval period in batches (default 8).
+	SyncEvery int
+	// CompactEvery snapshots and truncates the log after this many
+	// committed batches (default 1024; negative disables compaction).
+	CompactEvery int
+}
+
+func (o *Options) setDefaults() {
+	if o.FS == nil {
+		o.FS = OS()
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 8
+	}
+	if o.CompactEvery == 0 {
+		o.CompactEvery = 1024
+	}
+}
+
+const superName = "SUPER"
+
+// ErrNoStore is returned by Open when dir holds no initialized store.
+var ErrNoStore = errors.New("wal: no store in directory")
+
+// ErrBroken is the sticky state after an append-path disk error: the log
+// refuses further appends (the file may end in a torn frame) and the owner
+// must re-open the store, which truncates the tail.
+var ErrBroken = errors.New("wal: log broken by an earlier write error")
+
+// Metrics is a point-in-time snapshot of a Log's counters, safe to read
+// concurrently with appends.
+type Metrics struct {
+	Seq         uint64 // last committed batch sequence
+	Records     uint64 // cumulative mutation records (including compacted history)
+	Batches     uint64 // batches appended by this process
+	Syncs       uint64 // fsync calls issued by Append
+	Compactions uint64 // snapshot+truncate cycles run by this process
+	Depth       uint64 // mutation records in the live log suffix
+	FsyncTotal  time.Duration
+	FsyncMax    time.Duration
+}
+
+// Log is the durable side of a mutating graph: the owner appends committed
+// mutation batches, the Log keeps an authoritative replica and periodically
+// compacts it into a snapshot. A Log is single-writer (the serving layer's
+// writer goroutine); Metrics alone may be read concurrently.
+type Log struct {
+	fsys FS
+	dir  string
+	opts Options
+
+	g *graph.Graph // authoritative durable replica
+
+	f        File
+	snapName string
+	logName  string
+	snapSeq  uint64
+
+	seq           uint64 // last committed batch
+	cum           uint64 // cumulative mutation records ever committed
+	depth         int    // mutation records in the live log
+	batchesInLog  int
+	unsyncedBatch int
+	broken        error
+	buf           []byte // reused frame buffer
+	mSeq, mCum    atomic.Uint64
+	mBatches      atomic.Uint64
+	mSyncs        atomic.Uint64
+	mCompactions  atomic.Uint64
+	mDepth        atomic.Uint64
+	mFsyncTotalNs atomic.Uint64
+	mFsyncMaxNs   atomic.Uint64
+}
+
+// Create initializes dir as a fresh store seeded with g (cloned; the
+// caller's graph is not retained) at batch sequence 0, and returns the open
+// Log. It fails if dir already holds a store.
+func Create(dir string, g *graph.Graph, opts Options) (*Log, error) {
+	opts.setDefaults()
+	fsys := opts.FS
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	if _, err := fsys.ReadFile(path.Join(dir, superName)); err == nil {
+		return nil, fmt.Errorf("wal: %s already holds a store (use Open)", dir)
+	}
+	l := &Log{fsys: fsys, dir: dir, opts: opts, g: g.Clone()}
+	if err := l.newGeneration(); err != nil {
+		return nil, err
+	}
+	l.publishMetrics()
+	return l, nil
+}
+
+// Open recovers the store in dir: it loads the superblock's snapshot,
+// replays the committed-batch prefix of the log (truncating at the first
+// torn or corrupt record), and starts a fresh generation — so the torn tail,
+// if any, is physically discarded. The recovered replica is reachable via
+// Graph.
+func Open(dir string, opts Options) (*Log, Recovery, error) {
+	opts.setDefaults()
+	g, rec, err := replayDir(opts.FS, dir, nil)
+	if err != nil {
+		return nil, rec, err
+	}
+	l := &Log{
+		fsys: opts.FS, dir: dir, opts: opts, g: g,
+		seq: rec.Seq, cum: rec.Records,
+	}
+	if err := l.newGeneration(); err != nil {
+		return nil, rec, err
+	}
+	l.publishMetrics()
+	return l, rec, nil
+}
+
+// OpenOrCreate opens the store in dir if one exists, otherwise creates one
+// seeded with g. created reports which path ran.
+func OpenOrCreate(dir string, g *graph.Graph, opts Options) (l *Log, rec Recovery, created bool, err error) {
+	o := opts
+	o.setDefaults()
+	if _, rerr := o.FS.ReadFile(path.Join(dir, superName)); rerr != nil {
+		if !errors.Is(rerr, os.ErrNotExist) {
+			return nil, Recovery{}, false, rerr
+		}
+		l, err = Create(dir, g, opts)
+		return l, Recovery{}, true, err
+	}
+	l, rec, err = Open(dir, opts)
+	return l, rec, false, err
+}
+
+// Graph returns the durable replica. The caller must treat it as read-only;
+// it advances only through Append.
+func (l *Log) Graph() *graph.Graph { return l.g }
+
+// Seq returns the last committed batch sequence.
+func (l *Log) Seq() uint64 { return l.seq }
+
+// Dir returns the store directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Metrics returns a consistent-enough snapshot of the log counters; safe
+// from any goroutine.
+func (l *Log) Metrics() Metrics {
+	return Metrics{
+		Seq:         l.mSeq.Load(),
+		Records:     l.mCum.Load(),
+		Batches:     l.mBatches.Load(),
+		Syncs:       l.mSyncs.Load(),
+		Compactions: l.mCompactions.Load(),
+		Depth:       l.mDepth.Load(),
+		FsyncTotal:  time.Duration(l.mFsyncTotalNs.Load()),
+		FsyncMax:    time.Duration(l.mFsyncMaxNs.Load()),
+	}
+}
+
+func (l *Log) publishMetrics() {
+	l.mSeq.Store(l.seq)
+	l.mCum.Store(l.cum)
+	l.mDepth.Store(uint64(l.depth))
+}
+
+// Append journals one mutation batch: every record is framed and written,
+// sealed by a commit marker, fsynced per policy, and applied to the durable
+// replica under the same topological acceptance rule the serving engines
+// use (self-loops, duplicate adds, and missing removes are logged but not
+// applied — replay makes the same decisions). Edge records are stamped with
+// the new batch sequence as their validity bound: adds open at it, removes
+// close at it. It returns the committed batch sequence.
+//
+// Any filesystem error marks the log broken: the batch must be considered
+// not durable, and every later Append fails with ErrBroken until the store
+// is re-opened (which truncates the torn tail).
+func (l *Log) Append(recs []Record) (uint64, error) {
+	if l.broken != nil {
+		return 0, ErrBroken
+	}
+	if len(recs) == 0 {
+		return l.seq, nil
+	}
+	seq := l.seq + 1
+	buf := l.buf[:0]
+	for i := range recs {
+		r := &recs[i]
+		switch r.Type {
+		case TAddEdge:
+			r.From, r.To = int64(seq), -1
+		case TRemoveEdge:
+			r.From, r.To = 0, int64(seq)
+		case TWeight:
+			r.From, r.To = int64(seq), 0
+		case TCommit:
+			return 0, fmt.Errorf("wal: commit records are appended by the log, not callers")
+		}
+		buf = appendFrame(buf, *r)
+	}
+	buf = appendFrame(buf, Record{Type: TCommit, Seq: seq, Count: uint32(len(recs))})
+	l.buf = buf[:0]
+
+	if _, err := l.f.Write(buf); err != nil {
+		l.broken = err
+		return 0, fmt.Errorf("wal: append batch %d: %w", seq, err)
+	}
+	l.unsyncedBatch++
+	needSync := l.opts.Sync == SyncEachBatch ||
+		(l.opts.Sync == SyncInterval && l.unsyncedBatch >= l.opts.SyncEvery)
+	if needSync {
+		start := time.Now()
+		if err := l.f.Sync(); err != nil {
+			l.broken = err
+			return 0, fmt.Errorf("wal: fsync batch %d: %w", seq, err)
+		}
+		d := uint64(time.Since(start).Nanoseconds())
+		l.mSyncs.Add(1)
+		l.mFsyncTotalNs.Add(d)
+		for {
+			cur := l.mFsyncMaxNs.Load()
+			if d <= cur || l.mFsyncMaxNs.CompareAndSwap(cur, d) {
+				break
+			}
+		}
+		l.unsyncedBatch = 0
+	}
+
+	// The write is down; commit the batch to the replica.
+	for _, r := range recs {
+		applyRecord(l.g, r)
+	}
+	l.seq = seq
+	l.cum += uint64(len(recs))
+	l.depth += len(recs)
+	l.batchesInLog++
+	l.mBatches.Add(1)
+	l.publishMetrics()
+
+	if l.opts.CompactEvery > 0 && l.batchesInLog >= l.opts.CompactEvery {
+		if err := l.compact(); err != nil {
+			l.broken = err
+			return 0, fmt.Errorf("wal: compact at batch %d: %w", seq, err)
+		}
+	}
+	return seq, nil
+}
+
+// Close fsyncs and closes the live log file. The store stays openable.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	var err error
+	if l.broken == nil {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// applyRecord applies one mutation record to g under the topological
+// acceptance rule shared with the serving engines, reporting whether it
+// applied. The rule is deterministic, so log replay reconstructs the exact
+// replica.
+func applyRecord(g *graph.Graph, r Record) bool {
+	n := g.N()
+	switch r.Type {
+	case TAddNode:
+		g.AddNode()
+		return true
+	case TRemoveNode:
+		v := int(r.U)
+		if v < 0 || v >= n {
+			return false
+		}
+		for _, u := range g.Neighbors(v) {
+			g.RemoveEdge(v, u)
+			if g.Directed() {
+				g.RemoveEdge(u, v)
+			}
+		}
+		return true
+	case TAddEdge:
+		u, v := int(r.U), int(r.V)
+		if u < 0 || u >= n || v < 0 || v >= n || u == v || g.HasEdge(u, v) {
+			return false
+		}
+		return g.AddWeightedEdge(u, v, r.Weight) == nil
+	case TRemoveEdge:
+		u, v := int(r.U), int(r.V)
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return false
+		}
+		return g.RemoveEdge(u, v)
+	case TWeight:
+		u, v := int(r.U), int(r.V)
+		if u < 0 || u >= n || v < 0 || v >= n || !g.HasEdge(u, v) {
+			return false
+		}
+		// The graph has no in-place weight update; remove + re-add is
+		// deterministic on both the live and the replay path.
+		g.RemoveEdge(u, v)
+		return g.AddWeightedEdge(u, v, r.Weight) == nil
+	}
+	return false
+}
+
+// newGeneration compacts the current replica into a fresh (snapshot, empty
+// log) pair and atomically repoints the superblock at it. The ordering is
+// the crash-safety argument: each artifact is durable (file fsync + dir
+// fsync) before anything references it, the superblock swap is an atomic
+// rename, and old files are removed only after the new superblock is
+// durable — so a crash at any step leaves either the old or the new
+// generation fully intact.
+func (l *Log) compact() error {
+	old := l.f
+	if err := l.newGeneration(); err != nil {
+		return err
+	}
+	if old != nil {
+		old.Close()
+	}
+	l.mCompactions.Add(1)
+	return nil
+}
+
+func (l *Log) newGeneration() error {
+	snapName := fmt.Sprintf("snap-%016d.snap", l.seq)
+	logName := fmt.Sprintf("wal-%016d.log", l.seq)
+	dir := l.dir
+
+	// 1. Snapshot: temp, fsync, atomic rename, dir fsync.
+	tmp := path.Join(dir, snapName+".tmp")
+	if err := writeFileSync(l.fsys, tmp, EncodeSnapshot(l.g, l.seq, l.cum)); err != nil {
+		return err
+	}
+	if err := l.fsys.Rename(tmp, path.Join(dir, snapName)); err != nil {
+		return err
+	}
+	if err := l.fsys.SyncDir(dir); err != nil {
+		return err
+	}
+
+	// 2. Fresh log generation with a durable header.
+	f, err := l.fsys.Create(path.Join(dir, logName))
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeLogHeader(l.seq, l.cum)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := l.fsys.SyncDir(dir); err != nil {
+		f.Close()
+		return err
+	}
+
+	// 3. Superblock swap: the generation becomes live here, atomically.
+	sb := encodeSuper(superblock{snapSeq: l.seq, snapName: snapName, logName: logName})
+	stmp := path.Join(dir, superName+".tmp")
+	if err := writeFileSync(l.fsys, stmp, sb); err != nil {
+		f.Close()
+		return err
+	}
+	if err := l.fsys.Rename(stmp, path.Join(dir, superName)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := l.fsys.SyncDir(dir); err != nil {
+		f.Close()
+		return err
+	}
+
+	// 4. Garbage-collect: anything but the superblock and the live pair is
+	// a previous generation or an interrupted temp file.
+	if names, lerr := l.fsys.List(dir); lerr == nil {
+		for _, name := range names {
+			if name == superName || name == snapName || name == logName {
+				continue
+			}
+			if strings.HasPrefix(name, "snap-") || strings.HasPrefix(name, "wal-") ||
+				strings.HasSuffix(name, ".tmp") {
+				_ = l.fsys.Remove(path.Join(dir, name))
+			}
+		}
+		_ = l.fsys.SyncDir(dir)
+	}
+
+	l.f = f
+	l.snapName, l.logName = snapName, logName
+	l.snapSeq = l.seq
+	l.depth = 0
+	l.batchesInLog = 0
+	l.unsyncedBatch = 0
+	l.mDepth.Store(0)
+	return nil
+}
