@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-diff bench-smoke fuzz-smoke heal-smoke async-smoke partition-smoke serve-smoke wal-smoke verify
+.PHONY: build test race bench bench-json bench-diff bench-smoke fuzz-smoke heal-smoke async-smoke partition-smoke serve-smoke wal-smoke replica-smoke verify
 
 build:
 	$(GO) build ./...
@@ -22,14 +22,16 @@ test:
 # executor with its pooled event-queue/arena hot path, and the RCU-epoch
 # structure server whose lock-free read path only -race can vouch for, and
 # the WAL whose atomic metric mirrors are read concurrently by /metrics
-# while the single writer appends.
+# while the single writer appends, and the replication layer whose mirror,
+# applier, and session state are shared between the Run loop, the stream
+# handler, and Promote.
 race:
 	$(GO) test -race ./internal/runtime/... ./internal/partition/... \
 		./internal/labeling/... \
 		./internal/sim/... ./internal/reversal/... ./internal/distvec/... \
 		./internal/centrality/... ./internal/layering/... \
 		./internal/hypercube/... ./internal/heal/... ./internal/async/... \
-		./internal/server/... ./internal/wal/...
+		./internal/server/... ./internal/wal/... ./internal/replica/...
 
 # Sequential vs. sharded kernel on 100k-node ER and 20k-node UDG graphs,
 # the delta-frontier steady-state sweep on the same ER instance (full vs
@@ -46,6 +48,8 @@ bench:
 	$(GO) test -run '^$$' -bench PartitionedER10M -benchtime 1x -timeout 30m ./internal/runtime/bench
 	$(GO) test -run '^$$' -bench ServeQPS -benchtime 1x ./internal/server
 	$(GO) test -run '^$$' -bench WALIngest -benchtime 200x ./internal/wal
+	$(GO) test -run '^$$' -bench RecoveryReady -benchtime 3x ./internal/server
+	$(GO) test -run '^$$' -bench ReplicaCatchup -benchtime 3x ./internal/replica
 
 # Machine-readable benchmark record: one history entry per invocation, each
 # mapping op -> ns/op, B/op, allocs/op (plus ReportMetric extras such as the
@@ -60,7 +64,9 @@ bench-json:
 	  $(GO) test -run '^$$' -bench Async -benchmem -benchtime 1x ./internal/runtime/bench ; \
 	  $(GO) test -run '^$$' -bench PartitionedER10M -benchmem -benchtime 1x -timeout 30m ./internal/runtime/bench ; \
 	  $(GO) test -run '^$$' -bench ServeQPS -benchmem -benchtime 1x ./internal/server ; \
-	  $(GO) test -run '^$$' -bench WALIngest -benchmem -benchtime 200x ./internal/wal ; } \
+	  $(GO) test -run '^$$' -bench WALIngest -benchmem -benchtime 200x ./internal/wal ; \
+	  $(GO) test -run '^$$' -bench RecoveryReady -benchmem -benchtime 3x ./internal/server ; \
+	  $(GO) test -run '^$$' -bench ReplicaCatchup -benchmem -benchtime 3x ./internal/replica ; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_kernel.json
 
 # Latest-vs-previous movement of the committed trajectory, per benchmark and
@@ -89,6 +95,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzPartition -fuzztime 10s ./internal/partition/
 	$(GO) test -run '^$$' -fuzz FuzzWALRecord -fuzztime 10s ./internal/wal/
 	$(GO) test -run '^$$' -fuzz FuzzRecover -fuzztime 10s ./internal/wal/
+	$(GO) test -run '^$$' -fuzz FuzzLabelDelta -fuzztime 10s ./internal/wal/
 
 # Supervised MIS must survive 200 rounds of add/remove churn with zero
 # standing violations; the heal subcommand exits nonzero otherwise.
@@ -127,4 +134,11 @@ serve-smoke:
 wal-smoke:
 	$(GO) test -race -run 'TestWALSmokeKillRecover|TestServeLoadSaveRoundTrip' ./cmd/structura
 
-verify: build test race bench-smoke fuzz-smoke heal-smoke async-smoke partition-smoke serve-smoke wal-smoke
+# End-to-end failover: real primary and replica processes (-race binary),
+# loadgen churn, SIGKILL the primary mid-burst, promote the replica, and
+# require its routes to agree with BFS on the recovered committed prefix
+# with zero standing heal violations.
+replica-smoke:
+	$(GO) test -race -run TestReplicaSmokeFailover ./cmd/structura
+
+verify: build test race bench-smoke fuzz-smoke heal-smoke async-smoke partition-smoke serve-smoke wal-smoke replica-smoke bench-diff

@@ -20,6 +20,10 @@
 //	structura partition -shards 4 -delta -check        # sharded == unsharded gate
 //	structura serve -nodes 100000 -addr :8372          # resident structure server
 //	structura serve -nodes 10000 -loadgen 200000       # in-process throughput smoke
+//	structura serve -data-dir p -repl-listen :9372     # primary serving the replication stream
+//	structura serve -data-dir m -replicate-from host:9372  # follower: stale-ok reads + POST /promote
+//	structura serve -data-dir m -promote               # failover takeover (fence bump)
+//	structura replicate -store m                       # describe a store/mirror directory
 //
 // The global -cpuprofile/-memprofile flags work with every subcommand when
 // placed before it:
@@ -68,6 +72,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "serve" {
 		return runServe(args[1:], os.Stdout)
+	}
+	if len(args) > 0 && args[0] == "replicate" {
+		return runReplicate(args[1:], os.Stdout)
 	}
 	fs := flag.NewFlagSet("structura", flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "deterministic experiment seed")

@@ -1,0 +1,275 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"structura/internal/gen"
+	"structura/internal/graph"
+	"structura/internal/stats"
+)
+
+// startServeArgs launches `structura serve` with explicit extra flags on the
+// shared smoke topology and captures its address.
+func startServeArgs(t *testing.T, bin string, extra ...string) *smokeProc {
+	t.Helper()
+	args := append([]string{"serve",
+		"-nodes", fmt.Sprint(smokeNodes),
+		"-avg-degree", fmt.Sprint(smokeAvgDeg),
+		"-seed", fmt.Sprint(smokeSeed),
+		"-addr", "127.0.0.1:0",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start serve: %v", err)
+	}
+	p := &smokeProc{cmd: cmd, out: &bytes.Buffer{}}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		re := regexp.MustCompile(`^listening on (\S+)$`)
+		for sc.Scan() {
+			line := sc.Text()
+			p.mu.Lock()
+			p.out.WriteString(line + "\n")
+			p.mu.Unlock()
+			if m := re.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case p.addr = <-addrCh:
+	case <-time.After(20 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("serve never printed its address; output:\n%s", p.output())
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	return p
+}
+
+// extractLine polls the process output for a regex capture group.
+func (p *smokeProc) extractLine(t *testing.T, pattern string) string {
+	t.Helper()
+	re := regexp.MustCompile(pattern)
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := re.FindStringSubmatch(p.output()); m != nil {
+			return m[1]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("output never matched %q:\n%s", pattern, p.output())
+	return ""
+}
+
+// prefixGraph replays the first k journaled records onto the smoke boot
+// topology under the WAL acceptance rule — the parent-side twin of the
+// recovered graph.
+func prefixGraph(muts []smokeMut, k int) *graph.Graph {
+	p := smokeAvgDeg / float64(smokeNodes-1)
+	g := gen.SparseErdosRenyi(stats.NewRand(smokeSeed), smokeNodes, p)
+	for _, m := range muts[:k] {
+		if m.Op == "add" {
+			if !g.HasEdge(m.U, m.V) {
+				_ = g.AddEdge(m.U, m.V)
+			}
+		} else {
+			g.RemoveEdge(m.U, m.V)
+		}
+	}
+	return g
+}
+
+// bfsDist returns hop distances to dest on g (-1 when unreachable) — the
+// ground truth the promoted replica's routes must reproduce.
+func bfsDist(g *graph.Graph, dest int) []float64 {
+	dist := make([]float64, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[dest] = 0
+	queue := []int{dest}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// TestReplicaSmokeFailover is the end-to-end failover proof through the real
+// binary: primary with a replication listener, replica following it over
+// TCP, churn via the HTTP ingest path, SIGKILL the primary mid-batch,
+// promote the replica via POST /promote, and require the promoted node to
+// (a) hold exactly a committed prefix of the journaled stream, (b) answer
+// every route in agreement with BFS on that graph, (c) report zero standing
+// heal violations, and (d) accept writes as the new primary.
+func TestReplicaSmokeFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives the real binary; skipped with -short")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "structura")
+	build := exec.Command("go", "build", "-race", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build -race: %v\n%s", err, out)
+	}
+
+	const tracked, churn = 30, 150
+	muts := smokeStream(smokeNodes, tracked+churn+1)
+	hashes := prefixHashes(muts)
+
+	// ---- Primary with replication listener; replica following it. ----
+	prim := startServeArgs(t, bin, "-data-dir", filepath.Join(tmp, "prim"), "-batch-max", "4",
+		"-repl-listen", "127.0.0.1:0")
+	prim.waitReady(t)
+	replAddr := prim.extractLine(t, `replication listener on (\S+)`)
+
+	rep := startServeArgs(t, bin, "-data-dir", filepath.Join(tmp, "mir"),
+		"-replicate-from", replAddr)
+	rep.waitReady(t)
+
+	// Tracked ingest, then confirm the replica converges to the same bytes.
+	for i := 0; i < tracked; i++ {
+		prim.mutate(t, muts[i:i+1])
+	}
+	prim.quiesce(t)
+	wantLive := prim.graphHash(t)
+	deadline := time.Now().Add(30 * time.Second)
+	for rep.graphHash(t) != wantLive {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never caught up: primary %s, replica %s\nreplica output:\n%s",
+				wantLive, rep.graphHash(t), rep.output())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Degraded reads are labeled as such.
+	resp, err := http.Get(rep.url("/route?from=1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !strings.Contains(resp.Header.Get("Warning"), "110") {
+		t.Fatalf("replica read missing stale-ok Warning header, got %q", resp.Header.Get("Warning"))
+	}
+
+	// ---- Churn burst, then SIGKILL the primary mid-batch. ----
+	for i := tracked; i < tracked+churn; i += 5 {
+		prim.mutate(t, muts[i:i+5])
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := prim.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	_, _ = prim.cmd.Process.Wait()
+
+	// ---- Promote the replica. ----
+	resp, err = http.Post(rep.url("/promote"), "", nil)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	var pro struct {
+		Promoted bool   `json:"promoted"`
+		Seq      uint64 `json:"seq"`
+		Fence    uint64 `json:"fence"`
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&pro); derr != nil {
+		t.Fatalf("promote decode: %v", derr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !pro.Promoted {
+		t.Fatalf("promote: status %d, body %+v\nreplica output:\n%s", resp.StatusCode, pro, rep.output())
+	}
+	if pro.Fence < 2 {
+		t.Fatalf("promotion did not bump the fencing token: fence %d", pro.Fence)
+	}
+
+	// (a) The promoted state is exactly a committed prefix of the stream.
+	got := rep.graphHash(t)
+	recovered := -1
+	for i, h := range hashes {
+		if fmt.Sprintf("%016x", h) == got {
+			recovered = i
+			break
+		}
+	}
+	if recovered < tracked {
+		t.Fatalf("promoted hash %s is not a committed prefix ≥ %d of the journaled stream", got, tracked)
+	}
+
+	// (b) Every route answer agrees with BFS on the recovered graph.
+	g := prefixGraph(muts, recovered)
+	want := bfsDist(g, 0)
+	for from := 0; from < smokeNodes; from++ {
+		resp, err := http.Get(rep.url(fmt.Sprintf("/route?from=%d", from)))
+		if err != nil {
+			t.Fatalf("route %d: %v", from, err)
+		}
+		var rr struct {
+			Dist float64 `json:"dist"`
+		}
+		if derr := json.NewDecoder(resp.Body).Decode(&rr); derr != nil {
+			t.Fatalf("route %d decode: %v", from, derr)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("route %d: status %d", from, resp.StatusCode)
+		}
+		if resp.Header.Get("Warning") != "" {
+			t.Fatalf("promoted route still carries the stale Warning header")
+		}
+		if rr.Dist != want[from] {
+			t.Fatalf("route from %d: promoted dist %v, BFS %v (recovered prefix %d)", from, rr.Dist, want[from], recovered)
+		}
+	}
+
+	// (c) Zero standing heal violations after promotion.
+	m := rep.metrics(t)
+	if m.WAL == nil || m.WAL.RecoveryStanding != 0 {
+		t.Fatalf("promotion left standing violations: %+v", m.WAL)
+	}
+
+	// (d) The promoted node is a real primary: it accepts and applies writes.
+	rep.mutate(t, muts[recovered:recovered+1])
+	rep.quiesce(t)
+	if got, wantH := rep.graphHash(t), fmt.Sprintf("%016x", hashes[recovered+1]); got != wantH {
+		t.Fatalf("post-promotion write: hash %s, want %s", got, wantH)
+	}
+
+	// The CLI's replicate subcommand can describe the old primary's store.
+	var out bytes.Buffer
+	if err := runReplicate([]string{"-store", filepath.Join(tmp, "prim")}, &out); err != nil {
+		t.Fatalf("replicate -store: %v", err)
+	}
+	if !strings.Contains(out.String(), "recoverable: batch") {
+		t.Fatalf("replicate output missing recovery line:\n%s", out.String())
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"structura/internal/gen"
 	"structura/internal/graph"
 	"structura/internal/heal"
+	"structura/internal/replica"
 	"structura/internal/server"
 	"structura/internal/stats"
 	"structura/internal/wal"
@@ -54,9 +55,19 @@ func runServe(args []string, out io.Writer) error {
 		compact  = fs.Int("compact-every", 0, "batches between snapshot compactions (0 = default, <0 disables)")
 		loadFile = fs.String("load", "", "boot topology from a snapshot-codec graph file instead of generating")
 		saveFile = fs.String("save", "", "write the final topology to a snapshot-codec graph file on shutdown")
+
+		replListen = fs.String("repl-listen", "", "serve the replication stream to replicas on this address (requires -data-dir)")
+		replFrom   = fs.String("replicate-from", "", "follow the primary at this address as a replica: mirror into -data-dir, serve stale-ok reads on -addr")
+		promote    = fs.Bool("promote", false, "recover -data-dir under a bumped fencing token and serve as the new primary (failover takeover)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if (*replFrom != "" || *replListen != "" || *promote) && *dataDir == "" {
+		return fmt.Errorf("-replicate-from, -repl-listen, and -promote all require -data-dir")
+	}
+	if *replFrom != "" && (*promote || *replListen != "") {
+		return fmt.Errorf("-replicate-from runs a follower; it cannot combine with -promote or -repl-listen (promote a running replica via POST /promote)")
 	}
 
 	var syncPolicy wal.SyncPolicy
@@ -69,6 +80,13 @@ func runServe(args []string, out io.Writer) error {
 		syncPolicy = wal.SyncNone
 	default:
 		return fmt.Errorf("-fsync must be batch, interval, or none, got %q", *fsyncPol)
+	}
+	walOpts := wal.Options{Sync: syncPolicy, SyncEvery: *syncEvr, CompactEvery: *compact}
+
+	if *replFrom != "" {
+		return runReplicaServe(*addr, *dataDir, *replFrom, replica.Options{
+			WAL: walOpts, Dest: *dest, SkipCDS: !*cds,
+		}, out)
 	}
 
 	// In listen mode, bind before the (possibly slow) recovery so the port
@@ -110,10 +128,19 @@ func runServe(args []string, out io.Writer) error {
 		RepairBudget: heal.Budget{MaxRounds: *maxRounds, MaxTouched: *maxTouched},
 	}
 	var wlog *wal.Log
-	if *dataDir != "" {
-		l, rec, created, err := wal.OpenOrCreate(*dataDir, g, wal.Options{
-			Sync: syncPolicy, SyncEvery: *syncEvr, CompactEvery: *compact,
-		})
+	if *dataDir != "" && *promote {
+		l, rec, err := wal.Promote(*dataDir, walOpts)
+		if err != nil {
+			return fmt.Errorf("-promote %s: %w", *dataDir, err)
+		}
+		wlog = l
+		g = l.Graph()
+		cfg.WAL = l
+		cfg.Recovered = &rec
+		fmt.Fprintf(out, "promoted %s: batch %d, fence %d — a deposed primary's stream is now rejected\n",
+			*dataDir, rec.Seq, l.Metrics().Fence)
+	} else if *dataDir != "" {
+		l, rec, created, err := wal.OpenOrCreate(*dataDir, g, walOpts)
 		if err != nil {
 			return fmt.Errorf("-data-dir %s: %w", *dataDir, err)
 		}
@@ -136,11 +163,37 @@ func runServe(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if cfg.Recovered != nil {
+		// One-line recovery summary: how the process got back to ready.
+		readyNs, labelNs, warm, healed := srv.ReadySummary()
+		rec := cfg.Recovered
+		labelSeq := uint64(0)
+		if rec.Labels != nil {
+			labelSeq = rec.Labels.Seq
+		}
+		fmt.Fprintf(out, "recovery summary: gen %d, %d record(s) replayed, label epoch %d, warm-start=%v (%d dirty healed), recovery %s, labels %s, ready %s\n",
+			rec.Gen, rec.Replayed, labelSeq, warm, healed,
+			time.Duration(rec.RecoveryNs).Round(time.Microsecond),
+			time.Duration(labelNs).Round(time.Microsecond),
+			time.Duration(readyNs).Round(time.Microsecond))
+	}
+
+	var repl *replica.Primary
+	if *replListen != "" {
+		repl, err = replica.NewPrimary(wlog, *replListen, replica.PrimaryOptions{})
+		if err != nil {
+			return fmt.Errorf("-repl-listen %s: %w", *replListen, err)
+		}
+		fmt.Fprintf(out, "replication listener on %s\n", repl.Addr())
+	}
 	ep := srv.Epoch()
 	fmt.Fprintf(out, "serving %d node(s), %d edge(s), dest %d, epoch %d\n",
 		ep.CSR.N(), ep.CSR.M(), ep.Dest, ep.Seq)
 
 	shutdown := func() error {
+		if repl != nil {
+			repl.Close()
+		}
 		sdCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(sdCtx); err != nil {

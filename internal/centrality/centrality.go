@@ -11,7 +11,7 @@ package centrality
 import (
 	"errors"
 	"math"
-	"sort"
+	"slices"
 
 	"structura/internal/graph"
 )
@@ -299,11 +299,22 @@ func normalizeL2(xs []float64) {
 }
 
 // Ranking returns node IDs sorted by descending score (stable: ties by ID).
+// IDs are unique, so (score desc, id asc) is a total order — an unstable
+// sort under that comparator yields the stable result at a fraction of the
+// cost, which matters because every epoch publish re-ranks the full graph.
 func Ranking(scores []float64) []int {
 	ids := make([]int, len(scores))
 	for i := range ids {
 		ids[i] = i
 	}
-	sort.SliceStable(ids, func(i, j int) bool { return scores[ids[i]] > scores[ids[j]] })
+	slices.SortFunc(ids, func(a, b int) int {
+		if scores[a] != scores[b] {
+			if scores[a] > scores[b] {
+				return -1
+			}
+			return 1
+		}
+		return a - b
+	})
 	return ids
 }

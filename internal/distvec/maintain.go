@@ -45,6 +45,31 @@ func NewMaintainer(g *graph.Graph, dest int) (*Maintainer, error) {
 	return m, nil
 }
 
+// NewMaintainerFromLabels builds the maintainer over a clone of g with the
+// labels seeded from a recovered epoch instead of a BFS rebuild — the
+// warm-start path, where durable (dist, next) arrays are already consistent
+// with g up to a known dirty set the caller heals afterwards. The arrays
+// are copied; only their lengths are validated here (consistency is the
+// supervisor's job: run CheckLocal over the dirty set, or Inconsistent over
+// everything for a full audit).
+func NewMaintainerFromLabels(g *graph.Graph, dest int, dist []float64, next []int) (*Maintainer, error) {
+	if g.Directed() {
+		return nil, errors.New("distvec: maintainer needs an undirected support")
+	}
+	if dest < 0 || dest >= g.N() {
+		return nil, errors.New("distvec: destination out of range")
+	}
+	if len(dist) != g.N() || len(next) != g.N() {
+		return nil, errors.New("distvec: label arrays do not match the graph")
+	}
+	return &Maintainer{
+		g:    g.Clone(),
+		dest: dest,
+		dist: append([]float64(nil), dist...),
+		next: append([]int(nil), next...),
+	}, nil
+}
+
 // Dest returns the destination node.
 func (m *Maintainer) Dest() int { return m.dest }
 
@@ -230,7 +255,11 @@ func (m *Maintainer) RepairContext(ctx context.Context, seeds []int, maxRounds, 
 
 // Recompute rebuilds the labels from a BFS — the full-recompute escalation.
 // Its cost, charged as one sweep per BFS level, is what localized repair is
-// measured against.
+// measured against. Next hops are assigned the way settle breaks ties (the
+// first one-level-closer neighbor in adjacency order), not the BFS discovery
+// parent: the two can disagree, and a recomputed table whose hops fail the
+// engine's own local detector would re-trigger repair on perfectly good
+// distances.
 func (m *Maintainer) Recompute() int {
 	n := m.g.N()
 	for v := 0; v < n; v++ {
@@ -245,13 +274,24 @@ func (m *Maintainer) Recompute() int {
 		m.g.EachNeighbor(v, func(w int, _ float64) {
 			if math.IsInf(m.dist[w], 1) {
 				m.dist[w] = m.dist[v] + 1
-				m.next[w] = v
 				queue = append(queue, w)
 			}
 		})
 		if d := int(m.dist[v]); d > depth {
 			depth = d
 		}
+	}
+	for v := 0; v < n; v++ {
+		if v == m.dest || math.IsInf(m.dist[v], 1) {
+			continue
+		}
+		hop := -1
+		m.g.EachNeighbor(v, func(w int, _ float64) {
+			if hop == -1 && m.dist[w] == m.dist[v]-1 {
+				hop = w
+			}
+		})
+		m.next[v] = hop
 	}
 	return depth + 1
 }

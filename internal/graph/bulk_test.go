@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestFromEdgesMatchesIncremental(t *testing.T) {
+	edges := [][3]int{{0, 1, 1}, {1, 2, 5}, {2, 3, 1}, {0, 3, 2}, {1, 3, 1}, {4, 0, 7}}
+	for _, directed := range []bool{false, true} {
+		var inc *Graph
+		if directed {
+			inc = NewDirected(5)
+		} else {
+			inc = New(5)
+		}
+		for _, e := range edges {
+			if err := inc.AddWeightedEdge(e[0], e[1], float64(e[2])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bulk, err := FromEdges(5, directed, len(edges), func(i int) (int, int, float64) {
+			return edges[i][0], edges[i][1], float64(edges[i][2])
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bulk.N() != inc.N() || bulk.M() != inc.M() || bulk.Directed() != inc.Directed() {
+			t.Fatalf("directed=%v: shape (%d,%d) vs (%d,%d)", directed, bulk.N(), bulk.M(), inc.N(), inc.M())
+		}
+		for v := 0; v < 5; v++ {
+			bn, in := bulk.Neighbors(v), inc.Neighbors(v)
+			if len(bn) != len(in) {
+				t.Fatalf("directed=%v node %d: %v vs %v", directed, v, bn, in)
+			}
+			for i := range bn {
+				if bn[i] != in[i] {
+					t.Fatalf("directed=%v node %d: %v vs %v", directed, v, bn, in)
+				}
+			}
+			var bw, iw []float64
+			bulk.EachNeighbor(v, func(_ int, w float64) { bw = append(bw, w) })
+			inc.EachNeighbor(v, func(_ int, w float64) { iw = append(iw, w) })
+			for i := range bw {
+				if bw[i] != iw[i] {
+					t.Fatalf("directed=%v node %d weights: %v vs %v", directed, v, bw, iw)
+				}
+			}
+			if directed && bulk.InDegree(v) != inc.InDegree(v) {
+				t.Fatalf("node %d indegree %d vs %d", v, bulk.InDegree(v), inc.InDegree(v))
+			}
+		}
+	}
+}
+
+func TestFromEdgesRejectsBadEdges(t *testing.T) {
+	if _, err := FromEdges(3, false, 1, func(int) (int, int, float64) { return 0, 3, 1 }); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+	if _, err := FromEdges(3, false, 1, func(int) (int, int, float64) { return 1, 1, 1 }); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+// TestFromEdgesMutableAfterBulk guards the arena capacity clipping: an
+// append to one node's adjacency must not clobber a neighbor's slice.
+func TestFromEdgesMutableAfterBulk(t *testing.T) {
+	g, err := FromEdges(4, false, 2, func(i int) (int, int, float64) {
+		return [2][2]int{{0, 1}, {2, 3}}[i][0], [2][2]int{{0, 1}, {2, 3}}[i][1], 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Neighbors(2); len(got) != 2 || got[0] != 3 || got[1] != 0 {
+		t.Fatalf("node 2 neighbors after append: %v", got)
+	}
+	if got := g.Neighbors(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("node 1 neighbors clobbered: %v", got)
+	}
+	if got := g.Neighbors(3); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("node 3 neighbors clobbered: %v", got)
+	}
+}

@@ -1,0 +1,341 @@
+package replica
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"structura/internal/wal"
+)
+
+// PrimaryOptions tunes the primary's replication listener. The zero value
+// gets serving defaults.
+type PrimaryOptions struct {
+	// Window caps unacked in-flight log bytes per session before the
+	// sender waits for acks. Default 1 MiB.
+	Window int64
+	// Chunk is the per-message log payload cap. Default 64 KiB.
+	Chunk int
+	// Poll is how often the sender re-reads the durable frontier when the
+	// replica is caught up. Default 2ms.
+	Poll time.Duration
+	// Heartbeat is the idle-stream liveness interval. Default 250ms.
+	Heartbeat time.Duration
+	// IOTimeout bounds each network read/write. Default 10s.
+	IOTimeout time.Duration
+}
+
+func (o *PrimaryOptions) setDefaults() {
+	if o.Window <= 0 {
+		o.Window = 1 << 20
+	}
+	if o.Chunk <= 0 {
+		o.Chunk = 64 << 10
+	}
+	if o.Poll <= 0 {
+		o.Poll = 2 * time.Millisecond
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 250 * time.Millisecond
+	}
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = 10 * time.Second
+	}
+}
+
+// PrimaryStats is the primary-side replication counter block.
+type PrimaryStats struct {
+	Sessions      uint64 `json:"sessions"`       // replication sessions accepted
+	Rejects       uint64 `json:"rejects"`        // sessions refused by fencing
+	SnapshotsSent uint64 `json:"snapshots_sent"` // full-resync payloads shipped
+	ChunksSent    uint64 `json:"chunks_sent"`
+	BytesSent     uint64 `json:"bytes_sent"`    // log bytes shipped (excl. snapshots)
+	AckedBytes    uint64 `json:"acked_bytes"`   // highest ack seen this process
+	LastAckUnixNs int64  `json:"last_ack_unix"` // wall clock of the last ack, 0 when none
+}
+
+// Primary serves the replication stream for one wal.Log. Sessions are
+// independent: each connected replica gets its own sender goroutine pushing
+// durable bytes under a bounded in-flight window, with heartbeats when the
+// stream idles. A hello carrying a higher fence than the log's own proves
+// this primary was deposed while it was away — the log is fenced on the
+// spot (all further writes fail wal.ErrFenced) and the session is refused.
+type Primary struct {
+	log  *wal.Log
+	opts PrimaryOptions
+	ln   net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	sessions  atomic.Uint64
+	rejects   atomic.Uint64
+	snapsSent atomic.Uint64
+	chunks    atomic.Uint64
+	bytesSent atomic.Uint64
+	ackedMax  atomic.Uint64
+	lastAckNs atomic.Int64
+}
+
+// NewPrimary starts a replication listener on addr (e.g. "127.0.0.1:0")
+// serving l's durable stream.
+func NewPrimary(l *wal.Log, addr string, opts PrimaryOptions) (*Primary, error) {
+	opts.setDefaults()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Primary{log: l, opts: opts, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the bound listen address.
+func (p *Primary) Addr() string { return p.ln.Addr().String() }
+
+// Stats snapshots the replication counters.
+func (p *Primary) Stats() PrimaryStats {
+	return PrimaryStats{
+		Sessions:      p.sessions.Load(),
+		Rejects:       p.rejects.Load(),
+		SnapshotsSent: p.snapsSent.Load(),
+		ChunksSent:    p.chunks.Load(),
+		BytesSent:     p.bytesSent.Load(),
+		AckedBytes:    p.ackedMax.Load(),
+		LastAckUnixNs: p.lastAckNs.Load(),
+	}
+}
+
+// Close stops the listener and tears down every session.
+func (p *Primary) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.ln.Close()
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Primary) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if p.closed.Load() {
+			c.Close()
+			return
+		}
+		p.mu.Lock()
+		p.conns[c] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer func() {
+				p.mu.Lock()
+				delete(p.conns, c)
+				p.mu.Unlock()
+				c.Close()
+			}()
+			p.serveConn(c)
+		}()
+	}
+}
+
+// session tracks the per-connection cursor shared between the sender loop
+// and the ack reader.
+type session struct {
+	mu     sync.Mutex
+	gen    uint64 // generation of acked
+	acked  int64  // durable offset the replica confirmed
+	rehalo bool   // replica asked to re-anchor (mid-stream hello)
+	hello  msg
+	dead   bool
+}
+
+func (s *session) ack(gen uint64, off int64) {
+	s.mu.Lock()
+	if gen == s.gen && off > s.acked {
+		s.acked = off
+	}
+	s.mu.Unlock()
+}
+
+// serveConn runs one replication session to completion.
+func (p *Primary) serveConn(c net.Conn) {
+	_ = c.SetReadDeadline(time.Now().Add(p.opts.IOTimeout))
+	hello, err := readMsg(c)
+	if err != nil || hello.Kind != mHello {
+		return
+	}
+	p.sessions.Add(1)
+
+	myGen, myDurable, mySeq := p.log.ReplState()
+	myFence := p.log.FenceToken()
+	if hello.Fence > myFence {
+		// A higher fence exists: this primary was deposed. Fence the log so
+		// no further local write can land, and refuse the session.
+		p.log.MarkFenced()
+		p.rejects.Add(1)
+		_ = c.SetWriteDeadline(time.Now().Add(p.opts.IOTimeout))
+		_ = writeMsg(c, msg{Kind: mReject, Fence: hello.Fence})
+		return
+	}
+	_ = c.SetWriteDeadline(time.Now().Add(p.opts.IOTimeout))
+	if err := writeMsg(c, msg{Kind: mState, Gen: myGen, Off: myDurable, Seq: mySeq, Fence: myFence}); err != nil {
+		return
+	}
+
+	sess := &session{hello: hello}
+
+	// Ack reader: consumes acks (and mid-stream hellos after a replica-side
+	// gap) until the connection dies.
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			_ = c.SetReadDeadline(time.Now().Add(p.opts.IOTimeout))
+			m, rerr := readMsg(c)
+			if rerr != nil {
+				sess.mu.Lock()
+				sess.dead = true
+				sess.mu.Unlock()
+				return
+			}
+			switch m.Kind {
+			case mAck:
+				sess.ack(m.Gen, m.Off)
+				if off := uint64(m.Off); off > p.ackedMax.Load() {
+					p.ackedMax.Store(off)
+				}
+				p.lastAckNs.Store(time.Now().UnixNano())
+			case mHello:
+				sess.mu.Lock()
+				sess.rehalo, sess.hello = true, m
+				sess.mu.Unlock()
+			}
+		}
+	}()
+
+	p.sendLoop(c, sess, hello)
+	c.Close() // unblocks the reader
+	<-readerDone
+}
+
+// sendLoop pushes the durable stream: snapshot when generations diverge,
+// then chunks under the in-flight window, heartbeats when idle.
+func (p *Primary) sendLoop(c net.Conn, sess *session, hello msg) {
+	var sendGen uint64
+	var sendOff int64
+	synced := false // sendGen/sendOff anchored to the replica's state
+
+	myGen, myDurable, _ := p.log.ReplState()
+	if hello.Gen == myGen && hello.Off <= myDurable {
+		sendGen, sendOff, synced = myGen, hello.Off, true
+		sess.mu.Lock()
+		sess.gen, sess.acked = sendGen, sendOff
+		sess.mu.Unlock()
+	}
+
+	lastSend := time.Now()
+	for !p.closed.Load() {
+		sess.mu.Lock()
+		dead, rehalo, h := sess.dead, sess.rehalo, sess.hello
+		sess.rehalo = false
+		sess.mu.Unlock()
+		if dead {
+			return
+		}
+		if rehalo {
+			myGen, myDurable, _ = p.log.ReplState()
+			synced = h.Gen == myGen && h.Off <= myDurable
+			if synced {
+				sendGen, sendOff = myGen, h.Off
+				sess.mu.Lock()
+				sess.gen, sess.acked = sendGen, sendOff
+				sess.mu.Unlock()
+			}
+		}
+
+		if !synced {
+			gen, snap, err := p.log.SnapshotBytes()
+			if err != nil {
+				return
+			}
+			_ = c.SetWriteDeadline(time.Now().Add(p.opts.IOTimeout))
+			if err := writeMsg(c, msg{Kind: mSnapshot, Gen: gen, Fence: p.log.FenceToken(), Data: snap}); err != nil {
+				return
+			}
+			p.snapsSent.Add(1)
+			sendGen, sendOff, synced = gen, 0, true
+			sess.mu.Lock()
+			sess.gen, sess.acked = sendGen, 0
+			sess.mu.Unlock()
+			lastSend = time.Now()
+		}
+
+		gen, durable, seq := p.log.ReplState()
+		if gen != sendGen {
+			synced = false // compaction swapped generations: full resync
+			continue
+		}
+
+		sent := false
+		for sendOff < durable {
+			sess.mu.Lock()
+			acked := sess.acked
+			sess.mu.Unlock()
+			if sendOff-acked >= p.opts.Window {
+				break // window full: wait for acks
+			}
+			max := p.opts.Chunk
+			if rem := durable - sendOff; int64(max) > rem {
+				max = int(rem)
+			}
+			chunk, err := p.log.LogChunk(sendGen, sendOff, max)
+			if err != nil {
+				if errors.Is(err, wal.ErrGenGone) {
+					synced = false
+					break
+				}
+				return
+			}
+			if len(chunk) == 0 {
+				break
+			}
+			_ = c.SetWriteDeadline(time.Now().Add(p.opts.IOTimeout))
+			if err := writeMsg(c, msg{Kind: mChunk, Gen: sendGen, Off: sendOff, Data: chunk}); err != nil {
+				return
+			}
+			sendOff += int64(len(chunk))
+			p.chunks.Add(1)
+			p.bytesSent.Add(uint64(len(chunk)))
+			lastSend = time.Now()
+			sent = true
+		}
+		if !synced {
+			continue
+		}
+		if !sent {
+			if time.Since(lastSend) >= p.opts.Heartbeat {
+				_ = c.SetWriteDeadline(time.Now().Add(p.opts.IOTimeout))
+				if err := writeMsg(c, msg{Kind: mHeartbeat, Gen: gen, Off: durable, Seq: seq, Fence: p.log.FenceToken()}); err != nil {
+					return
+				}
+				lastSend = time.Now()
+			}
+			time.Sleep(p.opts.Poll)
+		}
+	}
+}

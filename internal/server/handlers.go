@@ -389,6 +389,12 @@ type WALSnapshot struct {
 	FsyncMaxNs  int64  `json:"fsync_max_ns"`
 	Failed      uint64 `json:"failed"` // batches aborted by journaling errors
 
+	Gen          uint64 `json:"gen"`           // live log generation
+	Fence        uint64 `json:"fence"`         // fencing token this store was opened with
+	DurableBytes int64  `json:"durable_bytes"` // fsynced byte length of the live generation
+	LabelSeq     uint64 `json:"label_seq"`     // batch seq of the last durable label epoch
+	LabelRecords uint64 `json:"label_records"` // label-delta records appended by this process
+
 	// Recovery report of the Open that seeded this process, when it was a
 	// restart rather than a fresh store.
 	RecoveredSeq      uint64 `json:"recovered_seq,omitempty"`
@@ -397,6 +403,16 @@ type WALSnapshot struct {
 	RecoveryTruncated bool   `json:"recovery_truncated,omitempty"`
 	RecoveryReason    string `json:"recovery_reason,omitempty"`
 	RecoveryStanding  uint64 `json:"recovery_standing"`
+
+	// Startup cost: RecoveryNs is what wal.Open spent replaying durable
+	// state, ReadyNs spans recovery through the first published epoch.
+	// WarmStart reports whether the engines were seeded from a durable label
+	// epoch (healing DirtyHealed nodes) instead of recomputed from scratch.
+	RecoveryNs  int64  `json:"recovery_ns,omitempty"`
+	ReadyNs     int64  `json:"ready_ns,omitempty"`
+	LabelNs     int64  `json:"label_ns,omitempty"`
+	WarmStart   bool   `json:"warm_start,omitempty"`
+	DirtyHealed uint64 `json:"dirty_healed,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
@@ -423,7 +439,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 			Syncs: m.Syncs, Compactions: m.Compactions, Depth: m.Depth,
 			FsyncMaxNs:       m.FsyncMax.Nanoseconds(),
 			Failed:           s.met.walFailed.Load(),
+			Gen:              m.Gen,
+			Fence:            m.Fence,
+			DurableBytes:     m.DurableBytes,
+			LabelSeq:         m.LabelSeq,
+			LabelRecords:     m.LabelRecords,
 			RecoveryStanding: s.met.recoveryStanding.Load(),
+			ReadyNs:          s.met.readyNs.Load(),
+			LabelNs:          s.met.labelNs.Load(),
+			WarmStart:        s.met.warmStart.Load() != 0,
+			DirtyHealed:      s.met.dirtyHealed.Load(),
 		}
 		if m.Syncs > 0 {
 			ws.FsyncAvgNs = m.FsyncTotal.Nanoseconds() / int64(m.Syncs)
@@ -434,6 +459,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 			ws.RecoveredRecords = rec.Replayed
 			ws.RecoveryTruncated = rec.Truncated()
 			ws.RecoveryReason = rec.Reason
+			ws.RecoveryNs = rec.RecoveryNs
 		}
 		snap.WAL = ws
 	}

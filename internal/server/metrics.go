@@ -114,6 +114,10 @@ type metrics struct {
 
 	walFailed        atomic.Uint64 // batches aborted because journaling failed
 	recoveryStanding atomic.Uint64 // invariant violations found by the post-recovery sweep
+	warmStart        atomic.Uint64 // 1 when the engines were seeded from a durable label epoch
+	dirtyHealed      atomic.Uint64 // dirty nodes the warm start healed instead of recomputing
+	readyNs          atomic.Int64  // recovery + construction + first publish, wall time
+	labelNs          atomic.Int64  // label acquisition only: recompute+sweep (cold) or seed+heal-dirty (warm)
 
 	endpoints map[string]*endpointStats
 }

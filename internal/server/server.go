@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"structura/internal/graph"
 	"structura/internal/heal"
@@ -73,9 +74,13 @@ type Config struct {
 	WAL *wal.Log
 
 	// Recovered, when set, is the recovery report of the wal.Open that
-	// produced the graph this server was built over. New audits the freshly
-	// constructed structures with a full invariant sweep and exposes the
-	// report plus the sweep's standing-violation count on /metrics.
+	// produced the graph this server was built over. When the report carries
+	// a usable durable label epoch, New warm-starts the engines from those
+	// labels and heals exactly the recovery's dirty set — recovery-to-ready
+	// becomes O(changes since the last epoch) instead of O(graph). Otherwise
+	// the structures are built from scratch and audited with a full invariant
+	// sweep. Either way the report and the standing-violation count are
+	// exposed on /metrics.
 	Recovered *wal.Recovery
 
 	// OnPublish, when set, observes every epoch right before it is
@@ -154,6 +159,7 @@ type khopScratch struct {
 // construction — and publishes epoch 1. The writer goroutine starts
 // immediately; call Shutdown to stop it.
 func New(g *graph.Graph, cfg Config) (*Server, error) {
+	start := time.Now()
 	if g == nil || g.N() == 0 {
 		return nil, errors.New("server: graph must have at least one node")
 	}
@@ -175,12 +181,42 @@ func New(g *graph.Graph, cfg Config) (*Server, error) {
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 
-	dvEng, err := heal.NewDistVecEngineOver(g.Clone(), cfg.Dest)
+	// Warm start: when recovery carried a durable label epoch matching this
+	// topology and destination, seed every engine from it and heal only the
+	// dirty set instead of rebuilding from scratch.
+	labels := recoveredLabels(cfg, g)
+
+	// labelNs times label *acquisition* — the phase durable label epochs
+	// exist to shorten: full recompute (BFS, greedy MIS, invariant sweep)
+	// when no epoch survived, versus seeding engines from recovered labels
+	// and healing only the dirty set. Graph clones are hoisted out of the
+	// timed spans because both paths pay them identically; label_ns is the
+	// recompute-vs-replay comparison, ready_ns the total boot wall time.
+	var labelNs int64
+	dvG, misG := g.Clone(), g.Clone()
+
+	var dvEng, misEng heal.Engine
+	var err error
+	labelStart := time.Now()
+	if labels != nil {
+		next := make([]int, len(labels.Next))
+		for i, v := range labels.Next {
+			next[i] = int(v)
+		}
+		dvEng, err = heal.NewDistVecEngineFromLabels(dvG, cfg.Dest, labels.Dist, next)
+	} else {
+		dvEng, err = heal.NewDistVecEngineOver(dvG, cfg.Dest)
+	}
 	if err != nil {
 		s.cancel()
 		return nil, fmt.Errorf("server: distvec engine: %w", err)
 	}
-	misEng, err := heal.NewMISEngineOver(g.Clone())
+	if labels != nil {
+		misEng, err = heal.NewMISEngineFromLabels(misG, labels.MIS)
+	} else {
+		misEng, err = heal.NewMISEngineOver(misG)
+	}
+	labelNs += time.Since(labelStart).Nanoseconds()
 	if err != nil {
 		s.cancel()
 		return nil, fmt.Errorf("server: mis engine: %w", err)
@@ -193,13 +229,28 @@ func New(g *graph.Graph, cfg Config) (*Server, error) {
 
 	if cfg.SkipCDS {
 		s.cdsErr = "disabled by config"
-	} else if cdsEng, cerr := heal.NewCDSEngineOver(g.Clone()); cerr != nil {
-		// No CDS exists (disconnected support). The backbone is optional:
-		// serve everything else and report why it is absent.
-		s.cdsErr = cerr.Error()
 	} else {
-		s.cdsSrc = cdsEng.(interface{ CDSMembers() []int })
-		s.cds = &heal.Supervisor{Engine: cdsEng, Budget: cfg.RepairBudget, Ctx: s.ctx}
+		cdsG := g.Clone()
+		labelStart = time.Now()
+		if labels != nil && labels.HasCDS {
+			cdsEng, cerr := heal.NewCDSEngineFromLabels(cdsG, labels.CDS)
+			labelNs += time.Since(labelStart).Nanoseconds()
+			if cerr != nil {
+				s.cancel()
+				return nil, fmt.Errorf("server: cds engine: %w", cerr)
+			}
+			s.cdsSrc = cdsEng.(interface{ CDSMembers() []int })
+			s.cds = &heal.Supervisor{Engine: cdsEng, Budget: cfg.RepairBudget, Ctx: s.ctx}
+		} else if cdsEng, cerr := heal.NewCDSEngineOver(cdsG); cerr != nil {
+			// No CDS exists (disconnected support). The backbone is optional:
+			// serve everything else and report why it is absent.
+			labelNs += time.Since(labelStart).Nanoseconds()
+			s.cdsErr = cerr.Error()
+		} else {
+			labelNs += time.Since(labelStart).Nanoseconds()
+			s.cdsSrc = cdsEng.(interface{ CDSMembers() []int })
+			s.cds = &heal.Supervisor{Engine: cdsEng, Budget: cfg.RepairBudget, Ctx: s.ctx}
+		}
 	}
 
 	s.khopPool.New = func() any {
@@ -211,15 +262,49 @@ func New(g *graph.Graph, cfg Config) (*Server, error) {
 		return sc
 	}
 
-	if cfg.Recovered != nil {
-		// The structures were constructed over a recovered graph, not healed
-		// into place — audit them against every registered invariant before
-		// the first epoch is published.
-		standing := len(s.dv.Sweep()) + len(s.mis.Sweep())
-		if s.cds != nil {
-			standing += len(s.cds.Sweep())
+	if rec := cfg.Recovered; rec != nil {
+		standing := 0
+		labelStart = time.Now()
+		if labels != nil {
+			// Labels are trusted up to the dirty set recovery reported: heal
+			// exactly those nodes, no full audit. This is what bounds
+			// recovery-to-ready by the label lag instead of the graph size.
+			s.met.warmStart.Store(1)
+			s.met.dirtyHealed.Store(uint64(len(rec.Dirty)))
+			for _, sup := range s.supervisors() {
+				hrep, herr := sup.HealDirty(rec.Dirty)
+				if hrep != nil {
+					s.met.repairs.Add(uint64(hrep.Repairs))
+					s.met.escalations.Add(uint64(hrep.Escalations))
+					standing += len(hrep.Standing)
+				}
+				if herr != nil {
+					s.cancel()
+					return nil, fmt.Errorf("server: warm-start heal: %w", herr)
+				}
+			}
+		} else {
+			// The structures were constructed over a recovered graph, not
+			// healed into place — audit them against every registered
+			// invariant before the first epoch is published.
+			for _, sup := range s.supervisors() {
+				standing += len(sup.Sweep())
+			}
 		}
+		labelNs += time.Since(labelStart).Nanoseconds()
 		s.met.recoveryStanding.Store(uint64(standing))
+	}
+	s.met.labelNs.Store(labelNs)
+
+	if cfg.WAL != nil {
+		// Make the startup label epoch durable before serving: a process that
+		// crashes before its first mutation batch still leaves labels the
+		// next recovery can warm-start from. A warm start that healed nothing
+		// diffs to zero records, so the steady-state restart is free.
+		if _, err := cfg.WAL.AppendLabels(s.labelSet()); err != nil {
+			s.cancel()
+			return nil, fmt.Errorf("server: journal startup labels: %w", err)
+		}
 	}
 
 	ep := s.buildEpoch(1)
@@ -228,14 +313,75 @@ func New(g *graph.Graph, cfg Config) (*Server, error) {
 	}
 	s.epoch.Store(ep)
 
+	readyNs := time.Since(start).Nanoseconds()
+	if rec := cfg.Recovered; rec != nil {
+		readyNs += rec.RecoveryNs
+	}
+	s.met.readyNs.Store(readyNs)
+
 	s.mux = http.NewServeMux()
 	s.routes()
 	go s.writer()
 	return s, nil
 }
 
+// recoveredLabels returns the recovery report's label epoch when it is
+// usable for a warm start over g — present, sized to the recovered
+// topology, and pointing at the configured destination — else nil.
+func recoveredLabels(cfg Config, g *graph.Graph) *wal.LabelSet {
+	rec := cfg.Recovered
+	if rec == nil || rec.Labels == nil {
+		return nil
+	}
+	ls := rec.Labels
+	if ls.N() != g.N() || len(ls.MIS) != g.N() || ls.Dest != cfg.Dest {
+		return nil
+	}
+	if ls.HasCDS && len(ls.CDS) != g.N() {
+		return nil
+	}
+	return ls
+}
+
+// supervisors lists the active supervisors in a fixed order.
+func (s *Server) supervisors() []*heal.Supervisor {
+	sups := []*heal.Supervisor{s.dv, s.mis}
+	if s.cds != nil {
+		sups = append(sups, s.cds)
+	}
+	return sups
+}
+
+// labelSet snapshots the writer-owned engine state as one label epoch, the
+// unit AppendLabels journals. Only the writer (or New, before the writer
+// starts) may call it.
+func (s *Server) labelSet() *wal.LabelSet {
+	dist, next := s.routeSrc.RouteLabels()
+	n32 := make([]int32, len(next))
+	for i, v := range next {
+		n32[i] = int32(v)
+	}
+	ls := &wal.LabelSet{Dest: s.cfg.Dest, Dist: dist, Next: n32, MIS: s.misSrc.MISLabels()}
+	if s.cdsSrc != nil {
+		bm := make([]bool, len(dist))
+		for _, v := range s.cdsSrc.CDSMembers() {
+			bm[v] = true
+		}
+		ls.HasCDS, ls.CDS = true, bm
+	}
+	return ls
+}
+
 // Epoch returns the currently published epoch.
 func (s *Server) Epoch() *Epoch { return s.epoch.Load() }
+
+// ReadySummary reports how construction reached serving state: total
+// nanoseconds from recovery start to ready (WAL replay included), whether
+// the engines warm-started from a durable label epoch instead of a full
+// recompute, and how many dirty nodes that warm start had to heal.
+func (s *Server) ReadySummary() (readyNs, labelNs int64, warmStart bool, dirtyHealed uint64) {
+	return s.met.readyNs.Load(), s.met.labelNs.Load(), s.met.warmStart.Load() == 1, s.met.dirtyHealed.Load()
+}
 
 // Handler returns the HTTP handler serving all endpoints.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -332,11 +478,7 @@ func (s *Server) applyBatch(batch []Mutation) bool {
 		}
 		events = append(events, sim.Event{Round: 1, Op: op, U: m.U, V: m.V})
 	}
-	sups := []*heal.Supervisor{s.dv, s.mis}
-	if s.cds != nil {
-		sups = append(sups, s.cds)
-	}
-	for _, sup := range sups {
+	for _, sup := range s.supervisors() {
 		rep, err := sup.ApplyBatch(events)
 		if rep != nil {
 			s.met.repairs.Add(uint64(rep.Repairs))
@@ -346,6 +488,18 @@ func (s *Server) applyBatch(batch []Mutation) bool {
 			s.met.standing.Add(uint64(len(rep.Standing)))
 		}
 		if err != nil {
+			s.met.abortedBatches.Add(1)
+			return false
+		}
+	}
+	if s.cfg.WAL != nil {
+		// Journal the healed label epoch after the topology commit and before
+		// publication (journal-before-publish). The deltas are stamped with
+		// the committed batch seq, so recovery can never reconstruct labels
+		// newer than the durable topology — a crash between the topology
+		// commit and here just costs the next start a HealDirty pass.
+		if _, err := s.cfg.WAL.AppendLabels(s.labelSet()); err != nil {
+			s.met.walFailed.Add(1)
 			s.met.abortedBatches.Add(1)
 			return false
 		}

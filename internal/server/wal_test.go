@@ -17,8 +17,14 @@ import (
 // journaledServer builds a Server journaling to a fresh MemFS-backed WAL.
 func journaledServer(t *testing.T, mem *wal.MemFS, cfg Config) (*Server, *wal.Log) {
 	t.Helper()
+	return journaledServerOn(t, mem, cfg)
+}
+
+// journaledServerOn is journaledServer over any wal.FS (fault injection).
+func journaledServerOn(t *testing.T, fsys wal.FS, cfg Config) (*Server, *wal.Log) {
+	t.Helper()
 	g := gen.SparseErdosRenyi(stats.NewRand(11), 40, 0.12)
-	l, err := wal.Create("store", g, wal.Options{FS: mem, CompactEvery: 3})
+	l, err := wal.Create("store", g, wal.Options{FS: fsys, CompactEvery: 3})
 	if err != nil {
 		t.Fatalf("wal create: %v", err)
 	}

@@ -1,0 +1,203 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"structura/internal/graph"
+)
+
+// Applier consumes a WAL byte stream incrementally — the replica's live
+// half of recovery. Feed it arbitrary prefixes of a log generation's frame
+// stream (everything after the header) and it applies committed batches and
+// label deltas exactly as replayLog would, buffering partial frames until
+// the rest arrives. Because the replicated stream is a byte-for-byte prefix
+// of the primary's durable log, a mid-frame cut is always "need more
+// bytes", never damage; a CRC or framing violation means the stream itself
+// is corrupt and the owner must resync.
+type Applier struct {
+	G      *graph.Graph
+	Labels *LabelSet
+
+	Seq     uint64 // last committed batch applied
+	Batches int    // committed batches applied
+	Records uint64 // mutation records applied
+	Ignored int    // label deltas skipped (stamped ahead of topology, or unusable)
+
+	// OnCommit, when set, observes every committed batch seq as it
+	// applies — the replica's staleness clock.
+	OnCommit func(seq uint64)
+
+	pending []Record
+	touched []batchTouched
+	buf     []byte
+}
+
+// NewApplier starts an applier over a recovered base state: g and labels
+// come from the snapshot (labels may be nil), seq is the batch the base
+// reflects.
+func NewApplier(g *graph.Graph, labels *LabelSet, seq uint64) *Applier {
+	return &Applier{G: g, Labels: labels, Seq: seq}
+}
+
+// Buffered returns how many bytes of an incomplete trailing frame are
+// waiting for the rest of the stream.
+func (a *Applier) Buffered() int { return len(a.buf) }
+
+// Feed consumes p: every complete frame is parsed and applied, a trailing
+// partial frame is buffered for the next call. Any framing or checksum
+// violation fails the whole stream (the caller resyncs from a snapshot).
+func (a *Applier) Feed(p []byte) error {
+	a.buf = append(a.buf, p...)
+	off := 0
+	for {
+		n, complete, err := frameLen(a.buf[off:])
+		if err != nil {
+			return fmt.Errorf("wal: replicated stream: %w", err)
+		}
+		if !complete {
+			break
+		}
+		r, _, err := readFrame(a.buf[off : off+n])
+		if err != nil {
+			return fmt.Errorf("wal: replicated stream: %w", err)
+		}
+		if aerr := a.apply(r); aerr != nil {
+			return aerr
+		}
+		off += n
+	}
+	a.buf = append(a.buf[:0], a.buf[off:]...)
+	return nil
+}
+
+// frameLen inspects a frame header without decoding the payload: it
+// returns the full frame length and whether data holds all of it. Only an
+// implausible declared length is an error — short data just isn't complete
+// yet.
+func frameLen(data []byte) (n int, complete bool, err error) {
+	if len(data) < frameHeader {
+		return 0, false, nil
+	}
+	pl := binary.LittleEndian.Uint32(data)
+	if pl == 0 || pl > maxPayload {
+		return 0, false, fmt.Errorf("%w: implausible payload length %d", ErrTorn, pl)
+	}
+	n = frameHeader + int(pl)
+	return n, len(data) >= n, nil
+}
+
+func (a *Applier) apply(r Record) error {
+	switch r.Type {
+	case TLabelDelta:
+		if len(a.pending) > 0 {
+			return fmt.Errorf("%w: label record inside an uncommitted batch", ErrTorn)
+		}
+		if r.Label.Seq > a.Seq {
+			a.Ignored++
+			return nil
+		}
+		if a.Labels == nil {
+			a.Labels = &LabelSet{}
+		}
+		if !applyLabelDelta(a.Labels, r.Label) {
+			a.Ignored++
+			return nil
+		}
+		a.pruneTouched()
+		return nil
+	case TCommit:
+		if r.Seq != a.Seq+1 || int(r.Count) != len(a.pending) {
+			return fmt.Errorf("%w: commit marker (seq %d, count %d) does not seal batch %d of %d record(s)",
+				ErrTorn, r.Seq, r.Count, a.Seq+1, len(a.pending))
+		}
+		var nodes []int32
+		for _, pr := range a.pending {
+			if pr.Type == TRemoveNode && int(pr.U) >= 0 && int(pr.U) < a.G.N() {
+				for _, nb := range a.G.Neighbors(int(pr.U)) {
+					nodes = append(nodes, int32(nb))
+				}
+			}
+			if applyRecord(a.G, pr) {
+				switch pr.Type {
+				case TAddNode:
+					nodes = append(nodes, int32(a.G.N()-1))
+				case TRemoveNode:
+					nodes = append(nodes, pr.U)
+				default:
+					nodes = append(nodes, pr.U, pr.V)
+				}
+			}
+		}
+		a.Seq = r.Seq
+		a.Batches++
+		a.Records += uint64(len(a.pending))
+		a.touched = append(a.touched, batchTouched{seq: r.Seq, nodes: nodes})
+		a.pending = a.pending[:0]
+		if a.OnCommit != nil {
+			a.OnCommit(r.Seq)
+		}
+		return nil
+	default:
+		a.pending = append(a.pending, r)
+		return nil
+	}
+}
+
+// pruneTouched drops touched sets already covered by the label epoch, so
+// the dirty backlog stays bounded by the label lag, not the uptime.
+func (a *Applier) pruneTouched() {
+	if a.Labels == nil {
+		return
+	}
+	keep := a.touched[:0]
+	for _, bt := range a.touched {
+		if bt.seq > a.Labels.Seq {
+			keep = append(keep, bt)
+		}
+	}
+	a.touched = keep
+}
+
+// Dirty returns the nodes mutated by batches the label epoch has not yet
+// covered — the heal seeds a promotion must sweep before serving
+// authoritative answers.
+func (a *Applier) Dirty() []int {
+	if a.Labels == nil {
+		return nil
+	}
+	return dirtyAfter(a.touched, a.Labels.Seq)
+}
+
+// UsableLabels reports whether the applied label epoch can describe the
+// applied graph (present and length-matched).
+func (a *Applier) UsableLabels() bool {
+	return a.Labels != nil && a.Labels.N() == a.G.N()
+}
+
+// VerifyStream checks that data is a well-formed log-generation prefix:
+// a valid header for generation gen, followed by whole frames (a trailing
+// partial frame is fine). Used by tests and the replica's restart path.
+func VerifyStream(data []byte, gen uint64) error {
+	hgen, _, _, err := decodeLogHeader(data)
+	if err != nil {
+		return err
+	}
+	if gen != 0 && hgen != gen {
+		return fmt.Errorf("%w: stream header gen %d, want %d", ErrCorrupt, hgen, gen)
+	}
+	off := logHeaderLen
+	for off < len(data) {
+		n, complete, err := frameLen(data[off:])
+		if err != nil || !complete {
+			return nil // trailing partial frame: a valid stream prefix
+		}
+		payload := data[off+frameHeader : off+n]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[off+4:]) {
+			return fmt.Errorf("%w: frame checksum mismatch at offset %d", ErrCorrupt, off)
+		}
+		off += n
+	}
+	return nil
+}

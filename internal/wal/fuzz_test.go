@@ -41,6 +41,57 @@ func FuzzWALRecord(f *testing.F) {
 	})
 }
 
+// FuzzLabelDelta pins the label-delta codec's safety properties: every byte
+// string — and every prefix of it — either decodes or fails with a named
+// error, never panics; every accepted input re-encodes to the identical
+// bytes (canonical form); and applying an accepted delta to a label set
+// never panics regardless of node indices or claimed lengths.
+func FuzzLabelDelta(f *testing.F) {
+	seeds := []*LabelDelta{
+		{Kind: LabelRoute, Reset: true, Seq: 3, N: 4, Dest: 1,
+			Nodes: []int32{0, 1, 2, 3}, Dists: []float64{0, 1, 2, 3}, Nexts: []int32{-1, 0, 1, 2}},
+		{Kind: LabelMIS, Seq: 5, N: 8, Nodes: []int32{2, 7}, Bits: []bool{true, false}},
+		{Kind: LabelCDS, Reset: true, Seq: 9, N: 3, Nodes: []int32{1}, Bits: []bool{true}},
+		{Kind: LabelCDS, Absent: true, Seq: 11, N: 3, Nodes: []int32{}},
+	}
+	for _, d := range seeds {
+		f.Add(EncodeLabelDelta(d))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(TLabelDelta)})
+	f.Add([]byte{byte(TLabelDelta), labelDeltaVer, 0, 0})
+	f.Add([]byte{byte(TLabelDelta), labelDeltaVer, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0}) // bad kind
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The prefix property: truncation at any byte is a clean error or
+		// a (shorter) valid delta, never a panic. Large inputs sample
+		// prefixes to stay out of O(n²).
+		step := 1
+		if len(data) > 256 {
+			step = 13
+		}
+		for cut := len(data); cut >= 0; cut -= step {
+			p := data[:cut]
+			d, err := DecodeLabelDelta(p)
+			if err != nil {
+				if !errors.Is(err, ErrRecordType) && !errors.Is(err, ErrRecordLen) {
+					t.Fatalf("unnamed decode error at prefix %d: %v", cut, err)
+				}
+				continue
+			}
+			if got := EncodeLabelDelta(d); !bytes.Equal(got, p) {
+				t.Fatalf("decode∘encode is not the identity at prefix %d:\n in  %x\n out %x", cut, p, got)
+			}
+			// Applying an accepted delta must be safe for any node indices
+			// (the claimed N is capped here only to bound allocation).
+			if d.N <= 1<<16 {
+				ls := &LabelSet{}
+				applyLabelDelta(ls, d)
+				applyLabelDelta(ls, d)
+			}
+		}
+	})
+}
+
 // FuzzRecover splices arbitrary bytes in as the body of an otherwise valid
 // store's log generation and requires recovery to hold its contract: Open
 // never panics and never fails (the superblock and snapshot are intact, so

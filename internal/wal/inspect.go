@@ -1,0 +1,64 @@
+package wal
+
+import "path"
+
+// StoreInfo is a read-only description of a store directory — what
+// `structura replicate -status` prints and what a restarting replica uses
+// to resume mirroring without replaying through a full Open.
+type StoreInfo struct {
+	Dir      string
+	Gen      uint64
+	Fence    uint64
+	SnapSeq  uint64
+	SnapName string
+	LogName  string
+	LogBytes int64 // bytes of the live log generation on disk
+
+	Seq          uint64 // last committed batch recoverable
+	Records      uint64 // cumulative mutation records recoverable
+	Nodes        int
+	LabelSeq     uint64 // batch seq of the recoverable label epoch (0: none)
+	HasLabels    bool
+	Truncated    bool
+	TruncateNote string
+}
+
+// Inspect reads dir without mutating it: superblock, snapshot provenance,
+// and a committed-prefix replay to report exactly what a recovery would
+// reconstruct.
+func Inspect(fsys FS, dir string) (StoreInfo, error) {
+	if fsys == nil {
+		fsys = OS()
+	}
+	info := StoreInfo{Dir: dir}
+	g, rec, err := replayDir(fsys, dir, nil)
+	if err != nil {
+		return info, err
+	}
+	sbData, err := fsys.ReadFile(path.Join(dir, superName))
+	if err != nil {
+		return info, err
+	}
+	sb, err := decodeSuper(sbData)
+	if err != nil {
+		return info, err
+	}
+	info.Gen = sb.gen
+	info.Fence = sb.fence
+	info.SnapSeq = sb.snapSeq
+	info.SnapName = sb.snapName
+	info.LogName = sb.logName
+	if logData, lerr := fsys.ReadFile(path.Join(dir, sb.logName)); lerr == nil {
+		info.LogBytes = int64(len(logData))
+	}
+	info.Seq = rec.Seq
+	info.Records = rec.Records
+	info.Nodes = g.N()
+	info.HasLabels = rec.Labels != nil
+	if rec.Labels != nil {
+		info.LabelSeq = rec.Labels.Seq
+	}
+	info.Truncated = rec.Truncated()
+	info.TruncateNote = rec.Reason
+	return info, nil
+}

@@ -1,0 +1,263 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"path"
+	"strings"
+)
+
+// Mirror is the cold half of a replica: a byte-accurate copy of a primary's
+// store directory, fed from the replication stream. The primary ships its
+// snapshot on connect (or whenever generations diverge) and then raw durable
+// log bytes by offset; the Mirror writes them down with the same durability
+// discipline the primary uses, so at every instant the directory is a store
+// wal.Open — or wal.Promote, at failover — can recover. The Mirror never
+// interprets frames beyond integrity checks; the live (in-memory) half of
+// the replica is the Applier.
+type Mirror struct {
+	fsys FS
+	dir  string
+
+	gen     uint64
+	fence   uint64
+	snapSeq uint64
+
+	snapName string
+	logName  string
+	f        File
+	off      int64 // durable mirrored byte length of the live log generation
+}
+
+// ErrStaleChunk reports an Append at an offset the mirror has not reached:
+// the stream skipped bytes, so the replica must re-request from Durable().
+var ErrStaleChunk = errors.New("wal: chunk offset beyond mirrored prefix")
+
+// OpenMirror opens (or initializes) a mirror directory. An existing mirror
+// resumes at its verified durable prefix: the mirrored log is scanned for
+// whole frames and any torn tail from a mid-write crash is discarded, so
+// the offset reported to the primary never claims bytes that did not
+// survive. A directory with no superblock starts empty at generation 0 —
+// the first InstallSnapshot seeds it.
+func OpenMirror(dir string, opts Options) (*Mirror, error) {
+	opts.setDefaults()
+	m := &Mirror{fsys: opts.FS, dir: dir}
+	if err := m.fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: mirror dir: %w", err)
+	}
+	raw, err := m.fsys.ReadFile(path.Join(dir, superName))
+	if err != nil {
+		return m, nil // fresh mirror: nothing to resume
+	}
+	sb, err := decodeSuper(raw)
+	if err != nil {
+		return m, nil // unreadable superblock: treat as fresh, resync seeds it
+	}
+	m.gen, m.fence, m.snapSeq = sb.gen, sb.fence, sb.snapSeq
+	m.snapName, m.logName = sb.snapName, sb.logName
+
+	data, err := m.fsys.ReadFile(path.Join(dir, sb.logName))
+	if err != nil {
+		data = nil
+	}
+	keep := streamPrefix(data, m.gen)
+	f, err := m.fsys.Create(path.Join(dir, sb.logName))
+	if err != nil {
+		return nil, fmt.Errorf("wal: mirror log: %w", err)
+	}
+	if keep > 0 {
+		if _, err := f.Write(data[:keep]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: mirror log rewrite: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: mirror log sync: %w", err)
+	}
+	m.f, m.off = f, keep
+	return m, nil
+}
+
+// streamPrefix returns the length of the longest valid prefix of a log
+// generation's byte stream: a header for gen followed by whole checksummed
+// frames. A torn or corrupt tail is excluded; a bad header yields 0.
+func streamPrefix(data []byte, gen uint64) int64 {
+	hgen, _, _, err := decodeLogHeader(data)
+	if err != nil || (gen != 0 && hgen != gen) {
+		return 0
+	}
+	off := logHeaderLen
+	for off < len(data) {
+		n, complete, err := frameLen(data[off:])
+		if err != nil || !complete {
+			break
+		}
+		payload := data[off+frameHeader : off+n]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[off+4:]) {
+			break
+		}
+		off += n
+	}
+	return int64(off)
+}
+
+// State returns the mirror's replication cursor: the generation it holds,
+// the fence it recorded, and the durable byte offset it can resume from.
+func (m *Mirror) State() (gen, fence uint64, off int64) { return m.gen, m.fence, m.off }
+
+// Durable returns the fsynced byte length of the mirrored live generation.
+func (m *Mirror) Durable() int64 { return m.off }
+
+// SnapSeq returns the batch seq of the mirrored snapshot.
+func (m *Mirror) SnapSeq() uint64 { return m.snapSeq }
+
+// InstallSnapshot replaces the mirror's contents with a full-resync
+// payload: the primary's snapshot file for generation gen under fencing
+// token fence. The snapshot is decoded first — a corrupt payload is
+// rejected before anything touches disk — then written with the store's
+// swap discipline (snapshot durable, empty log durable, superblock rename
+// last), so a crash at any point leaves either the old mirror or the new
+// one, never a mix. Log bytes restart at offset 0; the generation's header
+// arrives as the first streamed bytes.
+func (m *Mirror) InstallSnapshot(gen, fence uint64, snap []byte) error {
+	_, seq, _, _, err := DecodeSnapshotLabels(snap)
+	if err != nil {
+		return fmt.Errorf("wal: mirror snapshot: %w", err)
+	}
+	snapName := fmt.Sprintf("snap-%016d.snap", seq)
+	logName := fmt.Sprintf("wal-%016d.log", seq)
+
+	tmp := path.Join(m.dir, snapName+".tmp")
+	if err := writeFileSync(m.fsys, tmp, snap); err != nil {
+		return err
+	}
+	if err := m.fsys.Rename(tmp, path.Join(m.dir, snapName)); err != nil {
+		return err
+	}
+	if err := m.fsys.SyncDir(m.dir); err != nil {
+		return err
+	}
+
+	f, err := m.fsys.Create(path.Join(m.dir, logName))
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := m.fsys.SyncDir(m.dir); err != nil {
+		f.Close()
+		return err
+	}
+
+	sb := encodeSuper(superblock{
+		snapSeq: seq, gen: gen, fence: fence,
+		snapName: snapName, logName: logName,
+	})
+	stmp := path.Join(m.dir, superName+".tmp")
+	if err := writeFileSync(m.fsys, stmp, sb); err != nil {
+		f.Close()
+		return err
+	}
+	if err := m.fsys.Rename(stmp, path.Join(m.dir, superName)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := m.fsys.SyncDir(m.dir); err != nil {
+		f.Close()
+		return err
+	}
+
+	// Garbage-collect superseded generations and interrupted temp files.
+	if names, lerr := m.fsys.List(m.dir); lerr == nil {
+		for _, name := range names {
+			if name == superName || name == snapName || name == logName {
+				continue
+			}
+			if strings.HasPrefix(name, "snap-") || strings.HasPrefix(name, "wal-") ||
+				strings.HasSuffix(name, ".tmp") {
+				_ = m.fsys.Remove(path.Join(m.dir, name))
+			}
+		}
+		_ = m.fsys.SyncDir(m.dir)
+	}
+
+	if m.f != nil {
+		m.f.Close()
+	}
+	m.f = f
+	m.gen, m.fence, m.snapSeq = gen, fence, seq
+	m.snapName, m.logName = snapName, logName
+	m.off = 0
+	return nil
+}
+
+// Append mirrors durable log bytes at offset off and fsyncs them before
+// returning, so an ack sent after Append can never claim bytes a crash
+// would lose. Chunks the mirror already holds are ignored (the stream may
+// resend across a reconnect); a chunk beyond the mirrored prefix is
+// ErrStaleChunk and the replica must re-request from Durable().
+func (m *Mirror) Append(off int64, data []byte) error {
+	if m.f == nil {
+		return errors.New("wal: mirror has no generation installed")
+	}
+	if off+int64(len(data)) <= m.off {
+		return nil // duplicate resend
+	}
+	if off > m.off {
+		return fmt.Errorf("%w: chunk at %d, mirrored through %d", ErrStaleChunk, off, m.off)
+	}
+	data = data[m.off-off:] // overlap: keep only the new suffix
+	if len(data) == 0 {
+		return nil
+	}
+	if _, err := m.f.Write(data); err != nil {
+		return fmt.Errorf("wal: mirror append: %w", err)
+	}
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("wal: mirror sync: %w", err)
+	}
+	m.off += int64(len(data))
+	return nil
+}
+
+// SnapshotData returns the mirrored snapshot file's bytes, or nil for a
+// mirror with no generation installed yet.
+func (m *Mirror) SnapshotData() ([]byte, error) {
+	if m.snapName == "" {
+		return nil, nil
+	}
+	return m.fsys.ReadFile(path.Join(m.dir, m.snapName))
+}
+
+// LogData returns the mirrored live generation's bytes through the durable
+// offset — the replay source for rebuilding an in-memory view on restart.
+func (m *Mirror) LogData() ([]byte, error) {
+	if m.logName == "" {
+		return nil, nil
+	}
+	data, err := m.fsys.ReadFile(path.Join(m.dir, m.logName))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > m.off {
+		data = data[:m.off]
+	}
+	return data, nil
+}
+
+// Close releases the mirror's file handle. The directory remains a
+// recoverable store; reopen with OpenMirror to resume, or hand it to
+// wal.Promote to take over as primary.
+func (m *Mirror) Close() error {
+	if m.f == nil {
+		return nil
+	}
+	err := m.f.Close()
+	m.f = nil
+	return err
+}

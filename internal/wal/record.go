@@ -29,6 +29,10 @@ const (
 	// TCommit seals the Count preceding records as committed batch Seq.
 	// Records after the last commit marker are discarded by recovery.
 	TCommit Type = 6
+	// TLabelDelta carries one structure's changed-(node,value) pairs at an
+	// epoch publish (see LabelDelta). Label records follow the commit marker
+	// of the batch they reflect and are never part of a pending batch.
+	TLabelDelta Type = 7
 )
 
 // Record is one mutation-log entry. Edge records carry the validity interval
@@ -43,6 +47,11 @@ type Record struct {
 	To     int64   // valid-to batch seq (TRemoveEdge; -1 = open on TAddEdge)
 	Seq    uint64  // TCommit: batch sequence number
 	Count  uint32  // TCommit: records sealed by this marker
+
+	// Label holds the decoded payload of a TLabelDelta record (nil for
+	// every other type). Label records ride the same framing and CRC as
+	// mutations but are a cache of computation, not history.
+	Label *LabelDelta
 }
 
 // Canonical payload sizes per type; decode rejects any other length, which
@@ -57,8 +66,9 @@ const (
 	lenCommit     = 1 + 8 + 4
 
 	// maxPayload bounds a frame's declared payload length; anything larger
-	// is torn or garbage, never a legal record.
-	maxPayload = lenAddEdge
+	// is torn or garbage, never a legal record. Label-delta records are
+	// variable-length up to maxLabelPayload (labels.go), which dominates.
+	maxPayload = maxLabelPayload
 )
 
 // frameHeader is the per-record framing: payload length then CRC32C of the
@@ -102,6 +112,8 @@ func (r Record) appendPayload(buf []byte) []byte {
 	case TCommit:
 		buf = binary.LittleEndian.AppendUint64(buf, r.Seq)
 		buf = binary.LittleEndian.AppendUint32(buf, r.Count)
+	case TLabelDelta:
+		return appendLabelDelta(buf[:len(buf)-1], r.Label)
 	default:
 		panic(fmt.Sprintf("wal: encoding unknown record type %d", r.Type))
 	}
@@ -117,6 +129,15 @@ func DecodeRecord(p []byte) (Record, error) {
 	}
 	var r Record
 	r.Type = Type(p[0])
+	if r.Type == TLabelDelta {
+		d, err := DecodeLabelDelta(p)
+		if err != nil {
+			return Record{}, err
+		}
+		r.Label = d
+		r.Seq = d.Seq
+		return r, nil
+	}
 	want := 0
 	switch r.Type {
 	case TAddNode:

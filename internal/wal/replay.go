@@ -19,6 +19,20 @@ type Recovery struct {
 	Nodes       int    // node count of the recovered graph
 	TruncatedAt int64  // log offset of the first unusable byte (-1: clean tail)
 	Reason      string // why the log was truncated there, "" when clean
+
+	Gen   uint64 // generation counter of the recovered superblock
+	Fence uint64 // fencing token of the recovered superblock (0: v1 store)
+
+	// Labels is the recovered durable label epoch — snapshot section plus
+	// replayed label deltas — or nil when the store never journaled
+	// labels. Labels.Seq is the batch the epoch reflects; it can trail Seq
+	// (labels are written after their batch's commit marker, so a crash
+	// between the two loses only the label suffix).
+	Labels        *LabelSet
+	LabelRecords  int   // label-delta records replayed from the log suffix
+	LabelsIgnored int   // label records skipped (stamped ahead of the durable topology)
+	Dirty         []int // nodes mutated after Labels.Seq — heal seeds for a warm start
+	RecoveryNs    int64 // wall time Open spent replaying durable state
 }
 
 // Truncated reports whether recovery discarded a torn or corrupt tail.
@@ -64,7 +78,7 @@ func replayDir(fsys FS, dir string, fn func(Record) error) (*graph.Graph, Recove
 	if err != nil {
 		return nil, rec, fmt.Errorf("%w: superblock names missing snapshot %s: %v", ErrCorrupt, sb.snapName, err)
 	}
-	g, snapSeq, snapCum, err := DecodeSnapshot(snapData)
+	g, snapSeq, snapCum, labels, err := DecodeSnapshotLabels(snapData)
 	if err != nil {
 		return nil, rec, err
 	}
@@ -75,6 +89,9 @@ func replayDir(fsys FS, dir string, fn func(Record) error) (*graph.Graph, Recove
 	rec.SnapshotSeq = snapSeq
 	rec.Seq = snapSeq
 	rec.Records = snapCum
+	rec.Gen = sb.gen
+	rec.Fence = sb.fence
+	rec.Labels = labels
 
 	if fn != nil {
 		for _, e := range g.Edges() {
@@ -111,11 +128,38 @@ func replayDir(fsys FS, dir string, fn func(Record) error) (*graph.Graph, Recove
 	return g, rec, nil
 }
 
+// batchTouched records which nodes one committed batch mutated, so the
+// warm-start path can heal exactly the suffix the durable labels missed.
+type batchTouched struct {
+	seq   uint64
+	nodes []int32
+}
+
+// dirtyAfter flattens the touched sets of every batch newer than labelSeq
+// into a deduplicated node list.
+func dirtyAfter(touched []batchTouched, labelSeq uint64) []int {
+	seen := make(map[int32]struct{})
+	var out []int
+	for _, bt := range touched {
+		if bt.seq <= labelSeq {
+			continue
+		}
+		for _, v := range bt.nodes {
+			if _, ok := seen[v]; ok {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, int(v))
+		}
+	}
+	return out
+}
+
 // replayLog applies the committed-batch prefix of one log generation to g,
 // truncating at the first torn or inconsistent record. Only a bad header or
 // a callback error can fail it; everything else is a truncation point.
 func replayLog(data []byte, g *graph.Graph, rec *Recovery, fn func(Record) error) error {
-	startSeq, startCum, err := decodeLogHeader(data)
+	gen, startSeq, startCum, err := decodeLogHeader(data)
 	if err != nil {
 		// The header is written and fsynced before the superblock ever
 		// references the generation; a torn header means the superblock
@@ -125,22 +169,51 @@ func replayLog(data []byte, g *graph.Graph, rec *Recovery, fn func(Record) error
 		rec.Reason = fmt.Sprintf("unreadable log header: %v", err)
 		return nil
 	}
-	if startSeq != rec.SnapshotSeq || startCum != rec.Records {
+	if startSeq != rec.SnapshotSeq || startCum != rec.Records || (rec.Gen != 0 && gen != rec.Gen) {
 		rec.TruncatedAt = 0
-		rec.Reason = fmt.Sprintf("log generation (seq %d, cum %d) does not match snapshot (seq %d, cum %d)",
-			startSeq, startCum, rec.SnapshotSeq, rec.Records)
+		rec.Reason = fmt.Sprintf("log generation (gen %d, seq %d, cum %d) does not match superblock (gen %d, seq %d, cum %d)",
+			gen, startSeq, startCum, rec.Gen, rec.SnapshotSeq, rec.Records)
 		return nil
 	}
 
 	off := int64(logHeaderLen)
 	pending := make([]Record, 0, 64)
+	var touched []batchTouched
+	var batchNodes []int32
 	pendingStart := off
 	for int(off) < len(data) {
 		r, n, ferr := readFrame(data[off:])
 		if ferr != nil {
 			rec.TruncatedAt = pendingStart
 			rec.Reason = fmt.Sprintf("at offset %d: %v", off, ferr)
-			return nil
+			break
+		}
+		if r.Type == TLabelDelta {
+			// Label records live between batches, right after the commit
+			// marker of the batch they reflect; one inside a pending batch
+			// is stream damage.
+			if len(pending) > 0 {
+				rec.TruncatedAt = pendingStart
+				rec.Reason = fmt.Sprintf("at offset %d: label record inside an uncommitted batch", off)
+				break
+			}
+			// Never let recovered labels run ahead of the durable
+			// topology: a delta stamped past the replayed seq is skipped.
+			if r.Label.Seq > rec.Seq {
+				rec.LabelsIgnored++
+			} else {
+				if rec.Labels == nil {
+					rec.Labels = &LabelSet{}
+				}
+				if applyLabelDelta(rec.Labels, r.Label) {
+					rec.LabelRecords++
+				} else {
+					rec.LabelsIgnored++
+				}
+			}
+			off += int64(n)
+			pendingStart = off
+			continue
 		}
 		if r.Type != TCommit {
 			pending = append(pending, r)
@@ -151,15 +224,31 @@ func replayLog(data []byte, g *graph.Graph, rec *Recovery, fn func(Record) error
 			rec.TruncatedAt = pendingStart
 			rec.Reason = fmt.Sprintf("at offset %d: commit marker (seq %d, count %d) does not seal batch %d of %d record(s)",
 				off, r.Seq, r.Count, rec.Seq+1, len(pending))
-			return nil
+			break
 		}
+		batchNodes = batchNodes[:0]
 		for _, pr := range pending {
-			if applyRecord(g, pr) && fn != nil {
-				if cerr := fn(pr); cerr != nil {
-					if errors.Is(cerr, ErrStopReplay) {
-						return nil
+			if pr.Type == TRemoveNode && int(pr.U) >= 0 && int(pr.U) < g.N() {
+				for _, nb := range g.Neighbors(int(pr.U)) {
+					batchNodes = append(batchNodes, int32(nb))
+				}
+			}
+			if applyRecord(g, pr) {
+				switch pr.Type {
+				case TAddNode:
+					batchNodes = append(batchNodes, int32(g.N()-1))
+				case TRemoveNode:
+					batchNodes = append(batchNodes, pr.U)
+				default:
+					batchNodes = append(batchNodes, pr.U, pr.V)
+				}
+				if fn != nil {
+					if cerr := fn(pr); cerr != nil {
+						if errors.Is(cerr, ErrStopReplay) {
+							return nil
+						}
+						return cerr
 					}
-					return cerr
 				}
 			}
 		}
@@ -167,6 +256,7 @@ func replayLog(data []byte, g *graph.Graph, rec *Recovery, fn func(Record) error
 		rec.Batches++
 		rec.Replayed += len(pending)
 		rec.Records += uint64(len(pending))
+		touched = append(touched, batchTouched{seq: r.Seq, nodes: append([]int32(nil), batchNodes...)})
 		pending = pending[:0]
 		off += int64(n)
 		pendingStart = off
@@ -179,9 +269,20 @@ func replayLog(data []byte, g *graph.Graph, rec *Recovery, fn func(Record) error
 			}
 		}
 	}
-	if len(pending) > 0 {
+	if !rec.Truncated() && len(pending) > 0 {
 		rec.TruncatedAt = pendingStart
 		rec.Reason = fmt.Sprintf("%d record(s) after the last commit marker", len(pending))
+	}
+	// A recovered label epoch that cannot describe the recovered graph
+	// (node count drifted with no covering Reset delta) is unusable; drop
+	// it rather than warm-start from a mismatched array.
+	if rec.Labels != nil && rec.Labels.N() != g.N() {
+		rec.Labels = nil
+		rec.LabelsIgnored += rec.LabelRecords
+		rec.LabelRecords = 0
+	}
+	if rec.Labels != nil {
+		rec.Dirty = dirtyAfter(touched, rec.Labels.Seq)
 	}
 	return nil
 }

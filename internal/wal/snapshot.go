@@ -19,26 +19,45 @@ import (
 var ErrCorrupt = errors.New("wal: corrupt durable file")
 
 const (
-	snapMagic  = "STSN"
-	snapVer    = 1
+	snapMagic = "STSN"
+	// snapVer 2 appends an optional label section (the durable label
+	// epoch compacted out of the log) after the edge list; v1 snapshots
+	// still decode, with no labels.
+	snapVer    = 2
+	snapVer1   = 1
 	superMagic = "STSB"
-	superVer   = 1
+	// superVer 2 adds the generation counter and fencing token; v1
+	// superblocks still decode with gen = fence = 0.
+	superVer   = 2
+	superVer1  = 1
 	logMagic   = "STWL"
-	logVer     = 1
+	// logVer 2 adds the generation number, making (gen, byte offset) a
+	// globally unique position in the store's log stream — the resume
+	// cursor the replication protocol acks.
+	logVer = 2
 
-	// logHeaderLen frames a log generation: magic, version, the batch seq
-	// and cumulative record count the generation starts from, and a CRC.
-	logHeaderLen = 4 + 2 + 8 + 8 + 4
+	// LogHeaderLen frames a log generation: magic, version, generation,
+	// the batch seq and cumulative record count the generation starts
+	// from, and a CRC. Exported so the replica can validate a streamed
+	// log prefix before trusting resume offsets into it.
+	LogHeaderLen = 4 + 2 + 8 + 8 + 8 + 4
+	logHeaderLen = LogHeaderLen
 )
 
 // EncodeSnapshot serializes g with its provenance: seq is the batch
 // sequence the snapshot reflects, cum the cumulative mutation-record count
 // consumed to reach it. Layout: magic, version, seq, cum, directed, n, m,
-// the edge list (u, v, weight — each undirected edge once), and a trailing
-// CRC32C over everything before it.
+// the edge list (u, v, weight — each undirected edge once), an optional
+// label section, and a trailing CRC32C over everything before it.
 func EncodeSnapshot(g *graph.Graph, seq, cum uint64) []byte {
+	return EncodeSnapshotLabels(g, seq, cum, nil)
+}
+
+// EncodeSnapshotLabels is EncodeSnapshot plus the durable label epoch
+// compacted into the image (nil labels → an empty label section).
+func EncodeSnapshotLabels(g *graph.Graph, seq, cum uint64, ls *LabelSet) []byte {
 	edges := g.Edges()
-	buf := make([]byte, 0, 4+2+8+8+1+4+8+16*len(edges)+4)
+	buf := make([]byte, 0, 4+2+8+8+1+4+8+16*len(edges)+labelSectionSize(ls)+4)
 	buf = append(buf, snapMagic...)
 	buf = binary.LittleEndian.AppendUint16(buf, snapVer)
 	buf = binary.LittleEndian.AppendUint64(buf, seq)
@@ -55,51 +74,190 @@ func EncodeSnapshot(g *graph.Graph, seq, cum uint64) []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.To))
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Weight))
 	}
+	buf = appendLabelSection(buf, ls)
 	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
 }
 
-// DecodeSnapshot is EncodeSnapshot's inverse. Any truncation, checksum
-// mismatch, or malformed edge yields an error wrapping ErrCorrupt; it never
-// panics and never returns a partially-built graph.
+func labelSectionSize(ls *LabelSet) int {
+	if ls == nil {
+		return 1
+	}
+	n := ls.N()
+	return 1 + 8 + 4 + 4 + n*12 + (n+7)/8 + 1 + (n+7)/8
+}
+
+// appendLabelSection serializes ls: a presence byte, then seq, dest, n,
+// dist (f64×n), next (i32×n), the MIS bitset, a CDS presence byte, and the
+// CDS bitset when present.
+func appendLabelSection(buf []byte, ls *LabelSet) []byte {
+	if ls == nil {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	n := ls.N()
+	buf = binary.LittleEndian.AppendUint64(buf, ls.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ls.Dest))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for _, d := range ls.Dist {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d))
+	}
+	for _, nx := range ls.Next {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(nx))
+	}
+	buf = appendBitset(buf, ls.MIS)
+	if ls.HasCDS {
+		buf = append(buf, 1)
+		buf = appendBitset(buf, ls.CDS)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+func appendBitset(buf []byte, bits []bool) []byte {
+	var b byte
+	for i, v := range bits {
+		if v {
+			b |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			buf = append(buf, b)
+			b = 0
+		}
+	}
+	if len(bits)%8 != 0 {
+		buf = append(buf, b)
+	}
+	return buf
+}
+
+func decodeBitset(data []byte, n int) ([]bool, []byte, error) {
+	need := (n + 7) / 8
+	if len(data) < need {
+		return nil, nil, fmt.Errorf("%w: label bitset has %d byte(s), want %d", ErrCorrupt, len(data), need)
+	}
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = data[i/8]&(1<<(i%8)) != 0
+	}
+	return bits, data[need:], nil
+}
+
+// decodeLabelSection parses the label section (everything between the edge
+// list and the CRC). A v1 snapshot passes an empty slice and gets nil.
+func decodeLabelSection(data []byte) (*LabelSet, error) {
+	if len(data) == 0 {
+		return nil, nil // v1: no section
+	}
+	if data[0] == 0 {
+		if len(data) != 1 {
+			return nil, fmt.Errorf("%w: %d byte(s) after empty label section", ErrCorrupt, len(data)-1)
+		}
+		return nil, nil
+	}
+	data = data[1:]
+	if len(data) < 16 {
+		return nil, fmt.Errorf("%w: label section header has %d byte(s)", ErrCorrupt, len(data))
+	}
+	ls := &LabelSet{
+		Seq:  binary.LittleEndian.Uint64(data),
+		Dest: int(int32(binary.LittleEndian.Uint32(data[8:]))),
+	}
+	n := int(binary.LittleEndian.Uint32(data[12:]))
+	data = data[16:]
+	if n < 0 || len(data) < n*12 {
+		return nil, fmt.Errorf("%w: label section claims %d node(s) in %d byte(s)", ErrCorrupt, n, len(data))
+	}
+	ls.Dist = make([]float64, n)
+	ls.Next = make([]int32, n)
+	for i := 0; i < n; i++ {
+		ls.Dist[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	data = data[n*8:]
+	for i := 0; i < n; i++ {
+		ls.Next[i] = int32(binary.LittleEndian.Uint32(data[i*4:]))
+	}
+	data = data[n*4:]
+	var err error
+	if ls.MIS, data, err = decodeBitset(data, n); err != nil {
+		return nil, err
+	}
+	if len(data) < 1 {
+		return nil, fmt.Errorf("%w: label section missing CDS flag", ErrCorrupt)
+	}
+	hasCDS := data[0]
+	data = data[1:]
+	if hasCDS == 1 {
+		ls.HasCDS = true
+		if ls.CDS, data, err = decodeBitset(data, n); err != nil {
+			return nil, err
+		}
+	} else if hasCDS != 0 {
+		return nil, fmt.Errorf("%w: label section CDS flag %d", ErrCorrupt, hasCDS)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: %d byte(s) after label section", ErrCorrupt, len(data))
+	}
+	return ls, nil
+}
+
+// DecodeSnapshot is EncodeSnapshot's inverse (labels, if any, dropped).
 func DecodeSnapshot(data []byte) (g *graph.Graph, seq, cum uint64, err error) {
+	g, seq, cum, _, err = DecodeSnapshotLabels(data)
+	return g, seq, cum, err
+}
+
+// DecodeSnapshotLabels is EncodeSnapshotLabels's inverse. Any truncation,
+// checksum mismatch, or malformed edge yields an error wrapping ErrCorrupt;
+// it never panics and never returns a partially-built graph. v1 snapshots
+// (no label section) decode with nil labels.
+func DecodeSnapshotLabels(data []byte) (g *graph.Graph, seq, cum uint64, ls *LabelSet, err error) {
 	const head = 4 + 2 + 8 + 8 + 1 + 4 + 8
 	if len(data) < head+4 {
-		return nil, 0, 0, fmt.Errorf("%w: snapshot has %d byte(s)", ErrCorrupt, len(data))
+		return nil, 0, 0, nil, fmt.Errorf("%w: snapshot has %d byte(s)", ErrCorrupt, len(data))
 	}
 	if string(data[:4]) != snapMagic {
-		return nil, 0, 0, fmt.Errorf("%w: snapshot magic %q", ErrCorrupt, data[:4])
+		return nil, 0, 0, nil, fmt.Errorf("%w: snapshot magic %q", ErrCorrupt, data[:4])
 	}
-	if v := binary.LittleEndian.Uint16(data[4:]); v != snapVer {
-		return nil, 0, 0, fmt.Errorf("%w: snapshot version %d (want %d)", ErrCorrupt, v, snapVer)
+	ver := binary.LittleEndian.Uint16(data[4:])
+	if ver != snapVer && ver != snapVer1 {
+		return nil, 0, 0, nil, fmt.Errorf("%w: snapshot version %d (want %d)", ErrCorrupt, ver, snapVer)
 	}
 	body, tail := data[:len(data)-4], data[len(data)-4:]
 	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
-		return nil, 0, 0, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+		return nil, 0, 0, nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
 	}
 	seq = binary.LittleEndian.Uint64(data[6:])
 	cum = binary.LittleEndian.Uint64(data[14:])
 	directed := data[22] != 0
 	n := int(binary.LittleEndian.Uint32(data[23:]))
 	m := binary.LittleEndian.Uint64(data[27:])
-	if uint64(len(body)-head) != 16*m {
-		return nil, 0, 0, fmt.Errorf("%w: snapshot claims %d edge(s) in %d byte(s)", ErrCorrupt, m, len(body)-head)
+	edgeBytes := uint64(len(body) - head)
+	if ver == snapVer1 {
+		if edgeBytes != 16*m {
+			return nil, 0, 0, nil, fmt.Errorf("%w: snapshot claims %d edge(s) in %d byte(s)", ErrCorrupt, m, edgeBytes)
+		}
+	} else if edgeBytes < 16*m {
+		return nil, 0, 0, nil, fmt.Errorf("%w: snapshot claims %d edge(s) in %d byte(s)", ErrCorrupt, m, edgeBytes)
 	}
-	if directed {
-		g = graph.NewDirected(n)
-	} else {
-		g = graph.New(n)
+	// Bulk-build through the two-pass arena loader: snapshot decode is the
+	// recovery hot path, and per-edge appends were its dominant cost.
+	g, err = graph.FromEdges(n, directed, int(m), func(i int) (int, int, float64) {
+		off := head + 16*i
+		return int(int32(binary.LittleEndian.Uint32(data[off:]))),
+			int(int32(binary.LittleEndian.Uint32(data[off+4:]))),
+			math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
+	})
+	if err != nil {
+		return nil, 0, 0, nil, fmt.Errorf("%w: snapshot edges: %v", ErrCorrupt, err)
 	}
-	off := head
-	for i := uint64(0); i < m; i++ {
-		u := int(int32(binary.LittleEndian.Uint32(data[off:])))
-		v := int(int32(binary.LittleEndian.Uint32(data[off+4:])))
-		w := math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
-		off += 16
-		if aerr := g.AddWeightedEdge(u, v, w); aerr != nil {
-			return nil, 0, 0, fmt.Errorf("%w: snapshot edge (%d,%d): %v", ErrCorrupt, u, v, aerr)
+	off := head + 16*int(m)
+	if ver >= snapVer {
+		if ls, err = decodeLabelSection(body[off:]); err != nil {
+			return nil, 0, 0, nil, err
 		}
 	}
-	return g, seq, cum, nil
+	return g, seq, cum, ls, nil
 }
 
 // SaveGraph writes g to path through the snapshot codec, atomically: a temp
@@ -150,18 +308,24 @@ func writeFileSync(fsys FS, name string, data []byte) error {
 
 // superblock names the live (snapshot, log) generation pair. It is tiny and
 // rewritten atomically (temp + rename), so recovery sees either the old or
-// the new generation, never a mix.
+// the new generation, never a mix. gen counts generation swaps across the
+// store's whole life; fence is the fencing token a promoted replica bumps
+// so a deposed primary's stream is rejected.
 type superblock struct {
 	snapSeq  uint64
+	gen      uint64
+	fence    uint64
 	snapName string
 	logName  string
 }
 
 func encodeSuper(sb superblock) []byte {
-	buf := make([]byte, 0, 4+2+8+2+len(sb.snapName)+2+len(sb.logName)+4)
+	buf := make([]byte, 0, 4+2+8+8+8+2+len(sb.snapName)+2+len(sb.logName)+4)
 	buf = append(buf, superMagic...)
 	buf = binary.LittleEndian.AppendUint16(buf, superVer)
 	buf = binary.LittleEndian.AppendUint64(buf, sb.snapSeq)
+	buf = binary.LittleEndian.AppendUint64(buf, sb.gen)
+	buf = binary.LittleEndian.AppendUint64(buf, sb.fence)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(sb.snapName)))
 	buf = append(buf, sb.snapName...)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(sb.logName)))
@@ -177,8 +341,9 @@ func decodeSuper(data []byte) (superblock, error) {
 	if string(data[:4]) != superMagic {
 		return sb, fmt.Errorf("%w: superblock magic %q", ErrCorrupt, data[:4])
 	}
-	if v := binary.LittleEndian.Uint16(data[4:]); v != superVer {
-		return sb, fmt.Errorf("%w: superblock version %d (want %d)", ErrCorrupt, v, superVer)
+	ver := binary.LittleEndian.Uint16(data[4:])
+	if ver != superVer && ver != superVer1 {
+		return sb, fmt.Errorf("%w: superblock version %d (want %d)", ErrCorrupt, ver, superVer)
 	}
 	body, tail := data[:len(data)-4], data[len(data)-4:]
 	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
@@ -186,6 +351,14 @@ func decodeSuper(data []byte) (superblock, error) {
 	}
 	sb.snapSeq = binary.LittleEndian.Uint64(data[6:])
 	off := 14
+	if ver == superVer {
+		if len(body) < off+16 {
+			return sb, fmt.Errorf("%w: superblock gen/fence truncated", ErrCorrupt)
+		}
+		sb.gen = binary.LittleEndian.Uint64(body[off:])
+		sb.fence = binary.LittleEndian.Uint64(body[off+8:])
+		off += 16
+	}
 	read := func() (string, bool) {
 		if off+2 > len(body) {
 			return "", false
@@ -211,30 +384,38 @@ func decodeSuper(data []byte) (superblock, error) {
 
 // ---- log generation header ----
 
-func encodeLogHeader(startSeq, startCum uint64) []byte {
+func encodeLogHeader(gen, startSeq, startCum uint64) []byte {
 	buf := make([]byte, 0, logHeaderLen)
 	buf = append(buf, logMagic...)
 	buf = binary.LittleEndian.AppendUint16(buf, logVer)
+	buf = binary.LittleEndian.AppendUint64(buf, gen)
 	buf = binary.LittleEndian.AppendUint64(buf, startSeq)
 	buf = binary.LittleEndian.AppendUint64(buf, startCum)
 	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
 }
 
-func decodeLogHeader(data []byte) (startSeq, startCum uint64, err error) {
+func decodeLogHeader(data []byte) (gen, startSeq, startCum uint64, err error) {
 	if len(data) < logHeaderLen {
-		return 0, 0, fmt.Errorf("%w: log header has %d byte(s)", ErrCorrupt, len(data))
+		return 0, 0, 0, fmt.Errorf("%w: log header has %d byte(s)", ErrCorrupt, len(data))
 	}
 	h := data[:logHeaderLen]
 	if string(h[:4]) != logMagic {
-		return 0, 0, fmt.Errorf("%w: log magic %q", ErrCorrupt, h[:4])
+		return 0, 0, 0, fmt.Errorf("%w: log magic %q", ErrCorrupt, h[:4])
 	}
 	if v := binary.LittleEndian.Uint16(h[4:]); v != logVer {
-		return 0, 0, fmt.Errorf("%w: log version %d (want %d)", ErrCorrupt, v, logVer)
+		return 0, 0, 0, fmt.Errorf("%w: log version %d (want %d)", ErrCorrupt, v, logVer)
 	}
 	if crc32.Checksum(h[:logHeaderLen-4], castagnoli) != binary.LittleEndian.Uint32(h[logHeaderLen-4:]) {
-		return 0, 0, fmt.Errorf("%w: log header checksum mismatch", ErrCorrupt)
+		return 0, 0, 0, fmt.Errorf("%w: log header checksum mismatch", ErrCorrupt)
 	}
-	return binary.LittleEndian.Uint64(h[6:]), binary.LittleEndian.Uint64(h[14:]), nil
+	return binary.LittleEndian.Uint64(h[6:]), binary.LittleEndian.Uint64(h[14:]), binary.LittleEndian.Uint64(h[22:]), nil
+}
+
+// CheckLogHeader validates a streamed log-generation header and returns its
+// provenance — the replica's guard before trusting a resume offset into a
+// generation it is mirroring byte-for-byte.
+func CheckLogHeader(data []byte) (gen, startSeq, startCum uint64, err error) {
+	return decodeLogHeader(data)
 }
 
 // ---- topology hashing ----

@@ -21,6 +21,7 @@ import (
 	"os"
 	"path"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -79,17 +80,32 @@ var ErrNoStore = errors.New("wal: no store in directory")
 // must re-open the store, which truncates the tail.
 var ErrBroken = errors.New("wal: log broken by an earlier write error")
 
+// ErrFenced is returned by Append after MarkFenced: a replica was promoted
+// with a higher fencing token, so this store is a deposed primary and its
+// writes must be rejected.
+var ErrFenced = errors.New("wal: store fenced by a newer primary")
+
+// ErrGenGone is returned by LogChunk when the requested generation has been
+// superseded by compaction or restart; the reader must resync from the
+// current snapshot.
+var ErrGenGone = errors.New("wal: log generation superseded")
+
 // Metrics is a point-in-time snapshot of a Log's counters, safe to read
 // concurrently with appends.
 type Metrics struct {
-	Seq         uint64 // last committed batch sequence
-	Records     uint64 // cumulative mutation records (including compacted history)
-	Batches     uint64 // batches appended by this process
-	Syncs       uint64 // fsync calls issued by Append
-	Compactions uint64 // snapshot+truncate cycles run by this process
-	Depth       uint64 // mutation records in the live log suffix
-	FsyncTotal  time.Duration
-	FsyncMax    time.Duration
+	Seq          uint64 // last committed batch sequence
+	Records      uint64 // cumulative mutation records (including compacted history)
+	Batches      uint64 // batches appended by this process
+	Syncs        uint64 // fsync calls issued by Append
+	Compactions  uint64 // snapshot+truncate cycles run by this process
+	Depth        uint64 // mutation records in the live log suffix
+	Gen          uint64 // live log generation
+	Fence        uint64 // fencing token this store was opened with
+	LabelRecords uint64 // label-delta records appended by this process
+	LabelSeq     uint64 // batch seq of the last durable label epoch
+	DurableBytes int64  // fsynced byte length of the live log generation
+	FsyncTotal   time.Duration
+	FsyncMax     time.Duration
 }
 
 // Log is the durable side of a mutating graph: the owner appends committed
@@ -101,12 +117,15 @@ type Log struct {
 	dir  string
 	opts Options
 
-	g *graph.Graph // authoritative durable replica
+	g      *graph.Graph // authoritative durable replica
+	labels *LabelSet    // durable label replica (nil until first AppendLabels)
 
 	f        File
 	snapName string
 	logName  string
 	snapSeq  uint64
+	gen      uint64 // live generation number (increments every newGeneration)
+	fence    uint64 // fencing token (immutable while open; Promote bumps it)
 
 	seq           uint64 // last committed batch
 	cum           uint64 // cumulative mutation records ever committed
@@ -115,6 +134,20 @@ type Log struct {
 	unsyncedBatch int
 	broken        error
 	buf           []byte // reused frame buffer
+
+	// genMu guards the replication-facing view of the live generation: the
+	// in-memory byte mirror of the log file, and the (snapName, logName,
+	// gen) triple it belongs to. The single writer takes it briefly per
+	// append and across generation swaps; sender goroutines take it to
+	// copy chunks.
+	genMu sync.Mutex
+	live  []byte // byte-exact mirror of the live log file (header + frames)
+
+	fenced        atomic.Bool  // MarkFenced called; Append rejects
+	mDurable      atomic.Int64 // fsynced prefix length of live
+	mGen          atomic.Uint64
+	mLabelRecs    atomic.Uint64
+	mLabelSeq     atomic.Uint64
 	mSeq, mCum    atomic.Uint64
 	mBatches      atomic.Uint64
 	mSyncs        atomic.Uint64
@@ -136,7 +169,7 @@ func Create(dir string, g *graph.Graph, opts Options) (*Log, error) {
 	if _, err := fsys.ReadFile(path.Join(dir, superName)); err == nil {
 		return nil, fmt.Errorf("wal: %s already holds a store (use Open)", dir)
 	}
-	l := &Log{fsys: fsys, dir: dir, opts: opts, g: g.Clone()}
+	l := &Log{fsys: fsys, dir: dir, opts: opts, g: g.Clone(), fence: 1}
 	if err := l.newGeneration(); err != nil {
 		return nil, err
 	}
@@ -150,7 +183,20 @@ func Create(dir string, g *graph.Graph, opts Options) (*Log, error) {
 // if any, is physically discarded. The recovered replica is reachable via
 // Graph.
 func Open(dir string, opts Options) (*Log, Recovery, error) {
+	return openStore(dir, opts, false)
+}
+
+// Promote is Open with the fencing token bumped: the caller (a replica
+// taking over after primary failure) becomes the new primary, and the old
+// primary's stream — carrying the stale token — is rejected everywhere the
+// token is checked.
+func Promote(dir string, opts Options) (*Log, Recovery, error) {
+	return openStore(dir, opts, true)
+}
+
+func openStore(dir string, opts Options, bumpFence bool) (*Log, Recovery, error) {
 	opts.setDefaults()
+	start := time.Now()
 	g, rec, err := replayDir(opts.FS, dir, nil)
 	if err != nil {
 		return nil, rec, err
@@ -158,10 +204,20 @@ func Open(dir string, opts Options) (*Log, Recovery, error) {
 	l := &Log{
 		fsys: opts.FS, dir: dir, opts: opts, g: g,
 		seq: rec.Seq, cum: rec.Records,
+		gen: rec.Gen, fence: rec.Fence,
+		labels: rec.Labels,
+	}
+	if l.fence == 0 {
+		l.fence = 1 // v1 superblocks carry no token
+	}
+	if bumpFence {
+		l.fence++
+		rec.Fence = l.fence
 	}
 	if err := l.newGeneration(); err != nil {
 		return nil, rec, err
 	}
+	rec.RecoveryNs = time.Since(start).Nanoseconds()
 	l.publishMetrics()
 	return l, rec, nil
 }
@@ -192,18 +248,35 @@ func (l *Log) Seq() uint64 { return l.seq }
 // Dir returns the store directory.
 func (l *Log) Dir() string { return l.dir }
 
+// FenceToken returns the fencing token this store was opened with. It is
+// immutable for the life of the process; only Promote (a re-open) bumps it.
+func (l *Log) FenceToken() uint64 { return l.fence }
+
+// MarkFenced records that a peer with a newer fencing token exists: every
+// later Append fails with ErrFenced. Safe from any goroutine (the
+// replication client calls it when a replica rejects this primary).
+func (l *Log) MarkFenced() { l.fenced.Store(true) }
+
+// Fenced reports whether MarkFenced has been called.
+func (l *Log) Fenced() bool { return l.fenced.Load() }
+
 // Metrics returns a consistent-enough snapshot of the log counters; safe
 // from any goroutine.
 func (l *Log) Metrics() Metrics {
 	return Metrics{
-		Seq:         l.mSeq.Load(),
-		Records:     l.mCum.Load(),
-		Batches:     l.mBatches.Load(),
-		Syncs:       l.mSyncs.Load(),
-		Compactions: l.mCompactions.Load(),
-		Depth:       l.mDepth.Load(),
-		FsyncTotal:  time.Duration(l.mFsyncTotalNs.Load()),
-		FsyncMax:    time.Duration(l.mFsyncMaxNs.Load()),
+		Seq:          l.mSeq.Load(),
+		Records:      l.mCum.Load(),
+		Batches:      l.mBatches.Load(),
+		Syncs:        l.mSyncs.Load(),
+		Compactions:  l.mCompactions.Load(),
+		Depth:        l.mDepth.Load(),
+		Gen:          l.mGen.Load(),
+		Fence:        l.fence,
+		LabelRecords: l.mLabelRecs.Load(),
+		LabelSeq:     l.mLabelSeq.Load(),
+		DurableBytes: l.mDurable.Load(),
+		FsyncTotal:   time.Duration(l.mFsyncTotalNs.Load()),
+		FsyncMax:     time.Duration(l.mFsyncMaxNs.Load()),
 	}
 }
 
@@ -228,6 +301,9 @@ func (l *Log) Append(recs []Record) (uint64, error) {
 	if l.broken != nil {
 		return 0, ErrBroken
 	}
+	if l.fenced.Load() {
+		return 0, ErrFenced
+	}
 	if len(recs) == 0 {
 		return l.seq, nil
 	}
@@ -244,35 +320,19 @@ func (l *Log) Append(recs []Record) (uint64, error) {
 			r.From, r.To = int64(seq), 0
 		case TCommit:
 			return 0, fmt.Errorf("wal: commit records are appended by the log, not callers")
+		case TLabelDelta:
+			return 0, fmt.Errorf("wal: label records are appended via AppendLabels, not Append")
 		}
 		buf = appendFrame(buf, *r)
 	}
 	buf = appendFrame(buf, Record{Type: TCommit, Seq: seq, Count: uint32(len(recs))})
 	l.buf = buf[:0]
 
-	if _, err := l.f.Write(buf); err != nil {
-		l.broken = err
+	if err := l.write(buf); err != nil {
 		return 0, fmt.Errorf("wal: append batch %d: %w", seq, err)
 	}
-	l.unsyncedBatch++
-	needSync := l.opts.Sync == SyncEachBatch ||
-		(l.opts.Sync == SyncInterval && l.unsyncedBatch >= l.opts.SyncEvery)
-	if needSync {
-		start := time.Now()
-		if err := l.f.Sync(); err != nil {
-			l.broken = err
-			return 0, fmt.Errorf("wal: fsync batch %d: %w", seq, err)
-		}
-		d := uint64(time.Since(start).Nanoseconds())
-		l.mSyncs.Add(1)
-		l.mFsyncTotalNs.Add(d)
-		for {
-			cur := l.mFsyncMaxNs.Load()
-			if d <= cur || l.mFsyncMaxNs.CompareAndSwap(cur, d) {
-				break
-			}
-		}
-		l.unsyncedBatch = 0
+	if err := l.maybeSync(); err != nil {
+		return 0, fmt.Errorf("wal: fsync batch %d: %w", seq, err)
 	}
 
 	// The write is down; commit the batch to the replica.
@@ -294,6 +354,101 @@ func (l *Log) Append(recs []Record) (uint64, error) {
 	}
 	return seq, nil
 }
+
+// write appends buf to the live log file and its in-memory byte mirror
+// (the replication sender's source), marking the log broken on error.
+func (l *Log) write(buf []byte) error {
+	if _, err := l.f.Write(buf); err != nil {
+		l.broken = err
+		return err
+	}
+	l.genMu.Lock()
+	l.live = append(l.live, buf...)
+	l.genMu.Unlock()
+	return nil
+}
+
+// maybeSync counts one appended batch against the fsync policy and, when
+// the policy fires, fsyncs and publishes the new durable offset.
+func (l *Log) maybeSync() error {
+	l.unsyncedBatch++
+	if l.opts.Sync == SyncEachBatch ||
+		(l.opts.Sync == SyncInterval && l.unsyncedBatch >= l.opts.SyncEvery) {
+		return l.syncNow()
+	}
+	return nil
+}
+
+func (l *Log) syncNow() error {
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		l.broken = err
+		return err
+	}
+	d := uint64(time.Since(start).Nanoseconds())
+	l.mSyncs.Add(1)
+	l.mFsyncTotalNs.Add(d)
+	for {
+		cur := l.mFsyncMaxNs.Load()
+		if d <= cur || l.mFsyncMaxNs.CompareAndSwap(cur, d) {
+			break
+		}
+	}
+	l.unsyncedBatch = 0
+	l.genMu.Lock()
+	n := int64(len(l.live))
+	l.genMu.Unlock()
+	l.mDurable.Store(n)
+	return nil
+}
+
+// AppendLabels journals the label epoch ls as delta records against the
+// durable label replica (a full Reset delta the first time), stamped with
+// the last committed batch sequence. Label records follow the commit marker
+// of the batch they reflect, so a recovered label set can never be newer
+// than the recovered topology — the journal-before-publish contract's
+// durable half. Returns the number of delta records written.
+//
+// Labels are a cache of computation: losing an unsynced label suffix only
+// costs a localized heal on recovery, never correctness.
+func (l *Log) AppendLabels(ls *LabelSet) (int, error) {
+	if l.broken != nil {
+		return 0, ErrBroken
+	}
+	if l.fenced.Load() {
+		return 0, ErrFenced
+	}
+	if ls == nil {
+		return 0, nil
+	}
+	cur := ls.Clone()
+	cur.Seq = l.seq
+	deltas := diffLabels(l.labels, cur)
+	if len(deltas) == 0 {
+		l.labels = cur
+		l.mLabelSeq.Store(cur.Seq)
+		return 0, nil
+	}
+	buf := l.buf[:0]
+	for _, d := range deltas {
+		buf = appendFrame(buf, Record{Type: TLabelDelta, Label: d})
+	}
+	l.buf = buf[:0]
+	if err := l.write(buf); err != nil {
+		return 0, fmt.Errorf("wal: append labels at batch %d: %w", l.seq, err)
+	}
+	if err := l.maybeSync(); err != nil {
+		return 0, fmt.Errorf("wal: fsync labels at batch %d: %w", l.seq, err)
+	}
+	l.labels = cur
+	l.mLabelRecs.Add(uint64(len(deltas)))
+	l.mLabelSeq.Store(cur.Seq)
+	return len(deltas), nil
+}
+
+// Labels returns the durable label replica (nil until the first
+// AppendLabels or a recovery that found labels). Read-only for the caller.
+func (l *Log) Labels() *LabelSet { return l.labels }
 
 // Close fsyncs and closes the live log file. The store stays openable.
 func (l *Log) Close() error {
@@ -378,13 +533,15 @@ func (l *Log) compact() error {
 }
 
 func (l *Log) newGeneration() error {
+	gen := l.gen + 1
 	snapName := fmt.Sprintf("snap-%016d.snap", l.seq)
 	logName := fmt.Sprintf("wal-%016d.log", l.seq)
 	dir := l.dir
 
-	// 1. Snapshot: temp, fsync, atomic rename, dir fsync.
+	// 1. Snapshot (topology + compacted label epoch): temp, fsync, atomic
+	// rename, dir fsync.
 	tmp := path.Join(dir, snapName+".tmp")
-	if err := writeFileSync(l.fsys, tmp, EncodeSnapshot(l.g, l.seq, l.cum)); err != nil {
+	if err := writeFileSync(l.fsys, tmp, EncodeSnapshotLabels(l.g, l.seq, l.cum, l.labels)); err != nil {
 		return err
 	}
 	if err := l.fsys.Rename(tmp, path.Join(dir, snapName)); err != nil {
@@ -395,11 +552,12 @@ func (l *Log) newGeneration() error {
 	}
 
 	// 2. Fresh log generation with a durable header.
+	header := encodeLogHeader(gen, l.seq, l.cum)
 	f, err := l.fsys.Create(path.Join(dir, logName))
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(encodeLogHeader(l.seq, l.cum)); err != nil {
+	if _, err := f.Write(header); err != nil {
 		f.Close()
 		return err
 	}
@@ -413,7 +571,10 @@ func (l *Log) newGeneration() error {
 	}
 
 	// 3. Superblock swap: the generation becomes live here, atomically.
-	sb := encodeSuper(superblock{snapSeq: l.seq, snapName: snapName, logName: logName})
+	sb := encodeSuper(superblock{
+		snapSeq: l.seq, gen: gen, fence: l.fence,
+		snapName: snapName, logName: logName,
+	})
 	stmp := path.Join(dir, superName+".tmp")
 	if err := writeFileSync(l.fsys, stmp, sb); err != nil {
 		f.Close()
@@ -444,11 +605,59 @@ func (l *Log) newGeneration() error {
 	}
 
 	l.f = f
+	l.genMu.Lock()
 	l.snapName, l.logName = snapName, logName
+	l.gen = gen
+	l.live = append(l.live[:0], header...)
+	l.genMu.Unlock()
+	l.mGen.Store(gen)
+	l.mDurable.Store(int64(len(header)))
 	l.snapSeq = l.seq
 	l.depth = 0
 	l.batchesInLog = 0
 	l.unsyncedBatch = 0
 	l.mDepth.Store(0)
 	return nil
+}
+
+// ---- replication-facing accessors (safe from any goroutine) ----
+
+// ReplState returns the live replication cursor: the current generation and
+// its durable (fsynced) byte length, plus the last committed batch seq.
+func (l *Log) ReplState() (gen uint64, durable int64, seq uint64) {
+	return l.mGen.Load(), l.mDurable.Load(), l.mSeq.Load()
+}
+
+// SnapshotBytes returns a copy of the current generation's snapshot file
+// along with the generation it anchors — the full-resync payload a freshly
+// connected (or gen-lagged) replica mirrors before tailing LogChunk.
+func (l *Log) SnapshotBytes() (gen uint64, data []byte, err error) {
+	l.genMu.Lock()
+	defer l.genMu.Unlock()
+	data, err = l.fsys.ReadFile(path.Join(l.dir, l.snapName))
+	return l.gen, data, err
+}
+
+// LogChunk copies up to max durable bytes of generation gen starting at
+// byte offset off. It returns ErrGenGone when gen has been superseded
+// (compaction or restart) — the replica must full-resync — and an empty
+// slice when the replica is caught up to the durable frontier.
+func (l *Log) LogChunk(gen uint64, off int64, max int) ([]byte, error) {
+	l.genMu.Lock()
+	defer l.genMu.Unlock()
+	if gen != l.gen {
+		return nil, ErrGenGone
+	}
+	durable := l.mDurable.Load()
+	if off < 0 || off > int64(len(l.live)) {
+		return nil, fmt.Errorf("wal: log chunk offset %d out of range [0,%d]", off, len(l.live))
+	}
+	if off >= durable {
+		return nil, nil
+	}
+	end := off + int64(max)
+	if end > durable {
+		end = durable
+	}
+	return append([]byte(nil), l.live[off:end]...), nil
 }
